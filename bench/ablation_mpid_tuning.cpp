@@ -1,0 +1,86 @@
+// Ablation of the MPI-D design choices the paper calls out in Section
+// III/IV, on the *real* library: local combining ("reduce the memory
+// consuming and the transmission quantity") and the spill threshold
+// (buffering in MPI_D_Send before realignment).
+//
+// Rows report transmitted volume and frame counts from the master's
+// aggregated stats, plus wall time of the in-process run.
+#include <chrono>
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/workloads/text.hpp"
+
+int main() {
+  using namespace mpid;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("== Ablation: MPI-D combiner and spill threshold ==\n");
+  std::printf("(real library, in-process ranks, 8 MiB of Zipf text, 4 "
+              "mappers / 2 reducers)\n\n");
+
+  workloads::TextSpec text_spec;
+  const auto text =
+      workloads::generate_text(text_spec, 8 * 1024 * 1024, 2025);
+
+  mapred::JobDef base;
+  base.map = [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+  base.reduce = [](std::string_view key, std::span<const std::string> values,
+                   mapred::ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+  const core::Combiner combiner = [](std::string_view,
+                                     std::vector<std::string>&& values) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    return std::vector<std::string>{std::to_string(total)};
+  };
+
+  common::TextTable table({"combiner", "spill threshold", "wall time",
+                           "pairs tx", "bytes tx", "frames"});
+  for (const bool with_combiner : {false, true}) {
+    for (const std::size_t spill :
+         {std::size_t{64} * 1024, std::size_t{1} * 1024 * 1024,
+          std::size_t{16} * 1024 * 1024}) {
+      mapred::JobDef job = base;
+      job.combiner = with_combiner ? combiner : core::Combiner{};
+      job.tuning.spill_threshold_bytes = spill;
+      const mapred::JobRunner runner(4, 2);
+
+      const auto start = Clock::now();
+      const auto result = runner.run_on_text(job, text);
+      const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - start)
+                            .count();
+
+      const auto& totals = result.report.totals;
+      table.add_row(
+          {with_combiner ? "on" : "off", common::format_bytes(spill),
+           common::strformat("%lld ms", static_cast<long long>(wall)),
+           common::strformat("%llu",
+                             static_cast<unsigned long long>(
+                                 totals.pairs_after_combine)),
+           common::format_bytes(totals.bytes_sent),
+           common::strformat("%llu", static_cast<unsigned long long>(
+                                         totals.frames_sent))});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the combiner cuts transmitted pairs/bytes by an order of\n"
+      "magnitude on skewed text; larger spill thresholds amortize frames\n"
+      "and let the combiner see more duplicates before transmission.\n");
+  return 0;
+}

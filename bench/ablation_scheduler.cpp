@@ -1,0 +1,68 @@
+// Ablation of the Hadoop scheduler knobs that dominate small-job latency
+// (the regime of Figure 6's 1 GB point, where MPI-D wins 12x):
+// heartbeat interval, tasks assigned per heartbeat, JVM startup and job
+// setup — each removed/improved in isolation to show where the ~50 s of
+// Hadoop small-job overhead lives.
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf(
+      "== Ablation: where Hadoop's small-job overhead lives (1 GB "
+      "WordCount) ==\n\n");
+
+  const auto job = workloads::hadoop_wordcount_job(1 * GiB);
+
+  struct Variant {
+    const char* name;
+    void (*tweak)(hadoop::ClusterSpec&);
+  };
+  const Variant variants[] = {
+      {"baseline (0.20 defaults)", [](hadoop::ClusterSpec&) {}},
+      {"heartbeat 3s -> 0.3s",
+       [](hadoop::ClusterSpec& s) {
+         s.heartbeat_interval = sim::milliseconds(300);
+       }},
+      {"assign 4 tasks per heartbeat",
+       [](hadoop::ClusterSpec& s) { s.tasks_assigned_per_heartbeat = 4; }},
+      {"JVM reuse (no per-task fork)",
+       [](hadoop::ClusterSpec& s) { s.jvm_startup = sim::kTimeZero; }},
+      {"no job setup cost",
+       [](hadoop::ClusterSpec& s) { s.job_setup = sim::kTimeZero; }},
+      {"all of the above",
+       [](hadoop::ClusterSpec& s) {
+         s.heartbeat_interval = sim::milliseconds(300);
+         s.tasks_assigned_per_heartbeat = 4;
+         s.jvm_startup = sim::kTimeZero;
+         s.job_setup = sim::kTimeZero;
+       }},
+  };
+
+  double baseline = 0;
+  common::TextTable table({"variant", "makespan", "saved vs baseline"});
+  for (const auto& variant : variants) {
+    auto spec = workloads::fig6_hadoop_cluster();
+    variant.tweak(spec);
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, spec);
+    const double seconds = cluster.run(job).makespan.to_seconds();
+    if (baseline == 0) baseline = seconds;
+    table.add_row({variant.name, common::strformat("%.1f s", seconds),
+                   common::strformat("%.1f s", baseline - seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: scheduling latency (heartbeats + one-task-per-beat) and\n"
+      "per-task JVMs explain most of the gap to MPI-D's ~10 s on the same\n"
+      "1 GB job — communication is only part of the small-job story,\n"
+      "which is why the paper's 8%% ratio at 1 GB is startup-dominated.\n");
+  return 0;
+}

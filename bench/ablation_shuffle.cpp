@@ -1,0 +1,76 @@
+// Ablations of the cluster-model design choices DESIGN.md calls out:
+//  (1) reduce-side copier parallelism and the Jetty server thread pool —
+//      knobs that shape Figure 1's copy-time distribution;
+//  (2) the MPICH2 eager/rendezvous threshold — the knee in Figure 2's
+//      MPI latency curve.
+#include <cstdio>
+
+#include "mpid/common/stats.hpp"
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+  using common::KiB;
+  using common::MiB;
+
+  std::printf("== Ablation: shuffle parallelism (27 GB JavaSort) ==\n\n");
+  common::TextTable shuffle({"copier threads", "http threads",
+                             "avg copy (body)", "makespan"});
+  for (const auto& [copiers, http] :
+       {std::pair{1, 40}, std::pair{5, 40}, std::pair{20, 40},
+        std::pair{5, 4}}) {
+    auto spec = workloads::paper_cluster(8, 8);
+    spec.copier_threads = copiers;
+    spec.http_server_threads = http;
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, spec);
+    const auto result =
+        cluster.run(workloads::javasort_job(spec, 27 * GiB));
+
+    common::SampleSet all;
+    for (const auto& r : result.reduces) all.add(r.copy_seconds());
+    const double median = all.percentile(50);
+    common::OnlineStats body;
+    for (const auto& r : result.reduces) {
+      if (r.copy_seconds() <= 5.0 * median) body.add(r.copy_seconds());
+    }
+    shuffle.add_row({common::strformat("%d", copiers),
+                     common::strformat("%d", http),
+                     common::strformat("%.1f s", body.mean()),
+                     common::strformat("%.0f s",
+                                       result.makespan.to_seconds())});
+  }
+  std::printf("%s\n", shuffle.render().c_str());
+
+  std::printf("== Ablation: MPICH2 eager/rendezvous threshold ==\n\n");
+  common::TextTable rndv({"threshold", "latency @ 32 KiB", "latency @ 1 MiB"});
+  for (const std::uint64_t threshold : {std::uint64_t{0}, 64 * KiB,
+                                        std::uint64_t{1} << 40}) {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 8);
+    proto::MpiParams params;
+    params.eager_threshold = threshold;
+    proto::MpiModel mpi(engine, fabric, params);
+    rndv.add_row(
+        {threshold == 0 ? "always rendezvous"
+                        : (threshold > (1ull << 39) ? "always eager"
+                                                    : "64 KiB (default)"),
+         common::strformat("%.3f ms",
+                           mpi.one_way_latency(32 * KiB).to_millis()),
+         common::strformat("%.3f ms",
+                           mpi.one_way_latency(1 * MiB).to_millis())});
+  }
+  std::printf("%s\n", rndv.render().c_str());
+  std::printf(
+      "Reading: more copier threads flatten the copy distribution until\n"
+      "the serving disks saturate; starving the Jetty pool serializes\n"
+      "fetches and stretches the copy tail. The rendezvous handshake\n"
+      "explains the small step in Figure 2's MPI curve past 64 KiB.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared google-benchmark main for the micro benches: defaults to a short
+// per-benchmark min time so `for b in build/bench/*; do $b; done` finishes
+// promptly, while still honoring an explicit --benchmark_min_time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mpid::bench {
+
+inline int run_benchmarks(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_min_time = "--benchmark_min_time=0.05";
+  bool user_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+      user_set = true;
+    }
+  }
+  if (!user_set) args.push_back(default_min_time.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mpid::bench
+
+#define MPID_BENCHMARK_MAIN()                       \
+  int main(int argc, char** argv) {                 \
+    return mpid::bench::run_benchmarks(argc, argv); \
+  }

@@ -1,0 +1,132 @@
+// Extension bench: MPI-D against the related-work baseline the paper
+// discusses (Plimpton's MR-MPI, [15, 16]) on identical WordCount input,
+// functionally (real libraries, in-process ranks).
+//
+// Structural difference under test: MR-MPI buffers ALL map output locally
+// and shuffles it with one collective all-to-all (no combiner, no
+// streaming); MPI-D combines locally, realigns incrementally and streams
+// partitions while mapping. Both must produce identical counts; the
+// counters show what each shipped.
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/mapred/mrmpi.hpp"
+#include "mpid/minimpi/world.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace {
+
+using namespace mpid;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void tokenize_into(std::string_view line,
+                   const std::function<void(std::string_view)>& emit) {
+  std::size_t start = 0;
+  while (start < line.size()) {
+    auto end = line.find(' ', start);
+    if (end == std::string_view::npos) end = line.size();
+    if (end > start) emit(line.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Extension: MPI-D vs MR-MPI-style baseline (WordCount, 2 MiB, "
+      "4 ranks) ==\n\n");
+
+  const auto text = workloads::generate_text({}, 2 * 1024 * 1024, 909);
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    mapred::LineReader reader(text);
+    while (auto line = reader.next()) out.emplace_back(*line);
+    return out;
+  }();
+
+  // ---- MR-MPI: map -> collate (alltoall) -> reduce ----------------------
+  std::map<std::string, std::uint64_t> mrmpi_counts;
+  const auto mrmpi_start = Clock::now();
+  minimpi::run_world(4, [&](minimpi::Comm& comm) {
+    mapred::mrmpi::MapReduce mr(comm);
+    mr.map(static_cast<int>(lines.size()),
+           [&](int task, mapred::mrmpi::Emitter& out) {
+             tokenize_into(lines[static_cast<std::size_t>(task)],
+                           [&](std::string_view w) { out.emit(w, "1"); });
+           });
+    mr.collate();
+    mr.reduce([](std::string_view key, std::span<const std::string> values,
+                 mapred::mrmpi::Emitter& out) {
+      out.emit(key, std::to_string(values.size()));
+    });
+    auto gathered = mr.gather(0);
+    if (comm.rank() == 0) {
+      for (auto& [k, v] : gathered) mrmpi_counts[k] = std::stoull(v);
+    }
+  });
+  const double mrmpi_ms = ms_since(mrmpi_start);
+
+  // ---- MPI-D: combine-as-you-go, streaming shuffle ----------------------
+  mapred::JobDef job;
+  job.map = [](std::string_view line, mapred::MapContext& ctx) {
+    tokenize_into(line, [&](std::string_view w) { ctx.emit(w, "1"); });
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  mapred::ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+  job.combiner = [](std::string_view, std::vector<std::string>&& values) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    return std::vector<std::string>{std::to_string(total)};
+  };
+  const auto mpid_start = Clock::now();
+  const auto mpid_result = mapred::JobRunner(3, 1).run_on_text(job, text);
+  const double mpid_ms = ms_since(mpid_start);
+
+  std::map<std::string, std::uint64_t> mpid_counts;
+  for (const auto& [k, v] : mpid_result.outputs) {
+    mpid_counts[k] = std::stoull(v);
+  }
+
+  common::TextTable table({"system", "wall time", "pairs shuffled",
+                           "bytes shuffled"});
+  std::uint64_t raw_pairs = 0;
+  for (const auto& [k, n] : mrmpi_counts) raw_pairs += n;
+  table.add_row({"MR-MPI style (alltoall, no combiner)",
+                 common::strformat("%.1f ms", mrmpi_ms),
+                 common::strformat("%llu",
+                                   static_cast<unsigned long long>(raw_pairs)),
+                 "every (word, 1) pair"});
+  table.add_row(
+      {"MPI-D (combine + streaming frames)",
+       common::strformat("%.1f ms", mpid_ms),
+       common::strformat("%llu",
+                         static_cast<unsigned long long>(
+                             mpid_result.report.totals.pairs_after_combine)),
+       common::format_bytes(mpid_result.report.totals.bytes_sent)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("results identical: %s\n",
+              mrmpi_counts == mpid_counts ? "yes" : "NO (bug!)");
+  std::printf(
+      "Reading: the combiner + streaming design ships ~%.0fx fewer pairs\n"
+      "than the buffer-everything/alltoall baseline — the paper's case\n"
+      "for building the key-value semantics INTO the library.\n",
+      static_cast<double>(raw_pairs) /
+          static_cast<double>(
+              std::max<std::uint64_t>(
+                  1, mpid_result.report.totals.pairs_after_combine)));
+  return mrmpi_counts == mpid_counts ? 0 : 1;
+}

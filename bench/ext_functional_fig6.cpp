@@ -1,0 +1,213 @@
+// Extension bench: the paper's comparison with *functional* systems at
+// in-process scale, in two parts.
+//
+// Part 1 (Section II's methodology, live): the same shuffle payload is
+// pushed through the two transport stacks in isolation — HTTP GETs
+// against the embedded server vs minimpi send/recv — where the framing,
+// header-parsing and extra copies of the Hadoop path are directly
+// visible in wall-clock.
+//
+// Part 2 (Figure 6's shape, with caveats): the same WordCount end-to-end
+// through MiniHadoop (DFS + RPC control plane + HTTP shuffle) and through
+// the real MPI-D library. NOTE: on a single-core container with identical
+// map/reduce code, end-to-end wall time is dominated by the map/reduce
+// CPU itself and the two systems land close together — the cluster-scale
+// communication effect the paper measures needs a network and parallel
+// hardware, which is what the calibrated fig6_wordcount bench models.
+// The transport counters (GETs, RPC heartbeats, shuffled bytes) show the
+// structural difference either way.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/dfs/minidfs.hpp"
+#include "mpid/hrpc/http.hpp"
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/world.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/minihadoop/minihadoop.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace {
+
+using namespace mpid;
+using Clock = std::chrono::steady_clock;
+
+mapred::MapFn wc_map() {
+  return [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+}
+
+mapred::ReduceFn wc_reduce() {
+  return [](std::string_view key, std::span<const std::string> values,
+            mapred::ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+}
+
+core::Combiner wc_combiner() {
+  return [](std::string_view, std::vector<std::string>&& values) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    return std::vector<std::string>{std::to_string(total)};
+  };
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+namespace {
+
+/// Part 1: the same framed segments through both transport stacks.
+void transport_isolation() {
+  using namespace mpid;
+  std::printf("-- transports in isolation: 64 segments of 64 KiB --\n");
+  constexpr int kSegments = 64;
+  const std::string segment(64 * 1024, 'k');
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(kSegments) * segment.size();
+
+  // HTTP: one GET per segment against the embedded server.
+  double http_ms = 0;
+  {
+    hrpc::HttpServer server;
+    server.add_servlet("/mapOutput",
+                       [&segment](std::string_view) { return segment; });
+    hrpc::HttpClient client(server);
+    const auto start = Clock::now();
+    for (int i = 0; i < kSegments; ++i) {
+      const auto response =
+          client.get("/mapOutput?map=" + std::to_string(i) + "&reduce=0");
+      if (response.body.size() != segment.size()) std::abort();
+    }
+    http_ms = ms_since(start);
+  }
+
+  // minimpi: one message per segment, wildcard receive.
+  double mpi_ms = 0;
+  {
+    minimpi::run_world(2, [&](minimpi::Comm& comm) {
+      comm.barrier();
+      const auto start = Clock::now();
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kSegments; ++i) {
+          comm.send_string(1, 0, segment);
+        }
+        (void)comm.recv_value<int>(1, 1);  // completion ack
+        mpi_ms = ms_since(start);
+      } else {
+        std::vector<std::byte> buf;
+        for (int i = 0; i < kSegments; ++i) {
+          comm.recv_bytes(minimpi::kAnySource, 0, buf);
+          if (buf.size() != segment.size()) std::abort();
+        }
+        comm.send_value(0, 1, 1);
+      }
+    });
+  }
+
+  common::TextTable table({"stack", "time", "throughput"});
+  table.add_row({"HTTP shuffle (embedded server)",
+                 common::strformat("%.1f ms", http_ms),
+                 common::strformat("%.0f MB/s",
+                                   static_cast<double>(total_bytes) /
+                                       (http_ms / 1e3) / 1e6)});
+  table.add_row({"minimpi send/recv",
+                 common::strformat("%.1f ms", mpi_ms),
+                 common::strformat("%.0f MB/s",
+                                   static_cast<double>(total_bytes) /
+                                       (mpi_ms / 1e3) / 1e6)});
+  std::printf("%s", table.render().c_str());
+  std::printf("MPI-style transport advantage: %.1fx\n\n", http_ms / mpi_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Extension: functional stacks compared (real code, in-process) "
+      "==\n\n");
+  transport_isolation();
+  std::printf(
+      "-- end-to-end WordCount (4 map / 2 reduce tasks, 2 workers; "
+      "median of 3) --\n");
+
+  common::TextTable table({"input", "MiniHadoop (RPC+HTTP+DFS)",
+                           "MPI-D (minimpi)", "MPI-D/Hadoop",
+                           "hadoop shuffle"});
+  for (const std::uint64_t kib : {256ull, 1024ull, 4096ull}) {
+    const auto text = workloads::generate_text({}, kib * 1024, 2026);
+
+    auto median3 = [](auto fn) {
+      double a = fn(), b = fn(), c = fn();
+      if (a > b) std::swap(a, b);
+      if (b > c) std::swap(b, c);
+      return std::max(a, b);
+    };
+
+    minihadoop::JobSummary last_summary;
+    const double hadoop_ms = median3([&] {
+      dfs::MiniDfs fs(3);
+      fs.create("/in", text);
+      minihadoop::MiniCluster cluster(fs, 2);
+      minihadoop::MiniJobConfig job;
+      job.map = wc_map();
+      job.reduce = wc_reduce();
+      job.combiner = wc_combiner();
+      job.input_path = "/in";
+      job.map_tasks = 4;
+      job.reduce_tasks = 2;
+      const auto start = Clock::now();
+      last_summary = cluster.run(job);
+      return ms_since(start);
+    });
+
+    const double mpid_ms = median3([&] {
+      mapred::JobDef job;
+      job.map = wc_map();
+      job.reduce = wc_reduce();
+      job.combiner = wc_combiner();
+      job.tuning.spill_threshold_bytes = 16 * 1024 * 1024;
+      job.tuning.inline_combine_threshold = 0;
+      const auto start = Clock::now();
+      const auto result = mapred::JobRunner(4, 2).run_on_text(job, text);
+      return ms_since(start) + 0 * static_cast<double>(result.outputs.size());
+    });
+
+    table.add_row(
+        {common::format_bytes(kib * 1024),
+         common::strformat("%.1f ms", hadoop_ms),
+         common::strformat("%.1f ms", mpid_ms),
+         common::strformat("%.0f%%", 100.0 * mpid_ms / hadoop_ms),
+         common::strformat("%llu GETs, %s",
+                           static_cast<unsigned long long>(
+                               last_summary.shuffle_requests),
+                           common::format_bytes(last_summary.shuffled_bytes)
+                               .c_str())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the isolated transports show the Hadoop stack's framing\n"
+      "and copy overhead directly (part 1). End-to-end on one in-process\n"
+      "core, identical map/reduce CPU dominates and the systems converge\n"
+      "(part 2) — scaling that gap up needs the cluster models\n"
+      "(bench/fig6_wordcount), which is precisely why the paper measured\n"
+      "on a real 8-node cluster.\n");
+  return 0;
+}

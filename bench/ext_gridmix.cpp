@@ -1,0 +1,65 @@
+// Extension bench: the full GridMix-style suite on the cluster model (the
+// paper's Table I uses only JavaSort). Different workloads stress the
+// copy stage very differently — the communication-dominance argument of
+// Section II.A is strongest for sort-like jobs and weakest for scans.
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/gridmix.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf("== Extension: GridMix suite on the cluster model (27 GB, "
+              "8/8 slots) ==\n\n");
+
+  const auto cluster_spec = workloads::paper_cluster(8, 8);
+  common::TextTable table({"workload", "maps", "reduces", "makespan",
+                           "copy share", "transfer share", "shuffled"});
+  for (const auto& entry :
+       workloads::gridmix_suite(cluster_spec, 27 * GiB)) {
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, cluster_spec);
+    const auto result = cluster.run(entry.job);
+    table.add_row(
+        {entry.name, common::strformat("%zu", result.maps.size()),
+         common::strformat("%zu", result.reduces.size()),
+         common::strformat("%.0f s", result.makespan.to_seconds()),
+         common::strformat("%.1f%%", 100.0 * result.copy_fraction()),
+         common::strformat("%.1f%%",
+                           100.0 * result.copy_transfer_fraction()),
+         common::format_bytes(static_cast<std::uint64_t>(
+             result.total_shuffled_bytes()))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("monsterQuery pipeline (27 GB input, 3 chained stages):\n");
+  common::TextTable stages({"stage", "input", "makespan", "copy share"});
+  sim::Engine engine;
+  hadoop::Cluster cluster(engine, cluster_spec);
+  int stage_index = 1;
+  for (const auto& stage :
+       workloads::monster_query_pipeline(cluster_spec, 27 * GiB)) {
+    const auto result = cluster.run(stage);
+    stages.add_row({common::strformat("%d", stage_index++),
+                    common::format_bytes(stage.input_bytes),
+                    common::strformat("%.0f s",
+                                      result.makespan.to_seconds()),
+                    common::strformat("%.1f%%",
+                                      100.0 * result.copy_fraction())});
+  }
+  std::printf("%s\n", stages.render().c_str());
+  std::printf(
+      "Reading: sorts shuffle every byte, so their copy share is real\n"
+      "data movement; the scan moves ~2%% of the bytes yet still logs a\n"
+      "large copy share because its reducers idle in the copy stage while\n"
+      "maps run — the paper's own caveat that \"not all of the time in\n"
+      "copy stage is caused by RPC or Jetty\", quantified. MPI adaptation\n"
+      "pays most where the copy share is transfer-dominated (the sorts).\n");
+  return 0;
+}

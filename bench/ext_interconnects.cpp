@@ -1,0 +1,83 @@
+// Extension bench (paper future work #1 and #4): adds Socket-over-Java-NIO
+// to the Figure 2/3 comparisons, and sweeps the whole comparison across
+// interconnects (GigE -> 10 GbE -> InfiniBand QDR), in the spirit of
+// Sur et al. [17].
+//
+// Headline: faster wires barely help Hadoop RPC (it is JVM-serialization
+// bound) while MPI rides the hardware — so the gap the paper measured on
+// GigE *widens* on modern interconnects.
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/proto/profiles.hpp"
+#include "mpid/sim/engine.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::KiB;
+  using common::MiB;
+
+  std::printf("== Extension: NIO sockets + high-performance interconnects ==\n\n");
+
+  // ---- NIO vs the paper's three stacks, on the paper's GigE fabric ----
+  {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 8);
+    proto::HadoopRpcModel rpc(engine, fabric);
+    proto::JettyHttpModel jetty(engine, fabric);
+    proto::MpiModel mpi(engine, fabric);
+    proto::NioSocketModel nio(engine, fabric);
+
+    std::printf("latency on GigE, one-way (Figure 2 + NIO column):\n");
+    common::TextTable lat({"msg size", "Hadoop RPC", "Java NIO", "MPICH2"});
+    for (std::uint64_t n : {1ull, 1ull * KiB, 64ull * KiB, 1ull * MiB,
+                            64ull * MiB}) {
+      lat.add_row({common::format_bytes(n),
+                   common::strformat("%.2f ms", rpc.one_way_latency(n).to_millis()),
+                   common::strformat("%.2f ms", nio.one_way_latency(n).to_millis()),
+                   common::strformat("%.2f ms", mpi.one_way_latency(n).to_millis())});
+    }
+    std::printf("%s\n", lat.render().c_str());
+
+    std::printf("bandwidth on GigE, 128 MB (Figure 3 + NIO column):\n");
+    common::TextTable bw({"packet", "RPC MB/s", "Jetty MB/s", "NIO MB/s",
+                          "MPI MB/s"});
+    const std::uint64_t total = 128 * MiB;
+    for (std::uint64_t packet : {256ull, 64ull * KiB, 16ull * MiB}) {
+      auto mbps = [&](double s) { return static_cast<double>(total) / s / 1e6; };
+      bw.add_row({common::format_bytes(packet),
+                  common::strformat("%.3f", mbps(rpc.stream_seconds(total, packet))),
+                  common::strformat("%.1f", mbps(jetty.stream_seconds(total, packet))),
+                  common::strformat("%.1f", mbps(nio.stream_seconds(total, packet))),
+                  common::strformat("%.1f", mbps(mpi.stream_seconds(total, packet)))});
+    }
+    std::printf("%s\n", bw.render().c_str());
+  }
+
+  // ---- the same comparison across interconnects -----------------------
+  std::printf("RPC vs MPI across interconnects (1 KiB latency / peak bandwidth):\n");
+  common::TextTable sweep({"interconnect", "MPI @ 1 KiB", "RPC @ 1 KiB",
+                           "RPC/MPI", "MPI peak MB/s"});
+  for (const auto& profile : proto::all_interconnects()) {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 8, profile.fabric);
+    proto::MpiModel mpi(engine, fabric, profile.mpi);
+    proto::HadoopRpcModel rpc(engine, fabric);
+    const double m = mpi.one_way_latency(1 * KiB).to_millis();
+    const double r = rpc.one_way_latency(1 * KiB).to_millis();
+    const double peak = static_cast<double>(128 * MiB) /
+                        mpi.stream_seconds(128 * MiB, 16 * MiB) / 1e6;
+    sweep.add_row({profile.name, common::strformat("%.4f ms", m),
+                   common::strformat("%.3f ms", r),
+                   common::strformat("%.0fx", r / m),
+                   common::strformat("%.0f", peak)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf(
+      "Reading: Hadoop RPC is serialization-bound, so its latency is\n"
+      "nearly flat across fabrics while MPI improves ~100x from GigE to\n"
+      "InfiniBand — adapting MPI into Hadoop pays more, not less, on\n"
+      "modern hardware.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension bench (paper future work #3: "optimize the MPI-D library to
+// exploit its potential, especially improving scalability"): Figure 6's
+// 100 GB WordCount on the MPI-D system, sweeping the reducer count past
+// the paper's single-reducer configuration, and toggling send/compute
+// overlap (the MPI_Isend/Irecv adoption the paper proposes).
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf("== Extension: MPI-D scalability (100 GB WordCount) ==\n\n");
+
+  const auto job = workloads::mpid_wordcount_job(100 * GiB);
+
+  common::TextTable reducers({"reducers", "makespan", "vs 1 reducer"});
+  double base = 0;
+  for (const int r : {1, 2, 4, 8, 16}) {
+    auto spec = workloads::fig6_mpid_system();
+    spec.reducers = r;
+    sim::Engine engine;
+    mpidsim::MpidSystem system(engine, spec);
+    const double t = system.run(job).makespan.to_seconds();
+    if (r == 1) base = t;
+    reducers.add_row({common::strformat("%d", r),
+                      common::strformat("%.0f s", t),
+                      common::strformat("%.2fx", base / t)});
+  }
+  std::printf("%s\n", reducers.render().c_str());
+
+  common::TextTable overlap({"send overlap", "makespan (1 reducer)",
+                             "makespan (8 reducers)"});
+  for (const bool on : {true, false}) {
+    std::string row[2];
+    for (int i = 0; i < 2; ++i) {
+      auto spec = workloads::fig6_mpid_system();
+      spec.reducers = i == 0 ? 1 : 8;
+      spec.overlap_sends = on;
+      sim::Engine engine;
+      mpidsim::MpidSystem system(engine, spec);
+      row[i] = common::strformat(
+          "%.0f s", system.run(job).makespan.to_seconds());
+    }
+    overlap.add_row({on ? "on (buffered MPI_D_Send)" : "off (synchronous)",
+                     row[0], row[1]});
+  }
+  std::printf("%s\n", overlap.render().c_str());
+  std::printf(
+      "Reading: the single reducer is the scalability wall the paper's\n"
+      "future work names; 8 reducers recover most of the headroom. Send\n"
+      "overlap matters once the reducer stops being the bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 2 — "Comparisons of Message Latency between Hadoop RPC and
+// MPICH2": one-way ping-pong latency over message sizes 1 B .. 64 MB in
+// the paper's three panels, plus a sanity run of the real thread-backed
+// minimpi transport.
+//
+// Paper anchors: RPC 1.3 ms @ 1 B (2.49x MPI), 8.9 ms @ 1 KB (15.1x),
+// 1259 ms @ 1 MB (123x, the peak ratio), 56827 ms @ 64 MB; the ratio
+// exceeds 100x beyond 256 KB.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/world.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace {
+
+using namespace mpid;
+using common::KiB;
+using common::MiB;
+
+void print_panel(const char* title, std::uint64_t lo, std::uint64_t hi,
+                 proto::HadoopRpcModel& rpc, proto::MpiModel& mpi) {
+  std::printf("%s\n", title);
+  common::TextTable table(
+      {"msg size", "Hadoop RPC", "MPICH2 model", "RPC/MPI ratio"});
+  for (std::uint64_t size = lo; size <= hi; size *= 2) {
+    const double r = rpc.one_way_latency(size).to_millis();
+    const double m = mpi.one_way_latency(size).to_millis();
+    table.add_row({common::format_bytes(size),
+                   common::strformat("%.3f ms", r),
+                   common::strformat("%.3f ms", m),
+                   common::strformat("%.1fx", r / m)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+/// Real wall-clock ping-pong over the thread-backed minimpi transport:
+/// demonstrates the functional library; absolute values reflect this
+/// machine, not the paper's GigE testbed.
+void real_minimpi_pingpong() {
+  std::printf(
+      "Sanity: real minimpi (in-process threads) ping-pong latency\n");
+  common::TextTable table({"msg size", "half round-trip"});
+  for (std::uint64_t size : {1ull, 1ull * KiB, 64ull * KiB, 1ull * MiB}) {
+    constexpr int kIters = 200;
+    double half_rtt_ns = 0;
+    minimpi::run_world(2, [&](minimpi::Comm& comm) {
+      std::vector<std::byte> payload(size, std::byte{0x5a});
+      std::vector<std::byte> buf;
+      comm.barrier();
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        if (comm.rank() == 0) {
+          comm.send_bytes(1, 0, payload);
+          comm.recv_bytes(1, 0, buf);
+        } else {
+          comm.recv_bytes(0, 0, buf);
+          comm.send_bytes(0, 0, buf);
+        }
+      }
+      if (comm.rank() == 0) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        half_rtt_ns = static_cast<double>(elapsed) / (2.0 * kIters);
+      }
+    });
+    table.add_row({common::format_bytes(size),
+                   common::format_duration_ns(
+                       static_cast<std::int64_t>(half_rtt_ns))});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 2: point-to-point latency, Hadoop RPC vs MPICH2 ==\n"
+      "(one-way = ping-pong / 2; calibrated models on the 8-node GigE "
+      "fabric)\n\n");
+
+  sim::Engine engine;
+  net::Fabric fabric(engine, 8);
+  proto::HadoopRpcModel rpc(engine, fabric);
+  proto::MpiModel mpi(engine, fabric);
+
+  print_panel("(a) small messages: 1 B - 1 KB", 1, 1 * KiB, rpc, mpi);
+  print_panel("(b) medium messages: 1 KB - 1 MB", 1 * KiB, 1 * MiB, rpc, mpi);
+  print_panel("(c) large messages: 1 MB - 64 MB", 1 * MiB, 64 * MiB, rpc, mpi);
+
+  std::printf("Paper anchors vs model:\n");
+  common::TextTable anchors({"anchor", "paper", "model"});
+  anchors.add_row({"RPC @ 1 B", "1.3 ms",
+                   common::strformat("%.2f ms",
+                                     rpc.one_way_latency(1).to_millis())});
+  anchors.add_row(
+      {"RPC/MPI @ 1 B", "2.49x",
+       common::strformat("%.2fx", rpc.one_way_latency(1).to_millis() /
+                                      mpi.one_way_latency(1).to_millis())});
+  anchors.add_row(
+      {"RPC/MPI @ 1 KB", "15.1x",
+       common::strformat("%.1fx",
+                         rpc.one_way_latency(1 * KiB).to_millis() /
+                             mpi.one_way_latency(1 * KiB).to_millis())});
+  anchors.add_row(
+      {"RPC/MPI @ 1 MB (peak)", "123x",
+       common::strformat("%.0fx",
+                         rpc.one_way_latency(1 * MiB).to_millis() /
+                             mpi.one_way_latency(1 * MiB).to_millis())});
+  anchors.add_row({"RPC @ 64 MB", "56827 ms",
+                   common::strformat("%.0f ms",
+                                     rpc.one_way_latency(64 * MiB).to_millis())});
+  anchors.add_row({"MPI @ 64 MB", "572 ms",
+                   common::strformat("%.0f ms",
+                                     mpi.one_way_latency(64 * MiB).to_millis())});
+  std::printf("%s\n", anchors.render().c_str());
+
+  real_minimpi_pingpong();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3 — "Comparison of Bandwidth among Hadoop RPC, Hadoop HTTP over
+// Jetty, and MPICH2": transfer a fixed 128 MB with packet sizes from 1 B
+// to 64 MB and report the achieved bandwidth of each stack.
+//
+// Paper anchors: Hadoop RPC never exceeds ~1.4 MB/s; Jetty and MPICH2 use
+// the wire effectively from 256 B upward (~80 and ~60 MB/s respectively,
+// rising past 100 MB/s); average peak bandwidth is ~111 MB/s for MPICH2
+// vs ~108 MB/s for Jetty (2-3% apart), with MPI visibly smoother.
+#include <cstdio>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/engine.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::KiB;
+  using common::MiB;
+
+  std::printf(
+      "== Figure 3: bandwidth transferring 128 MB vs packet size ==\n\n");
+
+  sim::Engine engine;
+  net::Fabric fabric(engine, 8);
+  proto::HadoopRpcModel rpc(engine, fabric);
+  proto::JettyHttpModel jetty(engine, fabric);
+  proto::MpiModel mpi(engine, fabric);
+
+  const std::uint64_t total = 128 * MiB;
+  auto mbps = [&](double seconds) {
+    return static_cast<double>(total) / seconds / 1e6;
+  };
+
+  common::TextTable table({"packet size", "Hadoop RPC MB/s", "Jetty MB/s",
+                           "MPICH2 MB/s"});
+  double mpi_peak_sum = 0, jetty_peak_sum = 0;
+  int peak_count = 0;
+  for (std::uint64_t packet = 1; packet <= 64 * MiB; packet *= 4) {
+    const double r = mbps(rpc.stream_seconds(total, packet));
+    const double j = mbps(jetty.stream_seconds(total, packet));
+    const double m = mbps(mpi.stream_seconds(total, packet));
+    if (packet >= 1 * MiB) {
+      mpi_peak_sum += m;
+      jetty_peak_sum += j;
+      ++peak_count;
+    }
+    table.add_row({common::format_bytes(packet),
+                   common::strformat("%.4f", r), common::strformat("%.1f", j),
+                   common::strformat("%.1f", m)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double mpi_peak = mpi_peak_sum / peak_count;
+  const double jetty_peak = jetty_peak_sum / peak_count;
+  common::TextTable anchors({"anchor", "paper", "model"});
+  anchors.add_row({"RPC peak bandwidth", "<= 1.4 MB/s",
+                   common::strformat("%.2f MB/s",
+                                     mbps(rpc.stream_seconds(total, 64 * MiB)))});
+  anchors.add_row({"Jetty avg peak", "~108 MB/s",
+                   common::strformat("%.1f MB/s", jetty_peak)});
+  anchors.add_row({"MPICH2 avg peak", "~111 MB/s",
+                   common::strformat("%.1f MB/s", mpi_peak)});
+  anchors.add_row({"MPI over Jetty", "+2-3%",
+                   common::strformat("%+.1f%%",
+                                     100.0 * (mpi_peak - jetty_peak) /
+                                         jetty_peak)});
+  std::printf("%s\n", anchors.render().c_str());
+  return 0;
+}

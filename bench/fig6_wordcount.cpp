@@ -1,0 +1,69 @@
+// Figure 6 — "Performance Comparison of WordCount Example between Our
+// Simulation System with the MPI-D Prototype and Hadoop": WordCount over
+// 1-100 GB on the 8-node cluster; Hadoop runs with 7/7 slots and its
+// default single reduce task; the MPI-D system runs 49 mapper processes,
+// 1 reducer and a rank-0 master.
+//
+// Paper anchors: Hadoop 49 s -> 2001 s and MPI-D 3.9 s -> 1129 s across
+// 1/10/100 GB; MPI-D's time is 8% / 48% / 56% of Hadoop's (a 44% saving
+// at 100 GB).
+#include <cstdio>
+#include <vector>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf(
+      "== Figure 6: WordCount, Hadoop vs the MPI-D simulation system ==\n\n");
+
+  struct PaperPoint {
+    std::uint64_t gb;
+    double hadoop_s;  // <= 0 when the paper doesn't quote the value
+    double mpid_s;
+    double ratio;
+  };
+  const std::vector<PaperPoint> points = {
+      {1, 49.0, 3.9, 0.08},   {3, -1, -1, -1},     {10, -1, -1, 0.48},
+      {30, -1, -1, -1},       {100, 2001.0, 1129.0, 0.56}};
+
+  common::TextTable table({"input", "Hadoop", "MPI-D system",
+                           "MPI-D/Hadoop", "paper ratio"});
+  for (const auto& p : points) {
+    sim::Engine hadoop_engine;
+    hadoop::Cluster cluster(hadoop_engine, workloads::fig6_hadoop_cluster());
+    const double hadoop_s =
+        cluster.run(workloads::hadoop_wordcount_job(p.gb * GiB))
+            .makespan.to_seconds();
+
+    sim::Engine mpid_engine;
+    mpidsim::MpidSystem system(mpid_engine, workloads::fig6_mpid_system());
+    const double mpid_s =
+        system.run(workloads::mpid_wordcount_job(p.gb * GiB))
+            .makespan.to_seconds();
+
+    table.add_row(
+        {common::strformat("%llu GB", static_cast<unsigned long long>(p.gb)),
+         p.hadoop_s > 0
+             ? common::strformat("%.1f s (paper %.0f)", hadoop_s, p.hadoop_s)
+             : common::strformat("%.1f s", hadoop_s),
+         p.mpid_s > 0
+             ? common::strformat("%.1f s (paper %.0f)", mpid_s, p.mpid_s)
+             : common::strformat("%.1f s", mpid_s),
+         common::strformat("%.0f%%", 100.0 * mpid_s / hadoop_s),
+         p.ratio > 0 ? common::strformat("%.0f%%", 100.0 * p.ratio) : "-"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: MPI-D wins by an order of magnitude on startup-dominated\n"
+      "small jobs and still saves ~40-60%% at 100 GB, where both systems\n"
+      "are bounded by the single reducer — the paper's Figure 6 shape.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Microbenchmarks of the real (thread-backed) minimpi transport: p2p
+// latency/throughput and collective scaling. These measure this machine,
+// not the paper's testbed; they exist to characterize the substrate the
+// MPI-D library runs on and to feed the cost constants used by the
+// cluster-scale models.
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/ops.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace {
+
+using namespace mpid;
+
+constexpr std::uint64_t kEchoContext = 0x5eed0123456789abULL;
+constexpr int kStopTag = 99;
+
+/// Persistent two-rank world with an echo server on rank 1.
+class PingPongFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    world_ = std::make_unique<minimpi::World>(2);
+    echo_ = std::thread([this] {
+      minimpi::Comm comm(*world_, 1, kEchoContext);
+      std::vector<std::byte> buf;
+      for (;;) {
+        const auto st = comm.recv_bytes(0, minimpi::kAnyTag, buf);
+        if (st.tag == kStopTag) return;
+        comm.send_bytes(0, 0, buf);
+      }
+    });
+  }
+
+  void TearDown(const benchmark::State&) override {
+    minimpi::Comm comm(*world_, 0, kEchoContext);
+    comm.send_bytes(1, kStopTag, {});
+    echo_.join();
+    world_.reset();
+  }
+
+  std::unique_ptr<minimpi::World> world_;
+  std::thread echo_;
+};
+
+BENCHMARK_DEFINE_F(PingPongFixture, RoundTrip)(benchmark::State& state) {
+  minimpi::Comm comm(*world_, 0, kEchoContext);
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)),
+                                 std::byte{0x42});
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    comm.send_bytes(1, 0, payload);
+    comm.recv_bytes(1, 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK_REGISTER_F(PingPongFixture, RoundTrip)
+    ->Arg(1)
+    ->Arg(1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024);
+
+BENCHMARK_DEFINE_F(PingPongFixture, OneWayStream)(benchmark::State& state) {
+  minimpi::Comm comm(*world_, 0, kEchoContext);
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)),
+                                 std::byte{0x42});
+  std::vector<std::byte> buf;
+  constexpr int kWindow = 32;
+  for (auto _ : state) {
+    for (int i = 0; i < kWindow; ++i) comm.send_bytes(1, 0, payload);
+    for (int i = 0; i < kWindow; ++i) comm.recv_bytes(1, 0, buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kWindow * 2);
+}
+BENCHMARK_REGISTER_F(PingPongFixture, OneWayStream)
+    ->Arg(1024)
+    ->Arg(64 * 1024);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+      for (int i = 0; i < rounds; ++i) comm.barrier();
+    });
+  }
+  state.counters["barriers"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * rounds,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < rounds; ++i) {
+        acc += comm.allreduce_value<std::uint64_t>(1, minimpi::Sum{});
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(8);
+
+void BM_AlltoallBytes(benchmark::State& state) {
+  const int ranks = 4;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    minimpi::run_world(ranks, [&](minimpi::Comm& comm) {
+      std::vector<std::vector<std::byte>> out(
+          static_cast<std::size_t>(ranks),
+          std::vector<std::byte>(bytes, std::byte{1}));
+      auto in = comm.alltoall_bytes(std::move(out));
+      benchmark::DoNotOptimize(in.size());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes) * ranks * ranks);
+}
+BENCHMARK(BM_AlltoallBytes)->Arg(1024)->Arg(256 * 1024);
+
+}  // namespace
+
+MPID_BENCHMARK_MAIN()

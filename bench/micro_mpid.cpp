@@ -1,0 +1,154 @@
+// Microbenchmarks of the real MPI-D library internals. These calibrate
+// the cost constants of the cluster-scale mpidsim model: the map+combine
+// throughput (map_cpu_bytes_per_second), the data-realignment rate
+// (realign_bytes_per_second), and the end-to-end WordCount rate of the
+// full library on in-process ranks.
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <string>
+#include <vector>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/core/merge.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace {
+
+using namespace mpid;
+
+/// Data-realignment rate: serializing (key, value-list) groups into a
+/// contiguous partition frame, the core of MPI_D_Send's spill path.
+void BM_RealignKvList(benchmark::State& state) {
+  const int groups = 2000;
+  const int values_per_group = 8;
+  std::vector<std::string> keys;
+  keys.reserve(groups);
+  for (int g = 0; g < groups; ++g) keys.push_back("key-" + std::to_string(g));
+  const std::string value = "12345678";
+
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    common::KvListWriter writer;
+    for (int g = 0; g < groups; ++g) {
+      writer.begin_group(keys[static_cast<std::size_t>(g)], values_per_group);
+      for (int v = 0; v < values_per_group; ++v) writer.add_value(value);
+    }
+    bytes += static_cast<std::int64_t>(writer.byte_size());
+    benchmark::DoNotOptimize(writer.buffer().data());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_RealignKvList);
+
+/// Reverse realignment: streaming groups back out of a frame.
+void BM_ReverseRealign(benchmark::State& state) {
+  common::KvListWriter writer;
+  for (int g = 0; g < 2000; ++g) {
+    writer.begin_group("key-" + std::to_string(g), 8);
+    for (int v = 0; v < 8; ++v) writer.add_value("12345678");
+  }
+  const auto frame = writer.take();
+  for (auto _ : state) {
+    common::KvListReader reader(frame);
+    std::size_t n = 0;
+    while (auto group = reader.next()) n += group->values.size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ReverseRealign);
+
+/// Reducer-side k-way merge rate over sorted frames (the merge phase).
+void BM_SortedMerge(benchmark::State& state) {
+  const int frames = static_cast<int>(state.range(0));
+  std::vector<std::vector<std::byte>> prototypes;
+  std::size_t total_bytes = 0;
+  for (int f = 0; f < frames; ++f) {
+    common::KvListWriter writer;
+    for (int g = 0; g < 1000; ++g) {
+      writer.begin_group("key-" + std::to_string(10000 + g * frames + f), 2);
+      writer.add_value("v1");
+      writer.add_value("v2");
+    }
+    prototypes.push_back(writer.take());
+    total_bytes += prototypes.back().size();
+  }
+  for (auto _ : state) {
+    core::SortedFrameMerger merger;
+    for (const auto& frame : prototypes) {
+      merger.add_frame(frame);  // copy: merger takes ownership
+    }
+    std::string key;
+    std::vector<std::string> values;
+    std::size_t groups = 0;
+    while (merger.next_group(key, values)) ++groups;
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_bytes));
+}
+BENCHMARK(BM_SortedMerge)->Arg(2)->Arg(8)->Arg(32);
+
+mapred::JobDef wordcount(bool with_combiner) {
+  mapred::JobDef job;
+  job.map = [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  mapred::ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+  if (with_combiner) {
+    job.combiner = [](std::string_view, std::vector<std::string>&& values) {
+      std::uint64_t total = 0;
+      for (const auto& v : values) total += std::stoull(v);
+      return std::vector<std::string>{std::to_string(total)};
+    };
+  }
+  return job;
+}
+
+/// End-to-end WordCount through the real MPI-D library (threads, real
+/// data): the map+combine throughput this reports is the basis for
+/// SystemSpec::map_cpu_bytes_per_second (scaled for the 2011 testbed).
+void BM_MpidWordCount(benchmark::State& state) {
+  const bool combine = state.range(0) != 0;
+  workloads::TextSpec text_spec;
+  const std::uint64_t bytes = 4 * 1024 * 1024;
+  const auto text = workloads::generate_text(text_spec, bytes, 42);
+  const mapred::JobRunner runner(4, 2);
+  const auto job = wordcount(combine);
+
+  std::uint64_t sent_bytes = 0, sent_pairs = 0;
+  for (auto _ : state) {
+    const auto result = runner.run_on_text(job, text);
+    benchmark::DoNotOptimize(result.outputs.size());
+    sent_bytes = result.report.totals.bytes_sent;
+    sent_pairs = result.report.totals.pairs_after_combine;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["intermediate_bytes"] = static_cast<double>(sent_bytes);
+  state.counters["pairs_transmitted"] = static_cast<double>(sent_pairs);
+}
+BENCHMARK(BM_MpidWordCount)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"combiner"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MPID_BENCHMARK_MAIN()

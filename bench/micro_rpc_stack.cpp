@@ -1,0 +1,144 @@
+// Real (wall-clock, in-process) comparison of the functional stacks —
+// Figure 2's thesis in miniature, with executable code instead of models:
+// the same echo exchange costs more per message through the RPC framing
+// and serialization layers than through a raw byte channel or minimpi
+// send/recv, and more again through HTTP.
+//
+// Absolute numbers reflect this machine and in-process pipes (no real
+// NIC); the *ordering and the per-layer overhead* are the point.
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "mpid/hrpc/http.hpp"
+#include "mpid/hrpc/pipe.hpp"
+#include "mpid/hrpc/rpc.hpp"
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace {
+
+using namespace mpid;
+
+const std::vector<std::int64_t> kSizes = {1, 1024, 64 * 1024, 1024 * 1024};
+
+// ------------------------------------------------------ raw byte pipe --
+
+void BM_RawPipePingPong(benchmark::State& state) {
+  auto [client, server] = hrpc::make_connection(1 << 22);
+  std::thread echo([&server = server] {
+    try {
+      for (;;) {
+        const auto header = server.read_exactly(4);
+        std::uint32_t n = 0;
+        for (const auto b : header) {
+          n = (n << 8) | static_cast<std::uint8_t>(b);
+        }
+        const auto body = server.read_exactly(n);
+        server.write(header);
+        server.write(body);
+      }
+    } catch (const std::exception&) {
+    }
+  });
+
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> header(4);
+  for (int i = 0; i < 4; ++i) {
+    header[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((size >> (8 * (3 - i))) & 0xff);
+  }
+  std::vector<std::byte> payload(size, std::byte{0x77});
+  for (auto _ : state) {
+    client.write(header);
+    client.write(payload);
+    benchmark::DoNotOptimize(client.read_exactly(4 + size));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+  client.close();
+  echo.join();
+}
+BENCHMARK(BM_RawPipePingPong)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const auto s : kSizes) b->Arg(s);
+});
+
+// ------------------------------------------------------------ minimpi --
+
+void BM_MinimpiPingPong(benchmark::State& state) {
+  constexpr std::uint64_t kCtx = 0x77aa77aa77aa77aaULL;
+  minimpi::World world(2);
+  std::thread echo([&world] {
+    minimpi::Comm comm(world, 1, kCtx);
+    std::vector<std::byte> buf;
+    for (;;) {
+      const auto st = comm.recv_bytes(0, minimpi::kAnyTag, buf);
+      if (st.tag == 9) return;
+      comm.send_bytes(0, 0, buf);
+    }
+  });
+  minimpi::Comm comm(world, 0, kCtx);
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)),
+                                 std::byte{0x55});
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    comm.send_bytes(1, 0, payload);
+    comm.recv_bytes(1, 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  comm.send_bytes(1, 9, {});
+  echo.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_MinimpiPingPong)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const auto s : kSizes) b->Arg(s);
+});
+
+// --------------------------------------------------------- Hadoop RPC --
+
+void BM_HadoopRpcEcho(benchmark::State& state) {
+  hrpc::RpcServer server;
+  server.register_method("BenchProtocol", 1, "recv",
+                         [](std::span<const std::byte> args) {
+                           return std::vector<std::byte>(args.begin(),
+                                                         args.end());
+                         });
+  hrpc::RpcClient client(server);
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)),
+                                 std::byte{0x33});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.call("BenchProtocol", 1, "recv", payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_HadoopRpcEcho)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const auto s : kSizes) b->Arg(s);
+});
+
+// ------------------------------------------------------------- HTTP ----
+
+void BM_HttpGet(benchmark::State& state) {
+  hrpc::HttpServer server;
+  const std::string body(static_cast<std::size_t>(state.range(0)), 'h');
+  server.add_servlet("/mapOutput",
+                     [&body](std::string_view) { return body; });
+  hrpc::HttpClient client(server);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("/mapOutput?map=1&reduce=2"));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HttpGet)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const auto s : kSizes) b->Arg(s);
+});
+
+}  // namespace
+
+MPID_BENCHMARK_MAIN()

@@ -1,0 +1,58 @@
+// Table I — "Percentage Distributions of All Copy Stage Time in Total
+// Mappers and Reducers Execution Time under Different Input Data Sizes
+// and Configurations": GridMix JavaSort with input 1-150 GB and
+// max mapper/reducer slots per node of 4/2, 4/4, 8/8 and 16/16.
+//
+// Paper values range 33.9% .. 82.7%, rising strongly with input size
+// (with a dip around 3 GB) and mildly with slot count at large inputs.
+#include <cstdio>
+#include <vector>
+
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+int main() {
+  using namespace mpid;
+  using common::GiB;
+
+  std::printf(
+      "== Table I: copy-stage share of total mapper+reducer time ==\n\n");
+
+  const std::vector<std::pair<int, int>> configs = {
+      {4, 2}, {4, 4}, {8, 8}, {16, 16}};
+  const std::vector<std::uint64_t> sizes_gb = {1, 3, 9, 27, 81, 150};
+
+  // Paper's Table I for side-by-side comparison.
+  const double paper[6][4] = {
+      {43.1, 43.0, 38.5, 35.7}, {35.0, 33.9, 35.9, 46.3},
+      {43.1, 42.9, 42.8, 39.7}, {44.3, 47.9, 43.18, 36.4},
+      {60.0, 71.0, 74.6, 73.9}, {69.6, 82.0, 82.7, 80.6}};
+
+  common::TextTable table({"input", "4/2", "4/4", "8/8", "16/16"});
+  for (std::size_t si = 0; si < sizes_gb.size(); ++si) {
+    std::vector<std::string> row = {
+        common::strformat("%llu GB",
+                          static_cast<unsigned long long>(sizes_gb[si]))};
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      const auto spec =
+          workloads::paper_cluster(configs[ci].first, configs[ci].second);
+      sim::Engine engine;
+      hadoop::Cluster cluster(engine, spec);
+      const auto job = workloads::javasort_job(spec, sizes_gb[si] * GiB);
+      const auto result = cluster.run(job);
+      row.push_back(common::strformat("%.1f%% (paper %.1f%%)",
+                                      100.0 * result.copy_fraction(),
+                                      paper[si][ci]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the copy share rises from ~1/3 at small inputs to the\n"
+      "70-85%% band at 81-150 GB — communication dominates, so it is\n"
+      "worth optimizing (the paper's Section II.A conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Iterative PageRank over chained MapReduce rounds — the Twister-style
+// iterative workload the paper's related work discusses, here on the
+// MR-MPI baseline library (whose chained map/collate/reduce rounds fit
+// iteration naturally).
+//
+// Each iteration: map emits (dst, rank/out_degree) contributions plus a
+// (src, graph-structure) record; reduce recombines structure with the new
+// rank. Damping 0.85, 10 iterations on a small deterministic graph.
+//
+// Build & run:  ./examples/pagerank
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/mapred/mrmpi.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace {
+
+constexpr int kVertices = 64;
+constexpr double kDamping = 0.85;
+constexpr int kIterations = 10;
+
+/// Deterministic sparse graph: each vertex links to 3 pseudo-random
+/// targets.
+std::vector<int> out_links(int v) {
+  mpid::common::Xoshiro256StarStar rng(7000 + static_cast<std::uint64_t>(v));
+  std::vector<int> targets;
+  for (int i = 0; i < 3; ++i) {
+    targets.push_back(static_cast<int>(rng.next_below(kVertices)));
+  }
+  return targets;
+}
+
+std::string encode_links(const std::vector<int>& links) {
+  std::string s = "L";
+  for (const int t : links) s += ":" + std::to_string(t);
+  return s;
+}
+
+std::vector<int> decode_links(std::string_view s) {
+  std::vector<int> links;
+  std::size_t pos = 2;  // skip "L:"
+  while (pos <= s.size()) {
+    const auto colon = s.find(':', pos);
+    const auto token = s.substr(pos, colon == std::string_view::npos
+                                         ? s.size() - pos
+                                         : colon - pos);
+    links.push_back(std::stoi(std::string(token)));
+    if (colon == std::string_view::npos) break;
+    pos = colon + 1;
+  }
+  return links;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpid;
+
+  minimpi::run_world(4, [](minimpi::Comm& comm) {
+    // Rank state lives distributed: each MR round's KV buffer carries
+    // (vertex, "R:<rank>") and (vertex, "L:<targets>") records.
+    mapred::mrmpi::MapReduce mr(comm);
+
+    // Bootstrap: every vertex starts at rank 1/N alongside its links.
+    mr.map(kVertices, [](int v, mapred::mrmpi::Emitter& out) {
+      out.emit("v" + std::to_string(v),
+               "R:" + std::to_string(1.0 / kVertices));
+      out.emit("v" + std::to_string(v), encode_links(out_links(v)));
+    });
+
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // Group (rank, links) per vertex, then scatter contributions.
+      mr.collate();
+      mr.reduce([](std::string_view vertex,
+                   std::span<const std::string> records,
+                   mapred::mrmpi::Emitter& out) {
+        double rank = 0;
+        std::vector<int> links;
+        for (const auto& r : records) {
+          if (r[0] == 'R') {
+            rank += std::stod(r.substr(2));
+          } else {
+            links = decode_links(r);
+          }
+        }
+        // Re-emit structure, then spread rank over the out-links.
+        out.emit(vertex, encode_links(links));
+        const double share = kDamping * rank / static_cast<double>(links.size());
+        for (const int t : links) {
+          out.emit("v" + std::to_string(t), "R:" + std::to_string(share));
+        }
+        // Teleport term goes back to this vertex.
+        out.emit(vertex,
+                 "R:" + std::to_string((1.0 - kDamping) / kVertices));
+      });
+    }
+
+    // Final aggregation: total rank per vertex.
+    mr.collate();
+    mr.reduce([](std::string_view vertex, std::span<const std::string> records,
+                 mapred::mrmpi::Emitter& out) {
+      double rank = 0;
+      for (const auto& r : records) {
+        if (r[0] == 'R') rank += std::stod(r.substr(2));
+      }
+      out.emit(vertex, std::to_string(rank));
+    });
+
+    const auto ranks = mr.gather(0);
+    if (comm.rank() == 0) {
+      double total = 0;
+      std::vector<std::pair<double, std::string>> top;
+      for (const auto& [v, r] : ranks) {
+        const double value = std::stod(r);
+        total += value;
+        top.emplace_back(value, v);
+      }
+      std::sort(top.rbegin(), top.rend());
+      std::printf("pagerank over %d vertices, %d iterations (4 ranks):\n",
+                  kVertices, kIterations);
+      std::printf("  mass conservation: total rank = %.4f (expect ~1)\n",
+                  total);
+      std::printf("  top 5:\n");
+      for (int i = 0; i < 5; ++i) {
+        std::printf("    %-4s %.5f\n", top[static_cast<std::size_t>(i)].second.c_str(),
+                    top[static_cast<std::size_t>(i)].first);
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-button reproduction: configure, build, run the full test suite, then
+# regenerate every table and figure. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,49 @@
+// Hash functions shared by the MPI-D partitioner, the combiner hash table
+// and the simulators.
+//
+// Determinism requirement: partition selection (hash(key) mod R) must give
+// identical results on every platform and every run, so we do NOT use
+// std::hash (implementation-defined). FNV-1a and the Murmur3 finalizer are
+// fixed algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mpid::common {
+
+/// FNV-1a 64-bit over an arbitrary byte range.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  return fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+/// Murmur3 64-bit finalizer; good avalanche for integer keys.
+constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Partition selection used by MPI-D and the mapred layer: equivalent in
+/// spirit to Hadoop's HashPartitioner (hash & MAX_INT % numPartitions).
+constexpr std::uint32_t hash_partition(std::string_view key,
+                                       std::uint32_t num_partitions) noexcept {
+  return static_cast<std::uint32_t>(fnv1a64(key) % num_partitions);
+}
+
+}  // namespace mpid::common

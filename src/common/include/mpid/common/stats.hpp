@@ -1,0 +1,82 @@
+// Online statistics used by the bench harnesses and the simulators'
+// per-stage accounting (Figure 1, Table I).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mpid::common {
+
+/// Welford-style single-pass mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Keeps every sample; supports exact percentiles. Appropriate for the
+/// per-reducer series in Figure 1 (a few thousand samples).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept;
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Exact percentile by nearest-rank; p in [0, 100]. Sorts lazily.
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Log2-bucketed histogram for message-size / latency distributions.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+  std::uint64_t count() const noexcept { return total_; }
+  /// Number of samples whose value had `bucket` as floor(log2(value)),
+  /// bucket 0 holding values 0 and 1.
+  std::uint64_t bucket_count(std::size_t bucket) const noexcept;
+  static constexpr std::size_t kBuckets = 64;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mpid::common

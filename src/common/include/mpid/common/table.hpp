@@ -1,0 +1,31 @@
+// Minimal fixed-width ASCII table renderer for the bench harnesses, so
+// every figure/table binary prints rows in the same visual format the
+// paper's tables use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpid::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper producing a std::string (used to fill table cells).
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mpid::common

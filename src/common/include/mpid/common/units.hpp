@@ -1,0 +1,26 @@
+// Byte and time unit helpers.
+//
+// Simulated time is a strong type (see sim/time.hpp); here we keep the
+// dimensionless helpers shared across modules: byte-size literals,
+// human-readable formatting, and rate math.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mpid::common {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// "1.5 KiB", "64 MiB", "150 GiB" — used by bench harness output.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.30 ms", "56.83 s", "480 ns" — used by bench harness output.
+std::string format_duration_ns(std::int64_t ns);
+
+/// Bytes per second given a payload and elapsed nanoseconds (0 ns -> 0).
+double bytes_per_second(std::uint64_t bytes, std::int64_t elapsed_ns);
+
+}  // namespace mpid::common

@@ -1,0 +1,41 @@
+// Zipf-distributed sampling for workload synthesis.
+//
+// Natural-language word frequencies (the WordCount input of Figure 6) are
+// approximately Zipfian with exponent ~1. We use rejection-inversion
+// (W. Hörmann & G. Derflinger, "Rejection-inversion to generate variates
+// from monotone discrete distributions", 1996) so sampling is O(1) per
+// draw and needs no O(N) table, which matters when synthesizing streams
+// standing in for 100 GB of text.
+#pragma once
+
+#include <cstdint>
+
+#include "mpid/common/prng.hpp"
+
+namespace mpid::common {
+
+/// Samples ranks in [1, n] with P(k) proportional to 1 / k^s.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` must be > 0 and != 1 handling is internal
+  /// (s == 1 uses the logarithmic branch).
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one rank in [1, n] using the caller's generator.
+  std::uint64_t operator()(Xoshiro256StarStar& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double s() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;          // integral of the density
+  double h_inverse(double x) const;  // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;        // h(1.5) - 1
+  double h_n_;         // h(n + 0.5)
+  double cut_;         // 1 - h_inverse(h(1.5) - 1/1^s)
+};
+
+}  // namespace mpid::common

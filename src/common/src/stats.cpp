@@ -1,0 +1,59 @@
+#include "mpid/common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mpid::common {
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::sum() const noexcept {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSet::mean() const noexcept {
+  return samples_.empty() ? 0.0
+                          : sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const noexcept {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const noexcept {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) throw std::domain_error("percentile of empty set");
+  if (p < 0.0 || p > 100.0) throw std::out_of_range("percentile p not in [0,100]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = samples_.size();
+  // Nearest-rank: smallest index i with (i+1)/n >= p/100.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t bucket =
+      value < 2 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::bucket_count(std::size_t bucket) const noexcept {
+  return bucket < kBuckets ? buckets_[bucket] : 0;
+}
+
+}  // namespace mpid::common

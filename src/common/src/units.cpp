@@ -1,0 +1,46 @@
+#include "mpid/common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace mpid::common {
+
+namespace {
+
+std::string format_scaled(double value, double scale,
+                          std::array<const char*, 5> suffixes) {
+  std::size_t idx = 0;
+  while (value >= scale && idx + 1 < suffixes.size()) {
+    value /= scale;
+    ++idx;
+  }
+  char buf[48];
+  if (idx == 0 && std::floor(value) == value) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  return format_scaled(static_cast<double>(bytes), 1024.0,
+                       {"B", "KiB", "MiB", "GiB", "TiB"});
+}
+
+std::string format_duration_ns(std::int64_t ns) {
+  const bool neg = ns < 0;
+  auto s = format_scaled(static_cast<double>(neg ? -ns : ns), 1000.0,
+                         {"ns", "us", "ms", "s", "ks"});
+  return neg ? "-" + s : s;
+}
+
+double bytes_per_second(std::uint64_t bytes, std::int64_t elapsed_ns) {
+  if (elapsed_ns <= 0) return 0.0;
+  return static_cast<double>(bytes) * 1e9 / static_cast<double>(elapsed_ns);
+}
+
+}  // namespace mpid::common

@@ -1,0 +1,44 @@
+#include "mpid/common/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpid::common {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n < 1) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  cut_ = 1.0 - h_inverse(h(1.5) - std::pow(1.0, -s));
+}
+
+double ZipfSampler::h(double x) const {
+  // h(x) = integral of x^-s: (x^(1-s) - 1)/(1-s), or log(x) when s == 1.
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+  return (std::pow(x, one_minus_s) - 1.0) / one_minus_s;
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + one_minus_s * x, 1.0 / one_minus_s);
+}
+
+std::uint64_t ZipfSampler::operator()(Xoshiro256StarStar& rng) const {
+  if (n_ == 1) return 1;
+  // Rejection-inversion over the hat function h.
+  for (;;) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= cut_) return k;
+    if (u >= h(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+}  // namespace mpid::common

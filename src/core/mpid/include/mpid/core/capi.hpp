@@ -1,0 +1,46 @@
+// The paper's Table II interface, verbatim shape:
+//
+//     void MPI_D_Send(S_KEY_TYPE key, S_VALUE_TYPE value);
+//     void MPI_D_Recv(R_KEY_TYPE key, R_VALUE_TYPE value);
+//
+// plus MPI_D_Init / MPI_D_Finalize. This header provides those four calls
+// as free functions over a per-rank (thread-local) library instance, so a
+// port of the paper's Figure 5 WordCount compiles almost verbatim. The
+// C++ class API (mpid.hpp) remains the primary interface; this shim
+// demonstrates that the extension really is "minimal" — four calls, no
+// object plumbing in application code.
+//
+// One deviation is deliberate: MPI_D_Recv returns bool (false at
+// end-of-stream). The paper's void signature leaves termination implicit;
+// a real library must expose it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mpid/core/mpid.hpp"
+
+namespace mpid::core::capi {
+
+/// MPI_D_Init: binds the calling rank (thread) to an MPI-D instance.
+/// Must be balanced by MPI_D_Finalize on the same thread.
+void MPI_D_Init(minimpi::Comm& comm, const Config& config);
+
+/// Role helpers for the bound instance.
+Role MPI_D_Role();
+
+/// MPI_D_Send (mapper only).
+void MPI_D_Send(std::string_view key, std::string_view value);
+
+/// MPI_D_Recv (reducer only); false at end-of-stream.
+bool MPI_D_Recv(std::string& key, std::string& value);
+
+/// MPI_D_Finalize: collective shutdown; unbinds and destroys the
+/// instance. Returns the master's aggregated report on rank 0 (empty
+/// JobReport elsewhere).
+JobReport MPI_D_Finalize();
+
+/// True if this thread currently has a bound instance.
+bool MPI_D_Initialized();
+
+}  // namespace mpid::core::capi

@@ -1,0 +1,103 @@
+// Configuration and vocabulary types of the MPI-D library — the paper's
+// contribution (Table II and Section IV.A).
+//
+// An MPI-D world mirrors the paper's simulation-system layout:
+//   rank 0                     — master (the jobtracker analog)
+//   ranks 1 .. M               — mappers
+//   ranks M+1 .. M+R           — reducers
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpid::core {
+
+enum class Role { kMaster, kMapper, kReducer };
+
+/// Local combination hook (Section IV.A): collapses the value list
+/// accumulated for one key into a (usually shorter) list before it is
+/// realigned and transmitted. "Commonly ... assigned as the reduce
+/// function" — e.g. WordCount sums counts into a single value.
+using Combiner = std::function<std::vector<std::string>(
+    std::string_view key, std::vector<std::string>&& values)>;
+
+/// Partition selector: maps a key to a reducer index in [0, reducers).
+/// The default is the paper's hash-mod selector ("similar to the
+/// HashPartitioner in the Hadoop MapReduce framework"); a custom one
+/// enables e.g. range partitioning for globally sorted output.
+using Partitioner =
+    std::function<std::uint32_t(std::string_view key, std::uint32_t reducers)>;
+
+struct Config {
+  /// Number of mapper ranks (>= 1).
+  int mappers = 1;
+  /// Number of reducer ranks (>= 1).
+  int reducers = 1;
+
+  /// Hash-table buffer size that triggers a spill to partitions
+  /// ("when the hash table buffer exceeds a particular size").
+  std::size_t spill_threshold_bytes = 4 * 1024 * 1024;
+
+  /// Target size of one realigned partition frame; a full frame is sent to
+  /// its reducer immediately ("when the data partition is full").
+  std::size_t partition_frame_bytes = 256 * 1024;
+
+  /// Apply the combiner incrementally once a key's buffered value list
+  /// reaches this many entries (bounds memory for hot keys); the combiner
+  /// always runs again at spill time. 0 disables incremental combining.
+  std::size_t inline_combine_threshold = 64;
+
+  /// Sort each key's value list during realignment ("it can also sort the
+  /// value list for each key on demand").
+  bool sort_values = false;
+
+  /// Emit keys of a partition frame in sorted order during realignment.
+  bool sort_keys = false;
+
+  /// Optional local combiner; empty function disables combining.
+  Combiner combiner;
+
+  /// Optional partition selector; empty function means hash-mod.
+  Partitioner partitioner;
+
+  /// Total world size this configuration requires (master + mappers +
+  /// reducers).
+  int world_size() const noexcept { return 1 + mappers + reducers; }
+};
+
+/// Per-rank counters, aggregated at the master by MPI_D_Finalize.
+struct Stats {
+  std::uint64_t pairs_sent = 0;           // MPI_D_Send invocations
+  std::uint64_t pairs_after_combine = 0;  // pairs surviving the combiner
+  std::uint64_t spills = 0;               // hash-table spill rounds
+  std::uint64_t frames_sent = 0;          // partition frames transmitted
+  std::uint64_t bytes_sent = 0;           // payload bytes transmitted
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;       // payload bytes received
+  std::uint64_t pairs_received = 0;       // pairs handed to MPI_D_Recv
+
+  Stats& operator+=(const Stats& rhs) noexcept {
+    pairs_sent += rhs.pairs_sent;
+    pairs_after_combine += rhs.pairs_after_combine;
+    spills += rhs.spills;
+    frames_sent += rhs.frames_sent;
+    bytes_sent += rhs.bytes_sent;
+    frames_received += rhs.frames_received;
+    bytes_received += rhs.bytes_received;
+    pairs_received += rhs.pairs_received;
+    return *this;
+  }
+};
+
+/// The master's aggregated view of a completed MPI-D job.
+struct JobReport {
+  Stats totals;
+  int mappers_completed = 0;
+  int reducers_completed = 0;
+};
+
+}  // namespace mpid::core

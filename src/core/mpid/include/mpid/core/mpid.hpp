@@ -1,0 +1,161 @@
+// MPI-D: the paper's minimal key-value extension to MPI.
+//
+// The paper adds one pair of calls to the MPI standard (Table II):
+//
+//     void MPI_D_Send(S_KEY_TYPE key,  S_VALUE_TYPE value);
+//     void MPI_D_Recv(R_KEY_TYPE key,  R_VALUE_TYPE value);
+//
+// plus MPI_D_Init / MPI_D_Finalize. This class is that library: the
+// constructor is MPI_D_Init, send() is MPI_D_Send, recv() is MPI_D_Recv
+// and finalize() is MPI_D_Finalize. Everything between send() and recv()
+// — buffering, local combination, hash-mod partition selection, data
+// realignment into contiguous frames, wildcard-source reception and
+// reverse realignment — happens inside the library, invisible to the
+// application, exactly as Section IV.A describes.
+//
+// Implementation notes mirroring the paper:
+//  * MPI_D_Send buffers key-value pairs in a hash table and returns
+//    immediately; the combiner gathers pairs of the same key into a
+//    (key, value-list) entry.
+//  * When the buffer exceeds a threshold, entries are spilled through a
+//    hash-mod partition selector (one partition per reducer, like Hadoop's
+//    HashPartitioner) and realigned: reformatted from the discrete hash
+//    table into address-sequential, bounded-size partition frames.
+//  * Full frames are sent with plain MPI point-to-point sends; the
+//    destination rank is derived from the partition number automatically.
+//  * Reducers receive frames with wildcard-source MPI receives, reverse-
+//    realign them into key-value pairs, and hand them to MPI_D_Recv in
+//    streaming fashion.
+//
+// Typical mapper:                      Typical reducer:
+//   MpiD d(comm, cfg);                   MpiD d(comm, cfg);
+//   for (...) d.send(k, v);              std::string k, v;
+//   d.finalize();                        while (d.recv(k, v)) consume(k, v);
+//                                        d.finalize();
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/core/config.hpp"
+#include "mpid/minimpi/comm.hpp"
+
+namespace mpid::core {
+
+class MpiD {
+ public:
+  /// MPI_D_Init. `comm` must outlive this object; its size must equal
+  /// config.world_size(). Collective: every rank constructs with the same
+  /// configuration.
+  MpiD(minimpi::Comm& comm, Config config);
+
+  MpiD(const MpiD&) = delete;
+  MpiD& operator=(const MpiD&) = delete;
+
+  Role role() const noexcept { return role_; }
+  int mapper_index() const;   // 0-based among mappers; throws if not mapper
+  int reducer_index() const;  // 0-based among reducers; throws if not reducer
+
+  /// MPI_D_Send — mapper only. Buffers (key, value); returns immediately
+  /// unless a spill and frame transmissions are triggered.
+  void send(std::string_view key, std::string_view value);
+
+  /// MPI_D_Recv — reducer only. Produces the next pair in streaming order;
+  /// returns false once every mapper's end-of-stream marker has been
+  /// consumed and no buffered pairs remain.
+  bool recv(std::string& key, std::string& value);
+
+  /// Grouped variant: one (key, value-list) segment as realigned by the
+  /// sending mapper. The same key can appear in multiple segments (one per
+  /// mapper/spill); global grouping is the caller's job (see mapred).
+  bool recv_group(std::string& key, std::vector<std::string>& values);
+
+  /// Raw-frame variant: one realigned partition frame exactly as a mapper
+  /// shipped it; false once all mappers signalled end-of-stream. Feed the
+  /// frames to SortedFrameMerger (merge.hpp) for Hadoop-style globally
+  /// key-ordered reduction (requires Config::sort_keys on the mappers).
+  /// Must not be mixed with recv()/recv_group() on the same instance.
+  bool recv_raw_frame(std::vector<std::byte>& frame);
+
+  /// MPI_D_Finalize — collective. Mappers flush buffers and emit
+  /// end-of-stream markers; reducers must have drained recv() first. All
+  /// ranks then synchronize through the master, which aggregates stats.
+  void finalize();
+
+  /// Master-side aggregated report; valid after finalize() on rank 0.
+  const JobReport& report() const;
+
+  /// This rank's local counters (available on any rank at any time).
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// The reducer rank owning `key` under the configured partitioner
+  /// (hash-mod by default).
+  minimpi::Rank reducer_rank_for(std::string_view key) const;
+
+  /// The partition index for `key` in [0, reducers).
+  std::uint32_t partition_for(std::string_view key) const;
+
+ private:
+  struct ValueList {
+    std::vector<std::string> values;
+    std::size_t bytes = 0;
+  };
+
+  /// Transparent hashing so MPI_D_Send can look keys up by string_view
+  /// without allocating a temporary std::string per pair (the hot path).
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct KeyEqual {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  void spill();
+  void append_to_partition(std::size_t partition, std::string_view key,
+                           std::vector<std::string>&& values);
+  void flush_partition(std::size_t partition);
+  void run_combiner(std::string_view key, ValueList& entry);
+  /// Pulls the next frame from the network into the segment queue.
+  /// Returns false when all mappers have signalled end-of-stream.
+  bool refill_segments();
+  void ensure_role(Role expected, const char* what) const;
+
+  minimpi::Comm& comm_;    // user communicator (untouched)
+  minimpi::Comm data_comm_;  // dup'd: all MPI-D traffic is isolated
+  Config config_;
+  Role role_;
+  Stats stats_;
+
+  // Mapper state.
+  std::unordered_map<std::string, ValueList, KeyHash, KeyEqual> buffer_;
+  std::size_t buffered_bytes_ = 0;
+  std::vector<common::KvListWriter> partitions_;
+
+  // Reducer state.
+  struct Segment {
+    std::string key;
+    std::vector<std::string> values;
+  };
+  std::deque<Segment> segments_;
+  std::optional<Segment> current_;  // group being drained by recv()
+  std::size_t current_value_index_ = 0;
+  int eos_received_ = 0;
+
+  // Master state.
+  JobReport report_;
+  bool finalized_ = false;
+};
+
+}  // namespace mpid::core

@@ -1,0 +1,134 @@
+// Typed key-value layer over MPI-D.
+//
+// The paper's interface is generic over S_KEY_TYPE / S_VALUE_TYPE /
+// R_KEY_TYPE / R_VALUE_TYPE. The core library transports opaque byte
+// strings; this header supplies the type layer: KvCodec<T> defines a
+// deterministic, order-preserving byte encoding per type, and
+// TypedMpiD<K, V> wraps MpiD so applications send and receive their own
+// types directly:
+//
+//   TypedMpiD<std::string, std::uint64_t> d(comm, cfg);
+//   d.send(word, 1);                 // mapper
+//   while (d.recv(word, count)) ...  // reducer
+//
+// Integer keys use big-endian fixed-width encodings so that the byte
+// order used by sort_keys matches numeric order.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "mpid/core/mpid.hpp"
+
+namespace mpid::core {
+
+template <typename T>
+struct KvCodec;  // specialize: encode(const T&) -> std::string,
+                 //             decode(std::string_view) -> T
+
+template <>
+struct KvCodec<std::string> {
+  static std::string encode(std::string_view v) { return std::string(v); }
+  static std::string decode(std::string_view bytes) {
+    return std::string(bytes);
+  }
+};
+
+/// Unsigned integers: big-endian fixed width (lexicographic == numeric).
+template <std::unsigned_integral T>
+struct KvCodec<T> {
+  static std::string encode(T v) {
+    std::string out(sizeof(T), '\0');
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out[sizeof(T) - 1 - i] = static_cast<char>(v >> (8 * i));
+    }
+    return out;
+  }
+  static T decode(std::string_view bytes) {
+    if (bytes.size() != sizeof(T)) {
+      throw std::runtime_error("KvCodec: wrong integer width");
+    }
+    T v = 0;
+    for (const char c : bytes) {
+      v = static_cast<T>(v << 8) | static_cast<std::uint8_t>(c);
+    }
+    return v;
+  }
+};
+
+/// Signed integers: bias by the sign bit so ordering is preserved.
+template <std::signed_integral T>
+struct KvCodec<T> {
+  using U = std::make_unsigned_t<T>;
+  static constexpr U kBias = U{1} << (8 * sizeof(T) - 1);
+
+  static std::string encode(T v) {
+    return KvCodec<U>::encode(static_cast<U>(v) ^ kBias);
+  }
+  static T decode(std::string_view bytes) {
+    return static_cast<T>(KvCodec<U>::decode(bytes) ^ kBias);
+  }
+};
+
+/// Doubles: IEEE total-order trick (flip sign bit, or all bits when
+/// negative) so byte order matches numeric order.
+template <>
+struct KvCodec<double> {
+  static std::string encode(double v) {
+    auto bits = std::bit_cast<std::uint64_t>(v);
+    bits ^= (bits >> 63) != 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << 63);
+    return KvCodec<std::uint64_t>::encode(bits);
+  }
+  static double decode(std::string_view bytes) {
+    auto bits = KvCodec<std::uint64_t>::decode(bytes);
+    bits ^= (bits >> 63) != 0 ? (std::uint64_t{1} << 63) : ~std::uint64_t{0};
+    return std::bit_cast<double>(bits);
+  }
+};
+
+template <typename K, typename V>
+class TypedMpiD {
+ public:
+  TypedMpiD(minimpi::Comm& comm, Config config) : mpid_(comm, config) {}
+
+  Role role() const noexcept { return mpid_.role(); }
+  MpiD& raw() noexcept { return mpid_; }
+
+  void send(const K& key, const V& value) {
+    mpid_.send(KvCodec<K>::encode(key), KvCodec<V>::encode(value));
+  }
+
+  bool recv(K& key, V& value) {
+    std::string k, v;
+    if (!mpid_.recv(k, v)) return false;
+    key = KvCodec<K>::decode(k);
+    value = KvCodec<V>::decode(v);
+    return true;
+  }
+
+  void finalize() { mpid_.finalize(); }
+  const JobReport& report() const { return mpid_.report(); }
+  const Stats& stats() const noexcept { return mpid_.stats(); }
+
+ private:
+  MpiD mpid_;
+};
+
+/// A combiner adaptor: lifts a typed fold over V into the byte-level
+/// Combiner the Config expects.
+template <typename V, typename Fold>
+Combiner typed_combiner(Fold fold) {
+  return [fold](std::string_view, std::vector<std::string>&& values) {
+    V acc = KvCodec<V>::decode(values.front());
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      acc = fold(acc, KvCodec<V>::decode(values[i]));
+    }
+    return std::vector<std::string>{KvCodec<V>::encode(acc)};
+  };
+}
+
+}  // namespace mpid::core

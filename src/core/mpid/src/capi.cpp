@@ -1,0 +1,52 @@
+#include "mpid/core/capi.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace mpid::core::capi {
+
+namespace {
+
+// Each minimpi rank is a thread, so a thread-local slot gives exactly
+// one MPI-D instance per rank — the same cardinality as the paper's
+// process-wide library state in a real MPI job.
+thread_local std::unique_ptr<MpiD> t_instance;
+
+MpiD& instance(const char* what) {
+  if (!t_instance) {
+    throw std::logic_error(std::string(what) + " before MPI_D_Init");
+  }
+  return *t_instance;
+}
+
+}  // namespace
+
+void MPI_D_Init(minimpi::Comm& comm, const Config& config) {
+  if (t_instance) {
+    throw std::logic_error("MPI_D_Init: already initialized on this rank");
+  }
+  t_instance = std::make_unique<MpiD>(comm, config);
+}
+
+Role MPI_D_Role() { return instance("MPI_D_Role").role(); }
+
+void MPI_D_Send(std::string_view key, std::string_view value) {
+  instance("MPI_D_Send").send(key, value);
+}
+
+bool MPI_D_Recv(std::string& key, std::string& value) {
+  return instance("MPI_D_Recv").recv(key, value);
+}
+
+JobReport MPI_D_Finalize() {
+  MpiD& mpid = instance("MPI_D_Finalize");
+  mpid.finalize();
+  JobReport report;
+  if (mpid.role() == Role::kMaster) report = mpid.report();
+  t_instance.reset();
+  return report;
+}
+
+bool MPI_D_Initialized() { return static_cast<bool>(t_instance); }
+
+}  // namespace mpid::core::capi

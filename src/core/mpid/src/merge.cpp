@@ -1,0 +1,58 @@
+#include "mpid/core/merge.hpp"
+
+#include <stdexcept>
+
+namespace mpid::core {
+
+void SortedFrameMerger::add_frame(std::vector<std::byte> frame) {
+  if (started_) {
+    throw std::logic_error(
+        "SortedFrameMerger: add_frame after merging started");
+  }
+  if (frame.empty()) return;
+  cursors_.emplace_back(std::move(frame), cursors_.size());
+  advance(cursors_.back());
+}
+
+void SortedFrameMerger::advance(Cursor& cursor) {
+  const std::optional<std::string> previous =
+      cursor.current ? std::optional<std::string>(std::string(
+                           cursor.current->key))
+                     : std::nullopt;
+  cursor.current = cursor.reader.next();
+  if (cursor.current && previous && cursor.current->key < *previous) {
+    throw std::logic_error(
+        "SortedFrameMerger: frame is not key-sorted (enable "
+        "Config::sort_keys on the mappers)");
+  }
+}
+
+bool SortedFrameMerger::next_group(std::string& key,
+                                   std::vector<std::string>& values) {
+  started_ = true;
+  // Smallest current key across cursors (linear scan: frame counts are
+  // small — one per mapper spill).
+  const Cursor* best = nullptr;
+  for (const auto& cursor : cursors_) {
+    if (!cursor.current) continue;
+    if (best == nullptr || cursor.current->key < best->current->key ||
+        (cursor.current->key == best->current->key &&
+         cursor.order < best->order)) {
+      best = &cursor;
+    }
+  }
+  if (best == nullptr) return false;
+
+  key.assign(best->current->key);
+  values.clear();
+  // Drain the chosen key from every cursor, in arrival order.
+  for (auto& cursor : cursors_) {
+    while (cursor.current && cursor.current->key == key) {
+      for (const auto v : cursor.current->values) values.emplace_back(v);
+      advance(cursor);
+    }
+  }
+  return true;
+}
+
+}  // namespace mpid::core

@@ -1,0 +1,318 @@
+#include "mpid/core/mpid.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpid/common/hash.hpp"
+
+namespace mpid::core {
+
+namespace {
+
+// Tags on the private (dup'd) communicator.
+constexpr int kDataTag = 1;  // a realigned partition frame
+constexpr int kEosTag = 2;   // mapper end-of-stream marker
+constexpr int kDoneTag = 3;  // rank -> master completion + stats
+constexpr int kAckTag = 4;   // master -> rank shutdown acknowledgement
+
+/// Approximate per-entry bookkeeping overhead counted against the spill
+/// threshold (hash node + string headers).
+constexpr std::size_t kEntryOverhead = 48;
+
+static_assert(std::is_trivially_copyable_v<Stats>,
+              "Stats travels as a raw MPI payload");
+
+}  // namespace
+
+MpiD::MpiD(minimpi::Comm& comm, Config config)
+    : comm_(comm), data_comm_(comm.dup()), config_(config) {
+  if (config_.mappers < 1 || config_.reducers < 1) {
+    throw std::invalid_argument("MpiD: need at least one mapper and reducer");
+  }
+  if (comm.size() != config_.world_size()) {
+    throw std::invalid_argument(
+        "MpiD: communicator size must be 1 (master) + mappers + reducers");
+  }
+  const auto rank = comm.rank();
+  if (rank == 0) {
+    role_ = Role::kMaster;
+  } else if (rank <= config_.mappers) {
+    role_ = Role::kMapper;
+    partitions_.resize(static_cast<std::size_t>(config_.reducers));
+  } else {
+    role_ = Role::kReducer;
+  }
+}
+
+int MpiD::mapper_index() const {
+  if (role_ != Role::kMapper) throw std::logic_error("MpiD: not a mapper");
+  return comm_.rank() - 1;
+}
+
+int MpiD::reducer_index() const {
+  if (role_ != Role::kReducer) throw std::logic_error("MpiD: not a reducer");
+  return comm_.rank() - 1 - config_.mappers;
+}
+
+std::uint32_t MpiD::partition_for(std::string_view key) const {
+  const auto reducers = static_cast<std::uint32_t>(config_.reducers);
+  if (!config_.partitioner) return common::hash_partition(key, reducers);
+  const auto p = config_.partitioner(key, reducers);
+  if (p >= reducers) {
+    throw std::out_of_range("MpiD: partitioner returned index >= reducers");
+  }
+  return p;
+}
+
+minimpi::Rank MpiD::reducer_rank_for(std::string_view key) const {
+  return 1 + config_.mappers + static_cast<minimpi::Rank>(partition_for(key));
+}
+
+void MpiD::ensure_role(Role expected, const char* what) const {
+  if (role_ != expected) {
+    throw std::logic_error(std::string("MpiD: ") + what +
+                           " called on the wrong role");
+  }
+  if (finalized_) {
+    throw std::logic_error(std::string("MpiD: ") + what +
+                           " called after finalize");
+  }
+}
+
+void MpiD::send(std::string_view key, std::string_view value) {
+  ensure_role(Role::kMapper, "send (MPI_D_Send)");
+  ++stats_.pairs_sent;
+
+  auto it = buffer_.find(key);  // transparent: no temporary string
+  const bool inserted = it == buffer_.end();
+  if (inserted) {
+    it = buffer_.emplace(std::string(key), ValueList{}).first;
+  }
+  ValueList& entry = it->second;
+  entry.values.emplace_back(value);
+  entry.bytes += value.size();
+  buffered_bytes_ += value.size();
+  if (inserted) buffered_bytes_ += key.size() + kEntryOverhead;
+
+  if (config_.inline_combine_threshold > 0 && config_.combiner &&
+      entry.values.size() >= config_.inline_combine_threshold) {
+    const std::size_t before = entry.bytes;
+    run_combiner(it->first, entry);
+    buffered_bytes_ -= std::min(buffered_bytes_, before - entry.bytes);
+  }
+
+  if (buffered_bytes_ >= config_.spill_threshold_bytes) spill();
+}
+
+void MpiD::run_combiner(std::string_view key, ValueList& entry) {
+  entry.values = config_.combiner(key, std::move(entry.values));
+  entry.bytes = 0;
+  for (const auto& v : entry.values) entry.bytes += v.size();
+}
+
+void MpiD::spill() {
+  if (buffer_.empty()) return;
+  ++stats_.spills;
+
+  // Drain the hash table. With sort_keys the keys of this spill round are
+  // emitted in lexicographic order (within each partition frame).
+  std::vector<std::pair<std::string, ValueList>> entries;
+  entries.reserve(buffer_.size());
+  for (auto& [key, list] : buffer_) {
+    entries.emplace_back(key, std::move(list));
+  }
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  if (config_.sort_keys) {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  for (auto& [key, list] : entries) {
+    if (config_.combiner) run_combiner(key, list);
+    append_to_partition(partition_for(key), key, std::move(list.values));
+  }
+
+  if (config_.sort_keys) {
+    // Keep every shipped frame a single sorted run (Hadoop's per-spill
+    // sorted files): a frame must not span two spill rounds, or the
+    // reducer-side SortedFrameMerger would see a second ascending run.
+    for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
+  }
+}
+
+void MpiD::append_to_partition(std::size_t partition, std::string_view key,
+                               std::vector<std::string>&& values) {
+  if (config_.sort_values) std::sort(values.begin(), values.end());
+  auto& writer = partitions_[partition];
+  writer.begin_group(key, values.size());
+  for (const auto& v : values) writer.add_value(v);
+  stats_.pairs_after_combine += values.size();
+  // "When the data partition is full, it will trigger ... sending."
+  if (writer.byte_size() >= config_.partition_frame_bytes) {
+    flush_partition(partition);
+  }
+}
+
+void MpiD::flush_partition(std::size_t partition) {
+  auto& writer = partitions_[partition];
+  if (writer.group_count() == 0) return;
+  const auto frame = writer.take();
+  // The destination is derived from the partition number automatically —
+  // the mapper never names a rank (Section III, third challenge).
+  const minimpi::Rank dst =
+      1 + config_.mappers + static_cast<minimpi::Rank>(partition);
+  data_comm_.send_bytes(dst, kDataTag, frame);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+}
+
+bool MpiD::refill_segments() {
+  while (segments_.empty()) {
+    if (eos_received_ == config_.mappers) return false;
+    std::vector<std::byte> frame;
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
+    if (st.tag == kEosTag) {
+      ++eos_received_;
+      continue;
+    }
+    if (st.tag != kDataTag) {
+      throw std::runtime_error("MpiD: unexpected tag on data channel");
+    }
+    ++stats_.frames_received;
+    stats_.bytes_received += frame.size();
+    // Reverse realignment: sequential frame back into key-value groups.
+    common::KvListReader reader(frame);
+    while (auto group = reader.next()) {
+      Segment seg;
+      seg.key.assign(group->key);
+      seg.values.reserve(group->values.size());
+      for (const auto v : group->values) seg.values.emplace_back(v);
+      segments_.push_back(std::move(seg));
+    }
+  }
+  return true;
+}
+
+bool MpiD::recv(std::string& key, std::string& value) {
+  ensure_role(Role::kReducer, "recv (MPI_D_Recv)");
+  for (;;) {
+    if (current_ && current_value_index_ < current_->values.size()) {
+      key = current_->key;
+      value = current_->values[current_value_index_++];
+      ++stats_.pairs_received;
+      return true;
+    }
+    current_.reset();
+    current_value_index_ = 0;
+    if (!segments_.empty()) {
+      current_ = std::move(segments_.front());
+      segments_.pop_front();
+      continue;
+    }
+    if (!refill_segments()) return false;
+  }
+}
+
+bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
+  ensure_role(Role::kReducer, "recv_raw_frame");
+  if (current_ || !segments_.empty()) {
+    throw std::logic_error(
+        "MpiD: recv_raw_frame cannot be mixed with recv()/recv_group()");
+  }
+  for (;;) {
+    if (eos_received_ == config_.mappers) return false;
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
+    if (st.tag == kEosTag) {
+      ++eos_received_;
+      continue;
+    }
+    if (st.tag != kDataTag) {
+      throw std::runtime_error("MpiD: unexpected tag on data channel");
+    }
+    ++stats_.frames_received;
+    stats_.bytes_received += frame.size();
+    return true;
+  }
+}
+
+bool MpiD::recv_group(std::string& key, std::vector<std::string>& values) {
+  ensure_role(Role::kReducer, "recv_group");
+  if (current_ && current_value_index_ < current_->values.size()) {
+    // Hand back the undrained remainder of the current group.
+    key = std::move(current_->key);
+    values.assign(
+        std::make_move_iterator(current_->values.begin() +
+                                static_cast<std::ptrdiff_t>(current_value_index_)),
+        std::make_move_iterator(current_->values.end()));
+    current_.reset();
+    current_value_index_ = 0;
+    stats_.pairs_received += values.size();
+    return true;
+  }
+  current_.reset();
+  current_value_index_ = 0;
+  if (segments_.empty() && !refill_segments()) return false;
+  Segment seg = std::move(segments_.front());
+  segments_.pop_front();
+  key = std::move(seg.key);
+  values = std::move(seg.values);
+  stats_.pairs_received += values.size();
+  return true;
+}
+
+void MpiD::finalize() {
+  if (finalized_) throw std::logic_error("MpiD: finalize called twice");
+
+  switch (role_) {
+    case Role::kMapper: {
+      spill();
+      for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
+      for (int r = 0; r < config_.reducers; ++r) {
+        data_comm_.send_bytes(1 + config_.mappers + r, kEosTag, {});
+      }
+      data_comm_.send_value(0, kDoneTag, stats_);
+      (void)data_comm_.recv_value<int>(0, kAckTag);
+      break;
+    }
+    case Role::kReducer: {
+      if (eos_received_ != config_.mappers || current_ ||
+          !segments_.empty()) {
+        throw std::logic_error(
+            "MpiD: reducer must drain recv() before finalize");
+      }
+      data_comm_.send_value(0, kDoneTag, stats_);
+      (void)data_comm_.recv_value<int>(0, kAckTag);
+      break;
+    }
+    case Role::kMaster: {
+      const int workers = config_.mappers + config_.reducers;
+      for (int i = 0; i < workers; ++i) {
+        minimpi::Status st;
+        const auto s = data_comm_.recv_value<Stats>(minimpi::kAnySource,
+                                                    kDoneTag, &st);
+        report_.totals += s;
+        if (st.source <= config_.mappers) {
+          ++report_.mappers_completed;
+        } else {
+          ++report_.reducers_completed;
+        }
+      }
+      for (int r = 1; r <= workers; ++r) data_comm_.send_value(r, kAckTag, 0);
+      break;
+    }
+  }
+  finalized_ = true;
+}
+
+const JobReport& MpiD::report() const {
+  if (role_ != Role::kMaster || !finalized_) {
+    throw std::logic_error("MpiD: report available on the master after finalize");
+  }
+  return report_;
+}
+
+}  // namespace mpid::core

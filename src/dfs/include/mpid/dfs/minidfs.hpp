@@ -1,0 +1,108 @@
+// MiniDfs: a functional, in-memory HDFS analog.
+//
+// The paper's platform stores job input in HDFS: a namenode mapping files
+// to block lists and datanodes holding replicated blocks. This module is
+// that substrate, executable: files are split into blocks on write,
+// blocks are placed round-robin with `replication` copies on distinct
+// datanodes, reads pick the first live replica, and datanodes can be
+// killed/revived to exercise the failure paths. The mapred layer reads
+// job input from it through open_splits().
+//
+// Thread safety: all public methods are safe to call from concurrent
+// mapper threads (a single mutex guards namespace and storage — adequate
+// for in-process scale).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpid/mapred/input.hpp"
+
+namespace mpid::dfs {
+
+struct DfsConfig {
+  /// Demo-scale default; the real cluster's 64 MB is configurable.
+  std::uint64_t block_size_bytes = 4 * 1024 * 1024;
+  int replication = 2;
+};
+
+/// Where one block's replicas live.
+struct BlockLocation {
+  std::uint64_t block_id = 0;
+  std::uint64_t bytes = 0;
+  std::vector<int> datanodes;  // replica holders, primary first
+};
+
+class MiniDfs {
+ public:
+  MiniDfs(int datanodes, DfsConfig config = {});
+
+  // ------------------------------------------------------- client API --
+  /// Creates (or overwrites) a file from a byte buffer, splitting it into
+  /// blocks and replicating them.
+  void create(const std::string& path, std::string_view data);
+
+  /// Reads a whole file. Throws std::runtime_error if any block has no
+  /// live replica, std::out_of_range for unknown paths.
+  std::string read(const std::string& path) const;
+
+  /// Reads [offset, offset+length) of a file.
+  std::string read_range(const std::string& path, std::uint64_t offset,
+                         std::uint64_t length) const;
+
+  bool exists(const std::string& path) const;
+  std::uint64_t file_size(const std::string& path) const;
+  void remove(const std::string& path);
+
+  /// Paths with the given prefix, sorted.
+  std::vector<std::string> list(std::string_view prefix) const;
+
+  /// Block metadata of a file (the namenode's getBlockLocations).
+  std::vector<BlockLocation> locate(const std::string& path) const;
+
+  // ------------------------------------------------ mapred integration --
+  /// One line-record source per split; splits are contiguous block ranges
+  /// re-cut at line boundaries (records never straddle splits).
+  std::vector<mapred::RecordSource> open_splits(const std::string& path,
+                                                int splits) const;
+
+  // ------------------------------------------------- failure injection --
+  void kill_datanode(int id);
+  void revive_datanode(int id);
+  bool datanode_alive(int id) const;
+
+  // ------------------------------------------------------- diagnostics --
+  int datanodes() const noexcept { return static_cast<int>(alive_.size()); }
+  std::uint64_t bytes_stored_on(int id) const;
+  std::uint64_t total_block_replicas() const;
+  /// Count of blocks that currently have no live replica.
+  std::uint64_t missing_blocks() const;
+
+ private:
+  struct FileEntry {
+    std::vector<std::uint64_t> blocks;  // block ids in order
+    std::uint64_t size = 0;
+  };
+  struct BlockEntry {
+    std::string data;
+    std::vector<int> replicas;
+  };
+
+  void check_datanode(int id, const char* what) const;
+  const BlockEntry& block_for_read(std::uint64_t id) const;  // throws if dead
+
+  mutable std::mutex mu_;
+  DfsConfig config_;
+  std::vector<bool> alive_;
+  std::map<std::string, FileEntry> names_;      // namenode namespace
+  std::map<std::uint64_t, BlockEntry> blocks_;  // block store (by id)
+  std::uint64_t next_block_id_ = 0;
+  int next_placement_ = 0;  // round-robin cursor
+};
+
+}  // namespace mpid::dfs

@@ -1,0 +1,208 @@
+#include "mpid/dfs/minidfs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace mpid::dfs {
+
+MiniDfs::MiniDfs(int datanodes, DfsConfig config) : config_(config) {
+  if (datanodes < 1) {
+    throw std::invalid_argument("MiniDfs: need at least one datanode");
+  }
+  if (config.replication < 1 || config.replication > datanodes) {
+    throw std::invalid_argument(
+        "MiniDfs: replication must be in [1, datanodes]");
+  }
+  if (config.block_size_bytes == 0) {
+    throw std::invalid_argument("MiniDfs: zero block size");
+  }
+  alive_.assign(static_cast<std::size_t>(datanodes), true);
+}
+
+void MiniDfs::check_datanode(int id, const char* what) const {
+  if (id < 0 || id >= static_cast<int>(alive_.size())) {
+    throw std::out_of_range(std::string("MiniDfs: ") + what +
+                            ": bad datanode id");
+  }
+}
+
+void MiniDfs::create(const std::string& path, std::string_view data) {
+  std::lock_guard lock(mu_);
+  // Overwrite semantics: drop any previous blocks.
+  if (const auto it = names_.find(path); it != names_.end()) {
+    for (const auto id : it->second.blocks) blocks_.erase(id);
+    names_.erase(it);
+  }
+
+  FileEntry entry;
+  entry.size = data.size();
+  std::size_t offset = 0;
+  do {
+    const std::size_t len = std::min<std::size_t>(
+        data.size() - offset, config_.block_size_bytes);
+    BlockEntry block;
+    block.data.assign(data.substr(offset, len));
+    // Round-robin placement; replicas on the following distinct nodes.
+    for (int r = 0; r < config_.replication; ++r) {
+      block.replicas.push_back(
+          (next_placement_ + r) % static_cast<int>(alive_.size()));
+    }
+    next_placement_ = (next_placement_ + 1) % static_cast<int>(alive_.size());
+    const auto id = next_block_id_++;
+    blocks_.emplace(id, std::move(block));
+    entry.blocks.push_back(id);
+    offset += len;
+  } while (offset < data.size());
+  names_.emplace(path, std::move(entry));
+}
+
+const MiniDfs::BlockEntry& MiniDfs::block_for_read(std::uint64_t id) const {
+  const auto& block = blocks_.at(id);
+  for (const int node : block.replicas) {
+    if (alive_[static_cast<std::size_t>(node)]) return block;
+  }
+  throw std::runtime_error("MiniDfs: block " + std::to_string(id) +
+                           " has no live replica");
+}
+
+std::string MiniDfs::read(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  const auto& entry = names_.at(path);
+  std::string out;
+  out.reserve(entry.size);
+  for (const auto id : entry.blocks) out += block_for_read(id).data;
+  return out;
+}
+
+std::string MiniDfs::read_range(const std::string& path, std::uint64_t offset,
+                                std::uint64_t length) const {
+  std::lock_guard lock(mu_);
+  const auto& entry = names_.at(path);
+  if (offset > entry.size) {
+    throw std::out_of_range("MiniDfs: read_range past end of file");
+  }
+  length = std::min(length, entry.size - offset);
+  std::string out;
+  out.reserve(length);
+  std::uint64_t block_start = 0;
+  for (const auto id : entry.blocks) {
+    const auto& block = blocks_.at(id);
+    const std::uint64_t block_end = block_start + block.data.size();
+    if (block_end > offset && block_start < offset + length) {
+      (void)block_for_read(id);  // liveness check
+      const std::uint64_t from = std::max(offset, block_start) - block_start;
+      const std::uint64_t to =
+          std::min(offset + length, block_end) - block_start;
+      out.append(block.data, from, to - from);
+    }
+    block_start = block_end;
+    if (block_start >= offset + length) break;
+  }
+  return out;
+}
+
+bool MiniDfs::exists(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return names_.contains(path);
+}
+
+std::uint64_t MiniDfs::file_size(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return names_.at(path).size;
+}
+
+void MiniDfs::remove(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = names_.find(path);
+  if (it == names_.end()) throw std::out_of_range("MiniDfs: no such file");
+  for (const auto id : it->second.blocks) blocks_.erase(id);
+  names_.erase(it);
+}
+
+std::vector<std::string> MiniDfs::list(std::string_view prefix) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : names_) {
+    if (path.starts_with(prefix)) out.push_back(path);
+  }
+  return out;  // std::map iterates sorted
+}
+
+std::vector<BlockLocation> MiniDfs::locate(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  const auto& entry = names_.at(path);
+  std::vector<BlockLocation> out;
+  out.reserve(entry.blocks.size());
+  for (const auto id : entry.blocks) {
+    const auto& block = blocks_.at(id);
+    out.push_back({id, block.data.size(), block.replicas});
+  }
+  return out;
+}
+
+std::vector<mapred::RecordSource> MiniDfs::open_splits(
+    const std::string& path, int splits) const {
+  // Read under the lock, then split at line boundaries like a Hadoop
+  // input format (each source owns its chunk copy).
+  const std::string data = read(path);
+  const auto chunks = mapred::split_text(data, splits);
+  std::vector<mapred::RecordSource> sources;
+  sources.reserve(chunks.size());
+  for (const auto chunk : chunks) sources.push_back(mapred::line_source(chunk));
+  return sources;
+}
+
+void MiniDfs::kill_datanode(int id) {
+  std::lock_guard lock(mu_);
+  check_datanode(id, "kill_datanode");
+  alive_[static_cast<std::size_t>(id)] = false;
+}
+
+void MiniDfs::revive_datanode(int id) {
+  std::lock_guard lock(mu_);
+  check_datanode(id, "revive_datanode");
+  alive_[static_cast<std::size_t>(id)] = true;
+}
+
+bool MiniDfs::datanode_alive(int id) const {
+  std::lock_guard lock(mu_);
+  check_datanode(id, "datanode_alive");
+  return alive_[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t MiniDfs::bytes_stored_on(int id) const {
+  std::lock_guard lock(mu_);
+  check_datanode(id, "bytes_stored_on");
+  std::uint64_t total = 0;
+  for (const auto& [block_id, block] : blocks_) {
+    if (std::find(block.replicas.begin(), block.replicas.end(), id) !=
+        block.replicas.end()) {
+      total += block.data.size();
+    }
+  }
+  return total;
+}
+
+std::uint64_t MiniDfs::total_block_replicas() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, block] : blocks_) total += block.replicas.size();
+  return total;
+}
+
+std::uint64_t MiniDfs::missing_blocks() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t missing = 0;
+  for (const auto& [id, block] : blocks_) {
+    const bool any_alive =
+        std::any_of(block.replicas.begin(), block.replicas.end(),
+                    [&](int node) {
+                      return alive_[static_cast<std::size_t>(node)];
+                    });
+    if (!any_alive) ++missing;
+  }
+  return missing;
+}
+
+}  // namespace mpid::dfs

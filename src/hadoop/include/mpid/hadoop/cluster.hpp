@@ -1,0 +1,120 @@
+// The Hadoop-0.20 MapReduce execution model on the discrete-event engine.
+//
+// What is modelled (because it shapes the paper's measurements):
+//  * heartbeat-driven task assignment (one map + one reduce per tasktracker
+//    heartbeat, 3 s interval) — dominates small-job latency;
+//  * per-task JVM startup and a one-time job setup cost;
+//  * per-node disks shared (max-min) between map input reads, spill
+//    writes, shuffle serving and reduce output writes;
+//  * the shuffle: reduce-side copier threads fetch map-output segments
+//    over HTTP/Jetty; the serving side pays a disk seek per segment plus
+//    the read, under a bounded server thread pool; fan-in shares the
+//    Gigabit fabric;
+//  * reduce slowstart, reduce waves, and the copy/sort/reduce stage
+//    decomposition that Hadoop logs (Figure 1's series).
+//
+// What is intentionally not modelled: speculative execution, failures,
+// multi-job scheduling, rack topology (the testbed is one switch).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mpid/hadoop/hdfs.hpp"
+#include "mpid/hadoop/spec.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/channel.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/sim/event.hpp"
+#include "mpid/sim/resource.hpp"
+
+namespace mpid::hadoop {
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterSpec spec);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Runs one job to completion on the engine and returns its timings.
+  /// Jobs run back-to-back on the same virtual timeline.
+  JobResult run(const JobSpec& job);
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct MapOutputSegment {
+    int map_id;
+    double bytes_per_reducer;
+  };
+
+  struct NodeState {
+    std::unique_ptr<net::Fabric> disk;          // 1-host loopback fabric
+    std::unique_ptr<sim::Resource> http_threads;
+    int busy_map_slots = 0;
+    int busy_reduce_slots = 0;
+    std::vector<MapOutputSegment> served_outputs;  // completed map outputs
+  };
+
+  struct RunningMap {
+    sim::Time started;
+    int node = 0;
+    bool speculated = false;  // a backup copy has been launched
+  };
+
+  struct Run {
+    JobSpec job;
+    Hdfs hdfs;
+    int total_maps = 0;
+    int total_reduces = 0;
+    sim::Time submitted;
+    bool accepting = false;  // set once job_setup has elapsed
+    std::vector<std::deque<int>> pending_local;  // block ids per node
+    int pending_maps = 0;
+    int maps_completed = 0;
+    int next_reduce_id = 0;
+    int reduces_done = 0;
+    std::vector<bool> map_done;             // first-copy-wins flags
+    std::map<int, RunningMap> running_maps; // block id -> attempt info
+    double completed_map_seconds = 0;       // for the slowness threshold
+    std::unique_ptr<sim::Event> done;
+    JobResult result;
+
+    Run(const JobSpec& j, const ClusterSpec& cluster, sim::Engine& engine);
+  };
+
+  // Jobtracker policy (plain functions over shared state; the RPC cost of
+  // a heartbeat is charged in the tasktracker coroutine).
+  int take_map_for(Run& run, int node, bool& local);
+  /// End-game speculation: picks a slow running map to duplicate on
+  /// `node`, or -1.
+  int take_speculative_map(Run& run, int node);
+  bool reduces_ready(const Run& run) const;
+
+  // Simulation processes.
+  sim::Task<> job_bootstrap(Run& run);
+  sim::Task<> tasktracker(Run& run, int node);
+  sim::Task<> map_task(Run& run, int node, int block_id, bool local,
+                       bool speculative);
+  sim::Task<> reduce_task(Run& run, int node, int reduce_id);
+  sim::Task<> fetch_batch(Run& run, int reduce_id, int serving_node,
+                          int node, int segments, double bytes,
+                          sim::Resource& copiers,
+                          sim::Channel<int>& completions);
+
+  double disk_seek_equivalent_bytes() const noexcept;
+  sim::Time heartbeat_rpc_cost() const;
+  sim::Time poll_rpc_cost() const;
+
+  sim::Engine& engine_;
+  ClusterSpec spec_;
+  net::Fabric fabric_;
+  proto::HadoopRpcModel rpc_;
+  proto::JettyHttpModel jetty_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace mpid::hadoop

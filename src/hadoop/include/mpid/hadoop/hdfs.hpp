@@ -1,0 +1,41 @@
+// Minimal HDFS model: a namenode block map with round-robin placement
+// across worker nodes.
+//
+// The paper distributes input "across all nodes to guarantee the data
+// accessing locally", so placement is balanced and map scheduling is
+// almost always data-local; the model still records locality so the
+// scheduler can fall back to remote reads when a node runs out of local
+// blocks (end-game stealing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpid/hadoop/spec.hpp"
+
+namespace mpid::hadoop {
+
+struct Block {
+  int id = 0;
+  int node = 0;  // primary replica location (worker node index, 1-based)
+  std::uint64_t bytes = 0;
+};
+
+class Hdfs {
+ public:
+  /// Splits `input_bytes` into blocks of at most `block_size`, placing
+  /// block i on worker 1 + (i % workers). The final block holds the tail.
+  Hdfs(const ClusterSpec& cluster, std::uint64_t input_bytes);
+
+  const std::vector<Block>& blocks() const noexcept { return blocks_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Block ids whose primary replica lives on `node`.
+  const std::vector<int>& blocks_on(int node) const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<std::vector<int>> by_node_;  // indexed by node id
+};
+
+}  // namespace mpid::hadoop

@@ -1,0 +1,179 @@
+// Specifications and results of the Hadoop-0.20 cluster simulator.
+//
+// The cluster model mirrors the paper's testbed: 8 nodes (node 0 runs the
+// namenode + jobtracker master, nodes 1..7 are workers) on one Gigabit
+// Ethernet switch, Hadoop 0.20.2 defaults for heartbeat-driven task
+// scheduling, per-task JVMs, HTTP-over-Jetty shuffle with 5 parallel
+// copier threads per reduce task, and hash partitioning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpid/net/fabric.hpp"
+#include "mpid/sim/time.hpp"
+
+namespace mpid::hadoop {
+
+struct ClusterSpec {
+  /// Total nodes including the master (node 0).
+  int nodes = 8;
+
+  /// The interconnect (defaults to the paper's Gigabit Ethernet). Swap in
+  /// proto::ten_gigabit_ethernet().fabric etc. to ask the Sur et al.
+  /// question: how much does a faster wire help Hadoop's shuffle?
+  net::FabricSpec network;
+  /// Concurrent map / reduce task slots per worker ("max map/reduce number
+  /// in each tasktracker" — the Table I configuration axis).
+  int map_slots = 8;
+  int reduce_slots = 8;
+
+  /// HDFS block size; one map task per block (paper: 64 MB default).
+  std::uint64_t block_size_bytes = 64ull * 1024 * 1024;
+
+  /// Per-node disk characteristics (one spindle per node, shared by all
+  /// tasks and by shuffle serving).
+  double disk_bytes_per_second = 90.0e6;
+  sim::Time disk_seek = sim::milliseconds(8);
+
+  /// Hadoop 0.20 scheduling behaviour.
+  sim::Time heartbeat_interval = sim::seconds(3);
+  int tasks_assigned_per_heartbeat = 1;  // one map + one reduce per beat
+  /// Fraction of maps that must complete before reduces are scheduled
+  /// (mapred.reduce.slowstart.completed.maps; 0.20 default 0.05).
+  double reduce_slowstart = 0.05;
+  /// Reducers poll for newly completed map outputs at this period.
+  sim::Time map_event_poll = sim::seconds(2);
+
+  /// Per-task JVM fork+init (0.20 has no JVM reuse by default).
+  sim::Time jvm_startup = sim::milliseconds(1200);
+  /// One-time job overhead: submission, split computation, staging.
+  sim::Time job_setup = sim::seconds(12);
+
+  /// Shuffle serving: tasktracker.http.threads per node, and parallel
+  /// copier threads per reduce task (mapred.reduce.parallel.copies).
+  int http_server_threads = 40;
+  int copier_threads = 5;
+
+  /// The "sort" stage of 0.20 reducers only finalizes merge state (the
+  /// paper measures it at ~0.01 s).
+  sim::Time sort_stage = sim::milliseconds(10);
+
+  /// Reduce output lands in the page cache and is written back
+  /// asynchronously; it is charged at this rate as task time but does not
+  /// contend for the disk synchronously.
+  double output_write_bytes_per_second = 500.0e6;
+
+  /// Per-node disk speed multipliers for heterogeneity / straggler
+  /// studies (indexed by node id; empty = all 1.0). A 0.3 entry models a
+  /// failing or aged spindle on that node.
+  std::vector<double> disk_rate_multiplier;
+
+  /// Speculative execution of map tasks (0.20 enables it by default; the
+  /// calibrated benches run without it because the paper's workloads are
+  /// uniform, where it only wastes end-game slots). When a tasktracker
+  /// has a free map slot and no pending work, it re-runs a long-running
+  /// map from another node; the first copy to finish wins.
+  bool speculative_execution = false;
+  /// A running map becomes a speculation candidate after
+  /// max(this floor, speculative_slowness x the mean completed map time).
+  sim::Time speculative_floor = sim::seconds(30);
+  double speculative_slowness = 1.5;
+
+  double disk_rate_for(int node) const noexcept {
+    const auto i = static_cast<std::size_t>(node);
+    const double mult =
+        i < disk_rate_multiplier.size() ? disk_rate_multiplier[i] : 1.0;
+    return disk_bytes_per_second * mult;
+  }
+
+  int workers() const noexcept { return nodes - 1; }
+};
+
+/// Per-job workload cost model. Rates are per-task (single slot).
+struct JobSpec {
+  std::uint64_t input_bytes = 0;
+  /// Number of reduce tasks (GridMix JavaSort uses ~one per map; Hadoop
+  /// WordCount defaults to 1).
+  int reduce_tasks = 1;
+
+  /// Map function processing rate (Java tokenize/sort path).
+  double map_cpu_bytes_per_second = 2.3e6;
+  /// Intermediate bytes produced per input byte *after* the map-side
+  /// combiner (1.0 for sort; ~0.1 for WordCount on Zipf text).
+  double map_output_ratio = 1.0;
+  /// Reduce function processing rate over its fetched input.
+  double reduce_cpu_bytes_per_second = 10.0e6;
+  /// Job output bytes per reduce-input byte.
+  double reduce_output_ratio = 1.0;
+
+  int map_tasks_for(const ClusterSpec& cluster) const noexcept {
+    return static_cast<int>((input_bytes + cluster.block_size_bytes - 1) /
+                            cluster.block_size_bytes);
+  }
+};
+
+/// Timing of one reduce task, decomposed as Hadoop's logs do (Figure 1).
+struct ReduceTaskTiming {
+  sim::Time scheduled;   // slot granted (before JVM start)
+  sim::Time copy_end;    // last map-output segment fetched
+  sim::Time sort_end;    // merge finalization done
+  sim::Time finished;    // reduce() + output write done
+
+  /// Bytes actually fetched during the copy stage.
+  double shuffled_bytes = 0;
+  /// Time inside the copy stage spent with nothing in flight, waiting for
+  /// more maps to finish. Hadoop's copy timer includes this — the paper's
+  /// caveat that "not all of the time in copy stage is caused by RPC or
+  /// Jetty", made measurable.
+  sim::Time copy_wait;
+
+  double copy_seconds() const noexcept {
+    return (copy_end - scheduled).to_seconds();
+  }
+  double copy_wait_seconds() const noexcept { return copy_wait.to_seconds(); }
+  /// The copy time actually attributable to fetching.
+  double copy_transfer_seconds() const noexcept {
+    return copy_seconds() - copy_wait_seconds();
+  }
+  double sort_seconds() const noexcept {
+    return (sort_end - copy_end).to_seconds();
+  }
+  double reduce_seconds() const noexcept {
+    return (finished - sort_end).to_seconds();
+  }
+  double total_seconds() const noexcept {
+    return (finished - scheduled).to_seconds();
+  }
+};
+
+struct MapTaskTiming {
+  sim::Time scheduled;
+  sim::Time finished;
+  int node = 0;
+  bool data_local = true;
+
+  double total_seconds() const noexcept {
+    return (finished - scheduled).to_seconds();
+  }
+};
+
+struct JobResult {
+  sim::Time makespan;  // submission to last reduce completion
+  std::vector<MapTaskTiming> maps;
+  std::vector<ReduceTaskTiming> reduces;
+
+  double total_map_seconds() const noexcept;
+  double total_reduce_seconds() const noexcept;
+  double total_copy_seconds() const noexcept;
+  double total_copy_wait_seconds() const noexcept;
+  double total_shuffled_bytes() const noexcept;
+  /// Table I metric: sum of copy-stage time over the sum of all mapper and
+  /// reducer task execution time.
+  double copy_fraction() const noexcept;
+  /// As copy_fraction, but counting only transfer time (copy minus the
+  /// waiting-for-maps component).
+  double copy_transfer_fraction() const noexcept;
+};
+
+}  // namespace mpid::hadoop

@@ -1,0 +1,358 @@
+#include "mpid/hadoop/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpid::hadoop {
+
+namespace {
+
+/// Control-plane message sizes (heartbeat request/response, map-completion
+/// event polls). Charged as closed-form RPC delays: their bandwidth is
+/// negligible, so they do not create fabric flows.
+constexpr std::uint64_t kHeartbeatRequestBytes = 160;
+constexpr std::uint64_t kHeartbeatResponseBytes = 120;
+constexpr std::uint64_t kPollRequestBytes = 90;
+constexpr std::uint64_t kPollResponseBytes = 200;
+
+}  // namespace
+
+Cluster::Run::Run(const JobSpec& j, const ClusterSpec& cluster,
+                  sim::Engine& engine)
+    : job(j), hdfs(cluster, j.input_bytes) {
+  total_maps = static_cast<int>(hdfs.block_count());
+  total_reduces = j.reduce_tasks;
+  pending_local.resize(static_cast<std::size_t>(cluster.nodes));
+  for (int n = 1; n < cluster.nodes; ++n) {
+    for (int b : hdfs.blocks_on(n)) {
+      pending_local[static_cast<std::size_t>(n)].push_back(b);
+    }
+  }
+  pending_maps = total_maps;
+  map_done.assign(static_cast<std::size_t>(total_maps), false);
+  done = std::make_unique<sim::Event>(engine);
+  result.maps.resize(static_cast<std::size_t>(total_maps));
+  result.reduces.resize(static_cast<std::size_t>(total_reduces));
+}
+
+Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
+    : engine_(engine),
+      spec_(spec),
+      fabric_(engine, spec.nodes, spec.network),
+      rpc_(engine, fabric_),
+      jetty_(engine, fabric_) {
+  if (spec.nodes < 2) {
+    throw std::invalid_argument("Cluster: need a master and >= 1 worker");
+  }
+  if (spec.map_slots < 1 || spec.reduce_slots < 1 ||
+      spec.copier_threads < 1 || spec.http_server_threads < 1) {
+    throw std::invalid_argument("Cluster: slot/thread counts must be >= 1");
+  }
+  nodes_.resize(static_cast<std::size_t>(spec.nodes));
+  for (int n = 0; n < spec.nodes; ++n) {
+    auto& node = nodes_[static_cast<std::size_t>(n)];
+    net::FabricSpec disk_spec;
+    disk_spec.loopback_bytes_per_second = spec.disk_rate_for(n);
+    disk_spec.link_latency = sim::kTimeZero;
+    node.disk = std::make_unique<net::Fabric>(engine_, 1, disk_spec);
+    node.http_threads = std::make_unique<sim::Resource>(
+        engine_, static_cast<std::uint64_t>(spec.http_server_threads));
+  }
+}
+
+double Cluster::disk_seek_equivalent_bytes() const noexcept {
+  return spec_.disk_seek.to_seconds() * spec_.disk_bytes_per_second;
+}
+
+sim::Time Cluster::heartbeat_rpc_cost() const {
+  return rpc_.one_way_latency(kHeartbeatRequestBytes) +
+         rpc_.one_way_latency(kHeartbeatResponseBytes);
+}
+
+sim::Time Cluster::poll_rpc_cost() const {
+  return rpc_.one_way_latency(kPollRequestBytes) +
+         rpc_.one_way_latency(kPollResponseBytes);
+}
+
+int Cluster::take_map_for(Run& run, int node, bool& local) {
+  auto& mine = run.pending_local[static_cast<std::size_t>(node)];
+  if (!mine.empty()) {
+    const int block = mine.front();
+    mine.pop_front();
+    --run.pending_maps;
+    local = true;
+    return block;
+  }
+  // End-game stealing: take from the most loaded node.
+  int best_node = -1;
+  std::size_t best_size = 0;
+  for (int n = 1; n < spec_.nodes; ++n) {
+    const auto size = run.pending_local[static_cast<std::size_t>(n)].size();
+    if (size > best_size) {
+      best_size = size;
+      best_node = n;
+    }
+  }
+  if (best_node < 0) return -1;
+  auto& theirs = run.pending_local[static_cast<std::size_t>(best_node)];
+  const int block = theirs.front();
+  theirs.pop_front();
+  --run.pending_maps;
+  local = false;
+  return block;
+}
+
+int Cluster::take_speculative_map(Run& run, int node) {
+  if (!spec_.speculative_execution) return -1;
+  const double mean_seconds =
+      run.maps_completed > 0
+          ? run.completed_map_seconds / run.maps_completed
+          : spec_.speculative_floor.to_seconds();
+  const sim::Time threshold =
+      std::max(spec_.speculative_floor,
+               sim::from_seconds(mean_seconds * spec_.speculative_slowness));
+  // Duplicate the longest-running candidate not already speculated and
+  // not running here (a local re-run would hit the same slow disk).
+  int best = -1;
+  sim::Time best_started = sim::kTimeMax;
+  for (auto& [block, attempt] : run.running_maps) {
+    if (attempt.speculated || attempt.node == node) continue;
+    if (engine_.now() - attempt.started < threshold) continue;
+    if (attempt.started < best_started) {
+      best_started = attempt.started;
+      best = block;
+    }
+  }
+  if (best >= 0) run.running_maps[best].speculated = true;
+  return best;
+}
+
+bool Cluster::reduces_ready(const Run& run) const {
+  if (run.total_maps == 0) return true;
+  return run.maps_completed >=
+         static_cast<int>(spec_.reduce_slowstart *
+                          static_cast<double>(run.total_maps));
+}
+
+sim::Task<> Cluster::job_bootstrap(Run& run) {
+  co_await engine_.delay(spec_.job_setup);
+  run.accepting = true;
+}
+
+sim::Task<> Cluster::tasktracker(Run& run, int node) {
+  // Stagger heartbeats across trackers as real clusters do.
+  co_await engine_.delay(
+      sim::Time{spec_.heartbeat_interval.ns * node / spec_.nodes});
+  auto& state = nodes_[static_cast<std::size_t>(node)];
+  while (!run.done->is_set()) {
+    co_await engine_.delay(spec_.heartbeat_interval);
+    if (run.done->is_set()) break;
+    if (!run.accepting) continue;
+    co_await engine_.delay(heartbeat_rpc_cost());
+
+    for (int k = 0; k < spec_.tasks_assigned_per_heartbeat; ++k) {
+      if (state.busy_map_slots >= spec_.map_slots) break;
+      if (run.pending_maps > 0) {
+        bool local = true;
+        const int block = take_map_for(run, node, local);
+        if (block < 0) break;
+        ++state.busy_map_slots;
+        engine_.spawn(map_task(run, node, block, local, false));
+      } else {
+        // End-game: duplicate a straggling attempt (speculation).
+        const int block = take_speculative_map(run, node);
+        if (block < 0) break;
+        ++state.busy_map_slots;
+        engine_.spawn(map_task(run, node, block, false, true));
+      }
+    }
+    if (reduces_ready(run) && state.busy_reduce_slots < spec_.reduce_slots &&
+        run.next_reduce_id < run.total_reduces) {
+      ++state.busy_reduce_slots;
+      engine_.spawn(reduce_task(run, node, run.next_reduce_id++));
+    }
+  }
+}
+
+sim::Task<> Cluster::map_task(Run& run, int node, int block_id, bool local,
+                              bool speculative) {
+  const Block& block = run.hdfs.blocks()[static_cast<std::size_t>(block_id)];
+  const sim::Time attempt_start = engine_.now();
+  auto& state = nodes_[static_cast<std::size_t>(node)];
+  if (!speculative) {
+    run.running_maps[block_id] = RunningMap{attempt_start, node, false};
+  }
+
+  co_await engine_.delay(spec_.jvm_startup);
+
+  // Input: local read, or remote replica + network for a stolen or
+  // speculative attempt. HDFS keeps replicas on other nodes; a remote
+  // reader picks one that is not the (possibly slow) primary.
+  if (local) {
+    co_await state.disk->transfer(0, 0, block.bytes);
+  } else {
+    const int replica = 1 + block.node % spec_.workers();
+    co_await nodes_[static_cast<std::size_t>(replica)].disk->transfer(
+        0, 0, block.bytes);
+    co_await fabric_.transfer(replica, node, block.bytes);
+  }
+
+  // Map function + spill writes of the combined intermediate output.
+  co_await engine_.delay(sim::from_seconds(
+      static_cast<double>(block.bytes) / run.job.map_cpu_bytes_per_second));
+  const double intermediate =
+      static_cast<double>(block.bytes) * run.job.map_output_ratio;
+  co_await state.disk->transfer(0, 0,
+                                static_cast<std::uint64_t>(intermediate));
+
+  --state.busy_map_slots;
+  // First copy wins; a late (original or speculative) duplicate just
+  // releases its slot, its output unused.
+  if (run.map_done[static_cast<std::size_t>(block_id)]) co_return;
+  run.map_done[static_cast<std::size_t>(block_id)] = true;
+  run.running_maps.erase(block_id);
+
+  // Publish the output for shuffle serving from this node.
+  state.served_outputs.push_back(
+      {block_id, run.total_reduces > 0
+                     ? intermediate / static_cast<double>(run.total_reduces)
+                     : 0.0});
+  auto& timing = run.result.maps[static_cast<std::size_t>(block_id)];
+  timing.scheduled = attempt_start;
+  timing.node = node;
+  timing.data_local = local;
+  timing.finished = engine_.now();
+  run.completed_map_seconds += timing.total_seconds();
+  ++run.maps_completed;
+  if (run.total_reduces == 0 && run.maps_completed == run.total_maps) {
+    run.result.makespan = engine_.now() - run.submitted;
+    run.done->set();
+  }
+}
+
+sim::Task<> Cluster::fetch_batch(Run& run, int reduce_id, int serving_node,
+                                 int node, int segments, double bytes,
+                                 sim::Resource& copiers,
+                                 sim::Channel<int>& completions) {
+  (void)run;
+  (void)reduce_id;
+  co_await copiers.acquire();
+  sim::Lease copier(copiers, 1);
+  auto& server = nodes_[static_cast<std::size_t>(serving_node)];
+  co_await server.http_threads->acquire();
+  sim::Lease server_thread(*server.http_threads, 1);
+
+  // Serving side: one seek per segment plus the sequential read, sharing
+  // the node's disk with everything else running there.
+  const double disk_bytes =
+      bytes + static_cast<double>(segments) * disk_seek_equivalent_bytes();
+  co_await server.disk->transfer(0, 0,
+                                 static_cast<std::uint64_t>(disk_bytes));
+
+  // HTTP request overhead per segment, then the batched body over the
+  // shared fabric, capped at Jetty's effective streaming rate.
+  co_await engine_.delay(jetty_.params().request_overhead * segments);
+  const std::uint64_t wire_bytes =
+      static_cast<std::uint64_t>(bytes) +
+      static_cast<std::uint64_t>(segments) * jetty_.params().header_bytes;
+  co_await fabric_.transfer(serving_node, node, wire_bytes,
+                            jetty_.params().effective_bytes_per_second);
+
+  server_thread.reset();
+  copier.reset();
+  co_await completions.send(segments);
+}
+
+sim::Task<> Cluster::reduce_task(Run& run, int node, int reduce_id) {
+  auto& timing = run.result.reduces[static_cast<std::size_t>(reduce_id)];
+  timing.scheduled = engine_.now();
+  auto& state = nodes_[static_cast<std::size_t>(node)];
+
+  co_await engine_.delay(spec_.jvm_startup);
+
+  // ---- copy stage: fetch one segment per map task, batched per node ----
+  sim::Resource copiers(engine_,
+                        static_cast<std::uint64_t>(spec_.copier_threads));
+  sim::Channel<int> completions(engine_);
+  std::vector<std::size_t> consumed(static_cast<std::size_t>(spec_.nodes), 0);
+  int fetched = 0;
+  int claimed = 0;
+  double input_bytes = 0;
+  while (fetched < run.total_maps) {
+    // Claim every newly published map output, batched per serving node.
+    for (int w = 1; w < spec_.nodes; ++w) {
+      auto& outputs = nodes_[static_cast<std::size_t>(w)].served_outputs;
+      auto& done_idx = consumed[static_cast<std::size_t>(w)];
+      if (done_idx >= outputs.size()) continue;
+      const int segments = static_cast<int>(outputs.size() - done_idx);
+      double bytes = 0;
+      for (std::size_t i = done_idx; i < outputs.size(); ++i) {
+        bytes += outputs[i].bytes_per_reducer;
+      }
+      done_idx = outputs.size();
+      claimed += segments;
+      input_bytes += bytes;
+      engine_.spawn(fetch_batch(run, reduce_id, w, node, segments, bytes,
+                                copiers, completions));
+    }
+    if (fetched < claimed) {
+      fetched += co_await completions.recv();
+    } else {
+      // Nothing in flight: wait for more maps to finish (polling the
+      // jobtracker for completion events, a small RPC). This idle time is
+      // part of Hadoop's logged copy stage but is not communication.
+      const sim::Time wait_start = engine_.now();
+      co_await engine_.delay(spec_.map_event_poll + poll_rpc_cost());
+      timing.copy_wait += engine_.now() - wait_start;
+    }
+  }
+  timing.copy_end = engine_.now();
+  timing.shuffled_bytes = input_bytes;
+
+  // ---- sort stage: 0.20 only finalizes merge state here ----------------
+  co_await engine_.delay(spec_.sort_stage);
+  timing.sort_end = engine_.now();
+
+  // ---- reduce stage: user reduce + output write -------------------------
+  // The output write goes through the page cache (asynchronous writeback),
+  // so it costs task time but does not contend with shuffle serving.
+  const double output = input_bytes * run.job.reduce_output_ratio;
+  co_await engine_.delay(sim::from_seconds(
+      input_bytes / run.job.reduce_cpu_bytes_per_second +
+      output / spec_.output_write_bytes_per_second));
+  timing.finished = engine_.now();
+
+  --state.busy_reduce_slots;
+  if (++run.reduces_done == run.total_reduces) {
+    run.result.makespan = engine_.now() - run.submitted;
+    run.done->set();
+  }
+}
+
+JobResult Cluster::run(const JobSpec& job) {
+  if (job.reduce_tasks < 0) {
+    throw std::invalid_argument("Cluster::run: negative reduce count");
+  }
+  // Fresh shuffle state between jobs.
+  for (auto& node : nodes_) {
+    node.served_outputs.clear();
+  }
+
+  Run run(job, spec_, engine_);
+  run.submitted = engine_.now();
+  if (run.total_maps == 0 && run.total_reduces == 0) {
+    run.result.makespan = spec_.job_setup;
+    return std::move(run.result);
+  }
+  engine_.spawn(job_bootstrap(run));
+  for (int n = 1; n < spec_.nodes; ++n) {
+    engine_.spawn(tasktracker(run, n));
+  }
+  engine_.run();
+  if (!run.done->is_set()) {
+    throw std::runtime_error("Cluster::run: job did not complete (deadlock)");
+  }
+  return std::move(run.result);
+}
+
+}  // namespace mpid::hadoop

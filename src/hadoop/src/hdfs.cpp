@@ -1,0 +1,30 @@
+#include "mpid/hadoop/hdfs.hpp"
+
+#include <stdexcept>
+
+namespace mpid::hadoop {
+
+Hdfs::Hdfs(const ClusterSpec& cluster, std::uint64_t input_bytes) {
+  if (cluster.workers() < 1) {
+    throw std::invalid_argument("Hdfs: need at least one worker node");
+  }
+  by_node_.resize(static_cast<std::size_t>(cluster.nodes));
+  std::uint64_t remaining = input_bytes;
+  int id = 0;
+  while (remaining > 0) {
+    Block b;
+    b.id = id;
+    b.node = 1 + (id % cluster.workers());
+    b.bytes = std::min<std::uint64_t>(remaining, cluster.block_size_bytes);
+    remaining -= b.bytes;
+    by_node_[static_cast<std::size_t>(b.node)].push_back(id);
+    blocks_.push_back(b);
+    ++id;
+  }
+}
+
+const std::vector<int>& Hdfs::blocks_on(int node) const {
+  return by_node_.at(static_cast<std::size_t>(node));
+}
+
+}  // namespace mpid::hadoop

@@ -1,0 +1,47 @@
+#include "mpid/hadoop/spec.hpp"
+
+namespace mpid::hadoop {
+
+double JobResult::total_map_seconds() const noexcept {
+  double total = 0;
+  for (const auto& m : maps) total += m.total_seconds();
+  return total;
+}
+
+double JobResult::total_reduce_seconds() const noexcept {
+  double total = 0;
+  for (const auto& r : reduces) total += r.total_seconds();
+  return total;
+}
+
+double JobResult::total_copy_seconds() const noexcept {
+  double total = 0;
+  for (const auto& r : reduces) total += r.copy_seconds();
+  return total;
+}
+
+double JobResult::total_copy_wait_seconds() const noexcept {
+  double total = 0;
+  for (const auto& r : reduces) total += r.copy_wait_seconds();
+  return total;
+}
+
+double JobResult::total_shuffled_bytes() const noexcept {
+  double total = 0;
+  for (const auto& r : reduces) total += r.shuffled_bytes;
+  return total;
+}
+
+double JobResult::copy_fraction() const noexcept {
+  const double denom = total_map_seconds() + total_reduce_seconds();
+  return denom > 0 ? total_copy_seconds() / denom : 0.0;
+}
+
+double JobResult::copy_transfer_fraction() const noexcept {
+  const double denom = total_map_seconds() + total_reduce_seconds();
+  return denom > 0
+             ? (total_copy_seconds() - total_copy_wait_seconds()) / denom
+             : 0.0;
+}
+
+}  // namespace mpid::hadoop

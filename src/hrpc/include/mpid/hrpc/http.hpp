@@ -1,0 +1,82 @@
+// A functional embedded-HTTP-server analog of Hadoop's Jetty usage.
+//
+// The tasktracker serves map outputs through a servlet mounted on an
+// embedded Jetty; reducers issue GETs like
+//   /mapOutput?job=j&map=m&reduce=r
+// This module reproduces that path over in-process connections: servlet
+// registration by path prefix, a minimal HTTP/1.0-style request/response
+// exchange with headers and Content-Length, and a blocking client GET.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpid/hrpc/pipe.hpp"
+
+namespace mpid::hrpc {
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+};
+
+/// Servlet: receives the query string (the part after '?', possibly
+/// empty) and produces the response body. Throwing yields a 500.
+using Servlet = std::function<std::string(std::string_view query)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Mounts a servlet at an exact path (e.g. "/mapOutput").
+  void add_servlet(const std::string& path, Servlet servlet);
+
+  /// Accepts a connection; requests on it are served until it closes.
+  void accept(Endpoint endpoint);
+
+  void shutdown();
+
+  std::uint64_t requests_served() const;
+
+ private:
+  void serve(std::size_t connection_index);
+  HttpResponse handle(const std::string& request_line);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Servlet> servlets_;
+  std::vector<std::unique_ptr<Endpoint>> connections_;
+  std::vector<std::thread> service_threads_;
+  std::uint64_t requests_served_ = 0;
+  bool down_ = false;
+};
+
+/// A blocking HTTP client over one connection; keep-alive: multiple GETs
+/// reuse the connection (serialize calls per client).
+class HttpClient {
+ public:
+  explicit HttpClient(HttpServer& server);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues "GET <target>" (target = path with optional ?query).
+  HttpResponse get(const std::string& target);
+
+  void close();
+
+ private:
+  std::unique_ptr<Endpoint> endpoint_;
+  std::mutex mu_;
+  bool closed_ = false;
+};
+
+}  // namespace mpid::hrpc

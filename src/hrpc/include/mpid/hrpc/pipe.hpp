@@ -1,0 +1,118 @@
+// In-process byte-stream connections: the "TCP socket" of the functional
+// RPC/HTTP stack.
+//
+// A Pipe is one direction of a connection: a bounded byte queue with
+// blocking reads and writes. A Duplex bundles two pipes into a
+// bidirectional connection with two Endpoints (client side, server side),
+// each offering read/write of raw bytes with TCP-like semantics: writes
+// may block when the peer is slow (bounded buffer), reads block until
+// data or EOF, and closing the write side lets the reader drain before
+// seeing EOF.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mpid::hrpc {
+
+/// Thrown by reads on a closed, drained pipe.
+struct EndOfStream : std::runtime_error {
+  EndOfStream() : std::runtime_error("hrpc: end of stream") {}
+};
+
+class Pipe {
+ public:
+  explicit Pipe(std::size_t capacity = 256 * 1024) : capacity_(capacity) {}
+
+  /// Blocks while the buffer is full (back-pressure). Throws if closed.
+  void write(std::span<const std::byte> data) {
+    std::size_t offset = 0;
+    std::unique_lock lock(mu_);
+    while (offset < data.size()) {
+      cv_writable_.wait(lock,
+                        [&] { return closed_ || buf_.size() < capacity_; });
+      if (closed_) throw std::runtime_error("hrpc: write to closed pipe");
+      while (buf_.size() < capacity_ && offset < data.size()) {
+        buf_.push_back(data[offset++]);
+      }
+      cv_readable_.notify_all();
+    }
+  }
+
+  /// Reads exactly n bytes; blocks until available. Throws EndOfStream if
+  /// the pipe closes before n bytes arrive.
+  std::vector<std::byte> read_exactly(std::size_t n) {
+    std::unique_lock lock(mu_);
+    std::vector<std::byte> out;
+    out.reserve(n);
+    while (out.size() < n) {
+      cv_readable_.wait(lock, [&] { return closed_ || !buf_.empty(); });
+      if (buf_.empty()) throw EndOfStream();
+      while (!buf_.empty() && out.size() < n) {
+        out.push_back(buf_.front());
+        buf_.pop_front();
+      }
+      cv_writable_.notify_all();
+    }
+    return out;
+  }
+
+  /// Closes the pipe: pending readers drain buffered bytes then see EOF;
+  /// writers fail immediately.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_readable_.notify_all();
+    cv_writable_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_readable_, cv_writable_;
+  std::deque<std::byte> buf_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// One side of a bidirectional connection.
+class Endpoint {
+ public:
+  Endpoint(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  void write(std::span<const std::byte> data) { out_->write(data); }
+  std::vector<std::byte> read_exactly(std::size_t n) {
+    return in_->read_exactly(n);
+  }
+  /// Half-close: signals EOF to the peer's reads; our reads still work.
+  void close_write() { out_->close(); }
+  /// Full close.
+  void close() {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> out_, in_;
+};
+
+/// Creates a connected pair of endpoints.
+inline std::pair<Endpoint, Endpoint> make_connection(
+    std::size_t capacity = 256 * 1024) {
+  auto a2b = std::make_shared<Pipe>(capacity);
+  auto b2a = std::make_shared<Pipe>(capacity);
+  return {Endpoint(a2b, b2a), Endpoint(b2a, a2b)};
+}
+
+}  // namespace mpid::hrpc

@@ -1,0 +1,137 @@
+// A functional Hadoop-RPC analog (the VersionedProtocol style of 0.20).
+//
+// Server side: protocols are registered under (name, version); each
+// protocol exposes named methods taking and returning raw Writable-style
+// byte payloads. Every accepted connection gets a service thread that
+// reads framed calls and dispatches them.
+//
+// Client side: one connection multiplexes concurrent calls — a reader
+// thread matches framed responses to outstanding calls by id, exactly the
+// structure of org.apache.hadoop.ipc.Client.
+//
+// Wire format (all through the DataOut/DataIn serialization layer):
+//   call:     [i32 frame_len][i32 call_id][string protocol][i64 version]
+//             [string method][bytes args]
+//   response: [i32 frame_len][i32 call_id][u8 status][bytes payload|error]
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpid/hrpc/pipe.hpp"
+#include "mpid/hrpc/stream.hpp"
+
+namespace mpid::hrpc {
+
+/// Raised on the client when the server reports a dispatch error (wrong
+/// version, unknown method, handler exception).
+struct RpcError : std::runtime_error {
+  explicit RpcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using RpcMethod = std::function<std::vector<std::byte>(
+    std::span<const std::byte> args)>;
+
+class RpcServer {
+ public:
+  /// `handler_threads` is Hadoop's ipc.server.handler.count: calls from
+  /// every connection funnel into one queue drained by this many handler
+  /// threads, so one slow handler does not serialize the server (responses
+  /// return out of order; clients match them by call id).
+  explicit RpcServer(int handler_threads = 1);
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Registers a method under (protocol, version). Must happen before
+  /// connections are accepted.
+  void register_method(const std::string& protocol, std::int64_t version,
+                       const std::string& method, RpcMethod fn);
+
+  /// Accepts a connection endpoint: spawns its service thread.
+  void accept(Endpoint endpoint);
+
+  /// Stops all service threads (connections are closed).
+  void shutdown();
+
+  std::uint64_t calls_served() const;
+
+ private:
+  struct ProtocolKey {
+    std::string name;
+    std::int64_t version;
+    auto operator<=>(const ProtocolKey&) const = default;
+  };
+
+  struct Connection {
+    Endpoint endpoint;
+    std::mutex write_mu;  // handlers write responses concurrently
+    explicit Connection(Endpoint ep) : endpoint(std::move(ep)) {}
+  };
+  struct QueuedCall {
+    std::size_t connection_index;
+    std::vector<std::byte> frame;
+  };
+
+  void serve(std::size_t connection_index);   // reader per connection
+  void handler_loop();                        // shared handler pool
+  std::vector<std::byte> dispatch(std::span<const std::byte> frame);
+
+  mutable std::mutex mu_;
+  std::condition_variable call_ready_;
+  std::deque<QueuedCall> call_queue_;
+  std::map<ProtocolKey, std::map<std::string, RpcMethod>> protocols_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::thread> service_threads_;
+  std::vector<std::thread> handler_threads_;
+  std::uint64_t calls_served_ = 0;
+  bool down_ = false;
+};
+
+class RpcClient {
+ public:
+  /// Connects to `server` (registers one connection with it).
+  explicit RpcClient(RpcServer& server);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Blocking call; safe from multiple threads concurrently.
+  std::vector<std::byte> call(const std::string& protocol,
+                              std::int64_t version, const std::string& method,
+                              std::span<const std::byte> args);
+
+  /// Convenience: string in, string out.
+  std::string call_string(const std::string& protocol, std::int64_t version,
+                          const std::string& method, std::string_view arg);
+
+  void close();
+
+ private:
+  struct PendingCall {
+    std::optional<std::vector<std::byte>> response;  // status+payload frame
+    bool failed = false;
+  };
+
+  void reader_loop();
+
+  std::unique_ptr<Endpoint> endpoint_;
+  std::thread reader_;
+  std::mutex mu_;
+  std::mutex write_mu_;  // keeps concurrent callers' frames contiguous
+  std::condition_variable cv_;
+  std::map<std::int32_t, PendingCall> pending_;
+  std::int32_t next_call_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace mpid::hrpc

@@ -1,0 +1,134 @@
+// Java-style data streams: the serialization substrate of Hadoop RPC.
+//
+// Hadoop 0.20 serializes every RPC parameter through DataOutputStream /
+// DataInputStream with Writable types: big-endian fixed-width integers,
+// zig-zag-free variable-length longs (WritableUtils.writeVLong is more
+// baroque; we use LEB128), and length-prefixed UTF-8 strings. These
+// classes reproduce that discipline so the functional RPC stack pays the
+// same kind of per-field costs the real one does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpid::hrpc {
+
+class DataOut {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  void write_i32(std::int32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      write_u8(static_cast<std::uint8_t>(
+          (static_cast<std::uint32_t>(v) >> shift) & 0xff));
+    }
+  }
+
+  void write_i64(std::int64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      write_u8(static_cast<std::uint8_t>(
+          (static_cast<std::uint64_t>(v) >> shift) & 0xff));
+    }
+  }
+
+  void write_vu64(std::uint64_t v) {
+    while (v >= 0x80) {
+      write_u8(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    write_u8(static_cast<std::uint8_t>(v));
+  }
+
+  void write_string(std::string_view s) {
+    write_vu64(s.size());
+    write_raw({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+  }
+
+  void write_bytes(std::span<const std::byte> bytes) {
+    write_vu64(bytes.size());
+    write_raw(bytes);
+  }
+
+  void write_raw(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<std::byte>& buffer() const noexcept { return buf_; }
+  std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class DataIn {
+ public:
+  explicit DataIn(std::span<const std::byte> buf) noexcept : buf_(buf) {}
+
+  std::uint8_t read_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+  }
+
+  std::int32_t read_i32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | read_u8();
+    return static_cast<std::int32_t>(v);
+  }
+
+  std::int64_t read_i64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | read_u8();
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::uint64_t read_vu64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw std::runtime_error("hrpc: overlong varint");
+      const auto b = read_u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::string read_string() {
+    const auto len = read_vu64();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  std::vector<std::byte> read_bytes() {
+    const auto len = read_vu64();
+    need(len);
+    std::vector<std::byte> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               buf_.begin() +
+                                   static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > buf_.size() - pos_) {
+      throw std::runtime_error("hrpc: truncated stream");
+    }
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpid::hrpc

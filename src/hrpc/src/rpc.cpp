@@ -1,0 +1,257 @@
+#include "mpid/hrpc/rpc.hpp"
+
+namespace mpid::hrpc {
+
+namespace {
+
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+
+void write_frame(Endpoint& endpoint, std::span<const std::byte> body) {
+  DataOut header;
+  header.write_i32(static_cast<std::int32_t>(body.size()));
+  endpoint.write(header.buffer());
+  endpoint.write(body);
+}
+
+std::vector<std::byte> read_frame(Endpoint& endpoint) {
+  const auto header = endpoint.read_exactly(4);
+  DataIn in(header);
+  const auto len = in.read_i32();
+  if (len < 0) throw std::runtime_error("hrpc: negative frame length");
+  return endpoint.read_exactly(static_cast<std::size_t>(len));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- server --
+
+RpcServer::RpcServer(int handler_threads) {
+  if (handler_threads < 1) {
+    throw std::invalid_argument("hrpc: need >= 1 handler thread");
+  }
+  handler_threads_.reserve(static_cast<std::size_t>(handler_threads));
+  for (int h = 0; h < handler_threads; ++h) {
+    handler_threads_.emplace_back([this] { handler_loop(); });
+  }
+}
+
+RpcServer::~RpcServer() { shutdown(); }
+
+void RpcServer::register_method(const std::string& protocol,
+                                std::int64_t version,
+                                const std::string& method, RpcMethod fn) {
+  std::lock_guard lock(mu_);
+  protocols_[ProtocolKey{protocol, version}][method] = std::move(fn);
+}
+
+void RpcServer::accept(Endpoint endpoint) {
+  std::lock_guard lock(mu_);
+  if (down_) throw std::logic_error("hrpc: accept after shutdown");
+  connections_.push_back(std::make_unique<Connection>(std::move(endpoint)));
+  const std::size_t index = connections_.size() - 1;
+  service_threads_.emplace_back([this, index] { serve(index); });
+}
+
+void RpcServer::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (down_) return;
+    down_ = true;
+    for (auto& connection : connections_) connection->endpoint.close();
+  }
+  call_ready_.notify_all();
+  for (auto& thread : service_threads_) thread.join();
+  service_threads_.clear();
+  for (auto& thread : handler_threads_) thread.join();
+  handler_threads_.clear();
+}
+
+std::uint64_t RpcServer::calls_served() const {
+  std::lock_guard lock(mu_);
+  return calls_served_;
+}
+
+std::vector<std::byte> RpcServer::dispatch(std::span<const std::byte> frame) {
+  DataIn in(frame);
+  const auto call_id = in.read_i32();
+  DataOut out;
+  out.write_i32(call_id);
+  try {
+    const auto protocol = in.read_string();
+    const auto version = in.read_i64();
+    const auto method = in.read_string();
+    const auto args = in.read_bytes();
+
+    RpcMethod fn;
+    {
+      std::lock_guard lock(mu_);
+      const auto proto_it = protocols_.find(ProtocolKey{protocol, version});
+      if (proto_it == protocols_.end()) {
+        throw RpcError("unknown protocol " + protocol + " v" +
+                       std::to_string(version));
+      }
+      const auto method_it = proto_it->second.find(method);
+      if (method_it == proto_it->second.end()) {
+        throw RpcError("unknown method " + protocol + "::" + method);
+      }
+      fn = method_it->second;
+    }
+    const auto result = fn(args);
+    out.write_u8(kStatusOk);
+    out.write_bytes(result);
+    std::lock_guard lock(mu_);
+    ++calls_served_;
+  } catch (const std::exception& e) {
+    out.write_u8(kStatusError);
+    out.write_string(e.what());
+  }
+  return out.take();
+}
+
+void RpcServer::serve(std::size_t connection_index) {
+  Connection* connection;
+  {
+    std::lock_guard lock(mu_);
+    connection = connections_[connection_index].get();
+  }
+  try {
+    for (;;) {
+      auto frame = read_frame(connection->endpoint);
+      {
+        std::lock_guard lock(mu_);
+        call_queue_.push_back({connection_index, std::move(frame)});
+      }
+      call_ready_.notify_one();
+    }
+  } catch (const std::exception&) {
+    // EOF or closed pipe: the connection is done.
+  }
+}
+
+void RpcServer::handler_loop() {
+  for (;;) {
+    QueuedCall call;
+    {
+      std::unique_lock lock(mu_);
+      call_ready_.wait(lock, [&] { return down_ || !call_queue_.empty(); });
+      if (call_queue_.empty()) return;  // down_ and drained
+      call = std::move(call_queue_.front());
+      call_queue_.pop_front();
+    }
+    const auto response = dispatch(call.frame);
+    Connection* connection;
+    {
+      std::lock_guard lock(mu_);
+      connection = connections_[call.connection_index].get();
+    }
+    try {
+      std::lock_guard write_lock(connection->write_mu);
+      write_frame(connection->endpoint, response);
+    } catch (const std::exception&) {
+      // Client went away mid-call; drop the response.
+    }
+  }
+}
+
+// ------------------------------------------------------------- client --
+
+RpcClient::RpcClient(RpcServer& server) {
+  auto [client_side, server_side] = make_connection();
+  endpoint_ = std::make_unique<Endpoint>(std::move(client_side));
+  server.accept(std::move(server_side));
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+RpcClient::~RpcClient() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+void RpcClient::close() {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  endpoint_->close();
+  cv_.notify_all();
+}
+
+void RpcClient::reader_loop() {
+  try {
+    for (;;) {
+      auto frame = read_frame(*endpoint_);
+      DataIn in(frame);
+      const auto call_id = in.read_i32();
+      std::lock_guard lock(mu_);
+      const auto it = pending_.find(call_id);
+      if (it != pending_.end()) {
+        it->second.response = std::move(frame);
+        cv_.notify_all();
+      }
+    }
+  } catch (const std::exception&) {
+    std::lock_guard lock(mu_);
+    for (auto& [id, call] : pending_) call.failed = true;
+    closed_ = true;
+    cv_.notify_all();
+  }
+}
+
+std::vector<std::byte> RpcClient::call(const std::string& protocol,
+                                       std::int64_t version,
+                                       const std::string& method,
+                                       std::span<const std::byte> args) {
+  std::int32_t call_id;
+  DataOut out;
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) throw RpcError("client closed");
+    call_id = next_call_id_++;
+    pending_.emplace(call_id, PendingCall{});
+  }
+  out.write_i32(call_id);
+  out.write_string(protocol);
+  out.write_i64(version);
+  out.write_string(method);
+  out.write_bytes(args);
+  {
+    // Frames from concurrent callers must not interleave.
+    std::lock_guard lock(write_mu_);
+    write_frame(*endpoint_, out.buffer());
+  }
+
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] {
+    const auto& call = pending_.at(call_id);
+    return call.response.has_value() || call.failed || closed_;
+  });
+  const auto node = pending_.extract(call_id);
+  const auto& call = node.mapped();
+  if (!call.response.has_value()) {
+    throw RpcError("connection closed while waiting for response");
+  }
+  DataIn in(*call.response);
+  (void)in.read_i32();  // call id, already matched
+  const auto status = in.read_u8();
+  auto payload = in.read_bytes();
+  if (status != kStatusOk) {
+    throw RpcError(std::string(reinterpret_cast<const char*>(payload.data()),
+                               payload.size()));
+  }
+  return payload;
+}
+
+std::string RpcClient::call_string(const std::string& protocol,
+                                   std::int64_t version,
+                                   const std::string& method,
+                                   std::string_view arg) {
+  const auto result =
+      call(protocol, version, method,
+           std::span<const std::byte>(
+               reinterpret_cast<const std::byte*>(arg.data()), arg.size()));
+  return {reinterpret_cast<const char*>(result.data()), result.size()};
+}
+
+}  // namespace mpid::hrpc

@@ -1,0 +1,49 @@
+// Input handling for the mapred layer: record readers and split helpers.
+//
+// Mirrors the Hadoop shapes the paper assumes: inputs are line-oriented
+// text; a job's input is divided into one split per mapper at line
+// boundaries ("we distribute all input data across all nodes to guarantee
+// the data accessing locally as in Hadoop").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpid::mapred {
+
+/// A pull-based record source; returns nullopt at end of input. Used so
+/// synthetic workloads can stream records without materializing them.
+using RecordSource = std::function<std::optional<std::string>()>;
+
+/// Iterates newline-separated records of a borrowed text buffer. A final
+/// line without a trailing newline is still a record; empty lines are
+/// records too (matching Hadoop's TextInputFormat line reader).
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) noexcept : rest_(text) {}
+
+  std::optional<std::string_view> next() noexcept;
+
+ private:
+  std::string_view rest_;
+  bool exhausted_ = false;
+};
+
+/// Splits `text` into `splits` contiguous chunks of roughly equal size,
+/// each ending on a line boundary (the last chunk takes the remainder).
+/// Never splits mid-line; returns fewer chunks when there are fewer lines
+/// than requested (empty chunks pad the tail so the result always has
+/// exactly `splits` entries).
+std::vector<std::string_view> split_text(std::string_view text,
+                                         int splits);
+
+/// Wraps a vector of records as a RecordSource.
+RecordSource vector_source(std::vector<std::string> records);
+
+/// Wraps a text buffer as a line RecordSource (copies each line out).
+RecordSource line_source(std::string_view text);
+
+}  // namespace mpid::mapred

@@ -1,0 +1,83 @@
+// An MR-MPI-style baseline library (Plimpton & Devine, cited as [15, 16]
+// in the paper's related work).
+//
+// Unlike MPI-D there is no master and no streaming shuffle: all ranks are
+// symmetric peers; map() fills a local key-value buffer, aggregate()
+// redistributes it by key hash with a personalized all-to-all exchange,
+// convert() groups local pairs into key-multivalue form, and reduce()
+// processes each group. This is the "MapReduce as a library over MPI
+// collectives" design point the paper positions MPI-D against.
+//
+//   mrmpi::MapReduce mr(comm);
+//   mr.map(ntasks, [](int task, mrmpi::Emitter& out) { ... });
+//   mr.collate();           // aggregate() + convert()
+//   mr.reduce([](key, values, out) { ... });
+//   auto results = mr.gather(0);
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mpid/minimpi/comm.hpp"
+
+namespace mpid::mapred::mrmpi {
+
+class Emitter {
+ public:
+  void emit(std::string_view key, std::string_view value) {
+    pairs_.emplace_back(std::string(key), std::string(value));
+  }
+
+ private:
+  friend class MapReduce;
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+using MapTaskFn = std::function<void(int task, Emitter&)>;
+using ReduceGroupFn = std::function<void(
+    std::string_view key, std::span<const std::string> values, Emitter&)>;
+
+class MapReduce {
+ public:
+  explicit MapReduce(minimpi::Comm& comm);
+
+  /// Runs `ntasks` map tasks distributed cyclically over ranks; each task
+  /// appends to this rank's local KV buffer. Collective.
+  void map(int ntasks, const MapTaskFn& fn);
+
+  /// Redistributes local pairs so that all pairs of one key land on
+  /// hash(key) % size. Collective (all-to-all).
+  void aggregate();
+
+  /// Groups this rank's local pairs by key into key-multivalue form.
+  /// Local operation.
+  void convert();
+
+  /// aggregate() followed by convert() — MR-MPI's collate().
+  void collate();
+
+  /// Applies `fn` to every local key group (requires convert()); the
+  /// emitted pairs become the new local KV buffer.
+  void reduce(const ReduceGroupFn& fn);
+
+  /// Gathers every rank's local pairs at `root`, sorted by (key, value);
+  /// other ranks get an empty vector. Collective.
+  std::vector<std::pair<std::string, std::string>> gather(minimpi::Rank root);
+
+  /// Local pair count (after map/aggregate/reduce).
+  std::size_t local_pairs() const noexcept { return kv_.size(); }
+  /// Local group count (after convert()).
+  std::size_t local_groups() const noexcept { return kmv_.size(); }
+
+ private:
+  minimpi::Comm& comm_;
+  minimpi::Comm shuffle_comm_;
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> kmv_;
+  bool converted_ = false;
+};
+
+}  // namespace mpid::mapred::mrmpi

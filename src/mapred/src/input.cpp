@@ -1,0 +1,83 @@
+#include "mpid/mapred/input.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace mpid::mapred {
+
+std::optional<std::string_view> LineReader::next() noexcept {
+  if (exhausted_) return std::nullopt;
+  const auto nl = rest_.find('\n');
+  if (nl == std::string_view::npos) {
+    exhausted_ = true;
+    if (rest_.empty()) return std::nullopt;
+    auto line = rest_;
+    rest_ = {};
+    return line;
+  }
+  auto line = rest_.substr(0, nl);
+  rest_.remove_prefix(nl + 1);
+  if (rest_.empty()) exhausted_ = true;
+  return line;
+}
+
+std::vector<std::string_view> split_text(std::string_view text, int splits) {
+  if (splits < 1) splits = 1;
+  std::vector<std::string_view> chunks;
+  chunks.reserve(static_cast<std::size_t>(splits));
+  std::size_t pos = 0;
+  for (int i = 0; i < splits; ++i) {
+    if (pos >= text.size()) {
+      chunks.emplace_back();
+      continue;
+    }
+    if (i == splits - 1) {
+      chunks.push_back(text.substr(pos));
+      pos = text.size();
+      continue;
+    }
+    const std::size_t target =
+        pos + std::max<std::size_t>(1, (text.size() - pos) /
+                                           static_cast<std::size_t>(splits - i));
+    std::size_t cut = text.find('\n', std::min(target, text.size() - 1));
+    if (cut == std::string_view::npos) {
+      chunks.push_back(text.substr(pos));
+      pos = text.size();
+      continue;
+    }
+    ++cut;  // include the newline in the left chunk
+    chunks.push_back(text.substr(pos, cut - pos));
+    pos = cut;
+  }
+  return chunks;
+}
+
+RecordSource vector_source(std::vector<std::string> records) {
+  auto state = std::make_shared<std::pair<std::vector<std::string>,
+                                          std::size_t>>(std::move(records), 0);
+  return [state]() -> std::optional<std::string> {
+    if (state->second >= state->first.size()) return std::nullopt;
+    return std::move(state->first[state->second++]);
+  };
+}
+
+RecordSource line_source(std::string_view text) {
+  auto state = std::make_shared<std::pair<std::string, std::size_t>>(
+      std::string(text), 0);
+  return [state]() -> std::optional<std::string> {
+    auto& [buf, pos] = *state;
+    if (pos >= buf.size()) return std::nullopt;
+    const auto nl = buf.find('\n', pos);
+    std::string line;
+    if (nl == std::string::npos) {
+      line = buf.substr(pos);
+      pos = buf.size();
+    } else {
+      line = buf.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return line;
+  };
+}
+
+}  // namespace mpid::mapred

@@ -1,0 +1,126 @@
+#include "mpid/mapred/job.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "mpid/core/merge.hpp"
+#include "mpid/core/mpid.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::mapred {
+
+JobRunner::JobRunner(int mappers, int reducers)
+    : mappers_(mappers), reducers_(reducers) {
+  if (mappers < 1 || reducers < 1) {
+    throw std::invalid_argument("JobRunner: need >= 1 mapper and reducer");
+  }
+}
+
+JobResult JobRunner::run(const JobDef& job,
+                         std::vector<RecordSource> inputs) const {
+  if (!job.map || !job.reduce) {
+    throw std::invalid_argument("JobRunner: map and reduce must be set");
+  }
+  if (inputs.size() != static_cast<std::size_t>(mappers_)) {
+    throw std::invalid_argument("JobRunner: need one input per mapper");
+  }
+
+  core::Config config = job.tuning;
+  config.mappers = mappers_;
+  config.reducers = reducers_;
+  config.combiner = job.combiner;
+  // Streaming merge needs every shipped frame to be one sorted run.
+  if (job.streaming_merge_reduce) config.sort_keys = true;
+
+  JobResult result;
+  std::mutex result_mu;
+
+  minimpi::run_world(config.world_size(), [&](minimpi::Comm& comm) {
+    core::MpiD mpid(comm, config);
+    switch (mpid.role()) {
+      case core::Role::kMapper: {
+        MapContext ctx(
+            [&](std::string_view k, std::string_view v) { mpid.send(k, v); },
+            mpid.mapper_index());
+        auto& source = inputs[static_cast<std::size_t>(mpid.mapper_index())];
+        while (auto record = source()) job.map(*record, ctx);
+        mpid.finalize();
+        break;
+      }
+      case core::Role::kReducer: {
+        if (job.streaming_merge_reduce) {
+          // Hadoop's merge phase: collect the key-sorted frames, then
+          // stream globally ordered groups straight into reduce().
+          core::SortedFrameMerger merger;
+          std::vector<std::byte> frame;
+          while (mpid.recv_raw_frame(frame)) merger.add_frame(std::move(frame));
+          mpid.finalize();
+
+          ReduceContext ctx(mpid.reducer_index());
+          std::string key;
+          std::vector<std::string> values;
+          while (merger.next_group(key, values)) {
+            job.reduce(key, values, ctx);
+          }
+          std::lock_guard lock(result_mu);
+          std::move(ctx.outputs_.begin(), ctx.outputs_.end(),
+                    std::back_inserter(result.outputs));
+          break;
+        }
+
+        // Global grouping: MPI-D streams per-mapper segments; fold them
+        // into one value list per key before invoking the user reduce.
+        std::unordered_map<std::string, std::vector<std::string>> groups;
+        std::string key;
+        std::vector<std::string> values;
+        while (mpid.recv_group(key, values)) {
+          auto& list = groups[key];
+          std::move(values.begin(), values.end(), std::back_inserter(list));
+          values.clear();
+        }
+        mpid.finalize();
+
+        ReduceContext ctx(mpid.reducer_index());
+        if (job.sorted_reduce) {
+          std::vector<const std::string*> keys;
+          keys.reserve(groups.size());
+          for (const auto& [k, vs] : groups) keys.push_back(&k);
+          std::sort(keys.begin(), keys.end(),
+                    [](const auto* a, const auto* b) { return *a < *b; });
+          for (const auto* k : keys) {
+            job.reduce(*k, groups.at(*k), ctx);
+          }
+        } else {
+          for (const auto& [k, vs] : groups) job.reduce(k, vs, ctx);
+        }
+
+        std::lock_guard lock(result_mu);
+        std::move(ctx.outputs_.begin(), ctx.outputs_.end(),
+                  std::back_inserter(result.outputs));
+        break;
+      }
+      case core::Role::kMaster: {
+        mpid.finalize();
+        std::lock_guard lock(result_mu);
+        result.report = mpid.report();
+        break;
+      }
+    }
+  });
+
+  std::sort(result.outputs.begin(), result.outputs.end());
+  return result;
+}
+
+JobResult JobRunner::run_on_text(const JobDef& job,
+                                 std::string_view text) const {
+  const auto chunks = split_text(text, mappers_);
+  std::vector<RecordSource> inputs;
+  inputs.reserve(chunks.size());
+  for (const auto chunk : chunks) inputs.push_back(line_source(chunk));
+  return run(job, std::move(inputs));
+}
+
+}  // namespace mpid::mapred

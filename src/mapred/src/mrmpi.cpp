@@ -1,0 +1,95 @@
+#include "mpid/mapred/mrmpi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "mpid/common/hash.hpp"
+#include "mpid/common/kvframe.hpp"
+
+namespace mpid::mapred::mrmpi {
+
+MapReduce::MapReduce(minimpi::Comm& comm)
+    : comm_(comm), shuffle_comm_(comm.dup()) {}
+
+void MapReduce::map(int ntasks, const MapTaskFn& fn) {
+  if (ntasks < 0) throw std::invalid_argument("mrmpi: negative task count");
+  Emitter out;
+  for (int task = comm_.rank(); task < ntasks; task += comm_.size()) {
+    fn(task, out);
+  }
+  std::move(out.pairs_.begin(), out.pairs_.end(), std::back_inserter(kv_));
+  converted_ = false;
+}
+
+void MapReduce::aggregate() {
+  const int n = comm_.size();
+  std::vector<common::KvWriter> writers(static_cast<std::size_t>(n));
+  for (const auto& [key, value] : kv_) {
+    const auto dst = common::hash_partition(key, static_cast<std::uint32_t>(n));
+    writers[dst].append(key, value);
+  }
+  kv_.clear();
+
+  std::vector<std::vector<std::byte>> outgoing;
+  outgoing.reserve(static_cast<std::size_t>(n));
+  for (auto& w : writers) outgoing.push_back(w.take());
+
+  auto incoming = shuffle_comm_.alltoall_bytes(std::move(outgoing));
+  for (const auto& frame : incoming) {
+    common::KvReader reader(frame);
+    while (auto pair = reader.next()) {
+      kv_.emplace_back(std::string(pair->key), std::string(pair->value));
+    }
+  }
+  converted_ = false;
+}
+
+void MapReduce::convert() {
+  std::unordered_map<std::string, std::vector<std::string>> groups;
+  for (auto& [key, value] : kv_) {
+    groups[std::move(key)].push_back(std::move(value));
+  }
+  kv_.clear();
+  kmv_.assign(std::make_move_iterator(groups.begin()),
+              std::make_move_iterator(groups.end()));
+  // Deterministic processing order regardless of hash-table layout.
+  std::sort(kmv_.begin(), kmv_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  converted_ = true;
+}
+
+void MapReduce::collate() {
+  aggregate();
+  convert();
+}
+
+void MapReduce::reduce(const ReduceGroupFn& fn) {
+  if (!converted_) {
+    throw std::logic_error("mrmpi: reduce requires convert()/collate() first");
+  }
+  Emitter out;
+  for (const auto& [key, values] : kmv_) fn(key, values, out);
+  kmv_.clear();
+  kv_ = std::move(out.pairs_);
+  converted_ = false;
+}
+
+std::vector<std::pair<std::string, std::string>> MapReduce::gather(
+    minimpi::Rank root) {
+  common::KvWriter writer;
+  for (const auto& [key, value] : kv_) writer.append(key, value);
+  auto parts = shuffle_comm_.gather_bytes(writer.buffer(), root);
+
+  std::vector<std::pair<std::string, std::string>> result;
+  for (const auto& part : parts) {
+    common::KvReader reader(part);
+    while (auto pair = reader.next()) {
+      result.emplace_back(std::string(pair->key), std::string(pair->value));
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace mpid::mapred::mrmpi

@@ -1,0 +1,71 @@
+// MiniHadoop: a functional, in-process MapReduce runtime assembled from
+// the same substrates Hadoop 0.20 uses — exactly the stack the paper
+// benchmarks MPI-D against, made executable:
+//
+//   * job input / output live in MiniDfs (the HDFS analog);
+//   * the control plane is Hadoop RPC: tasktrackers poll the jobtracker's
+//     RpcServer with heartbeat calls and receive serialized task
+//     descriptors;
+//   * the shuffle is HTTP: every tasktracker runs an HttpServer with a
+//     /mapOutput servlet; reduce tasks fetch their partitions with
+//     HttpClient GETs, one per (map, reduce) pair;
+//   * map outputs are hash-partitioned and framed with the same key-value
+//     serialization MPI-D uses (common::KvWriter), so the two systems'
+//     shuffle payloads are byte-comparable.
+//
+// This is deliberately the paper's WordCount experiment shape (Figure 6)
+// at in-process scale: the same job runs here and on the MPI-D JobRunner,
+// and bench/ext_functional_fig6.cpp compares them in wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpid/core/config.hpp"
+#include "mpid/dfs/minidfs.hpp"
+#include "mpid/mapred/job.hpp"
+
+namespace mpid::minihadoop {
+
+struct MiniJobConfig {
+  mapred::MapFn map;
+  mapred::ReduceFn reduce;
+  /// Optional map-side combiner (same signature as MPI-D's).
+  core::Combiner combiner;
+  /// DFS path of the line-oriented input file.
+  std::string input_path;
+  /// Output files are written to "<output_prefix>/part-r-<i>".
+  std::string output_prefix = "/out";
+  int map_tasks = 4;
+  int reduce_tasks = 2;
+  /// Present keys to reduce() in sorted order (Hadoop semantics).
+  bool sorted_reduce = true;
+};
+
+struct JobSummary {
+  std::uint64_t map_output_pairs = 0;     // after the combiner
+  std::uint64_t shuffled_bytes = 0;       // HTTP bodies fetched
+  std::uint64_t shuffle_requests = 0;     // GETs issued
+  std::uint64_t heartbeats = 0;           // RPC control-plane calls
+  std::vector<std::string> output_files;  // DFS paths written
+};
+
+class MiniCluster {
+ public:
+  /// `tasktrackers` worker processes (threads), each with one task slot
+  /// and one embedded HTTP server.
+  MiniCluster(dfs::MiniDfs& dfs, int tasktrackers);
+
+  /// Runs one job to completion and returns its counters. The output is
+  /// in the DFS under config.output_prefix.
+  JobSummary run(const MiniJobConfig& config);
+
+  int tasktrackers() const noexcept { return tasktrackers_; }
+
+ private:
+  dfs::MiniDfs& dfs_;
+  int tasktrackers_;
+};
+
+}  // namespace mpid::minihadoop

@@ -1,0 +1,358 @@
+#include "mpid/minihadoop/minihadoop.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "mpid/common/hash.hpp"
+#include "mpid/common/kvframe.hpp"
+#include "mpid/hrpc/http.hpp"
+#include "mpid/hrpc/rpc.hpp"
+#include "mpid/hrpc/stream.hpp"
+
+namespace mpid::minihadoop {
+
+namespace {
+
+// Heartbeat response opcodes.
+constexpr std::uint8_t kOpWait = 0;
+constexpr std::uint8_t kOpMap = 1;
+constexpr std::uint8_t kOpReduce = 2;
+constexpr std::uint8_t kOpExit = 3;
+
+constexpr const char* kProtocol = "JobTracker";
+constexpr std::int64_t kVersion = 1;
+
+std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// Shared jobtracker state behind the RPC methods.
+struct JobTracker {
+  std::mutex mu;
+  std::deque<int> pending_maps;
+  std::deque<int> pending_reduces;
+  int maps_done = 0;
+  int reduces_done = 0;
+  int total_maps = 0;
+  int total_reduces = 0;
+  std::vector<int> map_location;  // map id -> tracker id
+  std::atomic<std::uint64_t> heartbeats{0};
+
+  std::vector<std::byte> heartbeat(std::span<const std::byte>) {
+    ++heartbeats;
+    hrpc::DataOut out;
+    std::lock_guard lock(mu);
+    if (!pending_maps.empty()) {
+      out.write_u8(kOpMap);
+      out.write_i32(pending_maps.front());
+      pending_maps.pop_front();
+    } else if (maps_done == total_maps && !pending_reduces.empty()) {
+      out.write_u8(kOpReduce);
+      out.write_i32(pending_reduces.front());
+      pending_reduces.pop_front();
+    } else if (maps_done == total_maps && reduces_done == total_reduces) {
+      out.write_u8(kOpExit);
+      out.write_i32(0);
+    } else {
+      out.write_u8(kOpWait);
+      out.write_i32(0);
+    }
+    return out.take();
+  }
+
+  std::vector<std::byte> map_completed(std::span<const std::byte> args) {
+    hrpc::DataIn in(args);
+    const auto map_id = in.read_i32();
+    const auto tracker = in.read_i32();
+    std::lock_guard lock(mu);
+    map_location[static_cast<std::size_t>(map_id)] = tracker;
+    ++maps_done;
+    return {};
+  }
+
+  std::vector<std::byte> reduce_completed(std::span<const std::byte>) {
+    std::lock_guard lock(mu);
+    ++reduces_done;
+    return {};
+  }
+
+  std::vector<std::byte> map_locations(std::span<const std::byte>) {
+    hrpc::DataOut out;
+    std::lock_guard lock(mu);
+    out.write_vu64(map_location.size());
+    for (const int tracker : map_location) out.write_i32(tracker);
+    return out.take();
+  }
+};
+
+/// One tasktracker's map-output store, served by its /mapOutput servlet.
+struct SegmentStore {
+  std::mutex mu;
+  std::map<std::pair<int, int>, std::string> segments;  // (map, reduce)
+
+  void put(int map, int reduce, std::string frame) {
+    std::lock_guard lock(mu);
+    segments[{map, reduce}] = std::move(frame);
+  }
+
+  std::string get(std::string_view query) {
+    // query: "map=<m>&reduce=<r>"
+    int map = -1, reduce = -1;
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      auto amp = query.find('&', pos);
+      if (amp == std::string_view::npos) amp = query.size();
+      const auto kv = query.substr(pos, amp - pos);
+      const auto eq = kv.find('=');
+      const auto key = kv.substr(0, eq);
+      const int value = std::stoi(std::string(kv.substr(eq + 1)));
+      if (key == "map") map = value;
+      if (key == "reduce") reduce = value;
+      pos = amp + 1;
+    }
+    std::lock_guard lock(mu);
+    const auto it = segments.find({map, reduce});
+    if (it == segments.end()) {
+      throw std::runtime_error("no such map output segment");
+    }
+    return it->second;
+  }
+};
+
+}  // namespace
+
+MiniCluster::MiniCluster(dfs::MiniDfs& dfs, int tasktrackers)
+    : dfs_(dfs), tasktrackers_(tasktrackers) {
+  if (tasktrackers < 1) {
+    throw std::invalid_argument("MiniCluster: need >= 1 tasktracker");
+  }
+}
+
+JobSummary MiniCluster::run(const MiniJobConfig& config) {
+  if (!config.map || !config.reduce) {
+    throw std::invalid_argument("MiniCluster: map and reduce must be set");
+  }
+  if (config.map_tasks < 1 || config.reduce_tasks < 1) {
+    throw std::invalid_argument("MiniCluster: need >= 1 map and reduce task");
+  }
+
+  // Input splits: contiguous line-aligned chunks of the input file.
+  const std::string input = dfs_.read(config.input_path);
+  const auto split_views = mapred::split_text(input, config.map_tasks);
+  std::vector<std::string> splits(split_views.begin(), split_views.end());
+
+  // ---- jobtracker: RPC control plane -----------------------------------
+  JobTracker tracker_state;
+  tracker_state.total_maps = config.map_tasks;
+  tracker_state.total_reduces = config.reduce_tasks;
+  tracker_state.map_location.assign(
+      static_cast<std::size_t>(config.map_tasks), -1);
+  for (int m = 0; m < config.map_tasks; ++m) {
+    tracker_state.pending_maps.push_back(m);
+  }
+  for (int r = 0; r < config.reduce_tasks; ++r) {
+    tracker_state.pending_reduces.push_back(r);
+  }
+
+  std::atomic<bool> aborted{false};
+  // One handler per tasktracker so heartbeats never queue behind each
+  // other (ipc.server.handler.count).
+  hrpc::RpcServer jobtracker(tasktrackers_);
+  jobtracker.register_method(kProtocol, kVersion, "heartbeat",
+                             [&](std::span<const std::byte> args) {
+                               if (aborted.load()) {
+                                 hrpc::DataOut out;
+                                 out.write_u8(kOpExit);
+                                 out.write_i32(0);
+                                 return out.take();
+                               }
+                               return tracker_state.heartbeat(args);
+                             });
+  jobtracker.register_method(kProtocol, kVersion, "mapCompleted",
+                             [&](std::span<const std::byte> args) {
+                               return tracker_state.map_completed(args);
+                             });
+  jobtracker.register_method(kProtocol, kVersion, "reduceCompleted",
+                             [&](std::span<const std::byte> args) {
+                               return tracker_state.reduce_completed(args);
+                             });
+  jobtracker.register_method(kProtocol, kVersion, "mapLocations",
+                             [&](std::span<const std::byte> args) {
+                               return tracker_state.map_locations(args);
+                             });
+
+  // ---- tasktrackers: HTTP shuffle servers + worker threads -------------
+  std::vector<std::unique_ptr<SegmentStore>> stores;
+  std::vector<std::unique_ptr<hrpc::HttpServer>> http_servers;
+  for (int t = 0; t < tasktrackers_; ++t) {
+    stores.push_back(std::make_unique<SegmentStore>());
+    auto server = std::make_unique<hrpc::HttpServer>();
+    auto* store = stores.back().get();
+    server->add_servlet("/mapOutput", [store](std::string_view query) {
+      return store->get(query);
+    });
+    http_servers.push_back(std::move(server));
+  }
+
+  std::atomic<std::uint64_t> map_output_pairs{0};
+  std::atomic<std::uint64_t> shuffled_bytes{0};
+  std::atomic<std::uint64_t> shuffle_requests{0};
+  std::mutex output_mu;
+  std::vector<std::string> output_files;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto run_map_task = [&](int tracker_id, int map_id) {
+    // Map over the split, buffering per key (the map-side sort/combine
+    // buffer), then combine and hash-partition into framed segments.
+    std::unordered_map<std::string, std::vector<std::string>> buffer;
+    mapred::MapContext ctx(
+        [&](std::string_view k, std::string_view v) {
+          buffer[std::string(k)].emplace_back(v);
+        },
+        map_id);
+    mapred::LineReader lines(splits[static_cast<std::size_t>(map_id)]);
+    while (auto line = lines.next()) config.map(*line, ctx);
+
+    std::vector<common::KvWriter> partitions(
+        static_cast<std::size_t>(config.reduce_tasks));
+    for (auto& [key, values] : buffer) {
+      auto combined = config.combiner
+                          ? config.combiner(key, std::move(values))
+                          : std::move(values);
+      const auto p = common::hash_partition(
+          key, static_cast<std::uint32_t>(config.reduce_tasks));
+      for (const auto& value : combined) {
+        partitions[p].append(key, value);
+        ++map_output_pairs;
+      }
+    }
+    for (int r = 0; r < config.reduce_tasks; ++r) {
+      const auto& frame = partitions[static_cast<std::size_t>(r)].buffer();
+      stores[static_cast<std::size_t>(tracker_id)]->put(
+          map_id, r,
+          std::string(reinterpret_cast<const char*>(frame.data()),
+                      frame.size()));
+    }
+  };
+
+  auto run_reduce_task = [&](hrpc::RpcClient& rpc, int reduce_id) {
+    // Locate every map's serving tasktracker, then fetch segments by HTTP.
+    const auto loc_bytes = rpc.call(kProtocol, kVersion, "mapLocations", {});
+    hrpc::DataIn in(loc_bytes);
+    const auto count = in.read_vu64();
+    std::vector<int> location;
+    for (std::uint64_t i = 0; i < count; ++i) location.push_back(in.read_i32());
+
+    std::map<int, std::unique_ptr<hrpc::HttpClient>> copiers;
+    std::unordered_map<std::string, std::vector<std::string>> groups;
+    for (int m = 0; m < config.map_tasks; ++m) {
+      const int serving = location[static_cast<std::size_t>(m)];
+      auto& copier = copiers[serving];
+      if (!copier) {
+        copier = std::make_unique<hrpc::HttpClient>(
+            *http_servers[static_cast<std::size_t>(serving)]);
+      }
+      const auto response =
+          copier->get("/mapOutput?map=" + std::to_string(m) +
+                      "&reduce=" + std::to_string(reduce_id));
+      if (response.status != 200) {
+        throw std::runtime_error("shuffle fetch failed: " + response.body);
+      }
+      ++shuffle_requests;
+      shuffled_bytes += response.body.size();
+      common::KvReader reader(as_bytes(response.body));
+      while (auto pair = reader.next()) {
+        groups[std::string(pair->key)].emplace_back(pair->value);
+      }
+    }
+
+    mapred::ReduceContext ctx(reduce_id);
+    if (config.sorted_reduce) {
+      std::vector<const std::string*> keys;
+      keys.reserve(groups.size());
+      for (const auto& [k, vs] : groups) keys.push_back(&k);
+      std::sort(keys.begin(), keys.end(),
+                [](const auto* a, const auto* b) { return *a < *b; });
+      for (const auto* k : keys) config.reduce(*k, groups.at(*k), ctx);
+    } else {
+      for (const auto& [k, vs] : groups) config.reduce(k, vs, ctx);
+    }
+
+    // Write "key\tvalue" lines to the DFS output file.
+    std::string body;
+    for (const auto& [k, v] : ctx.take_emitted()) {
+      body += k;
+      body += '\t';
+      body += v;
+      body += '\n';
+    }
+    const std::string path =
+        config.output_prefix + "/part-r-" + std::to_string(reduce_id);
+    dfs_.create(path, body);
+    std::lock_guard lock(output_mu);
+    output_files.push_back(path);
+  };
+
+  auto tasktracker_main = [&](int tracker_id) {
+    try {
+      hrpc::RpcClient rpc(jobtracker);
+      for (;;) {
+        hrpc::DataOut hb;
+        hb.write_i32(tracker_id);
+        const auto reply =
+            rpc.call(kProtocol, kVersion, "heartbeat", hb.buffer());
+        hrpc::DataIn in(reply);
+        const auto op = in.read_u8();
+        const auto task = in.read_i32();
+        if (op == kOpExit) break;
+        if (op == kOpWait) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        if (op == kOpMap) {
+          run_map_task(tracker_id, task);
+          hrpc::DataOut done;
+          done.write_i32(task);
+          done.write_i32(tracker_id);
+          rpc.call(kProtocol, kVersion, "mapCompleted", done.buffer());
+        } else {
+          run_reduce_task(rpc, task);
+          rpc.call(kProtocol, kVersion, "reduceCompleted", {});
+        }
+      }
+    } catch (...) {
+      aborted.store(true);  // release peers stuck polling for work
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(tasktrackers_));
+  for (int t = 0; t < tasktrackers_; ++t) {
+    workers.emplace_back(tasktracker_main, t);
+  }
+  for (auto& w : workers) w.join();
+  for (auto& server : http_servers) server->shutdown();
+  jobtracker.shutdown();
+  if (first_error) std::rethrow_exception(first_error);
+
+  JobSummary summary;
+  summary.map_output_pairs = map_output_pairs.load();
+  summary.shuffled_bytes = shuffled_bytes.load();
+  summary.shuffle_requests = shuffle_requests.load();
+  summary.heartbeats = tracker_state.heartbeats.load();
+  std::sort(output_files.begin(), output_files.end());
+  summary.output_files = std::move(output_files);
+  return summary;
+}
+
+}  // namespace mpid::minihadoop

@@ -1,0 +1,52 @@
+// Reduction operators for minimpi collectives (MPI_SUM / MPI_MIN / MPI_MAX
+// analogs). Any callable `void(T& accumulator, const T& incoming)` works;
+// these are the stock ones.
+#pragma once
+
+#include <algorithm>
+
+namespace mpid::minimpi {
+
+struct Sum {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc += in;
+  }
+};
+
+struct Min {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc = std::min(acc, in);
+  }
+};
+
+struct Max {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc = std::max(acc, in);
+  }
+};
+
+struct Prod {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc *= in;
+  }
+};
+
+struct LogicalAnd {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc = acc && in;
+  }
+};
+
+struct LogicalOr {
+  template <typename T>
+  void operator()(T& acc, const T& in) const {
+    acc = acc || in;
+  }
+};
+
+}  // namespace mpid::minimpi

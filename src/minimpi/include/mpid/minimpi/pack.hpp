@@ -1,0 +1,105 @@
+// MPI_Pack / MPI_Unpack analogs.
+//
+// Section III of the paper notes that a programmer using traditional MPI
+// for MapReduce "must handle data non-contiguity and size variability by
+// extra effort, even though MPI can supply some functional supports, like
+// MPI_Pack/MPI_Unpack". These classes are that functional support: an
+// explicit, order-sensitive packing buffer for heterogeneous data — and a
+// concrete illustration of why MPI-D's key-value interface is nicer for
+// this workload (see tests/minimpi/test_pack.cpp for the side-by-side).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "mpid/minimpi/types.hpp"
+
+namespace mpid::minimpi {
+
+/// Order-sensitive packing buffer (MPI_Pack). Values are appended raw;
+/// strings/spans are length-prefixed so Unpacker can recover them.
+class Packer {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Packer& pack(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Packer& pack_span(std::span<const T> values) {
+    pack(static_cast<std::uint64_t>(values.size()));
+    const auto bytes = std::as_bytes(values);
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    return *this;
+  }
+
+  Packer& pack_string(std::string_view s) {
+    return pack_span(std::span<const char>(s.data(), s.size()));
+  }
+
+  const std::vector<std::byte>& buffer() const noexcept { return buf_; }
+  std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Order-sensitive unpacking cursor (MPI_Unpack). Types and order must
+/// match the packing sequence exactly; mismatched sizes throw.
+class Unpacker {
+ public:
+  explicit Unpacker(std::span<const std::byte> buf) noexcept : buf_(buf) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T unpack() {
+    T value;
+    take_into(&value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> unpack_span() {
+    const auto count = unpack<std::uint64_t>();
+    if (count > (buf_.size() - offset_) / sizeof(T)) {
+      throw std::runtime_error("minimpi: unpack_span overruns buffer");
+    }
+    std::vector<T> values(static_cast<std::size_t>(count));
+    take_into(values.data(), values.size() * sizeof(T));
+    return values;
+  }
+
+  std::string unpack_string() {
+    const auto chars = unpack_span<char>();
+    return {chars.begin(), chars.end()};
+  }
+
+  bool at_end() const noexcept { return offset_ == buf_.size(); }
+  std::size_t remaining() const noexcept { return buf_.size() - offset_; }
+
+ private:
+  void take_into(void* dst, std::size_t n) {
+    if (n > buf_.size() - offset_) {
+      throw std::runtime_error("minimpi: unpack overruns buffer");
+    }
+    std::memcpy(dst, buf_.data() + offset_, n);
+    offset_ += n;
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace mpid::minimpi

@@ -1,0 +1,62 @@
+// Nonblocking-operation handles (MPI_Request analog).
+//
+// isend completes immediately (sends are eager/buffered); irecv registers a
+// posted receive that a matching incoming message fulfils. A Request that
+// is destroyed while still pending cancels the posted receive (unlike MPI,
+// where freeing an active request is erroneous — cancellation is the safer
+// library behaviour here).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpid/minimpi/types.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+
+class Comm;
+
+class Request {
+ public:
+  Request() noexcept = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request();
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Blocks until complete; returns the receive status (for isend the
+  /// status carries only the destination-side metadata the caller already
+  /// knows). Invalidates the request.
+  Status wait();
+
+  /// Nonblocking completion check. On true the request is invalidated and
+  /// `out` (if non-null) receives the status.
+  bool test(Status* out = nullptr);
+
+ private:
+  friend class Comm;
+
+  struct State {
+    detail::PostedRecv posted;           // used by irecv
+    detail::Mailbox* mailbox = nullptr;  // null => already complete (isend)
+    std::chrono::nanoseconds timeout{};
+    Status immediate_status;             // isend result
+    /// Sub-communicator rank mapping (world -> local status translation);
+    /// null for world communicators.
+    std::shared_ptr<const std::vector<Rank>> group;
+  };
+
+  explicit Request(std::unique_ptr<State> state) noexcept
+      : state_(std::move(state)) {}
+
+  std::unique_ptr<State> state_;
+};
+
+/// Waits on every request in order (MPI_Waitall).
+void wait_all(std::vector<Request>& requests);
+
+}  // namespace mpid::minimpi

@@ -1,0 +1,37 @@
+// Basic vocabulary types of the minimpi message-passing library.
+//
+// minimpi is a from-scratch MPI-1-style subset backed by in-process threads
+// (one thread per rank) with real data movement. It stands in for MPICH2 in
+// this reproduction: the MPI-D library (the paper's contribution) is written
+// against exactly the point-to-point semantics defined here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpid::minimpi {
+
+using Rank = int;
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Largest tag available to applications; larger values are reserved for
+/// the collective implementation.
+inline constexpr int kMaxUserTag = (1 << 24) - 1;
+
+/// Completion information for a receive, mirroring MPI_Status.
+struct Status {
+  Rank source = -1;
+  int tag = -1;
+  std::size_t byte_count = 0;
+
+  /// Element count for a typed receive (MPI_Get_count).
+  template <typename T>
+  std::size_t count() const noexcept {
+    return byte_count / sizeof(T);
+  }
+};
+
+}  // namespace mpid::minimpi

@@ -1,0 +1,148 @@
+// World: the process group and message transport of minimpi.
+//
+// A World owns one mailbox per rank. Ranks are std::threads launched by
+// run_world(); each receives a Comm handle bound to its rank. Message
+// delivery is eager: MPI_Send-style calls copy the payload into the
+// destination mailbox and return (standard buffered-send semantics, which
+// MPI_Send permits).
+//
+// Matching follows MPI rules: a receive with (source, tag) filters —
+// either may be a wildcard — matches the earliest-sent compatible message
+// of the same communicator context; messages between a fixed (source,
+// destination, context) triple are non-overtaking.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpid/minimpi/types.hpp"
+
+namespace mpid::minimpi {
+
+class Comm;
+
+namespace detail {
+
+/// Completion token for synchronous sends (MPI_Ssend): the sender blocks
+/// until a receive matches the message.
+struct SyncToken {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool matched = false;
+
+  void notify() {
+    {
+      std::lock_guard lock(mu);
+      matched = true;
+    }
+    cv.notify_all();
+  }
+  /// Returns false on timeout.
+  bool wait(std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] { return matched; });
+  }
+};
+
+struct Envelope {
+  std::uint64_t context = 0;
+  Rank source = -1;
+  int tag = -1;
+  std::vector<std::byte> payload;
+  std::shared_ptr<SyncToken> sync;  // non-null for synchronous sends
+};
+
+/// A posted (pending) receive. Lives in the receiving coroutine-less
+/// thread's stack frame (blocking recv) or inside a Request (irecv); its
+/// address is registered with the mailbox until matched.
+struct PostedRecv {
+  std::uint64_t context = 0;
+  Rank source_filter = kAnySource;
+  int tag_filter = kAnyTag;
+  std::vector<std::byte>* sink = nullptr;
+  Status status;
+  bool done = false;
+
+  bool matches(const Envelope& env) const noexcept {
+    return env.context == context &&
+           (source_filter == kAnySource || env.source == source_filter) &&
+           (tag_filter == kAnyTag || env.tag == tag_filter);
+  }
+};
+
+class Mailbox {
+ public:
+  /// Delivers a message: hands it to the earliest matching posted receive,
+  /// else queues it as unexpected.
+  void deliver(Envelope env);
+
+  /// Registers `recv` and blocks until it completes or the deadline
+  /// expires. Throws std::runtime_error on timeout (likely deadlock).
+  void recv_blocking(PostedRecv& recv, std::chrono::nanoseconds timeout);
+
+  /// Registers `recv` without blocking (irecv). The caller must later call
+  /// wait_posted or cancel_posted exactly once.
+  void post(PostedRecv& recv);
+  void wait_posted(PostedRecv& recv, std::chrono::nanoseconds timeout);
+  bool test_posted(PostedRecv& recv);
+  /// Removes a posted receive that has not completed; no-op if it already
+  /// completed (the payload was delivered).
+  void cancel_posted(PostedRecv& recv);
+
+  /// Blocks until a matching message is queued, without consuming it.
+  Status probe(std::uint64_t context, Rank source, int tag,
+               std::chrono::nanoseconds timeout);
+  std::optional<Status> iprobe(std::uint64_t context, Rank source, int tag);
+
+ private:
+  /// Tries to satisfy `recv` from the unexpected queue. Caller holds mu_.
+  bool match_unexpected(PostedRecv& recv);
+  static void complete(PostedRecv& recv, Envelope env);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> unexpected_;
+  std::list<PostedRecv*> posted_;
+};
+
+}  // namespace detail
+
+class World {
+ public:
+  explicit World(int size);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+
+  /// Deadline for any single blocking operation; guards tests against
+  /// deadlocks. Default 60 s.
+  void set_timeout(std::chrono::nanoseconds t) noexcept { timeout_ = t; }
+  std::chrono::nanoseconds timeout() const noexcept { return timeout_; }
+
+  detail::Mailbox& mailbox(Rank r) { return *mailboxes_.at(static_cast<std::size_t>(r)); }
+
+ private:
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::chrono::nanoseconds timeout_ = std::chrono::seconds(60);
+};
+
+/// Launches `size` rank threads, each running `rank_main` with a Comm bound
+/// to its rank over a fresh World, and joins them. If any rank throws, the
+/// first exception (by rank order) is rethrown after all threads join.
+void run_world(int size, const std::function<void(Comm&)>& rank_main);
+
+/// As run_world, but with a custom per-operation timeout (deadlock guard).
+void run_world(int size, std::chrono::nanoseconds timeout,
+               const std::function<void(Comm&)>& rank_main);
+
+}  // namespace mpid::minimpi

@@ -1,0 +1,67 @@
+#include "mpid/minimpi/request.hpp"
+
+#include <stdexcept>
+
+namespace mpid::minimpi {
+
+Request::~Request() {
+  if (state_ && state_->mailbox != nullptr) {
+    // Pending irecv: withdraw the posted receive so the mailbox never
+    // writes through dangling pointers. (Freeing an active request is an
+    // error in MPI; cancelling is the safe library behaviour here.)
+    state_->mailbox->cancel_posted(state_->posted);
+  }
+}
+
+namespace {
+
+/// Translates a world-rank source back into the sub-communicator's rank
+/// space (identity for world communicators).
+Status localize(Status st,
+                const std::shared_ptr<const std::vector<Rank>>& group) {
+  if (group) {
+    for (std::size_t i = 0; i < group->size(); ++i) {
+      if ((*group)[i] == st.source) {
+        st.source = static_cast<Rank>(i);
+        break;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+Status Request::wait() {
+  if (!state_) throw std::logic_error("minimpi: wait on empty request");
+  Status st;
+  if (state_->mailbox == nullptr) {
+    st = state_->immediate_status;
+  } else {
+    state_->mailbox->wait_posted(state_->posted, state_->timeout);
+    st = localize(state_->posted.status, state_->group);
+  }
+  state_.reset();
+  return st;
+}
+
+bool Request::test(Status* out) {
+  if (!state_) throw std::logic_error("minimpi: test on empty request");
+  if (state_->mailbox == nullptr) {
+    if (out != nullptr) *out = state_->immediate_status;
+    state_.reset();
+    return true;
+  }
+  if (!state_->mailbox->test_posted(state_->posted)) return false;
+  if (out != nullptr) *out = localize(state_->posted.status, state_->group);
+  state_.reset();
+  return true;
+}
+
+void wait_all(std::vector<Request>& requests) {
+  for (auto& r : requests) {
+    if (r.valid()) r.wait();
+  }
+}
+
+}  // namespace mpid::minimpi

@@ -1,0 +1,172 @@
+#include "mpid/minimpi/world.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "mpid/minimpi/comm.hpp"
+
+namespace mpid::minimpi {
+
+namespace detail {
+
+void Mailbox::complete(PostedRecv& recv, Envelope env) {
+  if (recv.sink != nullptr) *recv.sink = std::move(env.payload);
+  recv.status.source = env.source;
+  recv.status.tag = env.tag;
+  recv.status.byte_count =
+      recv.sink != nullptr ? recv.sink->size() : env.payload.size();
+  recv.done = true;
+  if (env.sync) env.sync->notify();  // release a blocked MPI_Ssend
+}
+
+void Mailbox::deliver(Envelope env) {
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if ((*it)->matches(env)) {
+        complete(**it, std::move(env));
+        posted_.erase(it);
+        cv_.notify_all();
+        return;
+      }
+    }
+    unexpected_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_unexpected(PostedRecv& recv) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (recv.matches(*it)) {
+      complete(recv, std::move(*it));
+      unexpected_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::post(PostedRecv& recv) {
+  std::lock_guard lock(mu_);
+  if (!match_unexpected(recv)) posted_.push_back(&recv);
+}
+
+void Mailbox::wait_posted(PostedRecv& recv, std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return recv.done; })) {
+    // Remove ourselves so the stack/heap slot cannot be written later.
+    posted_.remove(&recv);
+    std::ostringstream msg;
+    msg << "minimpi: receive timed out (source filter "
+        << recv.source_filter << ", tag filter " << recv.tag_filter
+        << ") — likely deadlock";
+    throw std::runtime_error(msg.str());
+  }
+}
+
+bool Mailbox::test_posted(PostedRecv& recv) {
+  std::lock_guard lock(mu_);
+  return recv.done;
+}
+
+void Mailbox::cancel_posted(PostedRecv& recv) {
+  std::lock_guard lock(mu_);
+  posted_.remove(&recv);
+}
+
+void Mailbox::recv_blocking(PostedRecv& recv,
+                            std::chrono::nanoseconds timeout) {
+  post(recv);
+  if (test_posted(recv)) return;
+  wait_posted(recv, timeout);
+}
+
+Status Mailbox::probe(std::uint64_t context, Rank source, int tag,
+                      std::chrono::nanoseconds timeout) {
+  PostedRecv filter;
+  filter.context = context;
+  filter.source_filter = source;
+  filter.tag_filter = tag;
+
+  std::unique_lock lock(mu_);
+  const Envelope* found = nullptr;
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    const auto it =
+        std::find_if(unexpected_.begin(), unexpected_.end(),
+                     [&](const Envelope& e) { return filter.matches(e); });
+    if (it == unexpected_.end()) return false;
+    found = &*it;
+    return true;
+  });
+  if (!ok) {
+    throw std::runtime_error("minimpi: probe timed out — likely deadlock");
+  }
+  Status st;
+  st.source = found->source;
+  st.tag = found->tag;
+  st.byte_count = found->payload.size();
+  return st;
+}
+
+std::optional<Status> Mailbox::iprobe(std::uint64_t context, Rank source,
+                                      int tag) {
+  PostedRecv filter;
+  filter.context = context;
+  filter.source_filter = source;
+  filter.tag_filter = tag;
+
+  std::lock_guard lock(mu_);
+  const auto it =
+      std::find_if(unexpected_.begin(), unexpected_.end(),
+                   [&](const Envelope& e) { return filter.matches(e); });
+  if (it == unexpected_.end()) return std::nullopt;
+  Status st;
+  st.source = it->source;
+  st.tag = it->tag;
+  st.byte_count = it->payload.size();
+  return st;
+}
+
+}  // namespace detail
+
+World::World(int size) {
+  if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+}
+
+void run_world(int size, std::chrono::nanoseconds timeout,
+               const std::function<void(Comm&)>& rank_main) {
+  World world(size);
+  world.set_timeout(timeout);
+  // A fixed, shared initial context; sub-communicators derive from it.
+  constexpr std::uint64_t kWorldContext = 0x5eed0123456789abULL;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r, kWorldContext);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void run_world(int size, const std::function<void(Comm&)>& rank_main) {
+  run_world(size, std::chrono::seconds(60), rank_main);
+}
+
+}  // namespace mpid::minimpi

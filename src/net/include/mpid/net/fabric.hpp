@@ -1,0 +1,94 @@
+// Flow-level model of the paper's testbed network: N hosts on a single
+// Gigabit Ethernet switch.
+//
+// Every host has a full-duplex link to the switch (an uplink and a downlink
+// with independent capacity) plus a private loopback link for host-local
+// transfers. A transfer is a *flow* that consumes the source's uplink and
+// the destination's downlink; concurrent flows share link capacity by
+// max-min fairness (progressive filling), optionally subject to a per-flow
+// rate cap (protocol models use the cap to express per-byte CPU limits,
+// e.g. Hadoop RPC's ~1.4 MB/s effective ceiling).
+//
+// The model is event-driven: whenever a flow starts or finishes, rates are
+// recomputed and the next completion is rescheduled. This is the standard
+// flow-level approximation used in datacenter simulators; it captures the
+// fan-in contention that shapes the shuffle copy times of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "mpid/sim/engine.hpp"
+#include "mpid/sim/event.hpp"
+#include "mpid/sim/task.hpp"
+#include "mpid/sim/time.hpp"
+
+namespace mpid::net {
+
+struct FabricSpec {
+  /// Per-direction host link capacity. Default: effective TCP goodput of
+  /// Gigabit Ethernet (~117 MB/s of the 125 MB/s line rate).
+  double link_bytes_per_second = 117.0e6;
+  /// One-way propagation + switching latency per transfer.
+  sim::Time link_latency = sim::microseconds(65);
+  /// Capacity of a host's loopback path (local reads during shuffle).
+  double loopback_bytes_per_second = 1.2e9;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, int hosts, FabricSpec spec = {});
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int hosts() const noexcept { return static_cast<int>(up_.size()); }
+  const FabricSpec& spec() const noexcept { return spec_; }
+
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  /// Transfers `bytes` from host `src` to host `dst`; completes when the
+  /// last byte arrives (fair-shared transmission time + link latency).
+  /// `rate_cap` bounds this flow's rate regardless of free capacity.
+  /// Zero-byte transfers still pay the link latency.
+  sim::Task<> transfer(int src, int dst, std::uint64_t bytes,
+                       double rate_cap = kUncapped);
+
+  /// Number of in-flight flows (diagnostics / tests).
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Total payload bytes ever carried (diagnostics / tests).
+  std::uint64_t bytes_carried() const noexcept { return bytes_carried_; }
+
+ private:
+  struct Flow {
+    int src = 0;
+    int dst = 0;
+    double remaining = 0;  // bytes
+    double rate = 0;       // bytes per second
+    double cap = kUncapped;
+    std::unique_ptr<sim::Event> done;
+  };
+
+  /// Integrates flow progress since the last recompute.
+  void advance_progress();
+  /// Max-min fair rate assignment over uplinks/downlinks/loopbacks.
+  void recompute_rates();
+  /// Schedules (or reschedules) the wakeup at the earliest completion.
+  void schedule_next_completion();
+  /// Timer body: completes finished flows and recomputes.
+  sim::Task<> completion_timer(std::uint64_t generation, sim::Time at);
+  void on_flows_changed();
+
+  sim::Engine& engine_;
+  FabricSpec spec_;
+  std::vector<double> up_, down_, loop_;  // capacities (constant, per host)
+  std::list<Flow> flows_;
+  sim::Time last_progress_time_ = sim::kTimeZero;
+  std::uint64_t timer_generation_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace mpid::net

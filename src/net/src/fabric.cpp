@@ -1,0 +1,183 @@
+#include "mpid/net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mpid::net {
+
+namespace {
+
+/// Flows shorter than this many bytes are considered complete (absorbs
+/// floating-point residue in progress integration).
+constexpr double kResidueBytes = 1.0;
+
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, int hosts, FabricSpec spec)
+    : engine_(engine), spec_(spec) {
+  if (hosts < 1) throw std::invalid_argument("Fabric: hosts must be >= 1");
+  if (spec.link_bytes_per_second <= 0 || spec.loopback_bytes_per_second <= 0) {
+    throw std::invalid_argument("Fabric: capacities must be positive");
+  }
+  up_.assign(static_cast<std::size_t>(hosts), spec.link_bytes_per_second);
+  down_.assign(static_cast<std::size_t>(hosts), spec.link_bytes_per_second);
+  loop_.assign(static_cast<std::size_t>(hosts),
+               spec.loopback_bytes_per_second);
+}
+
+sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes,
+                             double rate_cap) {
+  if (src < 0 || src >= hosts() || dst < 0 || dst >= hosts()) {
+    throw std::out_of_range("Fabric::transfer: host out of range");
+  }
+  if (!(rate_cap > 0)) {
+    throw std::invalid_argument("Fabric::transfer: rate cap must be > 0");
+  }
+  bytes_carried_ += bytes;
+  if (bytes == 0) {
+    co_await engine_.delay(spec_.link_latency);
+    co_return;
+  }
+
+  advance_progress();
+  Flow& flow = flows_.emplace_back();
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = static_cast<double>(bytes);
+  flow.cap = rate_cap;
+  flow.done = std::make_unique<sim::Event>(engine_);
+  sim::Event& done = *flow.done;
+  on_flows_changed();
+
+  co_await done.wait();
+  co_await engine_.delay(spec_.link_latency);
+}
+
+void Fabric::advance_progress() {
+  const double elapsed = (engine_.now() - last_progress_time_).to_seconds();
+  if (elapsed > 0) {
+    for (auto& flow : flows_) {
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+    }
+  }
+  last_progress_time_ = engine_.now();
+}
+
+void Fabric::recompute_rates() {
+  // Link ids: [0,H) uplinks, [H,2H) downlinks, [2H,3H) loopbacks.
+  const auto h = static_cast<std::size_t>(hosts());
+  std::vector<double> cap(3 * h);
+  for (std::size_t i = 0; i < h; ++i) {
+    cap[i] = up_[i];
+    cap[h + i] = down_[i];
+    cap[2 * h + i] = loop_[i];
+  }
+
+  struct Entry {
+    Flow* flow;
+    std::size_t link_a;
+    std::size_t link_b;  // == link_a for loopback flows
+  };
+  std::vector<Entry> unfixed;
+  unfixed.reserve(flows_.size());
+  for (auto& flow : flows_) {
+    flow.rate = 0;
+    const auto s = static_cast<std::size_t>(flow.src);
+    const auto d = static_cast<std::size_t>(flow.dst);
+    if (flow.src == flow.dst) {
+      unfixed.push_back({&flow, 2 * h + s, 2 * h + s});
+    } else {
+      unfixed.push_back({&flow, s, h + d});
+    }
+  }
+
+  std::vector<int> load(3 * h, 0);
+  auto count_loads = [&] {
+    std::fill(load.begin(), load.end(), 0);
+    for (const auto& e : unfixed) {
+      ++load[e.link_a];
+      if (e.link_b != e.link_a) ++load[e.link_b];
+    }
+  };
+
+  while (!unfixed.empty()) {
+    count_loads();
+    // Tightest per-flow share over all loaded links.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < cap.size(); ++l) {
+      if (load[l] > 0) share = std::min(share, std::max(cap[l], 0.0) / load[l]);
+    }
+    // Flows whose own cap binds before the link share are fixed first.
+    bool fixed_capped = false;
+    for (auto it = unfixed.begin(); it != unfixed.end();) {
+      if (it->flow->cap <= share) {
+        it->flow->rate = it->flow->cap;
+        cap[it->link_a] -= it->flow->cap;
+        if (it->link_b != it->link_a) cap[it->link_b] -= it->flow->cap;
+        it = unfixed.erase(it);
+        fixed_capped = true;
+      } else {
+        ++it;
+      }
+    }
+    if (fixed_capped) continue;
+
+    // Fix every flow crossing a bottleneck link at the fair share.
+    constexpr double kRelTol = 1.0 + 1e-9;
+    for (auto it = unfixed.begin(); it != unfixed.end();) {
+      const bool on_bottleneck =
+          std::max(cap[it->link_a], 0.0) <= share * load[it->link_a] * kRelTol ||
+          std::max(cap[it->link_b], 0.0) <= share * load[it->link_b] * kRelTol;
+      if (on_bottleneck) {
+        it->flow->rate = share;
+        cap[it->link_a] -= share;
+        if (it->link_b != it->link_a) cap[it->link_b] -= share;
+        it = unfixed.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Fabric::schedule_next_completion() {
+  ++timer_generation_;
+  if (flows_.empty()) return;
+  double min_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    if (flow.rate > 0) {
+      min_seconds = std::min(min_seconds, flow.remaining / flow.rate);
+    }
+  }
+  if (!std::isfinite(min_seconds)) return;  // nothing can progress
+  // Round up a nanosecond so the wakeup never lands before the flow is
+  // numerically finished.
+  const sim::Time at =
+      engine_.now() + sim::from_seconds(min_seconds) + sim::nanoseconds(1);
+  engine_.spawn(completion_timer(timer_generation_, at));
+}
+
+sim::Task<> Fabric::completion_timer(std::uint64_t generation, sim::Time at) {
+  co_await engine_.delay(at - engine_.now());
+  if (generation != timer_generation_) co_return;  // superseded
+  advance_progress();
+  bool completed_any = false;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kResidueBytes) {
+      it->done->set();
+      it = flows_.erase(it);
+      completed_any = true;
+    } else {
+      ++it;
+    }
+  }
+  if (completed_any || !flows_.empty()) on_flows_changed();
+}
+
+void Fabric::on_flows_changed() {
+  recompute_rates();
+  schedule_next_completion();
+}
+
+}  // namespace mpid::net

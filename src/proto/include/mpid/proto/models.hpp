@@ -1,0 +1,121 @@
+// Cost models of the three communication stacks, each usable two ways:
+//
+//  * Closed form — one_way_latency(n) and stream_seconds(total, packet)
+//    reproduce Figures 2 and 3 without a fabric (two idle hosts, no
+//    contention, matching the paper's isolated ping-pong/bandwidth tests).
+//
+//  * Discrete-event — coroutine operations over a shared net::Fabric, used
+//    by the Hadoop cluster simulator where contention matters (heartbeat
+//    RPCs, shuffle fetches over Jetty, MPI transfers).
+//
+// Jitter is deterministic: a per-call multiplier derived from a seeded
+// counter, so every run of every bench prints identical numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/params.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/sim/task.hpp"
+#include "mpid/sim/time.hpp"
+
+namespace mpid::proto {
+
+/// Deterministic multiplicative jitter in [1 - frac, 1 + frac].
+class JitterSource {
+ public:
+  explicit JitterSource(std::uint64_t seed) noexcept : seed_(seed) {}
+  double next(double frac) noexcept;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+/// MPICH2-like point-to-point transport.
+class MpiModel {
+ public:
+  MpiModel(sim::Engine& engine, net::Fabric& fabric, MpiParams params = {},
+           std::uint64_t jitter_seed = 1);
+
+  /// Closed-form one-way message latency on an idle network (Figure 2).
+  sim::Time one_way_latency(std::uint64_t bytes) const;
+
+  /// Closed-form time to stream `total` bytes in `packet`-sized messages
+  /// on an idle network (Figure 3); includes deterministic jitter.
+  double stream_seconds(std::uint64_t total, std::uint64_t packet);
+
+  /// DES send over the shared fabric: sender occupancy, wire transfer with
+  /// contention, receiver-side software latency.
+  sim::Task<> send(int src, int dst, std::uint64_t bytes);
+
+  const MpiParams& params() const noexcept { return params_; }
+
+ private:
+  double wire_seconds_per_byte() const noexcept;
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  MpiParams params_;
+  JitterSource jitter_;
+};
+
+/// Hadoop RPC (VersionedProtocol over TCP with Writable serialization).
+class HadoopRpcModel {
+ public:
+  HadoopRpcModel(sim::Engine& engine, net::Fabric& fabric,
+                 HadoopRpcParams params = {}, std::uint64_t jitter_seed = 2);
+
+  /// Closed-form one-way cost of a call carrying `bytes` of parameters on
+  /// an idle network: the paper's Figure 2 series (ping-pong / 2).
+  sim::Time one_way_latency(std::uint64_t bytes) const;
+
+  /// Serialization cost alone (client + server), for tests/ablation.
+  sim::Time serialization_time(std::uint64_t bytes) const;
+
+  /// Closed-form time to push `total` bytes as `packet`-sized sequential
+  /// RPC calls, each acknowledged (Figure 3's RPC series).
+  double stream_seconds(std::uint64_t total, std::uint64_t packet);
+
+  /// DES request-response call over the shared fabric. Completes when the
+  /// response reaches the caller.
+  sim::Task<> call(int src, int dst, std::uint64_t request_bytes,
+                   std::uint64_t response_bytes);
+
+  const HadoopRpcParams& params() const noexcept { return params_; }
+
+ private:
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  HadoopRpcParams params_;
+  JitterSource jitter_;
+};
+
+/// HTTP over an embedded Jetty server (the shuffle copy path).
+class JettyHttpModel {
+ public:
+  JettyHttpModel(sim::Engine& engine, net::Fabric& fabric,
+                 JettyParams params = {}, std::uint64_t jitter_seed = 3);
+
+  /// Closed-form time to stream `total` bytes over one connection with
+  /// `packet`-sized servlet writes (Figure 3's Jetty series). Includes
+  /// deterministic jitter.
+  double stream_seconds(std::uint64_t total, std::uint64_t packet);
+
+  /// DES fetch of a map-output segment: HTTP request, then the response
+  /// body over the shared fabric, capped at Jetty's effective rate.
+  /// This is the reducer-side copier operation of the shuffle.
+  sim::Task<> fetch(int src_reducer_host, int map_output_host,
+                    std::uint64_t bytes);
+
+  const JettyParams& params() const noexcept { return params_; }
+
+ private:
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  JettyParams params_;
+  JitterSource jitter_;
+};
+
+}  // namespace mpid::proto

@@ -1,0 +1,141 @@
+#include "mpid/proto/models.hpp"
+
+#include <cmath>
+
+#include "mpid/common/hash.hpp"
+
+namespace mpid::proto {
+
+double JitterSource::next(double frac) noexcept {
+  const std::uint64_t h = common::fmix64(seed_ ^ ++counter_);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return 1.0 + frac * (2.0 * u - 1.0);
+}
+
+// ------------------------------------------------------------ MpiModel --
+
+MpiModel::MpiModel(sim::Engine& engine, net::Fabric& fabric, MpiParams params,
+                   std::uint64_t jitter_seed)
+    : engine_(engine), fabric_(fabric), params_(params), jitter_(jitter_seed) {}
+
+double MpiModel::wire_seconds_per_byte() const noexcept {
+  return 1.0 / fabric_.spec().link_bytes_per_second +
+         params_.extra_seconds_per_byte;
+}
+
+sim::Time MpiModel::one_way_latency(std::uint64_t bytes) const {
+  sim::Time t = params_.software_latency + fabric_.spec().link_latency;
+  t += sim::from_seconds(static_cast<double>(bytes + params_.header_bytes) *
+                         wire_seconds_per_byte());
+  if (bytes > params_.eager_threshold) t += params_.rendezvous_handshake;
+  return t;
+}
+
+double MpiModel::stream_seconds(std::uint64_t total, std::uint64_t packet) {
+  const std::uint64_t messages = (total + packet - 1) / packet;
+  double seconds =
+      static_cast<double>(messages) *
+          (params_.per_message_overhead.to_seconds() +
+           static_cast<double>(params_.header_bytes) * wire_seconds_per_byte()) +
+      static_cast<double>(total) * wire_seconds_per_byte() +
+      params_.software_latency.to_seconds() +
+      fabric_.spec().link_latency.to_seconds();
+  if (packet > params_.eager_threshold) {
+    // Rendezvous handshakes pipeline with the data stream; only the
+    // per-message sender occupancy is exposed.
+    seconds += static_cast<double>(messages) *
+               params_.per_message_overhead.to_seconds();
+  }
+  return seconds * jitter_.next(params_.jitter_frac);
+}
+
+sim::Task<> MpiModel::send(int src, int dst, std::uint64_t bytes) {
+  co_await engine_.delay(params_.per_message_overhead);
+  if (bytes > params_.eager_threshold) {
+    co_await engine_.delay(params_.rendezvous_handshake);
+  }
+  co_await fabric_.transfer(src, dst, bytes + params_.header_bytes);
+  co_await engine_.delay(params_.software_latency);
+}
+
+// ------------------------------------------------------ HadoopRpcModel --
+
+HadoopRpcModel::HadoopRpcModel(sim::Engine& engine, net::Fabric& fabric,
+                               HadoopRpcParams params,
+                               std::uint64_t jitter_seed)
+    : engine_(engine), fabric_(fabric), params_(params), jitter_(jitter_seed) {}
+
+sim::Time HadoopRpcModel::serialization_time(std::uint64_t bytes) const {
+  const double n = static_cast<double>(bytes);
+  const double linear = params_.ser_seconds_per_byte * n;
+  const double amort = params_.amort_seconds_per_byte * n /
+                       (1.0 + n / params_.amort_knee_bytes);
+  return sim::from_seconds(linear + amort);
+}
+
+sim::Time HadoopRpcModel::one_way_latency(std::uint64_t bytes) const {
+  const double wire =
+      static_cast<double>(bytes + params_.header_bytes) /
+      fabric_.spec().link_bytes_per_second;
+  return params_.call_setup + serialization_time(bytes) +
+         fabric_.spec().link_latency + sim::from_seconds(wire);
+}
+
+double HadoopRpcModel::stream_seconds(std::uint64_t total,
+                                      std::uint64_t packet) {
+  const std::uint64_t calls = (total + packet - 1) / packet;
+  double seconds = 0;
+  // Sequential blocking calls: Hadoop RPC serializes calls on a connection
+  // and the client waits for each (void) response.
+  seconds += static_cast<double>(calls) *
+             (one_way_latency(packet).to_seconds() +
+              params_.ack_cost.to_seconds());
+  return seconds * jitter_.next(params_.jitter_frac);
+}
+
+sim::Task<> HadoopRpcModel::call(int src, int dst, std::uint64_t request_bytes,
+                                 std::uint64_t response_bytes) {
+  // Client-side setup + serialization occupy the caller.
+  co_await engine_.delay(params_.call_setup);
+  co_await engine_.delay(serialization_time(request_bytes));
+  co_await fabric_.transfer(src, dst, request_bytes + params_.header_bytes);
+  // Server-side handling + response path.
+  co_await engine_.delay(serialization_time(response_bytes) +
+                         params_.ack_cost);
+  co_await fabric_.transfer(dst, src, response_bytes + params_.header_bytes);
+}
+
+// ------------------------------------------------------- JettyHttpModel --
+
+JettyHttpModel::JettyHttpModel(sim::Engine& engine, net::Fabric& fabric,
+                               JettyParams params, std::uint64_t jitter_seed)
+    : engine_(engine), fabric_(fabric), params_(params), jitter_(jitter_seed) {}
+
+double JettyHttpModel::stream_seconds(std::uint64_t total,
+                                      std::uint64_t packet) {
+  const std::uint64_t chunks = (total + packet - 1) / packet;
+  const double seconds =
+      params_.request_overhead.to_seconds() +
+      fabric_.spec().link_latency.to_seconds() * 2 +  // request RTT
+      static_cast<double>(chunks) * params_.per_chunk_overhead.to_seconds() +
+      static_cast<double>(total + params_.header_bytes) /
+          params_.effective_bytes_per_second;
+  return seconds * jitter_.next(params_.jitter_frac);
+}
+
+sim::Task<> JettyHttpModel::fetch(int src_reducer_host, int map_output_host,
+                                  std::uint64_t bytes) {
+  // HTTP GET: request overhead + request crossing the fabric.
+  co_await engine_.delay(params_.request_overhead);
+  co_await fabric_.transfer(src_reducer_host, map_output_host,
+                            params_.header_bytes / 2);
+  // Response body; a single connection cannot beat Jetty's effective rate,
+  // and fan-in contention is resolved by the fabric.
+  const double spb = 1.0 / params_.effective_bytes_per_second +
+                     static_cast<double>(params_.per_chunk_overhead.ns) * 1e-9 /
+                         (64.0 * 1024.0);  // 64 KiB servlet buffer
+  co_await fabric_.transfer(map_output_host, src_reducer_host,
+                            bytes + params_.header_bytes / 2, 1.0 / spb);
+}
+
+}  // namespace mpid::proto

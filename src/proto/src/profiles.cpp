@@ -1,0 +1,77 @@
+#include "mpid/proto/profiles.hpp"
+
+namespace mpid::proto {
+
+NioSocketModel::NioSocketModel(sim::Engine& engine, net::Fabric& fabric,
+                               NioSocketParams params,
+                               std::uint64_t jitter_seed)
+    : engine_(engine), fabric_(fabric), params_(params), jitter_(jitter_seed) {}
+
+double NioSocketModel::wire_seconds_per_byte() const noexcept {
+  return 1.0 / fabric_.spec().link_bytes_per_second +
+         params_.extra_seconds_per_byte;
+}
+
+sim::Time NioSocketModel::one_way_latency(std::uint64_t bytes) const {
+  return params_.selector_latency + fabric_.spec().link_latency +
+         sim::from_seconds(static_cast<double>(bytes + params_.header_bytes) *
+                           wire_seconds_per_byte());
+}
+
+double NioSocketModel::stream_seconds(std::uint64_t total,
+                                      std::uint64_t packet) {
+  const std::uint64_t writes = (total + packet - 1) / packet;
+  const double seconds =
+      params_.selector_latency.to_seconds() +
+      fabric_.spec().link_latency.to_seconds() +
+      static_cast<double>(writes) *
+          (params_.per_write_overhead.to_seconds() +
+           static_cast<double>(params_.header_bytes) * wire_seconds_per_byte()) +
+      static_cast<double>(total) * wire_seconds_per_byte();
+  return seconds * jitter_.next(params_.jitter_frac);
+}
+
+sim::Task<> NioSocketModel::send(int src, int dst, std::uint64_t bytes) {
+  co_await engine_.delay(params_.per_write_overhead);
+  // The JVM copy path bounds a single stream below the wire rate.
+  co_await fabric_.transfer(src, dst, bytes + params_.header_bytes,
+                            1.0 / wire_seconds_per_byte());
+  co_await engine_.delay(params_.selector_latency);
+}
+
+InterconnectProfile gigabit_ethernet() {
+  InterconnectProfile profile;
+  profile.name = "GigE";
+  // Defaults are the paper's testbed already.
+  return profile;
+}
+
+InterconnectProfile ten_gigabit_ethernet() {
+  InterconnectProfile profile;
+  profile.name = "10GbE";
+  profile.fabric.link_bytes_per_second = 1180.0e6;
+  profile.fabric.link_latency = sim::microseconds(20);
+  profile.mpi.software_latency = sim::microseconds(45);
+  profile.mpi.per_message_overhead = sim::nanoseconds(1200);
+  profile.mpi.extra_seconds_per_byte = 0.05e-9;
+  profile.mpi.rendezvous_handshake = sim::microseconds(90);
+  return profile;
+}
+
+InterconnectProfile infiniband_qdr() {
+  InterconnectProfile profile;
+  profile.name = "IB QDR";
+  profile.fabric.link_bytes_per_second = 3200.0e6;
+  profile.fabric.link_latency = sim::nanoseconds(1300);
+  profile.mpi.software_latency = sim::nanoseconds(1700);  // verbs path
+  profile.mpi.per_message_overhead = sim::nanoseconds(350);
+  profile.mpi.extra_seconds_per_byte = 0.01e-9;
+  profile.mpi.rendezvous_handshake = sim::microseconds(8);
+  return profile;
+}
+
+std::vector<InterconnectProfile> all_interconnects() {
+  return {gigabit_ethernet(), ten_gigabit_ethernet(), infiniband_qdr()};
+}
+
+}  // namespace mpid::proto

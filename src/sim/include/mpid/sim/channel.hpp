@@ -1,0 +1,149 @@
+// FIFO message channel between simulation processes.
+//
+// Unbounded by default; an optional capacity turns send() into a blocking
+// (suspending) operation when full, giving back-pressure. Capacity 0 gives
+// rendezvous semantics: a send completes only when a receiver is waiting.
+//
+// Delivery is strictly FIFO and deterministic: values are handed to
+// receivers in arrival order; blocked senders are released in arrival
+// order. There is no cancellation — a process suspended on a channel stays
+// suspended until a matching operation occurs or the engine is destroyed.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(
+      Engine& engine,
+      std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : engine_(engine), capacity_(capacity) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Number of buffered values.
+  std::size_t size() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Non-suspending send. Returns false (leaving `value` untouched) when
+  /// the channel is full and no receiver is waiting.
+  bool try_send(T& value) {
+    if (!recv_waiters_.empty()) {
+      deliver_to_waiter(std::move(value));
+      return true;
+    }
+    if (queue_.size() < capacity_) {
+      queue_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+  bool try_send(T&& value) { return try_send(value); }
+
+  /// Non-suspending receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) {
+      if (send_waiters_.empty()) return std::nullopt;
+      // Rendezvous: take directly from the oldest blocked sender.
+      SendAwaiter* sender = send_waiters_.front();
+      send_waiters_.pop_front();
+      T value = std::move(sender->value);
+      engine_.schedule_at(engine_.now(), sender->handle);
+      return value;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    release_one_sender();
+    return value;
+  }
+
+  class [[nodiscard]] SendAwaiter {
+   public:
+    SendAwaiter(Channel& channel, T value)
+        : channel_(channel), value(std::move(value)) {}
+    bool await_ready() { return channel_.try_send(value); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      channel_.send_waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class Channel;
+    Channel& channel_;
+    T value;
+    std::coroutine_handle<> handle{};
+  };
+
+  class [[nodiscard]] RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Channel& channel) : channel_(channel) {}
+    bool await_ready() {
+      value = channel_.try_recv();
+      return value.has_value();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      channel_.recv_waiters_.push_back(this);
+    }
+    T await_resume() { return std::move(*value); }
+
+   private:
+    friend class Channel;
+    Channel& channel_;
+    std::optional<T> value{};
+    std::coroutine_handle<> handle{};
+  };
+
+  /// Suspending send; completes when the value is buffered or handed to a
+  /// receiver.
+  SendAwaiter send(T value) { return SendAwaiter(*this, std::move(value)); }
+
+  /// Suspending receive; completes with the next value in FIFO order.
+  RecvAwaiter recv() { return RecvAwaiter(*this); }
+
+  std::size_t recv_waiter_count() const noexcept {
+    return recv_waiters_.size();
+  }
+  std::size_t send_waiter_count() const noexcept {
+    return send_waiters_.size();
+  }
+
+ private:
+  void deliver_to_waiter(T value) {
+    RecvAwaiter* waiter = recv_waiters_.front();
+    recv_waiters_.pop_front();
+    waiter->value = std::move(value);
+    engine_.schedule_at(engine_.now(), waiter->handle);
+  }
+
+  /// After a buffered value is consumed, move the oldest blocked sender's
+  /// value into the freed slot.
+  void release_one_sender() {
+    if (send_waiters_.empty() || queue_.size() >= capacity_) return;
+    SendAwaiter* sender = send_waiters_.front();
+    send_waiters_.pop_front();
+    queue_.push_back(std::move(sender->value));
+    engine_.schedule_at(engine_.now(), sender->handle);
+  }
+
+  Engine& engine_;
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  // The awaiter objects themselves are the waiter nodes; they live in the
+  // suspended coroutines' frames, so their addresses are stable.
+  std::deque<SendAwaiter*> send_waiters_;
+  std::deque<RecvAwaiter*> recv_waiters_;
+};
+
+}  // namespace mpid::sim

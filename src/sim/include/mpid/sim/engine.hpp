@@ -1,0 +1,103 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a priority queue of scheduled
+// coroutine resumptions. Two events at the same timestamp are processed in
+// schedule order (a monotonically increasing sequence number breaks ties),
+// which makes every simulation in this repository fully deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "mpid/sim/task.hpp"
+#include "mpid/sim/time.hpp"
+
+namespace mpid::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Registers a root process. The engine owns its frame and will start it
+  /// at the current virtual time (through the event queue, so spawning is
+  /// never reentrant).
+  void spawn(Task<void> task);
+
+  /// Awaitable: resumes the awaiting coroutine `d` later. d must be >= 0.
+  /// A zero delay still goes through the event queue (yield semantics).
+  [[nodiscard]] auto delay(Time d) {
+    struct Awaiter {
+      Engine& engine;
+      Time duration;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.schedule_after(duration, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Schedules a raw coroutine resumption (used by Event/Channel/Resource).
+  void schedule_at(Time at, std::coroutine_handle<> h);
+  void schedule_after(Time d, std::coroutine_handle<> h);
+
+  /// Runs until the event queue is empty. Rethrows the first exception that
+  /// escaped any root process.
+  void run();
+
+  /// Runs events with timestamp <= deadline, then sets now() = deadline.
+  void run_until(Time deadline);
+
+  /// Processes a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Number of spawned root processes that have not yet completed. After
+  /// run() returns this is nonzero only if processes are deadlocked
+  /// (waiting on an Event/Channel/Resource that nothing will trigger).
+  std::size_t live_process_count() const noexcept {
+    return spawned_ - retired_;
+  }
+
+  /// Total events processed so far (monotonic; useful for zeno guards).
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  friend void detail::retire_root(Engine&, std::coroutine_handle<>,
+                                  std::exception_ptr);
+
+  struct Scheduled {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Scheduled& rhs) const noexcept {
+      if (at != rhs.at) return at > rhs.at;
+      return seq > rhs.seq;
+    }
+  };
+
+  void retire(std::coroutine_handle<> handle, std::exception_ptr exception);
+  void drain_retired();
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_;
+  std::vector<std::coroutine_handle<>> retired_handles_;
+  std::vector<std::coroutine_handle<>> roots_;
+  std::exception_ptr pending_exception_{};
+  Time now_ = kTimeZero;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t spawned_ = 0;
+  std::size_t retired_ = 0;
+};
+
+}  // namespace mpid::sim

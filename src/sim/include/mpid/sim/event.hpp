@@ -1,0 +1,55 @@
+// One-shot broadcast event for simulation processes.
+//
+// Processes co_await ev.wait(); ev.set() resumes every waiter (scheduled at
+// the current virtual time, preserving deterministic FIFO order). Waiting
+// on an already-set event completes immediately without suspension.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::sim {
+
+class Event {
+ public:
+  explicit Event(Engine& engine) noexcept : engine_(engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const noexcept { return set_; }
+
+  /// Sets the event and schedules all current waiters. Idempotent.
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_.schedule_at(engine_.now(), h);
+    waiters_.clear();
+  }
+
+  /// Clears the set flag so the event can be waited on again. Does not
+  /// affect waiters already scheduled by a previous set().
+  void reset() noexcept { set_ = false; }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Event& event;
+      bool await_ready() const noexcept { return event.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace mpid::sim

@@ -1,0 +1,123 @@
+// Counted resource with FIFO acquisition, in the style of SimPy's Resource.
+//
+// Models contended capacities in the cluster simulators: map/reduce task
+// slots on a TaskTracker, disk bandwidth tokens, RPC handler threads.
+//
+// Acquisition is strictly FIFO: a large request at the head of the queue
+// blocks later small requests even if they would fit (no starvation).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::uint64_t capacity)
+      : engine_(engine), capacity_(capacity), available_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Resource: zero capacity");
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t available() const noexcept { return available_; }
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+  class [[nodiscard]] AcquireAwaiter {
+   public:
+    AcquireAwaiter(Resource& resource, std::uint64_t amount)
+        : resource_(resource), amount_(amount) {}
+    bool await_ready() {
+      if (resource_.waiters_.empty() && resource_.available_ >= amount_) {
+        resource_.available_ -= amount_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      resource_.waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class Resource;
+    Resource& resource_;
+    std::uint64_t amount_;
+    std::coroutine_handle<> handle_{};
+  };
+
+  /// Awaitable that completes once `amount` units have been granted.
+  /// `amount` must be <= capacity (otherwise it could never be granted).
+  AcquireAwaiter acquire(std::uint64_t amount = 1) {
+    if (amount == 0 || amount > capacity_) {
+      throw std::invalid_argument("Resource::acquire: bad amount");
+    }
+    return AcquireAwaiter(*this, amount);
+  }
+
+  /// Returns `amount` units and grants as many queued waiters as now fit
+  /// (in FIFO order).
+  void release(std::uint64_t amount = 1) {
+    if (available_ + amount > capacity_) {
+      throw std::logic_error("Resource::release: over-release");
+    }
+    available_ += amount;
+    while (!waiters_.empty() && waiters_.front()->amount_ <= available_) {
+      AcquireAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      available_ -= waiter->amount_;
+      engine_.schedule_at(engine_.now(), waiter->handle_);
+    }
+  }
+
+ private:
+  Engine& engine_;
+  std::uint64_t capacity_;
+  std::uint64_t available_;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+/// RAII helper: releases on scope exit. Acquire explicitly, then adopt:
+///
+///   co_await slots.acquire(2);
+///   sim::Lease lease(slots, 2);
+///   ... // released when lease leaves scope
+class Lease {
+ public:
+  Lease(Resource& resource, std::uint64_t amount) noexcept
+      : resource_(&resource), amount_(amount) {}
+  Lease(Lease&& other) noexcept
+      : resource_(std::exchange(other.resource_, nullptr)),
+        amount_(other.amount_) {}
+  Lease& operator=(Lease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      resource_ = std::exchange(other.resource_, nullptr);
+      amount_ = other.amount_;
+    }
+    return *this;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { reset(); }
+
+  void reset() {
+    if (resource_ != nullptr) {
+      resource_->release(amount_);
+      resource_ = nullptr;
+    }
+  }
+
+ private:
+  Resource* resource_;
+  std::uint64_t amount_;
+};
+
+}  // namespace mpid::sim

@@ -1,0 +1,155 @@
+// Coroutine process type for the discrete-event engine.
+//
+// A simulation process is written as a C++20 coroutine returning Task<> (or
+// Task<T> when it produces a value for its awaiter):
+//
+//   sim::Task<> copier(sim::Engine& eng, net::Link& link) {
+//     co_await eng.delay(sim::milliseconds(3));
+//     co_await link.transfer(bytes);
+//   }
+//
+// Root processes are handed to Engine::spawn, which owns their frames and
+// destroys them after completion. Child tasks are awaited with co_await and
+// owned by the awaiting frame (structured concurrency: a parent cannot
+// complete before its awaited child).
+//
+// Tasks are lazy: nothing runs until the engine resumes a spawned root or a
+// parent co_awaits a child (symmetric transfer starts the child
+// immediately).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace mpid::sim {
+
+class Engine;
+
+namespace detail {
+
+/// Shared, type-erased part of every Task promise. The engine interacts
+/// with coroutines only through this base, so Engine::retire does not need
+/// to know the Task's value type.
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  Engine* owning_engine = nullptr;  // non-null only for spawned roots
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+/// Called by Engine::spawn / FinalAwaiter; defined in engine.cpp to avoid a
+/// circular include.
+void retire_root(Engine& engine, std::coroutine_handle<> handle,
+                 std::exception_ptr exception);
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& promise = static_cast<PromiseBase&>(h.promise());
+    if (promise.continuation) return promise.continuation;
+    if (promise.owning_engine != nullptr) {
+      retire_root(*promise.owning_engine, h, promise.exception);
+    }
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+struct TaskPromise : detail::PromiseBase {
+  T value{};
+
+  Task<T> get_return_object() noexcept;
+  detail::FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_value(T v) noexcept(noexcept(T(std::move(v)))) {
+    value = std::move(v);
+  }
+};
+
+template <>
+struct TaskPromise<void> : detail::PromiseBase {
+  Task<void> get_return_object() noexcept;
+  detail::FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() const noexcept {}
+};
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = TaskPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(handle_type h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  /// Transfers frame ownership to the caller (used by Engine::spawn).
+  handle_type release() noexcept { return std::exchange(handle_, {}); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the parent
+  /// when it completes, returning its value / rethrowing its exception.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      handle_type handle;
+
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) std::rethrow_exception(promise.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(promise.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  handle_type handle_{};
+};
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace mpid::sim

@@ -1,0 +1,65 @@
+// Strongly typed virtual time for the discrete-event engine.
+//
+// All simulated clocks are 64-bit signed nanoseconds. A strong type (rather
+// than a bare int64) keeps byte counts, rates and times from being mixed up
+// in the network and protocol models.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace mpid::sim {
+
+struct Time {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) noexcept {
+    ns += rhs.ns;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) noexcept {
+    ns -= rhs.ns;
+    return *this;
+  }
+
+  constexpr friend Time operator+(Time a, Time b) noexcept {
+    return {a.ns + b.ns};
+  }
+  constexpr friend Time operator-(Time a, Time b) noexcept {
+    return {a.ns - b.ns};
+  }
+  constexpr friend Time operator*(Time a, std::int64_t k) noexcept {
+    return {a.ns * k};
+  }
+  constexpr friend Time operator*(std::int64_t k, Time a) noexcept {
+    return {a.ns * k};
+  }
+
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns) / 1e9;
+  }
+  constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns) / 1e6;
+  }
+  constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns) / 1e3;
+  }
+};
+
+constexpr Time nanoseconds(std::int64_t n) noexcept { return {n}; }
+constexpr Time microseconds(std::int64_t n) noexcept { return {n * 1000}; }
+constexpr Time milliseconds(std::int64_t n) noexcept { return {n * 1000000}; }
+constexpr Time seconds(std::int64_t n) noexcept { return {n * 1000000000}; }
+
+/// Fractional seconds (model parameters are often doubles). Rounds to the
+/// nearest nanosecond.
+constexpr Time from_seconds(double s) noexcept {
+  return {static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+inline constexpr Time kTimeZero{0};
+inline constexpr Time kTimeMax{INT64_MAX};
+
+}  // namespace mpid::sim

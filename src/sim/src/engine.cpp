@@ -1,0 +1,84 @@
+#include "mpid/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mpid::sim {
+
+namespace detail {
+
+void retire_root(Engine& engine, std::coroutine_handle<> handle,
+                 std::exception_ptr exception) {
+  engine.retire(handle, exception);
+}
+
+}  // namespace detail
+
+Engine::~Engine() {
+  // Destroy any root frames that never completed (deadlocked processes or
+  // an aborted run). Child frames are destroyed recursively because they
+  // live as Task locals inside their parents' frames.
+  for (auto handle : roots_) handle.destroy();
+}
+
+void Engine::spawn(Task<void> task) {
+  auto handle = task.release();
+  if (!handle) throw std::invalid_argument("Engine::spawn: empty task");
+  handle.promise().owning_engine = this;
+  roots_.push_back(handle);
+  ++spawned_;
+  schedule_at(now_, handle);
+}
+
+void Engine::schedule_at(Time at, std::coroutine_handle<> h) {
+  assert(h);
+  assert(at >= now_);
+  queue_.push(Scheduled{at, seq_++, h});
+}
+
+void Engine::schedule_after(Time d, std::coroutine_handle<> h) {
+  if (d.ns < 0) throw std::invalid_argument("negative delay");
+  schedule_at(now_ + d, h);
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  const Scheduled next = queue_.top();
+  queue_.pop();
+  assert(next.at >= now_);
+  now_ = next.at;
+  ++events_processed_;
+  next.handle.resume();
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time deadline) {
+  if (deadline < now_) throw std::invalid_argument("deadline in the past");
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  now_ = deadline;
+}
+
+void Engine::retire(std::coroutine_handle<> handle,
+                    std::exception_ptr exception) {
+  ++retired_;
+  const auto it = std::find(roots_.begin(), roots_.end(), handle);
+  assert(it != roots_.end());
+  if (it != roots_.end()) {
+    *it = roots_.back();
+    roots_.pop_back();
+  }
+  handle.destroy();
+  if (exception && !pending_exception_) pending_exception_ = exception;
+}
+
+}  // namespace mpid::sim

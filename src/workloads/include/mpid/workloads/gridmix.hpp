@@ -1,0 +1,47 @@
+// The rest of the GridMix suite (the paper uses its JavaSort; the suite's
+// other members exercise different copy-stage regimes and complete the
+// Table I picture).
+//
+// Classic GridMix1 workloads, as cluster-model job specs:
+//   streamSort   — sort through Hadoop Streaming (slower per-byte map);
+//   javaSort     — the paper's Table I / Figure 1 workload (presets.hpp);
+//   combiner     — aggregation with a map-side combiner (small shuffle);
+//   webdataScan  — filter: tiny intermediate output, few reducers;
+//   webdataSort  — sort over large web records;
+//   monsterQuery — a three-stage chained pipeline, each stage shrinking
+//                  its input (returned as a job sequence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpid/hadoop/spec.hpp"
+
+namespace mpid::workloads {
+
+struct GridmixEntry {
+  std::string name;
+  hadoop::JobSpec job;
+};
+
+hadoop::JobSpec stream_sort_job(const hadoop::ClusterSpec& cluster,
+                                std::uint64_t input_bytes);
+hadoop::JobSpec combiner_job(const hadoop::ClusterSpec& cluster,
+                             std::uint64_t input_bytes);
+hadoop::JobSpec webdata_scan_job(const hadoop::ClusterSpec& cluster,
+                                 std::uint64_t input_bytes);
+hadoop::JobSpec webdata_sort_job(const hadoop::ClusterSpec& cluster,
+                                 std::uint64_t input_bytes);
+
+/// The monsterQuery pipeline: each stage consumes the previous stage's
+/// output (input shrinks by the stage's output ratios).
+std::vector<hadoop::JobSpec> monster_query_pipeline(
+    const hadoop::ClusterSpec& cluster, std::uint64_t input_bytes);
+
+/// Every single-stage GridMix workload (including the paper's JavaSort),
+/// for sweep benches.
+std::vector<GridmixEntry> gridmix_suite(const hadoop::ClusterSpec& cluster,
+                                        std::uint64_t input_bytes);
+
+}  // namespace mpid::workloads

@@ -1,0 +1,45 @@
+// Calibrated workload presets tying the cluster models to the paper's
+// experiments. All constants live here (not scattered through the
+// benches) so EXPERIMENTS.md can point at one calibration site.
+//
+// Calibration anchors (paper, 8-node GigE cluster, Hadoop 0.20.2):
+//  * Figure 1 / Table I — GridMix JavaSort, 64 MB blocks, reduce tasks
+//    scale ~1:1 with maps (Figure 1 shows 2345 reducers for 150 GB);
+//    first-wave reducer copies reach ~4000 s, the body lies in 48-178 s
+//    with mean ~128.5 s; sort ~0.01 s; reduce mean ~6.8 s.
+//  * Figure 6 — WordCount, 49 mappers + 1 reducer; Hadoop 49 s -> 2001 s
+//    and MPI-D 3.9 s -> 1129 s from 1 GB to 100 GB (ratios 8%/48%/56%).
+#pragma once
+
+#include <cstdint>
+
+#include "mpid/hadoop/spec.hpp"
+#include "mpid/mpidsim/system.hpp"
+
+namespace mpid::workloads {
+
+/// The paper's cluster: 8 nodes; Table I varies slots per tasktracker.
+hadoop::ClusterSpec paper_cluster(int map_slots = 8, int reduce_slots = 8);
+
+/// GridMix JavaSort job of `input_bytes` (Figures 1, Table I):
+/// identity map + identity reduce in Java over ~100-byte records, full
+/// intermediate volume (no combining), reduce tasks ~ map tasks.
+hadoop::JobSpec javasort_job(const hadoop::ClusterSpec& cluster,
+                             std::uint64_t input_bytes);
+
+/// Hadoop WordCount (Figure 6 baseline): Java tokenizing map with a
+/// combiner over Zipf text, a single reduce task.
+hadoop::JobSpec hadoop_wordcount_job(std::uint64_t input_bytes);
+
+/// Figure 6 Hadoop cluster configuration: 7/7 slots per node.
+hadoop::ClusterSpec fig6_hadoop_cluster();
+
+/// The MPI-D simulation system of Figure 6: 49 mappers, 1 reducer.
+mpidsim::SystemSpec fig6_mpid_system();
+
+/// WordCount on the MPI-D system (same data statistics as the Hadoop
+/// job; C++ processing rates calibrated from the real library's
+/// microbenchmarks).
+mpidsim::MpidJobSpec mpid_wordcount_job(std::uint64_t input_bytes);
+
+}  // namespace mpid::workloads

@@ -1,0 +1,68 @@
+// Synthetic workload generators standing in for the paper's datasets.
+//
+// The paper processes up to 150 GB of GridMix JavaSort records and up to
+// 100 GB of WordCount text but does not publish the corpora. These
+// generators produce statistically equivalent data deterministically:
+// Zipf-distributed words for WordCount (natural-language-like skew) and
+// TeraSort-style fixed-layout records for JavaSort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/common/zipf.hpp"
+#include "mpid/mapred/input.hpp"
+
+namespace mpid::workloads {
+
+struct TextSpec {
+  std::uint64_t vocabulary = 50000;  // distinct words
+  double zipf_exponent = 1.0;
+  int words_per_line_min = 5;
+  int words_per_line_max = 12;
+};
+
+/// Deterministic word for a Zipf rank: short common words for low ranks,
+/// longer rare ones for high ranks (like natural text).
+std::string word_for_rank(std::uint64_t rank);
+
+/// Generates approximately `target_bytes` of newline-separated text.
+std::string generate_text(const TextSpec& spec, std::uint64_t target_bytes,
+                          std::uint64_t seed);
+
+/// A streaming line source producing approximately `target_bytes` of text
+/// without materializing the corpus (for larger example runs).
+mapred::RecordSource text_source(const TextSpec& spec,
+                                 std::uint64_t target_bytes,
+                                 std::uint64_t seed);
+
+/// TeraSort/JavaSort-style record: 10-byte key, 2-byte tab/rowid filler,
+/// 88-byte printable payload, newline (~100 bytes per record).
+struct RecordSpec {
+  std::size_t key_bytes = 10;
+  std::size_t payload_bytes = 88;
+};
+
+/// One deterministic record (key is uniform-random printable bytes).
+std::string generate_record(const RecordSpec& spec,
+                            common::Xoshiro256StarStar& rng);
+
+/// A streaming source of ~`target_bytes` of sort records.
+mapred::RecordSource record_source(const RecordSpec& spec,
+                                   std::uint64_t target_bytes,
+                                   std::uint64_t seed);
+
+/// Empirically measures WordCount's post-combiner intermediate ratio over
+/// this generator's text: tokens are counted per combine buffer of
+/// `combine_buffer_bytes` input, each distinct word contributing
+/// word+count bytes to the output. This is the measurement behind the
+/// map_output_ratio constants in presets.cpp, kept executable so the
+/// calibration can be re-derived from the data (see
+/// tests/workloads/test_text.cpp).
+double measured_wordcount_combine_ratio(const TextSpec& spec,
+                                        std::uint64_t sample_bytes,
+                                        std::uint64_t combine_buffer_bytes,
+                                        std::uint64_t seed);
+
+}  // namespace mpid::workloads

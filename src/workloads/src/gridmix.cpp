@@ -1,0 +1,101 @@
+#include "mpid/workloads/gridmix.hpp"
+
+#include <algorithm>
+
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid::workloads {
+
+namespace {
+
+int reduces_scaled(const hadoop::ClusterSpec& cluster,
+                   std::uint64_t input_bytes, int divisor) {
+  hadoop::JobSpec probe;
+  probe.input_bytes = input_bytes;
+  return std::max(1, probe.map_tasks_for(cluster) / divisor);
+}
+
+}  // namespace
+
+hadoop::JobSpec stream_sort_job(const hadoop::ClusterSpec& cluster,
+                                std::uint64_t input_bytes) {
+  // Sort through Hadoop Streaming: every record crosses a pipe to an
+  // external process and back, roughly halving the per-task map rate.
+  hadoop::JobSpec job = javasort_job(cluster, input_bytes);
+  job.map_cpu_bytes_per_second *= 0.55;
+  job.reduce_cpu_bytes_per_second *= 0.7;
+  return job;
+}
+
+hadoop::JobSpec combiner_job(const hadoop::ClusterSpec& cluster,
+                             std::uint64_t input_bytes) {
+  // Word-count-style aggregation with a map-side combiner: the shuffle
+  // carries only the combined pairs.
+  hadoop::JobSpec job;
+  job.input_bytes = input_bytes;
+  job.reduce_tasks = reduces_scaled(cluster, input_bytes, 5);
+  job.map_cpu_bytes_per_second = 2.5e6;  // tokenize + combine
+  job.map_output_ratio = 0.3;
+  job.reduce_cpu_bytes_per_second = 20.0e6;
+  job.reduce_output_ratio = 0.3;
+  return job;
+}
+
+hadoop::JobSpec webdata_scan_job(const hadoop::ClusterSpec& cluster,
+                                 std::uint64_t input_bytes) {
+  // Selective filter over web records: the map discards ~98% of bytes.
+  hadoop::JobSpec job;
+  job.input_bytes = input_bytes;
+  job.reduce_tasks = reduces_scaled(cluster, input_bytes, 10);
+  job.map_cpu_bytes_per_second = 8.0e6;  // cheap predicate per record
+  job.map_output_ratio = 0.02;
+  job.reduce_cpu_bytes_per_second = 20.0e6;
+  job.reduce_output_ratio = 1.0;
+  return job;
+}
+
+hadoop::JobSpec webdata_sort_job(const hadoop::ClusterSpec& cluster,
+                                 std::uint64_t input_bytes) {
+  // Sort over large web records: full intermediate volume, slightly
+  // cheaper per byte than JavaSort (bigger records, fewer of them).
+  hadoop::JobSpec job = javasort_job(cluster, input_bytes);
+  job.map_cpu_bytes_per_second = 1.4e6;
+  job.reduce_cpu_bytes_per_second = 12.0e6;
+  return job;
+}
+
+std::vector<hadoop::JobSpec> monster_query_pipeline(
+    const hadoop::ClusterSpec& cluster, std::uint64_t input_bytes) {
+  // Three chained stages, each keeping ~30% of its input (GridMix's
+  // monsterQuery shape). Stage i+1's input is stage i's output volume.
+  std::vector<hadoop::JobSpec> stages;
+  std::uint64_t bytes = input_bytes;
+  for (int stage = 0; stage < 3; ++stage) {
+    hadoop::JobSpec job;
+    job.input_bytes = bytes;
+    job.reduce_tasks = reduces_scaled(cluster, bytes, 3);
+    job.map_cpu_bytes_per_second = 2.0e6;
+    job.map_output_ratio = 0.5;
+    job.reduce_cpu_bytes_per_second = 12.0e6;
+    job.reduce_output_ratio = 0.6;  // 0.5 * 0.6 = 30% kept per stage
+    stages.push_back(job);
+    bytes = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * job.map_output_ratio *
+        job.reduce_output_ratio);
+    bytes = std::max<std::uint64_t>(bytes, 1);
+  }
+  return stages;
+}
+
+std::vector<GridmixEntry> gridmix_suite(const hadoop::ClusterSpec& cluster,
+                                        std::uint64_t input_bytes) {
+  return {
+      {"javaSort", javasort_job(cluster, input_bytes)},
+      {"streamSort", stream_sort_job(cluster, input_bytes)},
+      {"combiner", combiner_job(cluster, input_bytes)},
+      {"webdataScan", webdata_scan_job(cluster, input_bytes)},
+      {"webdataSort", webdata_sort_job(cluster, input_bytes)},
+  };
+}
+
+}  // namespace mpid::workloads

@@ -1,0 +1,141 @@
+#include "mpid/workloads/text.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+namespace mpid::workloads {
+
+std::string word_for_rank(std::uint64_t rank) {
+  // Base-26 encoding of the rank; low ranks yield short words, mirroring
+  // the length/frequency correlation of natural language.
+  std::string word;
+  std::uint64_t v = rank;
+  do {
+    word.push_back(static_cast<char>('a' + v % 26));
+    v /= 26;
+  } while (v > 0);
+  return word;
+}
+
+namespace {
+
+class TextState {
+ public:
+  TextState(const TextSpec& spec, std::uint64_t target_bytes,
+            std::uint64_t seed)
+      : spec_(spec),
+        zipf_(spec.vocabulary, spec.zipf_exponent),
+        rng_(seed),
+        remaining_(target_bytes) {}
+
+  std::optional<std::string> next_line() {
+    if (remaining_ == 0) return std::nullopt;
+    const auto words = rng_.next_in(
+        static_cast<std::uint64_t>(spec_.words_per_line_min),
+        static_cast<std::uint64_t>(spec_.words_per_line_max));
+    std::string line;
+    for (std::uint64_t w = 0; w < words; ++w) {
+      if (w > 0) line.push_back(' ');
+      line.append(word_for_rank(zipf_(rng_)));
+    }
+    const std::uint64_t cost = line.size() + 1;  // + newline
+    remaining_ = cost >= remaining_ ? 0 : remaining_ - cost;
+    return line;
+  }
+
+ private:
+  TextSpec spec_;
+  common::ZipfSampler zipf_;
+  common::Xoshiro256StarStar rng_;
+  std::uint64_t remaining_;
+};
+
+}  // namespace
+
+std::string generate_text(const TextSpec& spec, std::uint64_t target_bytes,
+                          std::uint64_t seed) {
+  TextState state(spec, target_bytes, seed);
+  std::string text;
+  text.reserve(target_bytes + 128);
+  while (auto line = state.next_line()) {
+    text.append(*line);
+    text.push_back('\n');
+  }
+  return text;
+}
+
+mapred::RecordSource text_source(const TextSpec& spec,
+                                 std::uint64_t target_bytes,
+                                 std::uint64_t seed) {
+  auto state = std::make_shared<TextState>(spec, target_bytes, seed);
+  return [state]() { return state->next_line(); };
+}
+
+std::string generate_record(const RecordSpec& spec,
+                            common::Xoshiro256StarStar& rng) {
+  std::string record;
+  record.reserve(spec.key_bytes + 2 + spec.payload_bytes);
+  for (std::size_t i = 0; i < spec.key_bytes; ++i) {
+    record.push_back(static_cast<char>('!' + rng.next_below(94)));
+  }
+  record.push_back('\t');
+  record.push_back('0');
+  for (std::size_t i = 0; i < spec.payload_bytes; ++i) {
+    record.push_back(static_cast<char>('A' + rng.next_below(26)));
+  }
+  return record;
+}
+
+mapred::RecordSource record_source(const RecordSpec& spec,
+                                   std::uint64_t target_bytes,
+                                   std::uint64_t seed) {
+  auto rng = std::make_shared<common::Xoshiro256StarStar>(seed);
+  auto remaining = std::make_shared<std::uint64_t>(target_bytes);
+  return [spec, rng, remaining]() -> std::optional<std::string> {
+    if (*remaining == 0) return std::nullopt;
+    auto record = generate_record(spec, *rng);
+    const std::uint64_t cost = record.size() + 1;
+    *remaining = cost >= *remaining ? 0 : *remaining - cost;
+    return record;
+  };
+}
+
+double measured_wordcount_combine_ratio(const TextSpec& spec,
+                                        std::uint64_t sample_bytes,
+                                        std::uint64_t combine_buffer_bytes,
+                                        std::uint64_t seed) {
+  if (sample_bytes == 0 || combine_buffer_bytes == 0) return 0.0;
+  TextState state(spec, sample_bytes, seed);
+  std::uint64_t input_total = 0, output_total = 0;
+  std::uint64_t buffer_input = 0;
+  std::unordered_map<std::string, std::uint64_t> counts;
+
+  auto flush = [&] {
+    for (const auto& [word, count] : counts) {
+      // One combined pair: word bytes + a decimal count.
+      output_total += word.size() + std::to_string(count).size();
+    }
+    counts.clear();
+    buffer_input = 0;
+  };
+
+  while (auto line = state.next_line()) {
+    input_total += line->size() + 1;
+    buffer_input += line->size() + 1;
+    std::size_t start = 0;
+    while (start < line->size()) {
+      auto end = line->find(' ', start);
+      if (end == std::string::npos) end = line->size();
+      if (end > start) ++counts[line->substr(start, end - start)];
+      start = end + 1;
+    }
+    if (buffer_input >= combine_buffer_bytes) flush();
+  }
+  flush();
+  return input_total > 0
+             ? static_cast<double>(output_total) /
+                   static_cast<double>(input_total)
+             : 0.0;
+}
+
+}  // namespace mpid::workloads

@@ -1,0 +1,68 @@
+#include "mpid/common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace mpid::common {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, ConstexprUsable) {
+  static_assert(fnv1a64("abc") != fnv1a64("abd"));
+  SUCCEED();
+}
+
+TEST(Fmix64, ZeroMapsToZero) { EXPECT_EQ(fmix64(0), 0u); }
+
+TEST(Fmix64, AvalanchesLowBits) {
+  // Consecutive integers should not land in consecutive buckets.
+  int same_bucket = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (fmix64(i) % 16 == fmix64(i + 1) % 16) ++same_bucket;
+  }
+  // Expected ~1/16 of 1000 = 62; allow generous slack.
+  EXPECT_LT(same_bucket, 150);
+}
+
+TEST(HashPartition, InRange) {
+  for (std::uint32_t parts : {1u, 2u, 7u, 49u}) {
+    for (int i = 0; i < 500; ++i) {
+      const auto p = hash_partition("key" + std::to_string(i), parts);
+      EXPECT_LT(p, parts);
+    }
+  }
+}
+
+TEST(HashPartition, Deterministic) {
+  EXPECT_EQ(hash_partition("hello", 7), hash_partition("hello", 7));
+}
+
+class PartitionBalanceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionBalanceTest, RoughlyBalancedOverManyKeys) {
+  const std::uint32_t parts = GetParam();
+  std::map<std::uint32_t, int> counts;
+  const int keys = 20000;
+  for (int i = 0; i < keys; ++i) {
+    ++counts[hash_partition("word-" + std::to_string(i), parts)];
+  }
+  const double expected = static_cast<double>(keys) / parts;
+  for (const auto& [p, c] : counts) {
+    EXPECT_GT(c, expected * 0.8) << "partition " << p;
+    EXPECT_LT(c, expected * 1.2) << "partition " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionBalanceTest,
+                         ::testing::Values(2, 7, 16, 49));
+
+}  // namespace
+}  // namespace mpid::common

@@ -1,0 +1,188 @@
+#include "mpid/common/kvframe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mpid/common/prng.hpp"
+
+namespace mpid::common {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, (1ULL << 32) - 1,
+        1ULL << 32, ~0ULL}) {
+    std::vector<std::byte> buf;
+    put_varint(buf, v);
+    std::size_t off = 0;
+    const auto back = get_varint(buf, off);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST(Varint, TruncatedReturnsNullopt) {
+  std::vector<std::byte> buf;
+  put_varint(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t off = 0;
+  EXPECT_FALSE(get_varint(buf, off).has_value());
+  EXPECT_EQ(off, 0u);  // offset untouched on failure
+}
+
+TEST(Varint, EmptyBufferReturnsNullopt) {
+  std::size_t off = 0;
+  EXPECT_FALSE(get_varint({}, off).has_value());
+}
+
+TEST(KvFrame, RoundTripSimple) {
+  KvWriter w;
+  w.append("apple", "1");
+  w.append("banana", "22");
+  w.append("", "empty-key");
+  w.append("empty-value", "");
+  EXPECT_EQ(w.pair_count(), 4u);
+
+  KvReader r(w.buffer());
+  auto p1 = r.next();
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(p1->key, "apple");
+  EXPECT_EQ(p1->value, "1");
+  auto p2 = r.next();
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->key, "banana");
+  EXPECT_EQ(p2->value, "22");
+  auto p3 = r.next();
+  ASSERT_TRUE(p3);
+  EXPECT_EQ(p3->key, "");
+  EXPECT_EQ(p3->value, "empty-key");
+  auto p4 = r.next();
+  ASSERT_TRUE(p4);
+  EXPECT_EQ(p4->key, "empty-value");
+  EXPECT_EQ(p4->value, "");
+  EXPECT_FALSE(r.next());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(KvFrame, BinarySafePayloads) {
+  std::string key("\0\x01\xff", 3);
+  std::string value(1000, '\0');
+  value[500] = '\x7f';
+  KvWriter w;
+  w.append(key, value);
+  KvReader r(w.buffer());
+  auto p = r.next();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->key, key);
+  EXPECT_EQ(p->value, value);
+}
+
+TEST(KvFrame, CorruptLengthThrows) {
+  KvWriter w;
+  w.append("k", "v");
+  auto buf = w.take();
+  buf[0] = static_cast<std::byte>(0xff);  // klen varint now truncated/overlong
+  buf.resize(2);
+  KvReader r(buf);
+  EXPECT_THROW(r.next(), std::runtime_error);
+}
+
+TEST(KvFrame, OversizedLengthThrows) {
+  std::vector<std::byte> buf;
+  put_varint(buf, 1000);  // klen claims 1000 bytes
+  put_varint(buf, 0);
+  buf.push_back(std::byte{'x'});  // but only 1 byte present
+  KvReader r(buf);
+  EXPECT_THROW(r.next(), std::runtime_error);
+}
+
+TEST(KvFrame, TakeResetsWriter) {
+  KvWriter w;
+  w.append("a", "b");
+  auto buf = w.take();
+  EXPECT_FALSE(buf.empty());
+  EXPECT_EQ(w.pair_count(), 0u);
+  EXPECT_EQ(w.byte_size(), 0u);
+}
+
+TEST(KvFrame, PropertyRandomRoundTrip) {
+  Xoshiro256StarStar rng(404);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto n = rng.next_in(0, 200);
+    std::vector<std::pair<std::string, std::string>> pairs;
+    KvWriter w;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string k(rng.next_below(64), 'k');
+      std::string v(rng.next_below(256), 'v');
+      for (auto& c : k) c = static_cast<char>(rng.next_below(256));
+      for (auto& c : v) c = static_cast<char>(rng.next_below(256));
+      pairs.emplace_back(k, v);
+      w.append(k, v);
+    }
+    KvReader r(w.buffer());
+    for (const auto& [k, v] : pairs) {
+      auto p = r.next();
+      ASSERT_TRUE(p);
+      EXPECT_EQ(p->key, k);
+      EXPECT_EQ(p->value, v);
+    }
+    EXPECT_FALSE(r.next());
+  }
+}
+
+TEST(KvListFrame, RoundTripGroups) {
+  KvListWriter w;
+  w.begin_group("fruit", 3);
+  w.add_value("apple");
+  w.add_value("pear");
+  w.add_value("plum");
+  w.begin_group("none", 0);
+  w.begin_group("one", 1);
+  w.add_value("x");
+  EXPECT_EQ(w.group_count(), 3u);
+
+  KvListReader r(w.buffer());
+  auto g1 = r.next();
+  ASSERT_TRUE(g1);
+  EXPECT_EQ(g1->key, "fruit");
+  ASSERT_EQ(g1->values.size(), 3u);
+  EXPECT_EQ(g1->values[0], "apple");
+  EXPECT_EQ(g1->values[2], "plum");
+  auto g2 = r.next();
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->key, "none");
+  EXPECT_TRUE(g2->values.empty());
+  auto g3 = r.next();
+  ASSERT_TRUE(g3);
+  EXPECT_EQ(g3->key, "one");
+  EXPECT_FALSE(r.next());
+}
+
+TEST(KvListFrame, IncompleteGroupRejected) {
+  KvListWriter w;
+  w.begin_group("k", 2);
+  w.add_value("v1");
+  EXPECT_THROW(w.begin_group("k2", 1), std::logic_error);
+}
+
+TEST(KvListFrame, ExtraValueRejected) {
+  KvListWriter w;
+  w.begin_group("k", 1);
+  w.add_value("v");
+  EXPECT_THROW(w.add_value("extra"), std::logic_error);
+}
+
+TEST(KvListFrame, CorruptCountThrows) {
+  std::vector<std::byte> buf;
+  put_varint(buf, 1);
+  buf.push_back(std::byte{'k'});
+  put_varint(buf, 5);  // claims 5 values, none present
+  KvListReader r(buf);
+  EXPECT_THROW(r.next(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpid::common

@@ -1,0 +1,108 @@
+// Robustness fuzzing for the frame decoders: random mutations of valid
+// frames must either parse (possibly to different data) or throw — never
+// crash, hang, or read out of bounds (ASAN-observable). The reducer-side
+// reverse realignment depends on this discipline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/common/prng.hpp"
+
+namespace mpid::common {
+namespace {
+
+std::vector<std::byte> valid_kv_frame(Xoshiro256StarStar& rng) {
+  KvWriter writer;
+  const auto pairs = rng.next_in(1, 30);
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    std::string k(rng.next_below(20), 'k');
+    std::string v(rng.next_below(50), 'v');
+    writer.append(k, v);
+  }
+  return writer.take();
+}
+
+std::vector<std::byte> valid_kvlist_frame(Xoshiro256StarStar& rng) {
+  KvListWriter writer;
+  const auto groups = rng.next_in(1, 15);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    const auto values = rng.next_below(6);
+    writer.begin_group("key" + std::to_string(g), values);
+    for (std::uint64_t v = 0; v < values; ++v) writer.add_value("val");
+  }
+  return writer.take();
+}
+
+class FrameFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST_P(FrameFuzzTest, MutatedKvFramesNeverCrash) {
+  Xoshiro256StarStar rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    auto frame = valid_kv_frame(rng);
+    // Mutate 1-5 random bytes and/or truncate.
+    const auto mutations = rng.next_in(1, 5);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      frame[rng.next_below(frame.size())] =
+          static_cast<std::byte>(rng.next_below(256));
+    }
+    if (rng.next_below(3) == 0) frame.resize(rng.next_below(frame.size() + 1));
+
+    KvReader reader(frame);
+    try {
+      std::size_t pairs = 0;
+      while (reader.next()) {
+        if (++pairs > 100000) FAIL() << "decoder failed to terminate";
+      }
+    } catch (const std::runtime_error&) {
+      // Corruption detected: acceptable.
+    }
+  }
+}
+
+TEST_P(FrameFuzzTest, MutatedKvListFramesNeverCrash) {
+  Xoshiro256StarStar rng(GetParam() * 131);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto frame = valid_kvlist_frame(rng);
+    const auto mutations = rng.next_in(1, 5);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      frame[rng.next_below(frame.size())] =
+          static_cast<std::byte>(rng.next_below(256));
+    }
+    if (rng.next_below(3) == 0) frame.resize(rng.next_below(frame.size() + 1));
+
+    KvListReader reader(frame);
+    try {
+      std::size_t groups = 0;
+      while (reader.next()) {
+        if (++groups > 100000) FAIL() << "decoder failed to terminate";
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(FrameFuzzTest, RandomGarbageNeverCrashes) {
+  Xoshiro256StarStar rng(GetParam() * 733);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::byte> garbage(rng.next_below(300));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.next_below(256));
+    KvReader kv(garbage);
+    KvListReader kvl(garbage);
+    try {
+      while (kv.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      while (kvl.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpid::common

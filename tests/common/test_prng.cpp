@@ -1,0 +1,81 @@
+#include "mpid/common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mpid::common {
+namespace {
+
+TEST(SplitMix64, KnownVectors) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = g.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256StarStar g(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, NextInIsInclusive) {
+  Xoshiro256StarStar g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(g.next_in(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(Xoshiro, UniformMeanCloseToHalf) {
+  Xoshiro256StarStar g(123);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class XoshiroBucketTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XoshiroBucketTest, NextBelowIsRoughlyUniform) {
+  const std::uint64_t buckets = GetParam();
+  Xoshiro256StarStar g(GetParam() * 7919 + 1);
+  std::vector<int> counts(buckets, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[g.next_below(buckets)];
+  const double expected = static_cast<double>(draws) / buckets;
+  for (auto c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, XoshiroBucketTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace mpid::common

@@ -1,0 +1,87 @@
+#include "mpid/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpid::common {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownSeries) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(SampleSet, PercentileOfEmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::domain_error);
+}
+
+TEST(SampleSet, PercentileOutOfRangeThrows) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::out_of_range);
+  EXPECT_THROW(s.percentile(101), std::out_of_range);
+}
+
+TEST(SampleSet, AddAfterPercentileStillCounted) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Log2Histogram, BucketsByFloorLog2) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 2u);   // 0 and 1
+  EXPECT_EQ(h.bucket_count(1), 2u);   // 2 and 3
+  EXPECT_EQ(h.bucket_count(2), 1u);   // 4
+  EXPECT_EQ(h.bucket_count(10), 1u);  // 1024
+  EXPECT_EQ(h.bucket_count(63), 0u);
+  EXPECT_EQ(h.bucket_count(999), 0u);  // out of range is 0, not UB
+}
+
+}  // namespace
+}  // namespace mpid::common

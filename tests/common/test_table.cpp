@@ -1,0 +1,56 @@
+#include "mpid/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mpid::common {
+namespace {
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowWidthMismatchRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"size", "latency"});
+  t.add_row({"1 B", "1.3 ms"});
+  t.add_row({"64 MiB", "56.8 s"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("56.8 s"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+  // All rows rendered: 1 header + 1 rule + 2 rows = 4 newline-terminated lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlignedToWidestCell) {
+  TextTable t({"x", "y"});
+  t.add_row({"short", "a"});
+  t.add_row({"much-longer-cell", "b"});
+  const auto out = t.render();
+  // Both data lines must have equal length because of padding.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(Strformat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strformat("%.2f%%", 82.654), "82.65%");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace mpid::common

@@ -1,0 +1,42 @@
+#include "mpid/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpid::common {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024ull * 1024u * 1024u);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(1), "1 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(64 * MiB), "64.00 MiB");
+  EXPECT_EQ(format_bytes(150 * GiB), "150.00 GiB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(0), "0 ns");
+  EXPECT_EQ(format_duration_ns(999), "999 ns");
+  EXPECT_EQ(format_duration_ns(1000), "1.00 us");
+  EXPECT_EQ(format_duration_ns(1300000), "1.30 ms");
+  EXPECT_EQ(format_duration_ns(56827000000LL), "56.83 s");
+  EXPECT_EQ(format_duration_ns(-1500), "-1.50 us");
+}
+
+TEST(Units, BytesPerSecond) {
+  EXPECT_DOUBLE_EQ(bytes_per_second(1000, 1000000000LL), 1000.0);
+  EXPECT_DOUBLE_EQ(bytes_per_second(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bytes_per_second(100, -5), 0.0);
+  // 128 MiB in 1.2 s.
+  EXPECT_NEAR(bytes_per_second(128 * MiB, 1200000000LL) / (1024.0 * 1024.0),
+              106.7, 0.1);
+}
+
+}  // namespace
+}  // namespace mpid::common

@@ -1,0 +1,81 @@
+#include "mpid/common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mpid::common {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, SingleElementAlwaysOne) {
+  ZipfSampler z(1, 1.0);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler z(1000, 1.0);
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = z(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, RankOneIsMostFrequent) {
+  ZipfSampler z(100, 1.0);
+  Xoshiro256StarStar rng(3);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z(rng)];
+  for (std::uint64_t k = 2; k <= 100; ++k) {
+    EXPECT_GE(counts[1], counts[k]) << "rank " << k;
+  }
+}
+
+class ZipfFrequencyTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalFrequenciesMatchTheory) {
+  const auto [n, s] = GetParam();
+  ZipfSampler z(n, s);
+  Xoshiro256StarStar rng(n * 31 + static_cast<std::uint64_t>(s * 10));
+  const int draws = 200000;
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < draws; ++i) ++counts[z(rng)];
+
+  double hn = 0.0;  // generalized harmonic number
+  for (std::uint64_t k = 1; k <= n; ++k) hn += std::pow(k, -s);
+
+  // Check the head ranks (where counts are large enough for a tight bound).
+  for (std::uint64_t k = 1; k <= std::min<std::uint64_t>(n, 5); ++k) {
+    const double expected = std::pow(k, -s) / hn * draws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.08 + 30)
+        << "n=" << n << " s=" << s << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfFrequencyTest,
+    ::testing::Values(std::pair<std::uint64_t, double>{50, 1.0},
+                      std::pair<std::uint64_t, double>{1000, 1.0},
+                      std::pair<std::uint64_t, double>{1000, 0.8},
+                      std::pair<std::uint64_t, double>{1000, 1.2},
+                      std::pair<std::uint64_t, double>{100000, 1.0}));
+
+TEST(Zipf, DeterministicGivenSameRngSeed) {
+  ZipfSampler z(500, 1.0);
+  Xoshiro256StarStar a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+}  // namespace
+}  // namespace mpid::common

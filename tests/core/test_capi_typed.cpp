@@ -1,0 +1,208 @@
+// Tests for the Table II C-style shim and the typed key-value layer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "mpid/core/capi.hpp"
+#include "mpid/core/typed.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::core {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_world;
+
+TEST(CApi, TableTwoWordCountVerbatimShape) {
+  // The paper's Figure 5 WordCount, ported onto the shim.
+  Config cfg;
+  cfg.mappers = 2;
+  cfg.reducers = 1;
+  std::map<std::string, int> counts;
+  std::mutex mu;
+
+  run_world(cfg.world_size(), [&](Comm& comm) {
+    capi::MPI_D_Init(comm, cfg);
+    switch (capi::MPI_D_Role()) {
+      case Role::kMapper:
+        for (const char* word : {"alpha", "beta", "alpha"}) {
+          capi::MPI_D_Send(word, "1");
+        }
+        break;
+      case Role::kReducer: {
+        std::string k, v;
+        std::lock_guard lock(mu);
+        while (capi::MPI_D_Recv(k, v)) counts[k] += std::stoi(v);
+        break;
+      }
+      case Role::kMaster:
+        break;
+    }
+    const auto report = capi::MPI_D_Finalize();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(report.mappers_completed, 2);
+      EXPECT_EQ(report.totals.pairs_sent, 6u);
+    }
+  });
+  EXPECT_EQ(counts.at("alpha"), 4);
+  EXPECT_EQ(counts.at("beta"), 2);
+}
+
+TEST(CApi, LifecycleErrors) {
+  Config cfg;
+  cfg.mappers = 1;
+  cfg.reducers = 1;
+  run_world(cfg.world_size(), [&](Comm& comm) {
+    EXPECT_FALSE(capi::MPI_D_Initialized());
+    std::string k, v;
+    EXPECT_THROW(capi::MPI_D_Send("k", "v"), std::logic_error);
+    EXPECT_THROW((void)capi::MPI_D_Recv(k, v), std::logic_error);
+    EXPECT_THROW((void)capi::MPI_D_Finalize(), std::logic_error);
+
+    capi::MPI_D_Init(comm, cfg);
+    EXPECT_TRUE(capi::MPI_D_Initialized());
+    EXPECT_THROW(capi::MPI_D_Init(comm, cfg), std::logic_error);
+
+    if (capi::MPI_D_Role() == Role::kReducer) {
+      while (capi::MPI_D_Recv(k, v)) {
+      }
+    }
+    (void)capi::MPI_D_Finalize();
+    EXPECT_FALSE(capi::MPI_D_Initialized());
+  });
+}
+
+TEST(CApi, BackToBackJobsOnOneRankThread) {
+  // Init/finalize cycles must be clean: a second job on the same rank
+  // threads reuses the thread-local slot.
+  Config cfg;
+  cfg.mappers = 1;
+  cfg.reducers = 1;
+  run_world(cfg.world_size(), [&](Comm& comm) {
+    for (int round = 0; round < 3; ++round) {
+      capi::MPI_D_Init(comm, cfg);
+      std::string k, v;
+      if (capi::MPI_D_Role() == Role::kMapper) {
+        capi::MPI_D_Send("round", std::to_string(round));
+      } else if (capi::MPI_D_Role() == Role::kReducer) {
+        ASSERT_TRUE(capi::MPI_D_Recv(k, v));
+        EXPECT_EQ(v, std::to_string(round));
+        EXPECT_FALSE(capi::MPI_D_Recv(k, v));
+      }
+      (void)capi::MPI_D_Finalize();
+      EXPECT_FALSE(capi::MPI_D_Initialized());
+    }
+  });
+}
+
+// ------------------------------- codecs --------------------------------
+
+TEST(KvCodec, UnsignedRoundTripAndOrder) {
+  for (std::uint64_t v : {0ull, 1ull, 255ull, 256ull, ~0ull}) {
+    EXPECT_EQ(KvCodec<std::uint64_t>::decode(KvCodec<std::uint64_t>::encode(v)),
+              v);
+  }
+  EXPECT_LT(KvCodec<std::uint64_t>::encode(1),
+            KvCodec<std::uint64_t>::encode(256));
+  EXPECT_LT(KvCodec<std::uint32_t>::encode(7),
+            KvCodec<std::uint32_t>::encode(1u << 30));
+}
+
+TEST(KvCodec, SignedRoundTripAndOrder) {
+  for (std::int64_t v : {std::int64_t{INT64_MIN}, std::int64_t{-1000},
+                         std::int64_t{-1}, std::int64_t{0}, std::int64_t{1},
+                         std::int64_t{INT64_MAX}}) {
+    EXPECT_EQ(KvCodec<std::int64_t>::decode(KvCodec<std::int64_t>::encode(v)),
+              v);
+  }
+  EXPECT_LT(KvCodec<std::int64_t>::encode(-5),
+            KvCodec<std::int64_t>::encode(3));
+  EXPECT_LT(KvCodec<std::int64_t>::encode(INT64_MIN),
+            KvCodec<std::int64_t>::encode(INT64_MAX));
+}
+
+TEST(KvCodec, DoubleRoundTripAndOrder) {
+  for (double v : {-1e300, -1.5, -0.0, 0.0, 2.25, 1e300}) {
+    EXPECT_EQ(KvCodec<double>::decode(KvCodec<double>::encode(v)), v);
+  }
+  EXPECT_LT(KvCodec<double>::encode(-2.0), KvCodec<double>::encode(-1.0));
+  EXPECT_LT(KvCodec<double>::encode(-1.0), KvCodec<double>::encode(0.5));
+  EXPECT_LT(KvCodec<double>::encode(0.5), KvCodec<double>::encode(100.0));
+}
+
+TEST(KvCodec, WrongWidthThrows) {
+  EXPECT_THROW(KvCodec<std::uint32_t>::decode("toolongbytes"),
+               std::runtime_error);
+}
+
+TEST(TypedMpiD, IntegerKeyedHistogram) {
+  Config cfg;
+  cfg.mappers = 2;
+  cfg.reducers = 2;
+  cfg.sort_keys = true;
+  cfg.combiner = typed_combiner<std::uint64_t>(
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+  std::map<std::int64_t, std::uint64_t> histogram;
+  std::mutex mu;
+  run_world(cfg.world_size(), [&](Comm& comm) {
+    TypedMpiD<std::int64_t, std::uint64_t> d(comm, cfg);
+    switch (d.role()) {
+      case Role::kMapper:
+        for (int i = -50; i < 50; ++i) d.send(i % 7, 1);
+        d.finalize();
+        break;
+      case Role::kReducer: {
+        std::map<std::int64_t, std::uint64_t> local;
+        std::int64_t key;
+        std::uint64_t count;
+        while (d.recv(key, count)) local[key] += count;
+        d.finalize();
+        std::lock_guard lock(mu);
+        for (const auto& [k, n] : local) histogram[k] += n;
+        break;
+      }
+      case Role::kMaster:
+        d.finalize();
+        break;
+    }
+  });
+  // i % 7 over [-50, 50) hits -6..6; each mapper emits 100 values total.
+  std::uint64_t total = 0;
+  for (const auto& [k, n] : histogram) {
+    EXPECT_GE(k, -6);
+    EXPECT_LE(k, 6);
+    total += n;
+  }
+  EXPECT_EQ(total, 200u);
+  EXPECT_EQ(histogram.at(0), 30u);  // -49..49: 15 multiples of 7 per mapper
+}
+
+TEST(TypedMpiD, DoubleValues) {
+  Config cfg;
+  cfg.mappers = 1;
+  cfg.reducers = 1;
+  run_world(cfg.world_size(), [&](Comm& comm) {
+    TypedMpiD<std::string, double> d(comm, cfg);
+    if (d.role() == Role::kMapper) {
+      d.send("pi", 3.14159);
+      d.send("e", 2.71828);
+      d.finalize();
+    } else if (d.role() == Role::kReducer) {
+      std::map<std::string, double> got;
+      std::string k;
+      double v;
+      while (d.recv(k, v)) got[k] = v;
+      d.finalize();
+      EXPECT_DOUBLE_EQ(got.at("pi"), 3.14159);
+      EXPECT_DOUBLE_EQ(got.at("e"), 2.71828);
+    } else {
+      d.finalize();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpid::core

@@ -1,0 +1,69 @@
+// Randomized MiniDfs round-trip and failure-model properties.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/dfs/minidfs.hpp"
+
+namespace mpid::dfs {
+namespace {
+
+class DfsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(DfsPropertyTest, RandomFilesRoundTrip) {
+  common::Xoshiro256StarStar rng(GetParam());
+  const int nodes = static_cast<int>(rng.next_in(1, 6));
+  DfsConfig config;
+  config.block_size_bytes = rng.next_in(1, 4096);
+  config.replication =
+      static_cast<int>(rng.next_in(1, static_cast<std::uint64_t>(nodes)));
+  MiniDfs fs(nodes, config);
+
+  std::map<std::string, std::string> reference;
+  for (int f = 0; f < 30; ++f) {
+    std::string data(rng.next_below(20000), '\0');
+    for (auto& c : data) c = static_cast<char>(rng.next_below(256));
+    const std::string path = "/f" + std::to_string(rng.next_below(20));
+    fs.create(path, data);  // may overwrite a previous file
+    reference[path] = std::move(data);
+  }
+  for (const auto& [path, data] : reference) {
+    EXPECT_EQ(fs.read(path), data) << path;
+    EXPECT_EQ(fs.file_size(path), data.size());
+    // Random range read agrees with the reference substring.
+    if (!data.empty()) {
+      const auto offset = rng.next_below(data.size());
+      const auto length = rng.next_below(data.size() - offset + 1);
+      EXPECT_EQ(fs.read_range(path, offset, length),
+                data.substr(offset, length));
+    }
+  }
+  EXPECT_EQ(fs.list("/").size(), reference.size());
+}
+
+TEST_P(DfsPropertyTest, SingleFailureNeverLosesDataWithReplicationTwo) {
+  common::Xoshiro256StarStar rng(GetParam() * 37);
+  const int nodes = static_cast<int>(rng.next_in(2, 6));
+  DfsConfig config;
+  config.block_size_bytes = 64;
+  config.replication = 2;
+  MiniDfs fs(nodes, config);
+
+  std::string data(5000, '\0');
+  for (auto& c : data) c = static_cast<char>(rng.next_below(256));
+  fs.create("/resilient", data);
+
+  // Any single datanode failure leaves every block readable.
+  for (int victim = 0; victim < nodes; ++victim) {
+    fs.kill_datanode(victim);
+    EXPECT_EQ(fs.missing_blocks(), 0u) << "victim " << victim;
+    EXPECT_EQ(fs.read("/resilient"), data) << "victim " << victim;
+    fs.revive_datanode(victim);
+  }
+}
+
+}  // namespace
+}  // namespace mpid::dfs

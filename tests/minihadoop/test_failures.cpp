@@ -1,0 +1,98 @@
+// MiniHadoop under storage failures: jobs read through DFS replicas, and
+// reruns overwrite outputs cleanly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "mpid/dfs/minidfs.hpp"
+#include "mpid/minihadoop/minihadoop.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace mpid::minihadoop {
+namespace {
+
+MiniJobConfig wordcount_config(const std::string& input) {
+  MiniJobConfig job;
+  job.map = [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  mapred::ReduceContext& ctx) {
+    ctx.emit(key, std::to_string(values.size()));
+  };
+  job.input_path = input;
+  job.map_tasks = 4;
+  job.reduce_tasks = 2;
+  return job;
+}
+
+std::map<std::string, std::uint64_t> outputs_of(
+    dfs::MiniDfs& fs, const std::vector<std::string>& files) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& path : files) {
+    std::istringstream in(fs.read(path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      counts[line.substr(0, tab)] += std::stoull(line.substr(tab + 1));
+    }
+  }
+  return counts;
+}
+
+TEST(MiniHadoopFailures, JobSurvivesDatanodeLossViaReplicas) {
+  dfs::MiniDfs fs(3, {.block_size_bytes = 8 * 1024, .replication = 2});
+  const auto text = workloads::generate_text({}, 64 * 1024, 404);
+  fs.create("/in", text);
+
+  fs.kill_datanode(1);
+  ASSERT_EQ(fs.missing_blocks(), 0u);  // replication covers the loss
+
+  MiniCluster cluster(fs, 2);
+  const auto summary = cluster.run(wordcount_config("/in"));
+  std::uint64_t total = 0;
+  for (const auto& [k, n] : outputs_of(fs, summary.output_files)) total += n;
+
+  std::istringstream in(text);
+  std::string w;
+  std::uint64_t expected = 0;
+  while (in >> w) ++expected;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(MiniHadoopFailures, TotalDataLossSurfacesAsError) {
+  dfs::MiniDfs fs(2, {.block_size_bytes = 8 * 1024, .replication = 1});
+  fs.create("/in", workloads::generate_text({}, 32 * 1024, 405));
+  fs.kill_datanode(0);
+  fs.kill_datanode(1);
+  MiniCluster cluster(fs, 2);
+  EXPECT_THROW(cluster.run(wordcount_config("/in")), std::runtime_error);
+}
+
+TEST(MiniHadoopFailures, RerunOverwritesOutputs) {
+  dfs::MiniDfs fs(2);
+  fs.create("/in", "alpha beta alpha\n");
+  MiniCluster cluster(fs, 1);
+  auto job = wordcount_config("/in");
+  job.map_tasks = 1;
+  job.reduce_tasks = 1;
+
+  const auto first = cluster.run(job);
+  const auto counts1 = outputs_of(fs, first.output_files);
+  const auto second = cluster.run(job);
+  const auto counts2 = outputs_of(fs, second.output_files);
+  EXPECT_EQ(counts1, counts2);
+  EXPECT_EQ(counts2.at("alpha"), 2u);
+  // Still exactly one output file per reduce task (no stale parts).
+  EXPECT_EQ(fs.list(job.output_prefix).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mpid::minihadoop

@@ -1,0 +1,81 @@
+// MiniHadoop shape matrix: correctness across tasktracker / map-task /
+// reduce-task combinations, against a serial reference, on random text.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "mpid/dfs/minidfs.hpp"
+#include "mpid/minihadoop/minihadoop.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace mpid::minihadoop {
+namespace {
+
+struct Shape {
+  int tasktrackers;
+  int map_tasks;
+  int reduce_tasks;
+};
+
+class ShapeTest : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeTest,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 4, 2}, Shape{2, 2, 2},
+                      Shape{3, 8, 1}, Shape{2, 5, 4}, Shape{4, 4, 4},
+                      Shape{2, 12, 3}));
+
+TEST_P(ShapeTest, WordCountMatchesReference) {
+  const auto [trackers, maps, reduces] = GetParam();
+  dfs::MiniDfs fs(2);
+  const auto text = workloads::generate_text(
+      {}, 40 * 1024,
+      static_cast<std::uint64_t>(trackers * 100 + maps * 10 + reduces));
+  fs.create("/in", text);
+
+  MiniCluster cluster(fs, trackers);
+  MiniJobConfig job;
+  job.map = [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  mapred::ReduceContext& ctx) {
+    ctx.emit(key, std::to_string(values.size()));
+  };
+  job.input_path = "/in";
+  job.map_tasks = maps;
+  job.reduce_tasks = reduces;
+  const auto summary = cluster.run(job);
+
+  // Reference.
+  std::map<std::string, std::uint64_t> expected;
+  {
+    std::istringstream in(text);
+    std::string w;
+    while (in >> w) ++expected[w];
+  }
+  std::map<std::string, std::uint64_t> got;
+  for (const auto& path : summary.output_files) {
+    std::istringstream in(fs.read(path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      got[line.substr(0, tab)] += std::stoull(line.substr(tab + 1));
+    }
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(summary.output_files.size(), static_cast<std::size_t>(reduces));
+  EXPECT_EQ(summary.shuffle_requests,
+            static_cast<std::uint64_t>(maps) *
+                static_cast<std::uint64_t>(reduces));
+}
+
+}  // namespace
+}  // namespace mpid::minihadoop

@@ -1,0 +1,243 @@
+// Collective operations across varying world sizes (parameterized), plus
+// correctness under skew and repeated invocation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/ops.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+namespace {
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectiveTest, BarrierCompletes) {
+  run_world(GetParam(), [](Comm& comm) {
+    for (int i = 0; i < 5; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    for (Rank root = 0; root < n; ++root) {
+      const std::string payload = "root-" + std::to_string(root);
+      std::vector<std::byte> data;
+      if (comm.rank() == root) {
+        const auto* p = reinterpret_cast<const std::byte*>(payload.data());
+        data.assign(p, p + payload.size());
+      }
+      comm.bcast_bytes(data, root);
+      const std::string got(reinterpret_cast<const char*>(data.data()),
+                            data.size());
+      EXPECT_EQ(got, payload);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, BcastValue) {
+  const int n = GetParam();
+  run_world(n, [](Comm& comm) {
+    const double v = comm.bcast_value(comm.rank() == 0 ? 3.25 : -1.0, 0);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumAtEveryRoot) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    for (Rank root = 0; root < n; ++root) {
+      const auto result =
+          comm.reduce_value(static_cast<std::int64_t>(comm.rank() + 1), Sum{},
+                            root);
+      if (comm.rank() == root) {
+        EXPECT_EQ(result, static_cast<std::int64_t>(n) * (n + 1) / 2);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceVectorElementwise) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    std::vector<int> contrib{comm.rank(), comm.rank() * 2, 1};
+    const auto result =
+        comm.reduce(std::span<const int>(contrib), Sum{}, 0);
+    if (comm.rank() == 0) {
+      const int ranks_sum = n * (n - 1) / 2;
+      EXPECT_EQ(result[0], ranks_sum);
+      EXPECT_EQ(result[1], ranks_sum * 2);
+      EXPECT_EQ(result[2], n);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceMinMax) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    const int lo = comm.reduce_value(comm.rank() * 3 + 5, Min{}, 0);
+    const int hi = comm.reduce_value(comm.rank() * 3 + 5, Max{}, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(lo, 5);
+      EXPECT_EQ(hi, (n - 1) * 3 + 5);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceEveryRankGetsResult) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    const auto total = comm.allreduce_value(std::uint64_t{1}, Sum{});
+    EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+  });
+}
+
+TEST_P(CollectiveTest, GatherVariableSizes) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    // Rank r contributes r+1 bytes of value 'a'+r.
+    std::vector<std::byte> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                static_cast<std::byte>('a' + comm.rank()));
+    auto parts = comm.gather_bytes(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(n));
+      for (Rank r = 0; r < n; ++r) {
+        const auto& part = parts[static_cast<std::size_t>(r)];
+        EXPECT_EQ(part.size(), static_cast<std::size_t>(r + 1));
+        for (auto b : part) EXPECT_EQ(b, static_cast<std::byte>('a' + r));
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, GatherTyped) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    const int mine = comm.rank() * comm.rank();
+    auto flat = comm.gather(std::span<const int>(&mine, 1), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(flat.size(), static_cast<std::size_t>(n));
+      for (Rank r = 0; r < n; ++r) {
+        EXPECT_EQ(flat[static_cast<std::size_t>(r)], r * r);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScatterVariableSizes) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    std::vector<std::vector<std::byte>> parts;
+    if (comm.rank() == 0) {
+      parts.resize(static_cast<std::size_t>(n));
+      for (Rank r = 0; r < n; ++r) {
+        parts[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(2 * r + 1),
+            static_cast<std::byte>(r));
+      }
+    }
+    const auto mine = comm.scatter_bytes(parts, 0);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(2 * comm.rank() + 1));
+    for (auto b : mine) EXPECT_EQ(b, static_cast<std::byte>(comm.rank()));
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallPersonalizedExchange) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    // Rank s sends "s*100+d" to rank d.
+    std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(n));
+    for (Rank d = 0; d < n; ++d) {
+      const int v = comm.rank() * 100 + d;
+      const auto* p = reinterpret_cast<const std::byte*>(&v);
+      out[static_cast<std::size_t>(d)].assign(p, p + sizeof(int));
+    }
+    auto in = comm.alltoall_bytes(std::move(out));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(n));
+    for (Rank s = 0; s < n; ++s) {
+      int v;
+      ASSERT_EQ(in[static_cast<std::size_t>(s)].size(), sizeof(int));
+      std::memcpy(&v, in[static_cast<std::size_t>(s)].data(), sizeof(int));
+      EXPECT_EQ(v, s * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllgatherEveryoneSeesAll) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    const std::string mine(static_cast<std::size_t>(comm.rank() + 1),
+                           static_cast<char>('A' + comm.rank()));
+    auto all = comm.allgather_bytes(
+        std::as_bytes(std::span<const char>(mine.data(), mine.size())));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (Rank r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+    }
+  });
+}
+
+TEST_P(CollectiveTest, BackToBackCollectivesDoNotCrossMatch) {
+  const int n = GetParam();
+  run_world(n, [n](Comm& comm) {
+    // Rapid-fire different collectives; any tag/context leakage between
+    // them would corrupt values or hang.
+    for (int round = 0; round < 20; ++round) {
+      const auto s = comm.allreduce_value(comm.rank() + round, Sum{});
+      EXPECT_EQ(s, n * (n - 1) / 2 + n * round);
+      const int b = comm.bcast_value(comm.rank() == 0 ? round : -1, 0);
+      EXPECT_EQ(b, round);
+    }
+  });
+}
+
+TEST(Collectives, MixedP2PAndCollectiveTraffic) {
+  run_world(4, [](Comm& comm) {
+    // P2P with wildcard receives running between collectives must not
+    // swallow collective internals.
+    if (comm.rank() == 0) {
+      for (int i = 1; i < 4; ++i) {
+        (void)comm.recv_value<int>(kAnySource, kAnyTag);
+      }
+    } else {
+      comm.send_value(0, comm.rank(), comm.rank());
+    }
+    comm.barrier();
+    const int total = comm.allreduce_value(1, Sum{});
+    EXPECT_EQ(total, 4);
+  });
+}
+
+TEST(Collectives, ScatterWrongPartCountThrows) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::vector<std::byte>> parts(1);  // needs 2
+      EXPECT_THROW(comm.scatter_bytes(parts, 0), std::invalid_argument);
+      // Unblock peer.
+      comm.send_bytes(1, 0, {});
+    } else {
+      std::vector<std::byte> buf;
+      comm.recv_bytes(0, 0, buf);
+    }
+  });
+}
+
+TEST(Collectives, AlltoallWrongBufferCountThrows) {
+  run_world(1, [](Comm& comm) {
+    std::vector<std::vector<std::byte>> out(3);  // needs 1
+    EXPECT_THROW(comm.alltoall_bytes(std::move(out)), std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace mpid::minimpi

@@ -1,0 +1,90 @@
+// Failure-injection tests for minimpi: mismatched collectives, missing
+// peers and misuse must surface as timeouts/errors, never hangs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/ops.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Failure, MismatchedBarrierTimesOut) {
+  // Rank 1 never enters the barrier: rank 0's barrier must time out with
+  // the deadlock diagnostic instead of hanging forever.
+  EXPECT_THROW(run_world(2, 100ms,
+                         [](Comm& comm) {
+                           if (comm.rank() == 0) comm.barrier();
+                         }),
+               std::runtime_error);
+}
+
+TEST(Failure, MismatchedCollectiveKindsTimeOut) {
+  // One rank reduces while the other broadcasts: sequence numbers make
+  // the messages unmatchable, so both sides time out rather than
+  // mis-matching each other's traffic.
+  EXPECT_THROW(
+      run_world(2, 100ms,
+                [](Comm& comm) {
+                  if (comm.rank() == 0) {
+                    (void)comm.reduce_value(1, Sum{}, 0);
+                  } else {
+                    std::vector<std::byte> buf;
+                    comm.bcast_bytes(buf, 0);
+                  }
+                }),
+      std::runtime_error);
+}
+
+TEST(Failure, RecvFromRankThatNeverSendsTimesOut) {
+  EXPECT_THROW(run_world(3, 100ms,
+                         [](Comm& comm) {
+                           if (comm.rank() == 0) {
+                             (void)comm.recv_value<int>(2, 0);
+                           }
+                           // Ranks 1 and 2 exit immediately.
+                         }),
+               std::runtime_error);
+}
+
+TEST(Failure, DiagnosticNamesTheFilters) {
+  try {
+    run_world(1, 50ms, [](Comm& comm) {
+      std::vector<std::byte> buf;
+      comm.recv_bytes(0, 42, buf);
+    });
+    FAIL() << "expected timeout";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tag filter 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+  }
+}
+
+TEST(Failure, ExceptionInOneRankDoesNotHangOthers) {
+  // Rank 1 throws before its send; rank 0's recv times out; run_world
+  // must propagate an exception (either rank's) after joining everyone.
+  EXPECT_THROW(run_world(2, 100ms,
+                         [](Comm& comm) {
+                           if (comm.rank() == 1) {
+                             throw std::logic_error("rank 1 died early");
+                           }
+                           (void)comm.recv_value<int>(1, 0);
+                         }),
+               std::exception);
+}
+
+TEST(Failure, SplitWithMissingParticipantTimesOut) {
+  EXPECT_THROW(run_world(2, 100ms,
+                         [](Comm& comm) {
+                           if (comm.rank() == 0) (void)comm.split(0, 0);
+                         }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpid::minimpi

@@ -1,0 +1,144 @@
+// MPI_Comm_split semantics: partitioning, rank reordering by key,
+// isolation between sub-communicators, collectives within them, and
+// MPI_UNDEFINED handling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/ops.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+namespace {
+
+TEST(Split, PartitionsByColorWithStableRanks) {
+  run_world(6, [](Comm& comm) {
+    // Even ranks -> color 0, odd -> color 1; key = old rank.
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank(), comm.rank() / 2);
+  });
+}
+
+TEST(Split, KeyReversesOrder) {
+  run_world(4, [](Comm& comm) {
+    // One color; key descending in old rank -> new ranks reversed.
+    auto sub = comm.split(0, -comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(Split, NegativeColorYieldsNoCommunicator) {
+  run_world(4, [](Comm& comm) {
+    // Rank 0 opts out (MPI_UNDEFINED); others form one group.
+    auto sub = comm.split(comm.rank() == 0 ? -1 : 7, comm.rank());
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(sub.has_value());
+    } else {
+      ASSERT_TRUE(sub.has_value());
+      EXPECT_EQ(sub->size(), 3);
+      EXPECT_EQ(sub->rank(), comm.rank() - 1);
+    }
+  });
+}
+
+TEST(Split, PointToPointWithinSubComm) {
+  run_world(6, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    // Within each 3-rank group: 0 -> 1 -> 2 -> 0 ring in LOCAL ranks.
+    const Rank next = (sub->rank() + 1) % sub->size();
+    const Rank prev = (sub->rank() + sub->size() - 1) % sub->size();
+    sub->send_value(next, 0, sub->rank() * 10 + comm.rank() % 2);
+    Status st;
+    const int got = sub->recv_value<int>(prev, 0, &st);
+    EXPECT_EQ(got, prev * 10 + comm.rank() % 2);
+    EXPECT_EQ(st.source, prev);  // status is in local rank space
+  });
+}
+
+TEST(Split, WildcardStatusTranslated) {
+  run_world(4, [](Comm& comm) {
+    auto sub = comm.split(0, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    if (sub->rank() == 0) {
+      for (int i = 1; i < sub->size(); ++i) {
+        Status st;
+        const int v = sub->recv_value<int>(kAnySource, kAnyTag, &st);
+        EXPECT_EQ(v, st.source);  // each sender sent its own local rank
+      }
+    } else {
+      sub->send_value(0, 3, sub->rank());
+    }
+  });
+}
+
+TEST(Split, TrafficIsolatedBetweenGroups) {
+  run_world(4, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    // Everyone broadcasts a group-specific value within its group; any
+    // cross-group leakage would corrupt it.
+    const int value = sub->bcast_value(
+        sub->rank() == 0 ? 100 + comm.rank() % 2 : -1, 0);
+    EXPECT_EQ(value, 100 + comm.rank() % 2);
+    const int total = sub->allreduce_value(1, Sum{});
+    EXPECT_EQ(total, 2);
+  });
+}
+
+TEST(Split, CollectivesInSubCommOfSubComm) {
+  run_world(8, [](Comm& comm) {
+    auto half = comm.split(comm.rank() / 4, comm.rank());  // two groups of 4
+    ASSERT_TRUE(half.has_value());
+    auto quarter = half->split(half->rank() / 2, half->rank());  // groups of 2
+    ASSERT_TRUE(quarter.has_value());
+    EXPECT_EQ(quarter->size(), 2);
+    const int sum = quarter->allreduce_value(comm.rank(), Sum{});
+    // The two world ranks in my quarter are consecutive.
+    const int base = (comm.rank() / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+TEST(Split, GatherInSubComm) {
+  run_world(6, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() < 2 ? 0 : 1, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    const int mine = comm.rank() * comm.rank();
+    auto flat = sub->gather(std::span<const int>(&mine, 1), 0);
+    if (sub->rank() == 0) {
+      ASSERT_EQ(flat.size(), static_cast<std::size_t>(sub->size()));
+      // Group members' world ranks are known: {0,1} or {2,3,4,5}.
+      if (comm.rank() == 0) {
+        EXPECT_EQ(flat, (std::vector<int>{0, 1}));
+      } else {
+        EXPECT_EQ(flat, (std::vector<int>{4, 9, 16, 25}));
+      }
+    }
+  });
+}
+
+TEST(Split, RepeatedSplitsStayIsolated) {
+  run_world(4, [](Comm& comm) {
+    auto a = comm.split(0, comm.rank());
+    auto b = comm.split(0, comm.rank());
+    ASSERT_TRUE(a && b);
+    // Same membership, different contexts: sends on `a` must not be
+    // received on `b`.
+    if (a->rank() == 0) {
+      a->send_value(1, 0, 111);
+      b->send_value(1, 0, 222);
+    } else if (a->rank() == 1) {
+      EXPECT_EQ(b->recv_value<int>(0, 0), 222);
+      EXPECT_EQ(a->recv_value<int>(0, 0), 111);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpid::minimpi

@@ -1,0 +1,95 @@
+// MPI_Ssend semantics: completion requires a matching receive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Ssend, CompletesAgainstPrePostedRecv) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.ssend_value(1, 0, 42);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 42);
+    }
+  });
+}
+
+TEST(Ssend, BlocksUntilReceiverArrives) {
+  std::atomic<bool> receiver_started{false};
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.ssend_value(1, 0, 7);
+      // By synchronous semantics, the receive must have matched (and thus
+      // the receiver-side delay elapsed) before ssend returned.
+      EXPECT_TRUE(receiver_started.load());
+    } else {
+      std::this_thread::sleep_for(50ms);
+      receiver_started.store(true);
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 7);
+    }
+  });
+}
+
+TEST(Ssend, OrderingWithBufferedSends) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, 1);   // buffered
+      comm.ssend_value(1, 0, 2);  // must not overtake
+      comm.send_value(1, 0, 3);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 1);
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 3);
+    }
+  });
+}
+
+TEST(Ssend, UnmatchedTimesOut) {
+  EXPECT_THROW(run_world(2, 100ms,
+                         [](Comm& comm) {
+                           if (comm.rank() == 0) {
+                             comm.ssend_value(1, 5, 1);  // nobody receives
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(Ssend, WorksAcrossSplitComms) {
+  run_world(4, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    ASSERT_TRUE(sub.has_value());
+    if (sub->rank() == 0) {
+      sub->ssend_value(1, 0, comm.rank());
+    } else {
+      const int v = sub->recv_value<int>(0, 0);
+      EXPECT_EQ(v % 2, comm.rank() % 2);  // sender from my own color group
+    }
+  });
+}
+
+TEST(Ssend, MatchedByIrecvToo) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buf;
+      Request req = comm.irecv_bytes(1, 0, buf);
+      comm.send_value(1, 1, 0);  // tell peer to ssend
+      req.wait();
+      EXPECT_EQ(buf.size(), sizeof(int));
+    } else {
+      (void)comm.recv_value<int>(0, 1);
+      comm.ssend_value(0, 0, 99);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpid::minimpi

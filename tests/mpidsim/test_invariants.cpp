@@ -1,0 +1,93 @@
+// Randomized invariants for the MPI-D system model: ordering, parameter
+// monotonicity and conservation across arbitrary specs.
+#include <gtest/gtest.h>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::mpidsim {
+namespace {
+
+using common::GiB;
+using common::MiB;
+
+class MpidSimInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+INSTANTIATE_TEST_SUITE_P(Seeds, MpidSimInvariantTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST_P(MpidSimInvariantTest, RandomSpecsProduceConsistentResults) {
+  common::Xoshiro256StarStar rng(GetParam());
+
+  SystemSpec spec;
+  spec.nodes = static_cast<int>(rng.next_in(2, 8));
+  spec.mappers_per_node = static_cast<int>(rng.next_in(1, 8));
+  spec.reducers = static_cast<int>(rng.next_in(1, 8));
+  spec.overlap_sends = rng.next_below(2) == 1;
+  spec.spill_input_bytes = rng.next_in(1, 32) * MiB;
+
+  MpidJobSpec job;
+  job.input_bytes = rng.next_in(0, 8) * GiB + rng.next_below(100 * MiB);
+  job.map_output_ratio = 0.05 + rng.next_double();
+  job.reduce_output_ratio = rng.next_double();
+
+  sim::Engine engine;
+  MpidSystem system(engine, spec);
+  const auto result = system.run(job);
+
+  EXPECT_GE(result.map_phase_end.ns, spec.job_startup.ns);
+  EXPECT_GE(result.reduce_end, result.map_phase_end);
+  EXPECT_EQ(result.makespan.ns, result.reduce_end.ns);  // fresh engine
+  EXPECT_NEAR(result.intermediate_bytes,
+              static_cast<double>(job.input_bytes) * job.map_output_ratio,
+              static_cast<double>(job.input_bytes) * 0.02 + 1.0);
+}
+
+TEST_P(MpidSimInvariantTest, MoreInputNeverFaster) {
+  common::Xoshiro256StarStar rng(GetParam() * 7);
+  SystemSpec spec;
+  spec.reducers = static_cast<int>(rng.next_in(1, 4));
+  auto run_bytes = [&](std::uint64_t bytes) {
+    sim::Engine engine;
+    MpidSystem system(engine, spec);
+    MpidJobSpec job;
+    job.input_bytes = bytes;
+    return system.run(job).makespan.to_seconds();
+  };
+  double previous = 0;
+  for (const std::uint64_t gib : {1ull, 4ull, 16ull}) {
+    const double t = run_bytes(gib * GiB);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST_P(MpidSimInvariantTest, FasterMapCpuNeverSlower) {
+  common::Xoshiro256StarStar rng(GetParam() * 13);
+  const std::uint64_t input = rng.next_in(1, 8) * GiB;
+  auto run_cpu = [&](double rate) {
+    SystemSpec spec;
+    spec.map_cpu_bytes_per_second = rate;
+    sim::Engine engine;
+    MpidSystem system(engine, spec);
+    MpidJobSpec job;
+    job.input_bytes = input;
+    return system.run(job).makespan.to_seconds();
+  };
+  EXPECT_LE(run_cpu(50e6), run_cpu(10e6) * 1.001);
+}
+
+TEST(MpidSimInvariants, ZeroInputIsStartupOnly) {
+  sim::Engine engine;
+  MpidSystem system(engine, SystemSpec{});
+  MpidJobSpec job;
+  job.input_bytes = 0;
+  const auto result = system.run(job);
+  EXPECT_LT(result.makespan.to_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(result.intermediate_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace mpid::mpidsim

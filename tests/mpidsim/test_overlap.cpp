@@ -1,0 +1,60 @@
+// Send/compute overlap ablation invariants on the MPI-D system model.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid::mpidsim {
+namespace {
+
+using common::GiB;
+
+sim::Time run_with(bool overlap, int reducers, std::uint64_t input) {
+  auto spec = workloads::fig6_mpid_system();
+  spec.overlap_sends = overlap;
+  spec.reducers = reducers;
+  sim::Engine engine;
+  MpidSystem system(engine, spec);
+  return system.run(workloads::mpid_wordcount_job(input)).makespan;
+}
+
+TEST(Overlap, OverlapWinsAtScale) {
+  // 100 GB, 8 reducers: the mapper pipeline is exposed, so buffered
+  // (overlapped) sends must beat synchronous ones.
+  const auto overlapped = run_with(true, 8, 100 * GiB);
+  const auto synchronous = run_with(false, 8, 100 * GiB);
+  EXPECT_LT(overlapped, synchronous);
+}
+
+TEST(Overlap, NeverSignificantlyWorse) {
+  // At smaller scales shared-disk phase interactions can swing a few
+  // percent either way; overlap must never lose by more than that noise.
+  for (const int reducers : {1, 8}) {
+    const double overlapped = run_with(true, reducers, 20 * GiB).to_seconds();
+    const double synchronous =
+        run_with(false, reducers, 20 * GiB).to_seconds();
+    EXPECT_GE(synchronous, overlapped * 0.93)
+        << reducers << " reducers: overlap lost by more than noise";
+  }
+}
+
+TEST(Overlap, IrrelevantWhenReducerIsTheBottleneck) {
+  // With the spill-bound single reducer the send path is fully hidden.
+  const double overlapped = run_with(true, 1, 100 * GiB).to_seconds();
+  const double synchronous = run_with(false, 1, 100 * GiB).to_seconds();
+  EXPECT_NEAR(overlapped, synchronous, overlapped * 0.02);
+}
+
+TEST(Scalability, MoreReducersNeverSlower) {
+  double previous = run_with(true, 1, 50 * GiB).to_seconds();
+  for (const int reducers : {2, 4, 8}) {
+    const double t = run_with(true, reducers, 50 * GiB).to_seconds();
+    EXPECT_LE(t, previous * 1.02) << reducers;
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace mpid::mpidsim

@@ -1,0 +1,230 @@
+// Fabric model invariants: serial transfer time, fair sharing, per-flow
+// caps, loopback isolation, and conservation checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mpid/net/fabric.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::net {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+constexpr double kMB = 1e6;
+
+FabricSpec simple_spec(double link_Bps = 100.0 * kMB,
+                       Time latency = sim::microseconds(50)) {
+  FabricSpec spec;
+  spec.link_bytes_per_second = link_Bps;
+  spec.link_latency = latency;
+  spec.loopback_bytes_per_second = 1000.0 * kMB;
+  return spec;
+}
+
+Task<> timed_transfer(Engine& eng, Fabric& fab, int src, int dst,
+                      std::uint64_t bytes, Time& out, double cap) {
+  const Time start = eng.now();
+  co_await fab.transfer(src, dst, bytes, cap);
+  out = eng.now() - start;
+}
+
+Task<> timed_transfer(Engine& eng, Fabric& fab, int src, int dst,
+                      std::uint64_t bytes, Time& out) {
+  return timed_transfer(eng, fab, src, dst, bytes, out, Fabric::kUncapped);
+}
+
+TEST(Fabric, ValidatesConstruction) {
+  Engine eng;
+  EXPECT_THROW(Fabric(eng, 0), std::invalid_argument);
+  FabricSpec bad;
+  bad.link_bytes_per_second = 0;
+  EXPECT_THROW(Fabric(eng, 2, bad), std::invalid_argument);
+}
+
+TEST(Fabric, SingleTransferTakesLatencyPlusWireTime) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec());
+  Time elapsed;
+  eng.spawn(timed_transfer(eng, fab, 0, 1, 100 * static_cast<std::uint64_t>(kMB),
+                           elapsed));
+  eng.run();
+  // 100 MB at 100 MB/s = 1 s, + 50 us latency (+1 ns rounding guard).
+  EXPECT_NEAR(elapsed.to_seconds(), 1.0 + 50e-6, 1e-4);
+  EXPECT_EQ(fab.active_flows(), 0u);
+}
+
+TEST(Fabric, ZeroByteTransferPaysOnlyLatency) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec());
+  Time elapsed;
+  eng.spawn(timed_transfer(eng, fab, 0, 1, 0, elapsed));
+  eng.run();
+  EXPECT_EQ(elapsed, sim::microseconds(50));
+}
+
+TEST(Fabric, RejectsBadArguments) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec());
+  bool threw_range = false, threw_cap = false;
+  eng.spawn([](Fabric& f, bool& a, bool& b) -> Task<> {
+    try {
+      co_await f.transfer(0, 5, 1);
+    } catch (const std::out_of_range&) {
+      a = true;
+    }
+    try {
+      co_await f.transfer(0, 1, 1, 0.0);
+    } catch (const std::invalid_argument&) {
+      b = true;
+    }
+  }(fab, threw_range, threw_cap));
+  eng.run();
+  EXPECT_TRUE(threw_range);
+  EXPECT_TRUE(threw_cap);
+}
+
+TEST(Fabric, TwoFlowsShareSourceUplink) {
+  Engine eng;
+  Fabric fab(eng, 3, simple_spec());
+  Time t1, t2;
+  const auto bytes = static_cast<std::uint64_t>(50 * kMB);
+  // Same source, different destinations: bottleneck is the shared uplink.
+  eng.spawn(timed_transfer(eng, fab, 0, 1, bytes, t1));
+  eng.spawn(timed_transfer(eng, fab, 0, 2, bytes, t2));
+  eng.run();
+  // Each gets 50 MB/s: 1 s each.
+  EXPECT_NEAR(t1.to_seconds(), 1.0, 1e-3);
+  EXPECT_NEAR(t2.to_seconds(), 1.0, 1e-3);
+}
+
+TEST(Fabric, DisjointFlowsDoNotInterfere) {
+  Engine eng;
+  Fabric fab(eng, 4, simple_spec());
+  Time t1, t2;
+  const auto bytes = static_cast<std::uint64_t>(100 * kMB);
+  eng.spawn(timed_transfer(eng, fab, 0, 1, bytes, t1));
+  eng.spawn(timed_transfer(eng, fab, 2, 3, bytes, t2));
+  eng.run();
+  EXPECT_NEAR(t1.to_seconds(), 1.0, 1e-3);
+  EXPECT_NEAR(t2.to_seconds(), 1.0, 1e-3);
+}
+
+TEST(Fabric, FanInSharesDestinationDownlink) {
+  Engine eng;
+  Fabric fab(eng, 5, simple_spec());
+  std::vector<Time> times(4);
+  const auto bytes = static_cast<std::uint64_t>(25 * kMB);
+  for (int s = 1; s <= 4; ++s) {
+    eng.spawn(timed_transfer(eng, fab, s, 0, bytes,
+                             times[static_cast<std::size_t>(s - 1)]));
+  }
+  eng.run();
+  // 4 flows into one 100 MB/s downlink: 25 MB/s each -> 1 s.
+  for (const auto& t : times) EXPECT_NEAR(t.to_seconds(), 1.0, 1e-3);
+}
+
+TEST(Fabric, ShortFlowFinishesAndLongFlowSpeedsUp) {
+  Engine eng;
+  Fabric fab(eng, 3, simple_spec(100 * kMB, sim::kTimeZero));
+  Time t_short, t_long;
+  eng.spawn(timed_transfer(eng, fab, 0, 2, static_cast<std::uint64_t>(25 * kMB),
+                           t_short));
+  eng.spawn(timed_transfer(eng, fab, 1, 2, static_cast<std::uint64_t>(75 * kMB),
+                           t_long));
+  eng.run();
+  // Phase 1: both at 50 MB/s until short (25 MB) finishes at t=0.5 s.
+  // Phase 2: long has 50 MB left at full 100 MB/s -> finishes at t=1.0 s.
+  EXPECT_NEAR(t_short.to_seconds(), 0.5, 1e-3);
+  EXPECT_NEAR(t_long.to_seconds(), 1.0, 1e-3);
+}
+
+TEST(Fabric, RateCapLimitsFlow) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec(100 * kMB, sim::kTimeZero));
+  Time t;
+  eng.spawn(timed_transfer(eng, fab, 0, 1, static_cast<std::uint64_t>(10 * kMB),
+                           t, 1.4e6));  // Hadoop-RPC-like cap
+  eng.run();
+  EXPECT_NEAR(t.to_seconds(), 10.0 / 1.4, 1e-2);
+}
+
+TEST(Fabric, CappedFlowLeavesCapacityToOthers) {
+  Engine eng;
+  Fabric fab(eng, 3, simple_spec(100 * kMB, sim::kTimeZero));
+  Time t_capped, t_free;
+  // Both flows into host 2. One capped at 10 MB/s; the other should get
+  // the remaining 90 MB/s, not the 50/50 fair split.
+  eng.spawn(timed_transfer(eng, fab, 0, 2, static_cast<std::uint64_t>(10 * kMB),
+                           t_capped, 10e6));
+  eng.spawn(timed_transfer(eng, fab, 1, 2, static_cast<std::uint64_t>(90 * kMB),
+                           t_free));
+  eng.run();
+  EXPECT_NEAR(t_capped.to_seconds(), 1.0, 1e-2);
+  EXPECT_NEAR(t_free.to_seconds(), 1.0, 1e-2);
+}
+
+TEST(Fabric, LoopbackDoesNotConsumeNetworkLinks) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec(100 * kMB, sim::kTimeZero));
+  Time t_local, t_net;
+  // Local transfer on host 0 runs at loopback speed and must not slow the
+  // network flow 0 -> 1.
+  eng.spawn(timed_transfer(eng, fab, 0, 0,
+                           static_cast<std::uint64_t>(1000 * kMB), t_local));
+  eng.spawn(timed_transfer(eng, fab, 0, 1,
+                           static_cast<std::uint64_t>(100 * kMB), t_net));
+  eng.run();
+  EXPECT_NEAR(t_local.to_seconds(), 1.0, 1e-2);  // 1000 MB at 1000 MB/s
+  EXPECT_NEAR(t_net.to_seconds(), 1.0, 1e-2);    // full 100 MB/s
+}
+
+TEST(Fabric, ManyFlowsConservation) {
+  Engine eng;
+  Fabric fab(eng, 4, simple_spec(100 * kMB, sim::kTimeZero));
+  const int flows_per_pair = 3;
+  int completions = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      for (int k = 0; k < flows_per_pair; ++k) {
+        eng.spawn([](Fabric& f, int src, int dst, int& done) -> Task<> {
+          co_await f.transfer(src, dst, static_cast<std::uint64_t>(5 * kMB));
+          ++done;
+        }(fab, s, d, completions));
+      }
+    }
+  }
+  eng.run();
+  EXPECT_EQ(completions, 4 * 3 * flows_per_pair);
+  EXPECT_EQ(fab.active_flows(), 0u);
+  EXPECT_EQ(fab.bytes_carried(),
+            static_cast<std::uint64_t>(4 * 3 * flows_per_pair * 5 * kMB));
+  // All-to-all symmetric load at 5 MB x 3 per pair: each uplink carries
+  // 45 MB at 100 MB/s with full overlap -> ~0.45 s wall clock.
+  EXPECT_NEAR(eng.now().to_seconds(), 0.45, 0.05);
+}
+
+TEST(Fabric, StaggeredArrivalsRecomputeRates) {
+  Engine eng;
+  Fabric fab(eng, 2, simple_spec(100 * kMB, sim::kTimeZero));
+  Time t_first;
+  eng.spawn(timed_transfer(eng, fab, 0, 1,
+                           static_cast<std::uint64_t>(100 * kMB), t_first));
+  // Second flow arrives halfway through the first.
+  eng.spawn([](Engine& e, Fabric& f) -> Task<> {
+    co_await e.delay(sim::milliseconds(500));
+    co_await f.transfer(0, 1, static_cast<std::uint64_t>(50 * kMB));
+  }(eng, fab));
+  eng.run();
+  // First: 50 MB in [0, 0.5], then shares 50/50 -> 50 MB more at 50 MB/s
+  // -> finishes at 1.5 s.
+  EXPECT_NEAR(t_first.to_seconds(), 1.5, 1e-2);
+}
+
+}  // namespace
+}  // namespace mpid::net

@@ -1,0 +1,107 @@
+// Randomized fabric invariants: all flows complete, rates never exceed
+// capacities, and completion times respect physical lower bounds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpid/common/prng.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::net {
+namespace {
+
+struct FlowRecord {
+  int src, dst;
+  std::uint64_t bytes;
+  sim::Time start, end;
+};
+
+class FabricPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+TEST_P(FabricPropertyTest, RandomFlowsAllCompleteWithPhysicalBounds) {
+  sim::Engine eng;
+  FabricSpec spec;
+  spec.link_bytes_per_second = 100e6;
+  spec.link_latency = sim::microseconds(50);
+  const int hosts = 6;
+  Fabric fabric(eng, hosts, spec);
+
+  common::Xoshiro256StarStar rng(GetParam());
+  const int flows = static_cast<int>(rng.next_in(5, 60));
+  std::vector<FlowRecord> records(static_cast<std::size_t>(flows));
+
+  for (int f = 0; f < flows; ++f) {
+    auto& record = records[static_cast<std::size_t>(f)];
+    record.src = static_cast<int>(rng.next_below(hosts));
+    record.dst = static_cast<int>(rng.next_below(hosts));
+    record.bytes = rng.next_in(1, 20'000'000);
+    const auto start_at = sim::milliseconds(
+        static_cast<std::int64_t>(rng.next_below(500)));
+    eng.spawn([](sim::Engine& e, Fabric& fab, FlowRecord& r,
+                 sim::Time at) -> sim::Task<> {
+      co_await e.delay(at);
+      r.start = e.now();
+      co_await fab.transfer(r.src, r.dst, r.bytes);
+      r.end = e.now();
+    }(eng, fabric, record, start_at));
+  }
+  eng.run();
+
+  EXPECT_EQ(fabric.active_flows(), 0u);
+  double total_bytes = 0;
+  for (const auto& r : records) {
+    // Lower bound: wire time at full dedicated rate plus latency.
+    const double min_seconds =
+        (r.src == r.dst
+             ? static_cast<double>(r.bytes) / spec.loopback_bytes_per_second
+             : static_cast<double>(r.bytes) / spec.link_bytes_per_second) +
+        spec.link_latency.to_seconds();
+    const double actual = (r.end - r.start).to_seconds();
+    EXPECT_GE(actual, min_seconds * 0.999) << r.bytes;
+    total_bytes += static_cast<double>(r.bytes);
+  }
+  // Aggregate upper bound: the busiest possible schedule still cannot
+  // beat every network byte crossing some uplink at link rate, so the
+  // makespan is at least total network bytes / aggregate uplink capacity.
+  double network_bytes = 0;
+  for (const auto& r : records) {
+    if (r.src != r.dst) network_bytes += static_cast<double>(r.bytes);
+  }
+  EXPECT_GE(eng.now().to_seconds() + 1e-9,
+            network_bytes / (hosts * spec.link_bytes_per_second));
+}
+
+TEST_P(FabricPropertyTest, PairwiseSequentialEqualsSum) {
+  // Sanity: with no concurrency, transfer times add up exactly.
+  sim::Engine eng;
+  FabricSpec spec;
+  spec.link_bytes_per_second = 50e6;
+  spec.link_latency = sim::kTimeZero;
+  Fabric fabric(eng, 3, spec);
+  common::Xoshiro256StarStar rng(GetParam() * 7);
+  const int n = 10;
+  std::vector<std::uint64_t> sizes;
+  for (int i = 0; i < n; ++i) sizes.push_back(rng.next_in(1000, 5'000'000));
+
+  sim::Time elapsed;
+  eng.spawn([](sim::Engine& e, Fabric& fab,
+               const std::vector<std::uint64_t>& sizes,
+               sim::Time& out) -> sim::Task<> {
+    const auto start = e.now();
+    for (const auto bytes : sizes) co_await fab.transfer(0, 1, bytes);
+    out = e.now() - start;
+  }(eng, fabric, sizes, elapsed));
+  eng.run();
+
+  double expected = 0;
+  for (const auto bytes : sizes) {
+    expected += static_cast<double>(bytes) / 50e6;
+  }
+  EXPECT_NEAR(elapsed.to_seconds(), expected, expected * 0.001 + 1e-6);
+}
+
+}  // namespace
+}  // namespace mpid::net

@@ -1,0 +1,132 @@
+// Consistency between each protocol's closed-form costs and its
+// discrete-event execution over an idle fabric, swept over sizes; plus
+// basic sanity of the model family (monotonicity, jitter bounds).
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/proto/profiles.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::proto {
+namespace {
+
+using common::KiB;
+using common::MiB;
+
+class SizeSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweepTest,
+                         ::testing::Values(1, 64, 1 * KiB, 32 * KiB,
+                                           256 * KiB, 1 * MiB, 8 * MiB));
+
+TEST_P(SizeSweepTest, MpiDesMatchesClosedForm) {
+  const auto bytes = GetParam();
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  MpiModel mpi(engine, fabric);
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, MpiModel& m, std::uint64_t n,
+                  sim::Time& out) -> sim::Task<> {
+    const auto start = eng.now();
+    co_await m.send(0, 1, n);
+    out = eng.now() - start;
+  }(engine, mpi, bytes, elapsed));
+  engine.run();
+  const double expected = mpi.one_way_latency(bytes).to_seconds();
+  // The DES path books per-byte CPU cost as part of the wire flow; both
+  // agree within the extra-per-byte term.
+  EXPECT_NEAR(elapsed.to_seconds(), expected, expected * 0.06 + 1e-6);
+}
+
+TEST_P(SizeSweepTest, NioDesMatchesClosedForm) {
+  const auto bytes = GetParam();
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  NioSocketModel nio(engine, fabric);
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, NioSocketModel& m, std::uint64_t n,
+                  sim::Time& out) -> sim::Task<> {
+    const auto start = eng.now();
+    co_await m.send(0, 1, n);
+    out = eng.now() - start;
+  }(engine, nio, bytes, elapsed));
+  engine.run();
+  const double expected = nio.one_way_latency(bytes).to_seconds();
+  EXPECT_NEAR(elapsed.to_seconds(), expected, expected * 0.06 + 1e-6);
+}
+
+TEST_P(SizeSweepTest, RpcDesRoundTripBoundedByOneWayParts) {
+  const auto bytes = GetParam();
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  HadoopRpcModel rpc(engine, fabric);
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, HadoopRpcModel& m, std::uint64_t n,
+                  sim::Time& out) -> sim::Task<> {
+    const auto start = eng.now();
+    co_await m.call(0, 1, n, 32);
+    out = eng.now() - start;
+  }(engine, rpc, bytes, elapsed));
+  engine.run();
+  // Round trip exceeds the request's one-way cost but stays under the
+  // sum of both one-way costs plus the ack handling.
+  EXPECT_GT(elapsed.to_seconds(),
+            rpc.one_way_latency(bytes).to_seconds() * 0.8);
+  EXPECT_LT(elapsed.to_seconds(),
+            rpc.one_way_latency(bytes).to_seconds() +
+                rpc.one_way_latency(32).to_seconds() +
+                rpc.params().ack_cost.to_seconds() + 0.01);
+}
+
+TEST_P(SizeSweepTest, OrderingAcrossStacksHolds) {
+  const auto bytes = GetParam();
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  MpiModel mpi(engine, fabric);
+  NioSocketModel nio(engine, fabric);
+  HadoopRpcModel rpc(engine, fabric);
+  // NIO always loses to... RPC always loses to NIO; MPI beats NIO except
+  // in the band just past the eager threshold, where the calibrated
+  // rendezvous handshake (forced by the paper's own 1 MB anchor) lets the
+  // handshake-free NIO model close to within ~20%.
+  EXPECT_LT(nio.one_way_latency(bytes).ns, rpc.one_way_latency(bytes).ns);
+  EXPECT_LT(mpi.one_way_latency(bytes).ns,
+            static_cast<std::int64_t>(
+                static_cast<double>(nio.one_way_latency(bytes).ns) * 1.25));
+  if (bytes <= mpi.params().eager_threshold || bytes >= 1024 * 1024) {
+    EXPECT_LT(mpi.one_way_latency(bytes).ns, nio.one_way_latency(bytes).ns);
+  }
+}
+
+TEST(Consistency, StreamSecondsMonotoneInTotal) {
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  JettyHttpModel jetty(engine, fabric);
+  MpiModel mpi(engine, fabric);
+  double prev_jetty = 0, prev_mpi = 0;
+  for (std::uint64_t total = 1 * MiB; total <= 256 * MiB; total *= 4) {
+    const double j = jetty.stream_seconds(total, 64 * KiB);
+    const double m = mpi.stream_seconds(total, 64 * KiB);
+    EXPECT_GT(j, prev_jetty);
+    EXPECT_GT(m, prev_mpi);
+    prev_jetty = j;
+    prev_mpi = m;
+  }
+}
+
+TEST(Consistency, InterconnectProfilesPreserveStackOrdering) {
+  for (const auto& profile : all_interconnects()) {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 4, profile.fabric);
+    MpiModel mpi(engine, fabric, profile.mpi);
+    HadoopRpcModel rpc(engine, fabric);
+    for (std::uint64_t n : {1ull, 4ull * KiB, 1ull * MiB}) {
+      EXPECT_LT(mpi.one_way_latency(n).ns, rpc.one_way_latency(n).ns)
+          << profile.name << " @ " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpid::proto

@@ -1,0 +1,82 @@
+// Contention behaviour of the DES protocol paths: background load must
+// slow foreground transfers in the fair-sharing way the Figure 1 shuffle
+// model depends on.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::proto {
+namespace {
+
+using common::MiB;
+
+sim::Time timed_mpi_send(bool with_background) {
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  MpiModel mpi(engine, fabric);
+  if (with_background) {
+    // Two long background flows into the same destination host.
+    for (int src = 2; src <= 3; ++src) {
+      engine.spawn([](net::Fabric& f, int s) -> sim::Task<> {
+        co_await f.transfer(s, 1, 512 * MiB);
+      }(fabric, src));
+    }
+  }
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, MpiModel& m, sim::Time& out) -> sim::Task<> {
+    const auto start = eng.now();
+    co_await m.send(0, 1, 64 * MiB);
+    out = eng.now() - start;
+  }(engine, mpi, elapsed));
+  engine.run();
+  return elapsed;
+}
+
+TEST(Contention, BackgroundFlowsSlowForegroundSend) {
+  const auto idle = timed_mpi_send(false);
+  const auto busy = timed_mpi_send(true);
+  // Three flows share the destination downlink: the foreground send gets
+  // ~1/3 of the wire while the background runs.
+  EXPECT_GT(busy.to_seconds(), idle.to_seconds() * 2.0);
+  EXPECT_LT(busy.to_seconds(), idle.to_seconds() * 4.0);
+}
+
+TEST(Contention, DisjointBackgroundDoesNotInterfere) {
+  sim::Engine engine;
+  net::Fabric fabric(engine, 6);
+  MpiModel mpi(engine, fabric);
+  // Background between hosts 4 and 5; foreground 0 -> 1.
+  engine.spawn([](net::Fabric& f) -> sim::Task<> {
+    co_await f.transfer(4, 5, 512 * MiB);
+  }(fabric));
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, MpiModel& m, sim::Time& out) -> sim::Task<> {
+    const auto start = eng.now();
+    co_await m.send(0, 1, 64 * MiB);
+    out = eng.now() - start;
+  }(engine, mpi, elapsed));
+  engine.run();
+  EXPECT_NEAR(elapsed.to_millis(), mpi.one_way_latency(64 * MiB).to_millis(),
+              mpi.one_way_latency(64 * MiB).to_millis() * 0.06);
+}
+
+TEST(Contention, RpcControlTrafficIsUnaffectedByBulkFlows) {
+  // Heartbeat costs are closed-form (no fabric flows), so bulk data never
+  // delays the control plane — the design choice that keeps the Hadoop
+  // simulator's event count tractable.
+  sim::Engine engine;
+  net::Fabric fabric(engine, 4);
+  HadoopRpcModel rpc(engine, fabric);
+  const auto before = rpc.one_way_latency(160);
+  engine.spawn([](net::Fabric& f) -> sim::Task<> {
+    co_await f.transfer(0, 1, 512 * MiB);
+  }(fabric));
+  engine.run_until(sim::seconds(1));
+  EXPECT_EQ(rpc.one_way_latency(160).ns, before.ns);
+}
+
+}  // namespace
+}  // namespace mpid::proto

@@ -1,0 +1,265 @@
+// Protocol-model calibration tests: the closed forms must land on the
+// paper's published anchors (within tolerance) and must preserve the
+// paper's orderings, ratios and crossovers exactly. These assertions ARE
+// the reproduction contract for Figures 2 and 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpid/common/units.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/proto/models.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::proto {
+namespace {
+
+using common::KiB;
+using common::MiB;
+
+class ModelFixture : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  net::Fabric fabric{engine, 8};  // the paper's 8-node cluster fabric
+  MpiModel mpi{engine, fabric};
+  HadoopRpcModel rpc{engine, fabric};
+  JettyHttpModel jetty{engine, fabric};
+
+  double mpi_ms(std::uint64_t n) { return mpi.one_way_latency(n).to_millis(); }
+  double rpc_ms(std::uint64_t n) { return rpc.one_way_latency(n).to_millis(); }
+};
+
+// ----------------------------------------------- Figure 2 anchor points --
+
+TEST_F(ModelFixture, Fig2MpiAnchors) {
+  EXPECT_NEAR(mpi_ms(1), 0.52, 0.52 * 0.15);          // paper: ~0.52 ms
+  EXPECT_LT(mpi_ms(1 * KiB), 1.0);                    // paper: < 1 ms small
+  EXPECT_NEAR(mpi_ms(1 * MiB), 10.3, 10.3 * 0.15);    // paper: 10.3 ms
+  EXPECT_NEAR(mpi_ms(64 * MiB), 572.0, 572.0 * 0.15); // paper: 572 ms
+}
+
+TEST_F(ModelFixture, Fig2RpcAnchors) {
+  EXPECT_NEAR(rpc_ms(1), 1.3, 1.3 * 0.15);                 // paper: 1.3 ms
+  EXPECT_NEAR(rpc_ms(16), 1.3, 1.3 * 0.20);                // flat to 16 B
+  EXPECT_NEAR(rpc_ms(1 * KiB), 8.9, 8.9 * 0.15);           // paper: 8.9 ms
+  EXPECT_NEAR(rpc_ms(1 * MiB), 1259.0, 1259.0 * 0.15);     // paper: 1259 ms
+  EXPECT_NEAR(rpc_ms(64 * MiB), 56827.0, 56827.0 * 0.15);  // paper: 56.8 s
+}
+
+TEST_F(ModelFixture, Fig2RatioAt1ByteIsAbout2point5) {
+  const double ratio = rpc_ms(1) / mpi_ms(1);
+  // Paper: 2.49x — the smallest gap in the whole test.
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 3.1);
+}
+
+TEST_F(ModelFixture, Fig2RatioAt1KiBIsAbout15) {
+  const double ratio = rpc_ms(1 * KiB) / mpi_ms(1 * KiB);
+  EXPECT_GT(ratio, 11.0);  // paper: 15.1x
+  EXPECT_LT(ratio, 19.0);
+}
+
+TEST_F(ModelFixture, Fig2RatioPeaksNear1MiBAround123) {
+  const double ratio = rpc_ms(1 * MiB) / mpi_ms(1 * MiB);
+  EXPECT_GT(ratio, 100.0);  // paper: 123x, the largest multiple
+  EXPECT_LT(ratio, 150.0);
+}
+
+TEST_F(ModelFixture, Fig2RatioBeyond256KiBExceeds100) {
+  for (std::uint64_t n : {256 * KiB, 512 * KiB, 1 * MiB, 4 * MiB, 16 * MiB,
+                          64 * MiB}) {
+    EXPECT_GT(rpc_ms(n) / mpi_ms(n), 90.0) << common::format_bytes(n);
+  }
+}
+
+TEST_F(ModelFixture, Fig2RatioGrowsThenShrinksAfter1MiB) {
+  // The gap "dramatically rises" past 16 B and peaks around 1 MiB.
+  EXPECT_LT(rpc_ms(16) / mpi_ms(16), rpc_ms(1 * KiB) / mpi_ms(1 * KiB));
+  EXPECT_LT(rpc_ms(1 * KiB) / mpi_ms(1 * KiB),
+            rpc_ms(256 * KiB) / mpi_ms(256 * KiB));
+  EXPECT_GT(rpc_ms(1 * MiB) / mpi_ms(1 * MiB),
+            rpc_ms(64 * MiB) / mpi_ms(64 * MiB));
+}
+
+TEST_F(ModelFixture, LatenciesAreMonotoneInSize) {
+  std::uint64_t prev = 1;
+  for (std::uint64_t n = 2; n <= 64 * MiB; n *= 2) {
+    EXPECT_GE(rpc_ms(n), rpc_ms(prev)) << n;
+    EXPECT_GE(mpi_ms(n), mpi_ms(prev)) << n;
+    prev = n;
+  }
+}
+
+// ---------------------------------------------- Figure 3 anchor points --
+
+double bandwidth_MBps(double seconds, std::uint64_t total) {
+  return static_cast<double>(total) / seconds / 1e6;
+}
+
+TEST_F(ModelFixture, Fig3RpcBandwidthCapsNear1point4MBps) {
+  const std::uint64_t total = 128 * MiB;
+  double peak = 0;
+  for (std::uint64_t packet = 1; packet <= 64 * MiB; packet *= 4) {
+    peak = std::max(peak,
+                    bandwidth_MBps(rpc.stream_seconds(total, packet), total));
+  }
+  EXPECT_GT(peak, 0.9);  // paper: <= 1.4 MB/s
+  EXPECT_LT(peak, 1.8);
+}
+
+TEST_F(ModelFixture, Fig3JettyRampsFrom80To108) {
+  const std::uint64_t total = 128 * MiB;
+  const double bw256 =
+      bandwidth_MBps(jetty.stream_seconds(total, 256), total);
+  const double bw64m =
+      bandwidth_MBps(jetty.stream_seconds(total, 64 * MiB), total);
+  EXPECT_GT(bw256, 65.0);  // paper: ~80 MB/s at 256 B
+  EXPECT_LT(bw256, 95.0);
+  EXPECT_GT(bw64m, 100.0);  // paper: ~108 MB/s peak
+  EXPECT_LT(bw64m, 116.0);
+}
+
+TEST_F(ModelFixture, Fig3MpiRampsFrom60To111) {
+  const std::uint64_t total = 128 * MiB;
+  const double bw256 =
+      bandwidth_MBps(mpi.stream_seconds(total, 256), total);
+  const double bw64m =
+      bandwidth_MBps(mpi.stream_seconds(total, 64 * MiB), total);
+  EXPECT_GT(bw256, 45.0);  // paper: ~60 MB/s at 256 B
+  EXPECT_LT(bw256, 72.0);
+  EXPECT_GT(bw64m, 105.0);  // paper: ~111 MB/s peak
+  EXPECT_LT(bw64m, 118.0);
+}
+
+TEST_F(ModelFixture, Fig3MpiPeakBeatsJettyBy2To3Percent) {
+  const std::uint64_t total = 128 * MiB;
+  // Average the plateau (>= 1 MiB packets) like the paper's "average peak".
+  double mpi_sum = 0, jetty_sum = 0;
+  int count = 0;
+  for (std::uint64_t packet = 1 * MiB; packet <= 64 * MiB; packet *= 2) {
+    mpi_sum += bandwidth_MBps(mpi.stream_seconds(total, packet), total);
+    jetty_sum += bandwidth_MBps(jetty.stream_seconds(total, packet), total);
+    ++count;
+  }
+  const double mpi_peak = mpi_sum / count, jetty_peak = jetty_sum / count;
+  EXPECT_GT(mpi_peak, jetty_peak);  // paper: 111 vs 108 MB/s
+  const double gain = (mpi_peak - jetty_peak) / jetty_peak;
+  EXPECT_GT(gain, 0.005);
+  EXPECT_LT(gain, 0.06);
+}
+
+TEST_F(ModelFixture, Fig3RpcIs100xBelowOthersAtLargePackets) {
+  const std::uint64_t total = 128 * MiB;
+  const std::uint64_t packet = 4 * MiB;
+  const double rpc_bw = bandwidth_MBps(rpc.stream_seconds(total, packet), total);
+  const double mpi_bw = bandwidth_MBps(mpi.stream_seconds(total, packet), total);
+  const double jetty_bw =
+      bandwidth_MBps(jetty.stream_seconds(total, packet), total);
+  EXPECT_GT(mpi_bw / rpc_bw, 60.0);    // paper: "about 100 times"
+  EXPECT_GT(jetty_bw / rpc_bw, 60.0);
+}
+
+TEST_F(ModelFixture, Fig3MpiSmootherThanJetty) {
+  // Coefficient of variation across the plateau must be smaller for MPI.
+  const std::uint64_t total = 128 * MiB;
+  auto cv = [&](auto& model) {
+    double sum = 0, sum2 = 0;
+    int n = 0;
+    for (std::uint64_t packet = 1 * MiB; packet <= 64 * MiB; packet *= 2) {
+      const double bw =
+          bandwidth_MBps(model.stream_seconds(total, packet), total);
+      sum += bw;
+      sum2 += bw * bw;
+      ++n;
+    }
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sum2 / n - mean * mean)) / mean;
+  };
+  EXPECT_LT(cv(mpi), cv(jetty));
+}
+
+// --------------------------------------------------------- DES variants --
+
+TEST_F(ModelFixture, DesMpiSendMatchesClosedForm) {
+  sim::Time elapsed;
+  engine.spawn([](sim::Engine& eng, MpiModel& m, sim::Time& out) -> sim::Task<> {
+    const sim::Time start = eng.now();
+    co_await m.send(0, 1, 1 * MiB);
+    out = eng.now() - start;
+  }(engine, mpi, elapsed));
+  engine.run();
+  EXPECT_NEAR(elapsed.to_millis(), mpi.one_way_latency(1 * MiB).to_millis(),
+              mpi.one_way_latency(1 * MiB).to_millis() * 0.10);
+}
+
+TEST_F(ModelFixture, DesRpcCallIsRoundTrip) {
+  sim::Time elapsed;
+  engine.spawn(
+      [](sim::Engine& eng, HadoopRpcModel& m, sim::Time& out) -> sim::Task<> {
+        const sim::Time start = eng.now();
+        co_await m.call(0, 1, 1 * KiB, 16);
+        out = eng.now() - start;
+      }(engine, rpc, elapsed));
+  engine.run();
+  // Round trip >= one-way of the request.
+  EXPECT_GT(elapsed.to_millis(), rpc.one_way_latency(1 * KiB).to_millis() * 0.8);
+  EXPECT_LT(elapsed.to_millis(), 20.0);
+}
+
+TEST_F(ModelFixture, DesJettyFetchRateIsCapped) {
+  sim::Time elapsed;
+  engine.spawn(
+      [](sim::Engine& eng, JettyHttpModel& m, sim::Time& out) -> sim::Task<> {
+        const sim::Time start = eng.now();
+        co_await m.fetch(0, 1, 64 * MiB);
+        out = eng.now() - start;
+      }(engine, jetty, elapsed));
+  engine.run();
+  const double bw = static_cast<double>(64 * MiB) / elapsed.to_seconds() / 1e6;
+  EXPECT_GT(bw, 95.0);
+  EXPECT_LT(bw, 112.0);  // cannot exceed Jetty's effective rate
+}
+
+TEST_F(ModelFixture, DesJettyFanInSharesDownlink) {
+  // Four concurrent fetches into host 0: each is capped by the fair share
+  // of the downlink, so total time is ~4x a single fetch.
+  sim::Time one, four;
+  {
+    sim::Engine eng;
+    net::Fabric fab(eng, 8);
+    JettyHttpModel j(eng, fab);
+    eng.spawn([](sim::Engine& e, JettyHttpModel& j, sim::Time& out) -> sim::Task<> {
+      co_await j.fetch(0, 1, 32 * MiB);
+      out = e.now();
+    }(eng, j, one));
+    eng.run();
+  }
+  {
+    sim::Engine eng;
+    net::Fabric fab(eng, 8);
+    JettyHttpModel j(eng, fab);
+    auto fetcher = [](JettyHttpModel& j, int src) -> sim::Task<> {
+      co_await j.fetch(0, src, 32 * MiB);
+    };
+    for (int s = 1; s <= 3; ++s) eng.spawn(fetcher(j, s));
+    eng.spawn([](sim::Engine& e, JettyHttpModel& j, sim::Time& out) -> sim::Task<> {
+      co_await j.fetch(0, 4, 32 * MiB);
+      out = e.now();
+    }(eng, j, four));
+    eng.run();
+  }
+  EXPECT_NEAR(four.to_seconds() / one.to_seconds(), 4.0, 0.5);
+}
+
+TEST(Jitter, DeterministicAndBounded) {
+  JitterSource a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = a.next(0.05);
+    EXPECT_DOUBLE_EQ(x, b.next(0.05));
+    EXPECT_GE(x, 0.95);
+    EXPECT_LE(x, 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace mpid::proto

@@ -1,0 +1,113 @@
+// Tests for the future-work extension models: NIO sockets and
+// high-performance interconnect profiles.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/proto/profiles.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::proto {
+namespace {
+
+using common::KiB;
+using common::MiB;
+
+class NioFixture : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  net::Fabric fabric{engine, 8};
+  HadoopRpcModel rpc{engine, fabric};
+  JettyHttpModel jetty{engine, fabric};
+  MpiModel mpi{engine, fabric};
+  NioSocketModel nio{engine, fabric};
+};
+
+TEST_F(NioFixture, LatencySitsBetweenMpiAndRpc) {
+  for (std::uint64_t n : {1ull, 1ull * KiB, 1ull * MiB}) {
+    const auto nio_ms = nio.one_way_latency(n).to_millis();
+    EXPECT_GT(nio_ms, mpi.one_way_latency(n).to_millis()) << n;
+    EXPECT_LT(nio_ms, rpc.one_way_latency(n).to_millis()) << n;
+  }
+}
+
+TEST_F(NioFixture, StreamingRateNearJetty) {
+  const std::uint64_t total = 128 * MiB;
+  const double nio_bw =
+      static_cast<double>(total) / nio.stream_seconds(total, 4 * MiB) / 1e6;
+  const double jetty_bw =
+      static_cast<double>(total) / jetty.stream_seconds(total, 4 * MiB) / 1e6;
+  EXPECT_GT(nio_bw, jetty_bw * 0.85);
+  EXPECT_LT(nio_bw, jetty_bw * 1.2);
+  EXPECT_GT(nio_bw, 90.0);
+}
+
+TEST_F(NioFixture, SmallWritesCheaperThanRpcCalls) {
+  // NIO's per-write overhead is ~1000x cheaper than an RPC call, so at
+  // 1 KiB packets NIO must already be within 2x of its own peak.
+  const std::uint64_t total = 128 * MiB;
+  const double at_1k =
+      static_cast<double>(total) / nio.stream_seconds(total, 1 * KiB) / 1e6;
+  const double at_peak =
+      static_cast<double>(total) / nio.stream_seconds(total, 16 * MiB) / 1e6;
+  EXPECT_GT(at_1k, at_peak / 2.0);
+}
+
+TEST_F(NioFixture, DesSendCompletes) {
+  sim::Time elapsed;
+  engine.spawn(
+      [](sim::Engine& eng, NioSocketModel& m, sim::Time& out) -> sim::Task<> {
+        const auto start = eng.now();
+        co_await m.send(0, 1, 64 * MiB);
+        out = eng.now() - start;
+      }(engine, nio, elapsed));
+  engine.run();
+  EXPECT_NEAR(elapsed.to_millis(), nio.one_way_latency(64 * MiB).to_millis(),
+              nio.one_way_latency(64 * MiB).to_millis() * 0.05);
+}
+
+TEST(Interconnects, ProfilesAreOrderedByWireSpeed) {
+  const auto profiles = all_interconnects();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_LT(profiles[0].fabric.link_bytes_per_second,
+            profiles[1].fabric.link_bytes_per_second);
+  EXPECT_LT(profiles[1].fabric.link_bytes_per_second,
+            profiles[2].fabric.link_bytes_per_second);
+}
+
+TEST(Interconnects, InfinibandSlashesMpiLatencyButNotRpc) {
+  auto latency_pair = [](const InterconnectProfile& profile) {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 8, profile.fabric);
+    MpiModel mpi(engine, fabric, profile.mpi);
+    HadoopRpcModel rpc(engine, fabric);  // JVM-bound: same params
+    return std::pair{mpi.one_way_latency(1 * KiB).to_millis(),
+                     rpc.one_way_latency(1 * KiB).to_millis()};
+  };
+  const auto [mpi_gige, rpc_gige] = latency_pair(gigabit_ethernet());
+  const auto [mpi_ib, rpc_ib] = latency_pair(infiniband_qdr());
+  // MPI gains two orders of magnitude from verbs + the fast wire...
+  EXPECT_LT(mpi_ib, mpi_gige / 50.0);
+  // ...while Hadoop RPC barely moves (serialization-bound).
+  EXPECT_GT(rpc_ib, rpc_gige * 0.90);
+  // So the RPC/MPI gap widens dramatically.
+  EXPECT_GT(rpc_ib / mpi_ib, (rpc_gige / mpi_gige) * 20.0);
+}
+
+TEST(Interconnects, BandwidthScalesWithProfile) {
+  const std::uint64_t total = 128 * MiB;
+  double previous = 0;
+  for (const auto& profile : all_interconnects()) {
+    sim::Engine engine;
+    net::Fabric fabric(engine, 8, profile.fabric);
+    MpiModel mpi(engine, fabric, profile.mpi);
+    const double bw =
+        static_cast<double>(total) / mpi.stream_seconds(total, 16 * MiB) / 1e6;
+    EXPECT_GT(bw, previous) << profile.name;
+    previous = bw;
+  }
+  // IB QDR lands in the multi-GB/s range.
+  EXPECT_GT(previous, 2500.0);
+}
+
+}  // namespace
+}  // namespace mpid::proto

@@ -1,0 +1,257 @@
+#include "mpid/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpid/sim/time.hpp"
+
+namespace mpid::sim {
+namespace {
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(milliseconds(3) + microseconds(500), nanoseconds(3500000));
+  EXPECT_EQ(seconds(1) - milliseconds(1), nanoseconds(999000000));
+  EXPECT_EQ(milliseconds(2) * 3, milliseconds(6));
+  EXPECT_LT(microseconds(1), milliseconds(1));
+  EXPECT_DOUBLE_EQ(milliseconds(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(microseconds(1500).to_millis(), 1.5);
+  EXPECT_EQ(from_seconds(1.5), milliseconds(1500));
+  EXPECT_EQ(from_seconds(0.0000000005), nanoseconds(1));  // rounds
+}
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), kTimeZero);
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+Task<> single_delay(Engine& eng, Time d, Time& observed) {
+  co_await eng.delay(d);
+  observed = eng.now();
+}
+
+TEST(Engine, DelayAdvancesClock) {
+  Engine eng;
+  Time observed = kTimeMax;
+  eng.spawn(single_delay(eng, milliseconds(42), observed));
+  eng.run();
+  EXPECT_EQ(observed, milliseconds(42));
+  EXPECT_EQ(eng.now(), milliseconds(42));
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+Task<> multi_delay(Engine& eng, std::vector<std::string>& log,
+                   std::string name, Time step, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await eng.delay(step);
+    log.push_back(name + "@" + std::to_string(eng.now().ns));
+  }
+}
+
+TEST(Engine, InterleavesProcessesInTimeOrder) {
+  Engine eng;
+  std::vector<std::string> log;
+  eng.spawn(multi_delay(eng, log, "a", milliseconds(10), 3));
+  eng.spawn(multi_delay(eng, log, "b", milliseconds(15), 2));
+  eng.run();
+  const std::vector<std::string> expected = {
+      "a@10000000", "b@15000000", "a@20000000",
+      "b@30000000", "a@30000000",
+  };
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Engine, SameTimestampFifoBySchedulingOrder) {
+  Engine eng;
+  std::vector<std::string> log;
+  // Both processes delay by the same amount; the first spawned must run
+  // first at every shared timestamp.
+  eng.spawn(multi_delay(eng, log, "x", milliseconds(5), 2));
+  eng.spawn(multi_delay(eng, log, "y", milliseconds(5), 2));
+  eng.run();
+  const std::vector<std::string> expected = {
+      "x@5000000", "y@5000000", "x@10000000", "y@10000000"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Engine, ZeroDelayYieldsNotRecurses) {
+  Engine eng;
+  std::vector<std::string> log;
+  eng.spawn(multi_delay(eng, log, "p", kTimeZero, 3));
+  eng.spawn(multi_delay(eng, log, "q", kTimeZero, 3));
+  eng.run();
+  // Zero delays interleave round-robin rather than running p to completion.
+  const std::vector<std::string> expected = {"p@0", "q@0", "p@0",
+                                             "q@0", "p@0", "q@0"};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(eng.now(), kTimeZero);
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine eng;
+  bool threw = false;
+  eng.spawn([](Engine& e, bool& flag) -> Task<> {
+    try {
+      co_await e.delay(nanoseconds(-1));
+    } catch (const std::invalid_argument&) {
+      flag = true;
+    }
+  }(eng, threw));
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+Task<> thrower(Engine& eng) {
+  co_await eng.delay(milliseconds(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(Engine, RootExceptionPropagatesFromRun) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+Task<int> child_value(Engine& eng) {
+  co_await eng.delay(milliseconds(7));
+  co_return 99;
+}
+
+Task<> parent_awaits_child(Engine& eng, int& out, Time& at) {
+  out = co_await child_value(eng);
+  at = eng.now();
+}
+
+TEST(Engine, ChildTaskReturnsValueAndTakesTime) {
+  Engine eng;
+  int out = 0;
+  Time at = kTimeZero;
+  eng.spawn(parent_awaits_child(eng, out, at));
+  eng.run();
+  EXPECT_EQ(out, 99);
+  EXPECT_EQ(at, milliseconds(7));
+}
+
+Task<int> throwing_child(Engine& eng) {
+  co_await eng.delay(milliseconds(1));
+  throw std::logic_error("child failed");
+}
+
+Task<> parent_catches(Engine& eng, bool& caught) {
+  try {
+    (void)co_await throwing_child(eng);
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+}
+
+TEST(Engine, ChildExceptionRethrownAtAwait) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(parent_catches(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<> deep_nest(Engine& eng, int depth, int& counter) {
+  if (depth == 0) {
+    ++counter;
+    co_return;
+  }
+  co_await eng.delay(nanoseconds(1));
+  co_await deep_nest(eng, depth - 1, counter);
+}
+
+TEST(Engine, DeeplyNestedChildren) {
+  Engine eng;
+  int counter = 0;
+  eng.spawn(deep_nest(eng, 500, counter));
+  eng.run();
+  EXPECT_EQ(counter, 1);
+  EXPECT_EQ(eng.now(), nanoseconds(500));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  std::vector<std::string> log;
+  eng.spawn(multi_delay(eng, log, "t", milliseconds(10), 10));
+  eng.run_until(milliseconds(35));
+  EXPECT_EQ(log.size(), 3u);  // events at 10, 20, 30
+  EXPECT_EQ(eng.now(), milliseconds(35));
+  eng.run();
+  EXPECT_EQ(log.size(), 10u);
+}
+
+TEST(Engine, RunUntilPastDeadlineThrows) {
+  Engine eng;
+  eng.run_until(milliseconds(5));
+  EXPECT_THROW(eng.run_until(milliseconds(1)), std::invalid_argument);
+}
+
+TEST(Engine, LiveProcessCountTracksDeadlock) {
+  Engine eng;
+  // A process that waits forever on a never-set event is detectable.
+  struct Holder {
+    Engine& eng;
+  };
+  // Use delay-forever via run_until: spawn a process that waits 1 hour; run
+  // only 1 second; the process is still live.
+  Time observed = kTimeZero;
+  eng.spawn(single_delay(eng, seconds(3600), observed));
+  eng.run_until(seconds(1));
+  EXPECT_EQ(eng.live_process_count(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+TEST(Engine, ManyProcessesScale) {
+  Engine eng;
+  int done = 0;
+  for (int i = 0; i < 10000; ++i) {
+    eng.spawn([](Engine& e, int& d, int delay_us) -> Task<> {
+      co_await e.delay(microseconds(delay_us));
+      ++d;
+    }(eng, done, i % 977));
+  }
+  eng.run();
+  EXPECT_EQ(done, 10000);
+  EXPECT_GE(eng.events_processed(), 10000u);
+}
+
+TEST(Engine, SpawnEmptyTaskThrows) {
+  Engine eng;
+  EXPECT_THROW(eng.spawn(Task<>{}), std::invalid_argument);
+}
+
+TEST(Engine, DestructionWithLiveProcessesIsClean) {
+  // ASAN/valgrind would flag leaks or double-frees here.
+  Engine eng;
+  Time observed = kTimeZero;
+  eng.spawn(single_delay(eng, seconds(100), observed));
+  eng.run_until(seconds(1));
+  // Engine destructor must destroy the suspended root frame.
+}
+
+Task<> spawner(Engine& eng, int& count) {
+  // Spawning from inside a running process must be legal.
+  eng.spawn([](Engine& e, int& c) -> Task<> {
+    co_await e.delay(milliseconds(1));
+    ++c;
+  }(eng, count));
+  co_await eng.delay(milliseconds(2));
+  ++count;
+}
+
+TEST(Engine, SpawnFromWithinProcess) {
+  Engine eng;
+  int count = 0;
+  eng.spawn(spawner(eng, count));
+  eng.run();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace mpid::sim

@@ -1,0 +1,353 @@
+// Tests for Event, Channel and Resource coordination primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mpid/sim/channel.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/sim/event.hpp"
+#include "mpid/sim/resource.hpp"
+
+namespace mpid::sim {
+namespace {
+
+// ---------------------------------------------------------------- Event --
+
+Task<> wait_and_log(Engine& eng, Event& ev, std::vector<std::string>& log,
+                    std::string name) {
+  co_await ev.wait();
+  log.push_back(name + "@" + std::to_string(eng.now().ns));
+}
+
+Task<> set_after(Engine& eng, Event& ev, Time d) {
+  co_await eng.delay(d);
+  ev.set();
+}
+
+TEST(Event, BroadcastsToAllWaiters) {
+  Engine eng;
+  Event ev(eng);
+  std::vector<std::string> log;
+  eng.spawn(wait_and_log(eng, ev, log, "a"));
+  eng.spawn(wait_and_log(eng, ev, log, "b"));
+  eng.spawn(set_after(eng, ev, milliseconds(3)));
+  eng.run();
+  const std::vector<std::string> expected = {"a@3000000", "b@3000000"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Event, WaitOnSetEventIsImmediate) {
+  Engine eng;
+  Event ev(eng);
+  ev.set();
+  std::vector<std::string> log;
+  eng.spawn(wait_and_log(eng, ev, log, "late"));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "late@0");
+}
+
+TEST(Event, SetIsIdempotent) {
+  Engine eng;
+  Event ev(eng);
+  std::vector<std::string> log;
+  eng.spawn(wait_and_log(eng, ev, log, "w"));
+  eng.spawn([](Event& e) -> Task<> {
+    e.set();
+    e.set();
+    co_return;
+  }(ev));
+  eng.run();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(Event, ResetAllowsReuse) {
+  Engine eng;
+  Event ev(eng);
+  int wakeups = 0;
+  eng.spawn([]([[maybe_unused]] Engine& e, Event& ev, int& w) -> Task<> {
+    co_await ev.wait();
+    ++w;
+    ev.reset();
+    co_await ev.wait();
+    ++w;
+  }(eng, ev, wakeups));
+  eng.spawn([](Engine& e, Event& ev) -> Task<> {
+    co_await e.delay(milliseconds(1));
+    ev.set();
+    co_await e.delay(milliseconds(1));
+    ev.set();
+  }(eng, ev));
+  eng.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+// -------------------------------------------------------------- Channel --
+
+Task<> producer(Engine& eng, Channel<int>& ch, int count, Time gap) {
+  for (int i = 0; i < count; ++i) {
+    co_await eng.delay(gap);
+    co_await ch.send(i);
+  }
+}
+
+Task<> consumer([[maybe_unused]] Engine& eng, Channel<int>& ch, int count,
+                std::vector<int>& out) {
+  for (int i = 0; i < count; ++i) {
+    out.push_back(co_await ch.recv());
+  }
+}
+
+TEST(Channel, FifoDelivery) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> out;
+  eng.spawn(consumer(eng, ch, 5, out));
+  eng.spawn(producer(eng, ch, 5, milliseconds(1)));
+  eng.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, ReceiverBlocksUntilSend) {
+  Engine eng;
+  Channel<int> ch(eng);
+  Time recv_time = kTimeZero;
+  eng.spawn([](Engine& e, Channel<int>& ch, Time& t) -> Task<> {
+    (void)co_await ch.recv();
+    t = e.now();
+  }(eng, ch, recv_time));
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<> {
+    co_await e.delay(milliseconds(9));
+    co_await ch.send(1);
+  }(eng, ch));
+  eng.run();
+  EXPECT_EQ(recv_time, milliseconds(9));
+}
+
+TEST(Channel, MultipleReceiversServedInOrder) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<std::pair<std::string, int>> got;
+  auto receiver = [](Channel<int>& ch, std::vector<std::pair<std::string, int>>& g,
+                     std::string name) -> Task<> {
+    const int v = co_await ch.recv();
+    g.emplace_back(name, v);
+  };
+  eng.spawn(receiver(ch, got, "first"));
+  eng.spawn(receiver(ch, got, "second"));
+  eng.spawn([](Engine& e, Channel<int>& ch) -> Task<> {
+    co_await e.delay(milliseconds(1));
+    co_await ch.send(10);
+    co_await ch.send(20);
+  }(eng, ch));
+  eng.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<std::string, int>{"first", 10}));
+  EXPECT_EQ(got[1], (std::pair<std::string, int>{"second", 20}));
+}
+
+TEST(Channel, BoundedSendBlocksWhenFull) {
+  Engine eng;
+  Channel<int> ch(eng, 2);
+  std::vector<std::string> log;
+  eng.spawn([](Engine& e, Channel<int>& ch,
+               std::vector<std::string>& log) -> Task<> {
+    for (int i = 0; i < 4; ++i) {
+      co_await ch.send(i);
+      log.push_back("sent" + std::to_string(i) + "@" +
+                    std::to_string(e.now().ns));
+    }
+  }(eng, ch, log));
+  eng.spawn([](Engine& e, Channel<int>& ch,
+               std::vector<std::string>& log) -> Task<> {
+    co_await e.delay(milliseconds(10));
+    for (int i = 0; i < 4; ++i) {
+      const int v = co_await ch.recv();
+      log.push_back("recv" + std::to_string(v) + "@" +
+                    std::to_string(e.now().ns));
+    }
+  }(eng, ch, log));
+  eng.run();
+  // Sends 0 and 1 complete immediately; 2 and 3 wait for the receiver.
+  ASSERT_EQ(log.size(), 8u);
+  EXPECT_EQ(log[0], "sent0@0");
+  EXPECT_EQ(log[1], "sent1@0");
+  EXPECT_EQ(log[2].substr(0, 5), "recv0");
+  EXPECT_EQ(eng.now(), milliseconds(10));
+}
+
+TEST(Channel, RendezvousCapacityZero) {
+  Engine eng;
+  Channel<int> ch(eng, 0);
+  Time send_done = kTimeZero, recv_done = kTimeZero;
+  eng.spawn([](Engine& e, Channel<int>& ch, Time& t) -> Task<> {
+    co_await ch.send(42);
+    t = e.now();
+  }(eng, ch, send_done));
+  eng.spawn([](Engine& e, Channel<int>& ch, Time& t) -> Task<> {
+    co_await e.delay(milliseconds(5));
+    const int v = co_await ch.recv();
+    EXPECT_EQ(v, 42);
+    t = e.now();
+  }(eng, ch, recv_done));
+  eng.run();
+  EXPECT_EQ(send_done, milliseconds(5));
+  EXPECT_EQ(recv_done, milliseconds(5));
+  EXPECT_EQ(eng.live_process_count(), 0u);
+}
+
+TEST(Channel, TrySendTryRecv) {
+  Engine eng;
+  Channel<int> ch(eng, 1);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_TRUE(ch.try_send(7));
+  EXPECT_FALSE(ch.try_send(8));  // full
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, TrySendFailureDoesNotConsumeValue) {
+  Engine eng;
+  Channel<std::string> ch(eng, 1);
+  std::string payload = "survives";
+  EXPECT_TRUE(ch.try_send(payload));
+  payload = "survives";
+  EXPECT_FALSE(ch.try_send(payload));
+  EXPECT_EQ(payload, "survives");
+}
+
+TEST(Channel, MoveOnlyValues) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> ch(eng);
+  std::vector<int> out;
+  eng.spawn([](Channel<std::unique_ptr<int>>& ch,
+               std::vector<int>& out) -> Task<> {
+    auto p = co_await ch.recv();
+    out.push_back(*p);
+  }(ch, out));
+  eng.spawn([](Channel<std::unique_ptr<int>>& ch) -> Task<> {
+    co_await ch.send(std::make_unique<int>(31));
+  }(ch));
+  eng.run();
+  EXPECT_EQ(out, std::vector<int>{31});
+}
+
+// ------------------------------------------------------------- Resource --
+
+TEST(Resource, ZeroCapacityRejected) {
+  Engine eng;
+  EXPECT_THROW(Resource(eng, 0), std::invalid_argument);
+}
+
+TEST(Resource, AcquireBadAmountRejected) {
+  Engine eng;
+  Resource r(eng, 4);
+  EXPECT_THROW((void)r.acquire(0), std::invalid_argument);
+  EXPECT_THROW((void)r.acquire(5), std::invalid_argument);
+}
+
+TEST(Resource, OverReleaseRejected) {
+  Engine eng;
+  Resource r(eng, 2);
+  EXPECT_THROW(r.release(1), std::logic_error);
+}
+
+Task<> hold_slot(Engine& eng, Resource& slots, Time hold,
+                 std::vector<std::string>& log, std::string name) {
+  co_await slots.acquire();
+  log.push_back(name + ":acq@" + std::to_string(eng.now().ns));
+  co_await eng.delay(hold);
+  slots.release();
+  log.push_back(name + ":rel@" + std::to_string(eng.now().ns));
+}
+
+TEST(Resource, SerializesBeyondCapacity) {
+  Engine eng;
+  Resource slots(eng, 2);
+  std::vector<std::string> log;
+  eng.spawn(hold_slot(eng, slots, milliseconds(10), log, "a"));
+  eng.spawn(hold_slot(eng, slots, milliseconds(10), log, "b"));
+  eng.spawn(hold_slot(eng, slots, milliseconds(10), log, "c"));
+  eng.run();
+  // a and b start at 0; c waits until one of them releases at t=10ms.
+  EXPECT_EQ(log[0], "a:acq@0");
+  EXPECT_EQ(log[1], "b:acq@0");
+  EXPECT_EQ(log[2], "a:rel@10000000");
+  // c's wakeup is *scheduled* by a's release, so b's release (already queued
+  // at the same timestamp) logs before c resumes.
+  EXPECT_EQ(log[3], "b:rel@10000000");
+  EXPECT_EQ(log[4], "c:acq@10000000");
+  EXPECT_EQ(eng.now(), milliseconds(20));
+  EXPECT_EQ(slots.available(), 2u);
+}
+
+TEST(Resource, FifoNoBypass) {
+  Engine eng;
+  Resource r(eng, 4);
+  std::vector<std::string> order;
+  // p1 takes 3; p2 wants 3 (blocks); p3 wants 1 — would fit, but must not
+  // bypass p2.
+  eng.spawn([](Engine& e, Resource& r, std::vector<std::string>& o) -> Task<> {
+    co_await r.acquire(3);
+    o.push_back("p1");
+    co_await e.delay(milliseconds(5));
+    r.release(3);
+  }(eng, r, order));
+  eng.spawn([](Engine& e, Resource& r, std::vector<std::string>& o) -> Task<> {
+    co_await e.delay(milliseconds(1));
+    co_await r.acquire(3);
+    o.push_back("p2");
+    r.release(3);
+  }(eng, r, order));
+  eng.spawn([](Engine& e, Resource& r, std::vector<std::string>& o) -> Task<> {
+    co_await e.delay(milliseconds(2));
+    co_await r.acquire(1);
+    o.push_back("p3");
+    r.release(1);
+  }(eng, r, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"p1", "p2", "p3"}));
+}
+
+TEST(Resource, LeaseReleasesOnScopeExit) {
+  Engine eng;
+  Resource r(eng, 1);
+  Time second_acquire = kTimeZero;
+  eng.spawn([](Engine& e, Resource& r) -> Task<> {
+    co_await r.acquire();
+    Lease lease(r, 1);
+    co_await e.delay(milliseconds(4));
+    // lease released here by destructor
+  }(eng, r));
+  eng.spawn([](Engine& e, Resource& r, Time& t) -> Task<> {
+    co_await e.delay(milliseconds(1));
+    co_await r.acquire();
+    t = e.now();
+    r.release();
+  }(eng, r, second_acquire));
+  eng.run();
+  EXPECT_EQ(second_acquire, milliseconds(4));
+  EXPECT_EQ(r.available(), 1u);
+}
+
+TEST(Resource, LeaseMoveTransfersOwnership) {
+  Engine eng;
+  Resource r(eng, 2);
+  eng.spawn([]([[maybe_unused]] Engine& e, Resource& r) -> Task<> {
+    co_await r.acquire(2);
+    Lease a(r, 2);
+    Lease b(std::move(a));
+    a.reset();  // no-op: ownership moved
+    EXPECT_EQ(r.available(), 0u);
+    b.reset();
+    EXPECT_EQ(r.available(), 2u);
+    co_return;
+  }(eng, r));
+  eng.run();
+}
+
+}  // namespace
+}  // namespace mpid::sim

@@ -1,0 +1,92 @@
+// GridMix suite preset tests: shapes, the copy-share ordering across
+// workload classes, and the monsterQuery pipeline contraction.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/hadoop/cluster.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/gridmix.hpp"
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid::workloads {
+namespace {
+
+using common::GiB;
+
+TEST(Gridmix, SuiteHasAllFiveWorkloads) {
+  const auto suite = gridmix_suite(paper_cluster(), 9 * GiB);
+  ASSERT_EQ(suite.size(), 5u);
+  for (const auto& entry : suite) {
+    EXPECT_GT(entry.job.input_bytes, 0u);
+    EXPECT_GE(entry.job.reduce_tasks, 1);
+    EXPECT_GT(entry.job.map_cpu_bytes_per_second, 0.0);
+  }
+}
+
+TEST(Gridmix, ScanShufflesAlmostNothingSortShufflesEverything) {
+  const auto cluster = paper_cluster();
+  const auto scan = webdata_scan_job(cluster, 9 * GiB);
+  const auto sort = javasort_job(cluster, 9 * GiB);
+  EXPECT_LT(scan.map_output_ratio, 0.05);
+  EXPECT_DOUBLE_EQ(sort.map_output_ratio, 1.0);
+}
+
+TEST(Gridmix, WorkloadClassesBehaveDistinctly) {
+  // The scan moves ~2% of the bytes, so it finishes far faster than the
+  // sorts — but its *logged* copy share stays large because its few
+  // reducers sit in the copy stage waiting for maps. That mirrors the
+  // paper's own caveat that "not all of the time in copy stage in shuffle
+  // is caused by RPC or Jetty": Hadoop's copy timer includes waiting.
+  const auto cluster_spec = paper_cluster(8, 8);
+  double scan_makespan = 0, javasort_makespan = 0;
+  double scan_share = 0, javasort_share = 0;
+  for (const auto& entry : gridmix_suite(cluster_spec, 9 * GiB)) {
+    sim::Engine engine;
+    hadoop::Cluster cluster(engine, cluster_spec);
+    const auto result = cluster.run(entry.job);
+    if (entry.name == "webdataScan") {
+      scan_makespan = result.makespan.to_seconds();
+      scan_share = result.copy_fraction();
+    }
+    if (entry.name == "javaSort") {
+      javasort_makespan = result.makespan.to_seconds();
+      javasort_share = result.copy_fraction();
+    }
+  }
+  EXPECT_LT(scan_makespan, javasort_makespan / 2.0);
+  // Both shares are sizeable; neither collapses to zero.
+  EXPECT_GT(scan_share, 0.1);
+  EXPECT_GT(javasort_share, 0.1);
+}
+
+TEST(Gridmix, StreamSortSlowerThanJavaSort) {
+  const auto cluster_spec = paper_cluster();
+  sim::Engine e1, e2;
+  hadoop::Cluster c1(e1, cluster_spec), c2(e2, cluster_spec);
+  const auto java = c1.run(javasort_job(cluster_spec, 3 * GiB)).makespan;
+  const auto stream = c2.run(stream_sort_job(cluster_spec, 3 * GiB)).makespan;
+  EXPECT_GT(stream, java);
+}
+
+TEST(Gridmix, MonsterQueryStagesContract) {
+  const auto cluster_spec = paper_cluster();
+  const auto stages = monster_query_pipeline(cluster_spec, 27 * GiB);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_LT(stages[1].input_bytes, stages[0].input_bytes / 2);
+  EXPECT_LT(stages[2].input_bytes, stages[1].input_bytes / 2);
+
+  // The pipeline runs end-to-end on one cluster timeline.
+  sim::Engine engine;
+  hadoop::Cluster cluster(engine, cluster_spec);
+  double previous_makespan = 1e18;
+  for (const auto& stage : stages) {
+    const auto result = cluster.run(stage);
+    EXPECT_GT(result.makespan.to_seconds(), 0.0);
+    // Later stages process far less data, so they finish faster.
+    EXPECT_LT(result.makespan.to_seconds(), previous_makespan * 1.01);
+    previous_makespan = result.makespan.to_seconds();
+  }
+}
+
+}  // namespace
+}  // namespace mpid::workloads

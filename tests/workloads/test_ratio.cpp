@@ -1,0 +1,65 @@
+// Combine-ratio measurement tests: the executable calibration behind the
+// map_output_ratio constants.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace mpid::workloads {
+namespace {
+
+using common::KiB;
+using common::MiB;
+
+TEST(CombineRatio, ZeroInputsGiveZero) {
+  TextSpec spec;
+  EXPECT_DOUBLE_EQ(measured_wordcount_combine_ratio(spec, 0, 1 * MiB, 1), 0.0);
+  EXPECT_DOUBLE_EQ(measured_wordcount_combine_ratio(spec, 1 * MiB, 0, 1), 0.0);
+}
+
+TEST(CombineRatio, DecreasesWithBufferSize) {
+  // Bigger combine buffers see more duplicates per word -> smaller ratio.
+  TextSpec spec;
+  double previous = 2.0;
+  for (const std::uint64_t buffer :
+       {64 * KiB, 512 * KiB, 2 * MiB, 8 * MiB}) {
+    const double ratio =
+        measured_wordcount_combine_ratio(spec, 4 * MiB, buffer, 7);
+    EXPECT_LT(ratio, previous) << buffer;
+    EXPECT_GT(ratio, 0.0);
+    previous = ratio;
+  }
+}
+
+TEST(CombineRatio, IncreasesWithVocabulary) {
+  TextSpec small;
+  small.vocabulary = 5000;
+  TextSpec large;
+  large.vocabulary = 2000000;
+  const double r_small =
+      measured_wordcount_combine_ratio(small, 4 * MiB, 1 * MiB, 9);
+  const double r_large =
+      measured_wordcount_combine_ratio(large, 4 * MiB, 1 * MiB, 9);
+  EXPECT_GT(r_large, r_small * 2.0);
+}
+
+TEST(CombineRatio, BoundedAboveByRawEmission) {
+  // Even with no effective combining the per-pair output (word + count)
+  // cannot exceed input bytes by more than the count digits.
+  TextSpec spec;
+  spec.vocabulary = 50000000;  // effectively unique words
+  const double ratio =
+      measured_wordcount_combine_ratio(spec, 1 * MiB, 16 * KiB, 3);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(CombineRatio, DeterministicPerSeed) {
+  TextSpec spec;
+  EXPECT_DOUBLE_EQ(
+      measured_wordcount_combine_ratio(spec, 2 * MiB, 1 * MiB, 42),
+      measured_wordcount_combine_ratio(spec, 2 * MiB, 1 * MiB, 42));
+}
+
+}  // namespace
+}  // namespace mpid::workloads

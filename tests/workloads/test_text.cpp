@@ -1,0 +1,122 @@
+// Workload generator tests: determinism, size targeting, Zipf skew, and
+// record layout.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mpid/common/units.hpp"
+#include "mpid/workloads/presets.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace mpid::workloads {
+namespace {
+
+using common::KiB;
+using common::MiB;
+
+TEST(WordForRank, DistinctAndStable) {
+  std::set<std::string> seen;
+  for (std::uint64_t r = 1; r <= 10000; ++r) {
+    const auto w = word_for_rank(r);
+    EXPECT_FALSE(w.empty());
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word for rank " << r;
+  }
+  EXPECT_EQ(word_for_rank(1), word_for_rank(1));
+  EXPECT_EQ(word_for_rank(0), "a");
+}
+
+TEST(GenerateText, HitsTargetSizeApproximately) {
+  TextSpec spec;
+  for (std::uint64_t target : {10 * KiB, 100 * KiB, 1 * MiB}) {
+    const auto text = generate_text(spec, target, 7);
+    EXPECT_GT(text.size(), target * 95 / 100);
+    EXPECT_LT(text.size(), target * 105 / 100 + 256);
+    EXPECT_EQ(text.back(), '\n');
+  }
+}
+
+TEST(GenerateText, DeterministicPerSeed) {
+  TextSpec spec;
+  EXPECT_EQ(generate_text(spec, 50 * KiB, 1), generate_text(spec, 50 * KiB, 1));
+  EXPECT_NE(generate_text(spec, 50 * KiB, 1), generate_text(spec, 50 * KiB, 2));
+}
+
+TEST(GenerateText, WordFrequenciesAreSkewed) {
+  TextSpec spec;
+  spec.vocabulary = 1000;
+  const auto text = generate_text(spec, 1 * MiB, 3);
+  std::map<std::string, int> counts;
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) ++counts[word];
+  // Rank-1 word ("b" for rank 1) must dominate: Zipf head heaviness.
+  int max_count = 0;
+  long total = 0;
+  for (const auto& [w, c] : counts) {
+    max_count = std::max(max_count, c);
+    total += c;
+  }
+  EXPECT_GT(max_count, total / 20);  // >5% of all tokens is the top word
+  // Far fewer distinct words than tokens (combinability).
+  EXPECT_LT(static_cast<long>(counts.size()), total / 5);
+}
+
+TEST(TextSource, StreamsSameContentAsGenerate) {
+  TextSpec spec;
+  const auto text = generate_text(spec, 20 * KiB, 9);
+  auto source = text_source(spec, 20 * KiB, 9);
+  std::string streamed;
+  while (auto line = source()) {
+    streamed.append(*line);
+    streamed.push_back('\n');
+  }
+  EXPECT_EQ(streamed, text);
+}
+
+TEST(Records, LayoutAndDeterminism) {
+  RecordSpec spec;
+  common::Xoshiro256StarStar a(5), b(5);
+  const auto r1 = generate_record(spec, a);
+  const auto r2 = generate_record(spec, b);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1.size(), spec.key_bytes + 2 + spec.payload_bytes);
+  EXPECT_EQ(r1[spec.key_bytes], '\t');
+}
+
+TEST(RecordSource, ProducesTargetVolume) {
+  RecordSpec spec;
+  auto source = record_source(spec, 50 * KiB, 11);
+  std::uint64_t bytes = 0;
+  int records = 0;
+  while (auto r = source()) {
+    bytes += r->size() + 1;
+    ++records;
+  }
+  EXPECT_GT(records, 400);  // ~101 bytes per record
+  EXPECT_GE(bytes, 50 * KiB);
+  EXPECT_LT(bytes, 50 * KiB + 256);
+}
+
+TEST(Presets, JavasortScalesReducesWithInput) {
+  const auto cluster = paper_cluster();
+  const auto small = javasort_job(cluster, 1 * common::GiB);
+  const auto large = javasort_job(cluster, 150 * common::GiB);
+  EXPECT_EQ(small.reduce_tasks, 16);
+  EXPECT_EQ(large.reduce_tasks, 2400);
+  EXPECT_DOUBLE_EQ(small.map_output_ratio, 1.0);
+}
+
+TEST(Presets, Fig6ShapesMatchPaper) {
+  const auto cluster = fig6_hadoop_cluster();
+  EXPECT_EQ(cluster.map_slots, 7);
+  EXPECT_EQ(cluster.reduce_slots, 7);
+  const auto system = fig6_mpid_system();
+  EXPECT_EQ(system.total_mappers(), 49);
+  EXPECT_EQ(system.reducers, 1);
+  EXPECT_EQ(hadoop_wordcount_job(1).reduce_tasks, 1);
+}
+
+}  // namespace
+}  // namespace mpid::workloads
