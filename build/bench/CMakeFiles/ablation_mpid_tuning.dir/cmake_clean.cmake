@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpid_tuning.dir/ablation_mpid_tuning.cpp.o"
+  "CMakeFiles/ablation_mpid_tuning.dir/ablation_mpid_tuning.cpp.o.d"
+  "ablation_mpid_tuning"
+  "ablation_mpid_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpid_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_functional_fig6.dir/ext_functional_fig6.cpp.o"
+  "CMakeFiles/ext_functional_fig6.dir/ext_functional_fig6.cpp.o.d"
+  "ext_functional_fig6"
+  "ext_functional_fig6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_functional_fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

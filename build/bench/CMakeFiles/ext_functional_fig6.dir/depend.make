@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_functional_fig6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gridmix.dir/ext_gridmix.cpp.o"
+  "CMakeFiles/ext_gridmix.dir/ext_gridmix.cpp.o.d"
+  "ext_gridmix"
+  "ext_gridmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gridmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interconnect_shuffle.dir/ext_interconnect_shuffle.cpp.o"
+  "CMakeFiles/ext_interconnect_shuffle.dir/ext_interconnect_shuffle.cpp.o.d"
+  "ext_interconnect_shuffle"
+  "ext_interconnect_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interconnect_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interconnects.dir/ext_interconnects.cpp.o"
+  "CMakeFiles/ext_interconnects.dir/ext_interconnects.cpp.o.d"
+  "ext_interconnects"
+  "ext_interconnects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

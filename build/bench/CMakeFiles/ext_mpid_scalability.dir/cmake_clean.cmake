@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mpid_scalability.dir/ext_mpid_scalability.cpp.o"
+  "CMakeFiles/ext_mpid_scalability.dir/ext_mpid_scalability.cpp.o.d"
+  "ext_mpid_scalability"
+  "ext_mpid_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mpid_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

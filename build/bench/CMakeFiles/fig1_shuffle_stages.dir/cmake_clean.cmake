@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_shuffle_stages.dir/fig1_shuffle_stages.cpp.o"
+  "CMakeFiles/fig1_shuffle_stages.dir/fig1_shuffle_stages.cpp.o.d"
+  "fig1_shuffle_stages"
+  "fig1_shuffle_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_shuffle_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

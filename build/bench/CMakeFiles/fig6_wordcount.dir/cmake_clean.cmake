@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_wordcount.dir/fig6_wordcount.cpp.o"
+  "CMakeFiles/fig6_wordcount.dir/fig6_wordcount.cpp.o.d"
+  "fig6_wordcount"
+  "fig6_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_minimpi.dir/micro_minimpi.cpp.o"
+  "CMakeFiles/micro_minimpi.dir/micro_minimpi.cpp.o.d"
+  "micro_minimpi"
+  "micro_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

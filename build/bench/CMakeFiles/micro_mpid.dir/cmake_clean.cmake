@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mpid.dir/micro_mpid.cpp.o"
+  "CMakeFiles/micro_mpid.dir/micro_mpid.cpp.o.d"
+  "micro_mpid"
+  "micro_mpid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mpid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rpc_stack.dir/micro_rpc_stack.cpp.o"
+  "CMakeFiles/micro_rpc_stack.dir/micro_rpc_stack.cpp.o.d"
+  "micro_rpc_stack"
+  "micro_rpc_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rpc_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_copy_percentage.dir/table1_copy_percentage.cpp.o"
+  "CMakeFiles/table1_copy_percentage.dir/table1_copy_percentage.cpp.o.d"
+  "table1_copy_percentage"
+  "table1_copy_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_copy_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

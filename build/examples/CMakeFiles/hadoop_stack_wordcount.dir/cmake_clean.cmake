@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_stack_wordcount.dir/hadoop_stack_wordcount.cpp.o"
+  "CMakeFiles/hadoop_stack_wordcount.dir/hadoop_stack_wordcount.cpp.o.d"
+  "hadoop_stack_wordcount"
+  "hadoop_stack_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_stack_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

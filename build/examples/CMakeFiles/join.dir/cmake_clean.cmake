@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join.dir/join.cpp.o"
+  "CMakeFiles/join.dir/join.cpp.o.d"
+  "join"
+  "join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

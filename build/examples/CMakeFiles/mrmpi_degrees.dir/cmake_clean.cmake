@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmpi_degrees.dir/mrmpi_degrees.cpp.o"
+  "CMakeFiles/mrmpi_degrees.dir/mrmpi_degrees.cpp.o.d"
+  "mrmpi_degrees"
+  "mrmpi_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmpi_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_report.dir/session_report.cpp.o"
+  "CMakeFiles/session_report.dir/session_report.cpp.o.d"
+  "session_report"
+  "session_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("proto")
+subdirs("minimpi")
+subdirs("core/mpid")
+subdirs("mapred")
+subdirs("dfs")
+subdirs("hrpc")
+subdirs("minihadoop")
+subdirs("hadoop")
+subdirs("mpidsim")
+subdirs("workloads")

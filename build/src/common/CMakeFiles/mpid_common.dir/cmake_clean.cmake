@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_common.dir/src/kvframe.cpp.o"
+  "CMakeFiles/mpid_common.dir/src/kvframe.cpp.o.d"
+  "CMakeFiles/mpid_common.dir/src/stats.cpp.o"
+  "CMakeFiles/mpid_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/mpid_common.dir/src/table.cpp.o"
+  "CMakeFiles/mpid_common.dir/src/table.cpp.o.d"
+  "CMakeFiles/mpid_common.dir/src/units.cpp.o"
+  "CMakeFiles/mpid_common.dir/src/units.cpp.o.d"
+  "CMakeFiles/mpid_common.dir/src/zipf.cpp.o"
+  "CMakeFiles/mpid_common.dir/src/zipf.cpp.o.d"
+  "libmpid_common.a"
+  "libmpid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

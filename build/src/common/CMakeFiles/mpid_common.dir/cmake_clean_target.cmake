@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpid_common.a"
+)

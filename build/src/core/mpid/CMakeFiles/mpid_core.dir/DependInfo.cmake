@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mpid/src/capi.cpp" "src/core/mpid/CMakeFiles/mpid_core.dir/src/capi.cpp.o" "gcc" "src/core/mpid/CMakeFiles/mpid_core.dir/src/capi.cpp.o.d"
+  "/root/repo/src/core/mpid/src/merge.cpp" "src/core/mpid/CMakeFiles/mpid_core.dir/src/merge.cpp.o" "gcc" "src/core/mpid/CMakeFiles/mpid_core.dir/src/merge.cpp.o.d"
+  "/root/repo/src/core/mpid/src/mpid.cpp" "src/core/mpid/CMakeFiles/mpid_core.dir/src/mpid.cpp.o" "gcc" "src/core/mpid/CMakeFiles/mpid_core.dir/src/mpid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

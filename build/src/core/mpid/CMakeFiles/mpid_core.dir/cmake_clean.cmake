@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_core.dir/src/capi.cpp.o"
+  "CMakeFiles/mpid_core.dir/src/capi.cpp.o.d"
+  "CMakeFiles/mpid_core.dir/src/merge.cpp.o"
+  "CMakeFiles/mpid_core.dir/src/merge.cpp.o.d"
+  "CMakeFiles/mpid_core.dir/src/mpid.cpp.o"
+  "CMakeFiles/mpid_core.dir/src/mpid.cpp.o.d"
+  "libmpid_core.a"
+  "libmpid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_dfs.dir/src/minidfs.cpp.o"
+  "CMakeFiles/mpid_dfs.dir/src/minidfs.cpp.o.d"
+  "libmpid_dfs.a"
+  "libmpid_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/src/cluster.cpp" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/cluster.cpp.o" "gcc" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/hadoop/src/hdfs.cpp" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/hdfs.cpp.o" "gcc" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/hdfs.cpp.o.d"
+  "/root/repo/src/hadoop/src/spec.cpp" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/spec.cpp.o" "gcc" "src/hadoop/CMakeFiles/mpid_hadoop.dir/src/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/mpid_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_hadoop.dir/src/cluster.cpp.o"
+  "CMakeFiles/mpid_hadoop.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/mpid_hadoop.dir/src/hdfs.cpp.o"
+  "CMakeFiles/mpid_hadoop.dir/src/hdfs.cpp.o.d"
+  "CMakeFiles/mpid_hadoop.dir/src/spec.cpp.o"
+  "CMakeFiles/mpid_hadoop.dir/src/spec.cpp.o.d"
+  "libmpid_hadoop.a"
+  "libmpid_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_hrpc.dir/src/http.cpp.o"
+  "CMakeFiles/mpid_hrpc.dir/src/http.cpp.o.d"
+  "CMakeFiles/mpid_hrpc.dir/src/rpc.cpp.o"
+  "CMakeFiles/mpid_hrpc.dir/src/rpc.cpp.o.d"
+  "libmpid_hrpc.a"
+  "libmpid_hrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_hrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

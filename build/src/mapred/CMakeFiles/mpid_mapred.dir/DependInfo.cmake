@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/src/input.cpp" "src/mapred/CMakeFiles/mpid_mapred.dir/src/input.cpp.o" "gcc" "src/mapred/CMakeFiles/mpid_mapred.dir/src/input.cpp.o.d"
+  "/root/repo/src/mapred/src/job.cpp" "src/mapred/CMakeFiles/mpid_mapred.dir/src/job.cpp.o" "gcc" "src/mapred/CMakeFiles/mpid_mapred.dir/src/job.cpp.o.d"
+  "/root/repo/src/mapred/src/mrmpi.cpp" "src/mapred/CMakeFiles/mpid_mapred.dir/src/mrmpi.cpp.o" "gcc" "src/mapred/CMakeFiles/mpid_mapred.dir/src/mrmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/mpid/CMakeFiles/mpid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

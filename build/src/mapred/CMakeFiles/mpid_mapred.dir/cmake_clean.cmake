@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_mapred.dir/src/input.cpp.o"
+  "CMakeFiles/mpid_mapred.dir/src/input.cpp.o.d"
+  "CMakeFiles/mpid_mapred.dir/src/job.cpp.o"
+  "CMakeFiles/mpid_mapred.dir/src/job.cpp.o.d"
+  "CMakeFiles/mpid_mapred.dir/src/mrmpi.cpp.o"
+  "CMakeFiles/mpid_mapred.dir/src/mrmpi.cpp.o.d"
+  "libmpid_mapred.a"
+  "libmpid_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

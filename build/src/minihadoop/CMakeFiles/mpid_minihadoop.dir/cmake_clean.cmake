@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_minihadoop.dir/src/minihadoop.cpp.o"
+  "CMakeFiles/mpid_minihadoop.dir/src/minihadoop.cpp.o.d"
+  "libmpid_minihadoop.a"
+  "libmpid_minihadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_minihadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

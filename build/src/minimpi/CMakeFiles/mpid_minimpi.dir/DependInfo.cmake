@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/src/comm.cpp" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/comm.cpp.o.d"
+  "/root/repo/src/minimpi/src/request.cpp" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/request.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/request.cpp.o.d"
+  "/root/repo/src/minimpi/src/world.cpp" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/world.cpp.o" "gcc" "src/minimpi/CMakeFiles/mpid_minimpi.dir/src/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

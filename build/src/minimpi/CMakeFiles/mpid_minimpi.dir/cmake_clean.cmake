@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_minimpi.dir/src/comm.cpp.o"
+  "CMakeFiles/mpid_minimpi.dir/src/comm.cpp.o.d"
+  "CMakeFiles/mpid_minimpi.dir/src/request.cpp.o"
+  "CMakeFiles/mpid_minimpi.dir/src/request.cpp.o.d"
+  "CMakeFiles/mpid_minimpi.dir/src/world.cpp.o"
+  "CMakeFiles/mpid_minimpi.dir/src/world.cpp.o.d"
+  "libmpid_minimpi.a"
+  "libmpid_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_mpidsim.dir/src/system.cpp.o"
+  "CMakeFiles/mpid_mpidsim.dir/src/system.cpp.o.d"
+  "libmpid_mpidsim.a"
+  "libmpid_mpidsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_mpidsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

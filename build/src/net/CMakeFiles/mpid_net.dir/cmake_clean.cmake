@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_net.dir/src/fabric.cpp.o"
+  "CMakeFiles/mpid_net.dir/src/fabric.cpp.o.d"
+  "libmpid_net.a"
+  "libmpid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

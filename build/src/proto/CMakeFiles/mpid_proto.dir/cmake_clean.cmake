@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_proto.dir/src/models.cpp.o"
+  "CMakeFiles/mpid_proto.dir/src/models.cpp.o.d"
+  "CMakeFiles/mpid_proto.dir/src/profiles.cpp.o"
+  "CMakeFiles/mpid_proto.dir/src/profiles.cpp.o.d"
+  "libmpid_proto.a"
+  "libmpid_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_sim.dir/src/engine.cpp.o"
+  "CMakeFiles/mpid_sim.dir/src/engine.cpp.o.d"
+  "libmpid_sim.a"
+  "libmpid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

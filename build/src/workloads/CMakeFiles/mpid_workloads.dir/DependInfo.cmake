@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/src/gridmix.cpp" "src/workloads/CMakeFiles/mpid_workloads.dir/src/gridmix.cpp.o" "gcc" "src/workloads/CMakeFiles/mpid_workloads.dir/src/gridmix.cpp.o.d"
+  "/root/repo/src/workloads/src/presets.cpp" "src/workloads/CMakeFiles/mpid_workloads.dir/src/presets.cpp.o" "gcc" "src/workloads/CMakeFiles/mpid_workloads.dir/src/presets.cpp.o.d"
+  "/root/repo/src/workloads/src/text.cpp" "src/workloads/CMakeFiles/mpid_workloads.dir/src/text.cpp.o" "gcc" "src/workloads/CMakeFiles/mpid_workloads.dir/src/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/mpid_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/mpid_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpidsim/CMakeFiles/mpid_mpidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/mpid/CMakeFiles/mpid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mpid_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

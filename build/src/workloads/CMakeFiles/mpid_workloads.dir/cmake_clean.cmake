@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpid_workloads.dir/src/gridmix.cpp.o"
+  "CMakeFiles/mpid_workloads.dir/src/gridmix.cpp.o.d"
+  "CMakeFiles/mpid_workloads.dir/src/presets.cpp.o"
+  "CMakeFiles/mpid_workloads.dir/src/presets.cpp.o.d"
+  "CMakeFiles/mpid_workloads.dir/src/text.cpp.o"
+  "CMakeFiles/mpid_workloads.dir/src/text.cpp.o.d"
+  "libmpid_workloads.a"
+  "libmpid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_hash.cpp" "tests/CMakeFiles/test_common.dir/common/test_hash.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_hash.cpp.o.d"
+  "/root/repo/tests/common/test_kvframe.cpp" "tests/CMakeFiles/test_common.dir/common/test_kvframe.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_kvframe.cpp.o.d"
+  "/root/repo/tests/common/test_kvframe_fuzz.cpp" "tests/CMakeFiles/test_common.dir/common/test_kvframe_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_kvframe_fuzz.cpp.o.d"
+  "/root/repo/tests/common/test_prng.cpp" "tests/CMakeFiles/test_common.dir/common/test_prng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_prng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  "/root/repo/tests/common/test_zipf.cpp" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hadoop/test_calibration.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_calibration.cpp.o.d"
+  "/root/repo/tests/hadoop/test_cluster.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_cluster.cpp.o.d"
+  "/root/repo/tests/hadoop/test_copy_decomposition.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_copy_decomposition.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_copy_decomposition.cpp.o.d"
+  "/root/repo/tests/hadoop/test_hdfs.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_hdfs.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_hdfs.cpp.o.d"
+  "/root/repo/tests/hadoop/test_heterogeneity.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/hadoop/test_invariants.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_invariants.cpp.o.d"
+  "/root/repo/tests/hadoop/test_speculation.cpp" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_speculation.cpp.o" "gcc" "tests/CMakeFiles/test_hadoop.dir/hadoop/test_speculation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hadoop/CMakeFiles/mpid_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpidsim/CMakeFiles/mpid_mpidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mpid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mpid_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/mpid_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/mpid/CMakeFiles/mpid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hadoop.dir/hadoop/test_calibration.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_calibration.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_cluster.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_cluster.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_copy_decomposition.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_copy_decomposition.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_hdfs.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_hdfs.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_heterogeneity.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_heterogeneity.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_invariants.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_invariants.cpp.o.d"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_speculation.cpp.o"
+  "CMakeFiles/test_hadoop.dir/hadoop/test_speculation.cpp.o.d"
+  "test_hadoop"
+  "test_hadoop.pdb"
+  "test_hadoop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

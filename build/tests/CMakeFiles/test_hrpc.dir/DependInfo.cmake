@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hrpc/test_fuzz.cpp" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_fuzz.cpp.o.d"
+  "/root/repo/tests/hrpc/test_rpc_http.cpp" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_rpc_http.cpp.o" "gcc" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_rpc_http.cpp.o.d"
+  "/root/repo/tests/hrpc/test_stream_pipe.cpp" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_stream_pipe.cpp.o" "gcc" "tests/CMakeFiles/test_hrpc.dir/hrpc/test_stream_pipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hrpc/CMakeFiles/mpid_hrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hrpc.dir/hrpc/test_fuzz.cpp.o"
+  "CMakeFiles/test_hrpc.dir/hrpc/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_hrpc.dir/hrpc/test_rpc_http.cpp.o"
+  "CMakeFiles/test_hrpc.dir/hrpc/test_rpc_http.cpp.o.d"
+  "CMakeFiles/test_hrpc.dir/hrpc/test_stream_pipe.cpp.o"
+  "CMakeFiles/test_hrpc.dir/hrpc/test_stream_pipe.cpp.o.d"
+  "test_hrpc"
+  "test_hrpc.pdb"
+  "test_hrpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapred/test_input_edges.cpp" "tests/CMakeFiles/test_mapred.dir/mapred/test_input_edges.cpp.o" "gcc" "tests/CMakeFiles/test_mapred.dir/mapred/test_input_edges.cpp.o.d"
+  "/root/repo/tests/mapred/test_job.cpp" "tests/CMakeFiles/test_mapred.dir/mapred/test_job.cpp.o" "gcc" "tests/CMakeFiles/test_mapred.dir/mapred/test_job.cpp.o.d"
+  "/root/repo/tests/mapred/test_mrmpi.cpp" "tests/CMakeFiles/test_mapred.dir/mapred/test_mrmpi.cpp.o" "gcc" "tests/CMakeFiles/test_mapred.dir/mapred/test_mrmpi.cpp.o.d"
+  "/root/repo/tests/mapred/test_streaming_merge.cpp" "tests/CMakeFiles/test_mapred.dir/mapred/test_streaming_merge.cpp.o" "gcc" "tests/CMakeFiles/test_mapred.dir/mapred/test_streaming_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/mpid_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/mpid/CMakeFiles/mpid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

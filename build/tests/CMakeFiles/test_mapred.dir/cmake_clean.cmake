@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapred.dir/mapred/test_input_edges.cpp.o"
+  "CMakeFiles/test_mapred.dir/mapred/test_input_edges.cpp.o.d"
+  "CMakeFiles/test_mapred.dir/mapred/test_job.cpp.o"
+  "CMakeFiles/test_mapred.dir/mapred/test_job.cpp.o.d"
+  "CMakeFiles/test_mapred.dir/mapred/test_mrmpi.cpp.o"
+  "CMakeFiles/test_mapred.dir/mapred/test_mrmpi.cpp.o.d"
+  "CMakeFiles/test_mapred.dir/mapred/test_streaming_merge.cpp.o"
+  "CMakeFiles/test_mapred.dir/mapred/test_streaming_merge.cpp.o.d"
+  "test_mapred"
+  "test_mapred.pdb"
+  "test_mapred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_failures.cpp.o"
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_failures.cpp.o.d"
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_minihadoop.cpp.o"
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_minihadoop.cpp.o.d"
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_shapes.cpp.o"
+  "CMakeFiles/test_minihadoop.dir/minihadoop/test_shapes.cpp.o.d"
+  "test_minihadoop"
+  "test_minihadoop.pdb"
+  "test_minihadoop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minihadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

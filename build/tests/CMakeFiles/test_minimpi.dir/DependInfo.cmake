@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minimpi/test_collectives.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o.d"
+  "/root/repo/tests/minimpi/test_failure.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_failure.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_failure.cpp.o.d"
+  "/root/repo/tests/minimpi/test_nonblocking.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o.d"
+  "/root/repo/tests/minimpi/test_p2p.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o.d"
+  "/root/repo/tests/minimpi/test_pack.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_pack.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_pack.cpp.o.d"
+  "/root/repo/tests/minimpi/test_property.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_property.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_property.cpp.o.d"
+  "/root/repo/tests/minimpi/test_split.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_split.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_split.cpp.o.d"
+  "/root/repo/tests/minimpi/test_ssend.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_ssend.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_ssend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_failure.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_failure.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_pack.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_pack.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_property.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_property.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_split.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_split.cpp.o.d"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_ssend.cpp.o"
+  "CMakeFiles/test_minimpi.dir/minimpi/test_ssend.cpp.o.d"
+  "test_minimpi"
+  "test_minimpi.pdb"
+  "test_minimpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

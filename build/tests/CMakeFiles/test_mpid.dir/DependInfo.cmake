@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_binary_stress.cpp" "tests/CMakeFiles/test_mpid.dir/core/test_binary_stress.cpp.o" "gcc" "tests/CMakeFiles/test_mpid.dir/core/test_binary_stress.cpp.o.d"
+  "/root/repo/tests/core/test_capi_typed.cpp" "tests/CMakeFiles/test_mpid.dir/core/test_capi_typed.cpp.o" "gcc" "tests/CMakeFiles/test_mpid.dir/core/test_capi_typed.cpp.o.d"
+  "/root/repo/tests/core/test_merge.cpp" "tests/CMakeFiles/test_mpid.dir/core/test_merge.cpp.o" "gcc" "tests/CMakeFiles/test_mpid.dir/core/test_merge.cpp.o.d"
+  "/root/repo/tests/core/test_mpid.cpp" "tests/CMakeFiles/test_mpid.dir/core/test_mpid.cpp.o" "gcc" "tests/CMakeFiles/test_mpid.dir/core/test_mpid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/mpid/CMakeFiles/mpid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/mpid_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

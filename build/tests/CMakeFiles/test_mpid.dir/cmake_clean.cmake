@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpid.dir/core/test_binary_stress.cpp.o"
+  "CMakeFiles/test_mpid.dir/core/test_binary_stress.cpp.o.d"
+  "CMakeFiles/test_mpid.dir/core/test_capi_typed.cpp.o"
+  "CMakeFiles/test_mpid.dir/core/test_capi_typed.cpp.o.d"
+  "CMakeFiles/test_mpid.dir/core/test_merge.cpp.o"
+  "CMakeFiles/test_mpid.dir/core/test_merge.cpp.o.d"
+  "CMakeFiles/test_mpid.dir/core/test_mpid.cpp.o"
+  "CMakeFiles/test_mpid.dir/core/test_mpid.cpp.o.d"
+  "test_mpid"
+  "test_mpid.pdb"
+  "test_mpid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_invariants.cpp.o"
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_invariants.cpp.o.d"
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_overlap.cpp.o"
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_overlap.cpp.o.d"
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_system.cpp.o"
+  "CMakeFiles/test_mpidsim.dir/mpidsim/test_system.cpp.o.d"
+  "test_mpidsim"
+  "test_mpidsim.pdb"
+  "test_mpidsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpidsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proto/test_consistency.cpp" "tests/CMakeFiles/test_proto.dir/proto/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/proto/test_consistency.cpp.o.d"
+  "/root/repo/tests/proto/test_contention.cpp" "tests/CMakeFiles/test_proto.dir/proto/test_contention.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/proto/test_contention.cpp.o.d"
+  "/root/repo/tests/proto/test_models.cpp" "tests/CMakeFiles/test_proto.dir/proto/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/proto/test_models.cpp.o.d"
+  "/root/repo/tests/proto/test_profiles.cpp" "tests/CMakeFiles/test_proto.dir/proto/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/test_proto.dir/proto/test_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/mpid_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mpid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

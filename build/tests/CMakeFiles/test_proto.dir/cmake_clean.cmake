@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/proto/test_consistency.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/test_consistency.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/test_contention.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/test_contention.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/test_models.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/test_models.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/test_profiles.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/test_profiles.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_mpid[1]_include.cmake")
+include("/root/repo/build/tests/test_mapred[1]_include.cmake")
+include("/root/repo/build/tests/test_hadoop[1]_include.cmake")
+include("/root/repo/build/tests/test_mpidsim[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_dfs[1]_include.cmake")
+include("/root/repo/build/tests/test_hrpc[1]_include.cmake")
+include("/root/repo/build/tests/test_minihadoop[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
