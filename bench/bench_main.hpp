@@ -1,6 +1,12 @@
 // Shared google-benchmark main for the micro benches: defaults to a short
 // per-benchmark min time so `for b in build/bench/*; do $b; done` finishes
 // promptly, while still honoring an explicit --benchmark_min_time.
+//
+// Benches that declare a JSON artifact name (MPID_BENCHMARK_MAIN_JSON)
+// additionally emit machine-readable results to BENCH_<name>.json in the
+// current working directory unless the caller passed --benchmark_out
+// themselves. Those files are the repo's perf trajectory: successive PRs
+// re-run the bench and diff the JSON.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -11,16 +17,28 @@
 
 namespace mpid::bench {
 
-inline int run_benchmarks(int argc, char** argv) {
+inline int run_benchmarks(int argc, char** argv,
+                          const char* json_name = nullptr) {
   std::vector<char*> args(argv, argv + argc);
   std::string default_min_time = "--benchmark_min_time=0.05";
-  bool user_set = false;
+  std::string out_file, out_format;
+  bool user_min_time = false;
+  bool user_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
-      user_set = true;
+      user_min_time = true;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      user_out = true;
     }
   }
-  if (!user_set) args.push_back(default_min_time.data());
+  if (!user_min_time) args.push_back(default_min_time.data());
+  if (json_name != nullptr && !user_out) {
+    out_file = std::string("--benchmark_out=BENCH_") + json_name + ".json";
+    out_format = "--benchmark_out_format=json";
+    args.push_back(out_file.data());
+    args.push_back(out_format.data());
+  }
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());
   if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
@@ -34,4 +52,11 @@ inline int run_benchmarks(int argc, char** argv) {
 #define MPID_BENCHMARK_MAIN()                       \
   int main(int argc, char** argv) {                 \
     return mpid::bench::run_benchmarks(argc, argv); \
+  }
+
+/// As MPID_BENCHMARK_MAIN, but also writes BENCH_<name>.json (google-
+/// benchmark JSON format) for the perf trajectory.
+#define MPID_BENCHMARK_MAIN_JSON(name)                    \
+  int main(int argc, char** argv) {                       \
+    return mpid::bench::run_benchmarks(argc, argv, name); \
   }

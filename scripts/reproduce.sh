@@ -2,6 +2,10 @@
 # One-button reproduction: configure, build, run the full test suite, then
 # regenerate every table and figure. Outputs land in test_output.txt and
 # bench_output.txt at the repository root.
+#
+# Opt-in extra stage: MPID_TSAN=1 scripts/reproduce.sh additionally runs
+# the transport test suites under ThreadSanitizer (scripts/check_tsan.sh)
+# in a separate build-tsan tree before the benches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +13,10 @@ cmake -B build -G Ninja
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+if [ "${MPID_TSAN:-0}" = "1" ]; then
+  scripts/check_tsan.sh
+fi
 
 {
   for b in build/bench/*; do

@@ -42,6 +42,11 @@ class KvWriter {
   const std::vector<std::byte>& buffer() const noexcept { return buf_; }
   std::vector<std::byte> take() noexcept;
   void clear() noexcept;
+  /// Adopts `recycled` (typically from a FramePool) as the backing buffer,
+  /// discarding its contents but keeping its allocation — the move-only
+  /// complement of take() that lets buffers cycle writer → wire → pool →
+  /// writer without copies.
+  void reset(std::vector<std::byte>&& recycled) noexcept;
 
  private:
   std::vector<std::byte> buf_;
@@ -81,6 +86,8 @@ class KvListWriter {
   const std::vector<std::byte>& buffer() const noexcept { return buf_; }
   std::vector<std::byte> take() noexcept;
   void clear() noexcept;
+  /// Adopts `recycled` as the backing buffer (see KvWriter::reset).
+  void reset(std::vector<std::byte>&& recycled) noexcept;
 
  private:
   std::vector<std::byte> buf_;

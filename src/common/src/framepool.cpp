@@ -1,0 +1,50 @@
+#include "mpid/common/framepool.hpp"
+
+namespace mpid::common {
+
+std::vector<std::byte> FramePool::acquire(std::size_t capacity_hint) {
+  std::vector<std::byte> buf;
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.acquires;
+    if (!free_.empty()) {
+      ++counters_.hits;
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  buf.clear();
+  if (buf.capacity() < capacity_hint) buf.reserve(capacity_hint);
+  return buf;
+}
+
+void FramePool::release(std::vector<std::byte>&& buf) noexcept {
+  std::unique_lock lock(mu_);
+  ++counters_.releases;
+  if (buf.capacity() == 0 || buf.capacity() > max_buffer_bytes_ ||
+      free_.size() >= max_buffers_) {
+    ++counters_.drops;
+    lock.unlock();  // free the jumbo allocation outside the lock
+    return;
+  }
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+std::size_t FramePool::cached() const {
+  std::lock_guard lock(mu_);
+  return free_.size();
+}
+
+FramePool::Counters FramePool::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+const std::shared_ptr<FramePool>& FramePool::process_pool() {
+  static const std::shared_ptr<FramePool> pool =
+      std::make_shared<FramePool>();
+  return pool;
+}
+
+}  // namespace mpid::common

@@ -74,6 +74,12 @@ void KvWriter::clear() noexcept {
   pairs_ = 0;
 }
 
+void KvWriter::reset(std::vector<std::byte>&& recycled) noexcept {
+  buf_ = std::move(recycled);
+  buf_.clear();
+  pairs_ = 0;
+}
+
 std::optional<KvView> KvReader::next() {
   if (offset_ == buf_.size()) return std::nullopt;
   const auto klen = get_varint(buf_, offset_);
@@ -115,6 +121,13 @@ std::vector<std::byte> KvListWriter::take() noexcept {
 }
 
 void KvListWriter::clear() noexcept {
+  buf_.clear();
+  groups_ = 0;
+  pending_values_ = 0;
+}
+
+void KvListWriter::reset(std::vector<std::byte>&& recycled) noexcept {
+  buf_ = std::move(recycled);
   buf_.clear();
   groups_ = 0;
   pending_values_ = 0;

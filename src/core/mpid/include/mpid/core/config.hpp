@@ -10,9 +10,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace mpid::common {
+class FramePool;
+}
 
 namespace mpid::core {
 
@@ -64,6 +69,31 @@ struct Config {
   /// Optional partition selector; empty function means hash-mod.
   Partitioner partitioner;
 
+  /// Pipelined zero-copy shuffle: full partition frames are moved into the
+  /// transport with nonblocking sends (a bounded in-flight window per
+  /// destination), reducers keep a wildcard receive posted one frame
+  /// ahead, and frame buffers are recycled through a FramePool instead of
+  /// being reallocated per spill. Disabling falls back to the original
+  /// blocking copy-per-frame path (kept for A/B benchmarking).
+  bool pipelined_shuffle = true;
+
+  /// Upper bound on outstanding nonblocking frame sends per destination
+  /// reducer before the mapper waits on the oldest (>= 1). Two frames give
+  /// classic double buffering; more deepens the pipeline.
+  std::size_t max_inflight_frames = 4;
+
+  /// Skip the hash-table buffer and realign pairs straight into partition
+  /// frames at MPI_D_Send time. Only taken when no combiner is configured
+  /// and sort_keys/sort_values are off (those require the buffered spill
+  /// path); pairs then cost one serialization instead of a hash insert, a
+  /// value-list append and a spill copy.
+  bool direct_realign = false;
+
+  /// Frame buffer recycler shared by the ranks of a job; null selects the
+  /// process-wide FramePool::process_pool() (in-process worlds run every
+  /// rank as a thread, so reducers recycle buffers straight to mappers).
+  std::shared_ptr<common::FramePool> frame_pool;
+
   /// Total world size this configuration requires (master + mappers +
   /// reducers).
   int world_size() const noexcept { return 1 + mappers + reducers; }
@@ -79,6 +109,11 @@ struct Stats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_received = 0;       // payload bytes received
   std::uint64_t pairs_received = 0;       // pairs handed to MPI_D_Recv
+  /// Mapper stall: wall time spent inside the transport while flushing
+  /// partition frames (send, window wait, buffer turnaround). This is the
+  /// time MPI_D_Send steals from map computation; the pipelined shuffle
+  /// exists to drive it toward zero.
+  std::uint64_t flush_wait_ns = 0;
 
   Stats& operator+=(const Stats& rhs) noexcept {
     pairs_sent += rhs.pairs_sent;
@@ -89,6 +124,7 @@ struct Stats {
     frames_received += rhs.frames_received;
     bytes_received += rhs.bytes_received;
     pairs_received += rhs.pairs_received;
+    flush_wait_ns += rhs.flush_wait_ns;
     return *this;
   }
 };

@@ -36,12 +36,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "mpid/common/framepool.hpp"
 #include "mpid/common/kvframe.hpp"
 #include "mpid/core/config.hpp"
 #include "mpid/minimpi/comm.hpp"
@@ -130,6 +132,11 @@ class MpiD {
   /// Pulls the next frame from the network into the segment queue.
   /// Returns false when all mappers have signalled end-of-stream.
   bool refill_segments();
+  /// Posts the reducer's one-frame-ahead wildcard receive (pipelined
+  /// shuffle): reverse realignment of frame N overlaps reception of N+1.
+  void post_prefetch();
+  /// Waits out the in-flight send window of one partition.
+  void drain_inflight(std::size_t partition);
   void ensure_role(Role expected, const char* what) const;
 
   minimpi::Comm& comm_;    // user communicator (untouched)
@@ -137,11 +144,16 @@ class MpiD {
   Config config_;
   Role role_;
   Stats stats_;
+  std::shared_ptr<common::FramePool> pool_;
+  bool direct_realign_ = false;  // resolved from config at init
 
   // Mapper state.
   std::unordered_map<std::string, ValueList, KeyHash, KeyEqual> buffer_;
   std::size_t buffered_bytes_ = 0;
   std::vector<common::KvListWriter> partitions_;
+  /// Outstanding nonblocking frame sends, one bounded window per
+  /// destination reducer (Config::max_inflight_frames).
+  std::vector<std::deque<minimpi::Request>> inflight_;
 
   // Reducer state.
   struct Segment {
@@ -152,6 +164,11 @@ class MpiD {
   std::optional<Segment> current_;  // group being drained by recv()
   std::size_t current_value_index_ = 0;
   int eos_received_ = 0;
+  /// Prefetch buffer must outlive the request posted against it (members
+  /// destroy in reverse declaration order: request first, then buffer).
+  std::vector<std::byte> prefetch_buf_;
+  minimpi::Request prefetch_req_;
+  bool prefetch_posted_ = false;
 
   // Master state.
   JobReport report_;

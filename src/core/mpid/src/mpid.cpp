@@ -1,6 +1,7 @@
 #include "mpid/core/mpid.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -23,6 +24,13 @@ constexpr std::size_t kEntryOverhead = 48;
 static_assert(std::is_trivially_copyable_v<Stats>,
               "Stats travels as a raw MPI payload");
 
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 MpiD::MpiD(minimpi::Comm& comm, Config config)
@@ -34,12 +42,22 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
     throw std::invalid_argument(
         "MpiD: communicator size must be 1 (master) + mappers + reducers");
   }
+  if (config_.max_inflight_frames < 1) {
+    throw std::invalid_argument("MpiD: max_inflight_frames must be >= 1");
+  }
+  pool_ = config_.frame_pool ? config_.frame_pool
+                             : common::FramePool::process_pool();
+  // Direct realignment requires the buffered spill path to be semantics-
+  // free: no combiner to batch for, no sorted runs to build.
+  direct_realign_ = config_.direct_realign && !config_.combiner &&
+                    !config_.sort_keys && !config_.sort_values;
   const auto rank = comm.rank();
   if (rank == 0) {
     role_ = Role::kMaster;
   } else if (rank <= config_.mappers) {
     role_ = Role::kMapper;
     partitions_.resize(static_cast<std::size_t>(config_.reducers));
+    inflight_.resize(static_cast<std::size_t>(config_.reducers));
   } else {
     role_ = Role::kReducer;
   }
@@ -83,6 +101,20 @@ void MpiD::ensure_role(Role expected, const char* what) const {
 void MpiD::send(std::string_view key, std::string_view value) {
   ensure_role(Role::kMapper, "send (MPI_D_Send)");
   ++stats_.pairs_sent;
+
+  if (direct_realign_) {
+    // Realign straight into the partition frame: one serialization per
+    // pair instead of hash insert + value-list append + spill copy.
+    const auto partition = static_cast<std::size_t>(partition_for(key));
+    auto& writer = partitions_[partition];
+    writer.begin_group(key, 1);
+    writer.add_value(value);
+    ++stats_.pairs_after_combine;
+    if (writer.byte_size() >= config_.partition_frame_bytes) {
+      flush_partition(partition);
+    }
+    return;
+  }
 
   auto it = buffer_.find(key);  // transparent: no temporary string
   const bool inserted = it == buffer_.end();
@@ -155,28 +187,75 @@ void MpiD::append_to_partition(std::size_t partition, std::string_view key,
   }
 }
 
+void MpiD::drain_inflight(std::size_t partition) {
+  auto& window = inflight_[partition];
+  while (!window.empty()) {
+    window.front().wait();
+    window.pop_front();
+  }
+}
+
 void MpiD::flush_partition(std::size_t partition) {
   auto& writer = partitions_[partition];
   if (writer.group_count() == 0) return;
-  const auto frame = writer.take();
   // The destination is derived from the partition number automatically —
   // the mapper never names a rank (Section III, third challenge).
   const minimpi::Rank dst =
       1 + config_.mappers + static_cast<minimpi::Rank>(partition);
-  data_comm_.send_bytes(dst, kDataTag, frame);
+  const std::uint64_t start = now_ns();
+  if (config_.pipelined_shuffle) {
+    auto frame = writer.take();
+    stats_.bytes_sent += frame.size();
+    // Re-arm the writer from the pool before the frame leaves: the next
+    // pair can be serialized while this frame is still in flight.
+    writer.reset(pool_->acquire(config_.partition_frame_bytes));
+    auto& window = inflight_[partition];
+    while (window.size() >= config_.max_inflight_frames) {
+      window.front().wait();
+      window.pop_front();
+    }
+    window.push_back(
+        data_comm_.isend_bytes_owned(dst, kDataTag, std::move(frame)));
+  } else {
+    const auto frame = writer.take();
+    data_comm_.send_bytes(dst, kDataTag, frame);
+    stats_.bytes_sent += frame.size();
+  }
   ++stats_.frames_sent;
-  stats_.bytes_sent += frame.size();
+  stats_.flush_wait_ns += now_ns() - start;
+}
+
+void MpiD::post_prefetch() {
+  prefetch_buf_.clear();
+  prefetch_req_ = data_comm_.irecv_bytes(minimpi::kAnySource,
+                                         minimpi::kAnyTag, prefetch_buf_);
+  prefetch_posted_ = true;
 }
 
 bool MpiD::refill_segments() {
   while (segments_.empty()) {
     if (eos_received_ == config_.mappers) return false;
     std::vector<std::byte> frame;
-    const minimpi::Status st =
-        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
-    if (st.tag == kEosTag) {
-      ++eos_received_;
-      continue;
+    minimpi::Status st;
+    if (config_.pipelined_shuffle) {
+      if (!prefetch_posted_) post_prefetch();
+      st = prefetch_req_.wait();
+      prefetch_posted_ = false;
+      frame = std::move(prefetch_buf_);
+      // Keep exactly one wildcard receive posted ahead while more traffic
+      // is expected, so reverse realignment of this frame overlaps the
+      // arrival of the next. Never leave one posted once every mapper has
+      // signalled end-of-stream: the finalize ack must not be stolen.
+      if (st.tag == kEosTag) ++eos_received_;
+      if (eos_received_ < config_.mappers) post_prefetch();
+      if (st.tag == kEosTag) continue;
+    } else {
+      st = data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag,
+                                 frame);
+      if (st.tag == kEosTag) {
+        ++eos_received_;
+        continue;
+      }
     }
     if (st.tag != kDataTag) {
       throw std::runtime_error("MpiD: unexpected tag on data channel");
@@ -192,6 +271,8 @@ bool MpiD::refill_segments() {
       for (const auto v : group->values) seg.values.emplace_back(v);
       segments_.push_back(std::move(seg));
     }
+    // The frame's allocation goes back to the pool for the next spill.
+    pool_->release(std::move(frame));
   }
   return true;
 }
@@ -271,6 +352,11 @@ void MpiD::finalize() {
     case Role::kMapper: {
       spill();
       for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
+      // Close every in-flight window before end-of-stream: EOS must not
+      // overtake data (it cannot — same (source, context) lane — but a
+      // drained window also returns the request bookkeeping to a clean
+      // state before the final handshake).
+      for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
       for (int r = 0; r < config_.reducers; ++r) {
         data_comm_.send_bytes(1 + config_.mappers + r, kEosTag, {});
       }

@@ -59,6 +59,12 @@ class Comm {
 
   void send_bytes(Rank dst, int tag, std::span<const std::byte> data);
 
+  /// Zero-copy send: moves the payload buffer into the transport instead
+  /// of copying it. The eventual receiver's sink vector adopts this exact
+  /// allocation, so a pooled buffer travels mapper → wire → reducer with
+  /// no intermediate copy (the shuffle hot path of MPI-D).
+  void send_bytes_owned(Rank dst, int tag, std::vector<std::byte>&& data);
+
   /// Synchronous send (MPI_Ssend): completes only once a matching receive
   /// has consumed the message. Times out (throwing) under the world's
   /// deadlock guard if no receive ever matches.
@@ -71,6 +77,8 @@ class Comm {
   }
   Status recv_bytes(Rank src, int tag, std::vector<std::byte>& out);
   Request isend_bytes(Rank dst, int tag, std::span<const std::byte> data);
+  /// Zero-copy nonblocking send (see send_bytes_owned).
+  Request isend_bytes_owned(Rank dst, int tag, std::vector<std::byte>&& data);
   /// `out` must stay alive until the request completes.
   Request irecv_bytes(Rank src, int tag, std::vector<std::byte>& out);
 

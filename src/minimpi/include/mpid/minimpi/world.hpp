@@ -2,16 +2,26 @@
 //
 // A World owns one mailbox per rank. Ranks are std::threads launched by
 // run_world(); each receives a Comm handle bound to its rank. Message
-// delivery is eager: MPI_Send-style calls copy the payload into the
-// destination mailbox and return (standard buffered-send semantics, which
-// MPI_Send permits).
+// delivery is eager: MPI_Send-style calls move or copy the payload into
+// the destination mailbox and return (standard buffered-send semantics,
+// which MPI_Send permits).
 //
 // Matching follows MPI rules: a receive with (source, tag) filters —
 // either may be a wildcard — matches the earliest-sent compatible message
 // of the same communicator context; messages between a fixed (source,
 // destination, context) triple are non-overtaking.
+//
+// A mailbox is internally sharded by communicator context: each context
+// hashes to one of a fixed number of (mutex, condvar, queue) shards, so
+// data-plane traffic (e.g. MPI-D's dup'd data communicator) never contends
+// with collective traffic or with other communicators on the same lock.
+// Matching only ever relates messages of equal context, and a context
+// always maps to the same shard, so the sharding is invisible to MPI
+// semantics: wildcard receives still match the earliest compatible message
+// of their context, and per-(source, context) non-overtaking is preserved.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -103,15 +113,27 @@ class Mailbox {
                std::chrono::nanoseconds timeout);
   std::optional<Status> iprobe(std::uint64_t context, Rank source, int tag);
 
+  /// Number of context shards per mailbox (power of two).
+  static constexpr std::size_t kShardCount = 8;
+
  private:
-  /// Tries to satisfy `recv` from the unexpected queue. Caller holds mu_.
-  bool match_unexpected(PostedRecv& recv);
+  /// One independently locked matching domain. All messages and receives
+  /// of a given context live in exactly one shard.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> unexpected;
+    std::list<PostedRecv*> posted;
+  };
+
+  Shard& shard_for(std::uint64_t context) noexcept;
+
+  /// Tries to satisfy `recv` from the shard's unexpected queue. Caller
+  /// holds the shard mutex.
+  static bool match_unexpected(Shard& shard, PostedRecv& recv);
   static void complete(PostedRecv& recv, Envelope env);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Envelope> unexpected_;
-  std::list<PostedRecv*> posted_;
+  std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace detail

@@ -91,6 +91,17 @@ void Comm::send_bytes(Rank dst, int tag, std::span<const std::byte> data) {
   world_->mailbox(to_world(dst)).deliver(std::move(env));
 }
 
+void Comm::send_bytes_owned(Rank dst, int tag, std::vector<std::byte>&& data) {
+  check_peer(dst, "send");
+  check_tag(tag, "send");
+  detail::Envelope env;
+  env.context = context_;
+  env.source = to_world(rank_);
+  env.tag = tag;
+  env.payload = std::move(data);
+  world_->mailbox(to_world(dst)).deliver(std::move(env));
+}
+
 void Comm::ssend_bytes(Rank dst, int tag, std::span<const std::byte> data) {
   check_peer(dst, "ssend");
   check_tag(tag, "ssend");
@@ -128,6 +139,18 @@ Request Comm::isend_bytes(Rank dst, int tag, std::span<const std::byte> data) {
   state->immediate_status.source = rank_;
   state->immediate_status.tag = tag;
   state->immediate_status.byte_count = data.size();
+  return Request(std::move(state));
+}
+
+Request Comm::isend_bytes_owned(Rank dst, int tag,
+                                std::vector<std::byte>&& data) {
+  const std::size_t n = data.size();
+  send_bytes_owned(dst, tag, std::move(data));  // eager: complete on return
+  auto state = std::make_unique<Request::State>();
+  state->mailbox = nullptr;
+  state->immediate_status.source = rank_;
+  state->immediate_status.tag = tag;
+  state->immediate_status.byte_count = n;
   return Request(std::move(state));
 }
 

@@ -5,11 +5,18 @@
 #include <stdexcept>
 #include <thread>
 
+#include "mpid/common/hash.hpp"
 #include "mpid/minimpi/comm.hpp"
 
 namespace mpid::minimpi {
 
 namespace detail {
+
+Mailbox::Shard& Mailbox::shard_for(std::uint64_t context) noexcept {
+  static_assert((kShardCount & (kShardCount - 1)) == 0,
+                "shard count must be a power of two");
+  return shards_[common::fmix64(context) & (kShardCount - 1)];
+}
 
 void Mailbox::complete(PostedRecv& recv, Envelope env) {
   if (recv.sink != nullptr) *recv.sink = std::move(env.payload);
@@ -22,26 +29,28 @@ void Mailbox::complete(PostedRecv& recv, Envelope env) {
 }
 
 void Mailbox::deliver(Envelope env) {
+  Shard& shard = shard_for(env.context);
   {
-    std::lock_guard lock(mu_);
-    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    std::lock_guard lock(shard.mu);
+    for (auto it = shard.posted.begin(); it != shard.posted.end(); ++it) {
       if ((*it)->matches(env)) {
         complete(**it, std::move(env));
-        posted_.erase(it);
-        cv_.notify_all();
+        shard.posted.erase(it);
+        shard.cv.notify_all();
         return;
       }
     }
-    unexpected_.push_back(std::move(env));
+    shard.unexpected.push_back(std::move(env));
   }
-  cv_.notify_all();
+  shard.cv.notify_all();
 }
 
-bool Mailbox::match_unexpected(PostedRecv& recv) {
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+bool Mailbox::match_unexpected(Shard& shard, PostedRecv& recv) {
+  for (auto it = shard.unexpected.begin(); it != shard.unexpected.end();
+       ++it) {
     if (recv.matches(*it)) {
       complete(recv, std::move(*it));
-      unexpected_.erase(it);
+      shard.unexpected.erase(it);
       return true;
     }
   }
@@ -49,15 +58,17 @@ bool Mailbox::match_unexpected(PostedRecv& recv) {
 }
 
 void Mailbox::post(PostedRecv& recv) {
-  std::lock_guard lock(mu_);
-  if (!match_unexpected(recv)) posted_.push_back(&recv);
+  Shard& shard = shard_for(recv.context);
+  std::lock_guard lock(shard.mu);
+  if (!match_unexpected(shard, recv)) shard.posted.push_back(&recv);
 }
 
 void Mailbox::wait_posted(PostedRecv& recv, std::chrono::nanoseconds timeout) {
-  std::unique_lock lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [&] { return recv.done; })) {
+  Shard& shard = shard_for(recv.context);
+  std::unique_lock lock(shard.mu);
+  if (!shard.cv.wait_for(lock, timeout, [&] { return recv.done; })) {
     // Remove ourselves so the stack/heap slot cannot be written later.
-    posted_.remove(&recv);
+    shard.posted.remove(&recv);
     std::ostringstream msg;
     msg << "minimpi: receive timed out (source filter "
         << recv.source_filter << ", tag filter " << recv.tag_filter
@@ -67,13 +78,15 @@ void Mailbox::wait_posted(PostedRecv& recv, std::chrono::nanoseconds timeout) {
 }
 
 bool Mailbox::test_posted(PostedRecv& recv) {
-  std::lock_guard lock(mu_);
+  Shard& shard = shard_for(recv.context);
+  std::lock_guard lock(shard.mu);
   return recv.done;
 }
 
 void Mailbox::cancel_posted(PostedRecv& recv) {
-  std::lock_guard lock(mu_);
-  posted_.remove(&recv);
+  Shard& shard = shard_for(recv.context);
+  std::lock_guard lock(shard.mu);
+  shard.posted.remove(&recv);
 }
 
 void Mailbox::recv_blocking(PostedRecv& recv,
@@ -90,13 +103,14 @@ Status Mailbox::probe(std::uint64_t context, Rank source, int tag,
   filter.source_filter = source;
   filter.tag_filter = tag;
 
-  std::unique_lock lock(mu_);
+  Shard& shard = shard_for(context);
+  std::unique_lock lock(shard.mu);
   const Envelope* found = nullptr;
-  const bool ok = cv_.wait_for(lock, timeout, [&] {
-    const auto it =
-        std::find_if(unexpected_.begin(), unexpected_.end(),
-                     [&](const Envelope& e) { return filter.matches(e); });
-    if (it == unexpected_.end()) return false;
+  const bool ok = shard.cv.wait_for(lock, timeout, [&] {
+    const auto it = std::find_if(
+        shard.unexpected.begin(), shard.unexpected.end(),
+        [&](const Envelope& e) { return filter.matches(e); });
+    if (it == shard.unexpected.end()) return false;
     found = &*it;
     return true;
   });
@@ -117,11 +131,12 @@ std::optional<Status> Mailbox::iprobe(std::uint64_t context, Rank source,
   filter.source_filter = source;
   filter.tag_filter = tag;
 
-  std::lock_guard lock(mu_);
-  const auto it =
-      std::find_if(unexpected_.begin(), unexpected_.end(),
-                   [&](const Envelope& e) { return filter.matches(e); });
-  if (it == unexpected_.end()) return std::nullopt;
+  Shard& shard = shard_for(context);
+  std::lock_guard lock(shard.mu);
+  const auto it = std::find_if(
+      shard.unexpected.begin(), shard.unexpected.end(),
+      [&](const Envelope& e) { return filter.matches(e); });
+  if (it == shard.unexpected.end()) return std::nullopt;
   Status st;
   st.source = it->source;
   st.tag = it->tag;

@@ -1,0 +1,96 @@
+// FramePool: buffer recycling semantics, bounds, and thread safety.
+#include "mpid/common/framepool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mpid::common {
+namespace {
+
+TEST(FramePool, AcquireFromEmptyPoolAllocates) {
+  FramePool pool;
+  auto buf = pool.acquire(1024);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 1024u);
+  const auto c = pool.counters();
+  EXPECT_EQ(c.acquires, 1u);
+  EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(FramePool, ReleasedBufferIsReusedLifo) {
+  FramePool pool;
+  auto a = pool.acquire(256);
+  a.resize(100, std::byte{0x5a});
+  const auto* data_a = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.cached(), 1u);
+
+  auto b = pool.acquire();
+  EXPECT_EQ(b.data(), data_a);  // same allocation came back
+  EXPECT_TRUE(b.empty());       // but cleared
+  EXPECT_EQ(pool.counters().hits, 1u);
+}
+
+TEST(FramePool, AcquireHonorsCapacityHintOnReuse) {
+  FramePool pool;
+  pool.release(std::vector<std::byte>(16));
+  auto buf = pool.acquire(4096);
+  EXPECT_GE(buf.capacity(), 4096u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FramePool, FullPoolDropsRelease) {
+  FramePool pool(/*max_buffers=*/2, /*max_buffer_bytes=*/1 << 20);
+  pool.release(std::vector<std::byte>(8));
+  pool.release(std::vector<std::byte>(8));
+  pool.release(std::vector<std::byte>(8));
+  EXPECT_EQ(pool.cached(), 2u);
+  EXPECT_EQ(pool.counters().drops, 1u);
+}
+
+TEST(FramePool, JumboBufferNotRetained) {
+  FramePool pool(/*max_buffers=*/8, /*max_buffer_bytes=*/64);
+  pool.release(std::vector<std::byte>(1024));  // over the cap
+  EXPECT_EQ(pool.cached(), 0u);
+  EXPECT_EQ(pool.counters().drops, 1u);
+}
+
+TEST(FramePool, EmptyCapacityBufferNotRetained) {
+  FramePool pool;
+  pool.release(std::vector<std::byte>{});
+  EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(FramePool, ConcurrentAcquireReleaseIsSafe) {
+  FramePool pool(16, 1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kRounds; ++i) {
+        auto buf = pool.acquire(512);
+        buf.resize(64, std::byte{0x11});
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto c = pool.counters();
+  EXPECT_EQ(c.acquires, static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(c.releases, static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_LE(pool.cached(), 16u);
+}
+
+TEST(FramePool, ProcessPoolIsShared) {
+  const auto& a = FramePool::process_pool();
+  const auto& b = FramePool::process_pool();
+  EXPECT_EQ(a.get(), b.get());
+  ASSERT_NE(a.get(), nullptr);
+}
+
+}  // namespace
+}  // namespace mpid::common

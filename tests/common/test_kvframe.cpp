@@ -184,5 +184,73 @@ TEST(KvListFrame, CorruptCountThrows) {
   EXPECT_THROW(r.next(), std::runtime_error);
 }
 
+TEST(KvWriterReset, RecycledBufferRoundTrips) {
+  KvWriter w;
+  w.append("first", "generation");
+  auto frame = w.take();
+  const auto* old_data = frame.data();
+  const auto old_capacity = frame.capacity();
+
+  // Recycle the taken frame back into the writer: the allocation must be
+  // adopted (no copy, no realloc for content that fits) and the old
+  // contents must be fully discarded.
+  w.reset(std::move(frame));
+  EXPECT_EQ(w.pair_count(), 0u);
+  EXPECT_EQ(w.byte_size(), 0u);
+  w.append("alpha", "1");
+  w.append("beta", "2");
+  EXPECT_EQ(w.buffer().data(), old_data);
+  EXPECT_EQ(w.buffer().capacity(), old_capacity);
+
+  KvReader r(w.buffer());
+  auto p1 = r.next();
+  ASSERT_TRUE(p1);
+  EXPECT_EQ(p1->key, "alpha");
+  EXPECT_EQ(p1->value, "1");
+  auto p2 = r.next();
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(p2->key, "beta");
+  EXPECT_EQ(p2->value, "2");
+  EXPECT_FALSE(r.next());
+}
+
+TEST(KvListWriterReset, RecycledBufferRoundTrips) {
+  KvListWriter w;
+  for (int g = 0; g < 32; ++g) {
+    w.begin_group("key-" + std::to_string(g), 2);
+    w.add_value("v1");
+    w.add_value("v2");
+  }
+  auto frame = w.take();
+  const auto* old_data = frame.data();
+
+  w.reset(std::move(frame));
+  EXPECT_EQ(w.group_count(), 0u);
+  EXPECT_EQ(w.byte_size(), 0u);
+  w.begin_group("recycled", 1);
+  w.add_value("value");
+  EXPECT_EQ(w.buffer().data(), old_data);
+  EXPECT_EQ(w.group_count(), 1u);
+
+  KvListReader r(w.buffer());
+  auto g1 = r.next();
+  ASSERT_TRUE(g1);
+  EXPECT_EQ(g1->key, "recycled");
+  ASSERT_EQ(g1->values.size(), 1u);
+  EXPECT_EQ(g1->values[0], "value");
+  EXPECT_FALSE(r.next());
+}
+
+TEST(KvListWriterReset, ClearsHalfOpenGroupState) {
+  KvListWriter w;
+  w.begin_group("k", 2);
+  w.add_value("v1");  // group left incomplete on purpose
+  w.reset(std::vector<std::byte>{});
+  // A reset writer must accept a fresh group (pending state discarded).
+  w.begin_group("k2", 1);
+  w.add_value("v");
+  EXPECT_EQ(w.group_count(), 1u);
+}
+
 }  // namespace
 }  // namespace mpid::common
