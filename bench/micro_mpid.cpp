@@ -7,11 +7,13 @@
 
 #include "bench_main.hpp"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mpid/common/kvframe.hpp"
 #include "mpid/core/merge.hpp"
+#include "mpid/fault/fault.hpp"
 #include "mpid/mapred/job.hpp"
 #include "mpid/workloads/text.hpp"
 
@@ -131,17 +133,19 @@ void BM_MpidWordCount(benchmark::State& state) {
   const mapred::JobRunner runner(4, 2);
   const auto job = wordcount(combine);
 
-  std::uint64_t sent_bytes = 0, sent_pairs = 0;
+  std::uint64_t sent_bytes = 0, sent_pairs = 0, stall_ns = 0;
   for (auto _ : state) {
     const auto result = runner.run_on_text(job, text);
     benchmark::DoNotOptimize(result.outputs.size());
     sent_bytes = result.report.totals.bytes_sent;
     sent_pairs = result.report.totals.pairs_after_combine;
+    stall_ns += result.report.totals.flush_wait_ns;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(text.size()));
   state.counters["intermediate_bytes"] = static_cast<double>(sent_bytes);
   state.counters["pairs_transmitted"] = static_cast<double>(sent_pairs);
+  state.counters["mapper_stall_s"] = static_cast<double>(stall_ns) * 1e-9;
 }
 BENCHMARK(BM_MpidWordCount)
     ->Arg(0)
@@ -149,6 +153,50 @@ BENCHMARK(BM_MpidWordCount)
     ->ArgNames({"combiner"})
     ->Unit(benchmark::kMillisecond);
 
+/// The same WordCount over the resilient shuffle while the transport
+/// drops the given permille of data frames: the price of MPI-D fault
+/// tolerance, with the recovery counters in the JSON artifact.
+void BM_MpidWordCountResilient(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 1000.0;
+  const auto text = workloads::generate_text({}, 2 * 1024 * 1024, 43);
+  const mapred::JobRunner runner(4, 2);
+
+  core::Stats totals;
+  std::uint64_t faults = 0;
+  for (auto _ : state) {
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.message_drop_prob = drop;
+    auto inj = std::make_shared<fault::FaultInjector>(plan);
+    auto job = wordcount(true);
+    job.tuning.resilient_shuffle = true;
+    job.tuning.fault_injector = inj;
+    job.tuning.partition_frame_bytes = 4 * 1024;  // several frames per lane
+    const auto result = runner.run_on_text(job, text);
+    benchmark::DoNotOptimize(result.outputs.size());
+    totals += result.report.totals;
+    faults += inj->log().total();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["mapper_stall_s"] =
+      static_cast<double>(totals.flush_wait_ns) * 1e-9;
+  state.counters["frames_retransmitted"] =
+      static_cast<double>(totals.frames_retransmitted);
+  state.counters["retransmit_requests"] =
+      static_cast<double>(totals.retransmit_requests);
+  state.counters["task_restarts"] = static_cast<double>(totals.task_restarts);
+  state.counters["recovery_wall_s"] =
+      static_cast<double>(totals.recovery_wall_ns) * 1e-9;
+  state.counters["injected_faults"] = static_cast<double>(faults);
+}
+BENCHMARK(BM_MpidWordCountResilient)
+    ->Arg(0)
+    ->Arg(20)
+    ->Arg(50)
+    ->ArgNames({"drop_permille"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-MPID_BENCHMARK_MAIN()
+MPID_BENCHMARK_MAIN_JSON("micro_mpid")

@@ -26,6 +26,7 @@
 
 #include "mpid/common/framepool.hpp"
 #include "mpid/core/mpid.hpp"
+#include "mpid/fault/fault.hpp"
 #include "mpid/minimpi/comm.hpp"
 #include "mpid/minimpi/world.hpp"
 
@@ -159,6 +160,60 @@ BENCHMARK(BM_FrameTransport)
     ->Arg(0)
     ->Arg(1)
     ->ArgNames({"owned"})
+    ->UseRealTime();
+
+/// Resilient-shuffle cost curve: the same shuffle with (incarnation, seq,
+/// checksum) frame headers, mapper-side retention and ack/retransmit,
+/// while the injector drops the given permille of data frames. The
+/// recovery counters land in the JSON artifact next to mapper_stall_s, so
+/// the overhead of fault tolerance is tracked across PRs like the
+/// pipelined win is.
+void BM_ResilientShuffle(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 1000.0;
+
+  core::Config config;
+  config.mappers = kMappers;
+  config.reducers = kReducers;
+  config.pipelined_shuffle = true;
+  config.resilient_shuffle = true;
+  config.frame_pool = std::make_shared<common::FramePool>();
+
+  const std::int64_t payload =
+      static_cast<std::int64_t>(kMappers) * kPairsPerMapper *
+      static_cast<std::int64_t>(kValueBytes);
+
+  core::Stats totals;
+  for (auto _ : state) {
+    if (drop > 0.0) {
+      fault::FaultPlan plan;
+      plan.seed = 11;
+      plan.message_drop_prob = drop;
+      config.fault_injector = std::make_shared<fault::FaultInjector>(plan);
+    }
+    const auto report = run_shuffle(config);
+    totals += report.totals;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          payload);
+  state.counters["mapper_stall_s"] =
+      static_cast<double>(totals.flush_wait_ns) * 1e-9;
+  state.counters["frames"] = static_cast<double>(totals.frames_sent);
+  state.counters["frames_retransmitted"] =
+      static_cast<double>(totals.frames_retransmitted);
+  state.counters["retransmit_requests"] =
+      static_cast<double>(totals.retransmit_requests);
+  state.counters["duplicate_frames_dropped"] =
+      static_cast<double>(totals.duplicate_frames_dropped);
+  state.counters["recovery_wall_s"] =
+      static_cast<double>(totals.recovery_wall_ns) * 1e-9;
+}
+BENCHMARK(BM_ResilientShuffle)
+    ->Arg(0)
+    ->Arg(20)
+    ->Arg(50)
+    ->ArgNames({"drop_permille"})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
     ->UseRealTime();
 
 }  // namespace

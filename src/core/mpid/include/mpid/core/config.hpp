@@ -19,6 +19,10 @@ namespace mpid::common {
 class FramePool;
 }
 
+namespace mpid::fault {
+class FaultInjector;
+}
+
 namespace mpid::core {
 
 enum class Role { kMaster, kMapper, kReducer };
@@ -94,6 +98,22 @@ struct Config {
   /// rank as a thread, so reducers recycle buffers straight to mappers).
   std::shared_ptr<common::FramePool> frame_pool;
 
+  /// Opt-in resilient shuffle (the fault-tolerance the paper leaves as an
+  /// open issue). Data frames carry (incarnation, sequence, checksum)
+  /// headers; mappers retain sent frames until the job completes and honor
+  /// NACK/REPULL retransmission requests; reducers detect corrupt,
+  /// duplicate and missing frames, request retransmits, and can be
+  /// restarted mid-shuffle (restart_reducer re-pulls every lane). The cost
+  /// is Hadoop's: delivery to MPI_D_Recv starts only once every mapper's
+  /// stream is sealed (a batch boundary instead of streaming reception).
+  bool resilient_shuffle = false;
+
+  /// Deterministic fault injector driving transport faults and task
+  /// crashes (see mpid::fault). Null (the default) means no injection;
+  /// transport faults are scoped to the data channel and only armed when
+  /// resilient_shuffle is on (the plain shuffle has no recovery).
+  std::shared_ptr<fault::FaultInjector> fault_injector;
+
   /// Total world size this configuration requires (master + mappers +
   /// reducers).
   int world_size() const noexcept { return 1 + mappers + reducers; }
@@ -115,6 +135,14 @@ struct Stats {
   /// exists to drive it toward zero.
   std::uint64_t flush_wait_ns = 0;
 
+  // --- recovery counters (resilient shuffle; zero on clean runs) ---
+  std::uint64_t frames_retransmitted = 0;   // frames re-sent after NACK/REPULL
+  std::uint64_t retransmit_requests = 0;    // NACK/REPULL messages serviced
+  std::uint64_t corrupt_frames_dropped = 0; // checksum failures detected
+  std::uint64_t duplicate_frames_dropped = 0;  // seen-seq / stale frames
+  std::uint64_t task_restarts = 0;          // mapper/reducer re-executions
+  std::uint64_t recovery_wall_ns = 0;       // wall time inside recovery paths
+
   Stats& operator+=(const Stats& rhs) noexcept {
     pairs_sent += rhs.pairs_sent;
     pairs_after_combine += rhs.pairs_after_combine;
@@ -125,6 +153,12 @@ struct Stats {
     bytes_received += rhs.bytes_received;
     pairs_received += rhs.pairs_received;
     flush_wait_ns += rhs.flush_wait_ns;
+    frames_retransmitted += rhs.frames_retransmitted;
+    retransmit_requests += rhs.retransmit_requests;
+    corrupt_frames_dropped += rhs.corrupt_frames_dropped;
+    duplicate_frames_dropped += rhs.duplicate_frames_dropped;
+    task_restarts += rhs.task_restarts;
+    recovery_wall_ns += rhs.recovery_wall_ns;
     return *this;
   }
 };

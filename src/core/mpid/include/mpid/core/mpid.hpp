@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,6 +47,7 @@
 #include "mpid/common/framepool.hpp"
 #include "mpid/common/kvframe.hpp"
 #include "mpid/core/config.hpp"
+#include "mpid/fault/fault.hpp"
 #include "mpid/minimpi/comm.hpp"
 
 namespace mpid::core {
@@ -103,6 +105,20 @@ class MpiD {
   /// The partition index for `key` in [0, reducers).
   std::uint32_t partition_for(std::string_view key) const;
 
+  /// Restarts a crashed mapper attempt (resilient shuffle only): discards
+  /// all buffered, retained and in-flight output and bumps the mapper's
+  /// incarnation so reducers discard frames of the dead attempt; the
+  /// caller then re-runs the map function from the start of its split.
+  void restart_mapper();
+
+  /// Restarts a crashed reducer attempt (resilient shuffle only): discards
+  /// everything received so far and asks every mapper to re-send its
+  /// retained lane (REPULL); the next recv() re-collects the shuffle.
+  void restart_reducer();
+
+  /// This rank's attempt number (0 until the first restart).
+  int attempt() const noexcept { return attempt_; }
+
  private:
   struct ValueList {
     std::vector<std::string> values;
@@ -129,6 +145,30 @@ class MpiD {
                            std::vector<std::string>&& values);
   void flush_partition(std::size_t partition);
   void run_combiner(std::string_view key, ValueList& entry);
+
+  // --- resilient shuffle (Config::resilient_shuffle) ---
+  bool resilient() const noexcept { return config_.resilient_shuffle; }
+  fault::FaultInjector* injector() const noexcept {
+    return config_.fault_injector.get();
+  }
+  /// Frames, retains and ships one partition payload with an
+  /// (incarnation, sequence, checksum) header.
+  void send_frame_resilient(std::size_t partition,
+                            std::vector<std::byte> payload);
+  /// SEAL for one lane: kEosTag carrying {incarnation, total frames}.
+  void send_seal(int reducer);
+  /// Services one ACK/NACK/REPULL at the mapper. `acked`/`remaining`
+  /// track which lanes still owe an ACK.
+  void handle_lane_control(const minimpi::Status& st,
+                           std::span<const std::byte> payload,
+                           std::vector<char>& acked, int& remaining);
+  /// SEAL + ack/retransmit loop + done handshake of a resilient mapper.
+  void resilient_mapper_finalize();
+  /// Reducer: receives until every mapper's lane is sealed and complete
+  /// (NACKing gaps), then stages the payload frames for delivery. Throws
+  /// fault::TaskCrash when an injected crash tick fires.
+  void resilient_collect();
+
   /// Pulls the next frame from the network into the segment queue.
   /// Returns false when all mappers have signalled end-of-stream.
   bool refill_segments();
@@ -154,6 +194,32 @@ class MpiD {
   /// Outstanding nonblocking frame sends, one bounded window per
   /// destination reducer (Config::max_inflight_frames).
   std::vector<std::deque<minimpi::Request>> inflight_;
+
+  // Resilient-shuffle mapper state: one lane per reducer. Sent frames are
+  // retained (with their headers) until the master's final ack, so a
+  // restarted reducer can re-pull the whole lane at any point of the job.
+  struct SendLane {
+    std::uint32_t next_seq = 0;
+    std::vector<std::vector<std::byte>> retained;
+  };
+  std::vector<SendLane> lanes_;
+  std::uint32_t incarnation_ = 0;  // mapper attempt stamped into headers
+  int attempt_ = 0;
+
+  // Resilient-shuffle reducer state: one lane per mapper.
+  struct RecvLane {
+    std::uint32_t incarnation = 0;
+    std::map<std::uint32_t, std::vector<std::byte>> frames;  // seq -> payload
+    std::optional<std::uint32_t> sealed_total;
+    bool complete = false;
+  };
+  std::vector<RecvLane> recv_lanes_;
+  /// Payload frames in (mapper, sequence) order once every lane is
+  /// complete; refill_segments/recv_raw_frame drain this.
+  std::deque<std::vector<std::byte>> collected_;
+  bool collected_ready_ = false;
+  std::optional<std::uint64_t> crash_tick_;  // injected reducer crash plan
+  std::uint64_t progress_ticks_ = 0;
 
   // Reducer state.
   struct Segment {

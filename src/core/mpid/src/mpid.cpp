@@ -13,9 +13,14 @@ namespace {
 
 // Tags on the private (dup'd) communicator.
 constexpr int kDataTag = 1;  // a realigned partition frame
-constexpr int kEosTag = 2;   // mapper end-of-stream marker
+constexpr int kEosTag = 2;   // mapper end-of-stream marker; in resilient
+                             // mode a SEAL carrying {incarnation, total}
 constexpr int kDoneTag = 3;  // rank -> master completion + stats
 constexpr int kAckTag = 4;   // master -> rank shutdown acknowledgement
+// Resilient-shuffle control (reliable: never in the injector's scope).
+constexpr int kLaneAckTag = 5;   // reducer -> mapper: lane complete
+constexpr int kLaneNackTag = 6;  // reducer -> mapper: list of missing seqs
+constexpr int kRepullTag = 7;    // restarted reducer -> mapper: resend lane
 
 /// Approximate per-entry bookkeeping overhead counted against the spill
 /// threshold (hash node + string headers).
@@ -29,6 +34,42 @@ std::uint64_t now_ns() noexcept {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// --- resilient frame header: {u32 incarnation, u32 seq, u64 checksum} ---
+
+constexpr std::size_t kFrameHeaderBytes = 16;
+
+struct FrameHeader {
+  std::uint32_t incarnation = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t checksum = 0;
+};
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+FrameHeader read_header(std::span<const std::byte> frame) {
+  FrameHeader hdr;
+  std::memcpy(&hdr.incarnation, frame.data(), 4);
+  std::memcpy(&hdr.seq, frame.data() + 4, 4);
+  std::memcpy(&hdr.checksum, frame.data() + 8, 8);
+  return hdr;
+}
+
+/// The checksum covers the payload *and* the (incarnation, seq) fields, so
+/// a bit flipped anywhere in the frame — including the header — is caught.
+std::uint64_t frame_checksum(std::uint32_t incarnation, std::uint32_t seq,
+                             std::span<const std::byte> payload) noexcept {
+  return common::fnv1a64(payload) ^
+         common::fmix64((std::uint64_t{incarnation} << 32) | seq);
 }
 
 }  // namespace
@@ -58,8 +99,39 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
     role_ = Role::kMapper;
     partitions_.resize(static_cast<std::size_t>(config_.reducers));
     inflight_.resize(static_cast<std::size_t>(config_.reducers));
+    if (resilient()) {
+      lanes_.resize(static_cast<std::size_t>(config_.reducers));
+    }
   } else {
     role_ = Role::kReducer;
+    if (resilient()) {
+      recv_lanes_.resize(static_cast<std::size_t>(config_.mappers));
+      if (auto* inj = injector()) {
+        crash_tick_ = inj->crash_tick(fault::TaskKind::kReduce,
+                                      reducer_index(), attempt_);
+      }
+    }
+  }
+  if (resilient() && config_.fault_injector) {
+    // Arm transport faults on the data channel only: SEAL, ACK/NACK,
+    // REPULL and the done/ack handshake stay reliable so recovery itself
+    // cannot be lost. The world hook is install-once (first caller wins),
+    // so every rank registering the same injector is fine.
+    auto inj = config_.fault_injector;
+    inj->add_transport_scope(data_comm_.context(), kDataTag);
+    comm.world().install_transport_hook(
+        [inj](const minimpi::TransportEvent& ev) {
+          const fault::MessageFault f =
+              inj->on_message(ev.context, ev.src, ev.dst, ev.tag, ev.bytes);
+          minimpi::TransportFault out;
+          out.drop = f.drop;
+          out.duplicate = f.duplicate;
+          out.corrupt = f.corrupt;
+          out.corrupt_offset = f.corrupt_offset;
+          out.corrupt_mask = f.corrupt_mask;
+          out.delay = f.delay;
+          return out;
+        });
   }
 }
 
@@ -203,6 +275,16 @@ void MpiD::flush_partition(std::size_t partition) {
   const minimpi::Rank dst =
       1 + config_.mappers + static_cast<minimpi::Rank>(partition);
   const std::uint64_t start = now_ns();
+  if (resilient()) {
+    auto payload = writer.take();
+    // Re-arm the writer before the frame leaves (same turnaround as the
+    // pipelined path below).
+    writer.reset(pool_->acquire(config_.partition_frame_bytes));
+    send_frame_resilient(partition, std::move(payload));
+    ++stats_.frames_sent;
+    stats_.flush_wait_ns += now_ns() - start;
+    return;
+  }
   if (config_.pipelined_shuffle) {
     auto frame = writer.take();
     stats_.bytes_sent += frame.size();
@@ -233,6 +315,25 @@ void MpiD::post_prefetch() {
 }
 
 bool MpiD::refill_segments() {
+  if (resilient()) {
+    resilient_collect();
+    while (segments_.empty()) {
+      if (collected_.empty()) return false;
+      std::vector<std::byte> frame = std::move(collected_.front());
+      collected_.pop_front();
+      // frames_received/bytes_received were counted at collection time.
+      common::KvListReader reader(frame);
+      while (auto group = reader.next()) {
+        Segment seg;
+        seg.key.assign(group->key);
+        seg.values.reserve(group->values.size());
+        for (const auto v : group->values) seg.values.emplace_back(v);
+        segments_.push_back(std::move(seg));
+      }
+      pool_->release(std::move(frame));
+    }
+    return true;
+  }
   while (segments_.empty()) {
     if (eos_received_ == config_.mappers) return false;
     std::vector<std::byte> frame;
@@ -303,6 +404,13 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     throw std::logic_error(
         "MpiD: recv_raw_frame cannot be mixed with recv()/recv_group()");
   }
+  if (resilient()) {
+    resilient_collect();
+    if (collected_.empty()) return false;
+    frame = std::move(collected_.front());
+    collected_.pop_front();
+    return true;
+  }
   for (;;) {
     if (eos_received_ == config_.mappers) return false;
     const minimpi::Status st =
@@ -357,6 +465,10 @@ void MpiD::finalize() {
       // drained window also returns the request bookkeeping to a clean
       // state before the final handshake).
       for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
+      if (resilient()) {
+        resilient_mapper_finalize();
+        break;
+      }
       for (int r = 0; r < config_.reducers; ++r) {
         data_comm_.send_bytes(1 + config_.mappers + r, kEosTag, {});
       }
@@ -392,6 +504,344 @@ void MpiD::finalize() {
     }
   }
   finalized_ = true;
+}
+
+// ------------------------------------------------------ resilient shuffle --
+
+void MpiD::send_frame_resilient(std::size_t partition,
+                                std::vector<std::byte> payload) {
+  auto& lane = lanes_[partition];
+  std::vector<std::byte> framed;
+  framed.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(framed, incarnation_);
+  put_u32(framed, lane.next_seq);
+  put_u64(framed, frame_checksum(incarnation_, lane.next_seq, payload));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  pool_->release(std::move(payload));
+  ++lane.next_seq;
+  // Retain a copy until the master's final ack: a restarted reducer can
+  // re-pull the whole lane, a NACK any single frame.
+  lane.retained.push_back(framed);
+  stats_.bytes_sent += framed.size();
+  const minimpi::Rank dst =
+      1 + config_.mappers + static_cast<minimpi::Rank>(partition);
+  auto& window = inflight_[partition];
+  while (window.size() >= config_.max_inflight_frames) {
+    window.front().wait();
+    window.pop_front();
+  }
+  window.push_back(
+      data_comm_.isend_bytes_owned(dst, kDataTag, std::move(framed)));
+}
+
+void MpiD::send_seal(int reducer) {
+  // kEosTag is out of the injector's scope, so a SEAL always arrives; it
+  // tells the reducer how many frames incarnation `incarnation_` shipped.
+  std::vector<std::byte> seal;
+  seal.reserve(8);
+  put_u32(seal, incarnation_);
+  put_u32(seal, lanes_[static_cast<std::size_t>(reducer)].next_seq);
+  data_comm_.send_bytes(1 + config_.mappers + reducer, kEosTag, seal);
+}
+
+void MpiD::handle_lane_control(const minimpi::Status& st,
+                               std::span<const std::byte> payload,
+                               std::vector<char>& acked, int& remaining) {
+  const int lane_idx = st.source - 1 - config_.mappers;
+  if (lane_idx < 0 || lane_idx >= config_.reducers) {
+    throw std::runtime_error("MpiD: lane control from a non-reducer rank");
+  }
+  const auto u = static_cast<std::size_t>(lane_idx);
+  auto& lane = lanes_[u];
+  switch (st.tag) {
+    case kLaneAckTag: {
+      if (!acked[u]) {
+        acked[u] = 1;
+        --remaining;
+      }
+      return;
+    }
+    case kLaneNackTag: {
+      const std::uint64_t start = now_ns();
+      if (payload.size() < 4) throw std::runtime_error("MpiD: short NACK");
+      std::uint32_t count = 0;
+      std::memcpy(&count, payload.data(), 4);
+      if (payload.size() < 4 + std::size_t{count} * 4) {
+        throw std::runtime_error("MpiD: truncated NACK");
+      }
+      std::uint32_t resent = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t seq = 0;
+        std::memcpy(&seq, payload.data() + 4 + std::size_t{i} * 4, 4);
+        if (seq >= lane.retained.size()) continue;  // stale-incarnation seq
+        // Retransmits go back through the hooked send path: they can be
+        // dropped again, and the next SEAL round NACKs again.
+        data_comm_.send_bytes(st.source, kDataTag, lane.retained[seq]);
+        ++resent;
+      }
+      stats_.frames_retransmitted += resent;
+      ++stats_.retransmit_requests;
+      send_seal(lane_idx);
+      if (acked[u]) {
+        acked[u] = 0;
+        ++remaining;
+      }
+      if (auto* inj = injector()) {
+        inj->record_recovery(
+            fault::Kind::kRetransmit, "map:" + std::to_string(mapper_index()),
+            std::to_string(resent) + " frames to reducer " +
+                std::to_string(lane_idx));
+      }
+      stats_.recovery_wall_ns += now_ns() - start;
+      return;
+    }
+    case kRepullTag: {
+      const std::uint64_t start = now_ns();
+      for (const auto& frame : lane.retained) {
+        data_comm_.send_bytes(st.source, kDataTag, frame);
+      }
+      stats_.frames_retransmitted += lane.retained.size();
+      ++stats_.retransmit_requests;
+      send_seal(lane_idx);
+      if (acked[u]) {
+        acked[u] = 0;
+        ++remaining;
+      }
+      if (auto* inj = injector()) {
+        inj->record_recovery(
+            fault::Kind::kRetransmit, "map:" + std::to_string(mapper_index()),
+            "repull of " + std::to_string(lane.retained.size()) +
+                " frames by reducer " + std::to_string(lane_idx));
+      }
+      stats_.recovery_wall_ns += now_ns() - start;
+      return;
+    }
+    default:
+      throw std::runtime_error("MpiD: unexpected tag in mapper finalize");
+  }
+}
+
+void MpiD::resilient_mapper_finalize() {
+  for (int r = 0; r < config_.reducers; ++r) send_seal(r);
+  std::vector<char> acked(static_cast<std::size_t>(config_.reducers), 0);
+  int remaining = config_.reducers;
+  std::vector<std::byte> msg;
+  while (remaining > 0) {
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, msg);
+    handle_lane_control(st, msg, acked, remaining);
+  }
+  data_comm_.send_value(0, kDoneTag, stats_);
+  // A reducer can still restart after acking (its reduce function crashed)
+  // and re-pull; keep servicing until the master's ack, which it sends
+  // only once every reducer reported done — nothing can follow it.
+  for (;;) {
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, msg);
+    if (st.source == 0 && st.tag == kAckTag) break;
+    handle_lane_control(st, msg, acked, remaining);
+  }
+  for (auto& lane : lanes_) lane.retained.clear();
+}
+
+void MpiD::resilient_collect() {
+  if (collected_ready_) return;
+  int completed = 0;
+  for (const auto& lane : recv_lanes_) completed += lane.complete ? 1 : 0;
+  std::vector<std::byte> msg;
+  while (completed < config_.mappers) {
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, msg);
+    const int m = st.source - 1;
+    if (m < 0 || m >= config_.mappers) {
+      throw std::runtime_error("MpiD: resilient frame from a non-mapper rank");
+    }
+    auto& lane = recv_lanes_[static_cast<std::size_t>(m)];
+    if (st.tag == kDataTag) {
+      // Verify before trusting any header field: the checksum spans
+      // (incarnation, seq, payload), so a flipped header bit cannot reset
+      // a lane or claim a wrong slot.
+      bool corrupt = msg.size() < kFrameHeaderBytes;
+      FrameHeader hdr;
+      if (!corrupt) {
+        hdr = read_header(msg);
+        const std::span<const std::byte> payload(
+            msg.data() + kFrameHeaderBytes, msg.size() - kFrameHeaderBytes);
+        corrupt = frame_checksum(hdr.incarnation, hdr.seq, payload) !=
+                  hdr.checksum;
+      }
+      if (corrupt) {
+        ++stats_.corrupt_frames_dropped;
+        if (auto* inj = injector()) {
+          inj->note(fault::Kind::kCorruptDetected,
+                    "reduce:" + std::to_string(reducer_index()),
+                    "frame from mapper " + std::to_string(m));
+        }
+        continue;  // the mapper's SEAL round will NACK the gap
+      }
+      if (hdr.incarnation < lane.incarnation) {
+        ++stats_.duplicate_frames_dropped;  // a dead attempt's frame
+        continue;
+      }
+      if (hdr.incarnation > lane.incarnation) {
+        // The mapper restarted: everything from the old attempt is void.
+        if (lane.complete) {
+          lane.complete = false;
+          --completed;
+        }
+        lane.frames.clear();
+        lane.sealed_total.reset();
+        lane.incarnation = hdr.incarnation;
+      }
+      if (lane.frames.contains(hdr.seq)) {
+        ++stats_.duplicate_frames_dropped;
+        if (auto* inj = injector()) {
+          inj->note(fault::Kind::kDuplicateDetected,
+                    "reduce:" + std::to_string(reducer_index()),
+                    "mapper " + std::to_string(m) + " seq " +
+                        std::to_string(hdr.seq));
+        }
+        continue;
+      }
+      msg.erase(msg.begin(),
+                msg.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes));
+      ++stats_.frames_received;
+      stats_.bytes_received += msg.size();
+      lane.frames.emplace(hdr.seq, std::move(msg));
+      msg = std::vector<std::byte>{};
+      ++progress_ticks_;
+      if (crash_tick_ && progress_ticks_ >= *crash_tick_) {
+        crash_tick_.reset();
+        if (auto* inj = injector()) {
+          inj->note(fault::Kind::kTaskCrash,
+                    "reduce:" + std::to_string(reducer_index()) + "#" +
+                        std::to_string(attempt_));
+        }
+        throw fault::TaskCrash(fault::TaskKind::kReduce, reducer_index(),
+                               attempt_);
+      }
+      if (lane.sealed_total && lane.frames.size() == *lane.sealed_total &&
+          !lane.complete) {
+        lane.complete = true;
+        ++completed;
+        data_comm_.send_bytes(st.source, kLaneAckTag, {});
+      }
+    } else if (st.tag == kEosTag) {
+      if (msg.size() < 8) throw std::runtime_error("MpiD: short SEAL");
+      std::uint32_t inc = 0;
+      std::uint32_t total = 0;
+      std::memcpy(&inc, msg.data(), 4);
+      std::memcpy(&total, msg.data() + 4, 4);
+      if (inc < lane.incarnation) continue;  // a dead attempt's seal
+      if (inc > lane.incarnation) {
+        if (lane.complete) {
+          lane.complete = false;
+          --completed;
+        }
+        lane.frames.clear();
+        lane.incarnation = inc;
+      }
+      lane.sealed_total = total;
+      if (lane.frames.size() == std::size_t{total}) {
+        if (!lane.complete) {
+          lane.complete = true;
+          ++completed;
+        }
+        // (Re-)ACK: the mapper un-acks a lane whenever it retransmits.
+        data_comm_.send_bytes(st.source, kLaneAckTag, {});
+      } else {
+        std::vector<std::uint32_t> missing;
+        for (std::uint32_t s = 0; s < total; ++s) {
+          if (!lane.frames.contains(s)) missing.push_back(s);
+        }
+        std::vector<std::byte> nack;
+        nack.reserve(4 + missing.size() * 4);
+        put_u32(nack, static_cast<std::uint32_t>(missing.size()));
+        for (const auto s : missing) put_u32(nack, s);
+        data_comm_.send_bytes(st.source, kLaneNackTag, nack);
+      }
+    } else {
+      throw std::runtime_error("MpiD: unexpected tag on resilient channel");
+    }
+  }
+  // Every lane sealed and complete: stage payloads for delivery in
+  // (mapper, sequence) order. This is the batch boundary the config
+  // comment documents — Hadoop's semantics, bought for recoverability.
+  for (auto& lane : recv_lanes_) {
+    for (auto& [seq, payload] : lane.frames) {
+      collected_.push_back(std::move(payload));
+    }
+    lane.frames.clear();
+  }
+  collected_ready_ = true;
+  eos_received_ = config_.mappers;
+}
+
+void MpiD::restart_mapper() {
+  if (role_ != Role::kMapper || !resilient()) {
+    throw std::logic_error("MpiD: restart_mapper needs a resilient mapper");
+  }
+  if (finalized_) {
+    throw std::logic_error("MpiD: restart_mapper called after finalize");
+  }
+  const std::uint64_t start = now_ns();
+  ++attempt_;
+  ++incarnation_;
+  ++stats_.task_restarts;
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
+  for (auto& writer : partitions_) writer.clear();
+  for (auto& lane : lanes_) {
+    lane.next_seq = 0;
+    lane.retained.clear();
+  }
+  if (auto* inj = injector()) {
+    inj->record_recovery(fault::Kind::kTaskReexec,
+                         "map:" + std::to_string(mapper_index()) + "#" +
+                             std::to_string(attempt_),
+                         "incarnation " + std::to_string(incarnation_));
+  }
+  stats_.recovery_wall_ns += now_ns() - start;
+}
+
+void MpiD::restart_reducer() {
+  if (role_ != Role::kReducer || !resilient()) {
+    throw std::logic_error("MpiD: restart_reducer needs a resilient reducer");
+  }
+  if (finalized_) {
+    throw std::logic_error("MpiD: restart_reducer called after finalize");
+  }
+  const std::uint64_t start = now_ns();
+  ++attempt_;
+  ++stats_.task_restarts;
+  for (auto& lane : recv_lanes_) {
+    // Incarnations survive: they track the mappers' attempts, not ours.
+    lane.frames.clear();
+    lane.sealed_total.reset();
+    lane.complete = false;
+  }
+  collected_.clear();
+  collected_ready_ = false;
+  segments_.clear();
+  current_.reset();
+  current_value_index_ = 0;
+  eos_received_ = 0;
+  progress_ticks_ = 0;
+  crash_tick_.reset();
+  if (auto* inj = injector()) {
+    crash_tick_ =
+        inj->crash_tick(fault::TaskKind::kReduce, reducer_index(), attempt_);
+    inj->record_recovery(fault::Kind::kRepull,
+                         "reduce:" + std::to_string(reducer_index()) + "#" +
+                             std::to_string(attempt_),
+                         "re-pulling " + std::to_string(config_.mappers) +
+                             " lanes");
+  }
+  for (int m = 0; m < config_.mappers; ++m) {
+    data_comm_.send_bytes(1 + m, kRepullTag, {});
+  }
+  stats_.recovery_wall_ns += now_ns() - start;
 }
 
 const JobReport& MpiD::report() const {

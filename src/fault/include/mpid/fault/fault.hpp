@@ -1,0 +1,273 @@
+// mpid::fault — seeded, fully deterministic fault injection.
+//
+// The paper's central trade-off is that Hadoop pays its communication tax
+// partly to buy task-level fault tolerance, while MPI-D wins the shuffle
+// but "leaves fault tolerance as an open issue" (Section VI). This
+// subsystem lets the repo *measure* that trade-off: a FaultPlan describes
+// fault rates and scripted failures at three layers —
+//
+//   transport      message drop / duplication / delay / corruption on the
+//                  minimpi send path; link degradation and stalls on
+//                  net::Fabric flows
+//   task           mapper/reducer crashes mid-task, straggler slowdowns
+//   control plane  dropped or late RPC heartbeats, HTTP shuffle-fetch
+//                  errors
+//
+// — and a FaultInjector turns the plan into concrete decisions. Every
+// decision is a pure function of (seed, site identity, per-site sequence
+// number): two injectors built from the same plan and asked the same
+// questions return the same answers and produce the same FaultLog, no
+// matter how threads interleave, because each (site, entity) keeps its own
+// counter. Recovery actions (task re-execution, frame retransmission,
+// speculative launches, fetch retries) are recorded in the same log so a
+// run's full fault/recovery history is one structured artifact.
+//
+// The injector never touches a layer by itself: minimpi, net::Fabric,
+// hrpc, MiniHadoop and MPI-D each consult it through narrow hooks and stay
+// buildable without it. Injection is compiled in but entirely inert until
+// a plan with nonzero rates (or scripted crashes) is installed.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpid::fault {
+
+// ---------------------------------------------------------------- kinds --
+
+enum class Layer { kTransport, kTask, kControl, kRecovery };
+
+enum class Kind {
+  // injected faults
+  kMessageDrop,
+  kMessageDuplicate,
+  kMessageDelay,
+  kMessageCorrupt,
+  kLinkDegrade,
+  kLinkStall,
+  kTaskCrash,
+  kTaskStraggle,
+  kHeartbeatDrop,
+  kHeartbeatDelay,
+  kFetchError,
+  // recovery actions (recorded by the runtimes, never injected)
+  kRetransmit,        // mapper re-sent frames after a NACK
+  kRepull,            // restarted reducer asked mappers to re-send a lane
+  kTaskReexec,        // a crashed/lost task attempt was re-queued / re-run
+  kSpeculativeLaunch, // duplicate attempt launched for a straggler
+  kFetchRetry,        // shuffle fetch retried after an error/timeout
+  kLostTracker,       // jobtracker declared a tasktracker dead
+  kCorruptDetected,   // receiver dropped a checksum-failing frame
+  kDuplicateDetected, // receiver dropped an already-seen frame
+};
+
+const char* kind_name(Kind kind) noexcept;
+Layer layer_of(Kind kind) noexcept;
+
+enum class TaskKind { kMap, kReduce };
+
+// ----------------------------------------------------------------- plan --
+
+/// A crash scheduled by hand: attempt `attempt` of the given task dies
+/// after `after_ticks` units of progress (records mapped / frames
+/// received — whatever the call site counts). Scripted entries override
+/// the probabilistic crash draw for their (task, id, attempt).
+struct ScriptedCrash {
+  TaskKind task = TaskKind::kMap;
+  int task_id = 0;
+  int attempt = 0;
+  std::uint64_t after_ticks = 1;
+};
+
+/// The declarative fault schedule. All probabilities are per-event and in
+/// [0, 1]; everything defaults to "no faults".
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // --- transport: per message on registered (context, tag) scopes ---
+  double message_drop_prob = 0.0;
+  double message_duplicate_prob = 0.0;
+  double message_corrupt_prob = 0.0;
+  double message_delay_prob = 0.0;
+  std::chrono::nanoseconds message_delay = std::chrono::microseconds(200);
+
+  // --- transport: net::Fabric flows ---
+  double link_degrade_prob = 0.0;
+  double link_degrade_factor = 0.25;  // surviving fraction of the flow rate
+  double link_stall_prob = 0.0;
+  std::chrono::nanoseconds link_stall = std::chrono::milliseconds(5);
+
+  // --- task layer ---
+  double map_crash_prob = 0.0;
+  double reduce_crash_prob = 0.0;
+  /// A probabilistic crash fires after a tick drawn uniformly from
+  /// [1, crash_tick_range].
+  std::uint64_t crash_tick_range = 64;
+  /// Probabilistic crashes and straggles only hit attempts below this, so
+  /// re-executions eventually succeed (Hadoop's attempt semantics).
+  int max_injected_attempts = 1;
+  double straggler_prob = 0.0;
+  std::chrono::nanoseconds straggle = std::chrono::milliseconds(20);
+  std::vector<ScriptedCrash> scripted_crashes;
+
+  // --- control plane ---
+  double heartbeat_drop_prob = 0.0;
+  double heartbeat_delay_prob = 0.0;
+  std::chrono::nanoseconds heartbeat_delay = std::chrono::milliseconds(5);
+  double fetch_error_prob = 0.0;
+};
+
+// ------------------------------------------------------------------ log --
+
+struct LogEntry {
+  std::uint64_t id = 0;  // arrival order in this log
+  Layer layer = Layer::kTransport;
+  Kind kind = Kind::kMessageDrop;
+  std::string subject;  // "msg 1->5", "map:3#0", "tracker:2", ...
+  std::string detail;
+};
+
+/// Thread-safe structured record of every injected fault and recovery
+/// action. Arrival order depends on thread interleaving; canonical() gives
+/// a schedule-independent rendering for determinism comparisons.
+class FaultLog {
+ public:
+  void record(Layer layer, Kind kind, std::string subject,
+              std::string detail = {});
+  std::vector<LogEntry> entries() const;
+  std::uint64_t count(Kind kind) const;
+  std::uint64_t total() const;
+  /// Sorted "<kind> <subject> <detail>" lines: equal across runs whenever
+  /// the same multiset of events occurred.
+  std::vector<std::string> canonical() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogEntry> entries_;
+  std::map<Kind, std::uint64_t> counts_;
+};
+
+// ------------------------------------------------------------ decisions --
+
+/// What the transport should do with one message. At most one of
+/// drop/duplicate/corrupt is set (a single uniform draw is banded).
+struct MessageFault {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  std::size_t corrupt_offset = 0;   // payload byte to damage
+  std::byte corrupt_mask{0x01};     // XORed into that byte
+  std::chrono::nanoseconds delay{0};
+
+  bool any() const noexcept {
+    return drop || duplicate || corrupt || delay.count() > 0;
+  }
+};
+
+/// What the fabric should do with one flow.
+struct FlowFault {
+  double rate_factor = 1.0;  // <1 degrades the flow's achievable rate
+  std::chrono::nanoseconds stall{0};
+};
+
+/// A heartbeat's fate on the control plane.
+struct HeartbeatFault {
+  bool drop = false;
+  std::chrono::nanoseconds delay{0};
+};
+
+/// Thrown by an instrumented task when its scheduled crash tick fires;
+/// runtimes catch it and run their recovery path.
+struct TaskCrash : std::runtime_error {
+  TaskCrash(TaskKind task_kind, int id, int attempt_no);
+  TaskKind task;
+  int task_id;
+  int attempt;
+};
+
+// ------------------------------------------------------------- injector --
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  FaultLog& log() noexcept { return log_; }
+  const FaultLog& log() const noexcept { return log_; }
+
+  // --- transport ---
+
+  /// Restricts message faults to the given (context, tag); unregistered
+  /// traffic always passes clean. MPI-D registers only its data channel so
+  /// control, EOS/SEAL and collective messages stay reliable.
+  void add_transport_scope(std::uint64_t context, int tag);
+  bool in_scope(std::uint64_t context, int tag) const;
+
+  /// Decides the fate of one message. Deterministic per (src, dst) lane:
+  /// the n-th in-scope message on a lane always gets the same fate.
+  MessageFault on_message(std::uint64_t context, int src, int dst, int tag,
+                          std::size_t bytes);
+
+  /// Decides degradation/stall for one fabric flow, per (src, dst) lane.
+  FlowFault on_flow(int src, int dst, std::uint64_t bytes);
+
+  // --- task layer ---
+
+  /// Decides, once per task attempt, whether and when it crashes: returns
+  /// the progress tick at which the attempt must throw TaskCrash, or
+  /// nullopt for a clean run. Scripted crashes win over the probabilistic
+  /// draw; draws only hit attempts < max_injected_attempts. Logs nothing —
+  /// the call site records kTaskCrash when the crash actually fires.
+  std::optional<std::uint64_t> crash_tick(TaskKind kind, int task_id,
+                                          int attempt);
+
+  /// Extra wall-clock this attempt must burn to act as a straggler (zero
+  /// for most). Only attempts < max_injected_attempts straggle, so a
+  /// speculative duplicate runs at full speed.
+  std::chrono::nanoseconds straggle_delay(TaskKind kind, int task_id,
+                                          int attempt);
+
+  // --- control plane ---
+
+  /// Fate of one heartbeat from the given tracker (per-tracker sequence).
+  HeartbeatFault on_heartbeat(int tracker_id);
+
+  /// Whether the n-th fetch of (map, reduce) segment fails (per-pair
+  /// sequence, so a retry of the same segment gets a fresh draw).
+  bool fail_fetch(int map_id, int reduce_id);
+
+  // --- logging ---
+
+  /// Records an injected fault that fired at a call site (e.g. the crash
+  /// scheduled by crash_tick actually throwing).
+  void note(Kind kind, std::string subject, std::string detail = {});
+  /// Records a recovery action under Layer::kRecovery.
+  void record_recovery(Kind kind, std::string subject,
+                       std::string detail = {});
+
+ private:
+  /// Uniform double in [0, 1), a pure function of
+  /// (seed, site, a, b, sequence).
+  double draw(std::uint64_t site, std::uint64_t a, std::uint64_t b,
+              std::uint64_t sequence) const noexcept;
+  std::uint64_t raw_draw(std::uint64_t site, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t sequence) const noexcept;
+  std::uint64_t next_sequence(std::uint64_t site, std::uint64_t a,
+                              std::uint64_t b);
+
+  FaultPlan plan_;
+  FaultLog log_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> sequences_;  // per-(site,a,b) counters
+  std::vector<std::pair<std::uint64_t, int>> scopes_;
+};
+
+}  // namespace mpid::fault

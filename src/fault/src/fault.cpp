@@ -1,0 +1,346 @@
+#include "mpid/fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mpid/common/hash.hpp"
+
+namespace mpid::fault {
+
+namespace {
+
+// Distinct site constants keep the decision streams of the different
+// hooks statistically independent even when their (a, b) entities collide.
+constexpr std::uint64_t kSiteMessage = 0x6d736700;    // "msg"
+constexpr std::uint64_t kSiteFlow = 0x666c6f77;       // "flow"
+constexpr std::uint64_t kSiteCrash = 0x63727368;      // "crsh"
+constexpr std::uint64_t kSiteStraggle = 0x73747261;   // "stra"
+constexpr std::uint64_t kSiteHeartbeat = 0x68656172;  // "hear"
+constexpr std::uint64_t kSiteFetch = 0x66657463;      // "fetc"
+
+std::uint64_t mix3(std::uint64_t site, std::uint64_t a,
+                   std::uint64_t b) noexcept {
+  return common::fmix64(site * 0x9e3779b97f4a7c15ULL ^
+                        common::fmix64(a + 0x100000001b3ULL) ^
+                        common::fmix64(b + 0xc6a4a7935bd1e995ULL));
+}
+
+std::string task_subject(TaskKind kind, int id, int attempt) {
+  std::ostringstream s;
+  s << (kind == TaskKind::kMap ? "map:" : "reduce:") << id << "#" << attempt;
+  return s.str();
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kMessageDrop: return "message_drop";
+    case Kind::kMessageDuplicate: return "message_duplicate";
+    case Kind::kMessageDelay: return "message_delay";
+    case Kind::kMessageCorrupt: return "message_corrupt";
+    case Kind::kLinkDegrade: return "link_degrade";
+    case Kind::kLinkStall: return "link_stall";
+    case Kind::kTaskCrash: return "task_crash";
+    case Kind::kTaskStraggle: return "task_straggle";
+    case Kind::kHeartbeatDrop: return "heartbeat_drop";
+    case Kind::kHeartbeatDelay: return "heartbeat_delay";
+    case Kind::kFetchError: return "fetch_error";
+    case Kind::kRetransmit: return "retransmit";
+    case Kind::kRepull: return "repull";
+    case Kind::kTaskReexec: return "task_reexec";
+    case Kind::kSpeculativeLaunch: return "speculative_launch";
+    case Kind::kFetchRetry: return "fetch_retry";
+    case Kind::kLostTracker: return "lost_tracker";
+    case Kind::kCorruptDetected: return "corrupt_detected";
+    case Kind::kDuplicateDetected: return "duplicate_detected";
+  }
+  return "unknown";
+}
+
+Layer layer_of(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kMessageDrop:
+    case Kind::kMessageDuplicate:
+    case Kind::kMessageDelay:
+    case Kind::kMessageCorrupt:
+    case Kind::kLinkDegrade:
+    case Kind::kLinkStall:
+      return Layer::kTransport;
+    case Kind::kTaskCrash:
+    case Kind::kTaskStraggle:
+      return Layer::kTask;
+    case Kind::kHeartbeatDrop:
+    case Kind::kHeartbeatDelay:
+    case Kind::kFetchError:
+      return Layer::kControl;
+    default:
+      return Layer::kRecovery;
+  }
+}
+
+// ------------------------------------------------------------------ log --
+
+void FaultLog::record(Layer layer, Kind kind, std::string subject,
+                      std::string detail) {
+  std::lock_guard lock(mu_);
+  LogEntry entry;
+  entry.id = entries_.size();
+  entry.layer = layer;
+  entry.kind = kind;
+  entry.subject = std::move(subject);
+  entry.detail = std::move(detail);
+  entries_.push_back(std::move(entry));
+  ++counts_[kind];
+}
+
+std::vector<LogEntry> FaultLog::entries() const {
+  std::lock_guard lock(mu_);
+  return entries_;
+}
+
+std::uint64_t FaultLog::count(Kind kind) const {
+  std::lock_guard lock(mu_);
+  const auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultLog::total() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::string> FaultLog::canonical() const {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard lock(mu_);
+    lines.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      std::string line = kind_name(e.kind);
+      line += ' ';
+      line += e.subject;
+      if (!e.detail.empty()) {
+        line += ' ';
+        line += e.detail;
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TaskCrash::TaskCrash(TaskKind task_kind, int id, int attempt_no)
+    : std::runtime_error("fault: injected crash of " +
+                         task_subject(task_kind, id, attempt_no)),
+      task(task_kind),
+      task_id(id),
+      attempt(attempt_no) {}
+
+// ------------------------------------------------------------- injector --
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+std::uint64_t FaultInjector::raw_draw(std::uint64_t site, std::uint64_t a,
+                                      std::uint64_t b,
+                                      std::uint64_t sequence) const noexcept {
+  return common::fmix64(plan_.seed ^ mix3(site, a, b) ^
+                        common::fmix64(sequence + 0x2545f4914f6cdd1dULL));
+}
+
+double FaultInjector::draw(std::uint64_t site, std::uint64_t a,
+                           std::uint64_t b,
+                           std::uint64_t sequence) const noexcept {
+  // 53 random bits -> [0, 1), the standard double construction.
+  return static_cast<double>(raw_draw(site, a, b, sequence) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t FaultInjector::next_sequence(std::uint64_t site, std::uint64_t a,
+                                           std::uint64_t b) {
+  std::lock_guard lock(mu_);
+  return sequences_[mix3(site, a, b)]++;
+}
+
+void FaultInjector::add_transport_scope(std::uint64_t context, int tag) {
+  std::lock_guard lock(mu_);
+  for (const auto& [ctx, t] : scopes_) {
+    if (ctx == context && t == tag) return;  // every rank registers once
+  }
+  scopes_.emplace_back(context, tag);
+}
+
+bool FaultInjector::in_scope(std::uint64_t context, int tag) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [ctx, t] : scopes_) {
+    if (ctx == context && t == tag) return true;
+  }
+  return false;
+}
+
+MessageFault FaultInjector::on_message(std::uint64_t context, int src, int dst,
+                                       int tag, std::size_t bytes) {
+  MessageFault fault;
+  if (!in_scope(context, tag)) return fault;
+  const double p_any = plan_.message_drop_prob + plan_.message_corrupt_prob +
+                       plan_.message_duplicate_prob + plan_.message_delay_prob;
+  if (p_any <= 0.0) return fault;
+
+  const auto a = static_cast<std::uint64_t>(src);
+  const auto b = static_cast<std::uint64_t>(dst);
+  const std::uint64_t seq = next_sequence(kSiteMessage, a, b);
+  const double u = draw(kSiteMessage, a, b, seq);
+
+  std::ostringstream subject;
+  subject << "msg " << src << "->" << dst;
+  std::ostringstream detail;
+  detail << "seq " << seq << ", " << bytes << " B";
+
+  double band = plan_.message_drop_prob;
+  if (u < band) {
+    fault.drop = true;
+    log_.record(Layer::kTransport, Kind::kMessageDrop, subject.str(),
+                detail.str());
+    return fault;
+  }
+  band += plan_.message_corrupt_prob;
+  if (u < band) {
+    fault.corrupt = true;
+    if (bytes > 0) {
+      const std::uint64_t r = raw_draw(kSiteMessage ^ 0xff, a, b, seq);
+      fault.corrupt_offset = static_cast<std::size_t>(r % bytes);
+      fault.corrupt_mask = static_cast<std::byte>(1u << ((r >> 32) % 8));
+    }
+    log_.record(Layer::kTransport, Kind::kMessageCorrupt, subject.str(),
+                detail.str());
+    return fault;
+  }
+  band += plan_.message_duplicate_prob;
+  if (u < band) {
+    fault.duplicate = true;
+    log_.record(Layer::kTransport, Kind::kMessageDuplicate, subject.str(),
+                detail.str());
+    return fault;
+  }
+  band += plan_.message_delay_prob;
+  if (u < band) {
+    fault.delay = plan_.message_delay;
+    log_.record(Layer::kTransport, Kind::kMessageDelay, subject.str(),
+                detail.str());
+  }
+  return fault;
+}
+
+FlowFault FaultInjector::on_flow(int src, int dst, std::uint64_t bytes) {
+  FlowFault fault;
+  if (plan_.link_degrade_prob <= 0.0 && plan_.link_stall_prob <= 0.0) {
+    return fault;
+  }
+  const auto a = static_cast<std::uint64_t>(src);
+  const auto b = static_cast<std::uint64_t>(dst);
+  const std::uint64_t seq = next_sequence(kSiteFlow, a, b);
+  const double u = draw(kSiteFlow, a, b, seq);
+
+  std::ostringstream subject;
+  subject << "flow " << src << "->" << dst;
+  std::ostringstream detail;
+  detail << "seq " << seq << ", " << bytes << " B";
+
+  if (u < plan_.link_degrade_prob) {
+    fault.rate_factor = plan_.link_degrade_factor;
+    log_.record(Layer::kTransport, Kind::kLinkDegrade, subject.str(),
+                detail.str());
+  } else if (u < plan_.link_degrade_prob + plan_.link_stall_prob) {
+    fault.stall = plan_.link_stall;
+    log_.record(Layer::kTransport, Kind::kLinkStall, subject.str(),
+                detail.str());
+  }
+  return fault;
+}
+
+std::optional<std::uint64_t> FaultInjector::crash_tick(TaskKind kind,
+                                                       int task_id,
+                                                       int attempt) {
+  for (const auto& scripted : plan_.scripted_crashes) {
+    if (scripted.task == kind && scripted.task_id == task_id &&
+        scripted.attempt == attempt) {
+      return scripted.after_ticks;
+    }
+  }
+  const double p = kind == TaskKind::kMap ? plan_.map_crash_prob
+                                          : plan_.reduce_crash_prob;
+  if (p <= 0.0 || attempt >= plan_.max_injected_attempts) return std::nullopt;
+  // Pure function of the attempt identity: no sequence counter needed, and
+  // re-querying the same attempt returns the same schedule.
+  const auto a = static_cast<std::uint64_t>(task_id) * 2 +
+                 (kind == TaskKind::kMap ? 0 : 1);
+  const auto b = static_cast<std::uint64_t>(attempt);
+  if (draw(kSiteCrash, a, b, 0) >= p) return std::nullopt;
+  const std::uint64_t range = std::max<std::uint64_t>(plan_.crash_tick_range, 1);
+  return 1 + raw_draw(kSiteCrash, a, b, 1) % range;
+}
+
+std::chrono::nanoseconds FaultInjector::straggle_delay(TaskKind kind,
+                                                       int task_id,
+                                                       int attempt) {
+  if (plan_.straggler_prob <= 0.0 || attempt >= plan_.max_injected_attempts) {
+    return std::chrono::nanoseconds{0};
+  }
+  const auto a = static_cast<std::uint64_t>(task_id) * 2 +
+                 (kind == TaskKind::kMap ? 0 : 1);
+  const auto b = static_cast<std::uint64_t>(attempt);
+  if (draw(kSiteStraggle, a, b, 0) >= plan_.straggler_prob) {
+    return std::chrono::nanoseconds{0};
+  }
+  log_.record(Layer::kTask, Kind::kTaskStraggle,
+              task_subject(kind, task_id, attempt));
+  return plan_.straggle;
+}
+
+HeartbeatFault FaultInjector::on_heartbeat(int tracker_id) {
+  HeartbeatFault fault;
+  const double p_any = plan_.heartbeat_drop_prob + plan_.heartbeat_delay_prob;
+  if (p_any <= 0.0) return fault;
+  const auto a = static_cast<std::uint64_t>(tracker_id);
+  const std::uint64_t seq = next_sequence(kSiteHeartbeat, a, 0);
+  const double u = draw(kSiteHeartbeat, a, 0, seq);
+  std::ostringstream subject;
+  subject << "tracker:" << tracker_id;
+  std::ostringstream detail;
+  detail << "seq " << seq;
+  if (u < plan_.heartbeat_drop_prob) {
+    fault.drop = true;
+    log_.record(Layer::kControl, Kind::kHeartbeatDrop, subject.str(),
+                detail.str());
+  } else if (u < p_any) {
+    fault.delay = plan_.heartbeat_delay;
+    log_.record(Layer::kControl, Kind::kHeartbeatDelay, subject.str(),
+                detail.str());
+  }
+  return fault;
+}
+
+bool FaultInjector::fail_fetch(int map_id, int reduce_id) {
+  if (plan_.fetch_error_prob <= 0.0) return false;
+  const auto a = static_cast<std::uint64_t>(map_id);
+  const auto b = static_cast<std::uint64_t>(reduce_id);
+  const std::uint64_t seq = next_sequence(kSiteFetch, a, b);
+  if (draw(kSiteFetch, a, b, seq) >= plan_.fetch_error_prob) return false;
+  std::ostringstream subject;
+  subject << "segment " << map_id << "->" << reduce_id;
+  std::ostringstream detail;
+  detail << "attempt " << seq;
+  log_.record(Layer::kControl, Kind::kFetchError, subject.str(), detail.str());
+  return true;
+}
+
+void FaultInjector::note(Kind kind, std::string subject, std::string detail) {
+  log_.record(layer_of(kind), kind, std::move(subject), std::move(detail));
+}
+
+void FaultInjector::record_recovery(Kind kind, std::string subject,
+                                    std::string detail) {
+  log_.record(Layer::kRecovery, kind, std::move(subject), std::move(detail));
+}
+
+}  // namespace mpid::fault

@@ -59,21 +59,40 @@ class HttpServer {
   bool down_ = false;
 };
 
+/// Timeout/retry policy of an HttpClient (Hadoop's shuffle copier sets a
+/// read timeout and retries failed fetches; a dead server used to hang
+/// the reducer forever).
+struct HttpClientOptions {
+  /// Per-read deadline; kNoTimeout restores the original blocking reads.
+  std::chrono::nanoseconds read_timeout = kNoTimeout;
+  /// Transport-level retries of one get(): on timeout/EOF the client
+  /// reconnects and re-issues the request (GETs are idempotent).
+  int max_retries = 0;
+  /// Backoff before retry r is retry_backoff << r.
+  std::chrono::nanoseconds retry_backoff = std::chrono::milliseconds(1);
+};
+
 /// A blocking HTTP client over one connection; keep-alive: multiple GETs
 /// reuse the connection (serialize calls per client).
 class HttpClient {
  public:
-  explicit HttpClient(HttpServer& server);
+  explicit HttpClient(HttpServer& server, HttpClientOptions options = {});
   ~HttpClient();
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Issues "GET <target>" (target = path with optional ?query).
+  /// Issues "GET <target>" (target = path with optional ?query). A 4xx/5xx
+  /// status is returned, not thrown; throws only when the transport fails
+  /// (timeout / connection closed) beyond the retry budget.
   HttpResponse get(const std::string& target);
 
   void close();
 
  private:
+  void reconnect();  // caller holds mu_
+
+  HttpServer* server_;
+  HttpClientOptions options_;
   std::unique_ptr<Endpoint> endpoint_;
   std::mutex mu_;
   bool closed_ = false;

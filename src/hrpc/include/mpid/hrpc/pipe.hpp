@@ -10,6 +10,7 @@
 // seeing EOF.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -25,6 +26,16 @@ namespace mpid::hrpc {
 struct EndOfStream : std::runtime_error {
   EndOfStream() : std::runtime_error("hrpc: end of stream") {}
 };
+
+/// Thrown by timed reads when no byte arrives within the deadline (the
+/// socket-read-timeout analog; a dead peer no longer hangs the caller).
+struct TimedOut : std::runtime_error {
+  TimedOut() : std::runtime_error("hrpc: read timed out") {}
+};
+
+/// "No timeout": blocks forever, the pre-fault-injection behaviour.
+inline constexpr std::chrono::nanoseconds kNoTimeout =
+    std::chrono::nanoseconds::max();
 
 class Pipe {
  public:
@@ -46,13 +57,20 @@ class Pipe {
   }
 
   /// Reads exactly n bytes; blocks until available. Throws EndOfStream if
-  /// the pipe closes before n bytes arrive.
-  std::vector<std::byte> read_exactly(std::size_t n) {
+  /// the pipe closes before n bytes arrive, TimedOut if `timeout` elapses
+  /// with the next byte still missing (kNoTimeout blocks forever).
+  std::vector<std::byte> read_exactly(
+      std::size_t n, std::chrono::nanoseconds timeout = kNoTimeout) {
     std::unique_lock lock(mu_);
     std::vector<std::byte> out;
     out.reserve(n);
+    const auto ready = [&] { return closed_ || !buf_.empty(); };
     while (out.size() < n) {
-      cv_readable_.wait(lock, [&] { return closed_ || !buf_.empty(); });
+      if (timeout == kNoTimeout) {
+        cv_readable_.wait(lock, ready);
+      } else if (!cv_readable_.wait_for(lock, timeout, ready)) {
+        throw TimedOut();
+      }
       if (buf_.empty()) throw EndOfStream();
       while (!buf_.empty() && out.size() < n) {
         out.push_back(buf_.front());
@@ -91,9 +109,14 @@ class Endpoint {
   Endpoint(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
       : out_(std::move(out)), in_(std::move(in)) {}
 
+  /// Read timeout applied by read_exactly (socket SO_RCVTIMEO analog).
+  void set_read_timeout(std::chrono::nanoseconds timeout) noexcept {
+    read_timeout_ = timeout;
+  }
+
   void write(std::span<const std::byte> data) { out_->write(data); }
   std::vector<std::byte> read_exactly(std::size_t n) {
-    return in_->read_exactly(n);
+    return in_->read_exactly(n, read_timeout_);
   }
   /// Half-close: signals EOF to the peer's reads; our reads still work.
   void close_write() { out_->close(); }
@@ -105,6 +128,7 @@ class Endpoint {
 
  private:
   std::shared_ptr<Pipe> out_, in_;
+  std::chrono::nanoseconds read_timeout_ = kNoTimeout;
 };
 
 /// Creates a connected pair of endpoints.

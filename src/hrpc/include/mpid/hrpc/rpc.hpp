@@ -97,10 +97,24 @@ class RpcServer {
   bool down_ = false;
 };
 
+/// Timeout/retry policy of an RpcClient (ipc.client.timeout +
+/// ipc.client.connect.max.retries analogs; a dead server used to hang the
+/// caller forever).
+struct RpcClientOptions {
+  /// Deadline for one call's response; kNoTimeout blocks forever.
+  std::chrono::nanoseconds call_timeout = kNoTimeout;
+  /// Re-issues of a timed-out call (with a fresh call id; the late reply
+  /// of an abandoned id is dropped by the reader). Callers must make the
+  /// retried methods idempotent, as Hadoop's do.
+  int max_retries = 0;
+  /// Backoff before retry r is retry_backoff << r.
+  std::chrono::nanoseconds retry_backoff = std::chrono::milliseconds(1);
+};
+
 class RpcClient {
  public:
   /// Connects to `server` (registers one connection with it).
-  explicit RpcClient(RpcServer& server);
+  explicit RpcClient(RpcServer& server, RpcClientOptions options = {});
   ~RpcClient();
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
@@ -123,7 +137,13 @@ class RpcClient {
   };
 
   void reader_loop();
+  /// One send + timed wait; throws TimedOut on deadline.
+  std::vector<std::byte> call_once(const std::string& protocol,
+                                   std::int64_t version,
+                                   const std::string& method,
+                                   std::span<const std::byte> args);
 
+  RpcClientOptions options_;
   std::unique_ptr<Endpoint> endpoint_;
   std::thread reader_;
   std::mutex mu_;

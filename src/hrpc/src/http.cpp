@@ -133,10 +133,10 @@ void HttpServer::serve(std::size_t connection_index) {
 
 // ------------------------------------------------------------- client --
 
-HttpClient::HttpClient(HttpServer& server) {
-  auto [client_side, server_side] = make_connection();
-  endpoint_ = std::make_unique<Endpoint>(std::move(client_side));
-  server.accept(std::move(server_side));
+HttpClient::HttpClient(HttpServer& server, HttpClientOptions options)
+    : server_(&server), options_(options) {
+  std::lock_guard lock(mu_);
+  reconnect();
 }
 
 HttpClient::~HttpClient() { close(); }
@@ -145,39 +145,57 @@ void HttpClient::close() {
   std::lock_guard lock(mu_);
   if (closed_) return;
   closed_ = true;
-  endpoint_->close();
+  if (endpoint_) endpoint_->close();
+}
+
+void HttpClient::reconnect() {
+  if (endpoint_) endpoint_->close();
+  auto [client_side, server_side] = make_connection();
+  client_side.set_read_timeout(options_.read_timeout);
+  endpoint_ = std::make_unique<Endpoint>(std::move(client_side));
+  server_->accept(std::move(server_side));
 }
 
 HttpResponse HttpClient::get(const std::string& target) {
   std::lock_guard lock(mu_);
-  if (closed_) throw std::runtime_error("hrpc: http client closed");
-  write_text(*endpoint_, "GET " + target + " HTTP/1.0\r\n\r\n");
+  for (int attempt = 0;; ++attempt) {
+    if (closed_) throw std::runtime_error("hrpc: http client closed");
+    try {
+      write_text(*endpoint_, "GET " + target + " HTTP/1.0\r\n\r\n");
 
-  const auto status_line = read_line(*endpoint_);
-  // "HTTP/1.0 <code> <reason>"
-  const auto first_space = status_line.find(' ');
-  if (first_space == std::string::npos) {
-    throw std::runtime_error("hrpc: bad http status line");
-  }
-  int status = 0;
-  std::from_chars(status_line.data() + first_space + 1,
-                  status_line.data() + status_line.size(), status);
+      const auto status_line = read_line(*endpoint_);
+      // "HTTP/1.0 <code> <reason>"
+      const auto first_space = status_line.find(' ');
+      if (first_space == std::string::npos) {
+        throw std::runtime_error("hrpc: bad http status line");
+      }
+      int status = 0;
+      std::from_chars(status_line.data() + first_space + 1,
+                      status_line.data() + status_line.size(), status);
 
-  std::size_t content_length = 0;
-  for (;;) {
-    const auto header = read_line(*endpoint_);
-    if (header.empty()) break;
-    constexpr std::string_view kContentLength = "Content-Length: ";
-    if (header.starts_with(kContentLength)) {
-      content_length = std::stoull(header.substr(kContentLength.size()));
+      std::size_t content_length = 0;
+      for (;;) {
+        const auto header = read_line(*endpoint_);
+        if (header.empty()) break;
+        constexpr std::string_view kContentLength = "Content-Length: ";
+        if (header.starts_with(kContentLength)) {
+          content_length = std::stoull(header.substr(kContentLength.size()));
+        }
+      }
+      const auto body_bytes = endpoint_->read_exactly(content_length);
+      HttpResponse response;
+      response.status = status;
+      response.body.assign(reinterpret_cast<const char*>(body_bytes.data()),
+                           body_bytes.size());
+      return response;
+    } catch (const std::exception&) {
+      // Timeout, EOF or a dead connection: reconnect and re-issue (GETs
+      // are idempotent) until the retry budget is spent.
+      if (attempt >= options_.max_retries) throw;
+      std::this_thread::sleep_for(options_.retry_backoff * (1LL << attempt));
+      reconnect();
     }
   }
-  const auto body_bytes = endpoint_->read_exactly(content_length);
-  HttpResponse response;
-  response.status = status;
-  response.body.assign(reinterpret_cast<const char*>(body_bytes.data()),
-                       body_bytes.size());
-  return response;
 }
 
 }  // namespace mpid::hrpc

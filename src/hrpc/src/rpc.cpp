@@ -156,7 +156,8 @@ void RpcServer::handler_loop() {
 
 // ------------------------------------------------------------- client --
 
-RpcClient::RpcClient(RpcServer& server) {
+RpcClient::RpcClient(RpcServer& server, RpcClientOptions options)
+    : options_(options) {
   auto [client_side, server_side] = make_connection();
   endpoint_ = std::make_unique<Endpoint>(std::move(client_side));
   server.accept(std::move(server_side));
@@ -199,10 +200,10 @@ void RpcClient::reader_loop() {
   }
 }
 
-std::vector<std::byte> RpcClient::call(const std::string& protocol,
-                                       std::int64_t version,
-                                       const std::string& method,
-                                       std::span<const std::byte> args) {
+std::vector<std::byte> RpcClient::call_once(const std::string& protocol,
+                                            std::int64_t version,
+                                            const std::string& method,
+                                            std::span<const std::byte> args) {
   std::int32_t call_id;
   DataOut out;
   {
@@ -223,10 +224,17 @@ std::vector<std::byte> RpcClient::call(const std::string& protocol,
   }
 
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] {
+  const auto done = [&] {
     const auto& call = pending_.at(call_id);
     return call.response.has_value() || call.failed || closed_;
-  });
+  };
+  if (options_.call_timeout == kNoTimeout) {
+    cv_.wait(lock, done);
+  } else if (!cv_.wait_for(lock, options_.call_timeout, done)) {
+    // Abandon the call id: a late response is dropped by the reader.
+    pending_.erase(call_id);
+    throw TimedOut();
+  }
   const auto node = pending_.extract(call_id);
   const auto& call = node.mapped();
   if (!call.response.has_value()) {
@@ -241,6 +249,25 @@ std::vector<std::byte> RpcClient::call(const std::string& protocol,
                                payload.size()));
   }
   return payload;
+}
+
+std::vector<std::byte> RpcClient::call(const std::string& protocol,
+                                       std::int64_t version,
+                                       const std::string& method,
+                                       std::span<const std::byte> args) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return call_once(protocol, version, method, args);
+    } catch (const TimedOut&) {
+      // Only a timed-out call is retried: the connection is still up, the
+      // server was just slow (or the reply was lost to fault injection).
+      // RpcError (dispatch failure / dead connection) propagates.
+      if (attempt >= options_.max_retries) {
+        throw RpcError("rpc call " + method + " timed out");
+      }
+      std::this_thread::sleep_for(options_.retry_backoff * (1LL << attempt));
+    }
+  }
 }
 
 std::string RpcClient::call_string(const std::string& protocol,

@@ -3,13 +3,24 @@
 #include <algorithm>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 #include "mpid/core/merge.hpp"
 #include "mpid/core/mpid.hpp"
+#include "mpid/fault/fault.hpp"
 #include "mpid/minimpi/world.hpp"
 
 namespace mpid::mapred {
+
+namespace {
+
+/// Safety cap on task re-executions. Injected crashes self-bound through
+/// FaultPlan::max_injected_attempts; this guards against a plan scripted
+/// to kill every attempt.
+constexpr int kMaxTaskAttempts = 16;
+
+}  // namespace
 
 JobRunner::JobRunner(int mappers, int reducers)
     : mappers_(mappers), reducers_(reducers) {
@@ -41,21 +52,80 @@ JobResult JobRunner::run(const JobDef& job,
     core::MpiD mpid(comm, config);
     switch (mpid.role()) {
       case core::Role::kMapper: {
+        const int mapper = mpid.mapper_index();
+        fault::FaultInjector* inj =
+            config.resilient_shuffle ? config.fault_injector.get() : nullptr;
+        auto& source = inputs[static_cast<std::size_t>(mapper)];
         MapContext ctx(
             [&](std::string_view k, std::string_view v) { mpid.send(k, v); },
-            mpid.mapper_index());
-        auto& source = inputs[static_cast<std::size_t>(mpid.mapper_index())];
-        while (auto record = source()) job.map(*record, ctx);
-        mpid.finalize();
+            mapper);
+        if (!inj) {
+          // No injected crashes possible: stream the split straight
+          // through (records never materialize).
+          while (auto record = source()) job.map(*record, ctx);
+          mpid.finalize();
+          break;
+        }
+        // Fault injection armed: materialize the split once so a crashed
+        // attempt can re-read it from the start (Hadoop re-executes a
+        // failed map against its durable split in DFS; RecordSource
+        // cursors are single-pass).
+        std::vector<std::string> split;
+        while (auto record = source()) split.push_back(std::move(*record));
+        for (int safety = 0;; ++safety) {
+          try {
+            const auto crash_at = inj->crash_tick(fault::TaskKind::kMap,
+                                                  mapper, mpid.attempt());
+            const auto lag = inj->straggle_delay(fault::TaskKind::kMap,
+                                                 mapper, mpid.attempt());
+            if (lag.count() > 0) std::this_thread::sleep_for(lag);
+            std::uint64_t ticks = 0;
+            for (const auto& record : split) {
+              if (crash_at && ++ticks >= *crash_at) {
+                inj->note(fault::Kind::kTaskCrash,
+                          "map:" + std::to_string(mapper) + "#" +
+                              std::to_string(mpid.attempt()));
+                throw fault::TaskCrash(fault::TaskKind::kMap, mapper,
+                                       mpid.attempt());
+              }
+              job.map(record, ctx);
+            }
+            mpid.finalize();
+            break;
+          } catch (const fault::TaskCrash&) {
+            if (safety >= kMaxTaskAttempts) throw;
+            mpid.restart_mapper();
+          }
+        }
         break;
       }
       case core::Role::kReducer: {
+        fault::FaultInjector* inj =
+            config.resilient_shuffle ? config.fault_injector.get() : nullptr;
+        if (inj) {
+          const auto lag = inj->straggle_delay(
+              fault::TaskKind::kReduce, mpid.reducer_index(), mpid.attempt());
+          if (lag.count() > 0) std::this_thread::sleep_for(lag);
+        }
         if (job.streaming_merge_reduce) {
           // Hadoop's merge phase: collect the key-sorted frames, then
           // stream globally ordered groups straight into reduce().
           core::SortedFrameMerger merger;
-          std::vector<std::byte> frame;
-          while (mpid.recv_raw_frame(frame)) merger.add_frame(std::move(frame));
+          for (int safety = 0;; ++safety) {
+            try {
+              std::vector<std::byte> frame;
+              while (mpid.recv_raw_frame(frame)) {
+                merger.add_frame(std::move(frame));
+              }
+              break;
+            } catch (const fault::TaskCrash&) {
+              // Injected crash mid-shuffle: discard everything collected
+              // and re-pull the retained mapper lanes.
+              if (safety >= kMaxTaskAttempts) throw;
+              mpid.restart_reducer();
+              merger = core::SortedFrameMerger{};
+            }
+          }
           mpid.finalize();
 
           ReduceContext ctx(mpid.reducer_index());
@@ -73,12 +143,22 @@ JobResult JobRunner::run(const JobDef& job,
         // Global grouping: MPI-D streams per-mapper segments; fold them
         // into one value list per key before invoking the user reduce.
         std::unordered_map<std::string, std::vector<std::string>> groups;
-        std::string key;
-        std::vector<std::string> values;
-        while (mpid.recv_group(key, values)) {
-          auto& list = groups[key];
-          std::move(values.begin(), values.end(), std::back_inserter(list));
-          values.clear();
+        for (int safety = 0;; ++safety) {
+          try {
+            std::string key;
+            std::vector<std::string> values;
+            while (mpid.recv_group(key, values)) {
+              auto& list = groups[key];
+              std::move(values.begin(), values.end(),
+                        std::back_inserter(list));
+              values.clear();
+            }
+            break;
+          } catch (const fault::TaskCrash&) {
+            if (safety >= kMaxTaskAttempts) throw;
+            mpid.restart_reducer();
+            groups.clear();
+          }
         }
         mpid.finalize();
 

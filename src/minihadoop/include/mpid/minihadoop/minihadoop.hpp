@@ -16,14 +16,27 @@
 // This is deliberately the paper's WordCount experiment shape (Figure 6)
 // at in-process scale: the same job runs here and on the MPI-D JobRunner,
 // and bench/ext_functional_fig6.cpp compares them in wall-clock.
+//
+// Fault tolerance follows Hadoop's task-attempt model: every task launch
+// is a numbered attempt; a crashed attempt is reported to the jobtracker
+// and the task is requeued (up to max_task_attempts); trackers that stop
+// heartbeating past tracker_timeout are declared lost and their running
+// tasks re-executed elsewhere; stragglers get speculative duplicate
+// attempts whose first completion wins (the jobtracker commits exactly one
+// attempt per task, so counters and DFS outputs never double). Faults are
+// injected — deterministically — through an optional mpid::fault
+// FaultInjector; without one the job runs exactly as before.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mpid/core/config.hpp"
 #include "mpid/dfs/minidfs.hpp"
+#include "mpid/fault/fault.hpp"
 #include "mpid/mapred/job.hpp"
 
 namespace mpid::minihadoop {
@@ -41,6 +54,30 @@ struct MiniJobConfig {
   int reduce_tasks = 2;
   /// Present keys to reduce() in sorted order (Hadoop semantics).
   bool sorted_reduce = true;
+
+  // --- fault tolerance (all Hadoop 0.20 analogs) ---
+
+  /// Optional deterministic fault source; null runs the job fault-free.
+  std::shared_ptr<fault::FaultInjector> fault_injector;
+  /// mapred.map/reduce.max.attempts: a task failing this many times fails
+  /// the job.
+  int max_task_attempts = 4;
+  /// mapred.tasktracker.expiry.interval: a tracker silent for longer is
+  /// declared lost and its running tasks are re-executed.
+  std::chrono::nanoseconds tracker_timeout = std::chrono::seconds(2);
+  /// mapred.map/reduce.tasks.speculative.execution: launch a duplicate
+  /// attempt for a task still running past this age while a slot idles.
+  bool speculative_execution = true;
+  std::chrono::nanoseconds speculative_threshold =
+      std::chrono::milliseconds(50);
+  /// Shuffle-copier retry budget per (map, reduce) segment; backoff before
+  /// retry r is fetch_backoff << r. A segment exhausting its budget fails
+  /// the reduce attempt (Hadoop's "too many fetch failures").
+  int max_fetch_attempts = 6;
+  std::chrono::nanoseconds fetch_backoff = std::chrono::milliseconds(1);
+  /// Per-read deadline on shuffle HTTP connections
+  /// (mapred.shuffle.read.timeout).
+  std::chrono::nanoseconds fetch_read_timeout = std::chrono::seconds(5);
 };
 
 struct JobSummary {
@@ -49,6 +86,15 @@ struct JobSummary {
   std::uint64_t shuffle_requests = 0;     // GETs issued
   std::uint64_t heartbeats = 0;           // RPC control-plane calls
   std::vector<std::string> output_files;  // DFS paths written
+
+  // --- recovery counters (zero on a fault-free run) ---
+  std::uint64_t map_reexecutions = 0;      // map tasks requeued after failure
+  std::uint64_t reduce_reexecutions = 0;   // reduce tasks requeued
+  std::uint64_t speculative_launches = 0;  // duplicate attempts issued
+  std::uint64_t shuffle_fetch_retries = 0; // segment fetches retried
+  std::uint64_t heartbeat_errors = 0;      // heartbeats that errored/dropped
+  std::uint64_t trackers_timed_out = 0;    // trackers declared lost
+  std::uint64_t recovery_wall_ns = 0;      // wall time spent recovering
 };
 
 class MiniCluster {

@@ -6,9 +6,11 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
@@ -20,74 +22,301 @@ namespace mpid::minihadoop {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 // Heartbeat response opcodes.
 constexpr std::uint8_t kOpWait = 0;
 constexpr std::uint8_t kOpMap = 1;
 constexpr std::uint8_t kOpReduce = 2;
 constexpr std::uint8_t kOpExit = 3;
 
+// taskFailed wire tags.
+constexpr std::uint8_t kKindMap = 0;
+constexpr std::uint8_t kKindReduce = 1;
+
 constexpr const char* kProtocol = "JobTracker";
 constexpr std::int64_t kVersion = 1;
+
+/// A tracker whose heartbeat cannot get through keeps retrying this many
+/// times before giving up on the job (each injected drop surfaces as one
+/// RpcError at the client).
+constexpr int kMaxHeartbeatRetries = 64;
 
 std::span<const std::byte> as_bytes(std::string_view s) {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
 }
+
+std::string task_subject(std::uint8_t kind, int id, int attempt) {
+  return std::string(kind == kKindMap ? "map:" : "reduce:") +
+         std::to_string(id) + "#" + std::to_string(attempt);
+}
+
+/// Hadoop's per-task attempt bookkeeping: a task may have several live
+/// attempts (re-executions after failures, speculative duplicates); the
+/// first to report completion is committed, every other attempt's result
+/// is discarded.
+struct TaskState {
+  bool done = false;
+  bool queued = true;  // tasks start in a pending queue
+  bool speculated = false;
+  int next_attempt = 0;
+  int failed_attempts = 0;
+  int location = -1;  // maps: tracker serving the committed output
+  Clock::time_point started{};
+  std::vector<std::pair<int, int>> running;  // (attempt, tracker)
+};
 
 /// Shared jobtracker state behind the RPC methods.
 struct JobTracker {
   std::mutex mu;
   std::deque<int> pending_maps;
   std::deque<int> pending_reduces;
+  std::vector<TaskState> maps;
+  std::vector<TaskState> reduces;
   int maps_done = 0;
   int reduces_done = 0;
-  int total_maps = 0;
-  int total_reduces = 0;
-  std::vector<int> map_location;  // map id -> tracker id
-  std::atomic<std::uint64_t> heartbeats{0};
 
-  std::vector<std::byte> heartbeat(std::span<const std::byte>) {
-    ++heartbeats;
-    hrpc::DataOut out;
-    std::lock_guard lock(mu);
-    if (!pending_maps.empty()) {
-      out.write_u8(kOpMap);
-      out.write_i32(pending_maps.front());
-      pending_maps.pop_front();
-    } else if (maps_done == total_maps && !pending_reduces.empty()) {
-      out.write_u8(kOpReduce);
-      out.write_i32(pending_reduces.front());
-      pending_reduces.pop_front();
-    } else if (maps_done == total_maps && reduces_done == total_reduces) {
-      out.write_u8(kOpExit);
-      out.write_i32(0);
-    } else {
-      out.write_u8(kOpWait);
-      out.write_i32(0);
+  // Policy (copied from MiniJobConfig before any connection is accepted).
+  int max_task_attempts = 4;
+  bool speculative = true;
+  std::chrono::nanoseconds tracker_timeout{};
+  std::chrono::nanoseconds speculative_threshold{};
+  fault::FaultInjector* inj = nullptr;
+
+  // Tracker liveness (mapred.tasktracker.expiry.interval).
+  std::vector<Clock::time_point> last_seen;
+  std::vector<bool> lost;
+
+  bool failed = false;
+  std::string failure;
+
+  std::atomic<std::uint64_t> heartbeats{0};
+  std::uint64_t map_reexecutions = 0;
+  std::uint64_t reduce_reexecutions = 0;
+  std::uint64_t speculative_launches = 0;
+  std::uint64_t trackers_timed_out = 0;
+
+  int total_maps() const { return static_cast<int>(maps.size()); }
+  int total_reduces() const { return static_cast<int>(reduces.size()); }
+
+  /// Pops the first pending task that is still unfinished (a task can sit
+  /// in the queue after a speculative twin already completed it).
+  static int pop_runnable(std::deque<int>& queue,
+                          std::vector<TaskState>& tasks) {
+    while (!queue.empty()) {
+      const int id = queue.front();
+      queue.pop_front();
+      tasks[static_cast<std::size_t>(id)].queued = false;
+      if (!tasks[static_cast<std::size_t>(id)].done) return id;
     }
+    return -1;
+  }
+
+  int dispatch(TaskState& st, int tracker, Clock::time_point now) {
+    const int attempt = st.next_attempt++;
+    if (st.running.empty()) st.started = now;
+    st.running.emplace_back(attempt, tracker);
+    return attempt;
+  }
+
+  /// Speculative execution: a slot is idle while some task's only attempt
+  /// has been running past the threshold — launch a duplicate attempt.
+  /// The straggling attempt keeps running; whichever finishes first wins.
+  std::optional<std::pair<int, int>> speculate(std::vector<TaskState>& tasks,
+                                               std::uint8_t kind, int tracker,
+                                               Clock::time_point now) {
+    if (!speculative) return std::nullopt;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto& st = tasks[i];
+      if (st.done || st.queued || st.speculated || st.running.size() != 1) {
+        continue;
+      }
+      if (now - st.started < speculative_threshold) continue;
+      st.speculated = true;
+      const int attempt = dispatch(st, tracker, now);
+      ++speculative_launches;
+      if (inj) {
+        inj->record_recovery(fault::Kind::kSpeculativeLaunch,
+                             task_subject(kind, static_cast<int>(i), attempt),
+                             "straggler duplicate");
+      }
+      return std::make_pair(static_cast<int>(i), attempt);
+    }
+    return std::nullopt;
+  }
+
+  /// Requeues every task whose only attempts ran on a lost tracker. The
+  /// tracker's already-committed map outputs stay reachable (its HTTP
+  /// server is a separate in-process object), so completed tasks keep
+  /// their results — only in-flight work is re-executed.
+  void requeue_orphans(std::vector<TaskState>& tasks, std::deque<int>& queue,
+                       std::uint8_t kind, int tracker,
+                       std::uint64_t& reexecutions) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto& st = tasks[i];
+      const auto before = st.running.size();
+      std::erase_if(st.running,
+                    [&](const auto& a) { return a.second == tracker; });
+      if (st.running.size() == before) continue;
+      if (!st.done && !st.queued && st.running.empty()) {
+        queue.push_back(static_cast<int>(i));
+        st.queued = true;
+        ++reexecutions;
+        if (inj) {
+          inj->record_recovery(
+              fault::Kind::kTaskReexec,
+              task_subject(kind, static_cast<int>(i), st.next_attempt - 1),
+              "lost tracker " + std::to_string(tracker));
+        }
+      }
+    }
+  }
+
+  /// Declares trackers silent past the expiry interval lost and
+  /// re-executes their running tasks (Hadoop's lostTaskTracker path).
+  void expire_lost_trackers(Clock::time_point now, int requester) {
+    for (int t = 0; t < static_cast<int>(last_seen.size()); ++t) {
+      if (t == requester || lost[static_cast<std::size_t>(t)]) continue;
+      if (now - last_seen[static_cast<std::size_t>(t)] <= tracker_timeout) {
+        continue;
+      }
+      lost[static_cast<std::size_t>(t)] = true;
+      ++trackers_timed_out;
+      if (inj) {
+        inj->record_recovery(fault::Kind::kLostTracker,
+                             "tracker:" + std::to_string(t));
+      }
+      requeue_orphans(maps, pending_maps, kKindMap, t, map_reexecutions);
+      requeue_orphans(reduces, pending_reduces, kKindReduce, t,
+                      reduce_reexecutions);
+    }
+  }
+
+  std::vector<std::byte> reply(std::uint8_t op, int task, int attempt) {
+    hrpc::DataOut out;
+    out.write_u8(op);
+    out.write_i32(task);
+    out.write_i32(attempt);
     return out.take();
   }
 
+  std::vector<std::byte> heartbeat(int tracker) {
+    ++heartbeats;
+    const auto now = Clock::now();
+    std::lock_guard lock(mu);
+    last_seen[static_cast<std::size_t>(tracker)] = now;
+    // A tracker we gave up on re-joins by heartbeating again; its stale
+    // attempts were requeued, and any late completion commits only if the
+    // task has not finished elsewhere.
+    lost[static_cast<std::size_t>(tracker)] = false;
+    expire_lost_trackers(now, tracker);
+
+    if (failed) return reply(kOpExit, 0, 0);
+    if (const int m = pop_runnable(pending_maps, maps); m >= 0) {
+      return reply(kOpMap, m,
+                   dispatch(maps[static_cast<std::size_t>(m)], tracker, now));
+    }
+    if (maps_done == total_maps()) {
+      if (const int r = pop_runnable(pending_reduces, reduces); r >= 0) {
+        return reply(
+            kOpReduce, r,
+            dispatch(reduces[static_cast<std::size_t>(r)], tracker, now));
+      }
+      if (reduces_done == total_reduces()) return reply(kOpExit, 0, 0);
+    }
+    // Nothing pending but the job is incomplete: the idle slot can host a
+    // speculative duplicate of a straggler in the current phase.
+    if (maps_done < total_maps()) {
+      if (const auto spec = speculate(maps, kKindMap, tracker, now)) {
+        return reply(kOpMap, spec->first, spec->second);
+      }
+    } else {
+      if (const auto spec = speculate(reduces, kKindReduce, tracker, now)) {
+        return reply(kOpReduce, spec->first, spec->second);
+      }
+    }
+    return reply(kOpWait, 0, 0);
+  }
+
+  /// Returns [u8 committed]: 1 if this attempt's result is the task's
+  /// official output, 0 if a twin attempt already won (the caller must
+  /// discard its counters/output — Hadoop's commit protocol).
   std::vector<std::byte> map_completed(std::span<const std::byte> args) {
     hrpc::DataIn in(args);
     const auto map_id = in.read_i32();
+    const auto attempt = in.read_i32();
     const auto tracker = in.read_i32();
+    hrpc::DataOut out;
     std::lock_guard lock(mu);
-    map_location[static_cast<std::size_t>(map_id)] = tracker;
+    auto& st = maps[static_cast<std::size_t>(map_id)];
+    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
+    if (st.done) {
+      out.write_u8(0);
+      return out.take();
+    }
+    st.done = true;
+    st.location = tracker;
     ++maps_done;
-    return {};
+    out.write_u8(1);
+    return out.take();
   }
 
-  std::vector<std::byte> reduce_completed(std::span<const std::byte>) {
+  std::vector<std::byte> reduce_completed(std::span<const std::byte> args) {
+    hrpc::DataIn in(args);
+    const auto reduce_id = in.read_i32();
+    const auto attempt = in.read_i32();
+    hrpc::DataOut out;
     std::lock_guard lock(mu);
+    auto& st = reduces[static_cast<std::size_t>(reduce_id)];
+    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
+    if (st.done) {
+      out.write_u8(0);
+      return out.take();
+    }
+    st.done = true;
     ++reduces_done;
+    out.write_u8(1);
+    return out.take();
+  }
+
+  /// A task attempt crashed: requeue the task unless a twin attempt is
+  /// still running; a task failing max_task_attempts times fails the job.
+  std::vector<std::byte> task_failed(std::span<const std::byte> args) {
+    hrpc::DataIn in(args);
+    const auto kind = in.read_u8();
+    const auto id = in.read_i32();
+    const auto attempt = in.read_i32();
+    std::lock_guard lock(mu);
+    auto& tasks = kind == kKindMap ? maps : reduces;
+    auto& queue = kind == kKindMap ? pending_maps : pending_reduces;
+    auto& reexecutions =
+        kind == kKindMap ? map_reexecutions : reduce_reexecutions;
+    auto& st = tasks[static_cast<std::size_t>(id)];
+    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
+    if (st.done) return {};
+    if (++st.failed_attempts >= max_task_attempts) {
+      failed = true;
+      failure = task_subject(kind, id, attempt) + " failed " +
+                std::to_string(st.failed_attempts) + " attempts";
+      return {};
+    }
+    if (!st.queued && st.running.empty()) {
+      queue.push_back(id);
+      st.queued = true;
+      ++reexecutions;
+      if (inj) {
+        inj->record_recovery(fault::Kind::kTaskReexec,
+                             task_subject(kind, id, attempt), "crash requeue");
+      }
+    }
     return {};
   }
 
   std::vector<std::byte> map_locations(std::span<const std::byte>) {
     hrpc::DataOut out;
     std::lock_guard lock(mu);
-    out.write_vu64(map_location.size());
-    for (const int tracker : map_location) out.write_i32(tracker);
+    out.write_vu64(maps.size());
+    for (const auto& st : maps) out.write_i32(st.location);
     return out.take();
   }
 };
@@ -142,6 +371,11 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   if (config.map_tasks < 1 || config.reduce_tasks < 1) {
     throw std::invalid_argument("MiniCluster: need >= 1 map and reduce task");
   }
+  if (config.max_task_attempts < 1 || config.max_fetch_attempts < 1) {
+    throw std::invalid_argument("MiniCluster: attempt budgets must be >= 1");
+  }
+
+  fault::FaultInjector* const inj = config.fault_injector.get();
 
   // Input splits: contiguous line-aligned chunks of the input file.
   const std::string input = dfs_.read(config.input_path);
@@ -150,10 +384,16 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
 
   // ---- jobtracker: RPC control plane -----------------------------------
   JobTracker tracker_state;
-  tracker_state.total_maps = config.map_tasks;
-  tracker_state.total_reduces = config.reduce_tasks;
-  tracker_state.map_location.assign(
-      static_cast<std::size_t>(config.map_tasks), -1);
+  tracker_state.maps.resize(static_cast<std::size_t>(config.map_tasks));
+  tracker_state.reduces.resize(static_cast<std::size_t>(config.reduce_tasks));
+  tracker_state.max_task_attempts = config.max_task_attempts;
+  tracker_state.speculative = config.speculative_execution;
+  tracker_state.tracker_timeout = config.tracker_timeout;
+  tracker_state.speculative_threshold = config.speculative_threshold;
+  tracker_state.inj = inj;
+  tracker_state.last_seen.assign(static_cast<std::size_t>(tasktrackers_),
+                                 Clock::now());
+  tracker_state.lost.assign(static_cast<std::size_t>(tasktrackers_), false);
   for (int m = 0; m < config.map_tasks; ++m) {
     tracker_state.pending_maps.push_back(m);
   }
@@ -165,16 +405,22 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   // One handler per tasktracker so heartbeats never queue behind each
   // other (ipc.server.handler.count).
   hrpc::RpcServer jobtracker(tasktrackers_);
-  jobtracker.register_method(kProtocol, kVersion, "heartbeat",
-                             [&](std::span<const std::byte> args) {
-                               if (aborted.load()) {
-                                 hrpc::DataOut out;
-                                 out.write_u8(kOpExit);
-                                 out.write_i32(0);
-                                 return out.take();
-                               }
-                               return tracker_state.heartbeat(args);
-                             });
+  jobtracker.register_method(
+      kProtocol, kVersion, "heartbeat",
+      [&](std::span<const std::byte> args) {
+        hrpc::DataIn in(args);
+        const auto tracker_id = in.read_i32();
+        // Control-plane injection: a dropped heartbeat surfaces as an
+        // RpcError at the tracker (which backs off and retries); a
+        // delayed one just answers late.
+        if (inj) {
+          const auto hb = inj->on_heartbeat(tracker_id);
+          if (hb.delay.count() > 0) std::this_thread::sleep_for(hb.delay);
+          if (hb.drop) throw std::runtime_error("heartbeat lost");
+        }
+        if (aborted.load()) return tracker_state.reply(kOpExit, 0, 0);
+        return tracker_state.heartbeat(tracker_id);
+      });
   jobtracker.register_method(kProtocol, kVersion, "mapCompleted",
                              [&](std::span<const std::byte> args) {
                                return tracker_state.map_completed(args);
@@ -182,6 +428,10 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   jobtracker.register_method(kProtocol, kVersion, "reduceCompleted",
                              [&](std::span<const std::byte> args) {
                                return tracker_state.reduce_completed(args);
+                             });
+  jobtracker.register_method(kProtocol, kVersion, "taskFailed",
+                             [&](std::span<const std::byte> args) {
+                               return tracker_state.task_failed(args);
                              });
   jobtracker.register_method(kProtocol, kVersion, "mapLocations",
                              [&](std::span<const std::byte> args) {
@@ -204,12 +454,26 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   std::atomic<std::uint64_t> map_output_pairs{0};
   std::atomic<std::uint64_t> shuffled_bytes{0};
   std::atomic<std::uint64_t> shuffle_requests{0};
+  std::atomic<std::uint64_t> shuffle_fetch_retries{0};
+  std::atomic<std::uint64_t> heartbeat_errors{0};
+  std::atomic<std::uint64_t> recovery_wall_ns{0};
   std::mutex output_mu;
   std::vector<std::string> output_files;
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  auto run_map_task = [&](int tracker_id, int map_id) {
+  // Returns this attempt's combined output pair count; the caller adds it
+  // to the job counter only if the jobtracker commits the attempt.
+  auto run_map_task = [&](int tracker_id, int map_id,
+                          int attempt) -> std::uint64_t {
+    if (inj) {
+      const auto lag =
+          inj->straggle_delay(fault::TaskKind::kMap, map_id, attempt);
+      if (lag.count() > 0) std::this_thread::sleep_for(lag);
+    }
+    const auto crash_at =
+        inj ? inj->crash_tick(fault::TaskKind::kMap, map_id, attempt)
+            : std::nullopt;
     // Map over the split, buffering per key (the map-side sort/combine
     // buffer), then combine and hash-partition into framed segments.
     std::unordered_map<std::string, std::vector<std::string>> buffer;
@@ -219,8 +483,17 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
         },
         map_id);
     mapred::LineReader lines(splits[static_cast<std::size_t>(map_id)]);
-    while (auto line = lines.next()) config.map(*line, ctx);
+    std::uint64_t ticks = 0;
+    while (auto line = lines.next()) {
+      if (crash_at && ++ticks >= *crash_at) {
+        inj->note(fault::Kind::kTaskCrash,
+                  task_subject(kKindMap, map_id, attempt));
+        throw fault::TaskCrash(fault::TaskKind::kMap, map_id, attempt);
+      }
+      config.map(*line, ctx);
+    }
 
+    std::uint64_t pairs = 0;
     std::vector<common::KvWriter> partitions(
         static_cast<std::size_t>(config.reduce_tasks));
     for (auto& [key, values] : buffer) {
@@ -231,7 +504,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
           key, static_cast<std::uint32_t>(config.reduce_tasks));
       for (const auto& value : combined) {
         partitions[p].append(key, value);
-        ++map_output_pairs;
+        ++pairs;
       }
     }
     for (int r = 0; r < config.reduce_tasks; ++r) {
@@ -241,34 +514,100 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
           std::string(reinterpret_cast<const char*>(frame.data()),
                       frame.size()));
     }
+    return pairs;
   };
 
-  auto run_reduce_task = [&](hrpc::RpcClient& rpc, int reduce_id) {
-    // Locate every map's serving tasktracker, then fetch segments by HTTP.
+  auto fetch_locations = [&](hrpc::RpcClient& rpc) {
     const auto loc_bytes = rpc.call(kProtocol, kVersion, "mapLocations", {});
     hrpc::DataIn in(loc_bytes);
     const auto count = in.read_vu64();
     std::vector<int> location;
-    for (std::uint64_t i = 0; i < count; ++i) location.push_back(in.read_i32());
+    location.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      location.push_back(in.read_i32());
+    }
+    return location;
+  };
 
+  struct ReduceOutcome {
+    std::string body;
+    std::uint64_t bytes = 0;
+    std::uint64_t requests = 0;
+  };
+
+  auto run_reduce_task = [&](hrpc::RpcClient& rpc, int reduce_id,
+                             int attempt) -> ReduceOutcome {
+    if (inj) {
+      const auto lag =
+          inj->straggle_delay(fault::TaskKind::kReduce, reduce_id, attempt);
+      if (lag.count() > 0) std::this_thread::sleep_for(lag);
+    }
+    const auto crash_at =
+        inj ? inj->crash_tick(fault::TaskKind::kReduce, reduce_id, attempt)
+            : std::nullopt;
+    hrpc::HttpClientOptions copier_options;
+    copier_options.read_timeout = config.fetch_read_timeout;
+
+    // Locate every map's serving tasktracker, then fetch segments by HTTP.
+    // A failed fetch (injected, transport error, or non-200) backs off,
+    // re-resolves locations — the segment may have been re-executed on
+    // another tracker — and retries; exhausting the budget fails the
+    // attempt (Hadoop's "too many fetch failures" kills the reducer).
+    auto location = fetch_locations(rpc);
     std::map<int, std::unique_ptr<hrpc::HttpClient>> copiers;
     std::unordered_map<std::string, std::vector<std::string>> groups;
+    ReduceOutcome outcome;
+    std::uint64_t ticks = 0;
     for (int m = 0; m < config.map_tasks; ++m) {
-      const int serving = location[static_cast<std::size_t>(m)];
-      auto& copier = copiers[serving];
-      if (!copier) {
-        copier = std::make_unique<hrpc::HttpClient>(
-            *http_servers[static_cast<std::size_t>(serving)]);
+      std::string segment;
+      for (int try_no = 0;; ++try_no) {
+        const int serving = location[static_cast<std::size_t>(m)];
+        bool fetched = false;
+        if (serving >= 0 && !(inj && inj->fail_fetch(m, reduce_id))) {
+          auto& copier = copiers[serving];
+          if (!copier) {
+            copier = std::make_unique<hrpc::HttpClient>(
+                *http_servers[static_cast<std::size_t>(serving)],
+                copier_options);
+          }
+          try {
+            auto response =
+                copier->get("/mapOutput?map=" + std::to_string(m) +
+                            "&reduce=" + std::to_string(reduce_id));
+            if (response.status == 200) {
+              segment = std::move(response.body);
+              ++outcome.requests;
+              fetched = true;
+            }
+          } catch (const std::exception&) {
+            copiers.erase(serving);  // reconnect on the next try
+          }
+        }
+        if (fetched) break;
+        if (try_no + 1 >= config.max_fetch_attempts) {
+          throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
+        }
+        ++shuffle_fetch_retries;
+        if (inj) {
+          inj->record_recovery(fault::Kind::kFetchRetry,
+                               "segment " + std::to_string(m) + "->" +
+                                   std::to_string(reduce_id),
+                               "try " + std::to_string(try_no + 1));
+        }
+        const auto backoff = config.fetch_backoff * (1LL << std::min(try_no, 10));
+        if (backoff.count() > 0) {
+          std::this_thread::sleep_for(backoff);
+          recovery_wall_ns += static_cast<std::uint64_t>(backoff.count());
+        }
+        location = fetch_locations(rpc);
       }
-      const auto response =
-          copier->get("/mapOutput?map=" + std::to_string(m) +
-                      "&reduce=" + std::to_string(reduce_id));
-      if (response.status != 200) {
-        throw std::runtime_error("shuffle fetch failed: " + response.body);
+      if (crash_at && ++ticks >= *crash_at) {
+        inj->note(fault::Kind::kTaskCrash,
+                  task_subject(kKindReduce, reduce_id, attempt));
+        throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
       }
-      ++shuffle_requests;
-      shuffled_bytes += response.body.size();
-      common::KvReader reader(as_bytes(response.body));
+      outcome.bytes += segment.size();
+      common::KvReader reader(as_bytes(segment));
       while (auto pair = reader.next()) {
         groups[std::string(pair->key)].emplace_back(pair->value);
       }
@@ -286,46 +625,96 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       for (const auto& [k, vs] : groups) config.reduce(k, vs, ctx);
     }
 
-    // Write "key\tvalue" lines to the DFS output file.
-    std::string body;
     for (const auto& [k, v] : ctx.take_emitted()) {
-      body += k;
-      body += '\t';
-      body += v;
-      body += '\n';
+      outcome.body += k;
+      outcome.body += '\t';
+      outcome.body += v;
+      outcome.body += '\n';
     }
-    const std::string path =
-        config.output_prefix + "/part-r-" + std::to_string(reduce_id);
-    dfs_.create(path, body);
-    std::lock_guard lock(output_mu);
-    output_files.push_back(path);
+    return outcome;
+  };
+
+  // Heartbeats ride the tracker's fault-retry loop: an injected drop (the
+  // handler throws) comes back as RpcError; the tracker backs off and
+  // retries with the jobtracker none the wiser (heartbeats carry no
+  // one-shot state until one actually gets through).
+  auto heartbeat_call = [&](hrpc::RpcClient& rpc, int tracker_id) {
+    hrpc::DataOut hb;
+    hb.write_i32(tracker_id);
+    for (int try_no = 0;; ++try_no) {
+      try {
+        return rpc.call(kProtocol, kVersion, "heartbeat", hb.buffer());
+      } catch (const hrpc::RpcError&) {
+        ++heartbeat_errors;
+        if (try_no + 1 >= kMaxHeartbeatRetries) throw;
+        const auto backoff =
+            std::chrono::milliseconds(1) * (1 << std::min(try_no, 4));
+        std::this_thread::sleep_for(backoff);
+        recovery_wall_ns += static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(backoff).count());
+      }
+    }
   };
 
   auto tasktracker_main = [&](int tracker_id) {
     try {
       hrpc::RpcClient rpc(jobtracker);
       for (;;) {
-        hrpc::DataOut hb;
-        hb.write_i32(tracker_id);
-        const auto reply =
-            rpc.call(kProtocol, kVersion, "heartbeat", hb.buffer());
+        const auto reply = heartbeat_call(rpc, tracker_id);
         hrpc::DataIn in(reply);
         const auto op = in.read_u8();
         const auto task = in.read_i32();
+        const auto attempt = in.read_i32();
         if (op == kOpExit) break;
         if (op == kOpWait) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
           continue;
         }
-        if (op == kOpMap) {
-          run_map_task(tracker_id, task);
-          hrpc::DataOut done;
-          done.write_i32(task);
-          done.write_i32(tracker_id);
-          rpc.call(kProtocol, kVersion, "mapCompleted", done.buffer());
-        } else {
-          run_reduce_task(rpc, task);
-          rpc.call(kProtocol, kVersion, "reduceCompleted", {});
+        const auto t0 = Clock::now();
+        try {
+          if (op == kOpMap) {
+            const auto pairs = run_map_task(tracker_id, task, attempt);
+            hrpc::DataOut done;
+            done.write_i32(task);
+            done.write_i32(attempt);
+            done.write_i32(tracker_id);
+            const auto ack =
+                rpc.call(kProtocol, kVersion, "mapCompleted", done.buffer());
+            if (hrpc::DataIn(ack).read_u8() != 0) map_output_pairs += pairs;
+          } else {
+            auto outcome = run_reduce_task(rpc, task, attempt);
+            hrpc::DataOut done;
+            done.write_i32(task);
+            done.write_i32(attempt);
+            const auto ack =
+                rpc.call(kProtocol, kVersion, "reduceCompleted", done.buffer());
+            if (hrpc::DataIn(ack).read_u8() != 0) {
+              // This attempt won the commit: its output becomes the
+              // task's official result (losing twins discard theirs).
+              const std::string path = config.output_prefix + "/part-r-" +
+                                       std::to_string(task);
+              dfs_.create(path, outcome.body);
+              shuffled_bytes += outcome.bytes;
+              shuffle_requests += outcome.requests;
+              std::lock_guard lock(output_mu);
+              output_files.push_back(path);
+            }
+          }
+        } catch (const fault::TaskCrash&) {
+          // Injected attempt death: report it; the jobtracker requeues
+          // the task (bounded by max_task_attempts).
+          hrpc::DataOut failed;
+          failed.write_u8(op == kOpMap ? kKindMap : kKindReduce);
+          failed.write_i32(task);
+          failed.write_i32(attempt);
+          rpc.call(kProtocol, kVersion, "taskFailed", failed.buffer());
+        }
+        if (attempt > 0) {
+          // Attempts beyond the first exist only because of recovery
+          // (re-execution or speculation): their wall time is the price
+          // of fault tolerance.
+          recovery_wall_ns += static_cast<std::uint64_t>(
+              std::chrono::nanoseconds(Clock::now() - t0).count());
         }
       }
     } catch (...) {
@@ -344,12 +733,22 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   for (auto& server : http_servers) server->shutdown();
   jobtracker.shutdown();
   if (first_error) std::rethrow_exception(first_error);
+  if (tracker_state.failed) {
+    throw std::runtime_error("MiniCluster: " + tracker_state.failure);
+  }
 
   JobSummary summary;
   summary.map_output_pairs = map_output_pairs.load();
   summary.shuffled_bytes = shuffled_bytes.load();
   summary.shuffle_requests = shuffle_requests.load();
   summary.heartbeats = tracker_state.heartbeats.load();
+  summary.map_reexecutions = tracker_state.map_reexecutions;
+  summary.reduce_reexecutions = tracker_state.reduce_reexecutions;
+  summary.speculative_launches = tracker_state.speculative_launches;
+  summary.shuffle_fetch_retries = shuffle_fetch_retries.load();
+  summary.heartbeat_errors = heartbeat_errors.load();
+  summary.trackers_timed_out = tracker_state.trackers_timed_out;
+  summary.recovery_wall_ns = recovery_wall_ns.load();
   std::sort(output_files.begin(), output_files.end());
   summary.output_files = std::move(output_files);
   return summary;

@@ -42,6 +42,9 @@ class Comm {
     return group_ ? static_cast<int>(group_->size()) : world_->size();
   }
   World& world() const noexcept { return *world_; }
+  /// The communicator's message context (exposed so a fault injector can
+  /// scope transport faults to one communicator's traffic).
+  std::uint64_t context() const noexcept { return context_; }
 
   /// A new communicator with an isolated message context. Every rank must
   /// call dup() the same number of times in the same order (as with
@@ -356,6 +359,10 @@ class Comm {
 
   void check_peer(Rank peer, const char* what) const;
   void check_tag(int tag, const char* what) const;
+
+  /// Delivers a standard-mode send, consulting the world's transport fault
+  /// hook (drop / duplicate / delay / corrupt) when one is installed.
+  void deliver_user(detail::Envelope&& env, Rank dst_world);
 
   World* world_;
   Rank rank_;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -39,6 +40,29 @@
 namespace mpid::minimpi {
 
 class Comm;
+
+/// One message on the send path, as seen by a transport fault hook.
+struct TransportEvent {
+  std::uint64_t context = 0;
+  Rank src = -1;
+  Rank dst = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// What a transport fault hook asks the send path to do with a message.
+/// minimpi stays fault-library-agnostic: mpid::fault (or a test) supplies
+/// the decisions through this plain struct.
+struct TransportFault {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  std::size_t corrupt_offset = 0;  // payload byte to damage (mod size)
+  std::byte corrupt_mask{0x01};    // XORed into that byte
+  std::chrono::nanoseconds delay{0};
+};
+
+using TransportHook = std::function<TransportFault(const TransportEvent&)>;
 
 namespace detail {
 
@@ -153,9 +177,22 @@ class World {
 
   detail::Mailbox& mailbox(Rank r) { return *mailboxes_.at(static_cast<std::size_t>(r)); }
 
+  /// Installs a fault hook consulted on every untagged-context send
+  /// (ssend and collective traffic are exempt). Install-once: the first
+  /// call wins, later calls are no-ops — every rank of a fault-injected
+  /// job installs an equivalent hook, so which thread races first does not
+  /// matter. The read side is one acquire load when no hook is installed.
+  void install_transport_hook(TransportHook hook);
+  const TransportHook* transport_hook() const noexcept {
+    return hook_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::chrono::nanoseconds timeout_ = std::chrono::seconds(60);
+  std::unique_ptr<TransportHook> hook_storage_;
+  std::atomic<TransportHook*> hook_{nullptr};
+  std::mutex hook_mu_;
 };
 
 /// Launches `size` rank threads, each running `rank_main` with a Comm bound

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
@@ -80,6 +81,28 @@ std::optional<Comm> Comm::split(int color, int key) {
   return Comm(*world_, my_new_rank, new_context, std::move(group));
 }
 
+void Comm::deliver_user(detail::Envelope&& env, Rank dst_world) {
+  if (const TransportHook* hook = world_->transport_hook()) {
+    const TransportFault fault = (*hook)(
+        {env.context, env.source, dst_world, env.tag, env.payload.size()});
+    if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+    if (fault.corrupt && !env.payload.empty()) {
+      env.payload[fault.corrupt_offset % env.payload.size()] ^=
+          fault.corrupt_mask;
+    }
+    if (fault.drop) return;
+    if (fault.duplicate) {
+      detail::Envelope copy;
+      copy.context = env.context;
+      copy.source = env.source;
+      copy.tag = env.tag;
+      copy.payload = env.payload;
+      world_->mailbox(dst_world).deliver(std::move(copy));
+    }
+  }
+  world_->mailbox(dst_world).deliver(std::move(env));
+}
+
 void Comm::send_bytes(Rank dst, int tag, std::span<const std::byte> data) {
   check_peer(dst, "send");
   check_tag(tag, "send");
@@ -88,7 +111,7 @@ void Comm::send_bytes(Rank dst, int tag, std::span<const std::byte> data) {
   env.source = to_world(rank_);
   env.tag = tag;
   env.payload.assign(data.begin(), data.end());
-  world_->mailbox(to_world(dst)).deliver(std::move(env));
+  deliver_user(std::move(env), to_world(dst));
 }
 
 void Comm::send_bytes_owned(Rank dst, int tag, std::vector<std::byte>&& data) {
@@ -99,7 +122,7 @@ void Comm::send_bytes_owned(Rank dst, int tag, std::vector<std::byte>&& data) {
   env.source = to_world(rank_);
   env.tag = tag;
   env.payload = std::move(data);
-  world_->mailbox(to_world(dst)).deliver(std::move(env));
+  deliver_user(std::move(env), to_world(dst));
 }
 
 void Comm::ssend_bytes(Rank dst, int tag, std::span<const std::byte> data) {

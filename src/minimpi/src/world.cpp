@@ -154,6 +154,14 @@ World::World(int size) {
   }
 }
 
+void World::install_transport_hook(TransportHook hook) {
+  if (!hook) return;
+  std::lock_guard lock(hook_mu_);
+  if (hook_.load(std::memory_order_relaxed) != nullptr) return;  // first wins
+  hook_storage_ = std::make_unique<TransportHook>(std::move(hook));
+  hook_.store(hook_storage_.get(), std::memory_order_release);
+}
+
 void run_world(int size, std::chrono::nanoseconds timeout,
                const std::function<void(Comm&)>& rank_main) {
   World world(size);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <list>
 #include <memory>
@@ -38,11 +39,28 @@ struct FabricSpec {
   double loopback_bytes_per_second = 1.2e9;
 };
 
+/// Link-level fault applied to one flow by a fault hook: the flow's
+/// achievable rate is multiplied by `rate_factor` (<1 models a degraded
+/// link) and its start is pushed back by `stall` of virtual time.
+struct FlowFault {
+  double rate_factor = 1.0;
+  sim::Time stall = sim::kTimeZero;
+};
+
+/// Consulted once per transfer; the fabric stays fault-library-agnostic
+/// (mpid::fault or a test supplies decisions through this plain struct).
+using FlowFaultHook = std::function<FlowFault(int src, int dst,
+                                              std::uint64_t bytes)>;
+
 class Fabric {
  public:
   Fabric(sim::Engine& engine, int hosts, FabricSpec spec = {});
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  /// Installs the per-flow fault hook (simulation is single-threaded, so
+  /// installation is a plain assignment done before running the engine).
+  void set_fault_hook(FlowFaultHook hook) { fault_hook_ = std::move(hook); }
 
   int hosts() const noexcept { return static_cast<int>(up_.size()); }
   const FabricSpec& spec() const noexcept { return spec_; }
@@ -84,6 +102,7 @@ class Fabric {
 
   sim::Engine& engine_;
   FabricSpec spec_;
+  FlowFaultHook fault_hook_;
   std::vector<double> up_, down_, loop_;  // capacities (constant, per host)
   std::list<Flow> flows_;
   sim::Time last_progress_time_ = sim::kTimeZero;

@@ -35,6 +35,9 @@ sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes,
     throw std::invalid_argument("Fabric::transfer: rate cap must be > 0");
   }
   bytes_carried_ += bytes;
+  FlowFault fault;
+  if (fault_hook_) fault = fault_hook_(src, dst, bytes);
+  if (fault.stall > sim::kTimeZero) co_await engine_.delay(fault.stall);
   if (bytes == 0) {
     co_await engine_.delay(spec_.link_latency);
     co_return;
@@ -46,6 +49,15 @@ sim::Task<> Fabric::transfer(int src, int dst, std::uint64_t bytes,
   flow.dst = dst;
   flow.remaining = static_cast<double>(bytes);
   flow.cap = rate_cap;
+  if (fault.rate_factor < 1.0) {
+    // A degraded link caps the flow below its fair share; the factor
+    // applies to the tighter of the two endpoint links.
+    const double link = src == dst ? loop_[static_cast<std::size_t>(src)]
+                                   : std::min(up_[static_cast<std::size_t>(src)],
+                                              down_[static_cast<std::size_t>(dst)]);
+    flow.cap = std::min(flow.cap,
+                        std::max(fault.rate_factor, 1e-9) * link);
+  }
   flow.done = std::make_unique<sim::Event>(engine_);
   sim::Event& done = *flow.done;
   on_flows_changed();

@@ -1,0 +1,220 @@
+// FaultPlan / FaultInjector unit tests: decisions are pure functions of
+// (seed, site, entities, sequence); scopes gate transport faults; scripted
+// crashes override the probabilistic draw; the log canonicalizes.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mpid/fault/fault.hpp"
+
+namespace mpid::fault {
+namespace {
+
+FaultPlan noisy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.message_drop_prob = 0.1;
+  plan.message_duplicate_prob = 0.1;
+  plan.message_corrupt_prob = 0.1;
+  plan.message_delay_prob = 0.05;
+  plan.message_delay = std::chrono::nanoseconds(0);  // decisions, not sleeps
+  plan.map_crash_prob = 0.5;
+  plan.reduce_crash_prob = 0.5;
+  plan.straggler_prob = 0.3;
+  plan.straggle = std::chrono::nanoseconds(0);
+  plan.heartbeat_drop_prob = 0.2;
+  plan.heartbeat_delay_prob = 0.2;
+  plan.heartbeat_delay = std::chrono::nanoseconds(0);
+  plan.fetch_error_prob = 0.25;
+  return plan;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultInjector a(noisy_plan(7));
+  FaultInjector b(noisy_plan(7));
+  a.add_transport_scope(0x1234, 1);
+  b.add_transport_scope(0x1234, 1);
+  for (int i = 0; i < 200; ++i) {
+    const auto fa = a.on_message(0x1234, 1, 5, 1, 1000);
+    const auto fb = b.on_message(0x1234, 1, 5, 1, 1000);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.duplicate, fb.duplicate);
+    EXPECT_EQ(fa.corrupt, fb.corrupt);
+    EXPECT_EQ(fa.corrupt_offset, fb.corrupt_offset);
+    EXPECT_EQ(fa.delay, fb.delay);
+  }
+  for (int task = 0; task < 8; ++task) {
+    EXPECT_EQ(a.crash_tick(TaskKind::kMap, task, 0),
+              b.crash_tick(TaskKind::kMap, task, 0));
+    EXPECT_EQ(a.crash_tick(TaskKind::kReduce, task, 0),
+              b.crash_tick(TaskKind::kReduce, task, 0));
+    EXPECT_EQ(a.straggle_delay(TaskKind::kMap, task, 0),
+              b.straggle_delay(TaskKind::kMap, task, 0));
+  }
+  for (int t = 0; t < 50; ++t) {
+    const auto ha = a.on_heartbeat(3);
+    const auto hb = b.on_heartbeat(3);
+    EXPECT_EQ(ha.drop, hb.drop);
+    EXPECT_EQ(ha.delay, hb.delay);
+    EXPECT_EQ(a.fail_fetch(2, 1), b.fail_fetch(2, 1));
+  }
+  EXPECT_EQ(a.log().canonical(), b.log().canonical());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(noisy_plan(7));
+  FaultInjector b(noisy_plan(8));
+  a.add_transport_scope(1, 1);
+  b.add_transport_scope(1, 1);
+  int diverged = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto fa = a.on_message(1, 1, 5, 1, 100);
+    const auto fb = b.on_message(1, 1, 5, 1, 100);
+    if (fa.drop != fb.drop || fa.duplicate != fb.duplicate ||
+        fa.corrupt != fb.corrupt) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjector, LanesAreIndependent) {
+  // The n-th message on lane (1,5) gets the same fate no matter how many
+  // messages other lanes carried in between.
+  FaultInjector a(noisy_plan(42));
+  FaultInjector b(noisy_plan(42));
+  a.add_transport_scope(1, 1);
+  b.add_transport_scope(1, 1);
+  std::vector<bool> fates_a;
+  for (int i = 0; i < 100; ++i) {
+    fates_a.push_back(a.on_message(1, 1, 5, 1, 64).drop);
+  }
+  // b interleaves traffic on other lanes.
+  std::vector<bool> fates_b;
+  for (int i = 0; i < 100; ++i) {
+    (void)b.on_message(1, 2, 5, 1, 64);
+    (void)b.on_message(1, 1, 6, 1, 64);
+    fates_b.push_back(b.on_message(1, 1, 5, 1, 64).drop);
+  }
+  EXPECT_EQ(fates_a, fates_b);
+}
+
+TEST(FaultInjector, ScopeGatesTransportFaults) {
+  auto plan = noisy_plan(3);
+  plan.message_drop_prob = 1.0;
+  plan.message_duplicate_prob = 0.0;
+  plan.message_corrupt_prob = 0.0;
+  plan.message_delay_prob = 0.0;
+  FaultInjector inj(plan);
+  inj.add_transport_scope(0xAA, 1);
+  EXPECT_TRUE(inj.in_scope(0xAA, 1));
+  EXPECT_FALSE(inj.in_scope(0xAA, 2));
+  EXPECT_FALSE(inj.in_scope(0xBB, 1));
+  EXPECT_TRUE(inj.on_message(0xAA, 1, 2, 1, 10).drop);
+  EXPECT_FALSE(inj.on_message(0xAA, 1, 2, 2, 10).any());  // wrong tag
+  EXPECT_FALSE(inj.on_message(0xBB, 1, 2, 1, 10).any());  // wrong context
+}
+
+TEST(FaultInjector, ZeroRatesAreInert) {
+  FaultInjector inj{FaultPlan{}};
+  inj.add_transport_scope(1, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.on_message(1, 1, 2, 1, 100).any());
+  }
+  EXPECT_FALSE(inj.crash_tick(TaskKind::kMap, 0, 0).has_value());
+  EXPECT_EQ(inj.straggle_delay(TaskKind::kMap, 0, 0).count(), 0);
+  EXPECT_FALSE(inj.on_heartbeat(0).drop);
+  EXPECT_FALSE(inj.fail_fetch(0, 0));
+  EXPECT_EQ(inj.log().total(), 0u);
+}
+
+TEST(FaultInjector, ScriptedCrashOverridesAndRequeries) {
+  FaultPlan plan;  // zero probabilistic rates
+  plan.scripted_crashes.push_back({TaskKind::kMap, 2, 0, 5});
+  plan.scripted_crashes.push_back({TaskKind::kReduce, 0, 1, 3});
+  FaultInjector inj(plan);
+  // crash_tick is a pure function: asking twice gives the same answer.
+  EXPECT_EQ(inj.crash_tick(TaskKind::kMap, 2, 0), std::make_optional<std::uint64_t>(5));
+  EXPECT_EQ(inj.crash_tick(TaskKind::kMap, 2, 0), std::make_optional<std::uint64_t>(5));
+  EXPECT_EQ(inj.crash_tick(TaskKind::kReduce, 0, 1), std::make_optional<std::uint64_t>(3));
+  EXPECT_FALSE(inj.crash_tick(TaskKind::kMap, 2, 1).has_value());  // next attempt
+  EXPECT_FALSE(inj.crash_tick(TaskKind::kMap, 1, 0).has_value());  // other task
+  EXPECT_FALSE(inj.crash_tick(TaskKind::kReduce, 0, 0).has_value());
+}
+
+TEST(FaultInjector, InjectedAttemptCapStopsCrashes) {
+  FaultPlan plan;
+  plan.map_crash_prob = 1.0;
+  plan.max_injected_attempts = 2;
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.crash_tick(TaskKind::kMap, 0, 0).has_value());
+  EXPECT_TRUE(inj.crash_tick(TaskKind::kMap, 0, 1).has_value());
+  EXPECT_FALSE(inj.crash_tick(TaskKind::kMap, 0, 2).has_value());
+}
+
+TEST(FaultInjector, CrashTickWithinRange) {
+  FaultPlan plan;
+  plan.reduce_crash_prob = 1.0;
+  plan.crash_tick_range = 16;
+  FaultInjector inj(plan);
+  for (int id = 0; id < 64; ++id) {
+    const auto tick = inj.crash_tick(TaskKind::kReduce, id, 0);
+    ASSERT_TRUE(tick.has_value());
+    EXPECT_GE(*tick, 1u);
+    EXPECT_LE(*tick, 16u);
+  }
+}
+
+TEST(FaultLog, CountsAndCanonical) {
+  FaultLog log;
+  log.record(Layer::kTransport, Kind::kMessageDrop, "msg 1->5", "seq 0");
+  log.record(Layer::kRecovery, Kind::kRetransmit, "map:0", "1 frames");
+  log.record(Layer::kTransport, Kind::kMessageDrop, "msg 2->5", "seq 0");
+  EXPECT_EQ(log.count(Kind::kMessageDrop), 2u);
+  EXPECT_EQ(log.count(Kind::kRetransmit), 1u);
+  EXPECT_EQ(log.total(), 3u);
+  const auto canon = log.canonical();
+  ASSERT_EQ(canon.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(canon.begin(), canon.end()));
+}
+
+TEST(FaultLog, CanonicalIsScheduleIndependent) {
+  // Same multiset of events recorded from racing threads -> same canonical
+  // rendering as a serial recording.
+  FaultLog serial;
+  FaultLog racy;
+  for (int i = 0; i < 50; ++i) {
+    serial.record(Layer::kTransport, Kind::kMessageDrop,
+                  "msg 1->" + std::to_string(i));
+    serial.record(Layer::kRecovery, Kind::kRepull,
+                  "reduce:" + std::to_string(i));
+  }
+  std::thread t1([&] {
+    for (int i = 0; i < 50; ++i) {
+      racy.record(Layer::kTransport, Kind::kMessageDrop,
+                  "msg 1->" + std::to_string(i));
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 50; ++i) {
+      racy.record(Layer::kRecovery, Kind::kRepull,
+                  "reduce:" + std::to_string(i));
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(serial.canonical(), racy.canonical());
+}
+
+TEST(FaultKinds, NamesAndLayers) {
+  EXPECT_STREQ(kind_name(Kind::kMessageDrop), "message_drop");
+  EXPECT_EQ(layer_of(Kind::kMessageDrop), Layer::kTransport);
+  EXPECT_EQ(layer_of(Kind::kTaskCrash), Layer::kTask);
+  EXPECT_EQ(layer_of(Kind::kHeartbeatDrop), Layer::kControl);
+  EXPECT_EQ(layer_of(Kind::kRetransmit), Layer::kRecovery);
+  EXPECT_EQ(layer_of(Kind::kSpeculativeLaunch), Layer::kRecovery);
+}
+
+}  // namespace
+}  // namespace mpid::fault

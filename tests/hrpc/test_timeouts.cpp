@@ -1,0 +1,93 @@
+// Timeout + bounded-retry behavior of the RPC and HTTP clients: a dead or
+// wedged server no longer hangs the caller forever (Hadoop's
+// ipc.client.timeout and the shuffle copier's read timeout).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "mpid/hrpc/http.hpp"
+#include "mpid/hrpc/rpc.hpp"
+
+namespace mpid::hrpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RpcTimeout, SlowHandlerTimesOutTheCall) {
+  RpcServer server;
+  server.register_method("P", 1, "slow", [](std::span<const std::byte>) {
+    std::this_thread::sleep_for(300ms);
+    return std::vector<std::byte>{};
+  });
+  RpcClientOptions options;
+  options.call_timeout = 20ms;
+  options.max_retries = 0;
+  RpcClient client(server, options);
+  EXPECT_THROW(client.call("P", 1, "slow", {}), RpcError);
+}
+
+TEST(RpcTimeout, RetryWithFreshCallIdSucceeds) {
+  // The first invocation wedges past the deadline; the retried call (a
+  // fresh call id on the same connection) is served by the second handler
+  // thread and completes. The late response of the abandoned id must be
+  // dropped, not matched to the retry.
+  static std::atomic<int> calls{0};
+  RpcServer server(2);
+  server.register_method("P", 1, "flaky", [](std::span<const std::byte>) {
+    if (calls.fetch_add(1) == 0) std::this_thread::sleep_for(300ms);
+    std::vector<std::byte> ok{std::byte{0x42}};
+    return ok;
+  });
+  RpcClientOptions options;
+  options.call_timeout = 100ms;
+  options.max_retries = 3;
+  RpcClient client(server, options);
+  const auto reply = client.call("P", 1, "flaky", {});
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply[0], std::byte{0x42});
+  EXPECT_GE(calls.load(), 2);
+}
+
+TEST(HttpTimeout, SlowServletTimesOutTheRead) {
+  HttpServer server;
+  server.add_servlet("/slow", [](std::string_view) {
+    std::this_thread::sleep_for(300ms);
+    return std::string("late");
+  });
+  HttpClientOptions options;
+  options.read_timeout = 20ms;
+  options.max_retries = 0;
+  HttpClient client(server, options);
+  EXPECT_THROW(client.get("/slow"), TimedOut);
+}
+
+TEST(HttpTimeout, RetryReconnectsAndSucceeds) {
+  static std::atomic<int> gets{0};
+  HttpServer server;
+  server.add_servlet("/flaky", [](std::string_view) {
+    if (gets.fetch_add(1) == 0) std::this_thread::sleep_for(300ms);
+    return std::string("eventually");
+  });
+  HttpClientOptions options;
+  options.read_timeout = 100ms;
+  options.max_retries = 2;
+  HttpClient client(server, options);
+  const auto response = client.get("/flaky");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "eventually");
+  EXPECT_GE(gets.load(), 2);
+}
+
+TEST(HttpTimeout, FastServerUnaffectedByDeadline) {
+  HttpServer server;
+  server.add_servlet("/ok", [](std::string_view q) { return std::string(q); });
+  HttpClientOptions options;
+  options.read_timeout = 500ms;
+  HttpClient client(server, options);
+  EXPECT_EQ(client.get("/ok?x=1").body, "x=1");
+}
+
+}  // namespace
+}  // namespace mpid::hrpc

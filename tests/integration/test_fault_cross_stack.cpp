@@ -1,0 +1,128 @@
+// The paper's trade-off, exercised end to end: the same WordCount runs on
+// MiniHadoop (tasktracker re-execution) and on MPI-D (resilient shuffle)
+// while a fixed-seed fault plan kills one mapper and one reducer
+// mid-shuffle on each. Both runtimes must recover to the exact counts of
+// their fault-free runs — and agree with each other.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpid/dfs/minidfs.hpp"
+#include "mpid/fault/fault.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/minihadoop/minihadoop.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace mpid {
+namespace {
+
+mapred::MapFn wordcount_map() {
+  return [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) ctx.emit(line.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  };
+}
+
+mapred::ReduceFn wordcount_reduce() {
+  return [](std::string_view key, std::span<const std::string> values,
+            mapred::ReduceContext& ctx) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    ctx.emit(key, std::to_string(total));
+  };
+}
+
+std::map<std::string, std::uint64_t> parse_dfs_outputs(
+    dfs::MiniDfs& fs, const std::vector<std::string>& files) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& path : files) {
+    std::istringstream in(fs.read(path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      counts[line.substr(0, tab)] += std::stoull(line.substr(tab + 1));
+    }
+  }
+  return counts;
+}
+
+/// Kills map task 1 after 3 records and reduce task 0 after 2 units of
+/// shuffle progress — the same schedule for both runtimes.
+fault::FaultPlan crash_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.scripted_crashes.push_back({fault::TaskKind::kMap, 1, 0, 3});
+  plan.scripted_crashes.push_back({fault::TaskKind::kReduce, 0, 0, 2});
+  return plan;
+}
+
+TEST(FaultCrossStack, BothRuntimesRecoverToFaultFreeOutput) {
+  const auto text = workloads::generate_text({}, 96 * 1024, 4242);
+  constexpr int kMaps = 4;
+  constexpr int kReduces = 2;
+
+  // ---- MiniHadoop: fault-free, then with the crash plan ----
+  dfs::MiniDfs fs(2);
+  fs.create("/in", text);
+  minihadoop::MiniCluster cluster(fs, 2);
+  minihadoop::MiniJobConfig hjob;
+  hjob.map = wordcount_map();
+  hjob.reduce = wordcount_reduce();
+  hjob.input_path = "/in";
+  hjob.output_prefix = "/clean";
+  hjob.map_tasks = kMaps;
+  hjob.reduce_tasks = kReduces;
+  const auto hadoop_clean = cluster.run(hjob);
+
+  auto hadoop_inj = std::make_shared<fault::FaultInjector>(crash_plan());
+  hjob.output_prefix = "/faulted";
+  hjob.fault_injector = hadoop_inj;
+  const auto hadoop_faulted = cluster.run(hjob);
+
+  // Byte-identical per-part output despite one map and one reduce dying.
+  ASSERT_EQ(hadoop_clean.output_files.size(),
+            hadoop_faulted.output_files.size());
+  for (std::size_t i = 0; i < hadoop_clean.output_files.size(); ++i) {
+    EXPECT_EQ(fs.read(hadoop_clean.output_files[i]),
+              fs.read(hadoop_faulted.output_files[i]));
+  }
+  EXPECT_EQ(hadoop_faulted.map_reexecutions, 1u);
+  EXPECT_EQ(hadoop_faulted.reduce_reexecutions, 1u);
+  EXPECT_EQ(hadoop_inj->log().count(fault::Kind::kTaskCrash), 2u);
+
+  // ---- MPI-D: fault-free, then the same plan over the resilient path ----
+  mapred::JobDef mjob;
+  mjob.map = wordcount_map();
+  mjob.reduce = wordcount_reduce();
+  mapred::JobRunner runner(kMaps, kReduces);
+  const auto mpid_clean = runner.run_on_text(mjob, text);
+
+  auto mpid_inj = std::make_shared<fault::FaultInjector>(crash_plan());
+  mjob.tuning.resilient_shuffle = true;
+  mjob.tuning.fault_injector = mpid_inj;
+  mjob.tuning.partition_frame_bytes = 4 * 1024;  // several frames per lane
+  const auto mpid_faulted = runner.run_on_text(mjob, text);
+
+  EXPECT_EQ(mpid_clean.outputs, mpid_faulted.outputs);
+  EXPECT_EQ(mpid_faulted.report.totals.task_restarts, 2u);
+  EXPECT_EQ(mpid_inj->log().count(fault::Kind::kTaskCrash), 2u);
+
+  // ---- and the two recovered runtimes agree with each other ----
+  std::map<std::string, std::uint64_t> mpid_counts;
+  for (const auto& [k, v] : mpid_faulted.outputs) {
+    mpid_counts[k] = std::stoull(v);
+  }
+  EXPECT_EQ(parse_dfs_outputs(fs, hadoop_faulted.output_files), mpid_counts);
+}
+
+}  // namespace
+}  // namespace mpid

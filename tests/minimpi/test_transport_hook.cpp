@@ -1,0 +1,152 @@
+// World transport hook: the seam mpid::fault injects through. The hook
+// sees every user-level eager send and can drop, duplicate, corrupt or
+// delay it; synchronous sends and collectives never pass through it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpid/minimpi/comm.hpp"
+#include "mpid/minimpi/world.hpp"
+
+namespace mpid::minimpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TransportHook, DropsSelectedMessages) {
+  run_world(2, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent& ev) {
+      TransportFault f;
+      f.drop = ev.tag == 42;
+      return f;
+    });
+    if (comm.rank() == 0) {
+      comm.send_string(1, 42, "lost");
+      comm.send_string(1, 7, "kept");
+    } else {
+      // The dropped message never arrives; the later one does (and the
+      // drop does not block the lane).
+      EXPECT_EQ(comm.recv_string(0, 7), "kept");
+      EXPECT_FALSE(comm.iprobe(0, 42).has_value());
+    }
+  });
+}
+
+TEST(TransportHook, DuplicatesDeliverTwice) {
+  run_world(2, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent& ev) {
+      TransportFault f;
+      f.duplicate = ev.tag == 9;
+      return f;
+    });
+    if (comm.rank() == 0) {
+      comm.send_string(1, 9, "twice");
+    } else {
+      EXPECT_EQ(comm.recv_string(0, 9), "twice");
+      EXPECT_EQ(comm.recv_string(0, 9), "twice");
+      EXPECT_FALSE(comm.iprobe(0, 9).has_value());
+    }
+  });
+}
+
+TEST(TransportHook, CorruptsOnePayloadByte) {
+  run_world(2, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent&) {
+      TransportFault f;
+      f.corrupt = true;
+      f.corrupt_offset = 0;
+      f.corrupt_mask = std::byte{0x20};  // 'a' ^ 0x20 = 'A'
+      return f;
+    });
+    if (comm.rank() == 0) {
+      comm.send_string(1, 1, "abc");
+    } else {
+      EXPECT_EQ(comm.recv_string(0, 1), "Abc");
+    }
+  });
+}
+
+TEST(TransportHook, DelayOnlyStillDelivers) {
+  run_world(2, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent&) {
+      TransportFault f;
+      f.delay = 2ms;
+      return f;
+    });
+    if (comm.rank() == 0) {
+      comm.send_string(1, 3, "late but intact");
+    } else {
+      EXPECT_EQ(comm.recv_string(0, 3), "late but intact");
+    }
+  });
+}
+
+TEST(TransportHook, CollectivesBypassTheHook) {
+  // A drop-everything hook must not break collectives: they use their own
+  // reliable path (and ssend is exempt too).
+  run_world(3, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent&) {
+      TransportFault f;
+      f.drop = true;
+      return f;
+    });
+    const int value = comm.bcast_value(comm.rank() == 0 ? 123 : 0, 0);
+    EXPECT_EQ(value, 123);
+    const int sum = comm.allreduce_value(
+        comm.rank() + 1, [](int& acc, int in) { acc += in; });
+    EXPECT_EQ(sum, 6);
+    comm.barrier();
+  });
+}
+
+TEST(TransportHook, FirstInstallWins) {
+  run_world(2, [](Comm& comm) {
+    comm.world().install_transport_hook([](const TransportEvent&) {
+      TransportFault f;
+      f.corrupt = true;
+      f.corrupt_offset = 0;
+      f.corrupt_mask = std::byte{0x01};
+      return f;
+    });
+    // A second install is ignored: the message is corrupted, not dropped.
+    comm.world().install_transport_hook([](const TransportEvent&) {
+      TransportFault f;
+      f.drop = true;
+      return f;
+    });
+    if (comm.rank() == 0) {
+      comm.send_string(1, 2, "x");  // 'x' ^ 0x01 = 'y'
+    } else {
+      EXPECT_EQ(comm.recv_string(0, 2), "y");
+    }
+  });
+}
+
+TEST(TransportHook, EventCarriesTheMessageShape) {
+  run_world(2, [](Comm& comm) {
+    static std::atomic<int> seen_tag{0};
+    static std::atomic<std::size_t> seen_bytes{0};
+    if (comm.rank() == 1) {
+      comm.world().install_transport_hook([](const TransportEvent& ev) {
+        seen_tag.store(ev.tag);
+        seen_bytes.store(ev.bytes);
+        return TransportFault{};
+      });
+    }
+    comm.barrier();  // hook installed before any user send
+    if (comm.rank() == 0) {
+      comm.send_string(1, 77, "12345");
+    } else {
+      EXPECT_EQ(comm.recv_string(0, 77), "12345");
+      EXPECT_EQ(seen_tag.load(), 77);
+      EXPECT_EQ(seen_bytes.load(), 5u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mpid::minimpi

@@ -1,0 +1,101 @@
+// Fabric fault hook: link degradation caps a flow below its fair share,
+// stalls push its start back, and an mpid::fault injector plugs straight
+// into the hook (deterministically, by flow lane).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mpid/fault/fault.hpp"
+#include "mpid/net/fabric.hpp"
+#include "mpid/sim/engine.hpp"
+
+namespace mpid::net {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+constexpr double kMB = 1e6;
+
+FabricSpec flat_spec() {
+  FabricSpec spec;
+  spec.link_bytes_per_second = 100.0 * kMB;
+  spec.link_latency = sim::microseconds(0);
+  spec.loopback_bytes_per_second = 1000.0 * kMB;
+  return spec;
+}
+
+Task<> timed_transfer(Engine& eng, Fabric& fab, int src, int dst,
+                      std::uint64_t bytes, Time& out) {
+  const Time start = eng.now();
+  co_await fab.transfer(src, dst, bytes);
+  out = eng.now() - start;
+}
+
+TEST(FabricFaults, DegradedLinkSlowsTheFlow) {
+  Engine eng;
+  Fabric fab(eng, 2, flat_spec());
+  fab.set_fault_hook([](int, int, std::uint64_t) {
+    FlowFault fault;
+    fault.rate_factor = 0.25;  // the flow crawls at a quarter of the link
+    return fault;
+  });
+  Time elapsed;
+  eng.spawn(timed_transfer(eng, fab, 0, 1,
+                           static_cast<std::uint64_t>(100 * kMB), elapsed));
+  eng.run();
+  // 100 MB at 25 MB/s = 4 s instead of 1 s.
+  EXPECT_NEAR(elapsed.to_seconds(), 4.0, 1e-3);
+}
+
+TEST(FabricFaults, StallDelaysTheStart) {
+  Engine eng;
+  Fabric fab(eng, 2, flat_spec());
+  fab.set_fault_hook([](int, int, std::uint64_t) {
+    FlowFault fault;
+    fault.stall = sim::milliseconds(50);
+    return fault;
+  });
+  Time elapsed;
+  eng.spawn(timed_transfer(eng, fab, 0, 1,
+                           static_cast<std::uint64_t>(10 * kMB), elapsed));
+  eng.run();
+  // 50 ms stall + 10 MB at 100 MB/s = 150 ms.
+  EXPECT_NEAR(elapsed.to_seconds(), 0.150, 1e-3);
+}
+
+TEST(FabricFaults, InjectorDrivesTheHookDeterministically) {
+  fault::FaultPlan plan;
+  plan.seed = 12;
+  plan.link_degrade_prob = 1.0;
+  plan.link_degrade_factor = 0.5;
+
+  auto run_once = [&] {
+    auto inj = std::make_shared<fault::FaultInjector>(plan);
+    Engine eng;
+    Fabric fab(eng, 2, flat_spec());
+    fab.set_fault_hook([inj](int src, int dst, std::uint64_t bytes) {
+      const auto decision = inj->on_flow(src, dst, bytes);
+      FlowFault fault;
+      fault.rate_factor = decision.rate_factor;
+      fault.stall = sim::nanoseconds(decision.stall.count());
+      return fault;
+    });
+    Time elapsed;
+    eng.spawn(timed_transfer(eng, fab, 0, 1,
+                             static_cast<std::uint64_t>(50 * kMB), elapsed));
+    eng.run();
+    EXPECT_GT(inj->log().count(fault::Kind::kLinkDegrade), 0u);
+    return elapsed;
+  };
+
+  const Time first = run_once();
+  // 50 MB at 50 MB/s (degraded) = 1 s; and the same plan degrades the
+  // same flows on every run.
+  EXPECT_NEAR(first.to_seconds(), 1.0, 1e-3);
+  EXPECT_EQ(first, run_once());
+}
+
+}  // namespace
+}  // namespace mpid::net
