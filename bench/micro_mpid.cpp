@@ -127,30 +127,42 @@ mapred::JobDef wordcount(bool with_combiner) {
 /// SystemSpec::map_cpu_bytes_per_second (scaled for the 2011 testbed).
 void BM_MpidWordCount(benchmark::State& state) {
   const bool combine = state.range(0) != 0;
+  const bool flat = state.range(1) != 0;
   workloads::TextSpec text_spec;
   const std::uint64_t bytes = 4 * 1024 * 1024;
   const auto text = workloads::generate_text(text_spec, bytes, 42);
   const mapred::JobRunner runner(4, 2);
-  const auto job = wordcount(combine);
+  auto job = wordcount(combine);
+  job.tuning.flat_combine_table = flat;
 
   std::uint64_t sent_bytes = 0, sent_pairs = 0, stall_ns = 0;
+  std::uint64_t combine_ns = 0, spill_ns = 0, table_peak = 0, recycles = 0;
   for (auto _ : state) {
     const auto result = runner.run_on_text(job, text);
     benchmark::DoNotOptimize(result.outputs.size());
     sent_bytes = result.report.totals.bytes_sent;
     sent_pairs = result.report.totals.pairs_after_combine;
     stall_ns += result.report.totals.flush_wait_ns;
+    combine_ns += result.report.totals.combine_ns;
+    spill_ns += result.report.totals.spill_ns;
+    table_peak = result.report.totals.table_bytes_peak;
+    recycles += result.report.totals.arena_recycles;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(text.size()));
   state.counters["intermediate_bytes"] = static_cast<double>(sent_bytes);
   state.counters["pairs_transmitted"] = static_cast<double>(sent_pairs);
   state.counters["mapper_stall_s"] = static_cast<double>(stall_ns) * 1e-9;
+  state.counters["combine_s"] = static_cast<double>(combine_ns) * 1e-9;
+  state.counters["spill_s"] = static_cast<double>(spill_ns) * 1e-9;
+  state.counters["table_bytes_peak"] = static_cast<double>(table_peak);
+  state.counters["arena_recycles"] = static_cast<double>(recycles);
 }
 BENCHMARK(BM_MpidWordCount)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgNames({"combiner"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->ArgNames({"combiner", "flat"})
     ->Unit(benchmark::kMillisecond);
 
 /// The same WordCount over the resilient shuffle while the transport

@@ -3,9 +3,11 @@
 # regenerate every table and figure. Outputs land in test_output.txt and
 # bench_output.txt at the repository root.
 #
-# Opt-in extra stage: MPID_TSAN=1 scripts/reproduce.sh additionally runs
+# Opt-in extra stages: MPID_TSAN=1 scripts/reproduce.sh additionally runs
 # the transport test suites under ThreadSanitizer (scripts/check_tsan.sh)
-# in a separate build-tsan tree before the benches.
+# in a separate build-tsan tree before the benches; MPID_ASAN=1 runs the
+# combine-path suites under AddressSanitizer (scripts/check_asan.sh) in a
+# separate build-asan tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +18,10 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 
 if [ "${MPID_TSAN:-0}" = "1" ]; then
   scripts/check_tsan.sh
+fi
+
+if [ "${MPID_ASAN:-0}" = "1" ]; then
+  scripts/check_asan.sh
 fi
 
 {

@@ -46,4 +46,23 @@ constexpr std::uint32_t hash_partition(std::string_view key,
   return static_cast<std::uint32_t>(fnv1a64(key) % num_partitions);
 }
 
+/// Transparent (heterogeneous) hash for std::string-keyed containers:
+/// probes by std::string_view never construct a temporary std::string.
+/// Used by the legacy unordered_map combine buffers kept for A/B runs
+/// against KvCombineTable.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+};
+
+/// Transparent equality companion to TransparentStringHash.
+struct TransparentStringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
 }  // namespace mpid::common

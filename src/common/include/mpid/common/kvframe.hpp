@@ -47,6 +47,11 @@ class KvWriter {
   /// complement of take() that lets buffers cycle writer → wire → pool →
   /// writer without copies.
   void reset(std::vector<std::byte>&& recycled) noexcept;
+  /// Grows the backing buffer to at least `bytes` capacity up front, so a
+  /// spill whose exact size is known (KvCombineTable byte accounting)
+  /// never reallocates mid-append.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+  std::size_t capacity() const noexcept { return buf_.capacity(); }
 
  private:
   std::vector<std::byte> buf_;
@@ -81,6 +86,13 @@ class KvListWriter {
   /// Adds one value to the currently open group; must be called exactly
   /// `value_count` times per begin_group.
   void add_value(std::string_view value);
+  /// Appends values already serialized in this writer's wire format
+  /// (varint-length-prefixed), e.g. streamed straight out of
+  /// KvCombineTable's value slabs. `value_count` says how many of the
+  /// open group's pending values the bytes settle; a multi-chunk run may
+  /// pass 0 for all chunks but the one that closes the tally.
+  void add_encoded_values(std::span<const std::byte> encoded,
+                          std::size_t value_count);
   std::size_t group_count() const noexcept { return groups_; }
   std::size_t byte_size() const noexcept { return buf_.size(); }
   const std::vector<std::byte>& buffer() const noexcept { return buf_; }
@@ -88,6 +100,9 @@ class KvListWriter {
   void clear() noexcept;
   /// Adopts `recycled` as the backing buffer (see KvWriter::reset).
   void reset(std::vector<std::byte>&& recycled) noexcept;
+  /// Pre-sizes the backing buffer (see KvWriter::reserve).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+  std::size_t capacity() const noexcept { return buf_.capacity(); }
 
  private:
   std::vector<std::byte> buf_;

@@ -114,6 +114,19 @@ void KvListWriter::add_value(std::string_view value) {
   --pending_values_;
 }
 
+void KvListWriter::add_encoded_values(std::span<const std::byte> encoded,
+                                      std::size_t value_count) {
+  if (pending_values_ == 0) {
+    throw std::logic_error(
+        "KvListWriter: add_encoded_values without open group");
+  }
+  if (value_count > pending_values_) {
+    throw std::logic_error("KvListWriter: add_encoded_values over-settles");
+  }
+  buf_.insert(buf_.end(), encoded.begin(), encoded.end());
+  pending_values_ -= value_count;
+}
+
 std::vector<std::byte> KvListWriter::take() noexcept {
   groups_ = 0;
   pending_values_ = 0;

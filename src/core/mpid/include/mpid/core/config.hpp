@@ -93,6 +93,15 @@ struct Config {
   /// value-list append and a spill copy.
   bool direct_realign = false;
 
+  /// Buffer MPI_D_Send pairs in common::KvCombineTable — an open-
+  /// addressing flat table whose keys live in a bump-pointer arena and
+  /// whose value lists are slab-allocated block chains — instead of a
+  /// node-based std::unordered_map. Spills drain the arenas back to empty
+  /// without freeing, so steady-state mapping allocates nothing per pair.
+  /// Disabling falls back to the original unordered_map buffer (kept for
+  /// A/B benchmarking, like pipelined_shuffle).
+  bool flat_combine_table = true;
+
   /// Frame buffer recycler shared by the ranks of a job; null selects the
   /// process-wide FramePool::process_pool() (in-process worlds run every
   /// rank as a thread, so reducers recycle buffers straight to mappers).
@@ -135,6 +144,21 @@ struct Stats {
   /// exists to drive it toward zero.
   std::uint64_t flush_wait_ns = 0;
 
+  // --- combine-path accounting (the memory side of the map stage) ---
+  /// Wall time inside the user combiner (incremental and spill-time runs,
+  /// including value materialization around the call). Spill-time
+  /// combining also counts toward spill_ns.
+  std::uint64_t combine_ns = 0;
+  /// Wall time of hash-buffer spill rounds: drain, realignment into
+  /// partition frames and any frame flushes they trigger.
+  std::uint64_t spill_ns = 0;
+  /// High-water byte footprint of the combine buffer (keys + encoded
+  /// values + bookkeeping). Aggregates as a max across ranks.
+  std::uint64_t table_bytes_peak = 0;
+  /// Spill rounds that recycled the flat table's arenas in place instead
+  /// of freeing (zero on the legacy unordered_map path).
+  std::uint64_t arena_recycles = 0;
+
   // --- recovery counters (resilient shuffle; zero on clean runs) ---
   std::uint64_t frames_retransmitted = 0;   // frames re-sent after NACK/REPULL
   std::uint64_t retransmit_requests = 0;    // NACK/REPULL messages serviced
@@ -153,6 +177,12 @@ struct Stats {
     bytes_received += rhs.bytes_received;
     pairs_received += rhs.pairs_received;
     flush_wait_ns += rhs.flush_wait_ns;
+    combine_ns += rhs.combine_ns;
+    spill_ns += rhs.spill_ns;
+    if (rhs.table_bytes_peak > table_bytes_peak) {
+      table_bytes_peak = rhs.table_bytes_peak;  // a peak, not a volume
+    }
+    arena_recycles += rhs.arena_recycles;
     frames_retransmitted += rhs.frames_retransmitted;
     retransmit_requests += rhs.retransmit_requests;
     corrupt_frames_dropped += rhs.corrupt_frames_dropped;

@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "mpid/common/framepool.hpp"
+#include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
+#include "mpid/common/kvtable.hpp"
 #include "mpid/core/config.hpp"
 #include "mpid/fault/fault.hpp"
 #include "mpid/minimpi/comm.hpp"
@@ -125,26 +127,19 @@ class MpiD {
     std::size_t bytes = 0;
   };
 
-  /// Transparent hashing so MPI_D_Send can look keys up by string_view
-  /// without allocating a temporary std::string per pair (the hot path).
-  struct KeyHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  struct KeyEqual {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const noexcept {
-      return a == b;
-    }
-  };
-
   void spill();
+  void spill_legacy();
+  void spill_flat();
   void append_to_partition(std::size_t partition, std::string_view key,
                            std::vector<std::string>&& values);
   void flush_partition(std::size_t partition);
   void run_combiner(std::string_view key, ValueList& entry);
+  /// Incremental in-place combine of one flat-table entry (collect →
+  /// combiner → replace); timed into Stats::combine_ns.
+  void combine_flat_entry(std::string_view key, std::uint32_t index);
+  /// Streams one flat-table entry into its partition frame, running the
+  /// combiner / value sort through scratch storage only when configured.
+  void realign_flat_entry(const common::KvCombineTable::EntryView& entry);
 
   // --- resilient shuffle (Config::resilient_shuffle) ---
   bool resilient() const noexcept { return config_.resilient_shuffle; }
@@ -187,10 +182,22 @@ class MpiD {
   std::shared_ptr<common::FramePool> pool_;
   bool direct_realign_ = false;  // resolved from config at init
 
-  // Mapper state.
-  std::unordered_map<std::string, ValueList, KeyHash, KeyEqual> buffer_;
+  // Mapper state. Exactly one of the two buffers is active per config:
+  // the flat combine table (Config::flat_combine_table, default) or the
+  // legacy node-based map kept for A/B benchmarking. Transparent hashing
+  // keeps the legacy probe free of temporary std::string construction.
+  bool flat_table_ = false;  // resolved from config at init
+  common::KvCombineTable table_;
+  std::vector<std::string> combine_scratch_;  // reused value materialization
+  std::unordered_map<std::string, ValueList, common::TransparentStringHash,
+                     common::TransparentStringEq>
+      buffer_;
   std::size_t buffered_bytes_ = 0;
   std::vector<common::KvListWriter> partitions_;
+  /// Capacity frames are reserved/acquired at: the flush threshold plus
+  /// the table's worst-case single-entry overshoot, so an append never
+  /// reallocates a frame mid-spill.
+  std::size_t frame_capacity_hint_ = 0;
   /// Outstanding nonblocking frame sends, one bounded window per
   /// destination reducer (Config::max_inflight_frames).
   std::vector<std::deque<minimpi::Request>> inflight_;

@@ -92,6 +92,8 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
   // free: no combiner to batch for, no sorted runs to build.
   direct_realign_ = config_.direct_realign && !config_.combiner &&
                     !config_.sort_keys && !config_.sort_values;
+  flat_table_ = config_.flat_combine_table;
+  frame_capacity_hint_ = config_.partition_frame_bytes;
   const auto rank = comm.rank();
   if (rank == 0) {
     role_ = Role::kMaster;
@@ -188,6 +190,19 @@ void MpiD::send(std::string_view key, std::string_view value) {
     return;
   }
 
+  if (flat_table_) {
+    // Flat combine table: the append bumps two arenas and touches one
+    // contiguous control-byte run — no node allocation, no key copy
+    // beyond the one-time interning, no small-string churn.
+    const std::size_t count = table_.append(key, value);
+    if (config_.inline_combine_threshold > 0 && config_.combiner &&
+        count >= config_.inline_combine_threshold) {
+      combine_flat_entry(key, table_.last_index());
+    }
+    if (table_.bytes_used() >= config_.spill_threshold_bytes) spill();
+    return;
+  }
+
   auto it = buffer_.find(key);  // transparent: no temporary string
   const bool inserted = it == buffer_.end();
   if (inserted) {
@@ -210,14 +225,117 @@ void MpiD::send(std::string_view key, std::string_view value) {
 }
 
 void MpiD::run_combiner(std::string_view key, ValueList& entry) {
+  const std::uint64_t start = now_ns();
   entry.values = config_.combiner(key, std::move(entry.values));
   entry.bytes = 0;
   for (const auto& v : entry.values) entry.bytes += v.size();
+  stats_.combine_ns += now_ns() - start;
+}
+
+void MpiD::combine_flat_entry(std::string_view key, std::uint32_t index) {
+  // Addressed by the dense index the append just returned: the combine
+  // cycle costs zero additional probes.
+  const std::uint64_t start = now_ns();
+  combine_scratch_.clear();
+  auto cursor = table_.entry_at(index).values;
+  while (auto v = cursor.next()) combine_scratch_.emplace_back(*v);
+  combine_scratch_ = config_.combiner(key, std::move(combine_scratch_));
+  table_.replace_at(index, combine_scratch_);
+  combine_scratch_.clear();
+  stats_.combine_ns += now_ns() - start;
 }
 
 void MpiD::spill() {
+  if (flat_table_) {
+    spill_flat();
+  } else {
+    spill_legacy();
+  }
+}
+
+void MpiD::realign_flat_entry(const common::KvCombineTable::EntryView& entry) {
+  // The table caches fnv1a64(key) per entry, which is exactly what the
+  // default partitioner computes — no rehash unless one is configured.
+  const auto partition = static_cast<std::size_t>(
+      config_.partitioner
+          ? partition_for(entry.key)
+          : static_cast<std::uint32_t>(
+                entry.key_hash % static_cast<std::uint32_t>(config_.reducers)));
+  if ((config_.combiner || config_.sort_values) && entry.value_count > 1) {
+    // Combining and value sorting need materialized std::strings; the
+    // scratch vector is reused across entries. Single-value entries — the
+    // bulk of a skewed stream's key tail — skip both: a one-element list
+    // is already sorted, and the MapReduce combiner contract (it may run
+    // zero or more times) makes the combiner a no-op on a single value.
+    combine_scratch_.clear();
+    auto cursor = entry.values;
+    while (auto v = cursor.next()) combine_scratch_.emplace_back(*v);
+    if (config_.combiner) {
+      const std::uint64_t start = now_ns();
+      combine_scratch_ =
+          config_.combiner(entry.key, std::move(combine_scratch_));
+      stats_.combine_ns += now_ns() - start;
+    }
+    append_to_partition(partition, entry.key, std::move(combine_scratch_));
+    return;
+  }
+  // No combining, no sorting: the slab chain already holds the frame's
+  // wire format, so the spill block-copies it straight into the partition
+  // frame — each byte moves exactly once, with no per-value re-encode.
+  auto& writer = partitions_[partition];
+  writer.begin_group(entry.key, entry.value_count);
+  auto cursor = entry.values;
+  cursor.drain_to(writer);
+  stats_.pairs_after_combine += entry.value_count;
+  if (writer.byte_size() >= config_.partition_frame_bytes) {
+    flush_partition(partition);
+  }
+}
+
+void MpiD::spill_flat() {
+  if (table_.empty()) return;
+  ++stats_.spills;
+  const std::uint64_t start = now_ns();
+  if (table_.bytes_used() > stats_.table_bytes_peak) {
+    stats_.table_bytes_peak = table_.bytes_used();
+  }
+  // Reserve every frame at the flush threshold plus the table's exact
+  // worst-case single-entry overshoot: no append can reallocate a frame
+  // mid-spill, and pool acquisitions reuse the same bound.
+  frame_capacity_hint_ =
+      config_.partition_frame_bytes + table_.max_entry_frame_bytes();
+  for (auto& writer : partitions_) writer.reserve(frame_capacity_hint_);
+  try {
+    table_.for_each(config_.sort_keys,
+                    [this](const common::KvCombineTable::EntryView& entry) {
+                      realign_flat_entry(entry);
+                    });
+  } catch (...) {
+    // Match the legacy drain-then-partition semantics: the buffer is
+    // emptied even when a partitioner/combiner throws mid-realignment,
+    // so a recovering caller can still finalize cleanly.
+    table_.recycle();
+    stats_.spill_ns += now_ns() - start;
+    throw;
+  }
+  // Drain the arenas back to empty without freeing: the next map burst
+  // reuses every chunk, slot and slab block.
+  table_.recycle();
+  ++stats_.arena_recycles;
+  if (config_.sort_keys) {
+    // Keep every shipped frame a single sorted run (see spill_legacy).
+    for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
+  }
+  stats_.spill_ns += now_ns() - start;
+}
+
+void MpiD::spill_legacy() {
   if (buffer_.empty()) return;
   ++stats_.spills;
+  const std::uint64_t start = now_ns();
+  if (buffered_bytes_ > stats_.table_bytes_peak) {
+    stats_.table_bytes_peak = buffered_bytes_;
+  }
 
   // Drain the hash table. With sort_keys the keys of this spill round are
   // emitted in lexicographic order (within each partition frame).
@@ -244,6 +362,7 @@ void MpiD::spill() {
     // reducer-side SortedFrameMerger would see a second ascending run.
     for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
   }
+  stats_.spill_ns += now_ns() - start;
 }
 
 void MpiD::append_to_partition(std::size_t partition, std::string_view key,
@@ -279,7 +398,7 @@ void MpiD::flush_partition(std::size_t partition) {
     auto payload = writer.take();
     // Re-arm the writer before the frame leaves (same turnaround as the
     // pipelined path below).
-    writer.reset(pool_->acquire(config_.partition_frame_bytes));
+    writer.reset(pool_->acquire(frame_capacity_hint_));
     send_frame_resilient(partition, std::move(payload));
     ++stats_.frames_sent;
     stats_.flush_wait_ns += now_ns() - start;
@@ -290,7 +409,7 @@ void MpiD::flush_partition(std::size_t partition) {
     stats_.bytes_sent += frame.size();
     // Re-arm the writer from the pool before the frame leaves: the next
     // pair can be serialized while this frame is still in flight.
-    writer.reset(pool_->acquire(config_.partition_frame_bytes));
+    writer.reset(pool_->acquire(frame_capacity_hint_));
     auto& window = inflight_[partition];
     while (window.size() >= config_.max_inflight_frames) {
       window.front().wait();
@@ -790,6 +909,7 @@ void MpiD::restart_mapper() {
   ++stats_.task_restarts;
   buffer_.clear();
   buffered_bytes_ = 0;
+  if (flat_table_ && !table_.empty()) table_.recycle();
   for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
   for (auto& writer : partitions_) writer.clear();
   for (auto& lane : lanes_) {

@@ -54,6 +54,11 @@ struct MiniJobConfig {
   int reduce_tasks = 2;
   /// Present keys to reduce() in sorted order (Hadoop semantics).
   bool sorted_reduce = true;
+  /// Buffer map outputs and reducer groups in common::KvCombineTable
+  /// (flat slots + key arena + value slabs) instead of node-based
+  /// unordered_maps — the same knob as core::Config::flat_combine_table,
+  /// kept for A/B benchmarking of the combine path.
+  bool flat_combine_table = true;
 
   // --- fault tolerance (all Hadoop 0.20 analogs) ---
 

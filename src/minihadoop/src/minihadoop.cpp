@@ -14,6 +14,7 @@
 
 #include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
+#include "mpid/common/kvtable.hpp"
 #include "mpid/hrpc/http.hpp"
 #include "mpid/hrpc/rpc.hpp"
 #include "mpid/hrpc/stream.hpp"
@@ -44,6 +45,31 @@ constexpr int kMaxHeartbeatRetries = 64;
 
 std::span<const std::byte> as_bytes(std::string_view s) {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// The legacy node-based combine buffer kept for A/B runs against
+/// KvCombineTable (MiniJobConfig::flat_combine_table = false). Transparent
+/// hashing: probes by string_view never construct a temporary std::string.
+using LegacyKvBuffer =
+    std::unordered_map<std::string, std::vector<std::string>,
+                       common::TransparentStringHash,
+                       common::TransparentStringEq>;
+
+void legacy_buffer_append(LegacyKvBuffer& buffer, std::string_view key,
+                          std::string_view value) {
+  auto it = buffer.find(key);
+  if (it == buffer.end()) {
+    it = buffer.emplace(std::string(key), std::vector<std::string>{}).first;
+  }
+  it->second.emplace_back(value);
+}
+
+/// Materializes one flat-table entry's values into `out` (cleared first).
+void materialize_values(const common::KvCombineTable::EntryView& entry,
+                        std::vector<std::string>& out) {
+  out.clear();
+  auto cursor = entry.values;
+  while (auto v = cursor.next()) out.emplace_back(*v);
 }
 
 std::string task_subject(std::uint8_t kind, int id, int attempt) {
@@ -475,12 +501,21 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
         inj ? inj->crash_tick(fault::TaskKind::kMap, map_id, attempt)
             : std::nullopt;
     // Map over the split, buffering per key (the map-side sort/combine
-    // buffer), then combine and hash-partition into framed segments.
-    std::unordered_map<std::string, std::vector<std::string>> buffer;
+    // buffer), then combine and hash-partition into framed segments. The
+    // buffer is the flat combine table by default; the node-based map is
+    // the A/B fallback.
+    common::KvCombineTable table;
+    LegacyKvBuffer buffer;
     mapred::MapContext ctx(
-        [&](std::string_view k, std::string_view v) {
-          buffer[std::string(k)].emplace_back(v);
-        },
+        config.flat_combine_table
+            ? mapred::MapContext::Sink(
+                  [&](std::string_view k, std::string_view v) {
+                    table.append(k, v);
+                  })
+            : mapred::MapContext::Sink(
+                  [&](std::string_view k, std::string_view v) {
+                    legacy_buffer_append(buffer, k, v);
+                  }),
         map_id);
     mapred::LineReader lines(splits[static_cast<std::size_t>(map_id)]);
     std::uint64_t ticks = 0;
@@ -496,15 +531,41 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     std::uint64_t pairs = 0;
     std::vector<common::KvWriter> partitions(
         static_cast<std::size_t>(config.reduce_tasks));
-    for (auto& [key, values] : buffer) {
-      auto combined = config.combiner
-                          ? config.combiner(key, std::move(values))
-                          : std::move(values);
-      const auto p = common::hash_partition(
-          key, static_cast<std::uint32_t>(config.reduce_tasks));
-      for (const auto& value : combined) {
-        partitions[p].append(key, value);
-        ++pairs;
+    if (config.flat_combine_table) {
+      std::vector<std::string> scratch;
+      table.for_each(false, [&](const common::KvCombineTable::EntryView& e) {
+        // e.key_hash is the cached fnv1a64(key) — the hash_partition hash.
+        const auto p = static_cast<std::size_t>(
+            e.key_hash % static_cast<std::uint32_t>(config.reduce_tasks));
+        if (config.combiner && e.value_count > 1) {
+          materialize_values(e, scratch);
+          scratch = config.combiner(e.key, std::move(scratch));
+          for (const auto& value : scratch) {
+            partitions[p].append(e.key, value);
+            ++pairs;
+          }
+        } else {
+          // Values stream from the slab chain into the frame unchanged.
+          // Single-value entries take this path even with a combiner: the
+          // combiner contract (zero-or-more runs) makes it a no-op there.
+          auto cursor = e.values;
+          while (auto v = cursor.next()) {
+            partitions[p].append(e.key, *v);
+            ++pairs;
+          }
+        }
+      });
+    } else {
+      for (auto& [key, values] : buffer) {
+        auto combined = config.combiner
+                            ? config.combiner(key, std::move(values))
+                            : std::move(values);
+        const auto p = common::hash_partition(
+            key, static_cast<std::uint32_t>(config.reduce_tasks));
+        for (const auto& value : combined) {
+          partitions[p].append(key, value);
+          ++pairs;
+        }
       }
     }
     for (int r = 0; r < config.reduce_tasks; ++r) {
@@ -555,7 +616,10 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     // attempt (Hadoop's "too many fetch failures" kills the reducer).
     auto location = fetch_locations(rpc);
     std::map<int, std::unique_ptr<hrpc::HttpClient>> copiers;
-    std::unordered_map<std::string, std::vector<std::string>> groups;
+    // Reducer-side grouping buffer: flat table by default, node-based
+    // map as the A/B fallback (same knob as the map side).
+    common::KvCombineTable group_table;
+    LegacyKvBuffer groups;
     ReduceOutcome outcome;
     std::uint64_t ticks = 0;
     for (int m = 0; m < config.map_tasks; ++m) {
@@ -608,19 +672,33 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       }
       outcome.bytes += segment.size();
       common::KvReader reader(as_bytes(segment));
-      while (auto pair = reader.next()) {
-        groups[std::string(pair->key)].emplace_back(pair->value);
+      if (config.flat_combine_table) {
+        while (auto pair = reader.next()) {
+          group_table.append(pair->key, pair->value);
+        }
+      } else {
+        while (auto pair = reader.next()) {
+          legacy_buffer_append(groups, pair->key, pair->value);
+        }
       }
     }
 
     mapred::ReduceContext ctx(reduce_id);
-    if (config.sorted_reduce) {
+    if (config.flat_combine_table) {
+      std::vector<std::string> scratch;
+      group_table.for_each(
+          config.sorted_reduce,
+          [&](const common::KvCombineTable::EntryView& e) {
+            materialize_values(e, scratch);
+            config.reduce(e.key, scratch, ctx);
+          });
+    } else if (config.sorted_reduce) {
       std::vector<const std::string*> keys;
       keys.reserve(groups.size());
       for (const auto& [k, vs] : groups) keys.push_back(&k);
       std::sort(keys.begin(), keys.end(),
                 [](const auto* a, const auto* b) { return *a < *b; });
-      for (const auto* k : keys) config.reduce(*k, groups.at(*k), ctx);
+      for (const auto* k : keys) config.reduce(*k, groups.find(*k)->second, ctx);
     } else {
       for (const auto& [k, vs] : groups) config.reduce(k, vs, ctx);
     }

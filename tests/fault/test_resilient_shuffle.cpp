@@ -163,6 +163,35 @@ TEST(ResilientShuffle, ProbabilisticCrashesEventuallySucceed) {
   EXPECT_EQ(faulted.report.totals.task_restarts, 8u);
 }
 
+TEST(ResilientShuffle, FlatCombineTableSurvivesFaults) {
+  // The arena-backed combine buffer (flat_combine_table) must interact
+  // correctly with recovery: a restarted mapper recycles its table and
+  // re-emits, and the faulted run still matches a fault-free run on the
+  // legacy node-based buffer.
+  const auto text = synthetic_text(400, 8);
+  JobRunner runner(3, 2);
+  JobDef legacy = wordcount_job();
+  legacy.tuning.flat_combine_table = false;
+  const auto baseline = runner.run_on_text(legacy, text);
+
+  fault::FaultPlan plan;
+  plan.seed = 21;
+  plan.message_drop_prob = 0.1;
+  plan.message_corrupt_prob = 0.05;
+  plan.scripted_crashes.push_back({fault::TaskKind::kMap, 0, 0, 7});
+  auto inj = std::make_shared<fault::FaultInjector>(plan);
+  JobDef job = resilient_job(inj);
+  job.tuning.flat_combine_table = true;
+  const auto faulted = runner.run_on_text(job, text);
+
+  EXPECT_EQ(baseline.outputs, faulted.outputs);
+  EXPECT_EQ(faulted.report.totals.task_restarts, 1u);
+  // The small spill threshold forces spill rounds, each recycling the
+  // table's arenas in place.
+  EXPECT_GT(faulted.report.totals.arena_recycles, 0u);
+  EXPECT_GT(faulted.report.totals.table_bytes_peak, 0u);
+}
+
 TEST(ResilientShuffle, StreamingMergePathSurvivesFaults) {
   const auto text = synthetic_text(300, 6);
   JobRunner runner(2, 2);
