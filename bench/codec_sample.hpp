@@ -1,0 +1,137 @@
+// Representative shuffle frames plus a real-codec measurement pass,
+// shared by the modeled benches (ext_interconnect_shuffle,
+// fig6_wordcount) and micro_codec.
+//
+// The cluster models take a compression ratio as a *data property*
+// (hadoop::JobSpec::shuffle_compression_ratio,
+// mpidsim::MpidJobSpec::shuffle_compression_ratio). Rather than
+// hand-picking that constant, the benches synthesize frames with the
+// modeled workload's statistics, push them through mpid::common::codec
+// and feed the measured ratio into the model — so the modeled win is the
+// real codec's win on that data shape, stored escapes included.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mpid/common/codec.hpp"
+#include "mpid/common/kvframe.hpp"
+#include "mpid/common/prng.hpp"
+#include "mpid/common/zipf.hpp"
+
+namespace mpid::bench {
+
+/// A post-combiner WordCount partition frame: sorted Zipf-1.0 vocabulary
+/// keys, one decimal count per key — the shape both runtimes spill after
+/// the map-side combiner.
+inline std::vector<std::byte> wordcount_frame(std::size_t target_bytes,
+                                              std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  common::KvListWriter writer;
+  writer.reserve(target_bytes + 64);
+  // Zipf counts, generated in key order so the frame is a sorted run:
+  // rank r of a Zipf-1.0 vocabulary appears ~ 1/r times, with
+  // multiplicative jitter so values are not a closed formula.
+  for (std::uint64_t rank = 1; writer.byte_size() < target_bytes; ++rank) {
+    char key[24];
+    std::snprintf(key, sizeof key, "word-%08llu",
+                  static_cast<unsigned long long>(rank));
+    const std::uint64_t count =
+        1 + (1000000 / rank) * (90 + rng.next_below(21)) / 100;
+    writer.begin_group(key, 1);
+    writer.add_value(std::to_string(count));
+  }
+  return writer.take();
+}
+
+/// A GridMix/JavaSort-style frame: one sorted run of hex record keys with
+/// ~90-byte text payloads built from a Zipf word vocabulary (the
+/// map-side sorted spill of a text-record sort, hash-partitioned so keys
+/// share no partition prefix).
+inline std::vector<std::byte> javasort_frame(std::size_t target_bytes,
+                                             std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  // A Zipf-sampled vocabulary of natural-length words (3-10 letters), so
+  // the payloads have real text statistics rather than numeric tokens.
+  common::ZipfSampler word_rank(4096, 1.0);
+  std::vector<std::string> vocabulary;
+  vocabulary.reserve(4096);
+  for (std::size_t w = 0; w < 4096; ++w) {
+    std::string word;
+    const std::size_t len = 3 + rng.next_below(8);
+    for (std::size_t c = 0; c < len; ++c) {
+      word += static_cast<char>('a' + rng.next_below(26));
+    }
+    vocabulary.push_back(std::move(word));
+  }
+  std::vector<std::string> keys;
+  // Random keys, sorted afterwards: a sorted run over a hash-partitioned
+  // keyspace (adjacent keys share only coincidental prefixes).
+  const std::size_t pairs = target_bytes / 100 + 1;
+  keys.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    char key[20];
+    std::snprintf(key, sizeof key, "%016llx",
+                  static_cast<unsigned long long>(rng()));
+    keys.emplace_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  common::KvListWriter writer;
+  writer.reserve(target_bytes + 128);
+  for (const auto& key : keys) {
+    if (writer.byte_size() >= target_bytes) break;
+    std::string value;
+    while (value.size() < 90) {
+      value += vocabulary[word_rank(rng) - 1];
+      value += ' ';
+    }
+    writer.begin_group(key, 1);
+    writer.add_value(value);
+  }
+  return writer.take();
+}
+
+struct CodecSample {
+  double ratio = 1.0;                    // raw bytes / wire bytes
+  double encode_bytes_per_second = 0.0;  // raw bytes over encode time
+  double decode_bytes_per_second = 0.0;  // raw bytes over decode time
+};
+
+/// Encodes and decodes `frame` a few rounds with the real codec and
+/// returns the achieved ratio plus steady-state (best-round) throughput.
+inline CodecSample measure_codec(const std::vector<std::byte>& frame,
+                                 int rounds = 5) {
+  using clock = std::chrono::steady_clock;
+  std::vector<std::byte> wire;
+  std::vector<std::byte> back;
+  CodecSample sample;
+  double best_encode = 1e300;
+  double best_decode = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    wire.clear();  // encode_frame appends (callers may prefix headers)
+    const auto t0 = clock::now();
+    const auto result =
+        common::encode_frame(common::FrameKind::kKvList, frame, wire);
+    const auto t1 = clock::now();
+    common::decode_frame(wire, back);
+    const auto t2 = clock::now();
+    sample.ratio = static_cast<double>(result.raw_bytes) /
+                   static_cast<double>(result.wire_bytes);
+    best_encode = std::min(
+        best_encode, std::chrono::duration<double>(t1 - t0).count());
+    best_decode = std::min(
+        best_decode, std::chrono::duration<double>(t2 - t1).count());
+  }
+  sample.encode_bytes_per_second =
+      static_cast<double>(frame.size()) / best_encode;
+  sample.decode_bytes_per_second =
+      static_cast<double>(frame.size()) / best_decode;
+  return sample;
+}
+
+}  // namespace mpid::bench

@@ -7,8 +7,16 @@
 // Paper anchors: Hadoop 49 s -> 2001 s and MPI-D 3.9 s -> 1129 s across
 // 1/10/100 GB; MPI-D's time is 8% / 48% / 56% of Hadoop's (a 44% saving
 // at 100 GB).
+//
+// A second table re-runs every point with shuffle compression on
+// (mapred.compress.map.output on the Hadoop side, shuffle_compression on
+// the MPI-D side), with the ratio measured from the real codec on
+// post-combiner WordCount frames — the paper anchors stay against the
+// uncompressed baseline.
 #include <cstdio>
 #include <vector>
+
+#include "codec_sample.hpp"
 
 #include "mpid/common/table.hpp"
 #include "mpid/common/units.hpp"
@@ -34,20 +42,34 @@ int main() {
       {1, 49.0, 3.9, 0.08},   {3, -1, -1, -1},     {10, -1, -1, 0.48},
       {30, -1, -1, -1},       {100, 2001.0, 1129.0, 0.56}};
 
+  // The compression tables feed the model the real codec's measured
+  // ratio on post-combiner WordCount frames (auto-mode semantics).
+  const auto codec =
+      bench::measure_codec(bench::wordcount_frame(4 << 20, 7));
+
   common::TextTable table({"input", "Hadoop", "MPI-D system",
                            "MPI-D/Hadoop", "paper ratio"});
+  common::TextTable codec_table({"input", "shuffle raw", "shuffle wire",
+                                 "Hadoop +codec", "MPI-D +codec"});
   for (const auto& p : points) {
-    sim::Engine hadoop_engine;
-    hadoop::Cluster cluster(hadoop_engine, workloads::fig6_hadoop_cluster());
-    const double hadoop_s =
-        cluster.run(workloads::hadoop_wordcount_job(p.gb * GiB))
-            .makespan.to_seconds();
-
-    sim::Engine mpid_engine;
-    mpidsim::MpidSystem system(mpid_engine, workloads::fig6_mpid_system());
-    const double mpid_s =
-        system.run(workloads::mpid_wordcount_job(p.gb * GiB))
-            .makespan.to_seconds();
+    const auto run_hadoop = [&](bool compress) {
+      sim::Engine engine;
+      hadoop::Cluster cluster(engine, workloads::fig6_hadoop_cluster());
+      auto job = workloads::hadoop_wordcount_job(p.gb * GiB);
+      job.compress_map_output = compress;
+      job.shuffle_compression_ratio = codec.ratio;
+      return cluster.run(job).makespan.to_seconds();
+    };
+    const auto run_mpid = [&](bool compress) {
+      sim::Engine engine;
+      mpidsim::MpidSystem system(engine, workloads::fig6_mpid_system());
+      auto job = workloads::mpid_wordcount_job(p.gb * GiB);
+      job.compress_shuffle = compress;
+      job.shuffle_compression_ratio = codec.ratio;
+      return system.run(job).makespan.to_seconds();
+    };
+    const double hadoop_s = run_hadoop(false);
+    const double mpid_s = run_mpid(false);
 
     table.add_row(
         {common::strformat("%llu GB", static_cast<unsigned long long>(p.gb)),
@@ -59,11 +81,38 @@ int main() {
              : common::strformat("%.1f s", mpid_s),
          common::strformat("%.0f%%", 100.0 * mpid_s / hadoop_s),
          p.ratio > 0 ? common::strformat("%.0f%%", 100.0 * p.ratio) : "-"});
+
+    const double hadoop_codec_s = run_hadoop(true);
+    const double mpid_codec_s = run_mpid(true);
+    const double raw_gb = 0.30 * static_cast<double>(p.gb);  // combiner out
+    codec_table.add_row(
+        {common::strformat("%llu GB", static_cast<unsigned long long>(p.gb)),
+         common::strformat("%.1f GB", raw_gb),
+         common::strformat("%.1f GB", raw_gb / codec.ratio),
+         common::strformat("%.1f s (%.2fx)", hadoop_codec_s,
+                           hadoop_s / hadoop_codec_s),
+         common::strformat("%.1f s (%.2fx)", mpid_codec_s,
+                           mpid_s / mpid_codec_s)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Reading: MPI-D wins by an order of magnitude on startup-dominated\n"
       "small jobs and still saves ~40-60%% at 100 GB, where both systems\n"
-      "are bounded by the single reducer — the paper's Figure 6 shape.\n");
+      "are bounded by the single reducer — the paper's Figure 6 shape.\n\n");
+
+  std::printf(
+      "== With shuffle compression (real codec, measured %.2fx on\n"
+      "   post-combiner WordCount frames) ==\n\n%s\n",
+      codec.ratio, codec_table.render().c_str());
+  std::printf(
+      "Reading: the codec cuts the wire volume ~%.0fx, but Figure 6's\n"
+      "makespans barely move — both systems funnel everything into one\n"
+      "reducer whose *processing* rate, not the fabric, is the binding\n"
+      "constraint here (the scalability limit the paper lists as future\n"
+      "work), and MPI-D even pays a small encode/decode tax. The freed\n"
+      "bandwidth is real — ext_interconnect_shuffle isolates the fetch\n"
+      "path and shows the >4x transfer win — it just is not this\n"
+      "workload's bottleneck. Compression composes with, rather than\n"
+      "substitutes for, scaling the reducers.\n");
   return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates the repo's perf-trajectory artifacts: runs every micro
+# bench that declares a JSON name (MPID_BENCHMARK_MAIN_JSON) and writes
+# canonical BENCH_<name>.json files at the repo root.
+#
+# This is the one supported way to refresh the repo-root snapshots
+# (gitignored locally; CI uploads them as the bench-json artifact).
+# Running a bench by hand from some other directory drops its JSON
+# wherever the cwd happens to be — which is exactly how the local
+# set drifted from the benches that exist (micro_shuffle_pipeline gained
+# a JSON name without its snapshot ever landing). The script passes
+# --benchmark_out explicitly so the artifact always lands at the root,
+# regardless of cwd, and fails if any declared bench is missing.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+
+# The canonical list: keep in sync with MPID_BENCHMARK_MAIN_JSON uses.
+BENCHES=(micro_mpid micro_shuffle_pipeline micro_kvtable micro_codec)
+
+cmake --build "$BUILD_DIR" --target "${BENCHES[@]}" -j
+
+for name in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_snapshot: missing $bin" >&2
+    exit 1
+  fi
+  echo "=== $name -> BENCH_$name.json ==="
+  "$bin" --benchmark_out="BENCH_$name.json" --benchmark_out_format=json
+done
+
+echo "Snapshot complete: ${BENCHES[*]/#/BENCH_}"

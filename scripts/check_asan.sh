@@ -8,6 +8,9 @@
 # recycle-in-place spill cycle, and the zero-copy drain into partition
 # frames — exactly the code where a stale arena pointer or an off-by-one
 # in a varint-prefixed slab would corrupt silently in a release build.
+# test_common also carries the shuffle-codec round-trip fuzz
+# (test_codec_fuzz.cpp), so the mutated/truncated wire frames hit the
+# decoder's bounds checks under instrumentation here.
 #
 # Usage: scripts/check_asan.sh [extra gtest args...]
 set -euo pipefail

@@ -1,0 +1,486 @@
+#include "mpid/common/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace mpid::common {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-level varint helpers (LEB128, matching kvframe.cpp's wire varints but
+// operating on std::byte buffers).
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Bounds-checked varint read; advances `pos`. Throws on truncation or a
+/// varint longer than 64 bits.
+std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size()) throw std::runtime_error("codec: truncated varint");
+    if (shift >= 64) throw std::runtime_error("codec: varint overflow");
+    const auto b = static_cast<std::uint8_t>(in[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::string_view view_of(std::span<const std::byte> in, std::size_t pos,
+                         std::size_t len) {
+  return {reinterpret_cast<const char*>(in.data()) + pos, len};
+}
+
+void append_bytes(std::vector<std::byte>& out, std::string_view bytes) {
+  const auto* p = reinterpret_cast<const std::byte*>(bytes.data());
+  out.insert(out.end(), p, p + bytes.size());
+}
+
+/// Reads `len` raw bytes as a view; advances `pos`. Throws on truncation.
+std::string_view get_bytes(std::span<const std::byte> in, std::size_t& pos,
+                           std::size_t len) {
+  if (len > in.size() - pos) throw std::runtime_error("codec: truncated bytes");
+  const auto v = view_of(in, pos, len);
+  pos += len;
+  return v;
+}
+
+std::size_t shared_prefix(std::string_view a, std::string_view b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// KV transform.
+//
+// Transformed stream layout (all varints):
+//
+//   group*  := [shared][suffix_len][suffix bytes][value tokens...]
+//   tokens  := for kKvList frames, exactly the group's `count` values; for
+//              kKvPair frames, exactly one value per "group" (each pair is
+//              its own group — equal adjacent keys still share prefixes).
+//
+// A value token is  [(run_len << 1) | is_dict]  followed by either
+// [dict_id] (is_dict) or [vlen][value bytes] (literal). `run_len` counts
+// consecutive identical values collapsed into the token (>= 1). Literal
+// values are appended to the dictionary when they fit the caps below; the
+// decoder mirrors the same rule, so dict ids agree without shipping the
+// dictionary.
+//
+// Group counts are NOT re-encoded: the token run lengths reconstruct them.
+// For kKvList the group is terminated by an explicit total-count varint
+// before the tokens so the decoder can rebuild the [count] field exactly.
+
+constexpr std::size_t kDictMaxEntries = 1 << 16;
+constexpr std::size_t kDictMaxValueLen = 256;
+
+class ValueDict {
+ public:
+  /// Returns the id of `v` if present, else nullopt.
+  std::optional<std::uint32_t> find(std::string_view v) const {
+    if (v.size() > kDictMaxValueLen) return std::nullopt;
+    const auto it = ids_.find(std::string(v));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts `v` if caps allow; both encoder and decoder call this with the
+  /// same literals in the same order, keeping ids in sync.
+  void maybe_add(std::string_view v) {
+    if (v.size() > kDictMaxValueLen || entries_.size() >= kDictMaxEntries)
+      return;
+    auto [it, inserted] =
+        ids_.emplace(std::string(v), static_cast<std::uint32_t>(entries_.size()));
+    if (inserted) entries_.push_back(it->first);
+  }
+
+  std::string_view at(std::uint64_t id) const {
+    if (id >= entries_.size())
+      throw std::runtime_error("codec: dictionary id out of range");
+    return entries_[id];
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string_view> entries_;  // views into ids_ keys (stable)
+};
+
+/// One parsed group of the input frame: key + its values (views into raw).
+struct RawGroup {
+  std::string_view key;
+  // Values of the group, in order. For kKvPair frames this is one value.
+  std::vector<std::string_view> values;
+};
+
+/// Parses a KvList frame ([klen][key][count]([vlen][v])*count ...). Returns
+/// false (without throwing) if the bytes do not parse as that layout.
+bool parse_kvlist(std::span<const std::byte> raw, std::vector<RawGroup>& groups) {
+  groups.clear();
+  std::size_t pos = 0;
+  try {
+    while (pos < raw.size()) {
+      RawGroup g;
+      const auto klen = get_varint(raw, pos);
+      g.key = get_bytes(raw, pos, klen);
+      const auto count = get_varint(raw, pos);
+      if (count == 0 || count > raw.size()) return false;  // implausible
+      g.values.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto vlen = get_varint(raw, pos);
+        g.values.push_back(get_bytes(raw, pos, vlen));
+      }
+      groups.push_back(std::move(g));
+    }
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return !groups.empty();
+}
+
+/// Parses a flat-pair frame ([klen][vlen][key][value] ...).
+bool parse_kvpair(std::span<const std::byte> raw, std::vector<RawGroup>& groups) {
+  groups.clear();
+  std::size_t pos = 0;
+  try {
+    while (pos < raw.size()) {
+      RawGroup g;
+      const auto klen = get_varint(raw, pos);
+      const auto vlen = get_varint(raw, pos);
+      g.key = get_bytes(raw, pos, klen);
+      g.values.push_back(get_bytes(raw, pos, vlen));
+      groups.push_back(std::move(g));
+    }
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return !groups.empty();
+}
+
+/// Encodes parsed groups as the KV-transformed stream described above.
+void kv_transform(const std::vector<RawGroup>& groups, bool list_counts,
+                  std::vector<std::byte>& out) {
+  ValueDict dict;
+  std::string_view prev_key;
+  for (const auto& g : groups) {
+    const std::size_t shared = shared_prefix(prev_key, g.key);
+    put_varint(out, shared);
+    put_varint(out, g.key.size() - shared);
+    append_bytes(out, g.key.substr(shared));
+    prev_key = g.key;
+    if (list_counts) put_varint(out, g.values.size());
+    for (std::size_t i = 0; i < g.values.size();) {
+      const std::string_view v = g.values[i];
+      std::size_t run = 1;
+      while (i + run < g.values.size() && g.values[i + run] == v) ++run;
+      if (const auto id = dict.find(v)) {
+        put_varint(out, (run << 1) | 1);
+        put_varint(out, *id);
+      } else {
+        put_varint(out, run << 1);
+        put_varint(out, v.size());
+        append_bytes(out, v);
+        dict.maybe_add(v);
+      }
+      i += run;
+    }
+  }
+}
+
+/// Rebuilds the raw frame from a KV-transformed payload. `list_counts`
+/// selects the KvList vs flat-pair output layout. `raw_len` is the declared
+/// output size — used for bounds enforcement and final validation.
+void kv_untransform(std::span<const std::byte> in, bool list_counts,
+                    std::size_t raw_len, std::vector<std::byte>& out) {
+  ValueDict dict;
+  std::string prev_key;
+  std::string key;
+  std::size_t pos = 0;
+  // Scratch for one group's decoded values; token runs expand into it so
+  // the [count] field (KvList) can be emitted before the values.
+  std::vector<std::string> val_bytes;
+  while (pos < in.size()) {
+    const auto shared = get_varint(in, pos);
+    const auto suffix_len = get_varint(in, pos);
+    if (shared > prev_key.size())
+      throw std::runtime_error("codec: bad key prefix length");
+    const auto suffix = get_bytes(in, pos, suffix_len);
+    key.assign(prev_key, 0, shared);
+    key.append(suffix);
+    prev_key = key;
+
+    std::uint64_t remaining = 1;  // kKvPair: one value per group
+    if (list_counts) remaining = get_varint(in, pos);
+    if (remaining == 0) throw std::runtime_error("codec: empty group");
+
+    val_bytes.clear();
+    std::uint64_t decoded = 0;
+    while (decoded < remaining) {
+      const auto token = get_varint(in, pos);
+      const std::uint64_t run = token >> 1;
+      if (run == 0 || run > remaining - decoded)
+        throw std::runtime_error("codec: bad value run length");
+      std::string v;
+      if (token & 1) {
+        v = std::string(dict.at(get_varint(in, pos)));
+      } else {
+        const auto vlen = get_varint(in, pos);
+        v = std::string(get_bytes(in, pos, vlen));
+        dict.maybe_add(v);
+      }
+      for (std::uint64_t r = 0; r < run; ++r) val_bytes.push_back(v);
+      decoded += run;
+    }
+
+    // Emit the group in the requested raw layout.
+    if (list_counts) {
+      put_varint(out, key.size());
+      append_bytes(out, key);
+      put_varint(out, val_bytes.size());
+      for (const auto& v : val_bytes) {
+        put_varint(out, v.size());
+        append_bytes(out, v);
+      }
+    } else {
+      for (const auto& v : val_bytes) {
+        put_varint(out, key.size());
+        put_varint(out, v.size());
+        append_bytes(out, key);
+        append_bytes(out, v);
+      }
+    }
+    if (out.size() > raw_len)
+      throw std::runtime_error("codec: decoded frame exceeds declared size");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-oriented LZ stage: greedy LZ77 with a 4-byte hash-table match finder.
+//
+// Token stream: [lit_len][literal bytes][match_len][dist], repeated; a
+// match_len of 0 terminates (its dist is omitted). Matches are >= 4 bytes;
+// dist is 1-based and may be < match_len (overlapping copy, RLE-style).
+
+constexpr std::size_t kLzHashBits = 14;
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxDist = 1 << 20;
+
+std::uint32_t lz_hash(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+void lz_compress(std::span<const std::byte> in, std::vector<std::byte>& out) {
+  std::vector<std::uint32_t> table(std::size_t{1} << kLzHashBits, 0xffffffffu);
+  std::size_t pos = 0, lit_start = 0;
+  const std::size_t n = in.size();
+  auto flush_literals = [&](std::size_t end) {
+    put_varint(out, end - lit_start);
+    out.insert(out.end(), in.begin() + lit_start, in.begin() + end);
+  };
+  while (pos + kLzMinMatch <= n) {
+    const auto h = lz_hash(in.data() + pos);
+    const auto cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != 0xffffffffu && pos - cand <= kLzMaxDist &&
+        std::memcmp(in.data() + cand, in.data() + pos, kLzMinMatch) == 0) {
+      std::size_t len = kLzMinMatch;
+      while (pos + len < n && in[cand + len] == in[pos + len]) ++len;
+      flush_literals(pos);
+      put_varint(out, len);
+      put_varint(out, pos - cand);
+      // Seed the table through the match so long repeats stay findable.
+      const std::size_t stop = std::min(pos + len, n - kLzMinMatch);
+      for (std::size_t p = pos + 1; p < stop; p += 2)
+        table[lz_hash(in.data() + p)] = static_cast<std::uint32_t>(p);
+      pos += len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(n);
+  put_varint(out, 0);  // terminator
+}
+
+void lz_decompress(std::span<const std::byte> in, std::size_t raw_len,
+                   std::vector<std::byte>& out) {
+  std::size_t pos = 0;
+  while (true) {
+    const auto lit_len = get_varint(in, pos);
+    if (lit_len > raw_len - out.size())
+      throw std::runtime_error("codec: LZ literals exceed declared size");
+    const auto lits = get_bytes(in, pos, lit_len);
+    append_bytes(out, lits);
+    const auto match_len = get_varint(in, pos);
+    if (match_len == 0) break;
+    const auto dist = get_varint(in, pos);
+    if (dist == 0 || dist > out.size())
+      throw std::runtime_error("codec: LZ distance out of range");
+    if (match_len > raw_len - out.size())
+      throw std::runtime_error("codec: LZ match exceeds declared size");
+    // Byte-at-a-time copy: overlapping (dist < match_len) is well-defined.
+    std::size_t src = out.size() - dist;
+    for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  if (pos != in.size())
+    throw std::runtime_error("codec: trailing bytes after LZ stream");
+}
+
+// ---------------------------------------------------------------------------
+
+void put_header(std::vector<std::byte>& out, FrameCodec codec,
+                std::size_t raw_len) {
+  out.push_back(static_cast<std::byte>(codec));
+  put_varint(out, raw_len);
+}
+
+}  // namespace
+
+EncodeResult encode_frame(FrameKind kind, std::span<const std::byte> raw,
+                          std::vector<std::byte>& out,
+                          const CodecOptions& options) {
+  EncodeResult result;
+  result.raw_bytes = raw.size();
+  const std::size_t start = out.size();
+
+  // Candidate payloads are built in scratch buffers and the smallest one
+  // that beats the stored threshold wins.
+  const auto budget = static_cast<std::size_t>(
+      static_cast<double>(raw.size()) * options.max_wire_fraction);
+
+  std::vector<std::byte> kv;   // KV transform (maybe +LZ) payload
+  FrameCodec kv_codec = FrameCodec::kStored;
+  if (kind != FrameKind::kOpaque && !raw.empty()) {
+    std::vector<RawGroup> groups;
+    const bool list = kind == FrameKind::kKvList;
+    const bool parsed =
+        list ? parse_kvlist(raw, groups) : parse_kvpair(raw, groups);
+    if (parsed) {
+      kv_transform(groups, list, kv);
+      kv_codec = list ? FrameCodec::kKvList : FrameCodec::kKvPair;
+      if (options.enable_lz && kv.size() > kLzMinMatch) {
+        std::vector<std::byte> lzd;
+        lz_compress(kv, lzd);
+        if (lzd.size() < kv.size()) {
+          kv = std::move(lzd);
+          kv_codec = list ? FrameCodec::kKvListLz : FrameCodec::kKvPairLz;
+        }
+      }
+    }
+  }
+
+  std::vector<std::byte> lz;  // raw-bytes LZ fallback payload
+  const bool try_lz =
+      options.enable_lz && raw.size() > kLzMinMatch &&
+      (kv_codec == FrameCodec::kStored || kv.size() > budget);
+  if (try_lz) lz_compress(raw, lz);
+
+  // Pick the smallest candidate under the stored threshold.
+  const std::byte* payload = nullptr;
+  std::size_t payload_len = 0;
+  if (kv_codec != FrameCodec::kStored && kv.size() <= budget &&
+      (lz.empty() || kv.size() <= lz.size())) {
+    result.codec = kv_codec;
+    payload = kv.data();
+    payload_len = kv.size();
+  } else if (try_lz && lz.size() <= budget) {
+    result.codec = FrameCodec::kLz;
+    payload = lz.data();
+    payload_len = lz.size();
+  } else {
+    result.codec = FrameCodec::kStored;
+    payload = raw.data();
+    payload_len = raw.size();
+  }
+
+  put_header(out, result.codec, raw.size());
+  if (payload_len != 0) out.insert(out.end(), payload, payload + payload_len);
+  result.wire_bytes = out.size() - start;
+  return result;
+}
+
+EncodeResult store_frame(std::span<const std::byte> raw,
+                         std::vector<std::byte>& out) {
+  EncodeResult result;
+  result.codec = FrameCodec::kStored;
+  result.raw_bytes = raw.size();
+  const std::size_t start = out.size();
+  put_header(out, FrameCodec::kStored, raw.size());
+  out.insert(out.end(), raw.begin(), raw.end());
+  result.wire_bytes = out.size() - start;
+  return result;
+}
+
+FrameCodec decode_frame(std::span<const std::byte> wire,
+                        std::vector<std::byte>& out) {
+  out.clear();
+  if (wire.empty()) throw std::runtime_error("codec: empty wire frame");
+  const auto id = static_cast<std::uint8_t>(wire[0]);
+  if (id > static_cast<std::uint8_t>(FrameCodec::kKvPairLz))
+    throw std::runtime_error("codec: unknown codec id");
+  const auto codec = static_cast<FrameCodec>(id);
+  std::size_t pos = 1;
+  const auto raw_len64 = get_varint(wire, pos);
+  // Cap the declared size at something a frame could plausibly be, so a
+  // corrupt length can't drive a giant allocation (frames are ~256 KiB;
+  // 1 GiB leaves room for any configured frame size).
+  if (raw_len64 > (std::uint64_t{1} << 30))
+    throw std::runtime_error("codec: declared frame size too large");
+  const auto raw_len = static_cast<std::size_t>(raw_len64);
+  const auto payload = wire.subspan(pos);
+  out.reserve(raw_len);
+
+  switch (codec) {
+    case FrameCodec::kStored:
+      if (payload.size() != raw_len)
+        throw std::runtime_error("codec: stored payload size mismatch");
+      out.insert(out.end(), payload.begin(), payload.end());
+      break;
+    case FrameCodec::kKvList:
+      kv_untransform(payload, /*list_counts=*/true, raw_len, out);
+      break;
+    case FrameCodec::kKvPair:
+      kv_untransform(payload, /*list_counts=*/false, raw_len, out);
+      break;
+    case FrameCodec::kLz:
+      lz_decompress(payload, raw_len, out);
+      break;
+    case FrameCodec::kKvListLz:
+    case FrameCodec::kKvPairLz: {
+      std::vector<std::byte> transformed;
+      // The transformed stream is itself bounded by the raw size plus the
+      // per-group token overhead; 2x raw is a safe hostile-input cap.
+      lz_decompress(payload, 2 * raw_len + 64, transformed);
+      kv_untransform(transformed, codec == FrameCodec::kKvListLz, raw_len, out);
+      break;
+    }
+  }
+  if (out.size() != raw_len)
+    throw std::runtime_error("codec: decoded size mismatch");
+  return codec;
+}
+
+std::optional<FrameCodec> peek_codec(
+    std::span<const std::byte> wire) noexcept {
+  if (wire.empty()) return std::nullopt;
+  const auto id = static_cast<std::uint8_t>(wire[0]);
+  if (id > static_cast<std::uint8_t>(FrameCodec::kKvPairLz)) return std::nullopt;
+  return static_cast<FrameCodec>(id);
+}
+
+}  // namespace mpid::common

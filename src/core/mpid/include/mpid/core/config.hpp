@@ -27,6 +27,19 @@ namespace mpid::core {
 
 enum class Role { kMaster, kMapper, kReducer };
 
+/// Shuffle-frame compression mode (Hadoop's `mapred.compress.map.output`
+/// analog; see common/codec.hpp for the wire format).
+///  * kOff  — frames ship raw (the default, like Hadoop's).
+///  * kAuto — frames below Config::compress_min_frame_bytes ship stored;
+///            larger frames are compressed, and a mapper that keeps
+///            observing poor ratios stops paying the encode cost for a
+///            while before re-sampling (the auto-skip heuristic).
+///  * kOn   — every frame is codec-framed; the per-frame stored escape is
+///            the only bail-out.
+/// The mode must match on every rank of a job: it decides whether the
+/// reducer treats arriving payloads as codec frames.
+enum class ShuffleCompression { kOff, kAuto, kOn };
+
 /// Local combination hook (Section IV.A): collapses the value list
 /// accumulated for one key into a (usually shorter) list before it is
 /// realigned and transmitted. "Commonly ... assigned as the reduce
@@ -117,6 +130,26 @@ struct Config {
   /// stream is sealed (a batch boundary instead of streaming reception).
   bool resilient_shuffle = false;
 
+  /// Shuffle-frame compression (see ShuffleCompression above). Composes
+  /// with pipelined_shuffle (encode happens just before the owned-buffer
+  /// isend), resilient_shuffle (the checksum covers the compressed bytes;
+  /// the header's sequence field carries a codec bit) and the raw-frame /
+  /// SortedFrameMerger path (frames decode byte-identical, so merge order
+  /// and output are unchanged).
+  ShuffleCompression shuffle_compression = ShuffleCompression::kOff;
+
+  /// kAuto only: frames smaller than this ship stored — tiny frames are
+  /// header-dominated and not worth the encode cost.
+  std::size_t compress_min_frame_bytes = 4 * 1024;
+
+  /// kAuto only: a frame whose wire/raw ratio exceeds this counts as a
+  /// poor sample; after compress_skip_after consecutive poor samples the
+  /// mapper ships the next compress_skip_frames frames stored, then
+  /// re-samples (data distributions drift within a job).
+  double compress_skip_ratio = 0.9;
+  std::size_t compress_skip_after = 2;
+  std::size_t compress_skip_frames = 8;
+
   /// Deterministic fault injector driving transport faults and task
   /// crashes (see mpid::fault). Null (the default) means no injection;
   /// transport faults are scoped to the data channel and only armed when
@@ -159,6 +192,18 @@ struct Stats {
   /// of freeing (zero on the legacy unordered_map path).
   std::uint64_t arena_recycles = 0;
 
+  // --- shuffle compression (zero when shuffle_compression is off) ---
+  /// Frame payload bytes before encoding (what the shuffle would have
+  /// shipped raw). bytes_sent counts wire bytes, so raw - wire is the
+  /// bandwidth the codec saved.
+  std::uint64_t shuffle_bytes_raw = 0;
+  /// Frame bytes actually shipped (codec header + payload).
+  std::uint64_t shuffle_bytes_wire = 0;
+  std::uint64_t compress_ns = 0;    // mapper wall time inside encode_frame
+  std::uint64_t decompress_ns = 0;  // reducer wall time inside decode_frame
+  /// Frames that shipped via the stored escape or the auto-skip heuristic.
+  std::uint64_t frames_stored_uncompressed = 0;
+
   // --- recovery counters (resilient shuffle; zero on clean runs) ---
   std::uint64_t frames_retransmitted = 0;   // frames re-sent after NACK/REPULL
   std::uint64_t retransmit_requests = 0;    // NACK/REPULL messages serviced
@@ -183,6 +228,11 @@ struct Stats {
       table_bytes_peak = rhs.table_bytes_peak;  // a peak, not a volume
     }
     arena_recycles += rhs.arena_recycles;
+    shuffle_bytes_raw += rhs.shuffle_bytes_raw;
+    shuffle_bytes_wire += rhs.shuffle_bytes_wire;
+    compress_ns += rhs.compress_ns;
+    decompress_ns += rhs.decompress_ns;
+    frames_stored_uncompressed += rhs.frames_stored_uncompressed;
     frames_retransmitted += rhs.frames_retransmitted;
     retransmit_requests += rhs.retransmit_requests;
     corrupt_frames_dropped += rhs.corrupt_frames_dropped;

@@ -82,6 +82,14 @@ class MpiD {
   /// mapper/spill); global grouping is the caller's job (see mapred).
   bool recv_group(std::string& key, std::vector<std::string>& values);
 
+  /// Zero-copy grouped variant: `key` and `values` are views into the
+  /// delivery frame, valid only until the next recv_* call on this
+  /// instance. The owning recv()/recv_group() overloads are thin
+  /// materializations of this path, so a caller that only inspects the
+  /// group (aggregate, count, forward) skips the per-pair string copies.
+  bool recv_group_views(std::string_view& key,
+                        std::vector<std::string_view>& values);
+
   /// Raw-frame variant: one realigned partition frame exactly as a mapper
   /// shipped it; false once all mappers signalled end-of-stream. Feed the
   /// frames to SortedFrameMerger (merge.hpp) for Hadoop-style globally
@@ -164,9 +172,26 @@ class MpiD {
   /// fault::TaskCrash when an injected crash tick fires.
   void resilient_collect();
 
-  /// Pulls the next frame from the network into the segment queue.
-  /// Returns false when all mappers have signalled end-of-stream.
-  bool refill_segments();
+  // --- shuffle compression (Config::shuffle_compression) ---
+  bool compression_on() const noexcept {
+    return config_.shuffle_compression != ShuffleCompression::kOff;
+  }
+  /// Encodes one outgoing partition frame as a codec frame (or a stored
+  /// frame, per the auto heuristic), recycling `frame` through the pool.
+  std::vector<std::byte> maybe_compress(std::vector<std::byte> frame);
+  /// Decodes one incoming codec frame into a pool-recycled buffer.
+  std::vector<std::byte> decode_wire_frame(std::vector<std::byte> wire);
+
+  /// Pulls the next frame from the network (decoding it when compression
+  /// is on) and stages it as the delivery frame. Returns false when all
+  /// mappers have signalled end-of-stream.
+  bool fetch_delivery_frame();
+  /// Advances current_view_ to the next group of the delivery frame,
+  /// fetching further frames as needed; false at global end-of-stream.
+  bool next_group_view();
+  /// True while a group or frame is still being drained (guards finalize
+  /// and the recv_raw_frame mixing check).
+  bool delivery_pending() const noexcept;
   /// Posts the reducer's one-frame-ahead wildcard receive (pipelined
   /// shuffle): reverse realignment of frame N overlaps reception of N+1.
   void post_prefetch();
@@ -201,6 +226,11 @@ class MpiD {
   /// Outstanding nonblocking frame sends, one bounded window per
   /// destination reducer (Config::max_inflight_frames).
   std::vector<std::deque<minimpi::Request>> inflight_;
+  // Auto-compression sampling state (ShuffleCompression::kAuto): after
+  // compress_skip_after consecutive poor-ratio frames the next
+  // compress_skip_frames frames ship stored, then sampling resumes.
+  std::size_t compress_poor_samples_ = 0;
+  std::size_t compress_skip_remaining_ = 0;
 
   // Resilient-shuffle mapper state: one lane per reducer. Sent frames are
   // retained (with their headers) until the master's final ack, so a
@@ -228,13 +258,16 @@ class MpiD {
   std::optional<std::uint64_t> crash_tick_;  // injected reducer crash plan
   std::uint64_t progress_ticks_ = 0;
 
-  // Reducer state.
-  struct Segment {
-    std::string key;
-    std::vector<std::string> values;
-  };
-  std::deque<Segment> segments_;
-  std::optional<Segment> current_;  // group being drained by recv()
+  // Reducer state: one decoded frame at a time is reverse-realigned in
+  // place. recv_group_views() hands out views into delivery_frame_; the
+  // owning recv()/recv_group() materialize from the same views, so a pair
+  // costs one copy (wire -> caller string) instead of two (the old path
+  // staged every group in an owning Segment queue first). The reader and
+  // view alias delivery_frame_, which is released to the pool only once
+  // fully drained.
+  std::vector<std::byte> delivery_frame_;
+  std::optional<common::KvListReader> delivery_reader_;
+  std::optional<common::KvListView> current_view_;  // group being drained
   std::size_t current_value_index_ = 0;
   int eos_received_ = 0;
   /// Prefetch buffer must outlive the request posted against it (members

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "mpid/common/codec.hpp"
 #include "mpid/common/hash.hpp"
 
 namespace mpid::core {
@@ -37,8 +38,15 @@ std::uint64_t now_ns() noexcept {
 }
 
 // --- resilient frame header: {u32 incarnation, u32 seq, u64 checksum} ---
+//
+// The top bit of the seq field is the codec bit: set when the payload is a
+// codec frame (Config::shuffle_compression != kOff). The checksum covers
+// the field as sent — compressed bytes, codec bit and all — so corruption
+// anywhere in the frame still fails verification; the effective sequence
+// space shrinks to 31 bits, far beyond any real lane length.
 
 constexpr std::size_t kFrameHeaderBytes = 16;
+constexpr std::uint32_t kSeqCodecBit = 0x80000000u;
 
 struct FrameHeader {
   std::uint32_t incarnation = 0;
@@ -386,6 +394,59 @@ void MpiD::drain_inflight(std::size_t partition) {
   }
 }
 
+std::vector<std::byte> MpiD::maybe_compress(std::vector<std::byte> frame) {
+  if (!compression_on()) return frame;
+  stats_.shuffle_bytes_raw += frame.size();
+  // kAuto skips tiny, header-dominated frames outright and stops paying
+  // the encode cost after a run of poor ratios (re-sampling later — the
+  // data distribution can drift across a job's spills). kOn always
+  // encodes; the per-frame stored escape is its only bail-out.
+  bool skip = false;
+  if (config_.shuffle_compression == ShuffleCompression::kAuto) {
+    if (frame.size() < config_.compress_min_frame_bytes) {
+      skip = true;
+    } else if (compress_skip_remaining_ > 0) {
+      --compress_skip_remaining_;
+      skip = true;
+    }
+  }
+  auto wire = pool_->acquire(frame.size() + 16);
+  wire.clear();
+  const std::uint64_t start = now_ns();
+  const auto result =
+      skip ? common::store_frame(frame, wire)
+           : common::encode_frame(common::FrameKind::kKvList, frame, wire);
+  stats_.compress_ns += now_ns() - start;
+  stats_.shuffle_bytes_wire += wire.size();
+  if (result.codec == common::FrameCodec::kStored) {
+    ++stats_.frames_stored_uncompressed;
+  }
+  if (config_.shuffle_compression == ShuffleCompression::kAuto && !skip) {
+    const bool poor = static_cast<double>(result.wire_bytes) >
+                      config_.compress_skip_ratio *
+                          static_cast<double>(result.raw_bytes);
+    if (poor) {
+      if (++compress_poor_samples_ >= config_.compress_skip_after) {
+        compress_skip_remaining_ = config_.compress_skip_frames;
+        compress_poor_samples_ = 0;
+      }
+    } else {
+      compress_poor_samples_ = 0;
+    }
+  }
+  pool_->release(std::move(frame));
+  return wire;
+}
+
+std::vector<std::byte> MpiD::decode_wire_frame(std::vector<std::byte> wire) {
+  auto frame = pool_->acquire(config_.partition_frame_bytes);
+  const std::uint64_t start = now_ns();
+  common::decode_frame(wire, frame);
+  stats_.decompress_ns += now_ns() - start;
+  pool_->release(std::move(wire));
+  return frame;
+}
+
 void MpiD::flush_partition(std::size_t partition) {
   auto& writer = partitions_[partition];
   if (writer.group_count() == 0) return;
@@ -399,13 +460,13 @@ void MpiD::flush_partition(std::size_t partition) {
     // Re-arm the writer before the frame leaves (same turnaround as the
     // pipelined path below).
     writer.reset(pool_->acquire(frame_capacity_hint_));
-    send_frame_resilient(partition, std::move(payload));
+    send_frame_resilient(partition, maybe_compress(std::move(payload)));
     ++stats_.frames_sent;
     stats_.flush_wait_ns += now_ns() - start;
     return;
   }
   if (config_.pipelined_shuffle) {
-    auto frame = writer.take();
+    auto frame = maybe_compress(writer.take());
     stats_.bytes_sent += frame.size();
     // Re-arm the writer from the pool before the frame leaves: the next
     // pair can be serialized while this frame is still in flight.
@@ -418,7 +479,7 @@ void MpiD::flush_partition(std::size_t partition) {
     window.push_back(
         data_comm_.isend_bytes_owned(dst, kDataTag, std::move(frame)));
   } else {
-    const auto frame = writer.take();
+    const auto frame = maybe_compress(writer.take());
     data_comm_.send_bytes(dst, kDataTag, frame);
     stats_.bytes_sent += frame.size();
   }
@@ -433,93 +494,99 @@ void MpiD::post_prefetch() {
   prefetch_posted_ = true;
 }
 
-bool MpiD::refill_segments() {
+bool MpiD::fetch_delivery_frame() {
+  std::vector<std::byte> frame;
   if (resilient()) {
     resilient_collect();
-    while (segments_.empty()) {
-      if (collected_.empty()) return false;
-      std::vector<std::byte> frame = std::move(collected_.front());
-      collected_.pop_front();
-      // frames_received/bytes_received were counted at collection time.
-      common::KvListReader reader(frame);
-      while (auto group = reader.next()) {
-        Segment seg;
-        seg.key.assign(group->key);
-        seg.values.reserve(group->values.size());
-        for (const auto v : group->values) seg.values.emplace_back(v);
-        segments_.push_back(std::move(seg));
+    if (collected_.empty()) return false;
+    // frames_received/bytes_received were counted at collection time.
+    frame = std::move(collected_.front());
+    collected_.pop_front();
+  } else {
+    for (;;) {
+      if (eos_received_ == config_.mappers) return false;
+      minimpi::Status st;
+      if (config_.pipelined_shuffle) {
+        if (!prefetch_posted_) post_prefetch();
+        st = prefetch_req_.wait();
+        prefetch_posted_ = false;
+        frame = std::move(prefetch_buf_);
+        // Keep exactly one wildcard receive posted ahead while more
+        // traffic is expected, so reverse realignment of this frame
+        // overlaps the arrival of the next. Never leave one posted once
+        // every mapper has signalled end-of-stream: the finalize ack must
+        // not be stolen.
+        if (st.tag == kEosTag) ++eos_received_;
+        if (eos_received_ < config_.mappers) post_prefetch();
+        if (st.tag == kEosTag) continue;
+      } else {
+        st = data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag,
+                                   frame);
+        if (st.tag == kEosTag) {
+          ++eos_received_;
+          continue;
+        }
       }
-      pool_->release(std::move(frame));
+      if (st.tag != kDataTag) {
+        throw std::runtime_error("MpiD: unexpected tag on data channel");
+      }
+      ++stats_.frames_received;
+      stats_.bytes_received += frame.size();
+      break;
     }
+  }
+  if (compression_on()) frame = decode_wire_frame(std::move(frame));
+  delivery_frame_ = std::move(frame);
+  // The reader is (re)constructed only after the move above, so its span
+  // aliases the frame's final storage.
+  delivery_reader_.emplace(delivery_frame_);
+  return true;
+}
+
+bool MpiD::next_group_view() {
+  current_view_.reset();
+  current_value_index_ = 0;
+  for (;;) {
+    if (delivery_reader_) {
+      // Reverse realignment, one group at a time: the view aliases the
+      // delivery frame, no materialization.
+      if (auto group = delivery_reader_->next()) {
+        current_view_ = std::move(*group);
+        return true;
+      }
+      // Frame fully drained: its allocation goes back to the pool for the
+      // next spill (in-process worlds recycle it straight to a mapper).
+      delivery_reader_.reset();
+      pool_->release(std::move(delivery_frame_));
+      delivery_frame_ = std::vector<std::byte>{};
+    }
+    if (!fetch_delivery_frame()) return false;
+  }
+}
+
+bool MpiD::delivery_pending() const noexcept {
+  if (current_view_ && current_value_index_ < current_view_->values.size()) {
     return true;
   }
-  while (segments_.empty()) {
-    if (eos_received_ == config_.mappers) return false;
-    std::vector<std::byte> frame;
-    minimpi::Status st;
-    if (config_.pipelined_shuffle) {
-      if (!prefetch_posted_) post_prefetch();
-      st = prefetch_req_.wait();
-      prefetch_posted_ = false;
-      frame = std::move(prefetch_buf_);
-      // Keep exactly one wildcard receive posted ahead while more traffic
-      // is expected, so reverse realignment of this frame overlaps the
-      // arrival of the next. Never leave one posted once every mapper has
-      // signalled end-of-stream: the finalize ack must not be stolen.
-      if (st.tag == kEosTag) ++eos_received_;
-      if (eos_received_ < config_.mappers) post_prefetch();
-      if (st.tag == kEosTag) continue;
-    } else {
-      st = data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag,
-                                 frame);
-      if (st.tag == kEosTag) {
-        ++eos_received_;
-        continue;
-      }
-    }
-    if (st.tag != kDataTag) {
-      throw std::runtime_error("MpiD: unexpected tag on data channel");
-    }
-    ++stats_.frames_received;
-    stats_.bytes_received += frame.size();
-    // Reverse realignment: sequential frame back into key-value groups.
-    common::KvListReader reader(frame);
-    while (auto group = reader.next()) {
-      Segment seg;
-      seg.key.assign(group->key);
-      seg.values.reserve(group->values.size());
-      for (const auto v : group->values) seg.values.emplace_back(v);
-      segments_.push_back(std::move(seg));
-    }
-    // The frame's allocation goes back to the pool for the next spill.
-    pool_->release(std::move(frame));
-  }
-  return true;
+  return delivery_reader_ && !delivery_reader_->at_end();
 }
 
 bool MpiD::recv(std::string& key, std::string& value) {
   ensure_role(Role::kReducer, "recv (MPI_D_Recv)");
   for (;;) {
-    if (current_ && current_value_index_ < current_->values.size()) {
-      key = current_->key;
-      value = current_->values[current_value_index_++];
+    if (current_view_ && current_value_index_ < current_view_->values.size()) {
+      key.assign(current_view_->key);
+      value.assign(current_view_->values[current_value_index_++]);
       ++stats_.pairs_received;
       return true;
     }
-    current_.reset();
-    current_value_index_ = 0;
-    if (!segments_.empty()) {
-      current_ = std::move(segments_.front());
-      segments_.pop_front();
-      continue;
-    }
-    if (!refill_segments()) return false;
+    if (!next_group_view()) return false;
   }
 }
 
 bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
   ensure_role(Role::kReducer, "recv_raw_frame");
-  if (current_ || !segments_.empty()) {
+  if (current_view_ || delivery_reader_) {
     throw std::logic_error(
         "MpiD: recv_raw_frame cannot be mixed with recv()/recv_group()");
   }
@@ -528,6 +595,9 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     if (collected_.empty()) return false;
     frame = std::move(collected_.front());
     collected_.pop_front();
+    // Compressed payloads decode here, so SortedFrameMerger always sees
+    // the raw frame bytes — merge order and output are unchanged.
+    if (compression_on()) frame = decode_wire_frame(std::move(frame));
     return true;
   }
   for (;;) {
@@ -543,32 +613,47 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     }
     ++stats_.frames_received;
     stats_.bytes_received += frame.size();
+    if (compression_on()) frame = decode_wire_frame(std::move(frame));
     return true;
   }
 }
 
 bool MpiD::recv_group(std::string& key, std::vector<std::string>& values) {
   ensure_role(Role::kReducer, "recv_group");
-  if (current_ && current_value_index_ < current_->values.size()) {
-    // Hand back the undrained remainder of the current group.
-    key = std::move(current_->key);
-    values.assign(
-        std::make_move_iterator(current_->values.begin() +
-                                static_cast<std::ptrdiff_t>(current_value_index_)),
-        std::make_move_iterator(current_->values.end()));
-    current_.reset();
-    current_value_index_ = 0;
-    stats_.pairs_received += values.size();
-    return true;
+  // Hand back the undrained remainder of the current group (a recv() /
+  // recv_group_views() caller may have consumed a prefix of it).
+  if (!(current_view_ &&
+        current_value_index_ < current_view_->values.size())) {
+    if (!next_group_view()) return false;
   }
-  current_.reset();
-  current_value_index_ = 0;
-  if (segments_.empty() && !refill_segments()) return false;
-  Segment seg = std::move(segments_.front());
-  segments_.pop_front();
-  key = std::move(seg.key);
-  values = std::move(seg.values);
+  key.assign(current_view_->key);
+  values.clear();
+  values.reserve(current_view_->values.size() - current_value_index_);
+  for (std::size_t i = current_value_index_;
+       i < current_view_->values.size(); ++i) {
+    values.emplace_back(current_view_->values[i]);
+  }
   stats_.pairs_received += values.size();
+  current_view_.reset();
+  current_value_index_ = 0;
+  return true;
+}
+
+bool MpiD::recv_group_views(std::string_view& key,
+                            std::vector<std::string_view>& values) {
+  ensure_role(Role::kReducer, "recv_group_views");
+  if (!(current_view_ &&
+        current_value_index_ < current_view_->values.size())) {
+    if (!next_group_view()) return false;
+  }
+  key = current_view_->key;
+  values.assign(current_view_->values.begin() +
+                    static_cast<std::ptrdiff_t>(current_value_index_),
+                current_view_->values.end());
+  stats_.pairs_received += values.size();
+  // Mark the group consumed but keep the frame alive: the views stay
+  // valid until the next recv_* call advances past it.
+  current_value_index_ = current_view_->values.size();
   return true;
 }
 
@@ -596,8 +681,8 @@ void MpiD::finalize() {
       break;
     }
     case Role::kReducer: {
-      if (eos_received_ != config_.mappers || current_ ||
-          !segments_.empty()) {
+      if (eos_received_ != config_.mappers || delivery_pending() ||
+          !collected_.empty()) {
         throw std::logic_error(
             "MpiD: reducer must drain recv() before finalize");
       }
@@ -630,11 +715,16 @@ void MpiD::finalize() {
 void MpiD::send_frame_resilient(std::size_t partition,
                                 std::vector<std::byte> payload) {
   auto& lane = lanes_[partition];
+  // The payload is already codec-framed when compression is on; the codec
+  // bit rides in the seq field and the checksum covers the compressed
+  // bytes, so retransmits re-ship the identical framed buffer.
+  const std::uint32_t seq_field =
+      lane.next_seq | (compression_on() ? kSeqCodecBit : 0u);
   std::vector<std::byte> framed;
   framed.reserve(kFrameHeaderBytes + payload.size());
   put_u32(framed, incarnation_);
-  put_u32(framed, lane.next_seq);
-  put_u64(framed, frame_checksum(incarnation_, lane.next_seq, payload));
+  put_u32(framed, seq_field);
+  put_u64(framed, frame_checksum(incarnation_, seq_field, payload));
   framed.insert(framed.end(), payload.begin(), payload.end());
   pool_->release(std::move(payload));
   ++lane.next_seq;
@@ -788,6 +878,14 @@ void MpiD::resilient_collect() {
             msg.data() + kFrameHeaderBytes, msg.size() - kFrameHeaderBytes);
         corrupt = frame_checksum(hdr.incarnation, hdr.seq, payload) !=
                   hdr.checksum;
+        // The codec bit must agree with this job's configured mode — the
+        // mode is uniform across ranks, so a mismatch can only be a frame
+        // the checksum happened to pass; drop it like any corruption.
+        if (!corrupt &&
+            ((hdr.seq & kSeqCodecBit) != 0) != compression_on()) {
+          corrupt = true;
+        }
+        hdr.seq &= ~kSeqCodecBit;
       }
       if (corrupt) {
         ++stats_.corrupt_frames_dropped;
@@ -943,8 +1041,10 @@ void MpiD::restart_reducer() {
   }
   collected_.clear();
   collected_ready_ = false;
-  segments_.clear();
-  current_.reset();
+  current_view_.reset();
+  delivery_reader_.reset();
+  if (!delivery_frame_.empty()) pool_->release(std::move(delivery_frame_));
+  delivery_frame_ = std::vector<std::byte>{};
   current_value_index_ = 0;
   eos_received_ = 0;
   progress_ticks_ = 0;

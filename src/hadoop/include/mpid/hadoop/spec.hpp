@@ -107,6 +107,24 @@ struct JobSpec {
   /// Job output bytes per reduce-input byte.
   double reduce_output_ratio = 1.0;
 
+  /// mapred.compress.map.output model (the knob the functional runtimes
+  /// expose as shuffle_compression): map tasks encode their intermediate
+  /// spill before writing it, so both the serving disk and the fabric
+  /// carry wire bytes = raw / shuffle_compression_ratio; reducers decode
+  /// on fetch. The ratio is a data property — measure it with the real
+  /// codec (bench/codec_sample.hpp) for the workload being modeled. The
+  /// codec rates are per-task-CPU properties of the Java codec stack,
+  /// deliberately slower than the C++ rates micro_codec measures.
+  bool compress_map_output = false;
+  double shuffle_compression_ratio = 3.0;
+  double compress_bytes_per_second = 150.0e6;
+  double decompress_bytes_per_second = 300.0e6;
+
+  /// Wire bytes per raw intermediate byte under the current settings.
+  double wire_ratio() const noexcept {
+    return compress_map_output ? 1.0 / shuffle_compression_ratio : 1.0;
+  }
+
   int map_tasks_for(const ClusterSpec& cluster) const noexcept {
     return static_cast<int>((input_bytes + cluster.block_size_bytes - 1) /
                             cluster.block_size_bytes);

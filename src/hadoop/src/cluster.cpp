@@ -198,10 +198,18 @@ sim::Task<> Cluster::map_task(Run& run, int node, int block_id, bool local,
   }
 
   // Map function + spill writes of the combined intermediate output.
+  // With mapred.compress.map.output the spill is encoded first (charged
+  // as task CPU) and only the wire bytes reach the disk — the served
+  // segments stay compressed until the reducer fetches them.
   co_await engine_.delay(sim::from_seconds(
       static_cast<double>(block.bytes) / run.job.map_cpu_bytes_per_second));
-  const double intermediate =
+  const double raw_intermediate =
       static_cast<double>(block.bytes) * run.job.map_output_ratio;
+  if (run.job.compress_map_output) {
+    co_await engine_.delay(sim::from_seconds(
+        raw_intermediate / run.job.compress_bytes_per_second));
+  }
+  const double intermediate = raw_intermediate * run.job.wire_ratio();
   co_await state.disk->transfer(0, 0,
                                 static_cast<std::uint64_t>(intermediate));
 
@@ -234,7 +242,6 @@ sim::Task<> Cluster::fetch_batch(Run& run, int reduce_id, int serving_node,
                                  int node, int segments, double bytes,
                                  sim::Resource& copiers,
                                  sim::Channel<int>& completions) {
-  (void)run;
   (void)reduce_id;
   co_await copiers.acquire();
   sim::Lease copier(copiers, 1);
@@ -257,8 +264,16 @@ sim::Task<> Cluster::fetch_batch(Run& run, int reduce_id, int serving_node,
       static_cast<std::uint64_t>(segments) * jetty_.params().header_bytes;
   co_await fabric_.transfer(serving_node, node, wire_bytes,
                             jetty_.params().effective_bytes_per_second);
-
   server_thread.reset();
+
+  // Compressed segments are decoded by the copier thread as the body
+  // lands (Hadoop's in-memory shuffle decompresses on fetch), so the
+  // decode overlaps other copiers but still occupies this one.
+  if (run.job.compress_map_output) {
+    co_await engine_.delay(sim::from_seconds(
+        bytes * run.job.shuffle_compression_ratio /
+        run.job.decompress_bytes_per_second));
+  }
   copier.reset();
   co_await completions.send(segments);
 }
@@ -316,9 +331,14 @@ sim::Task<> Cluster::reduce_task(Run& run, int node, int reduce_id) {
   // ---- reduce stage: user reduce + output write -------------------------
   // The output write goes through the page cache (asynchronous writeback),
   // so it costs task time but does not contend with shuffle serving.
-  const double output = input_bytes * run.job.reduce_output_ratio;
+  // input_bytes counted wire bytes; reduce() runs over the decoded volume.
+  const double raw_input =
+      run.job.compress_map_output
+          ? input_bytes * run.job.shuffle_compression_ratio
+          : input_bytes;
+  const double output = raw_input * run.job.reduce_output_ratio;
   co_await engine_.delay(sim::from_seconds(
-      input_bytes / run.job.reduce_cpu_bytes_per_second +
+      raw_input / run.job.reduce_cpu_bytes_per_second +
       output / spec_.output_write_bytes_per_second));
   timing.finished = engine_.now();
 

@@ -14,7 +14,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "mpid/hrpc/pipe.hpp"
@@ -24,11 +26,27 @@ namespace mpid::hrpc {
 struct HttpResponse {
   int status = 200;
   std::string body;
+  /// Extra response headers (name, value), e.g. the shuffle servlet's
+  /// codec flag. Content-Length is always synthesized by the server and
+  /// never appears here.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// The value of header `name` (exact match), or nullptr.
+  const std::string* header(std::string_view name) const noexcept {
+    for (const auto& [n, v] : headers) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  }
 };
 
 /// Servlet: receives the query string (the part after '?', possibly
 /// empty) and produces the response body. Throwing yields a 500.
 using Servlet = std::function<std::string(std::string_view query)>;
+
+/// Servlet that also controls status and response headers (the form the
+/// map-output servlet uses to flag compressed segments).
+using RawServlet = std::function<HttpResponse(std::string_view query)>;
 
 class HttpServer {
  public:
@@ -39,6 +57,9 @@ class HttpServer {
 
   /// Mounts a servlet at an exact path (e.g. "/mapOutput").
   void add_servlet(const std::string& path, Servlet servlet);
+
+  /// Mounts a header-setting servlet (see RawServlet).
+  void add_raw_servlet(const std::string& path, RawServlet servlet);
 
   /// Accepts a connection; requests on it are served until it closes.
   void accept(Endpoint endpoint);
@@ -52,7 +73,7 @@ class HttpServer {
   HttpResponse handle(const std::string& request_line);
 
   mutable std::mutex mu_;
-  std::map<std::string, Servlet> servlets_;
+  std::map<std::string, RawServlet> servlets_;
   std::vector<std::unique_ptr<Endpoint>> connections_;
   std::vector<std::thread> service_threads_;
   std::uint64_t requests_served_ = 0;

@@ -45,6 +45,15 @@ const char* reason_for(int status) {
 HttpServer::~HttpServer() { shutdown(); }
 
 void HttpServer::add_servlet(const std::string& path, Servlet servlet) {
+  add_raw_servlet(path,
+                  [servlet = std::move(servlet)](std::string_view query) {
+                    HttpResponse response;
+                    response.body = servlet(query);
+                    return response;
+                  });
+}
+
+void HttpServer::add_raw_servlet(const std::string& path, RawServlet servlet) {
   std::lock_guard lock(mu_);
   servlets_[path] = std::move(servlet);
 }
@@ -88,7 +97,7 @@ HttpResponse HttpServer::handle(const std::string& request_line) {
   const std::string query =
       question == std::string::npos ? "" : target.substr(question + 1);
 
-  Servlet servlet;
+  RawServlet servlet;
   {
     std::lock_guard lock(mu_);
     const auto it = servlets_.find(path);
@@ -96,8 +105,7 @@ HttpResponse HttpServer::handle(const std::string& request_line) {
     servlet = it->second;
   }
   try {
-    HttpResponse response;
-    response.body = servlet(query);
+    HttpResponse response = servlet(query);
     std::lock_guard lock(mu_);
     ++requests_served_;
     return response;
@@ -119,11 +127,15 @@ void HttpServer::serve(std::size_t connection_index) {
       while (!read_line(*endpoint).empty()) {
       }
       const auto response = handle(request_line);
-      write_text(*endpoint,
-                 "HTTP/1.0 " + std::to_string(response.status) + " " +
-                     reason_for(response.status) +
-                     "\r\nContent-Length: " +
-                     std::to_string(response.body.size()) + "\r\n\r\n");
+      std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                         reason_for(response.status) +
+                         "\r\nContent-Length: " +
+                         std::to_string(response.body.size()) + "\r\n";
+      for (const auto& [name, value] : response.headers) {
+        head += name + ": " + value + "\r\n";
+      }
+      head += "\r\n";
+      write_text(*endpoint, head);
       write_text(*endpoint, response.body);
     }
   } catch (const std::exception&) {
@@ -174,16 +186,20 @@ HttpResponse HttpClient::get(const std::string& target) {
                       status_line.data() + status_line.size(), status);
 
       std::size_t content_length = 0;
+      HttpResponse response;
       for (;;) {
         const auto header = read_line(*endpoint_);
         if (header.empty()) break;
         constexpr std::string_view kContentLength = "Content-Length: ";
         if (header.starts_with(kContentLength)) {
           content_length = std::stoull(header.substr(kContentLength.size()));
+        } else if (const auto colon = header.find(": ");
+                   colon != std::string::npos) {
+          response.headers.emplace_back(header.substr(0, colon),
+                                        header.substr(colon + 2));
         }
       }
       const auto body_bytes = endpoint_->read_exactly(content_length);
-      HttpResponse response;
       response.status = status;
       response.body.assign(reinterpret_cast<const char*>(body_bytes.data()),
                            body_bytes.size());

@@ -60,6 +60,16 @@ struct MiniJobConfig {
   /// kept for A/B benchmarking of the combine path.
   bool flat_combine_table = true;
 
+  /// mapred.compress.map.output analog: map tasks codec-frame their
+  /// segments (common/codec.hpp) before storing them; the /mapOutput
+  /// servlet flags compressed segments with an X-Mpid-Codec response
+  /// header and reducers decode on fetch. kAuto leaves segments below
+  /// compress_min_segment_bytes raw (header-dominated, not worth the
+  /// encode); kOn codec-frames everything, relying on the per-frame
+  /// stored escape for incompressible data. Default off, like Hadoop's.
+  core::ShuffleCompression shuffle_compression = core::ShuffleCompression::kOff;
+  std::size_t compress_min_segment_bytes = 1024;
+
   // --- fault tolerance (all Hadoop 0.20 analogs) ---
 
   /// Optional deterministic fault source; null runs the job fault-free.
@@ -91,6 +101,15 @@ struct JobSummary {
   std::uint64_t shuffle_requests = 0;     // GETs issued
   std::uint64_t heartbeats = 0;           // RPC control-plane calls
   std::vector<std::string> output_files;  // DFS paths written
+
+  // --- shuffle compression (zero when shuffle_compression is off) ---
+  std::uint64_t shuffle_bytes_raw = 0;   // segment bytes before encoding
+  std::uint64_t shuffle_bytes_wire = 0;  // segment bytes actually stored/fetched
+  std::uint64_t compress_ns = 0;         // map-side encode wall time
+  std::uint64_t decompress_ns = 0;       // reduce-side decode wall time
+  /// Segments that shipped raw (below the size threshold) or via the
+  /// codec's stored escape.
+  std::uint64_t frames_stored_uncompressed = 0;
 
   // --- recovery counters (zero on a fault-free run) ---
   std::uint64_t map_reexecutions = 0;      // map tasks requeued after failure

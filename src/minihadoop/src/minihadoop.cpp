@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "mpid/common/codec.hpp"
 #include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
 #include "mpid/common/kvtable.hpp"
@@ -347,17 +348,26 @@ struct JobTracker {
   }
 };
 
+/// The response header flagging a codec-framed segment body (the
+/// mapred.compress.map.output analog of Hadoop's shuffle headers).
+constexpr const char* kCodecHeader = "X-Mpid-Codec";
+
 /// One tasktracker's map-output store, served by its /mapOutput servlet.
 struct SegmentStore {
-  std::mutex mu;
-  std::map<std::pair<int, int>, std::string> segments;  // (map, reduce)
+  struct Segment {
+    std::string bytes;
+    bool codec = false;  // bytes are a codec frame, not a raw KvWriter frame
+  };
 
-  void put(int map, int reduce, std::string frame) {
+  std::mutex mu;
+  std::map<std::pair<int, int>, Segment> segments;  // (map, reduce)
+
+  void put(int map, int reduce, std::string frame, bool codec) {
     std::lock_guard lock(mu);
-    segments[{map, reduce}] = std::move(frame);
+    segments[{map, reduce}] = Segment{std::move(frame), codec};
   }
 
-  std::string get(std::string_view query) {
+  hrpc::HttpResponse get(std::string_view query) {
     // query: "map=<m>&reduce=<r>"
     int map = -1, reduce = -1;
     std::size_t pos = 0;
@@ -377,7 +387,10 @@ struct SegmentStore {
     if (it == segments.end()) {
       throw std::runtime_error("no such map output segment");
     }
-    return it->second;
+    hrpc::HttpResponse response;
+    response.body = it->second.bytes;
+    if (it->second.codec) response.headers.emplace_back(kCodecHeader, "1");
+    return response;
   }
 };
 
@@ -471,7 +484,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     stores.push_back(std::make_unique<SegmentStore>());
     auto server = std::make_unique<hrpc::HttpServer>();
     auto* store = stores.back().get();
-    server->add_servlet("/mapOutput", [store](std::string_view query) {
+    server->add_raw_servlet("/mapOutput", [store](std::string_view query) {
       return store->get(query);
     });
     http_servers.push_back(std::move(server));
@@ -483,15 +496,32 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   std::atomic<std::uint64_t> shuffle_fetch_retries{0};
   std::atomic<std::uint64_t> heartbeat_errors{0};
   std::atomic<std::uint64_t> recovery_wall_ns{0};
+  std::atomic<std::uint64_t> shuffle_bytes_raw{0};
+  std::atomic<std::uint64_t> shuffle_bytes_wire{0};
+  std::atomic<std::uint64_t> compress_ns{0};
+  std::atomic<std::uint64_t> decompress_ns{0};
+  std::atomic<std::uint64_t> frames_stored_uncompressed{0};
   std::mutex output_mu;
   std::vector<std::string> output_files;
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  // Returns this attempt's combined output pair count; the caller adds it
-  // to the job counter only if the jobtracker commits the attempt.
+  const bool compressing =
+      config.shuffle_compression != core::ShuffleCompression::kOff;
+
+  struct MapOutcome {
+    std::uint64_t pairs = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t encode_ns = 0;
+    std::uint64_t stored = 0;
+  };
+
+  // Returns this attempt's combined output pair count and compression
+  // counters; the caller folds them into the job counters only if the
+  // jobtracker commits the attempt.
   auto run_map_task = [&](int tracker_id, int map_id,
-                          int attempt) -> std::uint64_t {
+                          int attempt) -> MapOutcome {
     if (inj) {
       const auto lag =
           inj->straggle_delay(fault::TaskKind::kMap, map_id, attempt);
@@ -528,6 +558,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       config.map(*line, ctx);
     }
 
+    MapOutcome outcome;
     std::uint64_t pairs = 0;
     std::vector<common::KvWriter> partitions(
         static_cast<std::size_t>(config.reduce_tasks));
@@ -570,12 +601,41 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     }
     for (int r = 0; r < config.reduce_tasks; ++r) {
       const auto& frame = partitions[static_cast<std::size_t>(r)].buffer();
-      stores[static_cast<std::size_t>(tracker_id)]->put(
-          map_id, r,
-          std::string(reinterpret_cast<const char*>(frame.data()),
-                      frame.size()));
+      std::string body;
+      bool codec = false;
+      if (compressing) {
+        outcome.raw_bytes += frame.size();
+        // kAuto leaves header-dominated segments raw (no codec framing at
+        // all — the servlet simply omits the flag); kOn frames everything
+        // and relies on the codec's stored escape.
+        if (config.shuffle_compression == core::ShuffleCompression::kAuto &&
+            frame.size() < config.compress_min_segment_bytes) {
+          body.assign(reinterpret_cast<const char*>(frame.data()),
+                      frame.size());
+          ++outcome.stored;
+        } else {
+          std::vector<std::byte> wire;
+          wire.reserve(frame.size() + 16);
+          const auto t0 = Clock::now();
+          const auto result =
+              common::encode_frame(common::FrameKind::kKvPair, frame, wire);
+          outcome.encode_ns += static_cast<std::uint64_t>(
+              std::chrono::nanoseconds(Clock::now() - t0).count());
+          if (result.codec == common::FrameCodec::kStored) ++outcome.stored;
+          body.assign(reinterpret_cast<const char*>(wire.data()),
+                      wire.size());
+          codec = true;
+        }
+        outcome.wire_bytes += body.size();
+      } else {
+        body.assign(reinterpret_cast<const char*>(frame.data()),
+                    frame.size());
+      }
+      stores[static_cast<std::size_t>(tracker_id)]->put(map_id, r,
+                                                        std::move(body), codec);
     }
-    return pairs;
+    outcome.pairs = pairs;
+    return outcome;
   };
 
   auto fetch_locations = [&](hrpc::RpcClient& rpc) {
@@ -592,8 +652,9 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
 
   struct ReduceOutcome {
     std::string body;
-    std::uint64_t bytes = 0;
+    std::uint64_t bytes = 0;  // wire bytes fetched (post-compression)
     std::uint64_t requests = 0;
+    std::uint64_t decode_ns = 0;
   };
 
   auto run_reduce_task = [&](hrpc::RpcClient& rpc, int reduce_id,
@@ -624,6 +685,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     std::uint64_t ticks = 0;
     for (int m = 0; m < config.map_tasks; ++m) {
       std::string segment;
+      bool segment_codec = false;
       for (int try_no = 0;; ++try_no) {
         const int serving = location[static_cast<std::size_t>(m)];
         bool fetched = false;
@@ -639,6 +701,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
                 copier->get("/mapOutput?map=" + std::to_string(m) +
                             "&reduce=" + std::to_string(reduce_id));
             if (response.status == 200) {
+              segment_codec = response.header(kCodecHeader) != nullptr;
               segment = std::move(response.body);
               ++outcome.requests;
               fetched = true;
@@ -671,6 +734,17 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
         throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
       }
       outcome.bytes += segment.size();
+      if (segment_codec) {
+        // The servlet flagged a codec-framed body: decode back to the raw
+        // KvWriter frame before reverse realignment.
+        std::vector<std::byte> decoded;
+        const auto t0 = Clock::now();
+        common::decode_frame(as_bytes(segment), decoded);
+        outcome.decode_ns += static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(Clock::now() - t0).count());
+        segment.assign(reinterpret_cast<const char*>(decoded.data()),
+                       decoded.size());
+      }
       common::KvReader reader(as_bytes(segment));
       if (config.flat_combine_table) {
         while (auto pair = reader.next()) {
@@ -751,14 +825,20 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
         const auto t0 = Clock::now();
         try {
           if (op == kOpMap) {
-            const auto pairs = run_map_task(tracker_id, task, attempt);
+            const auto outcome = run_map_task(tracker_id, task, attempt);
             hrpc::DataOut done;
             done.write_i32(task);
             done.write_i32(attempt);
             done.write_i32(tracker_id);
             const auto ack =
                 rpc.call(kProtocol, kVersion, "mapCompleted", done.buffer());
-            if (hrpc::DataIn(ack).read_u8() != 0) map_output_pairs += pairs;
+            if (hrpc::DataIn(ack).read_u8() != 0) {
+              map_output_pairs += outcome.pairs;
+              shuffle_bytes_raw += outcome.raw_bytes;
+              shuffle_bytes_wire += outcome.wire_bytes;
+              compress_ns += outcome.encode_ns;
+              frames_stored_uncompressed += outcome.stored;
+            }
           } else {
             auto outcome = run_reduce_task(rpc, task, attempt);
             hrpc::DataOut done;
@@ -774,6 +854,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
               dfs_.create(path, outcome.body);
               shuffled_bytes += outcome.bytes;
               shuffle_requests += outcome.requests;
+              decompress_ns += outcome.decode_ns;
               std::lock_guard lock(output_mu);
               output_files.push_back(path);
             }
@@ -827,6 +908,11 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   summary.heartbeat_errors = heartbeat_errors.load();
   summary.trackers_timed_out = tracker_state.trackers_timed_out;
   summary.recovery_wall_ns = recovery_wall_ns.load();
+  summary.shuffle_bytes_raw = shuffle_bytes_raw.load();
+  summary.shuffle_bytes_wire = shuffle_bytes_wire.load();
+  summary.compress_ns = compress_ns.load();
+  summary.decompress_ns = decompress_ns.load();
+  summary.frames_stored_uncompressed = frames_stored_uncompressed.load();
   std::sort(output_files.begin(), output_files.end());
   summary.output_files = std::move(output_files);
   return summary;

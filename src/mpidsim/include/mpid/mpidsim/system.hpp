@@ -69,6 +69,14 @@ struct SystemSpec {
   /// combined output is sent as pipelined MPI messages.
   std::uint64_t spill_input_bytes = 16 * 1024 * 1024;
 
+  /// Codec throughput of the real library's shuffle compression
+  /// (core::Config::shuffle_compression), calibrated from
+  /// bench/micro_codec: mappers encode each spill before MPI_D_Send,
+  /// the reducer decodes before the reverse realignment. Only charged
+  /// when the job sets compress_shuffle.
+  double compress_bytes_per_second = 400.0e6;
+  double decompress_bytes_per_second = 900.0e6;
+
   /// MPI_D_Send returns immediately and the transfer overlaps the next
   /// chunk's scan (the library's buffered-send design). Setting this to
   /// false makes every send synchronous — the ablation for the paper's
@@ -92,6 +100,14 @@ struct MpidJobSpec {
   double map_output_ratio = 0.30;
   /// Reducer output bytes per reduce-input byte.
   double reduce_output_ratio = 0.3;
+
+  /// Model of core::Config::shuffle_compression: spills are codec-framed
+  /// before the send, so the fabric carries raw / shuffle_compression_ratio
+  /// bytes per spill while combine/realign/reduce still process raw bytes.
+  /// The ratio is a data property — measure it with the real codec on
+  /// representative frames (bench/codec_sample.hpp). Default off.
+  bool compress_shuffle = false;
+  double shuffle_compression_ratio = 3.0;
 };
 
 struct MpidJobResult {

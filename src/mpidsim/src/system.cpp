@@ -88,11 +88,19 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
     co_await engine_.delay(sim::from_seconds(
         static_cast<double>(chunk) / spec_.map_cpu_bytes_per_second * jitter));
 
-    // Spill: realign the combined buffer into contiguous partition frames.
+    // Spill: realign the combined buffer into contiguous partition frames,
+    // then (when the job compresses its shuffle) codec-frame them so the
+    // fabric only carries wire bytes.
     const double out =
         static_cast<double>(chunk) * run.job.map_output_ratio;
     co_await engine_.delay(
         sim::from_seconds(out / spec_.realign_bytes_per_second));
+    double wire = out;
+    if (run.job.compress_shuffle) {
+      co_await engine_.delay(
+          sim::from_seconds(out / spec_.compress_bytes_per_second));
+      wire = out / run.job.shuffle_compression_ratio;
+    }
 
     // MPI_Send of the full frames. With overlap_sends the transfer is
     // pipelined with the next chunk's scan (MPI_D_Send returns
@@ -102,19 +110,23 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
                          static_cast<std::uint64_t>(spec_.reducers));
     const int reducer_node = 1 + reducer_index % (spec_.nodes - 1);
     auto deliver = [](MpidSystem& self, Run& r, sim::Resource& win, int src,
-                      int dst_node, int reducer, double bytes) -> sim::Task<> {
+                      int dst_node, int reducer, double raw_bytes,
+                      double wire_bytes) -> sim::Task<> {
       co_await self.mpi_.send(src, dst_node,
-                              static_cast<std::uint64_t>(bytes));
-      co_await r.to_reducer[static_cast<std::size_t>(reducer)]->send(bytes);
+                              static_cast<std::uint64_t>(wire_bytes));
+      // The reducer is handed the raw volume: its realignment/reduce and
+      // memory budget are over decoded bytes.
+      co_await r.to_reducer[static_cast<std::size_t>(reducer)]->send(
+          raw_bytes);
       win.release();
     };
     co_await window.acquire();
     if (spec_.overlap_sends) {
       engine_.spawn(deliver(*this, run, window, node, reducer_node,
-                            reducer_index, out));
+                            reducer_index, out, wire));
     } else {
       co_await deliver(*this, run, window, node, reducer_node, reducer_index,
-                       out);
+                       out, wire);
     }
 
     remaining -= chunk;
@@ -140,6 +152,12 @@ sim::Task<> MpidSystem::reducer(Run& run, int reducer_index) {
   while (consumed <
          run.chunks_for_reducer[static_cast<std::size_t>(reducer_index)]) {
     const double bytes = co_await inbox.recv();
+    // Compressed spills are decoded as they arrive, before the reverse
+    // realignment sees them.
+    if (run.job.compress_shuffle) {
+      co_await engine_.delay(
+          sim::from_seconds(bytes / spec_.decompress_bytes_per_second));
+    }
     // Streaming mode: reverse realignment + the reduce function, applied
     // as the partitions arrive. Within the memory budget this is pure
     // in-memory work; beyond it the prototype spills and merges through
