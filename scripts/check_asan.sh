@@ -10,7 +10,9 @@
 # in a varint-prefixed slab would corrupt silently in a release build.
 # test_common also carries the shuffle-codec round-trip fuzz
 # (test_codec_fuzz.cpp), so the mutated/truncated wire frames hit the
-# decoder's bounds checks under instrumentation here.
+# decoder's bounds checks under instrumentation here. test_shuffle covers
+# the extracted engine (buffer drain-under-throw, encoder frame reuse,
+# compressor framing escapes) at the unit level.
 #
 # Usage: scripts/check_asan.sh [extra gtest args...]
 set -euo pipefail
@@ -20,12 +22,12 @@ BUILD_DIR=build-asan
 
 cmake -B "$BUILD_DIR" -S . -DMPID_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_common test_mpid test_minihadoop -j
+cmake --build "$BUILD_DIR" --target test_common test_shuffle test_mpid test_minihadoop -j
 
 # detect_leaks also catches frames/blocks that escape the pools.
 export ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1 ${ASAN_OPTIONS:-}"
 
-for suite in test_common test_mpid test_minihadoop; do
+for suite in test_common test_shuffle test_mpid test_minihadoop; do
   echo "=== ASan: $suite ==="
   "$BUILD_DIR/tests/$suite" "$@"
 done

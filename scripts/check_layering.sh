@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Enforces the shuffle-engine layering (DESIGN.md §11) by grepping the
+# DIRECT #include lines of each layer:
+#
+#   src/shuffle     may include only mpid/common/ and mpid/shuffle/ —
+#                   the engine is transport-agnostic and must not know
+#                   which runtime is driving it.
+#   src/core        must not include mpid/minihadoop/ — MPI-D wires its
+#                   own transport around the shared engine.
+#   src/minihadoop  must not include mpid/core/ — the RPC runtime gets
+#                   shuffle semantics from mpid/shuffle/, never by
+#                   reaching across into the MPI runtime.
+#
+# Transitive includes are intentionally out of scope: the rule being
+# enforced is "who is allowed to name whom", which is what keeps the
+# engine extractable.
+#
+# Usage: scripts/check_layering.sh   (exits non-zero on any violation)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# check_layer <dir> <description> <forbidden-include-regex>
+check_layer() {
+  local dir=$1 what=$2 pattern=$3
+  local hits
+  hits=$(grep -rnE "$pattern" "$dir" --include='*.hpp' --include='*.cpp' || true)
+  if [[ -n "$hits" ]]; then
+    echo "layering violation: $what"
+    echo "$hits"
+    fail=1
+  fi
+}
+
+# The shuffle engine: anything under mpid/ that is not common/ or
+# shuffle/. grep -E has no lookahead, so spell out the forbidden layers.
+check_layer src/shuffle \
+  "src/shuffle may only include mpid/common/ and mpid/shuffle/" \
+  '#include "mpid/(core|minihadoop|minimpi|mapred|dfs|hrpc|fault|net|sim|proto|hadoop|mpidsim|workloads)/'
+
+check_layer src/core \
+  "src/core must not include mpid/minihadoop/" \
+  '#include "mpid/minihadoop/'
+
+check_layer src/minihadoop \
+  "src/minihadoop must not include mpid/core/" \
+  '#include "mpid/core/'
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_layering: FAILED" >&2
+  exit 1
+fi
+echo "check_layering: OK"

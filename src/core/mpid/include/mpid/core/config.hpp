@@ -5,15 +5,19 @@
 //   rank 0                     — master (the jobtracker analog)
 //   ranks 1 .. M               — mappers
 //   ranks M+1 .. M+R           — reducers
+//
+// The dataflow knobs (spill/partition/combine/sort/compression) live in
+// shuffle::ShuffleOptions — the transport-agnostic pipeline shared with
+// MiniHadoop — which Config embeds by inheritance. Only transport policy
+// (pipelining, in-flight windows, resilience) is declared here.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <string>
-#include <string_view>
-#include <vector>
+
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/options.hpp"
 
 namespace mpid::common {
 class FramePool;
@@ -27,58 +31,22 @@ namespace mpid::core {
 
 enum class Role { kMaster, kMapper, kReducer };
 
-/// Shuffle-frame compression mode (Hadoop's `mapred.compress.map.output`
-/// analog; see common/codec.hpp for the wire format).
-///  * kOff  — frames ship raw (the default, like Hadoop's).
-///  * kAuto — frames below Config::compress_min_frame_bytes ship stored;
-///            larger frames are compressed, and a mapper that keeps
-///            observing poor ratios stops paying the encode cost for a
-///            while before re-sampling (the auto-skip heuristic).
-///  * kOn   — every frame is codec-framed; the per-frame stored escape is
-///            the only bail-out.
-/// The mode must match on every rank of a job: it decides whether the
-/// reducer treats arriving payloads as codec frames.
-enum class ShuffleCompression { kOff, kAuto, kOn };
+/// Shared-pipeline vocabulary, re-exported so MPI-D callers keep spelling
+/// core::ShuffleCompression / core::Combiner / core::Partitioner.
+using ShuffleCompression = shuffle::ShuffleCompression;
+using Combiner = shuffle::Combiner;
+using Partitioner = shuffle::PartitionFn;
 
-/// Local combination hook (Section IV.A): collapses the value list
-/// accumulated for one key into a (usually shorter) list before it is
-/// realigned and transmitted. "Commonly ... assigned as the reduce
-/// function" — e.g. WordCount sums counts into a single value.
-using Combiner = std::function<std::vector<std::string>(
-    std::string_view key, std::vector<std::string>&& values)>;
-
-/// Partition selector: maps a key to a reducer index in [0, reducers).
-/// The default is the paper's hash-mod selector ("similar to the
-/// HashPartitioner in the Hadoop MapReduce framework"); a custom one
-/// enables e.g. range partitioning for globally sorted output.
-using Partitioner =
-    std::function<std::uint32_t(std::string_view key, std::uint32_t reducers)>;
-
-struct Config {
+/// MPI-D job configuration: the shared shuffle knobs (see
+/// shuffle::ShuffleOptions for spill_threshold_bytes,
+/// partition_frame_bytes, inline_combine_threshold, sort_values,
+/// sort_keys, flat_combine_table, shuffle_compression and the
+/// compress_* policy) plus MPI-D's transport policy.
+struct Config : shuffle::ShuffleOptions {
   /// Number of mapper ranks (>= 1).
   int mappers = 1;
   /// Number of reducer ranks (>= 1).
   int reducers = 1;
-
-  /// Hash-table buffer size that triggers a spill to partitions
-  /// ("when the hash table buffer exceeds a particular size").
-  std::size_t spill_threshold_bytes = 4 * 1024 * 1024;
-
-  /// Target size of one realigned partition frame; a full frame is sent to
-  /// its reducer immediately ("when the data partition is full").
-  std::size_t partition_frame_bytes = 256 * 1024;
-
-  /// Apply the combiner incrementally once a key's buffered value list
-  /// reaches this many entries (bounds memory for hot keys); the combiner
-  /// always runs again at spill time. 0 disables incremental combining.
-  std::size_t inline_combine_threshold = 64;
-
-  /// Sort each key's value list during realignment ("it can also sort the
-  /// value list for each key on demand").
-  bool sort_values = false;
-
-  /// Emit keys of a partition frame in sorted order during realignment.
-  bool sort_keys = false;
 
   /// Optional local combiner; empty function disables combining.
   Combiner combiner;
@@ -106,15 +74,6 @@ struct Config {
   /// value-list append and a spill copy.
   bool direct_realign = false;
 
-  /// Buffer MPI_D_Send pairs in common::KvCombineTable — an open-
-  /// addressing flat table whose keys live in a bump-pointer arena and
-  /// whose value lists are slab-allocated block chains — instead of a
-  /// node-based std::unordered_map. Spills drain the arenas back to empty
-  /// without freeing, so steady-state mapping allocates nothing per pair.
-  /// Disabling falls back to the original unordered_map buffer (kept for
-  /// A/B benchmarking, like pipelined_shuffle).
-  bool flat_combine_table = true;
-
   /// Frame buffer recycler shared by the ranks of a job; null selects the
   /// process-wide FramePool::process_pool() (in-process worlds run every
   /// rank as a thread, so reducers recycle buffers straight to mappers).
@@ -130,26 +89,6 @@ struct Config {
   /// stream is sealed (a batch boundary instead of streaming reception).
   bool resilient_shuffle = false;
 
-  /// Shuffle-frame compression (see ShuffleCompression above). Composes
-  /// with pipelined_shuffle (encode happens just before the owned-buffer
-  /// isend), resilient_shuffle (the checksum covers the compressed bytes;
-  /// the header's sequence field carries a codec bit) and the raw-frame /
-  /// SortedFrameMerger path (frames decode byte-identical, so merge order
-  /// and output are unchanged).
-  ShuffleCompression shuffle_compression = ShuffleCompression::kOff;
-
-  /// kAuto only: frames smaller than this ship stored — tiny frames are
-  /// header-dominated and not worth the encode cost.
-  std::size_t compress_min_frame_bytes = 4 * 1024;
-
-  /// kAuto only: a frame whose wire/raw ratio exceeds this counts as a
-  /// poor sample; after compress_skip_after consecutive poor samples the
-  /// mapper ships the next compress_skip_frames frames stored, then
-  /// re-samples (data distributions drift within a job).
-  double compress_skip_ratio = 0.9;
-  std::size_t compress_skip_after = 2;
-  std::size_t compress_skip_frames = 8;
-
   /// Deterministic fault injector driving transport faults and task
   /// crashes (see mpid::fault). Null (the default) means no injection;
   /// transport faults are scoped to the data channel and only armed when
@@ -161,48 +100,22 @@ struct Config {
   int world_size() const noexcept { return 1 + mappers + reducers; }
 };
 
-/// Per-rank counters, aggregated at the master by MPI_D_Finalize.
-struct Stats {
-  std::uint64_t pairs_sent = 0;           // MPI_D_Send invocations
-  std::uint64_t pairs_after_combine = 0;  // pairs surviving the combiner
-  std::uint64_t spills = 0;               // hash-table spill rounds
-  std::uint64_t frames_sent = 0;          // partition frames transmitted
-  std::uint64_t bytes_sent = 0;           // payload bytes transmitted
+/// Per-rank counters, aggregated at the master by MPI_D_Finalize. The
+/// dataflow block (pairs_after_combine, spills, combine/spill wall time,
+/// compression bytes) is the shared shuffle::ShuffleCounters; the fields
+/// declared here are MPI-D transport and recovery accounting.
+struct Stats : shuffle::ShuffleCounters {
+  std::uint64_t pairs_sent = 0;      // MPI_D_Send invocations
+  std::uint64_t frames_sent = 0;     // partition frames transmitted
+  std::uint64_t bytes_sent = 0;      // payload bytes transmitted
   std::uint64_t frames_received = 0;
-  std::uint64_t bytes_received = 0;       // payload bytes received
-  std::uint64_t pairs_received = 0;       // pairs handed to MPI_D_Recv
+  std::uint64_t bytes_received = 0;  // payload bytes received
+  std::uint64_t pairs_received = 0;  // pairs handed to MPI_D_Recv
   /// Mapper stall: wall time spent inside the transport while flushing
   /// partition frames (send, window wait, buffer turnaround). This is the
   /// time MPI_D_Send steals from map computation; the pipelined shuffle
   /// exists to drive it toward zero.
   std::uint64_t flush_wait_ns = 0;
-
-  // --- combine-path accounting (the memory side of the map stage) ---
-  /// Wall time inside the user combiner (incremental and spill-time runs,
-  /// including value materialization around the call). Spill-time
-  /// combining also counts toward spill_ns.
-  std::uint64_t combine_ns = 0;
-  /// Wall time of hash-buffer spill rounds: drain, realignment into
-  /// partition frames and any frame flushes they trigger.
-  std::uint64_t spill_ns = 0;
-  /// High-water byte footprint of the combine buffer (keys + encoded
-  /// values + bookkeeping). Aggregates as a max across ranks.
-  std::uint64_t table_bytes_peak = 0;
-  /// Spill rounds that recycled the flat table's arenas in place instead
-  /// of freeing (zero on the legacy unordered_map path).
-  std::uint64_t arena_recycles = 0;
-
-  // --- shuffle compression (zero when shuffle_compression is off) ---
-  /// Frame payload bytes before encoding (what the shuffle would have
-  /// shipped raw). bytes_sent counts wire bytes, so raw - wire is the
-  /// bandwidth the codec saved.
-  std::uint64_t shuffle_bytes_raw = 0;
-  /// Frame bytes actually shipped (codec header + payload).
-  std::uint64_t shuffle_bytes_wire = 0;
-  std::uint64_t compress_ns = 0;    // mapper wall time inside encode_frame
-  std::uint64_t decompress_ns = 0;  // reducer wall time inside decode_frame
-  /// Frames that shipped via the stored escape or the auto-skip heuristic.
-  std::uint64_t frames_stored_uncompressed = 0;
 
   // --- recovery counters (resilient shuffle; zero on clean runs) ---
   std::uint64_t frames_retransmitted = 0;   // frames re-sent after NACK/REPULL
@@ -213,26 +126,14 @@ struct Stats {
   std::uint64_t recovery_wall_ns = 0;       // wall time inside recovery paths
 
   Stats& operator+=(const Stats& rhs) noexcept {
+    merge(rhs);  // shared dataflow counters (table_bytes_peak as a max)
     pairs_sent += rhs.pairs_sent;
-    pairs_after_combine += rhs.pairs_after_combine;
-    spills += rhs.spills;
     frames_sent += rhs.frames_sent;
     bytes_sent += rhs.bytes_sent;
     frames_received += rhs.frames_received;
     bytes_received += rhs.bytes_received;
     pairs_received += rhs.pairs_received;
     flush_wait_ns += rhs.flush_wait_ns;
-    combine_ns += rhs.combine_ns;
-    spill_ns += rhs.spill_ns;
-    if (rhs.table_bytes_peak > table_bytes_peak) {
-      table_bytes_peak = rhs.table_bytes_peak;  // a peak, not a volume
-    }
-    arena_recycles += rhs.arena_recycles;
-    shuffle_bytes_raw += rhs.shuffle_bytes_raw;
-    shuffle_bytes_wire += rhs.shuffle_bytes_wire;
-    compress_ns += rhs.compress_ns;
-    decompress_ns += rhs.decompress_ns;
-    frames_stored_uncompressed += rhs.frames_stored_uncompressed;
     frames_retransmitted += rhs.frames_retransmitted;
     retransmit_requests += rhs.retransmit_requests;
     corrupt_frames_dropped += rhs.corrupt_frames_dropped;

@@ -1,10 +1,8 @@
 // Reducer-side sorted merge: Hadoop's merge phase for MPI-D.
 //
-// When mappers realign with Config::sort_keys, every partition frame they
-// ship is internally key-sorted. A reducer that wants globally key-ordered
-// groups (Hadoop's reduce contract) can then k-way merge the frames
-// instead of hash-grouping them — memory stays bounded by one group plus
-// one cursor per frame, regardless of how many distinct keys exist.
+// The merge stage is transport-agnostic and lives in the shared shuffle
+// engine (mpid/shuffle/merger.hpp); this header keeps the historical
+// core::SortedFrameMerger spelling for MPI-D callers.
 //
 //   SortedFrameMerger merger;
 //   std::vector<std::byte> frame;
@@ -13,47 +11,10 @@
 //   while (merger.next_group(key, values)) reduce(key, values);
 #pragma once
 
-#include <cstddef>
-#include <deque>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "mpid/common/kvframe.hpp"
+#include "mpid/shuffle/merger.hpp"
 
 namespace mpid::core {
 
-class SortedFrameMerger {
- public:
-  /// Takes ownership of one internally key-sorted KvList frame. All
-  /// frames must be added before the first next_group() call.
-  void add_frame(std::vector<std::byte> frame);
-
-  /// Produces the next group in ascending key order, concatenating the
-  /// value lists of equal keys across frames (frame arrival order breaks
-  /// ties, so a mapper's spill order is preserved within a key).
-  /// Returns false when every frame is exhausted.
-  /// Throws std::runtime_error on a corrupt frame and std::logic_error if
-  /// some frame is not sorted.
-  bool next_group(std::string& key, std::vector<std::string>& values);
-
-  std::size_t frame_count() const noexcept { return cursors_.size(); }
-
- private:
-  struct Cursor {
-    std::vector<std::byte> frame;
-    common::KvListReader reader;
-    std::optional<common::KvListView> current;
-    std::size_t order;  // arrival order, the tie-breaker
-
-    explicit Cursor(std::vector<std::byte> f, std::size_t ord)
-        : frame(std::move(f)), reader(frame), order(ord) {}
-  };
-
-  void advance(Cursor& cursor);
-
-  std::deque<Cursor> cursors_;  // deque: stable addresses for the views
-  bool started_ = false;
-};
+using SortedFrameMerger = shuffle::SegmentMerger;
 
 }  // namespace mpid::core

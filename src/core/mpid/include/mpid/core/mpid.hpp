@@ -41,16 +41,16 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "mpid/common/framepool.hpp"
-#include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
-#include "mpid/common/kvtable.hpp"
 #include "mpid/core/config.hpp"
 #include "mpid/fault/fault.hpp"
 #include "mpid/minimpi/comm.hpp"
+#include "mpid/shuffle/buffer.hpp"
+#include "mpid/shuffle/compress.hpp"
+#include "mpid/shuffle/engine.hpp"
 
 namespace mpid::core {
 
@@ -130,24 +130,11 @@ class MpiD {
   int attempt() const noexcept { return attempt_; }
 
  private:
-  struct ValueList {
-    std::vector<std::string> values;
-    std::size_t bytes = 0;
-  };
-
-  void spill();
-  void spill_legacy();
-  void spill_flat();
-  void append_to_partition(std::size_t partition, std::string_view key,
-                           std::vector<std::string>&& values);
-  void flush_partition(std::size_t partition);
-  void run_combiner(std::string_view key, ValueList& entry);
-  /// Incremental in-place combine of one flat-table entry (collect →
-  /// combiner → replace); timed into Stats::combine_ns.
-  void combine_flat_entry(std::string_view key, std::uint32_t index);
-  /// Streams one flat-table entry into its partition frame, running the
-  /// combiner / value sort through scratch storage only when configured.
-  void realign_flat_entry(const common::KvCombineTable::EntryView& entry);
+  /// The SpillEncoder's transport sink: ships one realigned (and possibly
+  /// codec-framed) partition frame over the data communicator via the
+  /// configured path (resilient / pipelined / blocking), accounting
+  /// frames_sent, bytes_sent and flush_wait_ns.
+  void transport_send(std::size_t partition, std::vector<std::byte> frame);
 
   // --- resilient shuffle (Config::resilient_shuffle) ---
   bool resilient() const noexcept { return config_.resilient_shuffle; }
@@ -176,11 +163,6 @@ class MpiD {
   bool compression_on() const noexcept {
     return config_.shuffle_compression != ShuffleCompression::kOff;
   }
-  /// Encodes one outgoing partition frame as a codec frame (or a stored
-  /// frame, per the auto heuristic), recycling `frame` through the pool.
-  std::vector<std::byte> maybe_compress(std::vector<std::byte> frame);
-  /// Decodes one incoming codec frame into a pool-recycled buffer.
-  std::vector<std::byte> decode_wire_frame(std::vector<std::byte> wire);
 
   /// Pulls the next frame from the network (decoding it when compression
   /// is on) and stages it as the delivery frame. Returns false when all
@@ -207,30 +189,20 @@ class MpiD {
   std::shared_ptr<common::FramePool> pool_;
   bool direct_realign_ = false;  // resolved from config at init
 
-  // Mapper state. Exactly one of the two buffers is active per config:
-  // the flat combine table (Config::flat_combine_table, default) or the
-  // legacy node-based map kept for A/B benchmarking. Transparent hashing
-  // keeps the legacy probe free of temporary std::string construction.
-  bool flat_table_ = false;  // resolved from config at init
-  common::KvCombineTable table_;
-  std::vector<std::string> combine_scratch_;  // reused value materialization
-  std::unordered_map<std::string, ValueList, common::TransparentStringHash,
-                     common::TransparentStringEq>
-      buffer_;
-  std::size_t buffered_bytes_ = 0;
-  std::vector<common::KvListWriter> partitions_;
-  /// Capacity frames are reserved/acquired at: the flush threshold plus
-  /// the table's worst-case single-entry overshoot, so an append never
-  /// reallocates a frame mid-spill.
-  std::size_t frame_capacity_hint_ = 0;
+  // Mapper state: the shared shuffle pipeline (src/shuffle), wired to
+  // this rank's transport through transport_send(). The buffer holds the
+  // combine stage (flat table or legacy node-based map per
+  // Config::flat_combine_table); the encoder owns partitioning,
+  // spill-time combining and frame flush policy; the compressor is the
+  // optional codec stage (self-describing framing: every wire frame
+  // decodes, skips use the stored escape).
+  std::optional<shuffle::CombineRunner> combine_runner_;
+  std::optional<shuffle::MapOutputBuffer> map_buffer_;  // empty: direct path
+  std::optional<shuffle::FrameCompressor> compressor_;
+  std::optional<shuffle::SpillEncoder> encoder_;
   /// Outstanding nonblocking frame sends, one bounded window per
   /// destination reducer (Config::max_inflight_frames).
   std::vector<std::deque<minimpi::Request>> inflight_;
-  // Auto-compression sampling state (ShuffleCompression::kAuto): after
-  // compress_skip_after consecutive poor-ratio frames the next
-  // compress_skip_frames frames ship stored, then sampling resumes.
-  std::size_t compress_poor_samples_ = 0;
-  std::size_t compress_skip_remaining_ = 0;
 
   // Resilient-shuffle mapper state: one lane per reducer. Sent frames are
   // retained (with their headers) until the master's final ack, so a
@@ -265,6 +237,9 @@ class MpiD {
   // staged every group in an owning Segment queue first). The reader and
   // view alias delivery_frame_, which is released to the pool only once
   // fully drained.
+  /// Consumer side of the codec stage (engaged when compression is on):
+  /// decodes wire frames into pool-recycled buffers.
+  std::optional<shuffle::FrameDecoder> decoder_;
   std::vector<std::byte> delivery_frame_;
   std::optional<common::KvListReader> delivery_reader_;
   std::optional<common::KvListView> current_view_;  // group being drained

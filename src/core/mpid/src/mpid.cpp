@@ -23,10 +23,6 @@ constexpr int kLaneAckTag = 5;   // reducer -> mapper: lane complete
 constexpr int kLaneNackTag = 6;  // reducer -> mapper: list of missing seqs
 constexpr int kRepullTag = 7;    // restarted reducer -> mapper: resend lane
 
-/// Approximate per-entry bookkeeping overhead counted against the spill
-/// threshold (hash node + string headers).
-constexpr std::size_t kEntryOverhead = 48;
-
 static_assert(std::is_trivially_copyable_v<Stats>,
               "Stats travels as a raw MPI payload");
 
@@ -94,26 +90,57 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
   if (config_.max_inflight_frames < 1) {
     throw std::invalid_argument("MpiD: max_inflight_frames must be >= 1");
   }
+  config_.validate();  // shared shuffle knobs (spill/frame/compression)
   pool_ = config_.frame_pool ? config_.frame_pool
                              : common::FramePool::process_pool();
   // Direct realignment requires the buffered spill path to be semantics-
   // free: no combiner to batch for, no sorted runs to build.
   direct_realign_ = config_.direct_realign && !config_.combiner &&
                     !config_.sort_keys && !config_.sort_values;
-  flat_table_ = config_.flat_combine_table;
-  frame_capacity_hint_ = config_.partition_frame_bytes;
   const auto rank = comm.rank();
   if (rank == 0) {
     role_ = Role::kMaster;
   } else if (rank <= config_.mappers) {
     role_ = Role::kMapper;
-    partitions_.resize(static_cast<std::size_t>(config_.reducers));
     inflight_.resize(static_cast<std::size_t>(config_.reducers));
     if (resilient()) {
       lanes_.resize(static_cast<std::size_t>(config_.reducers));
     }
+    // Assemble the shared shuffle pipeline (src/shuffle) over this rank's
+    // transport: buffer -> combine -> partition -> encode -> [compress]
+    // -> transport_send(). MPI-D realigns into bounded KvList frames and
+    // ships each one the moment it fills.
+    combine_runner_.emplace(config_.combiner, &stats_);
+    if (!direct_realign_) {
+      map_buffer_.emplace(config_, &*combine_runner_, &stats_);
+    }
+    if (compression_on()) {
+      compressor_.emplace(config_, shuffle::WireFraming::kSelfDescribing,
+                          common::FrameKind::kKvList, pool_.get(), &stats_);
+    }
+    shuffle::SpillEncoder::Setup setup;
+    setup.layout = shuffle::Layout::kKvList;
+    setup.partitions = static_cast<std::uint32_t>(config_.reducers);
+    setup.partitioner = shuffle::Partitioner(
+        static_cast<std::uint32_t>(config_.reducers), config_.partitioner);
+    setup.combine = &*combine_runner_;
+    setup.compressor = compressor_ ? &*compressor_ : nullptr;
+    // Only the pipelined/resilient paths re-arm flushed writers from the
+    // pool; the blocking A/B path restarts each frame empty, as it always
+    // has.
+    setup.pool = (config_.pipelined_shuffle || resilient()) ? pool_.get()
+                                                            : nullptr;
+    setup.counters = &stats_;
+    setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
+                        bool /*codec_framed: self-describing framing*/) {
+      transport_send(partition, std::move(frame));
+    };
+    encoder_.emplace(config_, std::move(setup));
   } else {
     role_ = Role::kReducer;
+    if (compression_on()) {
+      decoder_.emplace(config_.partition_frame_bytes, pool_.get(), &stats_);
+    }
     if (resilient()) {
       recv_lanes_.resize(static_cast<std::size_t>(config_.mappers));
       if (auto* inj = injector()) {
@@ -187,203 +214,15 @@ void MpiD::send(std::string_view key, std::string_view value) {
   if (direct_realign_) {
     // Realign straight into the partition frame: one serialization per
     // pair instead of hash insert + value-list append + spill copy.
-    const auto partition = static_cast<std::size_t>(partition_for(key));
-    auto& writer = partitions_[partition];
-    writer.begin_group(key, 1);
-    writer.add_value(value);
-    ++stats_.pairs_after_combine;
-    if (writer.byte_size() >= config_.partition_frame_bytes) {
-      flush_partition(partition);
-    }
+    encoder_->emit_direct(key, value);
     return;
   }
 
-  if (flat_table_) {
-    // Flat combine table: the append bumps two arenas and touches one
-    // contiguous control-byte run — no node allocation, no key copy
-    // beyond the one-time interning, no small-string churn.
-    const std::size_t count = table_.append(key, value);
-    if (config_.inline_combine_threshold > 0 && config_.combiner &&
-        count >= config_.inline_combine_threshold) {
-      combine_flat_entry(key, table_.last_index());
-    }
-    if (table_.bytes_used() >= config_.spill_threshold_bytes) spill();
-    return;
-  }
-
-  auto it = buffer_.find(key);  // transparent: no temporary string
-  const bool inserted = it == buffer_.end();
-  if (inserted) {
-    it = buffer_.emplace(std::string(key), ValueList{}).first;
-  }
-  ValueList& entry = it->second;
-  entry.values.emplace_back(value);
-  entry.bytes += value.size();
-  buffered_bytes_ += value.size();
-  if (inserted) buffered_bytes_ += key.size() + kEntryOverhead;
-
-  if (config_.inline_combine_threshold > 0 && config_.combiner &&
-      entry.values.size() >= config_.inline_combine_threshold) {
-    const std::size_t before = entry.bytes;
-    run_combiner(it->first, entry);
-    buffered_bytes_ -= std::min(buffered_bytes_, before - entry.bytes);
-  }
-
-  if (buffered_bytes_ >= config_.spill_threshold_bytes) spill();
-}
-
-void MpiD::run_combiner(std::string_view key, ValueList& entry) {
-  const std::uint64_t start = now_ns();
-  entry.values = config_.combiner(key, std::move(entry.values));
-  entry.bytes = 0;
-  for (const auto& v : entry.values) entry.bytes += v.size();
-  stats_.combine_ns += now_ns() - start;
-}
-
-void MpiD::combine_flat_entry(std::string_view key, std::uint32_t index) {
-  // Addressed by the dense index the append just returned: the combine
-  // cycle costs zero additional probes.
-  const std::uint64_t start = now_ns();
-  combine_scratch_.clear();
-  auto cursor = table_.entry_at(index).values;
-  while (auto v = cursor.next()) combine_scratch_.emplace_back(*v);
-  combine_scratch_ = config_.combiner(key, std::move(combine_scratch_));
-  table_.replace_at(index, combine_scratch_);
-  combine_scratch_.clear();
-  stats_.combine_ns += now_ns() - start;
-}
-
-void MpiD::spill() {
-  if (flat_table_) {
-    spill_flat();
-  } else {
-    spill_legacy();
-  }
-}
-
-void MpiD::realign_flat_entry(const common::KvCombineTable::EntryView& entry) {
-  // The table caches fnv1a64(key) per entry, which is exactly what the
-  // default partitioner computes — no rehash unless one is configured.
-  const auto partition = static_cast<std::size_t>(
-      config_.partitioner
-          ? partition_for(entry.key)
-          : static_cast<std::uint32_t>(
-                entry.key_hash % static_cast<std::uint32_t>(config_.reducers)));
-  if ((config_.combiner || config_.sort_values) && entry.value_count > 1) {
-    // Combining and value sorting need materialized std::strings; the
-    // scratch vector is reused across entries. Single-value entries — the
-    // bulk of a skewed stream's key tail — skip both: a one-element list
-    // is already sorted, and the MapReduce combiner contract (it may run
-    // zero or more times) makes the combiner a no-op on a single value.
-    combine_scratch_.clear();
-    auto cursor = entry.values;
-    while (auto v = cursor.next()) combine_scratch_.emplace_back(*v);
-    if (config_.combiner) {
-      const std::uint64_t start = now_ns();
-      combine_scratch_ =
-          config_.combiner(entry.key, std::move(combine_scratch_));
-      stats_.combine_ns += now_ns() - start;
-    }
-    append_to_partition(partition, entry.key, std::move(combine_scratch_));
-    return;
-  }
-  // No combining, no sorting: the slab chain already holds the frame's
-  // wire format, so the spill block-copies it straight into the partition
-  // frame — each byte moves exactly once, with no per-value re-encode.
-  auto& writer = partitions_[partition];
-  writer.begin_group(entry.key, entry.value_count);
-  auto cursor = entry.values;
-  cursor.drain_to(writer);
-  stats_.pairs_after_combine += entry.value_count;
-  if (writer.byte_size() >= config_.partition_frame_bytes) {
-    flush_partition(partition);
-  }
-}
-
-void MpiD::spill_flat() {
-  if (table_.empty()) return;
-  ++stats_.spills;
-  const std::uint64_t start = now_ns();
-  if (table_.bytes_used() > stats_.table_bytes_peak) {
-    stats_.table_bytes_peak = table_.bytes_used();
-  }
-  // Reserve every frame at the flush threshold plus the table's exact
-  // worst-case single-entry overshoot: no append can reallocate a frame
-  // mid-spill, and pool acquisitions reuse the same bound.
-  frame_capacity_hint_ =
-      config_.partition_frame_bytes + table_.max_entry_frame_bytes();
-  for (auto& writer : partitions_) writer.reserve(frame_capacity_hint_);
-  try {
-    table_.for_each(config_.sort_keys,
-                    [this](const common::KvCombineTable::EntryView& entry) {
-                      realign_flat_entry(entry);
-                    });
-  } catch (...) {
-    // Match the legacy drain-then-partition semantics: the buffer is
-    // emptied even when a partitioner/combiner throws mid-realignment,
-    // so a recovering caller can still finalize cleanly.
-    table_.recycle();
-    stats_.spill_ns += now_ns() - start;
-    throw;
-  }
-  // Drain the arenas back to empty without freeing: the next map burst
-  // reuses every chunk, slot and slab block.
-  table_.recycle();
-  ++stats_.arena_recycles;
-  if (config_.sort_keys) {
-    // Keep every shipped frame a single sorted run (see spill_legacy).
-    for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
-  }
-  stats_.spill_ns += now_ns() - start;
-}
-
-void MpiD::spill_legacy() {
-  if (buffer_.empty()) return;
-  ++stats_.spills;
-  const std::uint64_t start = now_ns();
-  if (buffered_bytes_ > stats_.table_bytes_peak) {
-    stats_.table_bytes_peak = buffered_bytes_;
-  }
-
-  // Drain the hash table. With sort_keys the keys of this spill round are
-  // emitted in lexicographic order (within each partition frame).
-  std::vector<std::pair<std::string, ValueList>> entries;
-  entries.reserve(buffer_.size());
-  for (auto& [key, list] : buffer_) {
-    entries.emplace_back(key, std::move(list));
-  }
-  buffer_.clear();
-  buffered_bytes_ = 0;
-  if (config_.sort_keys) {
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-  }
-
-  for (auto& [key, list] : entries) {
-    if (config_.combiner) run_combiner(key, list);
-    append_to_partition(partition_for(key), key, std::move(list.values));
-  }
-
-  if (config_.sort_keys) {
-    // Keep every shipped frame a single sorted run (Hadoop's per-spill
-    // sorted files): a frame must not span two spill rounds, or the
-    // reducer-side SortedFrameMerger would see a second ascending run.
-    for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
-  }
-  stats_.spill_ns += now_ns() - start;
-}
-
-void MpiD::append_to_partition(std::size_t partition, std::string_view key,
-                               std::vector<std::string>&& values) {
-  if (config_.sort_values) std::sort(values.begin(), values.end());
-  auto& writer = partitions_[partition];
-  writer.begin_group(key, values.size());
-  for (const auto& v : values) writer.add_value(v);
-  stats_.pairs_after_combine += values.size();
-  // "When the data partition is full, it will trigger ... sending."
-  if (writer.byte_size() >= config_.partition_frame_bytes) {
-    flush_partition(partition);
-  }
+  map_buffer_->append(key, value);
+  // "When the hash table buffer exceeds a particular size" — drain it
+  // through the shared pipeline (partition select, spill-time combine,
+  // realignment into partition frames).
+  if (map_buffer_->should_spill()) encoder_->spill(*map_buffer_);
 }
 
 void MpiD::drain_inflight(std::size_t partition) {
@@ -394,83 +233,16 @@ void MpiD::drain_inflight(std::size_t partition) {
   }
 }
 
-std::vector<std::byte> MpiD::maybe_compress(std::vector<std::byte> frame) {
-  if (!compression_on()) return frame;
-  stats_.shuffle_bytes_raw += frame.size();
-  // kAuto skips tiny, header-dominated frames outright and stops paying
-  // the encode cost after a run of poor ratios (re-sampling later — the
-  // data distribution can drift across a job's spills). kOn always
-  // encodes; the per-frame stored escape is its only bail-out.
-  bool skip = false;
-  if (config_.shuffle_compression == ShuffleCompression::kAuto) {
-    if (frame.size() < config_.compress_min_frame_bytes) {
-      skip = true;
-    } else if (compress_skip_remaining_ > 0) {
-      --compress_skip_remaining_;
-      skip = true;
-    }
-  }
-  auto wire = pool_->acquire(frame.size() + 16);
-  wire.clear();
-  const std::uint64_t start = now_ns();
-  const auto result =
-      skip ? common::store_frame(frame, wire)
-           : common::encode_frame(common::FrameKind::kKvList, frame, wire);
-  stats_.compress_ns += now_ns() - start;
-  stats_.shuffle_bytes_wire += wire.size();
-  if (result.codec == common::FrameCodec::kStored) {
-    ++stats_.frames_stored_uncompressed;
-  }
-  if (config_.shuffle_compression == ShuffleCompression::kAuto && !skip) {
-    const bool poor = static_cast<double>(result.wire_bytes) >
-                      config_.compress_skip_ratio *
-                          static_cast<double>(result.raw_bytes);
-    if (poor) {
-      if (++compress_poor_samples_ >= config_.compress_skip_after) {
-        compress_skip_remaining_ = config_.compress_skip_frames;
-        compress_poor_samples_ = 0;
-      }
-    } else {
-      compress_poor_samples_ = 0;
-    }
-  }
-  pool_->release(std::move(frame));
-  return wire;
-}
-
-std::vector<std::byte> MpiD::decode_wire_frame(std::vector<std::byte> wire) {
-  auto frame = pool_->acquire(config_.partition_frame_bytes);
-  const std::uint64_t start = now_ns();
-  common::decode_frame(wire, frame);
-  stats_.decompress_ns += now_ns() - start;
-  pool_->release(std::move(wire));
-  return frame;
-}
-
-void MpiD::flush_partition(std::size_t partition) {
-  auto& writer = partitions_[partition];
-  if (writer.group_count() == 0) return;
+void MpiD::transport_send(std::size_t partition, std::vector<std::byte> frame) {
   // The destination is derived from the partition number automatically —
   // the mapper never names a rank (Section III, third challenge).
   const minimpi::Rank dst =
       1 + config_.mappers + static_cast<minimpi::Rank>(partition);
   const std::uint64_t start = now_ns();
   if (resilient()) {
-    auto payload = writer.take();
-    // Re-arm the writer before the frame leaves (same turnaround as the
-    // pipelined path below).
-    writer.reset(pool_->acquire(frame_capacity_hint_));
-    send_frame_resilient(partition, maybe_compress(std::move(payload)));
-    ++stats_.frames_sent;
-    stats_.flush_wait_ns += now_ns() - start;
-    return;
-  }
-  if (config_.pipelined_shuffle) {
-    auto frame = maybe_compress(writer.take());
+    send_frame_resilient(partition, std::move(frame));
+  } else if (config_.pipelined_shuffle) {
     stats_.bytes_sent += frame.size();
-    // Re-arm the writer from the pool before the frame leaves: the next
-    // pair can be serialized while this frame is still in flight.
-    writer.reset(pool_->acquire(frame_capacity_hint_));
     auto& window = inflight_[partition];
     while (window.size() >= config_.max_inflight_frames) {
       window.front().wait();
@@ -479,7 +251,6 @@ void MpiD::flush_partition(std::size_t partition) {
     window.push_back(
         data_comm_.isend_bytes_owned(dst, kDataTag, std::move(frame)));
   } else {
-    const auto frame = maybe_compress(writer.take());
     data_comm_.send_bytes(dst, kDataTag, frame);
     stats_.bytes_sent += frame.size();
   }
@@ -535,7 +306,7 @@ bool MpiD::fetch_delivery_frame() {
       break;
     }
   }
-  if (compression_on()) frame = decode_wire_frame(std::move(frame));
+  if (compression_on()) frame = decoder_->decode(std::move(frame));
   delivery_frame_ = std::move(frame);
   // The reader is (re)constructed only after the move above, so its span
   // aliases the frame's final storage.
@@ -597,7 +368,7 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     collected_.pop_front();
     // Compressed payloads decode here, so SortedFrameMerger always sees
     // the raw frame bytes — merge order and output are unchanged.
-    if (compression_on()) frame = decode_wire_frame(std::move(frame));
+    if (compression_on()) frame = decoder_->decode(std::move(frame));
     return true;
   }
   for (;;) {
@@ -613,7 +384,7 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     }
     ++stats_.frames_received;
     stats_.bytes_received += frame.size();
-    if (compression_on()) frame = decode_wire_frame(std::move(frame));
+    if (compression_on()) frame = decoder_->decode(std::move(frame));
     return true;
   }
 }
@@ -662,8 +433,8 @@ void MpiD::finalize() {
 
   switch (role_) {
     case Role::kMapper: {
-      spill();
-      for (std::size_t p = 0; p < partitions_.size(); ++p) flush_partition(p);
+      if (map_buffer_) encoder_->spill(*map_buffer_);
+      encoder_->flush_all();
       // Close every in-flight window before end-of-stream: EOS must not
       // overtake data (it cannot — same (source, context) lane — but a
       // drained window also returns the request bookkeeping to a clean
@@ -1005,11 +776,9 @@ void MpiD::restart_mapper() {
   ++attempt_;
   ++incarnation_;
   ++stats_.task_restarts;
-  buffer_.clear();
-  buffered_bytes_ = 0;
-  if (flat_table_ && !table_.empty()) table_.recycle();
+  if (map_buffer_) map_buffer_->clear();
   for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
-  for (auto& writer : partitions_) writer.clear();
+  encoder_->reset();
   for (auto& lane : lanes_) {
     lane.next_seq = 0;
     lane.retained.clear();

@@ -9,8 +9,9 @@
 //   * the shuffle is HTTP: every tasktracker runs an HttpServer with a
 //     /mapOutput servlet; reduce tasks fetch their partitions with
 //     HttpClient GETs, one per (map, reduce) pair;
-//   * map outputs are hash-partitioned and framed with the same key-value
-//     serialization MPI-D uses (common::KvWriter), so the two systems'
+//   * the dataflow stages — map-output buffering, combining, hash
+//     partitioning, frame encoding, codec — are the shared shuffle engine
+//     (mpid/shuffle), the same pipeline MPI-D runs, so the two systems'
 //     shuffle payloads are byte-comparable.
 //
 // This is deliberately the paper's WordCount experiment shape (Figure 6)
@@ -29,23 +30,30 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "mpid/core/config.hpp"
 #include "mpid/dfs/minidfs.hpp"
 #include "mpid/fault/fault.hpp"
 #include "mpid/mapred/job.hpp"
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/options.hpp"
 
 namespace mpid::minihadoop {
 
-struct MiniJobConfig {
+/// MiniHadoop job configuration: the shared shuffle knobs (see
+/// shuffle::ShuffleOptions for spill_threshold_bytes,
+/// inline_combine_threshold, sorting, flat_combine_table,
+/// shuffle_compression and the compress_* policy — the same fields
+/// core::Config inherits) plus this runtime's job shape and fault policy.
+struct MiniJobConfig : shuffle::ShuffleOptions {
   mapred::MapFn map;
   mapred::ReduceFn reduce;
   /// Optional map-side combiner (same signature as MPI-D's).
-  core::Combiner combiner;
+  shuffle::Combiner combiner;
   /// DFS path of the line-oriented input file.
   std::string input_path;
   /// Output files are written to "<output_prefix>/part-r-<i>".
@@ -54,21 +62,12 @@ struct MiniJobConfig {
   int reduce_tasks = 2;
   /// Present keys to reduce() in sorted order (Hadoop semantics).
   bool sorted_reduce = true;
-  /// Buffer map outputs and reducer groups in common::KvCombineTable
-  /// (flat slots + key arena + value slabs) instead of node-based
-  /// unordered_maps — the same knob as core::Config::flat_combine_table,
-  /// kept for A/B benchmarking of the combine path.
-  bool flat_combine_table = true;
 
-  /// mapred.compress.map.output analog: map tasks codec-frame their
-  /// segments (common/codec.hpp) before storing them; the /mapOutput
-  /// servlet flags compressed segments with an X-Mpid-Codec response
-  /// header and reducers decode on fetch. kAuto leaves segments below
-  /// compress_min_segment_bytes raw (header-dominated, not worth the
-  /// encode); kOn codec-frames everything, relying on the per-frame
-  /// stored escape for incompressible data. Default off, like Hadoop's.
-  core::ShuffleCompression shuffle_compression = core::ShuffleCompression::kOff;
-  std::size_t compress_min_segment_bytes = 1024;
+  /// Legacy spelling of the compression size floor (the
+  /// mapred.compress.map.output threshold analog): non-zero overrides the
+  /// inherited compress_min_frame_bytes for this job; 0 (the default)
+  /// uses the shared ShuffleOptions value, so both runtimes agree.
+  std::size_t compress_min_segment_bytes = 0;
 
   // --- fault tolerance (all Hadoop 0.20 analogs) ---
 
@@ -95,21 +94,17 @@ struct MiniJobConfig {
   std::chrono::nanoseconds fetch_read_timeout = std::chrono::seconds(5);
 };
 
-struct JobSummary {
-  std::uint64_t map_output_pairs = 0;     // after the combiner
+/// Job counters. The dataflow block (pairs_after_combine, spills,
+/// combine/spill wall time, shuffle_bytes_raw/wire, codec wall time) is
+/// the shared shuffle::ShuffleCounters, folded in commit-gated: only the
+/// attempt the jobtracker commits contributes. The fields declared here
+/// are MiniHadoop transport and recovery accounting.
+struct JobSummary : shuffle::ShuffleCounters {
+  std::uint64_t map_output_pairs = 0;     // after the combiner (committed)
   std::uint64_t shuffled_bytes = 0;       // HTTP bodies fetched
   std::uint64_t shuffle_requests = 0;     // GETs issued
   std::uint64_t heartbeats = 0;           // RPC control-plane calls
   std::vector<std::string> output_files;  // DFS paths written
-
-  // --- shuffle compression (zero when shuffle_compression is off) ---
-  std::uint64_t shuffle_bytes_raw = 0;   // segment bytes before encoding
-  std::uint64_t shuffle_bytes_wire = 0;  // segment bytes actually stored/fetched
-  std::uint64_t compress_ns = 0;         // map-side encode wall time
-  std::uint64_t decompress_ns = 0;       // reduce-side decode wall time
-  /// Segments that shipped raw (below the size threshold) or via the
-  /// codec's stored escape.
-  std::uint64_t frames_stored_uncompressed = 0;
 
   // --- recovery counters (zero on a fault-free run) ---
   std::uint64_t map_reexecutions = 0;      // map tasks requeued after failure

@@ -3,350 +3,31 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
-#include "mpid/common/codec.hpp"
-#include "mpid/common/hash.hpp"
 #include "mpid/common/kvframe.hpp"
-#include "mpid/common/kvtable.hpp"
 #include "mpid/hrpc/http.hpp"
 #include "mpid/hrpc/rpc.hpp"
-#include "mpid/hrpc/stream.hpp"
+#include "mpid/shuffle/buffer.hpp"
+#include "mpid/shuffle/compress.hpp"
+#include "mpid/shuffle/engine.hpp"
+#include "jobtracker.hpp"
 
 namespace mpid::minihadoop {
 
+using namespace detail;
+
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-// Heartbeat response opcodes.
-constexpr std::uint8_t kOpWait = 0;
-constexpr std::uint8_t kOpMap = 1;
-constexpr std::uint8_t kOpReduce = 2;
-constexpr std::uint8_t kOpExit = 3;
-
-// taskFailed wire tags.
-constexpr std::uint8_t kKindMap = 0;
-constexpr std::uint8_t kKindReduce = 1;
-
-constexpr const char* kProtocol = "JobTracker";
-constexpr std::int64_t kVersion = 1;
-
-/// A tracker whose heartbeat cannot get through keeps retrying this many
-/// times before giving up on the job (each injected drop surfaces as one
-/// RpcError at the client).
-constexpr int kMaxHeartbeatRetries = 64;
 
 std::span<const std::byte> as_bytes(std::string_view s) {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
 }
-
-/// The legacy node-based combine buffer kept for A/B runs against
-/// KvCombineTable (MiniJobConfig::flat_combine_table = false). Transparent
-/// hashing: probes by string_view never construct a temporary std::string.
-using LegacyKvBuffer =
-    std::unordered_map<std::string, std::vector<std::string>,
-                       common::TransparentStringHash,
-                       common::TransparentStringEq>;
-
-void legacy_buffer_append(LegacyKvBuffer& buffer, std::string_view key,
-                          std::string_view value) {
-  auto it = buffer.find(key);
-  if (it == buffer.end()) {
-    it = buffer.emplace(std::string(key), std::vector<std::string>{}).first;
-  }
-  it->second.emplace_back(value);
-}
-
-/// Materializes one flat-table entry's values into `out` (cleared first).
-void materialize_values(const common::KvCombineTable::EntryView& entry,
-                        std::vector<std::string>& out) {
-  out.clear();
-  auto cursor = entry.values;
-  while (auto v = cursor.next()) out.emplace_back(*v);
-}
-
-std::string task_subject(std::uint8_t kind, int id, int attempt) {
-  return std::string(kind == kKindMap ? "map:" : "reduce:") +
-         std::to_string(id) + "#" + std::to_string(attempt);
-}
-
-/// Hadoop's per-task attempt bookkeeping: a task may have several live
-/// attempts (re-executions after failures, speculative duplicates); the
-/// first to report completion is committed, every other attempt's result
-/// is discarded.
-struct TaskState {
-  bool done = false;
-  bool queued = true;  // tasks start in a pending queue
-  bool speculated = false;
-  int next_attempt = 0;
-  int failed_attempts = 0;
-  int location = -1;  // maps: tracker serving the committed output
-  Clock::time_point started{};
-  std::vector<std::pair<int, int>> running;  // (attempt, tracker)
-};
-
-/// Shared jobtracker state behind the RPC methods.
-struct JobTracker {
-  std::mutex mu;
-  std::deque<int> pending_maps;
-  std::deque<int> pending_reduces;
-  std::vector<TaskState> maps;
-  std::vector<TaskState> reduces;
-  int maps_done = 0;
-  int reduces_done = 0;
-
-  // Policy (copied from MiniJobConfig before any connection is accepted).
-  int max_task_attempts = 4;
-  bool speculative = true;
-  std::chrono::nanoseconds tracker_timeout{};
-  std::chrono::nanoseconds speculative_threshold{};
-  fault::FaultInjector* inj = nullptr;
-
-  // Tracker liveness (mapred.tasktracker.expiry.interval).
-  std::vector<Clock::time_point> last_seen;
-  std::vector<bool> lost;
-
-  bool failed = false;
-  std::string failure;
-
-  std::atomic<std::uint64_t> heartbeats{0};
-  std::uint64_t map_reexecutions = 0;
-  std::uint64_t reduce_reexecutions = 0;
-  std::uint64_t speculative_launches = 0;
-  std::uint64_t trackers_timed_out = 0;
-
-  int total_maps() const { return static_cast<int>(maps.size()); }
-  int total_reduces() const { return static_cast<int>(reduces.size()); }
-
-  /// Pops the first pending task that is still unfinished (a task can sit
-  /// in the queue after a speculative twin already completed it).
-  static int pop_runnable(std::deque<int>& queue,
-                          std::vector<TaskState>& tasks) {
-    while (!queue.empty()) {
-      const int id = queue.front();
-      queue.pop_front();
-      tasks[static_cast<std::size_t>(id)].queued = false;
-      if (!tasks[static_cast<std::size_t>(id)].done) return id;
-    }
-    return -1;
-  }
-
-  int dispatch(TaskState& st, int tracker, Clock::time_point now) {
-    const int attempt = st.next_attempt++;
-    if (st.running.empty()) st.started = now;
-    st.running.emplace_back(attempt, tracker);
-    return attempt;
-  }
-
-  /// Speculative execution: a slot is idle while some task's only attempt
-  /// has been running past the threshold — launch a duplicate attempt.
-  /// The straggling attempt keeps running; whichever finishes first wins.
-  std::optional<std::pair<int, int>> speculate(std::vector<TaskState>& tasks,
-                                               std::uint8_t kind, int tracker,
-                                               Clock::time_point now) {
-    if (!speculative) return std::nullopt;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      auto& st = tasks[i];
-      if (st.done || st.queued || st.speculated || st.running.size() != 1) {
-        continue;
-      }
-      if (now - st.started < speculative_threshold) continue;
-      st.speculated = true;
-      const int attempt = dispatch(st, tracker, now);
-      ++speculative_launches;
-      if (inj) {
-        inj->record_recovery(fault::Kind::kSpeculativeLaunch,
-                             task_subject(kind, static_cast<int>(i), attempt),
-                             "straggler duplicate");
-      }
-      return std::make_pair(static_cast<int>(i), attempt);
-    }
-    return std::nullopt;
-  }
-
-  /// Requeues every task whose only attempts ran on a lost tracker. The
-  /// tracker's already-committed map outputs stay reachable (its HTTP
-  /// server is a separate in-process object), so completed tasks keep
-  /// their results — only in-flight work is re-executed.
-  void requeue_orphans(std::vector<TaskState>& tasks, std::deque<int>& queue,
-                       std::uint8_t kind, int tracker,
-                       std::uint64_t& reexecutions) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      auto& st = tasks[i];
-      const auto before = st.running.size();
-      std::erase_if(st.running,
-                    [&](const auto& a) { return a.second == tracker; });
-      if (st.running.size() == before) continue;
-      if (!st.done && !st.queued && st.running.empty()) {
-        queue.push_back(static_cast<int>(i));
-        st.queued = true;
-        ++reexecutions;
-        if (inj) {
-          inj->record_recovery(
-              fault::Kind::kTaskReexec,
-              task_subject(kind, static_cast<int>(i), st.next_attempt - 1),
-              "lost tracker " + std::to_string(tracker));
-        }
-      }
-    }
-  }
-
-  /// Declares trackers silent past the expiry interval lost and
-  /// re-executes their running tasks (Hadoop's lostTaskTracker path).
-  void expire_lost_trackers(Clock::time_point now, int requester) {
-    for (int t = 0; t < static_cast<int>(last_seen.size()); ++t) {
-      if (t == requester || lost[static_cast<std::size_t>(t)]) continue;
-      if (now - last_seen[static_cast<std::size_t>(t)] <= tracker_timeout) {
-        continue;
-      }
-      lost[static_cast<std::size_t>(t)] = true;
-      ++trackers_timed_out;
-      if (inj) {
-        inj->record_recovery(fault::Kind::kLostTracker,
-                             "tracker:" + std::to_string(t));
-      }
-      requeue_orphans(maps, pending_maps, kKindMap, t, map_reexecutions);
-      requeue_orphans(reduces, pending_reduces, kKindReduce, t,
-                      reduce_reexecutions);
-    }
-  }
-
-  std::vector<std::byte> reply(std::uint8_t op, int task, int attempt) {
-    hrpc::DataOut out;
-    out.write_u8(op);
-    out.write_i32(task);
-    out.write_i32(attempt);
-    return out.take();
-  }
-
-  std::vector<std::byte> heartbeat(int tracker) {
-    ++heartbeats;
-    const auto now = Clock::now();
-    std::lock_guard lock(mu);
-    last_seen[static_cast<std::size_t>(tracker)] = now;
-    // A tracker we gave up on re-joins by heartbeating again; its stale
-    // attempts were requeued, and any late completion commits only if the
-    // task has not finished elsewhere.
-    lost[static_cast<std::size_t>(tracker)] = false;
-    expire_lost_trackers(now, tracker);
-
-    if (failed) return reply(kOpExit, 0, 0);
-    if (const int m = pop_runnable(pending_maps, maps); m >= 0) {
-      return reply(kOpMap, m,
-                   dispatch(maps[static_cast<std::size_t>(m)], tracker, now));
-    }
-    if (maps_done == total_maps()) {
-      if (const int r = pop_runnable(pending_reduces, reduces); r >= 0) {
-        return reply(
-            kOpReduce, r,
-            dispatch(reduces[static_cast<std::size_t>(r)], tracker, now));
-      }
-      if (reduces_done == total_reduces()) return reply(kOpExit, 0, 0);
-    }
-    // Nothing pending but the job is incomplete: the idle slot can host a
-    // speculative duplicate of a straggler in the current phase.
-    if (maps_done < total_maps()) {
-      if (const auto spec = speculate(maps, kKindMap, tracker, now)) {
-        return reply(kOpMap, spec->first, spec->second);
-      }
-    } else {
-      if (const auto spec = speculate(reduces, kKindReduce, tracker, now)) {
-        return reply(kOpReduce, spec->first, spec->second);
-      }
-    }
-    return reply(kOpWait, 0, 0);
-  }
-
-  /// Returns [u8 committed]: 1 if this attempt's result is the task's
-  /// official output, 0 if a twin attempt already won (the caller must
-  /// discard its counters/output — Hadoop's commit protocol).
-  std::vector<std::byte> map_completed(std::span<const std::byte> args) {
-    hrpc::DataIn in(args);
-    const auto map_id = in.read_i32();
-    const auto attempt = in.read_i32();
-    const auto tracker = in.read_i32();
-    hrpc::DataOut out;
-    std::lock_guard lock(mu);
-    auto& st = maps[static_cast<std::size_t>(map_id)];
-    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
-    if (st.done) {
-      out.write_u8(0);
-      return out.take();
-    }
-    st.done = true;
-    st.location = tracker;
-    ++maps_done;
-    out.write_u8(1);
-    return out.take();
-  }
-
-  std::vector<std::byte> reduce_completed(std::span<const std::byte> args) {
-    hrpc::DataIn in(args);
-    const auto reduce_id = in.read_i32();
-    const auto attempt = in.read_i32();
-    hrpc::DataOut out;
-    std::lock_guard lock(mu);
-    auto& st = reduces[static_cast<std::size_t>(reduce_id)];
-    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
-    if (st.done) {
-      out.write_u8(0);
-      return out.take();
-    }
-    st.done = true;
-    ++reduces_done;
-    out.write_u8(1);
-    return out.take();
-  }
-
-  /// A task attempt crashed: requeue the task unless a twin attempt is
-  /// still running; a task failing max_task_attempts times fails the job.
-  std::vector<std::byte> task_failed(std::span<const std::byte> args) {
-    hrpc::DataIn in(args);
-    const auto kind = in.read_u8();
-    const auto id = in.read_i32();
-    const auto attempt = in.read_i32();
-    std::lock_guard lock(mu);
-    auto& tasks = kind == kKindMap ? maps : reduces;
-    auto& queue = kind == kKindMap ? pending_maps : pending_reduces;
-    auto& reexecutions =
-        kind == kKindMap ? map_reexecutions : reduce_reexecutions;
-    auto& st = tasks[static_cast<std::size_t>(id)];
-    std::erase_if(st.running, [&](const auto& a) { return a.first == attempt; });
-    if (st.done) return {};
-    if (++st.failed_attempts >= max_task_attempts) {
-      failed = true;
-      failure = task_subject(kind, id, attempt) + " failed " +
-                std::to_string(st.failed_attempts) + " attempts";
-      return {};
-    }
-    if (!st.queued && st.running.empty()) {
-      queue.push_back(id);
-      st.queued = true;
-      ++reexecutions;
-      if (inj) {
-        inj->record_recovery(fault::Kind::kTaskReexec,
-                             task_subject(kind, id, attempt), "crash requeue");
-      }
-    }
-    return {};
-  }
-
-  std::vector<std::byte> map_locations(std::span<const std::byte>) {
-    hrpc::DataOut out;
-    std::lock_guard lock(mu);
-    out.write_vu64(maps.size());
-    for (const auto& st : maps) out.write_i32(st.location);
-    return out.take();
-  }
-};
 
 /// The response header flagging a codec-framed segment body (the
 /// mapred.compress.map.output analog of Hadoop's shuffle headers).
@@ -413,6 +94,17 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   if (config.max_task_attempts < 1 || config.max_fetch_attempts < 1) {
     throw std::invalid_argument("MiniCluster: attempt budgets must be >= 1");
   }
+
+  // Resolve the shared shuffle knobs. The legacy compress_min_segment_bytes
+  // spelling (when set) overrides the inherited compress_min_frame_bytes,
+  // so old callers keep their threshold while new ones share MPI-D's.
+  shuffle::ShuffleOptions opts = config;
+  if (config.compress_min_segment_bytes != 0) {
+    opts.compress_min_frame_bytes = config.compress_min_segment_bytes;
+  }
+  opts.validate();
+  const bool compressing =
+      opts.shuffle_compression != shuffle::ShuffleCompression::kOff;
 
   fault::FaultInjector* const inj = config.fault_injector.get();
 
@@ -490,36 +182,28 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     http_servers.push_back(std::move(server));
   }
 
+  // Commit-gated dataflow counters: every attempt accumulates into its
+  // own ShuffleCounters; only the attempt the jobtracker commits is
+  // merged here (so re-executed and speculative twins never double).
+  shuffle::ShuffleCounters job_counters;
+  std::mutex counters_mu;
   std::atomic<std::uint64_t> map_output_pairs{0};
   std::atomic<std::uint64_t> shuffled_bytes{0};
   std::atomic<std::uint64_t> shuffle_requests{0};
   std::atomic<std::uint64_t> shuffle_fetch_retries{0};
   std::atomic<std::uint64_t> heartbeat_errors{0};
   std::atomic<std::uint64_t> recovery_wall_ns{0};
-  std::atomic<std::uint64_t> shuffle_bytes_raw{0};
-  std::atomic<std::uint64_t> shuffle_bytes_wire{0};
-  std::atomic<std::uint64_t> compress_ns{0};
-  std::atomic<std::uint64_t> decompress_ns{0};
-  std::atomic<std::uint64_t> frames_stored_uncompressed{0};
   std::mutex output_mu;
   std::vector<std::string> output_files;
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  const bool compressing =
-      config.shuffle_compression != core::ShuffleCompression::kOff;
-
   struct MapOutcome {
-    std::uint64_t pairs = 0;
-    std::uint64_t raw_bytes = 0;
-    std::uint64_t wire_bytes = 0;
-    std::uint64_t encode_ns = 0;
-    std::uint64_t stored = 0;
+    shuffle::ShuffleCounters counters;
   };
 
-  // Returns this attempt's combined output pair count and compression
-  // counters; the caller folds them into the job counters only if the
-  // jobtracker commits the attempt.
+  // Returns this attempt's dataflow counters; the caller folds them into
+  // the job counters only if the jobtracker commits the attempt.
   auto run_map_task = [&](int tracker_id, int map_id,
                           int attempt) -> MapOutcome {
     if (inj) {
@@ -530,22 +214,48 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     const auto crash_at =
         inj ? inj->crash_tick(fault::TaskKind::kMap, map_id, attempt)
             : std::nullopt;
-    // Map over the split, buffering per key (the map-side sort/combine
-    // buffer), then combine and hash-partition into framed segments. The
-    // buffer is the flat combine table by default; the node-based map is
-    // the A/B fallback.
-    common::KvCombineTable table;
-    LegacyKvBuffer buffer;
+    // The per-attempt shuffle pipeline (src/shuffle): map output buffer →
+    // combiner → hash partition / realignment → optional codec. The
+    // unbounded frame threshold accumulates one KvPair segment per reduce
+    // partition; the sink publishes the segments to this tracker's store.
+    // With compression on, skipped frames ship raw and unflagged (kFlagged
+    // framing) — the servlet then omits the codec header, like Hadoop.
+    MapOutcome outcome;
+    shuffle::CombineRunner combine(config.combiner, &outcome.counters);
+    shuffle::MapOutputBuffer buffer(opts, &combine, &outcome.counters);
+    std::optional<shuffle::FrameCompressor> compressor;
+    if (compressing) {
+      compressor.emplace(opts, shuffle::WireFraming::kFlagged,
+                         common::FrameKind::kKvPair, nullptr,
+                         &outcome.counters);
+    }
+    std::vector<std::string> bodies(
+        static_cast<std::size_t>(config.reduce_tasks));
+    std::vector<char> codec_flags(static_cast<std::size_t>(config.reduce_tasks),
+                                  0);
+    shuffle::SpillEncoder::Setup setup;
+    setup.layout = shuffle::Layout::kKvPair;
+    setup.partitions = static_cast<std::uint32_t>(config.reduce_tasks);
+    setup.frame_flush_bytes = shuffle::SpillEncoder::kUnboundedFrame;
+    setup.partitioner =
+        shuffle::Partitioner(static_cast<std::uint32_t>(config.reduce_tasks));
+    setup.combine = &combine;
+    setup.compressor = compressor ? &*compressor : nullptr;
+    setup.counters = &outcome.counters;
+    setup.sink = [&bodies, &codec_flags](std::uint32_t r,
+                                         std::vector<std::byte> frame,
+                                         bool codec_framed) {
+      bodies[r].assign(reinterpret_cast<const char*>(frame.data()),
+                       frame.size());
+      codec_flags[r] = codec_framed ? 1 : 0;
+    };
+    shuffle::SpillEncoder encoder(opts, setup);
+
     mapred::MapContext ctx(
-        config.flat_combine_table
-            ? mapred::MapContext::Sink(
-                  [&](std::string_view k, std::string_view v) {
-                    table.append(k, v);
-                  })
-            : mapred::MapContext::Sink(
-                  [&](std::string_view k, std::string_view v) {
-                    legacy_buffer_append(buffer, k, v);
-                  }),
+        [&](std::string_view k, std::string_view v) {
+          buffer.append(k, v);
+          if (buffer.should_spill()) encoder.spill(buffer);
+        },
         map_id);
     mapred::LineReader lines(splits[static_cast<std::size_t>(map_id)]);
     std::uint64_t ticks = 0;
@@ -557,84 +267,15 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       }
       config.map(*line, ctx);
     }
+    encoder.spill(buffer);
+    encoder.flush_all();
 
-    MapOutcome outcome;
-    std::uint64_t pairs = 0;
-    std::vector<common::KvWriter> partitions(
-        static_cast<std::size_t>(config.reduce_tasks));
-    if (config.flat_combine_table) {
-      std::vector<std::string> scratch;
-      table.for_each(false, [&](const common::KvCombineTable::EntryView& e) {
-        // e.key_hash is the cached fnv1a64(key) — the hash_partition hash.
-        const auto p = static_cast<std::size_t>(
-            e.key_hash % static_cast<std::uint32_t>(config.reduce_tasks));
-        if (config.combiner && e.value_count > 1) {
-          materialize_values(e, scratch);
-          scratch = config.combiner(e.key, std::move(scratch));
-          for (const auto& value : scratch) {
-            partitions[p].append(e.key, value);
-            ++pairs;
-          }
-        } else {
-          // Values stream from the slab chain into the frame unchanged.
-          // Single-value entries take this path even with a combiner: the
-          // combiner contract (zero-or-more runs) makes it a no-op there.
-          auto cursor = e.values;
-          while (auto v = cursor.next()) {
-            partitions[p].append(e.key, *v);
-            ++pairs;
-          }
-        }
-      });
-    } else {
-      for (auto& [key, values] : buffer) {
-        auto combined = config.combiner
-                            ? config.combiner(key, std::move(values))
-                            : std::move(values);
-        const auto p = common::hash_partition(
-            key, static_cast<std::uint32_t>(config.reduce_tasks));
-        for (const auto& value : combined) {
-          partitions[p].append(key, value);
-          ++pairs;
-        }
-      }
-    }
     for (int r = 0; r < config.reduce_tasks; ++r) {
-      const auto& frame = partitions[static_cast<std::size_t>(r)].buffer();
-      std::string body;
-      bool codec = false;
-      if (compressing) {
-        outcome.raw_bytes += frame.size();
-        // kAuto leaves header-dominated segments raw (no codec framing at
-        // all — the servlet simply omits the flag); kOn frames everything
-        // and relies on the codec's stored escape.
-        if (config.shuffle_compression == core::ShuffleCompression::kAuto &&
-            frame.size() < config.compress_min_segment_bytes) {
-          body.assign(reinterpret_cast<const char*>(frame.data()),
-                      frame.size());
-          ++outcome.stored;
-        } else {
-          std::vector<std::byte> wire;
-          wire.reserve(frame.size() + 16);
-          const auto t0 = Clock::now();
-          const auto result =
-              common::encode_frame(common::FrameKind::kKvPair, frame, wire);
-          outcome.encode_ns += static_cast<std::uint64_t>(
-              std::chrono::nanoseconds(Clock::now() - t0).count());
-          if (result.codec == common::FrameCodec::kStored) ++outcome.stored;
-          body.assign(reinterpret_cast<const char*>(wire.data()),
-                      wire.size());
-          codec = true;
-        }
-        outcome.wire_bytes += body.size();
-      } else {
-        body.assign(reinterpret_cast<const char*>(frame.data()),
-                    frame.size());
-      }
-      stores[static_cast<std::size_t>(tracker_id)]->put(map_id, r,
-                                                        std::move(body), codec);
+      // Empty partitions keep their default ("", unflagged) segment.
+      stores[static_cast<std::size_t>(tracker_id)]->put(
+          map_id, r, std::move(bodies[static_cast<std::size_t>(r)]),
+          codec_flags[static_cast<std::size_t>(r)] != 0);
     }
-    outcome.pairs = pairs;
     return outcome;
   };
 
@@ -654,7 +295,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     std::string body;
     std::uint64_t bytes = 0;  // wire bytes fetched (post-compression)
     std::uint64_t requests = 0;
-    std::uint64_t decode_ns = 0;
+    shuffle::ShuffleCounters counters;  // decode wall time
   };
 
   auto run_reduce_task = [&](hrpc::RpcClient& rpc, int reduce_id,
@@ -677,11 +318,12 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     // attempt (Hadoop's "too many fetch failures" kills the reducer).
     auto location = fetch_locations(rpc);
     std::map<int, std::unique_ptr<hrpc::HttpClient>> copiers;
-    // Reducer-side grouping buffer: flat table by default, node-based
-    // map as the A/B fallback (same knob as the map side).
-    common::KvCombineTable group_table;
-    LegacyKvBuffer groups;
     ReduceOutcome outcome;
+    // Reducer-side grouping reuses the shuffle engine's buffer stage (flat
+    // table or node-based map, same knob as the map side); no combiner, no
+    // spill — the groups are only iterated at reduce time.
+    shuffle::MapOutputBuffer groups(opts, nullptr, &outcome.counters);
+    shuffle::FrameDecoder decoder(0, nullptr, &outcome.counters);
     std::uint64_t ticks = 0;
     for (int m = 0; m < config.map_tasks; ++m) {
       std::string segment;
@@ -738,44 +380,22 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
         // The servlet flagged a codec-framed body: decode back to the raw
         // KvWriter frame before reverse realignment.
         std::vector<std::byte> decoded;
-        const auto t0 = Clock::now();
-        common::decode_frame(as_bytes(segment), decoded);
-        outcome.decode_ns += static_cast<std::uint64_t>(
-            std::chrono::nanoseconds(Clock::now() - t0).count());
+        decoder.decode_into(as_bytes(segment), decoded);
         segment.assign(reinterpret_cast<const char*>(decoded.data()),
                        decoded.size());
       }
       common::KvReader reader(as_bytes(segment));
-      if (config.flat_combine_table) {
-        while (auto pair = reader.next()) {
-          group_table.append(pair->key, pair->value);
-        }
-      } else {
-        while (auto pair = reader.next()) {
-          legacy_buffer_append(groups, pair->key, pair->value);
-        }
+      while (auto pair = reader.next()) {
+        groups.append(pair->key, pair->value);
       }
     }
 
     mapred::ReduceContext ctx(reduce_id);
-    if (config.flat_combine_table) {
-      std::vector<std::string> scratch;
-      group_table.for_each(
-          config.sorted_reduce,
-          [&](const common::KvCombineTable::EntryView& e) {
-            materialize_values(e, scratch);
-            config.reduce(e.key, scratch, ctx);
-          });
-    } else if (config.sorted_reduce) {
-      std::vector<const std::string*> keys;
-      keys.reserve(groups.size());
-      for (const auto& [k, vs] : groups) keys.push_back(&k);
-      std::sort(keys.begin(), keys.end(),
-                [](const auto* a, const auto* b) { return *a < *b; });
-      for (const auto* k : keys) config.reduce(*k, groups.find(*k)->second, ctx);
-    } else {
-      for (const auto& [k, vs] : groups) config.reduce(k, vs, ctx);
-    }
+    groups.for_each_group(
+        config.sorted_reduce,
+        [&](std::string_view key, const std::vector<std::string>& values) {
+          config.reduce(key, values, ctx);
+        });
 
     for (const auto& [k, v] : ctx.take_emitted()) {
       outcome.body += k;
@@ -833,11 +453,9 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
             const auto ack =
                 rpc.call(kProtocol, kVersion, "mapCompleted", done.buffer());
             if (hrpc::DataIn(ack).read_u8() != 0) {
-              map_output_pairs += outcome.pairs;
-              shuffle_bytes_raw += outcome.raw_bytes;
-              shuffle_bytes_wire += outcome.wire_bytes;
-              compress_ns += outcome.encode_ns;
-              frames_stored_uncompressed += outcome.stored;
+              map_output_pairs += outcome.counters.pairs_after_combine;
+              std::lock_guard lock(counters_mu);
+              job_counters.merge(outcome.counters);
             }
           } else {
             auto outcome = run_reduce_task(rpc, task, attempt);
@@ -854,7 +472,10 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
               dfs_.create(path, outcome.body);
               shuffled_bytes += outcome.bytes;
               shuffle_requests += outcome.requests;
-              decompress_ns += outcome.decode_ns;
+              {
+                std::lock_guard lock(counters_mu);
+                job_counters.merge(outcome.counters);
+              }
               std::lock_guard lock(output_mu);
               output_files.push_back(path);
             }
@@ -897,6 +518,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   }
 
   JobSummary summary;
+  static_cast<shuffle::ShuffleCounters&>(summary) = job_counters;
   summary.map_output_pairs = map_output_pairs.load();
   summary.shuffled_bytes = shuffled_bytes.load();
   summary.shuffle_requests = shuffle_requests.load();
@@ -908,11 +530,6 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   summary.heartbeat_errors = heartbeat_errors.load();
   summary.trackers_timed_out = tracker_state.trackers_timed_out;
   summary.recovery_wall_ns = recovery_wall_ns.load();
-  summary.shuffle_bytes_raw = shuffle_bytes_raw.load();
-  summary.shuffle_bytes_wire = shuffle_bytes_wire.load();
-  summary.compress_ns = compress_ns.load();
-  summary.decompress_ns = decompress_ns.load();
-  summary.frames_stored_uncompressed = frames_stored_uncompressed.load();
   std::sort(output_files.begin(), output_files.end());
   summary.output_files = std::move(output_files);
   return summary;

@@ -1,0 +1,98 @@
+// FrameCompressor / FrameDecoder: the optional codec stage between the
+// spill encoder and the transport sink.
+//
+// Policy (what to compress) is shared — it comes from ShuffleOptions and
+// is identical under both runtimes: kOn always encodes, kAuto skips
+// header-dominated frames below compress_min_frame_bytes and backs off
+// after a run of poor ratios (re-sampling later, since the data
+// distribution can drift across a job's spills).
+//
+// Framing (how a skipped frame ships) is transport-specific:
+//
+//   * kSelfDescribing (MPI-D): every frame on the wire is a codec frame;
+//     a skip uses the stored escape, so the consumer decodes
+//     unconditionally. Required because the MPI byte stream carries no
+//     out-of-band flag.
+//   * kFlagged (MiniHadoop): a skip ships the truly raw frame and the
+//     caller records codec_framed = false — the servlet simply omits the
+//     X-Mpid-Codec response header, like Hadoop's shuffle omitting its
+//     codec headers for uncompressed map output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpid/common/codec.hpp"
+#include "mpid/common/framepool.hpp"
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/options.hpp"
+
+namespace mpid::shuffle {
+
+enum class WireFraming { kSelfDescribing, kFlagged };
+
+/// Producer-side codec stage. One instance per task attempt: the auto
+/// skip state is per-producer, like Hadoop's per-task codec instances.
+class FrameCompressor {
+ public:
+  /// `pool` (nullable) recycles frame allocations across spills; `kind`
+  /// is the codec frame kind recorded in the wire header (kKvList for
+  /// MPI-D partition frames, kKvPair for MiniHadoop segments).
+  FrameCompressor(const ShuffleOptions& options, WireFraming framing,
+                  common::FrameKind kind, common::FramePool* pool,
+                  ShuffleCounters* counters)
+      : options_(options),
+        framing_(framing),
+        kind_(kind),
+        pool_(pool),
+        counters_(counters) {}
+
+  bool enabled() const noexcept {
+    return options_.shuffle_compression != ShuffleCompression::kOff;
+  }
+
+  /// Encodes one frame for the wire and updates the byte/time counters.
+  /// `codec_framed` reports whether the returned bytes are a codec frame
+  /// (always true under kSelfDescribing; false under kFlagged when the
+  /// frame skipped the encoder and ships raw).
+  std::vector<std::byte> encode(std::vector<std::byte> frame,
+                                bool& codec_framed);
+
+ private:
+  const ShuffleOptions& options_;
+  const WireFraming framing_;
+  const common::FrameKind kind_;
+  common::FramePool* pool_;
+  ShuffleCounters* counters_;
+
+  // Auto back-off state: consecutive poor ratio samples, and how many
+  // upcoming frames still skip the encoder.
+  std::size_t poor_samples_ = 0;
+  std::size_t skip_remaining_ = 0;
+};
+
+/// Consumer-side codec stage: decodes wire frames back to raw frame bytes
+/// and accounts the wall time into decompress_ns.
+class FrameDecoder {
+ public:
+  /// `capacity_hint` pre-sizes pool-acquired output buffers (use the
+  /// producer's frame size target); `pool` is nullable.
+  FrameDecoder(std::size_t capacity_hint, common::FramePool* pool,
+               ShuffleCounters* counters)
+      : capacity_hint_(capacity_hint), pool_(pool), counters_(counters) {}
+
+  /// Decodes an owned wire frame, releasing it to the pool afterwards.
+  std::vector<std::byte> decode(std::vector<std::byte> wire);
+
+  /// Decodes a borrowed wire frame (e.g. an HTTP body) into `out`.
+  void decode_into(std::span<const std::byte> wire,
+                   std::vector<std::byte>& out);
+
+ private:
+  std::size_t capacity_hint_;
+  common::FramePool* pool_;
+  ShuffleCounters* counters_;
+};
+
+}  // namespace mpid::shuffle

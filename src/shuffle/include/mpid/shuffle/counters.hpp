@@ -1,0 +1,64 @@
+// ShuffleCounters: the shared counter block of the shuffle pipeline.
+//
+// Both runtimes report the same dataflow quantities — pairs surviving the
+// combiner, spill rounds, combine/spill wall time, compression byte and
+// time accounting. `core::Stats` and `minihadoop::JobSummary` inherit
+// this block and add their transport-specific counters (frame windows,
+// HTTP requests, recovery) on top, so a stage object in mpid::shuffle can
+// fold its accounting into either runtime through one pointer.
+#pragma once
+
+#include <cstdint>
+
+namespace mpid::shuffle {
+
+struct ShuffleCounters {
+  // --- combine / spill path (the memory side of the map stage) ---
+  std::uint64_t pairs_after_combine = 0;  // pairs surviving the combiner
+  std::uint64_t spills = 0;               // map-output buffer spill rounds
+  /// Wall time inside the user combiner (incremental and spill-time runs,
+  /// including value materialization around incremental calls).
+  /// Spill-time combining also counts toward spill_ns.
+  std::uint64_t combine_ns = 0;
+  /// Wall time of buffer spill rounds: drain, realignment into partition
+  /// frames and any frame flushes they trigger.
+  std::uint64_t spill_ns = 0;
+  /// High-water byte footprint of the combine buffer (keys + encoded
+  /// values + bookkeeping). Aggregates as a max, not a sum.
+  std::uint64_t table_bytes_peak = 0;
+  /// Spill rounds that recycled the flat table's arenas in place instead
+  /// of freeing (zero on the legacy node-based path).
+  std::uint64_t arena_recycles = 0;
+
+  // --- shuffle compression (zero when shuffle_compression is off) ---
+  /// Frame payload bytes before encoding (what the shuffle would have
+  /// shipped raw).
+  std::uint64_t shuffle_bytes_raw = 0;
+  /// Frame bytes actually shipped (codec header + payload, or the raw
+  /// bytes when a frame skipped the encoder).
+  std::uint64_t shuffle_bytes_wire = 0;
+  std::uint64_t compress_ns = 0;    // producer wall time inside encode
+  std::uint64_t decompress_ns = 0;  // consumer wall time inside decode
+  /// Frames that shipped via the stored escape or the auto-skip heuristic.
+  std::uint64_t frames_stored_uncompressed = 0;
+
+  /// Folds another task's counters into this one: sums everywhere except
+  /// table_bytes_peak, which is a peak.
+  void merge(const ShuffleCounters& rhs) noexcept {
+    pairs_after_combine += rhs.pairs_after_combine;
+    spills += rhs.spills;
+    combine_ns += rhs.combine_ns;
+    spill_ns += rhs.spill_ns;
+    if (rhs.table_bytes_peak > table_bytes_peak) {
+      table_bytes_peak = rhs.table_bytes_peak;
+    }
+    arena_recycles += rhs.arena_recycles;
+    shuffle_bytes_raw += rhs.shuffle_bytes_raw;
+    shuffle_bytes_wire += rhs.shuffle_bytes_wire;
+    compress_ns += rhs.compress_ns;
+    decompress_ns += rhs.decompress_ns;
+    frames_stored_uncompressed += rhs.frames_stored_uncompressed;
+  }
+};
+
+}  // namespace mpid::shuffle

@@ -1,0 +1,110 @@
+// ShuffleOptions: the one set of knobs both runtimes' shuffle pipelines
+// share.
+//
+// The paper's central claim is that the MapReduce dataflow — buffer,
+// combine, partition, realign, encode, merge — is independent of the
+// communication substrate underneath it (Hadoop RPC/Jetty vs MPI-D).
+// mpid::shuffle is that substrate-independent layer: the stage objects in
+// buffer.hpp / engine.hpp / compress.hpp / merger.hpp are parameterized by
+// this struct, and `core::Config` / `minihadoop::MiniJobConfig` embed it
+// (by inheritance) instead of re-declaring drifting twins of every knob.
+//
+// Transport-specific policy (frame windows, retransmission, HTTP fetch
+// budgets) does NOT belong here — it stays in the per-runtime configs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpid::shuffle {
+
+/// Shuffle-frame compression mode (Hadoop's `mapred.compress.map.output`
+/// analog; see common/codec.hpp for the wire format).
+///  * kOff  — frames ship raw (the default, like Hadoop's).
+///  * kAuto — frames below compress_min_frame_bytes skip the encoder;
+///            larger frames are compressed, and a producer that keeps
+///            observing poor ratios stops paying the encode cost for a
+///            while before re-sampling (the auto-skip heuristic).
+///  * kOn   — every frame is codec-framed; the per-frame stored escape is
+///            the only bail-out.
+/// The mode must match on every task of a job: it decides whether the
+/// consumer treats arriving payloads as codec frames.
+enum class ShuffleCompression { kOff, kAuto, kOn };
+
+/// Local combination hook (Section IV.A of the paper): collapses the value
+/// list accumulated for one key into a (usually shorter) list before it is
+/// realigned and transmitted. "Commonly ... assigned as the reduce
+/// function" — e.g. WordCount sums counts into a single value. Per the
+/// MapReduce combiner contract it may run zero or more times per key.
+using Combiner = std::function<std::vector<std::string>(
+    std::string_view key, std::vector<std::string>&& values)>;
+
+/// Partition selector: maps a key to a partition index in
+/// [0, partitions). The default is the paper's hash-mod selector
+/// ("similar to the HashPartitioner in the Hadoop MapReduce framework");
+/// a custom one enables e.g. range partitioning for globally sorted
+/// output.
+using PartitionFn =
+    std::function<std::uint32_t(std::string_view key, std::uint32_t parts)>;
+
+/// Knobs of the shared spill/partition/encode pipeline. One set of
+/// defaults for both runtimes; validate() rejects nonsense combinations
+/// up front instead of letting them silently misbehave.
+struct ShuffleOptions {
+  /// Map-output buffer size that triggers a spill to partition frames
+  /// ("when the hash table buffer exceeds a particular size").
+  std::size_t spill_threshold_bytes = 4 * 1024 * 1024;
+
+  /// Target size of one realigned partition frame; a full frame is handed
+  /// to the transport sink immediately ("when the data partition is
+  /// full"). Producers that accumulate one segment per partition
+  /// (MiniHadoop) ignore this as a flush trigger but still use it as the
+  /// frame reservation hint.
+  std::size_t partition_frame_bytes = 256 * 1024;
+
+  /// Apply the combiner incrementally once a key's buffered value list
+  /// reaches this many entries (bounds memory for hot keys); the combiner
+  /// always runs again at spill time. 0 disables incremental combining.
+  std::size_t inline_combine_threshold = 64;
+
+  /// Sort each key's value list during realignment ("it can also sort the
+  /// value list for each key on demand").
+  bool sort_values = false;
+
+  /// Emit keys of a partition frame in sorted order during realignment
+  /// (Hadoop's sorted spill runs; required by SegmentMerger consumers).
+  bool sort_keys = false;
+
+  /// Buffer emitted pairs in common::KvCombineTable — an open-addressing
+  /// flat table whose keys live in a bump-pointer arena and whose value
+  /// lists are slab-allocated block chains — instead of a node-based map.
+  /// Spills drain the arenas back to empty without freeing, so
+  /// steady-state mapping allocates nothing per pair. Disabling falls
+  /// back to the legacy node-based buffer (kept for A/B benchmarking).
+  bool flat_combine_table = true;
+
+  /// Shuffle-frame compression (see ShuffleCompression above).
+  ShuffleCompression shuffle_compression = ShuffleCompression::kOff;
+
+  /// kAuto only: frames smaller than this skip the encoder — tiny frames
+  /// are header-dominated and not worth the encode cost.
+  std::size_t compress_min_frame_bytes = 4 * 1024;
+
+  /// kAuto only: a frame whose wire/raw ratio exceeds this counts as a
+  /// poor sample; after compress_skip_after consecutive poor samples the
+  /// producer ships the next compress_skip_frames frames uncompressed,
+  /// then re-samples (data distributions drift within a job).
+  double compress_skip_ratio = 0.9;
+  std::size_t compress_skip_after = 2;
+  std::size_t compress_skip_frames = 8;
+
+  /// Throws std::invalid_argument on nonsense combinations (zero
+  /// thresholds, auto-compression bounds that could never trigger).
+  /// Called by both runtimes before any task starts.
+  void validate() const;
+};
+
+}  // namespace mpid::shuffle

@@ -1,0 +1,59 @@
+// Partitioner: the key → partition selector of the realignment stage.
+//
+// The default is the paper's hash-mod selector ("similar to the
+// HashPartitioner in the Hadoop MapReduce framework"): fnv1a64(key) mod
+// partitions. The flat combine table caches exactly that hash per entry
+// (KvCombineTable::EntryView::key_hash), so a spill picks the partition
+// without rehashing the key — of_hashed() is that fast path. A custom
+// PartitionFn (range partitioning for globally sorted output, etc.)
+// overrides both paths and is bounds-checked on every call.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "mpid/common/hash.hpp"
+#include "mpid/shuffle/options.hpp"
+
+namespace mpid::shuffle {
+
+class Partitioner {
+ public:
+  Partitioner() = default;
+  explicit Partitioner(std::uint32_t partitions, PartitionFn custom = {})
+      : partitions_(partitions), custom_(std::move(custom)) {}
+
+  std::uint32_t partitions() const noexcept { return partitions_; }
+
+  /// Selects the partition for `key`, hashing it if no custom selector is
+  /// configured. Throws std::out_of_range if a custom selector returns an
+  /// index >= partitions.
+  std::uint32_t operator()(std::string_view key) const {
+    if (!custom_) return common::hash_partition(key, partitions_);
+    const auto p = custom_(key, partitions_);
+    if (p >= partitions_) {
+      throw std::out_of_range(
+          "shuffle::Partitioner: custom partitioner returned an index >= "
+          "the partition count");
+    }
+    return p;
+  }
+
+  /// As operator(), but reuses a caller-cached fnv1a64(key) — the hash
+  /// the combine table already paid for — on the default path.
+  std::uint32_t of_hashed(std::string_view key,
+                          std::uint64_t fnv_hash) const {
+    if (!custom_) {
+      return static_cast<std::uint32_t>(fnv_hash % partitions_);
+    }
+    return (*this)(key);
+  }
+
+ private:
+  std::uint32_t partitions_ = 1;
+  PartitionFn custom_;
+};
+
+}  // namespace mpid::shuffle

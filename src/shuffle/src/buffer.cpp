@@ -1,0 +1,96 @@
+#include "mpid/shuffle/buffer.hpp"
+
+#include <chrono>
+
+namespace mpid::shuffle {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void CombineRunner::combine(std::string_view key,
+                            std::vector<std::string>& values) {
+  const std::uint64_t start = now_ns();
+  values = combiner_(key, std::move(values));
+  counters_->combine_ns += now_ns() - start;
+}
+
+void CombineRunner::combine_entry(common::KvCombineTable& table,
+                                  std::uint32_t index, std::string_view key) {
+  // Addressed by the dense index the append just returned: the combine
+  // cycle costs zero additional probes.
+  const std::uint64_t start = now_ns();
+  scratch_.clear();
+  auto cursor = table.entry_at(index).values;
+  while (auto v = cursor.next()) scratch_.emplace_back(*v);
+  scratch_ = combiner_(key, std::move(scratch_));
+  table.replace_at(index, scratch_);
+  scratch_.clear();
+  counters_->combine_ns += now_ns() - start;
+}
+
+MapOutputBuffer::MapOutputBuffer(const ShuffleOptions& options,
+                                 CombineRunner* combine,
+                                 ShuffleCounters* counters)
+    : flat_(options.flat_combine_table),
+      spill_threshold_(options.spill_threshold_bytes),
+      inline_combine_threshold_(options.inline_combine_threshold),
+      combine_(combine),
+      counters_(counters) {}
+
+void MapOutputBuffer::append(std::string_view key, std::string_view value) {
+  const bool inline_combine = inline_combine_threshold_ > 0 && combine_ &&
+                              combine_->enabled();
+  if (flat_) {
+    // Flat combine table: the append bumps two arenas and touches one
+    // contiguous control-byte run — no node allocation, no key copy
+    // beyond the one-time interning, no small-string churn.
+    const std::size_t count = table_.append(key, value);
+    if (inline_combine && count >= inline_combine_threshold_) {
+      combine_->combine_entry(table_, table_.last_index(), key);
+    }
+    return;
+  }
+
+  auto it = legacy_index_.find(key);  // transparent: no temporary string
+  const bool inserted = it == legacy_index_.end();
+  if (inserted) {
+    it = legacy_index_
+             .emplace(std::string(key),
+                      static_cast<std::uint32_t>(legacy_entries_.size()))
+             .first;
+    legacy_entries_.push_back(LegacyEntry{it->first, {}, 0});
+  }
+  LegacyEntry& entry = legacy_entries_[it->second];
+  entry.values.emplace_back(value);
+  entry.bytes += value.size();
+  legacy_bytes_ += value.size();
+  if (inserted) legacy_bytes_ += key.size() + kEntryOverhead;
+
+  if (inline_combine && entry.values.size() >= inline_combine_threshold_) {
+    const std::size_t before = entry.bytes;
+    combine_->combine(entry.key, entry.values);
+    entry.bytes = 0;
+    for (const auto& v : entry.values) entry.bytes += v.size();
+    legacy_bytes_ -= std::min(legacy_bytes_, before - entry.bytes);
+  }
+}
+
+void MapOutputBuffer::clear() {
+  if (flat_) {
+    if (!table_.empty()) table_.recycle();
+    return;
+  }
+  legacy_entries_.clear();
+  legacy_index_.clear();
+  legacy_bytes_ = 0;
+}
+
+}  // namespace mpid::shuffle

@@ -1,0 +1,174 @@
+#include "mpid/shuffle/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mpid::shuffle {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SpillEncoder::SpillEncoder(const ShuffleOptions& options, Setup setup)
+    : options_(options),
+      layout_(setup.layout),
+      flush_bytes_(setup.frame_flush_bytes == 0 ? options.partition_frame_bytes
+                                                : setup.frame_flush_bytes),
+      partitioner_(std::move(setup.partitioner)),
+      combine_(setup.combine),
+      compressor_(setup.compressor),
+      pool_(setup.pool),
+      counters_(setup.counters),
+      sink_(std::move(setup.sink)),
+      writers_(setup.partitions),
+      capacity_hint_(flush_bytes_ == kUnboundedFrame ? 0 : flush_bytes_) {}
+
+void SpillEncoder::emit_direct(std::string_view key, std::string_view value) {
+  const std::uint32_t p = partitioner_(key);
+  auto& w = writers_[p];
+  if (layout_ == Layout::kKvList) {
+    w.list.begin_group(key, 1);
+    w.list.add_value(value);
+  } else {
+    w.pair.append(key, value);
+  }
+  ++counters_->pairs_after_combine;
+  maybe_flush(p);
+}
+
+void SpillEncoder::spill(MapOutputBuffer& buffer) {
+  if (buffer.empty()) return;
+  const std::uint64_t start = now_ns();
+  if (flush_bytes_ != kUnboundedFrame) {
+    // Reserve every frame at the flush threshold plus the buffer's exact
+    // worst-case single-entry overshoot: no append can reallocate a frame
+    // mid-spill, and pool acquisitions reuse the same bound.
+    capacity_hint_ = flush_bytes_ + buffer.max_entry_frame_bytes();
+    for (auto& w : writers_) {
+      if (layout_ == Layout::kKvList) {
+        w.list.reserve(capacity_hint_);
+      } else {
+        w.pair.reserve(capacity_hint_);
+      }
+    }
+  }
+  try {
+    buffer.drain(options_.sort_keys, [this](const MapOutputBuffer::Entry& e) {
+      append_entry(e);
+    });
+  } catch (...) {
+    counters_->spill_ns += now_ns() - start;
+    throw;
+  }
+  if (options_.sort_keys) {
+    // Keep every shipped frame a single sorted run (Hadoop's per-spill
+    // sorted files): a frame must not span two spill rounds, or the
+    // consumer-side SegmentMerger would see a second ascending run.
+    flush_all();
+  }
+  counters_->spill_ns += now_ns() - start;
+}
+
+void SpillEncoder::append_entry(const MapOutputBuffer::Entry& entry) {
+  const std::uint32_t p = partitioner_.of_hashed(entry.key, entry.key_hash);
+  if (entry.flat != nullptr) {
+    const bool combining = combine_ != nullptr && combine_->enabled();
+    if ((combining || options_.sort_values) && entry.value_count > 1) {
+      // Combining and value sorting need materialized std::strings; the
+      // scratch vector is reused across entries. Single-value entries —
+      // the bulk of a skewed stream's key tail — skip both: a one-element
+      // list is already sorted, and the MapReduce combiner contract (it
+      // may run zero or more times) makes the combiner a no-op on a
+      // single value.
+      scratch_.clear();
+      auto cursor = entry.flat->values;
+      while (auto v = cursor.next()) scratch_.emplace_back(*v);
+      if (combining) combine_->combine(entry.key, scratch_);
+      append_group(p, entry.key, scratch_);
+      return;
+    }
+    // No combining, no sorting: on the kKvList layout the slab chain
+    // already holds the frame's wire format, so the spill block-copies it
+    // straight into the partition frame — each byte moves exactly once,
+    // with no per-value re-encode.
+    auto& w = writers_[p];
+    if (layout_ == Layout::kKvList) {
+      w.list.begin_group(entry.key, entry.value_count);
+      auto cursor = entry.flat->values;
+      cursor.drain_to(w.list);
+    } else {
+      auto cursor = entry.flat->values;
+      while (auto v = cursor.next()) w.pair.append(entry.key, *v);
+    }
+    counters_->pairs_after_combine += entry.value_count;
+    maybe_flush(p);
+    return;
+  }
+  if (combine_ != nullptr && combine_->enabled() && entry.values->size() > 1) {
+    combine_->combine(entry.key, *entry.values);
+  }
+  append_group(p, entry.key, *entry.values);
+}
+
+void SpillEncoder::append_group(std::uint32_t partition, std::string_view key,
+                                std::vector<std::string>& values) {
+  // "It can also sort the value list for each key on demand."
+  if (options_.sort_values) std::sort(values.begin(), values.end());
+  auto& w = writers_[partition];
+  if (layout_ == Layout::kKvList) {
+    w.list.begin_group(key, values.size());
+    for (const auto& v : values) w.list.add_value(v);
+  } else {
+    for (const auto& v : values) w.pair.append(key, v);
+  }
+  counters_->pairs_after_combine += values.size();
+  maybe_flush(partition);
+}
+
+void SpillEncoder::maybe_flush(std::uint32_t partition) {
+  // "When the data partition is full, it will trigger ... sending."
+  if (flush_bytes_ == kUnboundedFrame) return;
+  if (byte_size(partition) >= flush_bytes_) flush(partition);
+}
+
+void SpillEncoder::flush(std::uint32_t partition) {
+  if (!pending(partition)) return;
+  auto& w = writers_[partition];
+  std::vector<std::byte> frame =
+      layout_ == Layout::kKvList ? w.list.take() : w.pair.take();
+  if (pool_ != nullptr && flush_bytes_ != kUnboundedFrame) {
+    // Re-arm the writer from the pool before the frame leaves: the next
+    // pair can be serialized while this frame is still in flight.
+    if (layout_ == Layout::kKvList) {
+      w.list.reset(pool_->acquire(capacity_hint_));
+    } else {
+      w.pair.reset(pool_->acquire(capacity_hint_));
+    }
+  }
+  bool codec_framed = false;
+  if (compressor_ != nullptr && compressor_->enabled()) {
+    frame = compressor_->encode(std::move(frame), codec_framed);
+  }
+  sink_(partition, std::move(frame), codec_framed);
+}
+
+void SpillEncoder::flush_all() {
+  for (std::uint32_t p = 0; p < writers_.size(); ++p) flush(p);
+}
+
+void SpillEncoder::reset() {
+  for (auto& w : writers_) {
+    w.list.clear();
+    w.pair.clear();
+  }
+}
+
+}  // namespace mpid::shuffle

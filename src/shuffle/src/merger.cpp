@@ -1,37 +1,36 @@
-#include "mpid/core/merge.hpp"
+#include "mpid/shuffle/merger.hpp"
 
 #include <stdexcept>
 
-namespace mpid::core {
+namespace mpid::shuffle {
 
-void SortedFrameMerger::add_frame(std::vector<std::byte> frame) {
+void SegmentMerger::add_frame(std::vector<std::byte> frame) {
   if (started_) {
-    throw std::logic_error(
-        "SortedFrameMerger: add_frame after merging started");
+    throw std::logic_error("SegmentMerger: add_frame after merging started");
   }
   if (frame.empty()) return;
   cursors_.emplace_back(std::move(frame), cursors_.size());
   advance(cursors_.back());
 }
 
-void SortedFrameMerger::advance(Cursor& cursor) {
+void SegmentMerger::advance(Cursor& cursor) {
   const std::optional<std::string> previous =
-      cursor.current ? std::optional<std::string>(std::string(
-                           cursor.current->key))
-                     : std::nullopt;
+      cursor.current
+          ? std::optional<std::string>(std::string(cursor.current->key))
+          : std::nullopt;
   cursor.current = cursor.reader.next();
   if (cursor.current && previous && cursor.current->key < *previous) {
     throw std::logic_error(
-        "SortedFrameMerger: frame is not key-sorted (enable "
-        "Config::sort_keys on the mappers)");
+        "SegmentMerger: frame is not key-sorted (enable sort_keys on the "
+        "producers)");
   }
 }
 
-bool SortedFrameMerger::next_group(std::string& key,
-                                   std::vector<std::string>& values) {
+bool SegmentMerger::next_group(std::string& key,
+                               std::vector<std::string>& values) {
   started_ = true;
   // Smallest current key across cursors (linear scan: frame counts are
-  // small — one per mapper spill).
+  // small — one per producer spill).
   const Cursor* best = nullptr;
   for (const auto& cursor : cursors_) {
     if (!cursor.current) continue;
@@ -55,4 +54,4 @@ bool SortedFrameMerger::next_group(std::string& key,
   return true;
 }
 
-}  // namespace mpid::core
+}  // namespace mpid::shuffle

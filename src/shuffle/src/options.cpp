@@ -1,0 +1,42 @@
+#include "mpid/shuffle/options.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mpid::shuffle {
+
+void ShuffleOptions::validate() const {
+  if (spill_threshold_bytes == 0) {
+    throw std::invalid_argument(
+        "ShuffleOptions: spill_threshold_bytes must be > 0 (a zero "
+        "threshold would spill on every pair)");
+  }
+  if (partition_frame_bytes == 0) {
+    throw std::invalid_argument(
+        "ShuffleOptions: partition_frame_bytes must be > 0 (frames could "
+        "never accumulate a pair)");
+  }
+  if (shuffle_compression == ShuffleCompression::kAuto) {
+    if (compress_min_frame_bytes > partition_frame_bytes) {
+      throw std::invalid_argument(
+          "ShuffleOptions: compress_min_frame_bytes (" +
+          std::to_string(compress_min_frame_bytes) +
+          ") exceeds partition_frame_bytes (" +
+          std::to_string(partition_frame_bytes) +
+          "): auto compression could never trigger — lower the minimum or "
+          "use kOn/kOff explicitly");
+    }
+    if (compress_skip_ratio <= 0.0) {
+      throw std::invalid_argument(
+          "ShuffleOptions: compress_skip_ratio must be positive (every "
+          "frame would count as a poor sample)");
+    }
+    if (compress_skip_after == 0) {
+      throw std::invalid_argument(
+          "ShuffleOptions: compress_skip_after must be >= 1 (zero would "
+          "disable compression before the first sample)");
+    }
+  }
+}
+
+}  // namespace mpid::shuffle

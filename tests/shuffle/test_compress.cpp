@@ -1,0 +1,152 @@
+// FrameCompressor / FrameDecoder: the shared compression policy (kOn /
+// kAuto floor and back-off) under both wire framings — self-describing
+// (MPI-D: every wire frame decodes) and flagged (MiniHadoop: skips ship
+// raw and the transport carries the flag).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "mpid/common/codec.hpp"
+#include "mpid/common/prng.hpp"
+#include "mpid/shuffle/compress.hpp"
+
+namespace mpid::shuffle {
+namespace {
+
+std::vector<std::byte> compressible_frame(std::size_t size) {
+  return std::vector<std::byte>(size, std::byte{'a'});
+}
+
+std::vector<std::byte> random_frame(std::size_t size, std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  std::vector<std::byte> frame(size);
+  for (auto& b : frame) b = static_cast<std::byte>(rng.next_in(0, 255));
+  return frame;
+}
+
+ShuffleOptions auto_options(std::size_t min_bytes = 64) {
+  ShuffleOptions opts;
+  opts.shuffle_compression = ShuffleCompression::kAuto;
+  opts.compress_min_frame_bytes = min_bytes;
+  opts.compress_skip_ratio = 0.9;
+  opts.compress_skip_after = 2;
+  opts.compress_skip_frames = 3;
+  return opts;
+}
+
+TEST(FrameCompressorTest, OffIsAPassthrough) {
+  ShuffleOptions opts;  // kOff
+  ShuffleCounters counters;
+  FrameCompressor comp(opts, WireFraming::kSelfDescribing,
+                       common::FrameKind::kKvList, nullptr, &counters);
+  EXPECT_FALSE(comp.enabled());
+  const auto original = compressible_frame(1024);
+  bool codec_framed = true;
+  const auto out = comp.encode(original, codec_framed);
+  EXPECT_FALSE(codec_framed);
+  EXPECT_EQ(out, original);
+  EXPECT_EQ(counters.shuffle_bytes_raw, 0u);
+  EXPECT_EQ(counters.shuffle_bytes_wire, 0u);
+}
+
+TEST(FrameCompressorTest, OnAlwaysProducesADecodableCodecFrame) {
+  for (const auto framing :
+       {WireFraming::kSelfDescribing, WireFraming::kFlagged}) {
+    ShuffleOptions opts;
+    opts.shuffle_compression = ShuffleCompression::kOn;
+    ShuffleCounters counters;
+    FrameCompressor comp(opts, framing, common::FrameKind::kKvList, nullptr,
+                         &counters);
+    const auto original = compressible_frame(8 * 1024);
+    bool codec_framed = false;
+    const auto wire = comp.encode(original, codec_framed);
+    EXPECT_TRUE(codec_framed);
+    EXPECT_LT(wire.size(), original.size());  // 'a'*8K compresses
+    std::vector<std::byte> decoded;
+    common::decode_frame(wire, decoded);
+    EXPECT_EQ(decoded, original);
+    EXPECT_EQ(counters.shuffle_bytes_raw, original.size());
+    EXPECT_EQ(counters.shuffle_bytes_wire, wire.size());
+    EXPECT_GT(counters.compress_ns, 0u);
+  }
+}
+
+TEST(FrameCompressorTest, AutoBelowFloorShipsRawUnderFlaggedFraming) {
+  // The compressor keeps a reference to its options (like the encoder):
+  // they must outlive it.
+  const auto opts = auto_options(256);
+  ShuffleCounters counters;
+  FrameCompressor comp(opts, WireFraming::kFlagged,
+                       common::FrameKind::kKvPair, nullptr, &counters);
+  const auto original = compressible_frame(64);  // below the floor
+  bool codec_framed = true;
+  const auto wire = comp.encode(original, codec_framed);
+  EXPECT_FALSE(codec_framed);  // the transport must omit its codec flag
+  EXPECT_EQ(wire, original);   // byte-for-byte raw
+  EXPECT_EQ(counters.frames_stored_uncompressed, 1u);
+  EXPECT_EQ(counters.shuffle_bytes_wire, original.size());
+  EXPECT_EQ(counters.compress_ns, 0u);  // no encode was attempted
+}
+
+TEST(FrameCompressorTest, AutoBelowFloorUsesStoredEscapeWhenSelfDescribing) {
+  const auto opts = auto_options(256);
+  ShuffleCounters counters;
+  FrameCompressor comp(opts, WireFraming::kSelfDescribing,
+                       common::FrameKind::kKvList, nullptr, &counters);
+  const auto original = compressible_frame(64);
+  bool codec_framed = false;
+  const auto wire = comp.encode(original, codec_framed);
+  // The MPI byte stream has no out-of-band flag: even a skip must decode.
+  EXPECT_TRUE(codec_framed);
+  EXPECT_EQ(counters.frames_stored_uncompressed, 1u);
+  std::vector<std::byte> decoded;
+  common::decode_frame(wire, decoded);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(FrameCompressorTest, AutoBacksOffAfterConsecutivePoorRatios) {
+  const auto opts = auto_options(64);
+  ShuffleCounters counters;
+  FrameCompressor comp(opts, WireFraming::kFlagged, common::FrameKind::kKvPair,
+                       nullptr, &counters);
+  // Incompressible frames above the floor: each encode lands poor (stored
+  // escape ≥ raw). After compress_skip_after of them the compressor must
+  // skip the next compress_skip_frames frames outright.
+  bool codec_framed = false;
+  for (std::size_t i = 0; i < opts.compress_skip_after; ++i) {
+    comp.encode(random_frame(4096, 99 + i), codec_framed);
+    EXPECT_TRUE(codec_framed) << "sample " << i << " should still encode";
+  }
+  for (std::size_t i = 0; i < opts.compress_skip_frames; ++i) {
+    comp.encode(random_frame(4096, 500 + i), codec_framed);
+    EXPECT_FALSE(codec_framed) << "frame " << i << " should ride the back-off";
+  }
+  // Back-off exhausted: the compressor re-samples (encodes again).
+  comp.encode(random_frame(4096, 1000), codec_framed);
+  EXPECT_TRUE(codec_framed);
+}
+
+TEST(FrameDecoderTest, DecodeAndDecodeIntoRoundTripAndAccountTime) {
+  ShuffleOptions opts;
+  opts.shuffle_compression = ShuffleCompression::kOn;
+  ShuffleCounters enc_counters;
+  FrameCompressor comp(opts, WireFraming::kSelfDescribing,
+                       common::FrameKind::kKvList, nullptr, &enc_counters);
+  const auto original = compressible_frame(16 * 1024);
+  bool codec_framed = false;
+  const auto wire = comp.encode(original, codec_framed);
+
+  ShuffleCounters dec_counters;
+  FrameDecoder decoder(original.size(), nullptr, &dec_counters);
+  EXPECT_EQ(decoder.decode(wire), original);
+
+  std::vector<std::byte> out;
+  decoder.decode_into(wire, out);
+  EXPECT_EQ(out, original);
+  EXPECT_GT(dec_counters.decompress_ns, 0u);
+}
+
+}  // namespace
+}  // namespace mpid::shuffle

@@ -1,0 +1,55 @@
+// Partitioner: hash-mod selection, the cached-hash fast path and custom
+// selector bounds checking.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mpid/common/hash.hpp"
+#include "mpid/shuffle/partition.hpp"
+
+namespace mpid::shuffle {
+namespace {
+
+TEST(PartitionerTest, DefaultMatchesHashPartition) {
+  for (const std::uint32_t n : {1u, 2u, 3u, 7u, 64u}) {
+    const Partitioner part(n);
+    for (int i = 0; i < 200; ++i) {
+      const std::string key = "key-" + std::to_string(i * 37);
+      EXPECT_EQ(part(key), common::hash_partition(key, n)) << key << " n=" << n;
+      EXPECT_LT(part(key), n);
+    }
+  }
+}
+
+TEST(PartitionerTest, OfHashedMatchesOperatorOnTheDefaultPath) {
+  const Partitioner part(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "entry" + std::to_string(i);
+    // The cached hash the flat combine table hands to the spill.
+    EXPECT_EQ(part.of_hashed(key, common::fnv1a64(key)), part(key)) << key;
+  }
+}
+
+TEST(PartitionerTest, CustomSelectorOverridesBothPaths) {
+  // Range partitioner: first byte decides.
+  const Partitioner part(2, [](std::string_view key, std::uint32_t) {
+    return static_cast<std::uint32_t>(!key.empty() && key[0] >= 'n');
+  });
+  EXPECT_EQ(part("apple"), 0u);
+  EXPECT_EQ(part("zebra"), 1u);
+  // of_hashed must ignore the cached hash when a custom selector is set.
+  EXPECT_EQ(part.of_hashed("apple", 12345u), 0u);
+  EXPECT_EQ(part.of_hashed("zebra", 12345u), 1u);
+}
+
+TEST(PartitionerTest, CustomSelectorOutOfRangeThrows) {
+  const Partitioner part(2, [](std::string_view, std::uint32_t n) {
+    return n;  // one past the end
+  });
+  EXPECT_THROW(part("anything"), std::out_of_range);
+  EXPECT_THROW(part.of_hashed("anything", 7u), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mpid::shuffle
