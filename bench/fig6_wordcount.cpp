@@ -13,7 +13,12 @@
 // the MPI-D side), with the ratio measured from the real codec on
 // post-combiner WordCount frames — the paper anchors stay against the
 // uncompressed baseline.
+// Passing a threads argument (`fig6_wordcount <threads>`) reruns the
+// MPI-D side with the hybrid process+threads model
+// (SystemSpec::map_threads, mirroring core::Config::map_threads), so the
+// paper-scale figure can be reproduced with multi-core ranks.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "codec_sample.hpp"
@@ -25,12 +30,23 @@
 #include "mpid/sim/engine.hpp"
 #include "mpid/workloads/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpid;
   using common::GiB;
 
+  int map_threads = 1;
+  if (argc > 1) {
+    map_threads = std::atoi(argv[1]);
+    if (map_threads < 1) {
+      std::fprintf(stderr, "usage: %s [map_threads >= 1]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf(
-      "== Figure 6: WordCount, Hadoop vs the MPI-D simulation system ==\n\n");
+      "== Figure 6: WordCount, Hadoop vs the MPI-D simulation system ==\n");
+  std::printf("   (MPI-D ranks: %d worker thread%s per mapper process)\n\n",
+              map_threads, map_threads == 1 ? "" : "s");
 
   struct PaperPoint {
     std::uint64_t gb;
@@ -62,7 +78,9 @@ int main() {
     };
     const auto run_mpid = [&](bool compress) {
       sim::Engine engine;
-      mpidsim::MpidSystem system(engine, workloads::fig6_mpid_system());
+      auto spec = workloads::fig6_mpid_system();
+      spec.map_threads = map_threads;
+      mpidsim::MpidSystem system(engine, spec);
       auto job = workloads::mpid_wordcount_job(p.gb * GiB);
       job.compress_shuffle = compress;
       job.shuffle_compression_ratio = codec.ratio;

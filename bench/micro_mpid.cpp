@@ -128,12 +128,15 @@ mapred::JobDef wordcount(bool with_combiner) {
 void BM_MpidWordCount(benchmark::State& state) {
   const bool combine = state.range(0) != 0;
   const bool flat = state.range(1) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(2));
   workloads::TextSpec text_spec;
   const std::uint64_t bytes = 4 * 1024 * 1024;
   const auto text = workloads::generate_text(text_spec, bytes, 42);
   const mapred::JobRunner runner(4, 2);
   auto job = wordcount(combine);
   job.tuning.flat_combine_table = flat;
+  job.tuning.map_threads = threads;
+  job.tuning.reduce_threads = threads;
 
   std::uint64_t sent_bytes = 0, sent_pairs = 0, stall_ns = 0;
   std::uint64_t combine_ns = 0, spill_ns = 0, table_peak = 0, recycles = 0;
@@ -159,10 +162,11 @@ void BM_MpidWordCount(benchmark::State& state) {
   state.counters["arena_recycles"] = static_cast<double>(recycles);
 }
 BENCHMARK(BM_MpidWordCount)
-    ->Args({0, 1})
-    ->Args({1, 1})
-    ->Args({1, 0})
-    ->ArgNames({"combiner", "flat"})
+    ->Args({0, 1, 1})
+    ->Args({1, 1, 1})
+    ->Args({1, 0, 1})
+    ->Args({1, 1, 4})
+    ->ArgNames({"combiner", "flat", "threads"})
     ->Unit(benchmark::kMillisecond);
 
 /// The same WordCount over the resilient shuffle while the transport

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the threaded transport layers.
 #
-# Builds the minimpi and core (MPI-D) test suites with -fsanitize=thread
-# (cmake -DMPID_SANITIZE=thread) in a separate build tree and runs them.
-# These are the suites that exercise the sharded mailboxes, the pipelined
-# zero-copy shuffle window, and the shared FramePool across rank threads —
+# Builds the minimpi, core (MPI-D), shuffle and common test suites with
+# -fsanitize=thread (cmake -DMPID_SANITIZE=thread) in a separate build
+# tree and runs them. These are the suites that exercise the sharded
+# mailboxes, the pipelined zero-copy shuffle window, the shared FramePool
+# across rank threads, and the hybrid process+threads worker pool
+# (WorkerPool / ParallelMapper / the threaded SegmentMerger prepare) —
 # any data race there is a correctness bug, not a perf detail.
 #
 # Usage: scripts/check_tsan.sh [extra gtest args...]
@@ -15,12 +17,12 @@ BUILD_DIR=build-tsan
 
 cmake -B "$BUILD_DIR" -S . -DMPID_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_minimpi test_mpid test_common -j
+cmake --build "$BUILD_DIR" --target test_minimpi test_mpid test_shuffle test_common -j
 
 # halt_on_error makes a race fail the test run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
-for suite in test_minimpi test_mpid test_common; do
+for suite in test_minimpi test_mpid test_shuffle test_common; do
   echo "=== TSan: $suite ==="
   "$BUILD_DIR/tests/$suite" "$@"
 done

@@ -51,6 +51,8 @@
 #include "mpid/shuffle/buffer.hpp"
 #include "mpid/shuffle/compress.hpp"
 #include "mpid/shuffle/engine.hpp"
+#include "mpid/shuffle/parallel.hpp"
+#include "mpid/shuffle/workerpool.hpp"
 
 namespace mpid::core {
 
@@ -71,6 +73,18 @@ class MpiD {
   /// MPI_D_Send — mapper only. Buffers (key, value); returns immediately
   /// unless a spill and frame transmissions are triggered.
   void send(std::string_view key, std::string_view value);
+
+  /// Thread-parallel MPI_D_Send batch — mapper only, the hybrid
+  /// process+threads path (Config::map_threads > 1). Runs `chunk_fn` over
+  /// [0, chunk_count) input chunks on this rank's worker pool: each chunk
+  /// emits its pairs through the per-worker buffer/combine/spill lanes of
+  /// a shuffle::ParallelMapper whose sink is this rank's transport, and
+  /// frames ship in deterministic chunk order — the wire bytes are
+  /// identical for every thread count. Returns the pairs emitted (also
+  /// accounted into stats().pairs_sent). Must not be interleaved with
+  /// send() mid-batch; finalize() as usual afterwards.
+  std::uint64_t run_map_parallel(std::size_t chunk_count,
+                                 const shuffle::ParallelMapper::ChunkFn& chunk_fn);
 
   /// MPI_D_Recv — reducer only. Produces the next pair in streaming order;
   /// returns false once every mapper's end-of-stream marker has been
@@ -96,6 +110,28 @@ class MpiD {
   /// key-ordered reduction (requires Config::sort_keys on the mappers).
   /// Must not be mixed with recv()/recv_group() on the same instance.
   bool recv_raw_frame(std::vector<std::byte>& frame);
+
+  /// As recv_raw_frame(), but defers the codec decode to the caller:
+  /// `frame` is the bytes exactly as shipped and `codec_framed` says
+  /// whether they are a codec frame (always true under MPI-D's
+  /// self-describing framing when compression is on). Feed the frames to
+  /// SegmentMerger::add_wire_frame() so prepare() can decode them across
+  /// worker threads (Config::reduce_threads > 1), then fold the decode
+  /// counters back via fold_counters().
+  bool recv_wire_frame(std::vector<std::byte>& frame, bool& codec_framed);
+
+  /// Folds a counter block accumulated outside this rank's pipeline —
+  /// e.g. a SegmentMerger::prepare() decode pass — into stats(). Call
+  /// from this rank's thread only (before finalize()).
+  void fold_counters(const shuffle::ShuffleCounters& counters) {
+    stats_.merge(counters);
+  }
+
+  /// This rank's lazily-created worker pool, sized by Config::map_threads
+  /// (mapper) / reduce_threads (reducer); 1 elsewhere. The pool is shared
+  /// by run_map_parallel() and available to callers (e.g. the mapred
+  /// JobRunner hands it to SegmentMerger::prepare()).
+  shuffle::WorkerPool& worker_pool();
 
   /// MPI_D_Finalize — collective. Mappers flush buffers and emit
   /// end-of-stream markers; reducers must have drained recv() first. All
@@ -200,6 +236,9 @@ class MpiD {
   std::optional<shuffle::MapOutputBuffer> map_buffer_;  // empty: direct path
   std::optional<shuffle::FrameCompressor> compressor_;
   std::optional<shuffle::SpillEncoder> encoder_;
+  /// The rank's worker pool (worker_pool()), created on first use so
+  /// single-threaded configurations never spawn anything.
+  std::unique_ptr<shuffle::WorkerPool> worker_pool_;
   /// Outstanding nonblocking frame sends, one bounded window per
   /// destination reducer (Config::max_inflight_frames).
   std::vector<std::deque<minimpi::Request>> inflight_;

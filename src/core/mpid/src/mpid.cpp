@@ -225,6 +225,43 @@ void MpiD::send(std::string_view key, std::string_view value) {
   if (map_buffer_->should_spill()) encoder_->spill(*map_buffer_);
 }
 
+shuffle::WorkerPool& MpiD::worker_pool() {
+  if (!worker_pool_) {
+    std::size_t threads = 1;
+    if (role_ == Role::kMapper) threads = config_.map_threads;
+    if (role_ == Role::kReducer) threads = config_.reduce_threads;
+    worker_pool_ = std::make_unique<shuffle::WorkerPool>(threads);
+  }
+  return *worker_pool_;
+}
+
+std::uint64_t MpiD::run_map_parallel(
+    std::size_t chunk_count, const shuffle::ParallelMapper::ChunkFn& chunk_fn) {
+  ensure_role(Role::kMapper, "run_map_parallel");
+  shuffle::ParallelMapper::Setup setup;
+  setup.layout = shuffle::Layout::kKvList;
+  setup.partitions = static_cast<std::uint32_t>(config_.reducers);
+  setup.partitioner = config_.partitioner;
+  setup.combiner = config_.combiner;
+  // Self-describing framing, like this rank's own compressor_ (which
+  // stays idle here: the mapper owns its codec stage so the lanes'
+  // counter commits cannot race it).
+  setup.compress_framing = shuffle::WireFraming::kSelfDescribing;
+  setup.compress_kind = common::FrameKind::kKvList;
+  setup.counters = &stats_;
+  // Sink runs under the mapper's sequencer lock: frames_sent /
+  // bytes_sent / flush_wait_ns live in the Stats-derived block, disjoint
+  // from the ShuffleCounters base fields the lane commits write.
+  setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
+                      bool /*codec_framed: self-describing framing*/) {
+    transport_send(partition, std::move(frame));
+  };
+  shuffle::ParallelMapper mapper(config_, std::move(setup));
+  const std::uint64_t pairs = mapper.run(worker_pool(), chunk_count, chunk_fn);
+  stats_.pairs_sent += pairs;
+  return pairs;
+}
+
 void MpiD::drain_inflight(std::size_t partition) {
   auto& window = inflight_[partition];
   while (!window.empty()) {
@@ -385,6 +422,39 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     ++stats_.frames_received;
     stats_.bytes_received += frame.size();
     if (compression_on()) frame = decoder_->decode(std::move(frame));
+    return true;
+  }
+}
+
+bool MpiD::recv_wire_frame(std::vector<std::byte>& frame, bool& codec_framed) {
+  ensure_role(Role::kReducer, "recv_wire_frame");
+  if (current_view_ || delivery_reader_) {
+    throw std::logic_error(
+        "MpiD: recv_wire_frame cannot be mixed with recv()/recv_group()");
+  }
+  // Self-describing framing: with compression on, every frame on the wire
+  // is a codec frame; the caller (SegmentMerger::prepare) owns the decode.
+  codec_framed = compression_on();
+  if (resilient()) {
+    resilient_collect();
+    if (collected_.empty()) return false;
+    frame = std::move(collected_.front());
+    collected_.pop_front();
+    return true;
+  }
+  for (;;) {
+    if (eos_received_ == config_.mappers) return false;
+    const minimpi::Status st =
+        data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
+    if (st.tag == kEosTag) {
+      ++eos_received_;
+      continue;
+    }
+    if (st.tag != kDataTag) {
+      throw std::runtime_error("MpiD: unexpected tag on data channel");
+    }
+    ++stats_.frames_received;
+    stats_.bytes_received += frame.size();
     return true;
   }
 }

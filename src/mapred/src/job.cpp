@@ -60,6 +60,33 @@ JobResult JobRunner::run(const JobDef& job,
             [&](std::string_view k, std::string_view v) { mpid.send(k, v); },
             mapper);
         if (!inj) {
+          if (config.map_threads > 1) {
+            // Hybrid process+threads path: materialize the split so its
+            // chunks are random-access, then run them through the rank's
+            // worker pool. The chunk count comes from the options (never
+            // from the thread count), so the shipped bytes are identical
+            // at every map_threads setting.
+            std::vector<std::string> split;
+            while (auto record = source()) split.push_back(std::move(*record));
+            const std::size_t chunks =
+                shuffle::resolve_map_chunks(config, split.size());
+            mpid.run_map_parallel(
+                chunks, [&](std::size_t chunk,
+                            const shuffle::ParallelMapper::EmitFn& emit) {
+                  MapContext chunk_ctx(
+                      [&emit](std::string_view k, std::string_view v) {
+                        emit(k, v);
+                      },
+                      mapper);
+                  const std::size_t lo = chunk * split.size() / chunks;
+                  const std::size_t hi = (chunk + 1) * split.size() / chunks;
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    job.map(split[i], chunk_ctx);
+                  }
+                });
+            mpid.finalize();
+            break;
+          }
           // No injected crashes possible: stream the split straight
           // through (records never materialize).
           while (auto record = source()) job.map(*record, ctx);
@@ -109,13 +136,24 @@ JobResult JobRunner::run(const JobDef& job,
         }
         if (job.streaming_merge_reduce) {
           // Hadoop's merge phase: collect the key-sorted frames, then
-          // stream globally ordered groups straight into reduce().
+          // stream globally ordered groups straight into reduce(). With
+          // reduce_threads > 1 the frames are collected undecoded and
+          // prepare() fans the codec decode + a cursor pre-merge across
+          // the rank's worker pool.
+          const bool threaded = config.reduce_threads > 1 && !inj;
           core::SortedFrameMerger merger;
           for (int safety = 0;; ++safety) {
             try {
               std::vector<std::byte> frame;
-              while (mpid.recv_raw_frame(frame)) {
-                merger.add_frame(std::move(frame));
+              if (threaded) {
+                bool codec_framed = false;
+                while (mpid.recv_wire_frame(frame, codec_framed)) {
+                  merger.add_wire_frame(std::move(frame), codec_framed);
+                }
+              } else {
+                while (mpid.recv_raw_frame(frame)) {
+                  merger.add_frame(std::move(frame));
+                }
               }
               break;
             } catch (const fault::TaskCrash&) {
@@ -125,6 +163,12 @@ JobResult JobRunner::run(const JobDef& job,
               mpid.restart_reducer();
               merger = core::SortedFrameMerger{};
             }
+          }
+          if (threaded) {
+            shuffle::ShuffleCounters decode_counters;
+            merger.prepare(mpid.worker_pool(), config.partition_frame_bytes,
+                           &decode_counters);
+            mpid.fold_counters(decode_counters);
           }
           mpid.finalize();
 

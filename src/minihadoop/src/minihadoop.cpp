@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,8 @@
 #include "mpid/shuffle/buffer.hpp"
 #include "mpid/shuffle/compress.hpp"
 #include "mpid/shuffle/engine.hpp"
+#include "mpid/shuffle/parallel.hpp"
+#include "mpid/shuffle/workerpool.hpp"
 #include "jobtracker.hpp"
 
 namespace mpid::minihadoop {
@@ -202,10 +205,88 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     shuffle::ShuffleCounters counters;
   };
 
+  // Hybrid threaded map attempt (MiniJobConfig::map_threads > 1; fault
+  // injection keeps the sequential path so crash ticks stay
+  // deterministic). The split's line chunks run through a ParallelMapper
+  // in the KvPair / unbounded-frame shape: every chunk contributes at
+  // most one raw segment per partition, concatenated in chunk order, and
+  // the assembled segment is codec-framed once at task end — preserving
+  // the one-frame-per-partition wire shape (and X-Mpid-Codec header
+  // semantics) the shuffle servlet has always served.
+  auto run_map_task_threaded = [&](int tracker_id, int map_id) -> MapOutcome {
+    MapOutcome outcome;
+    const auto partitions = static_cast<std::size_t>(config.reduce_tasks);
+    std::vector<std::string> bodies(partitions);
+    std::vector<char> codec_flags(partitions, 0);
+
+    // Lanes never compress: a per-chunk codec frame would break the
+    // single-frame segment decode. The whole segment is encoded below.
+    shuffle::ShuffleOptions lane_opts = opts;
+    lane_opts.shuffle_compression = shuffle::ShuffleCompression::kOff;
+
+    shuffle::ParallelMapper::Setup setup;
+    setup.layout = shuffle::Layout::kKvPair;
+    setup.partitions = static_cast<std::uint32_t>(config.reduce_tasks);
+    setup.frame_flush_bytes = shuffle::SpillEncoder::kUnboundedFrame;
+    setup.combiner = config.combiner;
+    setup.counters = &outcome.counters;
+    setup.sink = [&bodies](std::uint32_t r, std::vector<std::byte> frame,
+                           bool /*codec_framed: raw by construction*/) {
+      bodies[r].append(reinterpret_cast<const char*>(frame.data()),
+                       frame.size());
+    };
+    shuffle::ParallelMapper mapper(lane_opts, std::move(setup));
+
+    const auto chunk_views = mapred::split_text(
+        splits[static_cast<std::size_t>(map_id)],
+        static_cast<int>(shuffle::resolve_map_chunks(
+            opts, std::numeric_limits<std::size_t>::max())));
+    shuffle::WorkerPool pool(opts.map_threads);
+    mapper.run(pool, chunk_views.size(),
+               [&](std::size_t chunk,
+                   const shuffle::ParallelMapper::EmitFn& emit) {
+                 mapred::MapContext ctx(
+                     [&emit](std::string_view k, std::string_view v) {
+                       emit(k, v);
+                     },
+                     map_id);
+                 mapred::LineReader lines(chunk_views[chunk]);
+                 while (auto line = lines.next()) config.map(*line, ctx);
+               });
+
+    if (compressing) {
+      shuffle::FrameCompressor codec(opts, shuffle::WireFraming::kFlagged,
+                                     common::FrameKind::kKvPair, nullptr,
+                                     &outcome.counters);
+      for (std::size_t r = 0; r < partitions; ++r) {
+        if (bodies[r].empty()) continue;
+        const auto* data =
+            reinterpret_cast<const std::byte*>(bodies[r].data());
+        std::vector<std::byte> raw(data, data + bodies[r].size());
+        bool codec_framed = false;
+        const auto wire = codec.encode(std::move(raw), codec_framed);
+        bodies[r].assign(reinterpret_cast<const char*>(wire.data()),
+                         wire.size());
+        codec_flags[r] = codec_framed ? 1 : 0;
+      }
+    }
+
+    for (int r = 0; r < config.reduce_tasks; ++r) {
+      // Empty partitions keep their default ("", unflagged) segment.
+      stores[static_cast<std::size_t>(tracker_id)]->put(
+          map_id, r, std::move(bodies[static_cast<std::size_t>(r)]),
+          codec_flags[static_cast<std::size_t>(r)] != 0);
+    }
+    return outcome;
+  };
+
   // Returns this attempt's dataflow counters; the caller folds them into
   // the job counters only if the jobtracker commits the attempt.
   auto run_map_task = [&](int tracker_id, int map_id,
                           int attempt) -> MapOutcome {
+    if (opts.map_threads > 1 && !inj) {
+      return run_map_task_threaded(tracker_id, map_id);
+    }
     if (inj) {
       const auto lag =
           inj->straggle_delay(fault::TaskKind::kMap, map_id, attempt);

@@ -69,6 +69,22 @@ struct SystemSpec {
   /// combined output is sent as pipelined MPI messages.
   std::uint64_t spill_input_bytes = 16 * 1024 * 1024;
 
+  /// Worker threads per mapper process — the hybrid process+threads model
+  /// (core::Config::map_threads). The map function and the realignment
+  /// are the parallelized stages, so their CPU time divides by
+  /// map_thread_speedup(); the codec stage stays serial (the real
+  /// library compresses at the serialized sequencer drain), and disk and
+  /// fabric are unaffected.
+  int map_threads = 1;
+  /// Marginal efficiency of each extra worker thread (work-stealing
+  /// imbalance, shared-cache pressure, the serialized frame hand-off).
+  /// Calibrate against bench/micro_threads on a multi-core host.
+  double thread_efficiency = 0.85;
+
+  double map_thread_speedup() const noexcept {
+    return 1.0 + (map_threads - 1) * thread_efficiency;
+  }
+
   /// Codec throughput of the real library's shuffle compression
   /// (core::Config::shuffle_compression), calibrated from
   /// bench/micro_codec: mappers encode each spill before MPI_D_Send,

@@ -32,6 +32,12 @@ MpidSystem::MpidSystem(sim::Engine& engine, SystemSpec spec)
   if (spec.nodes < 2 || spec.mappers_per_node < 1 || spec.reducers < 1) {
     throw std::invalid_argument("MpidSystem: bad topology");
   }
+  if (spec.map_threads < 1 || spec.thread_efficiency <= 0.0 ||
+      spec.thread_efficiency > 1.0) {
+    throw std::invalid_argument(
+        "MpidSystem: map_threads must be >= 1 and thread_efficiency in "
+        "(0, 1]");
+  }
   disks_.reserve(static_cast<std::size_t>(spec.nodes));
   for (int n = 0; n < spec.nodes; ++n) {
     net::FabricSpec disk_spec;
@@ -85,16 +91,21 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
                           11) *
                           0x1.0p-53) -
                    1.0);
+    // Map compute and realignment run on the process's worker pool
+    // (map_threads); the codec stage below stays serial, matching the
+    // real library's serialized sequencer drain.
+    const double thread_speedup = spec_.map_thread_speedup();
     co_await engine_.delay(sim::from_seconds(
-        static_cast<double>(chunk) / spec_.map_cpu_bytes_per_second * jitter));
+        static_cast<double>(chunk) / spec_.map_cpu_bytes_per_second * jitter /
+        thread_speedup));
 
     // Spill: realign the combined buffer into contiguous partition frames,
     // then (when the job compresses its shuffle) codec-frame them so the
     // fabric only carries wire bytes.
     const double out =
         static_cast<double>(chunk) * run.job.map_output_ratio;
-    co_await engine_.delay(
-        sim::from_seconds(out / spec_.realign_bytes_per_second));
+    co_await engine_.delay(sim::from_seconds(
+        out / spec_.realign_bytes_per_second / thread_speedup));
     double wire = out;
     if (run.job.compress_shuffle) {
       co_await engine_.delay(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 namespace mpid::shuffle {
 
@@ -59,6 +60,42 @@ struct ShuffleCounters {
     decompress_ns += rhs.decompress_ns;
     frames_stored_uncompressed += rhs.frames_stored_uncompressed;
   }
+};
+
+/// Commit-time accumulation point for worker threads (the hybrid
+/// process+threads model, ShuffleOptions::map_threads / reduce_threads).
+///
+/// ShuffleCounters::merge() itself is single-writer — calling it on a
+/// shared block from several threads tears. The threading contract is
+/// therefore Hadoop's task-commit shape: every worker accumulates into
+/// its own private ShuffleCounters block with zero synchronization on the
+/// hot path, and folds the block into the shared target exactly once,
+/// through commit(), when its work completes. The mutex serializes only
+/// those commits (one per worker per task, not per pair), so counters
+/// stay exact — sums are sums and table_bytes_peak stays a max — without
+/// making every counter an atomic.
+class CounterCommitPoint {
+ public:
+  /// `target` is the shared counter block (e.g. core::Stats or a job's
+  /// ShuffleCounters); it must outlive the commit point and must not be
+  /// mutated elsewhere between the first and last commit(). A null target
+  /// makes every commit a no-op (callers without counters).
+  explicit CounterCommitPoint(ShuffleCounters* target) : target_(target) {}
+
+  CounterCommitPoint(const CounterCommitPoint&) = delete;
+  CounterCommitPoint& operator=(const CounterCommitPoint&) = delete;
+
+  /// Folds one worker's private block into the target. Safe to call from
+  /// any thread, any number of times.
+  void commit(const ShuffleCounters& worker) {
+    if (!target_) return;
+    std::lock_guard lock(mu_);
+    target_->merge(worker);
+  }
+
+ private:
+  std::mutex mu_;
+  ShuffleCounters* target_;
 };
 
 }  // namespace mpid::shuffle

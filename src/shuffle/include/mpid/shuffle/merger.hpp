@@ -13,6 +13,15 @@
 //   while (d.recv_raw_frame(frame)) merger.add_frame(std::move(frame));
 //   std::string key; std::vector<std::string> values;
 //   while (merger.next_group(key, values)) reduce(key, values);
+// With reduce_threads > 1 the stage also runs concurrently: wire frames
+// are collected undecoded via add_wire_frame(), and prepare() fans the
+// codec decode — and a contiguous pre-merge of the cursors into one
+// sorted run per worker — across a WorkerPool. Pre-merging a contiguous
+// arrival-order range is associativity-safe: within the range, equal
+// keys' values concatenate in arrival order, the merged run inherits the
+// range's first arrival index as its tie-break order, and the ranges are
+// disjoint and ordered — so next_group() produces byte-for-byte the same
+// group sequence for every worker count.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +31,8 @@
 #include <vector>
 
 #include "mpid/common/kvframe.hpp"
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/workerpool.hpp"
 
 namespace mpid::shuffle {
 
@@ -30,6 +41,22 @@ class SegmentMerger {
   /// Takes ownership of one internally key-sorted KvList frame. All
   /// frames must be added before the first next_group() call.
   void add_frame(std::vector<std::byte> frame);
+
+  /// Takes ownership of one frame as it arrived on the wire, deferring
+  /// the codec decode to prepare(). `codec_framed` says whether the bytes
+  /// are a codec frame (see FrameCompressor) or already raw. Frames added
+  /// this way are invisible to next_group() until prepare() runs.
+  void add_wire_frame(std::vector<std::byte> wire, bool codec_framed);
+
+  /// Decodes every pending wire frame across `pool`'s workers (per-worker
+  /// FrameDecoder, decompress_ns folded into `counters` at commit time;
+  /// `counters` nullable) and, when it pays, pre-merges contiguous cursor
+  /// ranges into one sorted run per worker so the sequential next_group()
+  /// scan touches W cursors instead of hundreds. `capacity_hint` pre-sizes
+  /// decode buffers (use the producer's frame size target). Idempotent;
+  /// must precede next_group() when wire frames are pending.
+  void prepare(WorkerPool& pool, std::size_t capacity_hint,
+               ShuffleCounters* counters);
 
   /// Produces the next group in ascending key order, concatenating the
   /// value lists of equal keys across frames (frame arrival order breaks
@@ -52,9 +79,19 @@ class SegmentMerger {
         : frame(std::move(f)), reader(frame), order(ord) {}
   };
 
+  struct PendingWire {
+    std::vector<std::byte> wire;
+    bool codec_framed;
+  };
+
   void advance(Cursor& cursor);
 
+  /// Sequentially k-way merges cursors_[lo, hi) into one sorted KvList
+  /// frame, preserving the range's arrival-order value concatenation.
+  std::vector<std::byte> merge_range(std::size_t lo, std::size_t hi);
+
   std::deque<Cursor> cursors_;  // deque: stable addresses for the views
+  std::vector<PendingWire> pending_;
   bool started_ = false;
 };
 

@@ -101,6 +101,28 @@ struct ShuffleOptions {
   std::size_t compress_skip_after = 2;
   std::size_t compress_skip_frames = 8;
 
+  // --- hybrid process+threads execution (arXiv:1811.04875's model) ---
+  /// Worker threads per map-side rank/task. 1 (the default) keeps the
+  /// pre-pool sequential path: no pool threads are spawned and scheduling
+  /// is byte-for-byte the legacy cadence. N > 1 runs map chunks through a
+  /// work-stealing WorkerPool with per-worker buffers feeding the shared
+  /// spill stream in deterministic chunk order, so output bytes are
+  /// identical for every thread count.
+  std::size_t map_threads = 1;
+
+  /// Worker threads per reduce-side rank/task: parallel decode and
+  /// pre-merge of arriving segments inside SegmentMerger. Same default-1
+  /// contract as map_threads.
+  std::size_t reduce_threads = 1;
+
+  /// Steal-able map chunks per batch when map_threads > 1. Finer chunks
+  /// steal better, coarser chunks amortize the per-chunk spill+flush.
+  /// 0 (the default) auto-sizes to a fixed count (16, capped by the
+  /// record count) — deliberately NOT a function of map_threads, because
+  /// the chunk cadence decides the output bytes and the byte-parity
+  /// guarantee above requires the same cadence at every thread count.
+  std::size_t map_task_chunks = 0;
+
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).
   /// Called by both runtimes before any task starts.

@@ -1,6 +1,10 @@
 #include "mpid/shuffle/merger.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mpid/shuffle/compress.hpp"
 
 namespace mpid::shuffle {
 
@@ -11,6 +15,97 @@ void SegmentMerger::add_frame(std::vector<std::byte> frame) {
   if (frame.empty()) return;
   cursors_.emplace_back(std::move(frame), cursors_.size());
   advance(cursors_.back());
+}
+
+void SegmentMerger::add_wire_frame(std::vector<std::byte> wire,
+                                   bool codec_framed) {
+  if (started_) {
+    throw std::logic_error(
+        "SegmentMerger: add_wire_frame after merging started");
+  }
+  if (wire.empty()) return;
+  pending_.push_back(PendingWire{std::move(wire), codec_framed});
+}
+
+void SegmentMerger::prepare(WorkerPool& pool, std::size_t capacity_hint,
+                            ShuffleCounters* counters) {
+  if (started_) {
+    throw std::logic_error("SegmentMerger: prepare after merging started");
+  }
+  if (!pending_.empty()) {
+    // Decode phase: one task per wire frame, per-worker decoders whose
+    // private counter blocks fold into the shared target at commit time.
+    std::vector<std::vector<std::byte>> decoded(pending_.size());
+    std::vector<ShuffleCounters> worker_counters(pool.workers());
+    std::vector<FrameDecoder> decoders;
+    decoders.reserve(pool.workers());
+    for (std::size_t w = 0; w < pool.workers(); ++w) {
+      decoders.emplace_back(capacity_hint, /*pool=*/nullptr,
+                            &worker_counters[w]);
+    }
+    pool.run(pending_.size(), [&](std::size_t task, std::size_t worker) {
+      auto& p = pending_[task];
+      decoded[task] = p.codec_framed ? decoders[worker].decode(std::move(p.wire))
+                                     : std::move(p.wire);
+    });
+    pending_.clear();
+    CounterCommitPoint commit(counters);
+    for (const auto& wc : worker_counters) commit.commit(wc);
+    // Cursors must form in arrival order — the tie-break that keeps a
+    // producer's spill order within a key — so this stays sequential.
+    for (auto& frame : decoded) add_frame(std::move(frame));
+  }
+
+  // Pre-merge phase: collapse contiguous arrival-order cursor ranges into
+  // one sorted run per worker. Worth it only when the sequential
+  // next_group() scan would otherwise touch many more cursors than the
+  // pool has workers.
+  const std::size_t workers = pool.workers();
+  if (workers <= 1 || cursors_.size() <= workers) return;
+  std::vector<std::vector<std::byte>> merged(workers);
+  const std::size_t count = cursors_.size();
+  pool.run(workers, [&](std::size_t run, std::size_t /*worker*/) {
+    const std::size_t lo = run * count / workers;
+    const std::size_t hi = (run + 1) * count / workers;
+    merged[run] = merge_range(lo, hi);
+  });
+  cursors_.clear();
+  for (auto& frame : merged) add_frame(std::move(frame));
+}
+
+std::vector<std::byte> SegmentMerger::merge_range(std::size_t lo,
+                                                  std::size_t hi) {
+  common::KvListWriter writer;
+  std::size_t bytes = 0;
+  for (std::size_t i = lo; i < hi; ++i) bytes += cursors_[i].frame.size();
+  writer.reserve(bytes);
+  std::string key;
+  std::vector<std::string> values;
+  for (;;) {
+    // Smallest current key in the range; ascending index scan with a
+    // strict < makes the earliest arrival win ties automatically.
+    const Cursor* best = nullptr;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto& cursor = cursors_[i];
+      if (!cursor.current) continue;
+      if (best == nullptr || cursor.current->key < best->current->key) {
+        best = &cursor;
+      }
+    }
+    if (best == nullptr) break;
+    key.assign(best->current->key);
+    values.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto& cursor = cursors_[i];
+      while (cursor.current && cursor.current->key == key) {
+        for (const auto v : cursor.current->values) values.emplace_back(v);
+        advance(cursor);
+      }
+    }
+    writer.begin_group(key, values.size());
+    for (const auto& v : values) writer.add_value(v);
+  }
+  return writer.take();
 }
 
 void SegmentMerger::advance(Cursor& cursor) {
@@ -28,6 +123,11 @@ void SegmentMerger::advance(Cursor& cursor) {
 
 bool SegmentMerger::next_group(std::string& key,
                                std::vector<std::string>& values) {
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "SegmentMerger: wire frames pending — call prepare() before "
+        "next_group()");
+  }
   started_ = true;
   // Smallest current key across cursors (linear scan: frame counts are
   // small — one per producer spill).

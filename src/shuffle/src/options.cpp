@@ -37,6 +37,14 @@ void ShuffleOptions::validate() const {
           "disable compression before the first sample)");
     }
   }
+  if (map_threads == 0) {
+    throw std::invalid_argument(
+        "ShuffleOptions: map_threads must be >= 1 (1 = sequential)");
+  }
+  if (reduce_threads == 0) {
+    throw std::invalid_argument(
+        "ShuffleOptions: reduce_threads must be >= 1 (1 = sequential)");
+  }
 }
 
 }  // namespace mpid::shuffle

@@ -1,0 +1,190 @@
+#include "mpid/shuffle/workerpool.hpp"
+
+#include <ctime>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpid::shuffle {
+
+namespace {
+
+/// CPU time of the calling thread, for the per-worker batch accounting.
+std::uint64_t thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t threads) : deques_(std::max<std::size_t>(threads, 1)) {
+  if (threads < 1) {
+    throw std::invalid_argument("WorkerPool: need >= 1 worker");
+  }
+  threads_.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) {
+    threads_.emplace_back([this, w] { pool_thread_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::size_t count, const TaskFn& fn) {
+  batch_cpu_ns_.assign(workers(), 0);
+  if (count == 0) return;
+  if (workers() == 1) {
+    // Caller-only pool: no threads, no locking — the `threads = 1`
+    // configuration costs exactly a loop.
+    const std::uint64_t start = thread_cpu_ns();
+    for (std::size_t t = 0; t < count; ++t) fn(t, 0);
+    batch_cpu_ns_[0] = thread_cpu_ns() - start;
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    // Deal contiguous blocks: worker w owns [w*count/W, (w+1)*count/W).
+    const std::size_t workers_n = workers();
+    for (std::size_t w = 0; w < workers_n; ++w) {
+      auto& dq = deques_[w];
+      std::lock_guard dq_lock(dq.mu);
+      dq.tasks.clear();
+      const std::size_t lo = w * count / workers_n;
+      const std::size_t hi = (w + 1) * count / workers_n;
+      for (std::size_t t = lo; t < hi; ++t) dq.tasks.push_back(t);
+    }
+    fn_ = &fn;
+    pending_ = count;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work(0);
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+bool WorkerPool::take(std::size_t worker, std::size_t& task) {
+  {
+    // Own deque first, front-out: the block dealt to this worker runs in
+    // ascending task order when nobody steals.
+    auto& own = deques_[worker];
+    std::lock_guard lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal half of the largest victim's remainder from the back. Tasks are
+  // coarse, so scanning every deque per steal is noise.
+  for (;;) {
+    std::size_t victim = worker;
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < deques_.size(); ++w) {
+      if (w == worker) continue;
+      std::lock_guard lock(deques_[w].mu);
+      if (deques_[w].tasks.size() > best) {
+        best = deques_[w].tasks.size();
+        victim = w;
+      }
+    }
+    if (best == 0) return false;  // nothing left anywhere
+    // Move the stolen half out under the victim's lock alone, then stash
+    // the remainder under our own lock — never both at once (two workers
+    // stealing from each other would otherwise order the two deque
+    // mutexes both ways, a lock-order inversion).
+    std::vector<std::size_t> stolen;  // descending victim order
+    {
+      auto& dq = deques_[victim];
+      std::lock_guard victim_lock(dq.mu);
+      if (dq.tasks.empty()) continue;  // raced: re-scan
+      const std::size_t grab = (dq.tasks.size() + 1) / 2;
+      stolen.reserve(grab);
+      for (std::size_t i = 0; i < grab; ++i) {
+        stolen.push_back(dq.tasks.back());
+        dq.tasks.pop_back();
+      }
+    }
+    task = stolen.back();  // lowest-index stolen task runs first
+    stolen.pop_back();
+    if (!stolen.empty()) {
+      auto& own = deques_[worker];
+      std::lock_guard own_lock(own.mu);
+      for (const std::size_t t : stolen) own.tasks.push_front(t);
+    }
+    return true;
+  }
+}
+
+void WorkerPool::finish_task(std::size_t worker, std::uint64_t cpu_ns) {
+  std::lock_guard lock(mu_);
+  batch_cpu_ns_[worker] += cpu_ns;
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void WorkerPool::work(std::size_t worker) {
+  const TaskFn* fn;
+  {
+    std::lock_guard lock(mu_);
+    fn = fn_;
+  }
+  std::size_t task;
+  while (take(worker, task)) {
+    const std::uint64_t start = thread_cpu_ns();
+    try {
+      (*fn)(task, worker);
+    } catch (...) {
+      std::size_t drained;
+      {
+        std::lock_guard lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        // Abandon everything still queued (in-flight tasks on other
+        // workers finish); each worker drains only its own deque, steals
+        // find the rest empty.
+        auto& own = deques_[worker];
+        std::lock_guard own_lock(own.mu);
+        drained = own.tasks.size();
+        own.tasks.clear();
+        pending_ -= drained;
+      }
+      (void)drained;
+    }
+    finish_task(worker, thread_cpu_ns() - start);
+  }
+}
+
+void WorkerPool::pool_thread_main(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    work(worker);
+  }
+}
+
+}  // namespace mpid::shuffle

@@ -26,6 +26,8 @@
 #include "mpid/shuffle/buffer.hpp"
 #include "mpid/shuffle/compress.hpp"
 #include "mpid/shuffle/engine.hpp"
+#include "mpid/shuffle/parallel.hpp"
+#include "mpid/shuffle/workerpool.hpp"
 
 namespace mpid {
 namespace {
@@ -283,6 +285,99 @@ TEST(ShuffleEngineParityTest, CompressionIsWireOnly) {
         EXPECT_LT(compressed.counters.shuffle_bytes_wire,
                   compressed.counters.shuffle_bytes_raw)
             << shape.name << ": '1'-valued word pairs must compress";
+      }
+    }
+  }
+}
+
+/// Runs the stream through ParallelMapper the way `shape` wires it, with
+/// `threads` pool workers. Chunk boundaries come from map_task_chunks, so
+/// they are identical for every thread count by construction — what this
+/// run checks is that the concurrent lanes + reorder sequencer reproduce
+/// the same wire bytes.
+RunResult run_parallel_pipeline(
+    const RuntimeShape& shape, shuffle::ShuffleOptions opts,
+    bool with_combiner, std::size_t threads,
+    const std::vector<std::pair<std::string, std::string>>& stream) {
+  opts.map_threads = threads;
+  opts.map_task_chunks = 10;
+  opts.validate();
+
+  RunResult result;
+  shuffle::ParallelMapper::Setup setup;
+  setup.layout = shape.layout;
+  setup.partitions = kPartitions;
+  setup.frame_flush_bytes = shape.frame_flush_bytes;
+  if (with_combiner) {
+    setup.combiner = [](std::string_view, std::vector<std::string>&& values) {
+      std::uint64_t total = 0;
+      for (const auto& v : values) total += std::stoull(v);
+      return std::vector<std::string>{std::to_string(total)};
+    };
+  }
+  setup.compress_framing = shape.framing;
+  setup.compress_kind = shape.kind;
+  setup.counters = &result.counters;
+  setup.sink = [&result](std::uint32_t p, std::vector<std::byte> frame,
+                         bool codec_framed) {
+    result.wire[p].push_back(WireFrame{std::move(frame), codec_framed});
+  };
+  shuffle::ParallelMapper mapper(opts, std::move(setup));
+  shuffle::WorkerPool pool(threads);
+
+  const auto chunks = shuffle::resolve_map_chunks(opts, stream.size());
+  mapper.run(pool, chunks,
+             [&](std::size_t chunk,
+                 const shuffle::ParallelMapper::EmitFn& emit) {
+               const std::size_t lo = chunk * stream.size() / chunks;
+               const std::size_t hi = (chunk + 1) * stream.size() / chunks;
+               for (std::size_t i = lo; i < hi; ++i) {
+                 emit(stream[i].first, stream[i].second);
+               }
+             });
+  return result;
+}
+
+TEST(ShuffleEngineParityTest, ThreadCountPreservesWireBytesOnBothRuntimes) {
+  const auto stream = make_stream();
+  for (const auto& shape : {kMpidShape, kMiniHadoopShape}) {
+    for (const bool combiner : {false, true}) {
+      for (const bool flat : {false, true}) {
+        for (const auto mode :
+             {ShuffleCompression::kOff, ShuffleCompression::kAuto,
+              ShuffleCompression::kOn}) {
+          const auto opts = options_for(flat, mode);
+          const auto base =
+              run_parallel_pipeline(shape, opts, combiner, 1, stream);
+          for (const std::size_t threads : {2u, 4u}) {
+            const auto run =
+                run_parallel_pipeline(shape, opts, combiner, threads, stream);
+            const std::string label =
+                std::string(shape.name) + " threads=" +
+                std::to_string(threads) +
+                " combiner=" + (combiner ? "1" : "0") +
+                " flat=" + (flat ? "1" : "0") +
+                " mode=" + std::to_string(static_cast<int>(mode));
+            ASSERT_EQ(run.wire.size(), base.wire.size()) << label;
+            for (const auto& [p, frames] : base.wire) {
+              const auto& run_frames = run.wire.at(p);
+              ASSERT_EQ(run_frames.size(), frames.size())
+                  << label << " partition " << p;
+              for (std::size_t i = 0; i < frames.size(); ++i) {
+                EXPECT_EQ(run_frames[i].bytes, frames[i].bytes)
+                    << label << " partition " << p << " frame " << i;
+                EXPECT_EQ(run_frames[i].codec_framed, frames[i].codec_framed)
+                    << label << " partition " << p << " frame " << i;
+              }
+            }
+            EXPECT_EQ(run.counters.pairs_after_combine,
+                      base.counters.pairs_after_combine)
+                << label;
+            EXPECT_EQ(run.counters.shuffle_bytes_wire,
+                      base.counters.shuffle_bytes_wire)
+                << label;
+          }
+        }
       }
     }
   }
