@@ -121,7 +121,13 @@ struct ShuffleOptions {
   /// record count) — deliberately NOT a function of map_threads, because
   /// the chunk cadence decides the output bytes and the byte-parity
   /// guarantee above requires the same cadence at every thread count.
+  /// validate() rejects values above kMaxMapTaskChunks: beyond that the
+  /// per-chunk flush dwarfs the work, and downstream splitters take the
+  /// chunk count as an int.
   std::size_t map_task_chunks = 0;
+
+  /// Upper bound validate() enforces on map_task_chunks.
+  static constexpr std::size_t kMaxMapTaskChunks = 1u << 20;
 
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).

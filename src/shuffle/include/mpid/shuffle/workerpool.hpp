@@ -6,9 +6,11 @@
 // batch of steal-able tasks (map-input chunks, merge runs, decode jobs)
 // is distributed block-wise over per-worker deques, and an idle worker
 // steals half of a victim's remaining tasks from the back — the classic
-// work-stealing shape, sized for coarse tasks (tens per batch, milliseconds
-// each), so per-deque mutexes cost nothing measurable and keep the pool
-// trivially ThreadSanitizer-clean.
+// work-stealing shape, sized for coarse tasks (tens per batch,
+// milliseconds each), so one pool mutex guarding every deque plus the
+// batch state costs nothing measurable — and makes the take-a-task /
+// which-batch-is-this decision a single atomic step (see work()), which
+// keeps the pool trivially ThreadSanitizer-clean.
 //
 // The calling thread is always worker 0: a pool of one spawns no threads
 // and runs every task inline, which is what makes `threads = 1` configs
@@ -68,15 +70,15 @@ class WorkerPool {
   }
 
  private:
-  struct TaskDeque {
-    std::mutex mu;
-    std::deque<std::size_t> tasks;
-  };
-
   /// One worker's batch participation: drain own deque from the front,
   /// then steal half of the largest victim's remainder from the back;
-  /// returns once no task is left anywhere.
-  void work(std::size_t worker);
+  /// returns once no task is left anywhere. `gen` is the batch the worker
+  /// was woken for — each iteration re-reads {generation_, fn_} and pops
+  /// the task under one mu_ hold, so a worker that wakes late (or is
+  /// preempted across a batch boundary) bails out instead of running a
+  /// newer batch's tasks through a stale or cleared fn pointer.
+  void work(std::size_t worker, std::uint64_t gen);
+  /// Requires mu_ held by the caller.
   bool take(std::size_t worker, std::size_t& task);
   /// Folds one finished task's CPU time into the worker's batch slot and
   /// decrements pending_ — both under mu_, so by the time the caller
@@ -84,13 +86,15 @@ class WorkerPool {
   void finish_task(std::size_t worker, std::uint64_t cpu_ns);
   void pool_thread_main(std::size_t worker);
 
-  std::vector<TaskDeque> deques_;
+  std::vector<std::deque<std::size_t>> deques_;
   std::vector<std::thread> threads_;
   std::vector<std::uint64_t> batch_cpu_ns_;
 
-  // Batch lifecycle: the caller publishes {fn, pending} under mu_ and
-  // bumps generation_; pool threads wake, work, and the last finished
-  // task signals the caller back. Coarse tasks make one mutex fine.
+  // Batch lifecycle: the caller publishes {deques, fn, pending} under mu_
+  // and bumps generation_; pool threads wake, work, and the last finished
+  // task signals the caller back. mu_ guards the deques too — coarse
+  // tasks make one mutex fine, and it ties each popped task to the fn of
+  // the same generation.
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

@@ -45,6 +45,14 @@ void ShuffleOptions::validate() const {
     throw std::invalid_argument(
         "ShuffleOptions: reduce_threads must be >= 1 (1 = sequential)");
   }
+  if (map_task_chunks > kMaxMapTaskChunks) {
+    throw std::invalid_argument(
+        "ShuffleOptions: map_task_chunks (" +
+        std::to_string(map_task_chunks) + ") exceeds the " +
+        std::to_string(kMaxMapTaskChunks) +
+        " cap — chunks that fine only add flush overhead, and splitters "
+        "take the chunk count as an int");
+  }
 }
 
 }  // namespace mpid::shuffle

@@ -53,25 +53,25 @@ void WorkerPool::run(std::size_t count, const TaskFn& fn) {
     batch_cpu_ns_[0] = thread_cpu_ns() - start;
     return;
   }
+  std::uint64_t gen;
   {
     std::lock_guard lock(mu_);
     // Deal contiguous blocks: worker w owns [w*count/W, (w+1)*count/W).
     const std::size_t workers_n = workers();
     for (std::size_t w = 0; w < workers_n; ++w) {
       auto& dq = deques_[w];
-      std::lock_guard dq_lock(dq.mu);
-      dq.tasks.clear();
+      dq.clear();
       const std::size_t lo = w * count / workers_n;
       const std::size_t hi = (w + 1) * count / workers_n;
-      for (std::size_t t = lo; t < hi; ++t) dq.tasks.push_back(t);
+      for (std::size_t t = lo; t < hi; ++t) dq.push_back(t);
     }
     fn_ = &fn;
     pending_ = count;
     first_error_ = nullptr;
-    ++generation_;
+    gen = ++generation_;
   }
   start_cv_.notify_all();
-  work(0);
+  work(0, gen);
   std::unique_lock lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   fn_ = nullptr;
@@ -83,56 +83,33 @@ void WorkerPool::run(std::size_t count, const TaskFn& fn) {
 }
 
 bool WorkerPool::take(std::size_t worker, std::size_t& task) {
-  {
-    // Own deque first, front-out: the block dealt to this worker runs in
-    // ascending task order when nobody steals.
-    auto& own = deques_[worker];
-    std::lock_guard lock(own.mu);
-    if (!own.tasks.empty()) {
-      task = own.tasks.front();
-      own.tasks.pop_front();
-      return true;
-    }
-  }
-  // Steal half of the largest victim's remainder from the back. Tasks are
-  // coarse, so scanning every deque per steal is noise.
-  for (;;) {
-    std::size_t victim = worker;
-    std::size_t best = 0;
-    for (std::size_t w = 0; w < deques_.size(); ++w) {
-      if (w == worker) continue;
-      std::lock_guard lock(deques_[w].mu);
-      if (deques_[w].tasks.size() > best) {
-        best = deques_[w].tasks.size();
-        victim = w;
-      }
-    }
-    if (best == 0) return false;  // nothing left anywhere
-    // Move the stolen half out under the victim's lock alone, then stash
-    // the remainder under our own lock — never both at once (two workers
-    // stealing from each other would otherwise order the two deque
-    // mutexes both ways, a lock-order inversion).
-    std::vector<std::size_t> stolen;  // descending victim order
-    {
-      auto& dq = deques_[victim];
-      std::lock_guard victim_lock(dq.mu);
-      if (dq.tasks.empty()) continue;  // raced: re-scan
-      const std::size_t grab = (dq.tasks.size() + 1) / 2;
-      stolen.reserve(grab);
-      for (std::size_t i = 0; i < grab; ++i) {
-        stolen.push_back(dq.tasks.back());
-        dq.tasks.pop_back();
-      }
-    }
-    task = stolen.back();  // lowest-index stolen task runs first
-    stolen.pop_back();
-    if (!stolen.empty()) {
-      auto& own = deques_[worker];
-      std::lock_guard own_lock(own.mu);
-      for (const std::size_t t : stolen) own.tasks.push_front(t);
-    }
+  // Own deque first, front-out: the block dealt to this worker runs in
+  // ascending task order when nobody steals.
+  auto& own = deques_[worker];
+  if (!own.empty()) {
+    task = own.front();
+    own.pop_front();
     return true;
   }
+  // Steal half of the largest victim's remainder from the back. Tasks
+  // are coarse, so scanning every deque per steal is noise.
+  std::size_t victim = worker;
+  std::size_t best = 0;
+  for (std::size_t w = 0; w < deques_.size(); ++w) {
+    if (w == worker) continue;
+    if (deques_[w].size() > best) {
+      best = deques_[w].size();
+      victim = w;
+    }
+  }
+  if (best == 0) return false;  // nothing left anywhere
+  auto& dq = deques_[victim];
+  const std::size_t keep = dq.size() - (dq.size() + 1) / 2;
+  const auto split = dq.begin() + static_cast<std::ptrdiff_t>(keep);
+  task = *split;  // lowest-index stolen task runs first
+  own.assign(split + 1, dq.end());
+  dq.resize(keep);
+  return true;
 }
 
 void WorkerPool::finish_task(std::size_t worker, std::uint64_t cpu_ns) {
@@ -141,32 +118,33 @@ void WorkerPool::finish_task(std::size_t worker, std::uint64_t cpu_ns) {
   if (--pending_ == 0) done_cv_.notify_all();
 }
 
-void WorkerPool::work(std::size_t worker) {
-  const TaskFn* fn;
-  {
-    std::lock_guard lock(mu_);
-    fn = fn_;
-  }
-  std::size_t task;
-  while (take(worker, task)) {
+void WorkerPool::work(std::size_t worker, std::uint64_t gen) {
+  for (;;) {
+    const TaskFn* fn;
+    std::size_t task;
+    {
+      std::lock_guard lock(mu_);
+      // Stale-wake guard: a worker preempted between waking for batch
+      // `gen` and arriving here may find that batch already completed —
+      // fn_ cleared, or a later batch published with fresh tasks. The
+      // generation check and the task pop happen under the same lock
+      // hold, so a task can never pair with a different batch's fn.
+      if (generation_ != gen || fn_ == nullptr) return;
+      if (!take(worker, task)) return;
+      fn = fn_;
+    }
     const std::uint64_t start = thread_cpu_ns();
     try {
       (*fn)(task, worker);
     } catch (...) {
-      std::size_t drained;
-      {
-        std::lock_guard lock(mu_);
-        if (!first_error_) first_error_ = std::current_exception();
-        // Abandon everything still queued (in-flight tasks on other
-        // workers finish); each worker drains only its own deque, steals
-        // find the rest empty.
-        auto& own = deques_[worker];
-        std::lock_guard own_lock(own.mu);
-        drained = own.tasks.size();
-        own.tasks.clear();
-        pending_ -= drained;
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Abandon everything still queued, on every deque; only tasks
+      // already in flight on other workers finish.
+      for (auto& dq : deques_) {
+        pending_ -= dq.size();
+        dq.clear();
       }
-      (void)drained;
     }
     finish_task(worker, thread_cpu_ns() - start);
   }
@@ -183,7 +161,7 @@ void WorkerPool::pool_thread_main(std::size_t worker) {
       if (shutdown_) return;
       seen_generation = generation_;
     }
-    work(worker);
+    work(worker, seen_generation);
   }
 }
 

@@ -86,6 +86,42 @@ TEST(WorkerPoolTest, FirstTaskExceptionRethrownOnCaller) {
   EXPECT_EQ(done.load(), 8u);
 }
 
+TEST(WorkerPoolTest, QueuedTasksAbandonedAfterException) {
+  // Every task throws: each worker executes at most one task before the
+  // first failure drains every deque, so queued tasks on *other* workers'
+  // deques are abandoned too — the run() contract. (The old own-deque-only
+  // drain let the throwing worker keep stealing and failing.)
+  WorkerPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.run(64,
+                        [&](std::size_t, std::size_t) {
+                          executed.fetch_add(1, std::memory_order_relaxed);
+                          throw std::runtime_error("poisoned task");
+                        }),
+               std::runtime_error);
+  EXPECT_LE(executed.load(), pool.workers());
+  EXPECT_GE(executed.load(), 1u);
+}
+
+TEST(WorkerPoolTest, RapidBackToBackBatchesStayIsolated) {
+  // Regression for the stale-batch race: a pool thread waking late for
+  // batch N must never run batch N+1's tasks through batch N's (by then
+  // dangling) fn, nor through the cleared fn between batches. Tiny
+  // batches in a tight loop maximize the wake-after-completion window;
+  // the per-batch counter and task-index assert catch any bleed-through
+  // (and TSan catches the dangling-fn read).
+  WorkerPool pool(4);
+  for (std::size_t batch = 1; batch <= 300; ++batch) {
+    const std::size_t count = batch % 5 + 1;
+    std::atomic<std::size_t> done{0};
+    pool.run(count, [&](std::size_t task, std::size_t) {
+      ASSERT_LT(task, count);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(done.load(), count) << "batch " << batch;
+  }
+}
+
 TEST(WorkerPoolTest, ReusableAcrossManyBatches) {
   WorkerPool pool(3);
   for (int batch = 0; batch < 20; ++batch) {
