@@ -12,11 +12,16 @@
 //
 // At rate r, MiniHadoop sees crash/fetch/heartbeat faults and MPI-D sees
 // crash/drop/corrupt faults — each runtime is attacked at the layers it
-// defends. Results print as a table and land in
+// defends. Every run additionally executes under a tight mpid::store
+// memory budget (~1/10 of the shuffle working set), so fault recovery and
+// the disk tier are exercised *together*: re-executed tasks re-spill,
+// restarted reducers re-arm their external merge, and the spilled-bytes
+// columns show what that costs. Results print as a table and land in
 // BENCH_ext_fault_degradation.json for the trajectory across PRs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <algorithm>
 #include <map>
@@ -42,6 +47,15 @@ using Clock = std::chrono::steady_clock;
 constexpr int kMaps = 4;
 constexpr int kReduces = 2;
 constexpr std::uint64_t kInputBytes = 256 * 1024;
+constexpr std::size_t kMemoryBudget = 32 * 1024;  // ~1/10 the working set
+
+/// Arms the two-tier store on either runtime's inherited ShuffleOptions.
+void arm_budget(shuffle::ShuffleOptions& opts, const std::string& spill_dir) {
+  opts.memory_budget_bytes = kMemoryBudget;
+  opts.spill_dir = spill_dir;
+  opts.spill_page_bytes = shuffle::ShuffleOptions::kMinSpillPageBytes;
+  opts.spill_merge_fanin = 4;
+}
 
 mapred::MapFn wc_map() {
   return [](std::string_view line, mapred::MapContext& ctx) {
@@ -126,6 +140,10 @@ int main() {
   const auto text = workloads::generate_text({}, kInputBytes, 2026);
   const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10, 0.20};
 
+  std::string spill_tmpl =
+      (std::filesystem::temp_directory_path() / "mpid-faultbench-XXXXXX");
+  const std::string spill_dir = ::mkdtemp(spill_tmpl.data());
+
   // ---- MiniHadoop side: one DFS + cluster reused across rates ----
   dfs::MiniDfs fs(2);
   fs.create("/in", text);
@@ -141,6 +159,7 @@ int main() {
     job.map_tasks = kMaps;
     job.reduce_tasks = kReduces;
     job.fault_injector = std::move(inj);
+    arm_budget(job, spill_dir);
     HadoopRun run;
     const auto start = Clock::now();
     run.summary = cluster.run(job);
@@ -152,6 +171,8 @@ int main() {
     mapred::JobDef job;
     job.map = wc_map();
     job.reduce = wc_reduce();
+    job.streaming_merge_reduce = true;  // the merge phase the store extends
+    arm_budget(job.tuning, spill_dir);
     if (inj) {
       job.tuning.resilient_shuffle = true;
       job.tuning.fault_injector = std::move(inj);
@@ -174,8 +195,8 @@ int main() {
   auto [mpid_base, golden_outputs] = run_mpid(nullptr);
 
   common::TextTable table({"fault rate", "Hadoop", "slowdown", "reexec",
-                           "fetch retries", "MPI-D", "slowdown", "retransmits",
-                           "restarts"});
+                           "fetch retries", "spilled", "MPI-D", "slowdown",
+                           "retransmits", "restarts", "spilled"});
   std::ostringstream rows_json;
 
   for (std::size_t i = 0; i < rates.size(); ++i) {
@@ -210,12 +231,14 @@ int main() {
                                        s.reduce_reexecutions)),
          common::strformat(
              "%llu", static_cast<unsigned long long>(s.shuffle_fetch_retries)),
+         common::format_bytes(s.bytes_spilled_disk),
          common::strformat("%.1f ms", mpid.ms),
          common::strformat("%.2fx", mpid.ms / mpid_base.ms),
          common::strformat(
              "%llu", static_cast<unsigned long long>(t.frames_retransmitted)),
          common::strformat("%llu",
-                           static_cast<unsigned long long>(t.task_restarts))});
+                           static_cast<unsigned long long>(t.task_restarts)),
+         common::format_bytes(t.bytes_spilled_disk)});
 
     rows_json << (i ? ",\n" : "")
               << common::strformat(
@@ -223,16 +246,28 @@ int main() {
                      "\"hadoop_reexecutions\": %llu, "
                      "\"hadoop_fetch_retries\": %llu, "
                      "\"hadoop_heartbeat_errors\": %llu, "
+                     "\"hadoop_spilled_bytes\": %llu, "
+                     "\"hadoop_spill_files\": %llu, "
+                     "\"hadoop_merge_passes\": %llu, "
                      "\"mpid_ms\": %.3f, \"mpid_retransmits\": %llu, "
-                     "\"mpid_restarts\": %llu}",
+                     "\"mpid_restarts\": %llu, "
+                     "\"mpid_spilled_bytes\": %llu, "
+                     "\"mpid_spill_files\": %llu, "
+                     "\"mpid_merge_passes\": %llu}",
                      rate, hadoop.ms,
                      static_cast<unsigned long long>(s.map_reexecutions +
                                                      s.reduce_reexecutions),
                      static_cast<unsigned long long>(s.shuffle_fetch_retries),
                      static_cast<unsigned long long>(s.heartbeat_errors),
+                     static_cast<unsigned long long>(s.bytes_spilled_disk),
+                     static_cast<unsigned long long>(s.spill_files),
+                     static_cast<unsigned long long>(s.external_merge_passes),
                      mpid.ms,
                      static_cast<unsigned long long>(t.frames_retransmitted),
-                     static_cast<unsigned long long>(t.task_restarts));
+                     static_cast<unsigned long long>(t.task_restarts),
+                     static_cast<unsigned long long>(t.bytes_spilled_disk),
+                     static_cast<unsigned long long>(t.spill_files),
+                     static_cast<unsigned long long>(t.external_merge_passes));
   }
 
   std::printf("%s", table.render().c_str());
@@ -251,5 +286,17 @@ int main() {
        << "  \"rows\": [\n"
        << rows_json.str() << "\n  ]\n}\n";
   std::printf("\nwrote BENCH_ext_fault_degradation.json\n");
+
+  // Temp-file hygiene: every spill run must be gone, even on runs whose
+  // tasks crashed and re-executed.
+  const auto leftovers = std::distance(
+      std::filesystem::directory_iterator(spill_dir),
+      std::filesystem::directory_iterator{});
+  std::filesystem::remove_all(spill_dir);
+  if (leftovers != 0) {
+    std::fprintf(stderr, "FATAL: %td spill files leaked in %s\n", leftovers,
+                 spill_dir.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
                            "MPI-D/Hadoop", "paper ratio"});
   common::TextTable codec_table({"input", "shuffle raw", "shuffle wire",
                                  "Hadoop +codec", "MPI-D +codec"});
+  common::TextTable store_table({"input", "folded spill", "two-tier store",
+                                 "spilled", "merge passes"});
   for (const auto& p : points) {
     const auto run_hadoop = [&](bool compress) {
       sim::Engine engine;
@@ -76,15 +78,19 @@ int main(int argc, char** argv) {
       job.shuffle_compression_ratio = codec.ratio;
       return cluster.run(job).makespan.to_seconds();
     };
-    const auto run_mpid = [&](bool compress) {
+    const auto run_mpid_result = [&](bool compress, bool store_model) {
       sim::Engine engine;
       auto spec = workloads::fig6_mpid_system();
       spec.map_threads = map_threads;
+      spec.model_spill_store = store_model;
       mpidsim::MpidSystem system(engine, spec);
       auto job = workloads::mpid_wordcount_job(p.gb * GiB);
       job.compress_shuffle = compress;
       job.shuffle_compression_ratio = codec.ratio;
-      return system.run(job).makespan.to_seconds();
+      return system.run(job);
+    };
+    const auto run_mpid = [&](bool compress) {
+      return run_mpid_result(compress, false).makespan.to_seconds();
     };
     const double hadoop_s = run_hadoop(false);
     const double mpid_s = run_mpid(false);
@@ -111,6 +117,18 @@ int main(int argc, char** argv) {
                            hadoop_s / hadoop_codec_s),
          common::strformat("%.1f s (%.2fx)", mpid_codec_s,
                            mpid_s / mpid_codec_s)});
+
+    // Bounded-RAM column: the same points with the two-tier store modeled
+    // explicitly (budget-sized runs through the reducer node's disk plus
+    // the fan-in merge cascade) instead of the folded spill rate.
+    const auto store_run = run_mpid_result(false, true);
+    store_table.add_row(
+        {common::strformat("%llu GB", static_cast<unsigned long long>(p.gb)),
+         common::strformat("%.1f s", mpid_s),
+         common::strformat("%.1f s", store_run.makespan.to_seconds()),
+         common::strformat("%.1f GB", store_run.spilled_bytes /
+                                          static_cast<double>(GiB)),
+         common::strformat("%d", store_run.external_merge_passes)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -131,6 +149,18 @@ int main(int argc, char** argv) {
       "bandwidth is real — ext_interconnect_shuffle isolates the fetch\n"
       "path and shows the >4x transfer win — it just is not this\n"
       "workload's bottleneck. Compression composes with, rather than\n"
-      "substitutes for, scaling the reducers.\n");
+      "substitutes for, scaling the reducers.\n\n");
+
+  std::printf(
+      "== Bounded RAM: the two-tier spill store (mpid::store) modeled\n"
+      "   explicitly ==\n\n%s\n",
+      store_table.render().c_str());
+  std::printf(
+      "Reading: below the 1.5 GB reducer budget the columns agree — no\n"
+      "spill, no merge passes. Beyond it the two-tier column charges the\n"
+      "real cost shape: run writes and the fan-in merge cascade go through\n"
+      "the reducer node's disk (shared with its mappers), so the spill\n"
+      "penalty scales with disk bandwidth and cascade depth instead of one\n"
+      "folded rate — the 100 GB-class regime mpid::store exists for.\n");
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include "bench_main.hpp"
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -168,6 +170,42 @@ BENCHMARK(BM_MpidWordCount)
     ->Args({1, 1, 4})
     ->ArgNames({"combiner", "flat", "threads"})
     ->Unit(benchmark::kMillisecond);
+
+/// The same WordCount under a tight mpid::store memory budget (~1/10 of
+/// the intermediate working set): map buffers drain under pressure and
+/// the streaming-merge reducers spill to sorted runs, compact, and
+/// external-merge from disk. The delta against BM_MpidWordCount is the
+/// price of bounded RAM; the spill counters land in the JSON artifact.
+void BM_MpidWordCountBudgeted(benchmark::State& state) {
+  const auto text = workloads::generate_text({}, 4 * 1024 * 1024, 42);
+  const mapred::JobRunner runner(4, 2);
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "mpid-bench-XXXXXX");
+  const std::string spill_dir = ::mkdtemp(tmpl.data());
+
+  auto job = wordcount(true);
+  job.streaming_merge_reduce = true;  // the merge phase the store extends
+  job.tuning.memory_budget_bytes = 64 * 1024;
+  job.tuning.spill_dir = spill_dir;
+  job.tuning.spill_page_bytes = shuffle::ShuffleOptions::kMinSpillPageBytes;
+
+  core::Stats totals;
+  for (auto _ : state) {
+    const auto result = runner.run_on_text(job, text);
+    benchmark::DoNotOptimize(result.outputs.size());
+    totals = result.report.totals;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["spilled_disk_bytes"] =
+      static_cast<double>(totals.bytes_spilled_disk);
+  state.counters["spill_files"] = static_cast<double>(totals.spill_files);
+  state.counters["merge_passes"] =
+      static_cast<double>(totals.external_merge_passes);
+  state.counters["spill_s"] = static_cast<double>(totals.spill_ns) * 1e-9;
+  std::filesystem::remove_all(spill_dir);
+}
+BENCHMARK(BM_MpidWordCountBudgeted)->Unit(benchmark::kMillisecond);
 
 /// The same WordCount over the resilient shuffle while the transport
 /// drops the given permille of data frames: the price of MPI-D fault

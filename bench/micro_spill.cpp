@@ -1,0 +1,130 @@
+// mpid::store microbenchmark: the reducer-side merge with and without
+// the disk tier engaged, on identical frame sets.
+//
+//   MergeInMemory        - SegmentMerger, unbounded budget (the baseline
+//                          every PR's >10%% gate protects)
+//   MergeSpilled/<fanin> - the same merge under a budget ~1/10 of the
+//                          working set, so every run spills and the final
+//                          merge is preceded by fan-in compaction passes;
+//                          the fanin sweep exposes the pass-count vs
+//                          open-runs trade-off of spill_merge_fanin
+//
+// Throughput is bytes of merged frame data per second; spilled_bytes and
+// merge_passes counters make the disk tier's extra I/O visible in the
+// JSON artifact (BENCH_micro_spill.json).
+#include <benchmark/benchmark.h>
+
+#include "bench_main.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/merger.hpp"
+#include "mpid/store/budget.hpp"
+
+namespace {
+
+using namespace mpid;
+
+/// One key-sorted frame of `keys` groups with overlapping key ranges
+/// across frames — the realigned-segment shape reducers actually merge.
+std::vector<std::byte> make_frame(int frame, int keys, std::size_t value_bytes) {
+  common::KvListWriter writer;
+  for (int k = 0; k < keys; ++k) {
+    const int id = frame % 5 + k * 5;
+    writer.begin_group("key" + std::to_string(100000 + id), 2);
+    writer.add_value("f" + std::to_string(frame) + "/" + std::to_string(id));
+    writer.add_value(std::string(value_bytes, 'v'));
+  }
+  return writer.take();
+}
+
+std::vector<std::vector<std::byte>> make_frames(int frames, int keys,
+                                                std::size_t value_bytes) {
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) out.push_back(make_frame(f, keys, value_bytes));
+  return out;
+}
+
+std::size_t total_bytes(const std::vector<std::vector<std::byte>>& frames) {
+  std::size_t n = 0;
+  for (const auto& f : frames) n += f.size();
+  return n;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "mpid-bench-XXXXXX");
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+constexpr int kFrames = 24;
+constexpr int kKeysPerFrame = 200;
+constexpr std::size_t kValueBytes = 96;
+
+void drain(shuffle::SegmentMerger& merger, benchmark::State& state) {
+  std::string key;
+  std::vector<std::string> values;
+  std::size_t groups = 0;
+  while (merger.next_group(key, values)) {
+    benchmark::DoNotOptimize(values);
+    ++groups;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+void BM_MergeInMemory(benchmark::State& state) {
+  const auto frames = make_frames(kFrames, kKeysPerFrame, kValueBytes);
+  for (auto _ : state) {
+    shuffle::SegmentMerger merger;
+    for (const auto& f : frames) merger.add_frame(f);
+    drain(merger, state);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      total_bytes(frames) * static_cast<std::size_t>(state.iterations())));
+}
+BENCHMARK(BM_MergeInMemory);
+
+void BM_MergeSpilled(benchmark::State& state) {
+  const auto frames = make_frames(kFrames, kKeysPerFrame, kValueBytes);
+  TempDir dir;
+  shuffle::ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  opts.spill_page_bytes = shuffle::ShuffleOptions::kMinSpillPageBytes;
+  // ~1/10 of the working set: every iteration really spills.
+  opts.memory_budget_bytes =
+      std::max<std::size_t>(total_bytes(frames) / 10, 2 * opts.spill_page_bytes);
+  opts.spill_merge_fanin = static_cast<std::size_t>(state.range(0));
+  opts.validate();
+
+  shuffle::ShuffleCounters counters;
+  for (auto _ : state) {
+    store::MemoryBudget budget(opts.memory_budget_bytes);
+    shuffle::SegmentMerger merger;
+    merger.enable_spill(opts, &budget, &counters);
+    for (const auto& f : frames) merger.add_frame(f);
+    merger.finish_spill_phase();
+    drain(merger, state);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      total_bytes(frames) * static_cast<std::size_t>(state.iterations())));
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["spilled_bytes"] =
+      static_cast<double>(counters.bytes_spilled_disk) / iters;
+  state.counters["merge_passes"] =
+      static_cast<double>(counters.external_merge_passes) / iters;
+}
+BENCHMARK(BM_MergeSpilled)->Arg(2)->Arg(4)->Arg(16);
+
+}  // namespace
+
+MPID_BENCHMARK_MAIN_JSON("micro_spill")

@@ -35,7 +35,7 @@ fi
 BUILD_DIR=${1:-build}
 
 # The canonical list: keep in sync with MPID_BENCHMARK_MAIN_JSON uses.
-BENCHES=(micro_mpid micro_shuffle_pipeline micro_kvtable micro_codec micro_threads)
+BENCHES=(micro_mpid micro_shuffle_pipeline micro_kvtable micro_codec micro_threads micro_spill)
 # The regression-gated subset: shuffle-engine hot paths, end to end.
 CHECK_BENCHES=(micro_mpid micro_kvtable)
 CHECK_TOLERANCE=1.10  # fail on >10% real_time regression

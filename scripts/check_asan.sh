@@ -12,7 +12,11 @@
 # (test_codec_fuzz.cpp), so the mutated/truncated wire frames hit the
 # decoder's bounds checks under instrumentation here. test_shuffle covers
 # the extracted engine (buffer drain-under-throw, encoder frame reuse,
-# compressor framing escapes) at the unit level.
+# compressor framing escapes) at the unit level. test_store covers the
+# two-tier spill store (budget charge/release balance, recycled I/O
+# pages, run-file RAII, the loser-tree merge), and the spill-parity
+# integration suite runs both runtimes under a tight budget so the
+# spill/compact/external-merge cycle executes instrumented end to end.
 #
 # Usage: scripts/check_asan.sh [extra gtest args...]
 set -euo pipefail
@@ -22,14 +26,18 @@ BUILD_DIR=build-asan
 
 cmake -B "$BUILD_DIR" -S . -DMPID_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_common test_shuffle test_mpid test_minihadoop -j
+cmake --build "$BUILD_DIR" --target test_common test_shuffle test_store \
+  test_mpid test_minihadoop test_integration -j
 
 # detect_leaks also catches frames/blocks that escape the pools.
 export ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1 ${ASAN_OPTIONS:-}"
 
-for suite in test_common test_shuffle test_mpid test_minihadoop; do
+for suite in test_common test_shuffle test_store test_mpid test_minihadoop; do
   echo "=== ASan: $suite ==="
   "$BUILD_DIR/tests/$suite" "$@"
 done
+
+echo "=== ASan: test_integration (spill parity) ==="
+"$BUILD_DIR/tests/test_integration" --gtest_filter='*SpillParity*' "$@"
 
 echo "ASan check passed."

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Enforces the shuffle-engine layering (DESIGN.md §11) by grepping the
-# DIRECT #include lines of each layer:
+# Enforces the shuffle-engine layering (DESIGN.md §11, §13) by grepping
+# the DIRECT #include lines of each layer:
 #
-#   src/shuffle     may include only mpid/common/ and mpid/shuffle/ —
-#                   the engine is transport-agnostic and must not know
-#                   which runtime is driving it.
+#   src/store       may include only mpid/common/ and mpid/store/ — the
+#                   two-tier spill store is a leaf library below the
+#                   shuffle engine; it must not know who spills into it.
+#   src/shuffle     may include only mpid/common/, mpid/store/ and
+#                   mpid/shuffle/ — the engine is transport-agnostic and
+#                   must not know which runtime is driving it.
 #   src/core        must not include mpid/minihadoop/ — MPI-D wires its
 #                   own transport around the shared engine.
 #   src/minihadoop  must not include mpid/core/ — the RPC runtime gets
@@ -33,10 +36,15 @@ check_layer() {
   fi
 }
 
-# The shuffle engine: anything under mpid/ that is not common/ or
-# shuffle/. grep -E has no lookahead, so spell out the forbidden layers.
+# The store: anything under mpid/ that is not common/ or store/.
+# grep -E has no lookahead, so spell out the forbidden layers.
+check_layer src/store \
+  "src/store may only include mpid/common/ and mpid/store/" \
+  '#include "mpid/(core|minihadoop|minimpi|mapred|dfs|hrpc|fault|net|sim|proto|hadoop|mpidsim|workloads|shuffle)/'
+
+# The shuffle engine: as above, plus mpid/store/ (its disk tier).
 check_layer src/shuffle \
-  "src/shuffle may only include mpid/common/ and mpid/shuffle/" \
+  "src/shuffle may only include mpid/common/, mpid/store/ and mpid/shuffle/" \
   '#include "mpid/(core|minihadoop|minimpi|mapred|dfs|hrpc|fault|net|sim|proto|hadoop|mpidsim|workloads)/'
 
 check_layer src/core \

@@ -50,6 +50,7 @@
 #include "mpid/minimpi/comm.hpp"
 #include "mpid/shuffle/buffer.hpp"
 #include "mpid/shuffle/compress.hpp"
+#include "mpid/store/budget.hpp"
 #include "mpid/shuffle/engine.hpp"
 #include "mpid/shuffle/parallel.hpp"
 #include "mpid/shuffle/workerpool.hpp"
@@ -132,6 +133,14 @@ class MpiD {
   /// by run_map_parallel() and available to callers (e.g. the mapred
   /// JobRunner hands it to SegmentMerger::prepare()).
   shuffle::WorkerPool& worker_pool();
+
+  /// The resolved two-tier store arbiter — Config::memory_budget if the
+  /// caller shared one, a per-rank arbiter when memory_budget_bytes > 0,
+  /// null otherwise. Callers arm consumer stages with it (e.g.
+  /// SegmentMerger::enable_spill on the reduce side).
+  store::MemoryBudget* memory_budget() const noexcept {
+    return config_.memory_budget.get();
+  }
 
   /// MPI_D_Finalize — collective. Mappers flush buffers and emit
   /// end-of-stream markers; reducers must have drained recv() first. All

@@ -93,6 +93,13 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
   config_.validate();  // shared shuffle knobs (spill/frame/compression)
   pool_ = config_.frame_pool ? config_.frame_pool
                              : common::FramePool::process_pool();
+  // Resolve the two-tier store's arbiter: an explicitly shared budget wins
+  // (in-process worlds can cap the whole job with one arbiter); otherwise
+  // a bounded memory_budget_bytes gets this rank its own.
+  if (!config_.memory_budget && config_.memory_budget_bytes > 0) {
+    config_.memory_budget =
+        std::make_shared<store::MemoryBudget>(config_.memory_budget_bytes);
+  }
   // Direct realignment requires the buffered spill path to be semantics-
   // free: no combiner to batch for, no sorted runs to build.
   direct_realign_ = config_.direct_realign && !config_.combiner &&
@@ -112,7 +119,12 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
     // ships each one the moment it fills.
     combine_runner_.emplace(config_.combiner, &stats_);
     if (!direct_realign_) {
-      map_buffer_.emplace(config_, &*combine_runner_, &stats_);
+      // Budgeted mappers drain early under pressure instead of spilling to
+      // disk: map output's slow tier IS the transport (frames ship the
+      // moment the buffer realigns), so pressure just tightens the spill
+      // cadence.
+      map_buffer_.emplace(config_, &*combine_runner_, &stats_,
+                          memory_budget());
     }
     if (compression_on()) {
       compressor_.emplace(config_, shuffle::WireFraming::kSelfDescribing,

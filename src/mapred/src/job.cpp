@@ -140,8 +140,18 @@ JobResult JobRunner::run(const JobDef& job,
           // reduce_threads > 1 the frames are collected undecoded and
           // prepare() fans the codec decode + a cursor pre-merge across
           // the rank's worker pool.
-          const bool threaded = config.reduce_threads > 1 && !inj;
+          // A bounded memory budget forces the sequential collect path:
+          // the threaded path batches every wire frame in memory before
+          // prepare(), which is exactly the footprint the budget exists to
+          // cap. Sequential add_frame() charges the budget per frame and
+          // spills sorted runs to disk when refused (DESIGN.md §13).
+          const bool budgeted = config.memory_budget_bytes > 0;
+          const bool threaded = config.reduce_threads > 1 && !inj && !budgeted;
           core::SortedFrameMerger merger;
+          shuffle::ShuffleCounters spill_counters;
+          if (budgeted) {
+            merger.enable_spill(config, mpid.memory_budget(), &spill_counters);
+          }
           for (int safety = 0;; ++safety) {
             try {
               std::vector<std::byte> frame;
@@ -161,7 +171,14 @@ JobResult JobRunner::run(const JobDef& job,
               // and re-pull the retained mapper lanes.
               if (safety >= kMaxTaskAttempts) throw;
               mpid.restart_reducer();
+              // The dead attempt's merger drops its disk runs via SpillFile
+              // RAII; the fresh one must re-arm the disk tier before the
+              // re-pulled frames arrive.
               merger = core::SortedFrameMerger{};
+              if (budgeted) {
+                merger.enable_spill(config, mpid.memory_budget(),
+                                    &spill_counters);
+              }
             }
           }
           if (threaded) {
@@ -169,6 +186,13 @@ JobResult JobRunner::run(const JobDef& job,
             merger.prepare(mpid.worker_pool(), config.partition_frame_bytes,
                            &decode_counters);
             mpid.fold_counters(decode_counters);
+          }
+          if (budgeted) {
+            // Compact now so the spill counters are final, then ship them:
+            // finalize() sends this rank's stats to the master before the
+            // reduce loop streams a single group.
+            merger.finish_spill_phase();
+            mpid.fold_counters(spill_counters);
           }
           mpid.finalize();
 

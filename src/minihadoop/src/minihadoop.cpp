@@ -18,8 +18,11 @@
 #include "mpid/shuffle/buffer.hpp"
 #include "mpid/shuffle/compress.hpp"
 #include "mpid/shuffle/engine.hpp"
+#include "mpid/shuffle/merger.hpp"
 #include "mpid/shuffle/parallel.hpp"
 #include "mpid/shuffle/workerpool.hpp"
+#include "mpid/store/budget.hpp"
+#include "mpid/store/spillfile.hpp"
 #include "jobtracker.hpp"
 
 namespace mpid::minihadoop {
@@ -36,19 +39,67 @@ std::span<const std::byte> as_bytes(std::string_view s) {
 /// mapred.compress.map.output analog of Hadoop's shuffle headers).
 constexpr const char* kCodecHeader = "X-Mpid-Codec";
 
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// One tasktracker's map-output store, served by its /mapOutput servlet.
+///
+/// With a memory budget armed (MiniJobConfig::memory_budget_bytes), the
+/// store is the map side of the two-tier store: each published segment is
+/// charged against the job's arbiter, and a refused charge moves the
+/// segment body to a SpillFile in spill_dir — /mapOutput then serves those
+/// bytes from disk, exactly like Hadoop's file-backed map output. The wire
+/// bytes a reducer fetches are identical either way.
 struct SegmentStore {
   struct Segment {
-    std::string bytes;
+    std::string bytes;                     // in-memory tier (empty if spilled)
+    std::optional<store::SpillFile> file;  // disk tier
+    std::size_t size = 0;
     bool codec = false;  // bytes are a codec frame, not a raw KvWriter frame
   };
 
   std::mutex mu;
   std::map<std::pair<int, int>, Segment> segments;  // (map, reduce)
+  store::Reservation reservation;  // in-memory segment bytes vs the budget
+  std::string spill_dir;
 
-  void put(int map, int reduce, std::string frame, bool codec) {
+  /// Publishes one segment; `counters` (the attempt's block, nullable)
+  /// receives disk-tier accounting when the budget pushes the body out, so
+  /// the spill counters stay commit-gated like every other attempt counter.
+  void put(int map, int reduce, std::string frame, bool codec,
+           shuffle::ShuffleCounters* counters) {
     std::lock_guard lock(mu);
-    segments[{map, reduce}] = Segment{std::move(frame), codec};
+    auto& slot = segments[{map, reduce}];
+    if (!slot.file && slot.size > 0) {
+      reservation.shrink(slot.size);  // re-executed map: replace the old body
+    }
+    slot = Segment{};
+    slot.size = frame.size();
+    slot.codec = codec;
+    if (frame.empty() || reservation.try_grow(frame.size())) {
+      slot.bytes = std::move(frame);
+      return;
+    }
+    const std::uint64_t t0 = now_ns();
+    auto file = store::SpillFile::create(spill_dir, "seg");
+    std::FILE* out = std::fopen(file.path().c_str(), "wb");
+    if (out == nullptr ||
+        std::fwrite(frame.data(), 1, frame.size(), out) != frame.size() ||
+        std::fclose(out) != 0) {
+      if (out != nullptr) std::fclose(out);
+      throw std::runtime_error("SegmentStore: cannot spill segment to " +
+                               file.path());
+    }
+    slot.file = std::move(file);
+    if (counters != nullptr) {
+      counters->bytes_spilled_disk += frame.size();
+      counters->spill_files += 1;
+      counters->spill_ns += now_ns() - t0;
+    }
   }
 
   hrpc::HttpResponse get(std::string_view query) {
@@ -72,7 +123,23 @@ struct SegmentStore {
       throw std::runtime_error("no such map output segment");
     }
     hrpc::HttpResponse response;
-    response.body = it->second.bytes;
+    if (it->second.file) {
+      std::FILE* in = std::fopen(it->second.file->path().c_str(), "rb");
+      if (in == nullptr) {
+        throw std::runtime_error("SegmentStore: spilled segment vanished: " +
+                                 it->second.file->path());
+      }
+      response.body.resize(it->second.size);
+      const auto got =
+          std::fread(response.body.data(), 1, it->second.size, in);
+      std::fclose(in);
+      if (got != it->second.size) {
+        throw std::runtime_error("SegmentStore: short read from " +
+                                 it->second.file->path());
+      }
+    } else {
+      response.body = it->second.bytes;
+    }
     if (it->second.codec) response.headers.emplace_back(kCodecHeader, "1");
     return response;
   }
@@ -108,6 +175,16 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   opts.validate();
   const bool compressing =
       opts.shuffle_compression != shuffle::ShuffleCompression::kOff;
+
+  // Two-tier store arbiter (DESIGN.md §13): one process-wide budget shared
+  // by every task of the job — tasktrackers are threads here, so the cap
+  // covers the whole simulated cluster the way a real box's RAM would. A
+  // caller-supplied budget wins; memory_budget_bytes = 0 disables the tier.
+  std::shared_ptr<store::MemoryBudget> budget = opts.memory_budget;
+  if (!budget && opts.memory_budget_bytes > 0) {
+    budget = std::make_shared<store::MemoryBudget>(opts.memory_budget_bytes);
+  }
+  const bool budgeted = budget && !budget->unbounded();
 
   fault::FaultInjector* const inj = config.fault_injector.get();
 
@@ -177,6 +254,8 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   std::vector<std::unique_ptr<hrpc::HttpServer>> http_servers;
   for (int t = 0; t < tasktrackers_; ++t) {
     stores.push_back(std::make_unique<SegmentStore>());
+    stores.back()->reservation = store::Reservation(budget.get());
+    stores.back()->spill_dir = opts.spill_dir;
     auto server = std::make_unique<hrpc::HttpServer>();
     auto* store = stores.back().get();
     server->add_raw_servlet("/mapOutput", [store](std::string_view query) {
@@ -277,7 +356,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       // Empty partitions keep their default ("", unflagged) segment.
       stores[static_cast<std::size_t>(tracker_id)]->put(
           map_id, r, std::move(bodies[static_cast<std::size_t>(r)]),
-          codec_flags[static_cast<std::size_t>(r)] != 0);
+          codec_flags[static_cast<std::size_t>(r)] != 0, &outcome.counters);
     }
     return outcome;
   };
@@ -305,7 +384,12 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     // framing) — the servlet then omits the codec header, like Hadoop.
     MapOutcome outcome;
     shuffle::CombineRunner combine(config.combiner, &outcome.counters);
-    shuffle::MapOutputBuffer buffer(opts, &combine, &outcome.counters);
+    // Budget pressure tightens the spill cadence: a refused charge latches
+    // should_spill(), the ctx below drains to the encoder early, and the
+    // assembled segment is what SegmentStore pushes to disk if the budget
+    // refuses it too.
+    shuffle::MapOutputBuffer buffer(opts, &combine, &outcome.counters,
+                                    budget.get());
     std::optional<shuffle::FrameCompressor> compressor;
     if (compressing) {
       compressor.emplace(opts, shuffle::WireFraming::kFlagged,
@@ -357,7 +441,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
       // Empty partitions keep their default ("", unflagged) segment.
       stores[static_cast<std::size_t>(tracker_id)]->put(
           map_id, r, std::move(bodies[static_cast<std::size_t>(r)]),
-          codec_flags[static_cast<std::size_t>(r)] != 0);
+          codec_flags[static_cast<std::size_t>(r)] != 0, &outcome.counters);
     }
     return outcome;
   };
@@ -405,7 +489,22 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     // Reducer-side grouping reuses the shuffle engine's buffer stage (flat
     // table or node-based map, same knob as the map side); no combiner, no
     // spill — the groups are only iterated at reduce time.
+    //
+    // Under a memory budget with sorted_reduce, grouping goes through the
+    // two-tier store instead: each fetched segment is stably sorted into
+    // one key-sorted KvList frame and fed to a budget-armed SegmentMerger,
+    // which spills sorted runs to spill_dir when the arbiter refuses a
+    // frame and external-merges them back at reduce time. Equal keys
+    // concatenate in frame-arrival (= fetch) order, in-segment order
+    // within a frame — exactly the value order the hash path produces for
+    // sorted_reduce — so the reduce output is byte-identical either way.
+    // (Peak memory: the budget, plus one in-flight segment.)
+    const bool ext_merge = budgeted && config.sorted_reduce;
     shuffle::MapOutputBuffer groups(opts, nullptr, &outcome.counters);
+    shuffle::SegmentMerger merger;
+    if (ext_merge) {
+      merger.enable_spill(opts, budget.get(), &outcome.counters);
+    }
     shuffle::FrameDecoder decoder(0, nullptr, &outcome.counters);
     std::uint64_t ticks = 0;
     for (int m = 0; m < config.map_tasks; ++m) {
@@ -468,17 +567,52 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
                        decoded.size());
       }
       common::KvReader reader(as_bytes(segment));
+      if (ext_merge) {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        while (auto pair = reader.next()) {
+          pairs.emplace_back(std::string(pair->key),
+                             std::string(pair->value));
+        }
+        if (pairs.empty()) continue;
+        std::stable_sort(pairs.begin(), pairs.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        common::KvListWriter writer;
+        std::size_t lo = 0;
+        while (lo < pairs.size()) {
+          std::size_t hi = lo + 1;
+          while (hi < pairs.size() && pairs[hi].first == pairs[lo].first) {
+            ++hi;
+          }
+          writer.begin_group(pairs[lo].first, hi - lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            writer.add_value(pairs[i].second);
+          }
+          lo = hi;
+        }
+        merger.add_frame(writer.take());
+        continue;
+      }
       while (auto pair = reader.next()) {
         groups.append(pair->key, pair->value);
       }
     }
 
     mapred::ReduceContext ctx(reduce_id);
-    groups.for_each_group(
-        config.sorted_reduce,
-        [&](std::string_view key, const std::vector<std::string>& values) {
-          config.reduce(key, values, ctx);
-        });
+    if (ext_merge) {
+      std::string key;
+      std::vector<std::string> values;
+      while (merger.next_group(key, values)) {
+        config.reduce(key, values, ctx);
+      }
+    } else {
+      groups.for_each_group(
+          config.sorted_reduce,
+          [&](std::string_view key, const std::vector<std::string>& values) {
+            config.reduce(key, values, ctx);
+          });
+    }
 
     for (const auto& [k, v] : ctx.take_emitted()) {
       outcome.body += k;

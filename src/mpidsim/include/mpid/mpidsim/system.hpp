@@ -65,6 +65,21 @@ struct SystemSpec {
   double reduce_in_memory_bytes_per_second = 60.0e6;
   double reduce_spill_bytes_per_second = 27.0e6;
 
+  /// Model the two-tier spill store (mpid::store, DESIGN.md §13) instead
+  /// of the folded reduce_spill_bytes_per_second constant: over-budget
+  /// bytes are written as budget-sized sorted runs through the reducer
+  /// node's *disk* (sharing it with that node's mappers and the output
+  /// write), runs beyond spill_merge_fanin cost explicit read+rewrite
+  /// compaction passes, and the final stream re-reads every surviving run
+  /// — so spill cost scales with the disk rate and the merge cascade
+  /// depth, not a single calibrated rate.
+  bool model_spill_store = false;
+  /// Fan-in of the external merge (ShuffleOptions::spill_merge_fanin).
+  int spill_merge_fanin = 16;
+  /// CPU rate of the external merge itself (loser tree + group copies),
+  /// calibrated from bench/micro_spill; disk time is charged separately.
+  double spill_merge_bytes_per_second = 300.0e6;
+
   /// Mapper spill granularity: input consumed between spills; each spill's
   /// combined output is sent as pipelined MPI messages.
   std::uint64_t spill_input_bytes = 16 * 1024 * 1024;
@@ -131,6 +146,12 @@ struct MpidJobResult {
   sim::Time map_phase_end;      // last mapper finished scanning + sending
   sim::Time reduce_end;         // reducer drained and wrote output
   double intermediate_bytes = 0;
+  /// Two-tier store accounting (zero unless model_spill_store and the
+  /// reduce volume exceeded the budget): total disk-write volume including
+  /// compaction rewrites, and how many fan-in passes ran — the model's
+  /// bytes_spilled_disk / external_merge_passes.
+  double spilled_bytes = 0;
+  int external_merge_passes = 0;
 };
 
 class MpidSystem {

@@ -32,6 +32,7 @@
 #include "mpid/common/kvtable.hpp"
 #include "mpid/shuffle/counters.hpp"
 #include "mpid/shuffle/options.hpp"
+#include "mpid/store/budget.hpp"
 
 namespace mpid::shuffle {
 
@@ -80,9 +81,14 @@ class MapOutputBuffer {
 
   /// `combine` (nullable) enables incremental combining at
   /// options.inline_combine_threshold; `counters` receives the spill/peak
-  /// accounting. Both pointers must outlive the buffer.
+  /// accounting. Both pointers must outlive the buffer. `budget`
+  /// (nullable) makes the buffer a budgeted consumer of the two-tier
+  /// store: growth is charged in spill_page_bytes chunks, and a refused
+  /// charge latches should_spill() true so the owner drains early — the
+  /// in-memory fast tier giving way before the cap, instead of OOMing.
   MapOutputBuffer(const ShuffleOptions& options, CombineRunner* combine,
-                  ShuffleCounters* counters);
+                  ShuffleCounters* counters,
+                  store::MemoryBudget* budget = nullptr);
 
   MapOutputBuffer(const MapOutputBuffer&) = delete;
   MapOutputBuffer& operator=(const MapOutputBuffer&) = delete;
@@ -100,7 +106,7 @@ class MapOutputBuffer {
   }
 
   bool should_spill() const noexcept {
-    return bytes_used() >= spill_threshold_;
+    return bytes_used() >= spill_threshold_ || pressure_spill_;
   }
 
   /// Largest single-entry frame overshoot (exact on the flat path, 0 on
@@ -133,10 +139,12 @@ class MapOutputBuffer {
                         });
       } catch (...) {
         table_.recycle();
+        release_budget();
         throw;
       }
       table_.recycle();
       ++counters_->arena_recycles;
+      release_budget();
       return;
     }
     // Move both containers out first: the entries' key views point into
@@ -157,6 +165,7 @@ class MapOutputBuffer {
       fn(Entry{e.key, common::fnv1a64(e.key), e.values.size(), nullptr,
                &e.values});
     }
+    release_budget();
   }
 
   /// Read-only grouped iteration for the receive side:
@@ -200,6 +209,13 @@ class MapOutputBuffer {
   /// threshold on the legacy path (hash node + string headers).
   static constexpr std::size_t kEntryOverhead = 48;
 
+  /// Returns every charged byte to the budget and re-opens the fast tier
+  /// (called when the buffer empties).
+  void release_budget() noexcept {
+    reservation_.reset();
+    pressure_spill_ = false;
+  }
+
   struct LegacyEntry {
     std::string_view key;  // aliases the index node's key; stable
     std::vector<std::string> values;
@@ -209,8 +225,11 @@ class MapOutputBuffer {
   const bool flat_;
   const std::size_t spill_threshold_;
   const std::size_t inline_combine_threshold_;
+  const std::size_t budget_chunk_;  // charge granularity (spill_page_bytes)
   CombineRunner* combine_;
   ShuffleCounters* counters_;
+  store::Reservation reservation_;
+  bool pressure_spill_ = false;
 
   common::KvCombineTable table_;
 

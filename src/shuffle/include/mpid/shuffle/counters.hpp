@@ -21,8 +21,9 @@ struct ShuffleCounters {
   /// including value materialization around incremental calls).
   /// Spill-time combining also counts toward spill_ns.
   std::uint64_t combine_ns = 0;
-  /// Wall time of buffer spill rounds: drain, realignment into partition
-  /// frames and any frame flushes they trigger.
+  /// Wall time of buffer spill rounds — drain, realignment into partition
+  /// frames and any frame flushes they trigger — plus, when a memory
+  /// budget forces the disk tier, run write/read/merge I/O time.
   std::uint64_t spill_ns = 0;
   /// High-water byte footprint of the combine buffer (keys + encoded
   /// values + bookkeeping). Aggregates as a max, not a sum.
@@ -43,6 +44,16 @@ struct ShuffleCounters {
   /// Frames that shipped via the stored escape or the auto-skip heuristic.
   std::uint64_t frames_stored_uncompressed = 0;
 
+  // --- two-tier spill store (zero unless memory_budget_bytes is set) ---
+  /// Bytes written to spill runs on disk, merge-pass rewrites included —
+  /// the total disk-write volume the budget cost, not the live footprint.
+  std::uint64_t bytes_spilled_disk = 0;
+  /// Spill files created (budget-triggered runs plus compaction outputs).
+  std::uint64_t spill_files = 0;
+  /// Fan-in compaction merges the external merge ran before streaming
+  /// (0 = every run fit under spill_merge_fanin in one pass).
+  std::uint64_t external_merge_passes = 0;
+
   /// Folds another task's counters into this one: sums everywhere except
   /// table_bytes_peak, which is a peak.
   void merge(const ShuffleCounters& rhs) noexcept {
@@ -59,6 +70,9 @@ struct ShuffleCounters {
     compress_ns += rhs.compress_ns;
     decompress_ns += rhs.decompress_ns;
     frames_stored_uncompressed += rhs.frames_stored_uncompressed;
+    bytes_spilled_disk += rhs.bytes_spilled_disk;
+    spill_files += rhs.spill_files;
+    external_merge_passes += rhs.external_merge_passes;
   }
 };
 

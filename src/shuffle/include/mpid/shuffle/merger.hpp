@@ -22,17 +22,36 @@
 // range's first arrival index as its tie-break order, and the ranges are
 // disjoint and ordered — so next_group() produces byte-for-byte the same
 // group sequence for every worker count.
+//
+// Disk tier (enable_spill, DESIGN.md §13): when a MemoryBudget refuses an
+// arriving frame's charge, the merger stream-merges everything it holds
+// into one sorted run on disk (store::RunWriter) and frees the cursors;
+// the run inherits the spilled range's first arrival index as its
+// tie-break order. Because every spill takes *all* current cursors, runs
+// cover disjoint contiguous arrival ranges — the same associativity
+// argument as the thread pre-merge above — so the final loser-tree merge
+// over (runs, then surviving cursors) concatenates equal keys' values in
+// exactly the arrival order the all-in-memory merge would have used, and
+// budget-bounded output is byte-identical to unbounded output. With the
+// budget unset nothing here changes: no state is allocated, no branch is
+// taken past a null check.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "mpid/common/kvframe.hpp"
 #include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/options.hpp"
 #include "mpid/shuffle/workerpool.hpp"
+#include "mpid/store/budget.hpp"
+#include "mpid/store/extmerge.hpp"
+#include "mpid/store/pagepool.hpp"
+#include "mpid/store/spillfile.hpp"
 
 namespace mpid::shuffle {
 
@@ -54,9 +73,28 @@ class SegmentMerger {
   /// ranges into one sorted run per worker so the sequential next_group()
   /// scan touches W cursors instead of hundreds. `capacity_hint` pre-sizes
   /// decode buffers (use the producer's frame size target). Idempotent;
-  /// must precede next_group() when wire frames are pending.
+  /// must precede next_group() when wire frames are pending. With the
+  /// disk tier armed the decode runs sequentially through the budget-
+  /// charged add_frame() path instead (spilling is disk-bound; the
+  /// pre-merge would fight the budget for the cursors it merges).
   void prepare(WorkerPool& pool, std::size_t capacity_hint,
                ShuffleCounters* counters);
+
+  /// Arms the disk tier. Must precede the first add_frame(); no-op when
+  /// `budget` is null or unbounded. `options` supplies spill_dir,
+  /// spill_page_bytes, spill_merge_fanin and whether runs are
+  /// codec-compressed (shuffle_compression != kOff); `counters`
+  /// (nullable) receives bytes_spilled_disk / spill_files /
+  /// external_merge_passes / spill_ns as they happen. Re-arm after
+  /// move-assigning a fresh merger (restart paths).
+  void enable_spill(const ShuffleOptions& options,
+                    store::MemoryBudget* budget, ShuffleCounters* counters);
+
+  /// Runs the fan-in compaction passes (if spilling happened) so every
+  /// spill counter is final. Idempotent; next_group() calls it lazily,
+  /// but a caller that ships counters before reducing — MPI-D folds stats
+  /// at finalize() — must call it first.
+  void finish_spill_phase();
 
   /// Produces the next group in ascending key order, concatenating the
   /// value lists of equal keys across frames (frame arrival order breaks
@@ -67,6 +105,11 @@ class SegmentMerger {
   bool next_group(std::string& key, std::vector<std::string>& values);
 
   std::size_t frame_count() const noexcept { return cursors_.size(); }
+
+  /// Disk runs currently held (post-compaction once the merge started).
+  std::size_t spill_run_count() const noexcept {
+    return spill_ ? spill_->runs.size() : 0;
+  }
 
  private:
   struct Cursor {
@@ -84,15 +127,65 @@ class SegmentMerger {
     bool codec_framed;
   };
 
-  void advance(Cursor& cursor);
+  /// One spilled run: a contiguous arrival range on disk, ranked by the
+  /// range's first arrival index.
+  struct SpillRun {
+    store::SpillFile file;
+    std::size_t order;
+  };
+
+  /// Everything the disk tier needs; absent (null) with no budget, so the
+  /// in-memory path pays one pointer test.
+  struct SpillState {
+    std::string spill_dir;
+    std::size_t page_bytes = 0;
+    std::size_t fanin = 2;
+    bool compress = false;
+    store::MemoryBudget* budget = nullptr;
+    ShuffleCounters* counters = nullptr;
+    store::Reservation reservation;
+    std::unique_ptr<store::SpillPool> pool;
+    std::vector<SpillRun> runs;
+    bool compacted = false;
+  };
+
+  /// An in-memory cursor as a loser-tree source (for the final merge when
+  /// runs exist).
+  class CursorSource final : public store::GroupSource {
+   public:
+    explicit CursorSource(Cursor* cursor) : cursor_(cursor) {}
+    bool next(store::Group& group) override;
+
+   private:
+    Cursor* cursor_;
+  };
+
+  static void advance(Cursor& cursor);
+
+  /// Streams the fully-merged groups of cursors_[lo, hi) to `fn(key,
+  /// values)` in ascending key order, arrival-order concatenation — the
+  /// one merge loop behind merge_range() (in-memory output) and
+  /// spill_cursors() (disk output).
+  template <typename Fn>
+  void for_each_merged_group(std::size_t lo, std::size_t hi, Fn&& fn);
 
   /// Sequentially k-way merges cursors_[lo, hi) into one sorted KvList
   /// frame, preserving the range's arrival-order value concatenation.
   std::vector<std::byte> merge_range(std::size_t lo, std::size_t hi);
 
+  /// Writes every current cursor to one sorted run and frees the memory.
+  void spill_cursors();
+
+  /// Builds the loser tree over (compacted runs, surviving cursors).
+  void build_final_stream();
+
   std::deque<Cursor> cursors_;  // deque: stable addresses for the views
   std::vector<PendingWire> pending_;
+  std::size_t next_order_ = 0;  // survives cursor clears (spills, pre-merge)
   bool started_ = false;
+  std::unique_ptr<SpillState> spill_;
+  std::vector<std::unique_ptr<store::GroupSource>> final_sources_;
+  std::unique_ptr<store::MergingGroupStream> final_stream_;
 };
 
 }  // namespace mpid::shuffle

@@ -15,9 +15,14 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace mpid::store {
+class MemoryBudget;
+}
 
 namespace mpid::shuffle {
 
@@ -128,6 +133,45 @@ struct ShuffleOptions {
 
   /// Upper bound validate() enforces on map_task_chunks.
   static constexpr std::size_t kMaxMapTaskChunks = 1u << 20;
+
+  // --- memory-budgeted two-tier store (src/store; DESIGN.md §13) ---
+  /// Hard cap on the bytes the shuffle's buffering stages may hold in RAM
+  /// per budget instance (one per rank/task by default, or shared through
+  /// `memory_budget` below). 0 — the default — means unbounded: no budget
+  /// is created, no spill files are written, and every byte-parity
+  /// guarantee of the in-memory pipeline is untouched. When set, a
+  /// consumer whose charge is refused spills to sorted runs under
+  /// spill_dir and the reducer external-merges them back (loser tree,
+  /// fan-in bounded by spill_merge_fanin) — output bytes stay identical
+  /// to the unbounded run.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Directory for spill runs; must name an existing writable directory
+  /// when memory_budget_bytes > 0 (validate() probes it). Files are
+  /// uniquely named per process and removed on success and error paths.
+  std::string spill_dir;
+
+  /// Page size of the store's recycled I/O buffers and the run block
+  /// size. validate() enforces the kMinSpillPageBytes floor — tinier
+  /// pages make every block header-dominated — and that one page fits
+  /// the budget (a budget smaller than a single page could never stage
+  /// its own spill I/O).
+  std::size_t spill_page_bytes = 256 * 1024;
+
+  /// Maximum runs the final external merge reads concurrently; more runs
+  /// trigger fan-in compaction passes first (each pass is one
+  /// external_merge_passes tick). Bounds reducer memory at roughly
+  /// fanin × spill_page_bytes during the merge. validate() requires >= 2.
+  std::size_t spill_merge_fanin = 16;
+
+  /// Optional shared arbiter: when set, every consumer of these options
+  /// charges the same MemoryBudget instance (a job-wide cap); when null
+  /// and memory_budget_bytes > 0, each runtime creates one budget per
+  /// rank/task (a per-process cap, Hadoop's per-JVM heap analog).
+  std::shared_ptr<store::MemoryBudget> memory_budget;
+
+  /// Floor validate() enforces on spill_page_bytes.
+  static constexpr std::size_t kMinSpillPageBytes = 4 * 1024;
 
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).

@@ -38,14 +38,30 @@ void CombineRunner::combine_entry(common::KvCombineTable& table,
 
 MapOutputBuffer::MapOutputBuffer(const ShuffleOptions& options,
                                  CombineRunner* combine,
-                                 ShuffleCounters* counters)
+                                 ShuffleCounters* counters,
+                                 store::MemoryBudget* budget)
     : flat_(options.flat_combine_table),
       spill_threshold_(options.spill_threshold_bytes),
       inline_combine_threshold_(options.inline_combine_threshold),
+      budget_chunk_(options.spill_page_bytes),
       combine_(combine),
-      counters_(counters) {}
+      counters_(counters),
+      reservation_(budget) {}
 
 void MapOutputBuffer::append(std::string_view key, std::string_view value) {
+  // Budgeted growth is charged in whole chunks so the budget lock is
+  // taken once per spill_page_bytes of data, not once per pair. A refused
+  // chunk latches the pressure flag; the bytes already buffered stay
+  // covered by earlier grants and drain out through the next spill.
+  if (reservation_.budgeted() && !pressure_spill_) {
+    const std::size_t used = bytes_used() + key.size() + value.size();
+    if (used > reservation_.bytes()) {
+      const std::size_t deficit = used - reservation_.bytes();
+      if (!reservation_.try_grow(std::max(budget_chunk_, deficit))) {
+        pressure_spill_ = true;
+      }
+    }
+  }
   const bool inline_combine = inline_combine_threshold_ > 0 && combine_ &&
                               combine_->enabled();
   if (flat_) {
@@ -84,6 +100,7 @@ void MapOutputBuffer::append(std::string_view key, std::string_view value) {
 }
 
 void MapOutputBuffer::clear() {
+  release_budget();
   if (flat_) {
     if (!table_.empty()) table_.recycle();
     return;

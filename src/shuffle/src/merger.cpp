@@ -1,5 +1,7 @@
 #include "mpid/shuffle/merger.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,12 +10,30 @@
 
 namespace mpid::shuffle {
 
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 void SegmentMerger::add_frame(std::vector<std::byte> frame) {
   if (started_) {
     throw std::logic_error("SegmentMerger: add_frame after merging started");
   }
   if (frame.empty()) return;
-  cursors_.emplace_back(std::move(frame), cursors_.size());
+  if (spill_ && !spill_->reservation.try_grow(frame.size())) {
+    // Budget refused even after pressure callbacks: trade the cursors for
+    // a disk run, then charge the newcomer unconditionally — post-spill
+    // the reservation is empty, so the overshoot is bounded by one frame.
+    spill_cursors();
+    spill_->reservation.grow(frame.size());
+  }
+  cursors_.emplace_back(std::move(frame), next_order_++);
   advance(cursors_.back());
 }
 
@@ -27,10 +47,47 @@ void SegmentMerger::add_wire_frame(std::vector<std::byte> wire,
   pending_.push_back(PendingWire{std::move(wire), codec_framed});
 }
 
+void SegmentMerger::enable_spill(const ShuffleOptions& options,
+                                 store::MemoryBudget* budget,
+                                 ShuffleCounters* counters) {
+  if (!cursors_.empty() || !pending_.empty() || started_) {
+    throw std::logic_error(
+        "SegmentMerger: enable_spill must precede the first frame");
+  }
+  if (budget == nullptr || budget->unbounded()) return;
+  spill_ = std::make_unique<SpillState>();
+  spill_->spill_dir = options.spill_dir;
+  spill_->page_bytes = options.spill_page_bytes;
+  spill_->fanin = std::max<std::size_t>(2, options.spill_merge_fanin);
+  spill_->compress =
+      options.shuffle_compression != ShuffleCompression::kOff;
+  spill_->budget = budget;
+  spill_->counters = counters;
+  spill_->reservation = store::Reservation(budget);
+  spill_->pool =
+      std::make_unique<store::SpillPool>(budget, options.spill_page_bytes);
+}
+
 void SegmentMerger::prepare(WorkerPool& pool, std::size_t capacity_hint,
                             ShuffleCounters* counters) {
   if (started_) {
     throw std::logic_error("SegmentMerger: prepare after merging started");
+  }
+  if (spill_) {
+    // Disk tier armed: decode sequentially through the budget-charged
+    // add_frame path. The parallel decode would materialize every frame
+    // at once — exactly the footprint the budget exists to forbid — and
+    // a spilling merge is disk-bound anyway.
+    if (!pending_.empty()) {
+      FrameDecoder decoder(capacity_hint, /*pool=*/nullptr, counters);
+      auto pending = std::move(pending_);
+      pending_.clear();
+      for (auto& p : pending) {
+        add_frame(p.codec_framed ? decoder.decode(std::move(p.wire))
+                                 : std::move(p.wire));
+      }
+    }
+    return;
   }
   if (!pending_.empty()) {
     // Decode phase: one task per wire frame, per-worker decoders whose
@@ -73,12 +130,9 @@ void SegmentMerger::prepare(WorkerPool& pool, std::size_t capacity_hint,
   for (auto& frame : merged) add_frame(std::move(frame));
 }
 
-std::vector<std::byte> SegmentMerger::merge_range(std::size_t lo,
-                                                  std::size_t hi) {
-  common::KvListWriter writer;
-  std::size_t bytes = 0;
-  for (std::size_t i = lo; i < hi; ++i) bytes += cursors_[i].frame.size();
-  writer.reserve(bytes);
+template <typename Fn>
+void SegmentMerger::for_each_merged_group(std::size_t lo, std::size_t hi,
+                                          Fn&& fn) {
   std::string key;
   std::vector<std::string> values;
   for (;;) {
@@ -102,10 +156,121 @@ std::vector<std::byte> SegmentMerger::merge_range(std::size_t lo,
         advance(cursor);
       }
     }
-    writer.begin_group(key, values.size());
-    for (const auto& v : values) writer.add_value(v);
+    fn(key, values);
   }
+}
+
+std::vector<std::byte> SegmentMerger::merge_range(std::size_t lo,
+                                                  std::size_t hi) {
+  common::KvListWriter writer;
+  std::size_t bytes = 0;
+  for (std::size_t i = lo; i < hi; ++i) bytes += cursors_[i].frame.size();
+  writer.reserve(bytes);
+  for_each_merged_group(
+      lo, hi,
+      [&writer](const std::string& key, const std::vector<std::string>& values) {
+        writer.begin_group(key, values.size());
+        for (const auto& v : values) writer.add_value(v);
+      });
   return writer.take();
+}
+
+void SegmentMerger::spill_cursors() {
+  if (cursors_.empty()) return;
+  const std::uint64_t start = now_ns();
+  const std::size_t order = cursors_.front().order;
+  store::RunWriter::Options wopts;
+  wopts.block_bytes = spill_->page_bytes;
+  wopts.compress = spill_->compress;
+  store::RunWriter writer(store::SpillFile::create(spill_->spill_dir, "run"),
+                          wopts, spill_->pool.get());
+  // One streamed pass: groups materialize one at a time, so the spill's
+  // own footprint is a group plus the writer's staging page.
+  for_each_merged_group(
+      0, cursors_.size(),
+      [&writer](const std::string& key, const std::vector<std::string>& values) {
+        writer.begin_group(key, values.size());
+        for (const auto& v : values) writer.add_value(v);
+      });
+  auto [file, info] = writer.finish();
+  spill_->runs.push_back(SpillRun{std::move(file), order});
+  spill_->compacted = false;
+  cursors_.clear();
+  spill_->reservation.reset();
+  if (spill_->counters != nullptr) {
+    spill_->counters->bytes_spilled_disk += info.file_bytes;
+    spill_->counters->spill_files += 1;
+    spill_->counters->spill_ns += now_ns() - start;
+  }
+}
+
+void SegmentMerger::finish_spill_phase() {
+  if (!spill_ || spill_->compacted || spill_->runs.empty()) return;
+  // Fan-in compaction: cascade the oldest `fanin` runs into one until the
+  // final merge's open-run count fits. Merging an arrival-contiguous
+  // prefix preserves the tie-break collapse (see the class comment), and
+  // the cascade is deterministic — no size heuristics, so two runs of the
+  // same job compact identically.
+  while (spill_->runs.size() > spill_->fanin) {
+    const std::uint64_t start = now_ns();
+    std::vector<std::unique_ptr<store::GroupSource>> sources;
+    sources.reserve(spill_->fanin);
+    for (std::size_t i = 0; i < spill_->fanin; ++i) {
+      sources.push_back(std::make_unique<store::RunSource>(
+          spill_->runs[i].file.path(), spill_->pool.get()));
+    }
+    store::RunWriter::Options wopts;
+    wopts.block_bytes = spill_->page_bytes;
+    wopts.compress = spill_->compress;
+    store::RunWriter writer(
+        store::SpillFile::create(spill_->spill_dir, "merge"), wopts,
+        spill_->pool.get());
+    auto [file, info] = store::merge_sources(sources, writer);
+    const std::size_t order = spill_->runs.front().order;
+    spill_->runs.erase(spill_->runs.begin(),
+                       spill_->runs.begin() +
+                           static_cast<std::ptrdiff_t>(spill_->fanin));
+    spill_->runs.insert(spill_->runs.begin(),
+                        SpillRun{std::move(file), order});
+    if (spill_->counters != nullptr) {
+      spill_->counters->external_merge_passes += 1;
+      spill_->counters->bytes_spilled_disk += info.file_bytes;
+      spill_->counters->spill_files += 1;
+      spill_->counters->spill_ns += now_ns() - start;
+    }
+  }
+  spill_->compacted = true;
+}
+
+bool SegmentMerger::CursorSource::next(store::Group& group) {
+  if (!cursor_->current) return false;
+  group.key.assign(cursor_->current->key);
+  group.values.clear();
+  group.values.reserve(cursor_->current->values.size());
+  for (const auto v : cursor_->current->values) group.values.emplace_back(v);
+  SegmentMerger::advance(*cursor_);
+  return true;
+}
+
+void SegmentMerger::build_final_stream() {
+  finish_spill_phase();
+  // Source index order = arrival order: runs first (each one a contiguous
+  // arrival range older than every surviving cursor), then the in-memory
+  // cursors, oldest first. The loser tree's index tie-break then equals
+  // the in-memory merger's order tie-break.
+  final_sources_.clear();
+  final_sources_.reserve(spill_->runs.size() + cursors_.size());
+  for (const auto& run : spill_->runs) {
+    final_sources_.push_back(std::make_unique<store::RunSource>(
+        run.file.path(), spill_->pool.get()));
+  }
+  for (auto& cursor : cursors_) {
+    final_sources_.push_back(std::make_unique<CursorSource>(&cursor));
+  }
+  std::vector<store::GroupSource*> raw;
+  raw.reserve(final_sources_.size());
+  for (const auto& s : final_sources_) raw.push_back(s.get());
+  final_stream_ = std::make_unique<store::MergingGroupStream>(std::move(raw));
 }
 
 void SegmentMerger::advance(Cursor& cursor) {
@@ -127,6 +292,17 @@ bool SegmentMerger::next_group(std::string& key,
     throw std::logic_error(
         "SegmentMerger: wire frames pending — call prepare() before "
         "next_group()");
+  }
+  if (spill_ && !spill_->runs.empty()) {
+    // Disk tier engaged: stream from the loser tree over (runs, cursors).
+    if (!final_stream_) build_final_stream();
+    started_ = true;
+    const std::uint64_t start = now_ns();
+    const bool more = final_stream_->next(key, values);
+    if (spill_->counters != nullptr) {
+      spill_->counters->spill_ns += now_ns() - start;
+    }
+    return more;
   }
   started_ = true;
   // Smallest current key across cursors (linear scan: frame counts are

@@ -1,7 +1,11 @@
 #include "mpid/shuffle/options.hpp"
 
+#include <unistd.h>
+
 #include <stdexcept>
 #include <string>
+
+#include <sys/stat.h>
 
 namespace mpid::shuffle {
 
@@ -44,6 +48,40 @@ void ShuffleOptions::validate() const {
   if (reduce_threads == 0) {
     throw std::invalid_argument(
         "ShuffleOptions: reduce_threads must be >= 1 (1 = sequential)");
+  }
+  if (memory_budget_bytes > 0) {
+    if (spill_page_bytes < kMinSpillPageBytes) {
+      throw std::invalid_argument(
+          "ShuffleOptions: spill_page_bytes (" +
+          std::to_string(spill_page_bytes) + ") is below the " +
+          std::to_string(kMinSpillPageBytes) +
+          " floor — tinier pages make every run block header-dominated");
+    }
+    if (memory_budget_bytes < spill_page_bytes) {
+      throw std::invalid_argument(
+          "ShuffleOptions: memory_budget_bytes (" +
+          std::to_string(memory_budget_bytes) +
+          ") is smaller than one spill page (" +
+          std::to_string(spill_page_bytes) +
+          ") — the budget could never stage its own spill I/O");
+    }
+    if (spill_merge_fanin < 2) {
+      throw std::invalid_argument(
+          "ShuffleOptions: spill_merge_fanin must be >= 2 (a 1-way merge "
+          "pass can never reduce the run count)");
+    }
+    if (spill_dir.empty()) {
+      throw std::invalid_argument(
+          "ShuffleOptions: spill_dir must be set when memory_budget_bytes "
+          "> 0 — the budget has nowhere to spill");
+    }
+    struct stat st{};
+    if (::stat(spill_dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode) ||
+        ::access(spill_dir.c_str(), W_OK) != 0) {
+      throw std::invalid_argument(
+          "ShuffleOptions: spill_dir \"" + spill_dir +
+          "\" is not an existing writable directory");
+    }
   }
   if (map_task_chunks > kMaxMapTaskChunks) {
     throw std::invalid_argument(

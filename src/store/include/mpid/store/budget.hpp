@@ -1,0 +1,169 @@
+// MemoryBudget: the process-wide arbiter of the two-tier store.
+//
+// The paper's Figure 6 runs (100 GB WordCount) assume the runtime can hold
+// map output and reducer merge segments entirely in RAM. A bounded box
+// cannot, which is the failure mode successor systems (Mimir's page-based
+// Spool, DataMPI's explicit buffer management) fixed by making memory a
+// budgeted resource: every consumer asks the arbiter before it grows, and
+// a refused grow is the signal to spill to the slow tier (disk) instead of
+// OOMing.
+//
+// The arbiter is deliberately simple:
+//
+//   * one hard byte cap shared by every consumer that holds a Reservation
+//     against this budget (map-output buffers, merger cursors, page pools);
+//   * try_charge() never blocks — a refusal is immediate, and the caller
+//     decides whether to spill, shrink, or force the charge because it
+//     cannot make progress otherwise (e.g. the one page a spill writer
+//     needs to drain memory *to* disk);
+//   * pressure callbacks let cache-like consumers (free page lists) give
+//     memory back before a charge is refused, so caches never starve the
+//     consumers doing real work.
+//
+// Thread safety: all methods are safe to call from any thread. Pressure
+// callbacks run outside the arbiter lock (a callback may release()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mpid::store {
+
+class MemoryBudget {
+ public:
+  /// A pressure callback returns the number of bytes it released.
+  using PressureFn = std::function<std::size_t(std::size_t wanted)>;
+
+  /// cap_bytes = 0 means unbounded: every charge succeeds and pressure
+  /// callbacks never fire.
+  explicit MemoryBudget(std::size_t cap_bytes) : cap_(cap_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  std::size_t cap() const noexcept { return cap_; }
+  bool unbounded() const noexcept { return cap_ == 0; }
+
+  std::size_t used() const {
+    std::lock_guard lock(mu_);
+    return used_;
+  }
+
+  /// Bytes still chargeable without refusal (cap for an unbounded budget).
+  std::size_t available() const {
+    std::lock_guard lock(mu_);
+    if (cap_ == 0) return SIZE_MAX;
+    return used_ >= cap_ ? 0 : cap_ - used_;
+  }
+
+  /// Attempts to charge `bytes`. On refusal, runs the registered pressure
+  /// callbacks (outside the lock) and retries once; returns false if the
+  /// budget is still exhausted. A false return charges nothing.
+  bool try_charge(std::size_t bytes);
+
+  /// Unconditional charge for consumers that cannot make progress without
+  /// the memory (the spill path's own I/O page). May push used() past the
+  /// cap transiently; pair with release().
+  void charge(std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    used_ += bytes;
+  }
+
+  void release(std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    used_ = bytes >= used_ ? 0 : used_ - bytes;
+  }
+
+  /// Registers a pressure callback; returns a token for remove. The
+  /// callback must not call add/remove_pressure_callback (deadlock) but
+  /// may charge/release.
+  std::size_t add_pressure_callback(PressureFn fn);
+  void remove_pressure_callback(std::size_t token);
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::size_t used_ = 0;
+  std::mutex callbacks_mu_;  // serializes callback registry + invocation
+  std::vector<std::pair<std::size_t, PressureFn>> callbacks_;
+  std::size_t next_token_ = 0;
+};
+
+/// RAII per-consumer account against one MemoryBudget. Tracks how many
+/// bytes this consumer holds and releases them all on destruction, so a
+/// consumer that throws mid-task can never leak budget. Detached (null
+/// budget) reservations grant every grow — the unbounded default costs
+/// callers no branches.
+class Reservation {
+ public:
+  Reservation() = default;
+  explicit Reservation(MemoryBudget* budget) : budget_(budget) {}
+
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+
+  Reservation(Reservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+
+  Reservation& operator=(Reservation&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~Reservation() { reset(); }
+
+  /// Grows the reservation by `bytes`; false means the budget refused
+  /// (after pressure) and nothing was charged.
+  bool try_grow(std::size_t bytes) {
+    if (budget_ == nullptr || budget_->try_charge(bytes)) {
+      bytes_ += bytes;
+      return true;
+    }
+    return false;
+  }
+
+  /// Unconditional grow (see MemoryBudget::charge).
+  void grow(std::size_t bytes) {
+    if (budget_ != nullptr) budget_->charge(bytes);
+    bytes_ += bytes;
+  }
+
+  void shrink(std::size_t bytes) {
+    if (bytes > bytes_) bytes = bytes_;
+    if (budget_ != nullptr) budget_->release(bytes);
+    bytes_ -= bytes;
+  }
+
+  /// Releases everything held (the destructor's body, callable early).
+  void reset() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->release(bytes_);
+    bytes_ = 0;
+  }
+
+  std::size_t bytes() const noexcept { return bytes_; }
+  MemoryBudget* budget() const noexcept { return budget_; }
+
+  /// True when attached to a budget that can actually refuse a grow.
+  bool budgeted() const noexcept {
+    return budget_ != nullptr && !budget_->unbounded();
+  }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mpid::store

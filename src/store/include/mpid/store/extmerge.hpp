@@ -1,0 +1,101 @@
+// External k-way merge: a tournament loser tree over key-sorted group
+// streams.
+//
+// This is the classic external-sort merge network (Knuth TAOCP vol. 3):
+// K sorted inputs, one comparison path of depth ceil(log2 K) per popped
+// group instead of a K-wide linear scan. The inputs are GroupSources —
+// disk runs (RunReader) or any in-memory cursor an adapter wraps — so the
+// same tree serves both the run-compaction passes (disk → disk, bounding
+// the final fan-in) and the final streamed merge the reducer consumes.
+//
+// Ordering contract: pops come in ascending (key, source index) order.
+// The source-index tie-break is load-bearing — the shuffle layer assigns
+// indices in frame arrival order, which is exactly the tie-break the
+// in-memory SegmentMerger uses, so a merge that detours through disk
+// concatenates equal keys' values in the same order as one that never
+// spilled. That is what keeps budget-bounded output byte-identical to
+// unbounded output.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpid/store/spillfile.hpp"
+
+namespace mpid::store {
+
+/// One key-sorted input stream of the merge.
+class GroupSource {
+ public:
+  virtual ~GroupSource() = default;
+
+  /// Produces the next group in non-decreasing key order; false at end.
+  virtual bool next(Group& group) = 0;
+};
+
+/// A disk run as a merge input.
+class RunSource final : public GroupSource {
+ public:
+  RunSource(const std::string& path, SpillPool* pool)
+      : reader_(path, pool) {}
+
+  bool next(Group& group) override { return reader_.next(group); }
+
+  std::uint64_t read_ns() const noexcept { return reader_.read_ns(); }
+
+ private:
+  RunReader reader_;
+};
+
+/// Tournament loser tree over K GroupSources. pop() yields groups in
+/// ascending (key, source index) order; equal-key concatenation is the
+/// caller's job (see MergingGroupStream).
+class LoserTree {
+ public:
+  /// Borrows the sources (they must outlive the tree); index order is the
+  /// tie-break order.
+  explicit LoserTree(std::vector<GroupSource*> sources);
+
+  /// Moves the smallest pending group (and its source index) out; false
+  /// when every source is exhausted.
+  bool pop(Group& group, std::size_t& source);
+
+ private:
+  /// True when source a's pending group ranks before source b's.
+  bool beats(std::size_t a, std::size_t b) const;
+
+  /// Replays leaf `s`'s path to the root after its slot was refilled.
+  void replay(std::size_t s);
+
+  std::vector<GroupSource*> sources_;
+  std::vector<Group> slots_;     // pending group per source
+  std::vector<char> exhausted_;  // per source
+  std::vector<std::size_t> tree_;  // [0] winner; [1, k) match losers
+  std::size_t k_ = 0;
+};
+
+/// The stream shape merge consumers iterate: groups in ascending key
+/// order with equal keys' value lists concatenated in source-index order.
+class MergingGroupStream {
+ public:
+  explicit MergingGroupStream(std::vector<GroupSource*> sources)
+      : tree_(std::move(sources)) {}
+
+  bool next(std::string& key, std::vector<std::string>& values);
+
+ private:
+  LoserTree tree_;
+  Group pending_;
+  bool have_pending_ = false;
+};
+
+/// One compaction pass: merges `sources` into `writer` (equal keys
+/// concatenated in source order) and finishes the run.
+std::pair<SpillFile, RunInfo> merge_sources(
+    const std::vector<std::unique_ptr<GroupSource>>& sources,
+    RunWriter& writer);
+
+}  // namespace mpid::store

@@ -1,0 +1,77 @@
+// SpillPool: fixed-size recycled pages for the store's I/O paths.
+//
+// Mimir's Spool taught the page lesson for MapReduce runtimes: every
+// buffer the spill path touches should be a fixed-size page drawn from a
+// recycling pool, so steady-state spilling allocates nothing and the
+// page size — not the data distribution — bounds transient memory.
+// RunWriter and RunReader stage their blocks in SpillPool pages;
+// consumers that hold pages across calls return them when done.
+//
+// The pool is a cache, so it cooperates with the MemoryBudget rather than
+// competing with it: free pages stay charged (they are real RSS), and the
+// pool registers a pressure callback that drops the free list when some
+// other consumer's charge would otherwise be refused. Acquiring a page
+// always succeeds — a spill path that cannot get its I/O buffer cannot
+// drain memory to disk at all — so a fresh page under a full budget
+// force-charges (transient overshoot bounded by pages in flight).
+//
+// Thread safety: acquire/release are safe from any thread.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "mpid/store/budget.hpp"
+
+namespace mpid::store {
+
+class SpillPool {
+ public:
+  using Page = std::vector<std::byte>;
+
+  /// `budget` nullable (uncharged pool). Pages are `page_bytes` of
+  /// capacity each; `max_free` bounds the free list.
+  SpillPool(MemoryBudget* budget, std::size_t page_bytes,
+            std::size_t max_free = 16);
+
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  ~SpillPool();
+
+  /// An empty page with at least page_bytes of capacity. Never fails:
+  /// prefers the free list, then a budget-charged fresh page, then a
+  /// force-charged one (see file comment).
+  Page acquire();
+
+  /// Returns a page to the free list (or frees it when the list is full
+  /// or the page was resized below page_bytes capacity).
+  void release(Page page);
+
+  std::size_t page_bytes() const noexcept { return page_bytes_; }
+
+  std::size_t free_pages() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+  /// Total pages this pool has charged against the budget (free + in use).
+  std::size_t pages_charged() const {
+    std::lock_guard lock(mu_);
+    return pages_charged_;
+  }
+
+ private:
+  std::size_t drop_free_pages();
+
+  const std::size_t page_bytes_;
+  const std::size_t max_free_;
+  MemoryBudget* const budget_;
+  std::size_t pressure_token_ = 0;
+  mutable std::mutex mu_;
+  std::vector<Page> free_;
+  std::size_t pages_charged_ = 0;
+};
+
+}  // namespace mpid::store

@@ -1,0 +1,178 @@
+// SpillFile + RunWriter/RunReader: the disk tier of the two-tier store.
+//
+// A *run* is the on-disk shape of one sorted merge input: a sequence of
+// key-sorted KvList blocks, each independently (optionally) codec-framed,
+// behind a fixed self-describing header. Runs are what the budget-bound
+// SegmentMerger spills when its in-memory cursors exceed the arbiter's
+// cap, and what the external k-way merge (extmerge.hpp) reads back —
+// possibly through several fan-in-bounded passes — so reducer memory
+// stays bounded by (cursors + one I/O block per open run) regardless of
+// the shuffle volume.
+//
+// On-disk layout (all integers little-endian):
+//
+//   [u32 magic "MPDR"][u8 version][u8 flags][u16 reserved]
+//   [u64 group_count][u64 raw_bytes][u64 wire_bytes][u64 block_count]
+//   then block_count times: [u32 payload_len][payload]
+//
+// flags bit 0: payloads are codec frames (common/codec.hpp) of KvList
+// blocks; otherwise payloads are raw KvList frames. Blocks end on group
+// boundaries, so a reader never stitches a group across blocks. The
+// header is patched in place by RunWriter::finish(); a run that was never
+// finished is unreadable by construction (zero magic), which keeps a
+// crashed writer from being mistaken for a valid run.
+//
+// SpillFile owns the name and the lifetime: names are unique per process
+// (pid + atomic sequence + tag, created O_EXCL so ctest -j collisions are
+// impossible) and the file is unlinked on destruction — success and
+// exception paths alike. Nothing outlives the job in spill_dir.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/store/pagepool.hpp"
+
+namespace mpid::store {
+
+/// RAII handle to one uniquely named temp file in a spill directory.
+class SpillFile {
+ public:
+  /// Creates `<dir>/mpid-spill-p<pid>-<seq>-<tag>` exclusively. Throws
+  /// std::runtime_error when the directory is missing or not writable.
+  static SpillFile create(const std::string& dir, std::string_view tag);
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  SpillFile(SpillFile&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+
+  SpillFile& operator=(SpillFile&& other) noexcept {
+    if (this != &other) {
+      remove_now();
+      path_ = std::move(other.path_);
+      other.path_.clear();
+    }
+    return *this;
+  }
+
+  /// Unlinks the file (no-op for a moved-from handle).
+  ~SpillFile() { remove_now(); }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  explicit SpillFile(std::string path) : path_(std::move(path)) {}
+
+  void remove_now() noexcept;
+
+  std::string path_;
+};
+
+/// One materialized (key, [value...]) group — the currency of the disk
+/// tier. Runs stream these; the loser-tree merge (extmerge.hpp) reorders
+/// and concatenates them.
+struct Group {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// What one finished run holds (folded into ShuffleCounters by callers —
+/// the store layer has no dependency on the shuffle layer's counter
+/// block).
+struct RunInfo {
+  std::uint64_t groups = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t raw_bytes = 0;   // KvList payload bytes before the codec
+  std::uint64_t wire_bytes = 0;  // payload bytes on disk (post-codec)
+  std::uint64_t file_bytes = 0;  // everything written (header + prefixes)
+  std::uint64_t write_ns = 0;    // wall time inside write + encode
+};
+
+/// Streams key-sorted groups into one run. Groups must arrive in
+/// non-decreasing key order (the writer does not check — its callers are
+/// merges whose output order is already proven; RunReader re-verifies on
+/// the way back in).
+class RunWriter {
+ public:
+  struct Options {
+    std::size_t block_bytes = 256 * 1024;  // flush threshold, not a cap
+    bool compress = false;                 // codec-frame each block
+  };
+
+  /// Takes ownership of the file; `pool` (nullable) recycles the block
+  /// staging buffers.
+  RunWriter(SpillFile file, const Options& options, SpillPool* pool);
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
+
+  ~RunWriter();
+
+  void begin_group(std::string_view key, std::size_t value_count);
+  void add_value(std::string_view value);
+
+  /// Flushes the tail block, patches the header, and returns the stats.
+  /// The run stays on disk, owned by the returned SpillFile.
+  std::pair<SpillFile, RunInfo> finish();
+
+ private:
+  void flush_block();
+
+  const Options options_;
+  SpillPool* const pool_;
+  SpillFile file_;
+  std::FILE* out_ = nullptr;
+  RunInfo info_;
+  std::vector<std::byte> block_;    // raw KvList bytes being staged
+  std::vector<std::byte> scratch_;  // codec output staging
+  std::uint64_t pending_values_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams a finished run back as (key, values) groups, verifying the
+/// sort order and frame integrity as it goes.
+class RunReader {
+ public:
+  /// Opens `path` and parses the header. Throws std::runtime_error on a
+  /// missing, truncated, or unfinished run.
+  RunReader(const std::string& path, SpillPool* pool);
+
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  ~RunReader();
+
+  /// Next group in key order; false at end of run. Throws
+  /// std::runtime_error on corrupt blocks or an unsorted run.
+  bool next(Group& group);
+
+  std::uint64_t groups() const noexcept { return header_groups_; }
+  std::uint64_t read_ns() const noexcept { return read_ns_; }
+
+ private:
+  bool load_block();
+
+  SpillPool* const pool_;
+  std::FILE* in_ = nullptr;
+  bool compressed_ = false;
+  std::uint64_t header_groups_ = 0;
+  std::uint64_t blocks_left_ = 0;
+  std::vector<std::byte> wire_;     // on-disk block bytes
+  std::vector<std::byte> decoded_;  // post-codec KvList bytes
+  std::optional<common::KvListReader> reader_;  // over the current block
+  std::string last_key_;
+  bool have_last_ = false;
+  std::uint64_t read_ns_ = 0;
+};
+
+}  // namespace mpid::store

@@ -1,0 +1,49 @@
+#include "mpid/store/budget.hpp"
+
+namespace mpid::store {
+
+bool MemoryBudget::try_charge(std::size_t bytes) {
+  if (cap_ == 0) return true;
+  {
+    std::lock_guard lock(mu_);
+    if (used_ + bytes <= cap_) {
+      used_ += bytes;
+      return true;
+    }
+  }
+  // Refused: ask cache-like holders to give memory back, then retry once.
+  // The registry lock is held across the invocations so a callback being
+  // removed cannot be running after remove_pressure_callback returns.
+  {
+    std::lock_guard cb_lock(callbacks_mu_);
+    for (auto& [token, fn] : callbacks_) {
+      (void)token;
+      fn(bytes);
+    }
+  }
+  std::lock_guard lock(mu_);
+  if (used_ + bytes <= cap_) {
+    used_ += bytes;
+    return true;
+  }
+  return false;
+}
+
+std::size_t MemoryBudget::add_pressure_callback(PressureFn fn) {
+  std::lock_guard lock(callbacks_mu_);
+  const std::size_t token = next_token_++;
+  callbacks_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void MemoryBudget::remove_pressure_callback(std::size_t token) {
+  std::lock_guard lock(callbacks_mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->first == token) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace mpid::store

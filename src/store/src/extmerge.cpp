@@ -1,0 +1,97 @@
+#include "mpid/store/extmerge.hpp"
+
+namespace mpid::store {
+
+LoserTree::LoserTree(std::vector<GroupSource*> sources)
+    : sources_(std::move(sources)), k_(sources_.size()) {
+  slots_.resize(k_);
+  exhausted_.resize(k_, 0);
+  for (std::size_t s = 0; s < k_; ++s) {
+    exhausted_[s] = sources_[s]->next(slots_[s]) ? 0 : 1;
+  }
+  if (k_ == 0) return;
+  // Build the tournament bottom-up: leaves live at positions [k, 2k),
+  // node i's children are 2i and 2i+1, each internal node keeps the loser
+  // of its match and tree_[0] keeps the overall winner. The complete-tree
+  // indexing is valid for any k, powers of two or not.
+  tree_.assign(k_, 0);
+  std::vector<std::size_t> winner(2 * k_);
+  for (std::size_t s = 0; s < k_; ++s) winner[k_ + s] = s;
+  for (std::size_t node = k_ - 1; node >= 1; --node) {
+    const std::size_t a = winner[2 * node];
+    const std::size_t b = winner[2 * node + 1];
+    if (beats(a, b)) {
+      winner[node] = a;
+      tree_[node] = b;
+    } else {
+      winner[node] = b;
+      tree_[node] = a;
+    }
+  }
+  tree_[0] = winner[1];  // k == 1: position 1 IS the single leaf
+}
+
+bool LoserTree::beats(std::size_t a, std::size_t b) const {
+  if (exhausted_[a]) return false;
+  if (exhausted_[b]) return true;
+  const auto& ka = slots_[a].key;
+  const auto& kb = slots_[b].key;
+  if (ka != kb) return ka < kb;
+  return a < b;  // arrival-order tie-break
+}
+
+void LoserTree::replay(std::size_t s) {
+  std::size_t cur = s;
+  for (std::size_t node = (k_ + s) / 2; node >= 1; node /= 2) {
+    if (beats(tree_[node], cur)) std::swap(cur, tree_[node]);
+  }
+  tree_[0] = cur;
+}
+
+bool LoserTree::pop(Group& group, std::size_t& source) {
+  if (k_ == 0) return false;
+  const std::size_t w = tree_[0];
+  if (exhausted_[w]) return false;
+  group = std::move(slots_[w]);
+  source = w;
+  exhausted_[w] = sources_[w]->next(slots_[w]) ? 0 : 1;
+  replay(w);
+  return true;
+}
+
+bool MergingGroupStream::next(std::string& key,
+                              std::vector<std::string>& values) {
+  std::size_t source = 0;
+  if (!have_pending_ && !tree_.pop(pending_, source)) return false;
+  have_pending_ = false;
+  key = std::move(pending_.key);
+  values = std::move(pending_.values);
+  // Drain every source holding this key; pops arrive in (key, source)
+  // order, so the concatenation is automatically in arrival order.
+  while (tree_.pop(pending_, source)) {
+    if (pending_.key != key) {
+      have_pending_ = true;
+      break;
+    }
+    for (auto& v : pending_.values) values.push_back(std::move(v));
+  }
+  return true;
+}
+
+std::pair<SpillFile, RunInfo> merge_sources(
+    const std::vector<std::unique_ptr<GroupSource>>& sources,
+    RunWriter& writer) {
+  std::vector<GroupSource*> raw;
+  raw.reserve(sources.size());
+  for (const auto& s : sources) raw.push_back(s.get());
+  MergingGroupStream stream(std::move(raw));
+  std::string key;
+  std::vector<std::string> values;
+  while (stream.next(key, values)) {
+    writer.begin_group(key, values.size());
+    for (const auto& v : values) writer.add_value(v);
+  }
+  return writer.finish();
+}
+
+}  // namespace mpid::store

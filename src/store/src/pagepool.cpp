@@ -1,0 +1,78 @@
+#include "mpid/store/pagepool.hpp"
+
+#include <utility>
+
+namespace mpid::store {
+
+SpillPool::SpillPool(MemoryBudget* budget, std::size_t page_bytes,
+                     std::size_t max_free)
+    : page_bytes_(page_bytes), max_free_(max_free), budget_(budget) {
+  if (budget_ != nullptr) {
+    pressure_token_ = budget_->add_pressure_callback(
+        [this](std::size_t /*wanted*/) { return drop_free_pages(); });
+  }
+}
+
+SpillPool::~SpillPool() {
+  if (budget_ != nullptr) {
+    budget_->remove_pressure_callback(pressure_token_);
+    std::lock_guard lock(mu_);
+    budget_->release(pages_charged_ * page_bytes_);
+    pages_charged_ = 0;
+  }
+}
+
+SpillPool::Page SpillPool::acquire() {
+  {
+    std::lock_guard lock(mu_);
+    if (!free_.empty()) {
+      Page page = std::move(free_.back());
+      free_.pop_back();
+      page.clear();
+      return page;
+    }
+  }
+  // Fresh page: charged if the budget permits, forced otherwise — the
+  // spill path must be able to stage bytes on their way OUT of memory.
+  if (budget_ != nullptr && !budget_->try_charge(page_bytes_)) {
+    budget_->charge(page_bytes_);
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++pages_charged_;
+  }
+  Page page;
+  page.reserve(page_bytes_);
+  return page;
+}
+
+void SpillPool::release(Page page) {
+  if (page.capacity() >= page_bytes_) {
+    std::lock_guard lock(mu_);
+    if (free_.size() < max_free_) {
+      page.clear();
+      free_.push_back(std::move(page));
+      return;
+    }
+  }
+  // Dropped: free the memory and return its charge.
+  page = Page{};
+  std::lock_guard lock(mu_);
+  if (pages_charged_ > 0) {
+    --pages_charged_;
+    if (budget_ != nullptr) budget_->release(page_bytes_);
+  }
+}
+
+std::size_t SpillPool::drop_free_pages() {
+  std::lock_guard lock(mu_);
+  const std::size_t dropped = free_.size();
+  free_.clear();
+  if (budget_ != nullptr && dropped > 0) {
+    budget_->release(dropped * page_bytes_);
+    pages_charged_ -= dropped > pages_charged_ ? pages_charged_ : dropped;
+  }
+  return dropped * page_bytes_;
+}
+
+}  // namespace mpid::store

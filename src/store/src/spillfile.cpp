@@ -1,0 +1,290 @@
+#include "mpid/store/spillfile.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpid/common/codec.hpp"
+
+namespace mpid::store {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::uint32_t kMagic = 0x5244504Du;  // "MPDR" little-endian
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagCompressed = 0x01;
+constexpr std::size_t kHeaderBytes = 40;
+
+void put_u32(std::byte* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = std::byte((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::byte* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = std::byte((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t get_u32(const std::byte* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t(std::to_integer<std::uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+void encode_header(std::byte* h, std::uint8_t flags, const RunInfo& info) {
+  put_u32(h, kMagic);
+  h[4] = std::byte(kVersion);
+  h[5] = std::byte(flags);
+  h[6] = std::byte(0);
+  h[7] = std::byte(0);
+  put_u64(h + 8, info.groups);
+  put_u64(h + 16, info.raw_bytes);
+  put_u64(h + 24, info.wire_bytes);
+  put_u64(h + 32, info.blocks);
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("store: " + what + ": " + path + " (" +
+                           std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+// ---- SpillFile -----------------------------------------------------------
+
+SpillFile SpillFile::create(const std::string& dir, std::string_view tag) {
+  static std::atomic<std::uint64_t> sequence{0};
+  if (dir.empty()) {
+    throw std::runtime_error(
+        "store: spill_dir is empty — set ShuffleOptions::spill_dir when a "
+        "memory budget is active");
+  }
+  // pid + process-wide sequence makes the name unique across concurrent
+  // test processes AND across attempts within one process; O_EXCL turns
+  // any residual collision into a retry instead of silent reuse.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::string path = dir;
+    if (path.back() != '/') path += '/';
+    path += "mpid-spill-p" + std::to_string(::getpid()) + "-" +
+            std::to_string(sequence.fetch_add(1)) + "-" + std::string(tag);
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0600);
+    if (fd >= 0) {
+      ::close(fd);
+      return SpillFile(std::move(path));
+    }
+    if (errno != EEXIST) fail("cannot create spill file", path);
+  }
+  throw std::runtime_error("store: spill file name collisions persist in " +
+                           dir);
+}
+
+void SpillFile::remove_now() noexcept {
+  if (!path_.empty()) {
+    std::remove(path_.c_str());
+    path_.clear();
+  }
+}
+
+// ---- RunWriter -----------------------------------------------------------
+
+RunWriter::RunWriter(SpillFile file, const Options& options, SpillPool* pool)
+    : options_(options), pool_(pool), file_(std::move(file)) {
+  out_ = std::fopen(file_.path().c_str(), "wb");
+  if (out_ == nullptr) fail("cannot open spill file", file_.path());
+  std::byte zeros[kHeaderBytes] = {};
+  if (std::fwrite(zeros, 1, kHeaderBytes, out_) != kHeaderBytes) {
+    fail("cannot write run header", file_.path());
+  }
+  info_.file_bytes = kHeaderBytes;
+  if (pool_ != nullptr) {
+    block_ = pool_->acquire();
+    scratch_ = pool_->acquire();
+  } else {
+    block_.reserve(options_.block_bytes);
+  }
+}
+
+RunWriter::~RunWriter() {
+  if (out_ != nullptr) std::fclose(out_);
+  if (pool_ != nullptr) {
+    pool_->release(std::move(block_));
+    pool_->release(std::move(scratch_));
+  }
+}
+
+void RunWriter::begin_group(std::string_view key, std::size_t value_count) {
+  if (finished_) {
+    throw std::logic_error("RunWriter: begin_group after finish");
+  }
+  if (pending_values_ != 0) {
+    throw std::logic_error("RunWriter: previous group is missing values");
+  }
+  // Blocks cut on group boundaries only, so a reader never reassembles a
+  // group across blocks; a single oversized group just grows its block.
+  if (!block_.empty() && block_.size() >= options_.block_bytes) flush_block();
+  common::put_varint(block_, key.size());
+  const auto* data = reinterpret_cast<const std::byte*>(key.data());
+  block_.insert(block_.end(), data, data + key.size());
+  common::put_varint(block_, value_count);
+  pending_values_ = value_count;
+  ++info_.groups;
+}
+
+void RunWriter::add_value(std::string_view value) {
+  if (pending_values_ == 0) {
+    throw std::logic_error("RunWriter: add_value without begin_group");
+  }
+  common::put_varint(block_, value.size());
+  const auto* data = reinterpret_cast<const std::byte*>(value.data());
+  block_.insert(block_.end(), data, data + value.size());
+  --pending_values_;
+}
+
+void RunWriter::flush_block() {
+  if (block_.empty()) return;
+  const std::uint64_t start = now_ns();
+  std::span<const std::byte> payload(block_.data(), block_.size());
+  if (options_.compress) {
+    scratch_.clear();
+    common::encode_frame(common::FrameKind::kKvList, payload, scratch_);
+    payload = {scratch_.data(), scratch_.size()};
+  }
+  std::byte len[4];
+  put_u32(len, static_cast<std::uint32_t>(payload.size()));
+  if (std::fwrite(len, 1, 4, out_) != 4 ||
+      std::fwrite(payload.data(), 1, payload.size(), out_) !=
+          payload.size()) {
+    fail("cannot write run block", file_.path());
+  }
+  ++info_.blocks;
+  info_.raw_bytes += block_.size();
+  info_.wire_bytes += payload.size();
+  info_.file_bytes += 4 + payload.size();
+  block_.clear();
+  info_.write_ns += now_ns() - start;
+}
+
+std::pair<SpillFile, RunInfo> RunWriter::finish() {
+  if (finished_) throw std::logic_error("RunWriter: double finish");
+  if (pending_values_ != 0) {
+    throw std::logic_error("RunWriter: last group is missing values");
+  }
+  flush_block();
+  const std::uint64_t start = now_ns();
+  std::byte header[kHeaderBytes];
+  encode_header(header, options_.compress ? kFlagCompressed : 0, info_);
+  if (std::fseek(out_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderBytes, out_) != kHeaderBytes ||
+      std::fflush(out_) != 0) {
+    fail("cannot finalize run header", file_.path());
+  }
+  std::fclose(out_);
+  out_ = nullptr;
+  info_.write_ns += now_ns() - start;
+  finished_ = true;
+  return {std::move(file_), info_};
+}
+
+// ---- RunReader -----------------------------------------------------------
+
+RunReader::RunReader(const std::string& path, SpillPool* pool)
+    : pool_(pool) {
+  in_ = std::fopen(path.c_str(), "rb");
+  if (in_ == nullptr) fail("cannot open run", path);
+  std::byte header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, in_) != kHeaderBytes) {
+    std::fclose(in_);
+    in_ = nullptr;
+    throw std::runtime_error("store: truncated run header: " + path);
+  }
+  if (get_u32(header) != kMagic ||
+      std::to_integer<std::uint8_t>(header[4]) != kVersion) {
+    std::fclose(in_);
+    in_ = nullptr;
+    throw std::runtime_error("store: not a finished run: " + path);
+  }
+  compressed_ =
+      (std::to_integer<std::uint8_t>(header[5]) & kFlagCompressed) != 0;
+  header_groups_ = get_u64(header + 8);
+  blocks_left_ = get_u64(header + 32);
+  if (pool_ != nullptr) {
+    wire_ = pool_->acquire();
+    decoded_ = pool_->acquire();
+  }
+}
+
+RunReader::~RunReader() {
+  if (in_ != nullptr) std::fclose(in_);
+  if (pool_ != nullptr) {
+    pool_->release(std::move(wire_));
+    pool_->release(std::move(decoded_));
+  }
+}
+
+bool RunReader::load_block() {
+  if (blocks_left_ == 0) return false;
+  const std::uint64_t start = now_ns();
+  std::byte len_bytes[4];
+  if (std::fread(len_bytes, 1, 4, in_) != 4) {
+    throw std::runtime_error("store: truncated run block prefix");
+  }
+  const std::uint32_t len = get_u32(len_bytes);
+  wire_.resize(len);
+  if (std::fread(wire_.data(), 1, len, in_) != len) {
+    throw std::runtime_error("store: truncated run block");
+  }
+  if (compressed_) {
+    common::decode_frame({wire_.data(), wire_.size()}, decoded_);
+    reader_.emplace(std::span<const std::byte>(decoded_.data(),
+                                               decoded_.size()));
+  } else {
+    reader_.emplace(std::span<const std::byte>(wire_.data(), wire_.size()));
+  }
+  --blocks_left_;
+  read_ns_ += now_ns() - start;
+  return true;
+}
+
+bool RunReader::next(Group& group) {
+  for (;;) {
+    if (!reader_ || reader_->at_end()) {
+      if (!load_block()) return false;
+      continue;
+    }
+    const auto view = reader_->next();
+    if (!view) continue;  // block exhausted exactly at a boundary
+    if (have_last_ && view->key < last_key_) {
+      throw std::runtime_error("store: run is not key-sorted");
+    }
+    last_key_.assign(view->key);
+    have_last_ = true;
+    group.key.assign(view->key);
+    group.values.clear();
+    group.values.reserve(view->values.size());
+    for (const auto v : view->values) group.values.emplace_back(v);
+    return true;
+  }
+}
+
+}  // namespace mpid::store

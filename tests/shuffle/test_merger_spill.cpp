@@ -1,0 +1,201 @@
+// SegmentMerger + mpid::store disk tier: a tight MemoryBudget forces
+// cursor spills to sorted runs, fan-in compaction passes, and a final
+// loser-tree merge — and the group sequence stays byte-identical to the
+// all-in-memory merge (DESIGN.md §13's parity argument, exercised).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpid/common/kvframe.hpp"
+#include "mpid/shuffle/counters.hpp"
+#include "mpid/shuffle/merger.hpp"
+#include "mpid/store/budget.hpp"
+
+namespace mpid::shuffle {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "mpid-merger-XXXXXX");
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::size_t file_count() const {
+    return static_cast<std::size_t>(
+        std::distance(fs::directory_iterator(path), fs::directory_iterator{}));
+  }
+};
+
+using GroupSeq = std::vector<std::pair<std::string, std::vector<std::string>>>;
+
+/// One key-sorted KvList frame; `tag` makes each frame's values unique so
+/// the parity check also pins the arrival-order value concatenation.
+std::vector<std::byte> make_frame(int first_key, int keys, int stride,
+                                  const std::string& tag,
+                                  std::size_t value_bytes = 32) {
+  common::KvListWriter writer;
+  for (int k = 0; k < keys; ++k) {
+    const int id = first_key + k * stride;
+    writer.begin_group("key" + std::to_string(10000 + id), 2);
+    writer.add_value(tag + "/" + std::to_string(id));
+    writer.add_value(std::string(value_bytes, 'v'));
+  }
+  return writer.take();
+}
+
+/// The test's frame set: overlapping key ranges across `frames` frames so
+/// every group concatenates values from several arrival ranks.
+std::vector<std::vector<std::byte>> make_frames(int frames) {
+  std::vector<std::vector<std::byte>> out;
+  for (int f = 0; f < frames; ++f) {
+    out.push_back(make_frame(/*first_key=*/f % 3, /*keys=*/40, /*stride=*/3,
+                             "f" + std::to_string(f)));
+  }
+  return out;
+}
+
+GroupSeq drain(SegmentMerger& merger) {
+  GroupSeq seq;
+  std::string key;
+  std::vector<std::string> values;
+  while (merger.next_group(key, values)) seq.emplace_back(key, values);
+  return seq;
+}
+
+GroupSeq run_unbounded(const std::vector<std::vector<std::byte>>& frames) {
+  SegmentMerger merger;
+  for (const auto& f : frames) merger.add_frame(f);
+  return drain(merger);
+}
+
+TEST(SegmentMergerSpillTest, TightBudgetMatchesUnboundedOutput) {
+  TempDir dir;
+  const auto frames = make_frames(8);
+  const GroupSeq expected = run_unbounded(frames);
+
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes;
+  opts.memory_budget_bytes = 2 * opts.spill_page_bytes;  // ~1-2 frames
+  opts.validate();
+  store::MemoryBudget budget(opts.memory_budget_bytes);
+  ShuffleCounters counters;
+  GroupSeq got;
+  {
+    SegmentMerger merger;
+    merger.enable_spill(opts, &budget, &counters);
+    for (const auto& f : frames) merger.add_frame(f);
+    EXPECT_GT(merger.spill_run_count(), 0u);
+    got = drain(merger);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(counters.bytes_spilled_disk, 0u);
+  EXPECT_GT(counters.spill_files, 0u);
+  EXPECT_GT(counters.spill_ns, 0u);
+  // RAII: every run file is gone once the merger is.
+  EXPECT_EQ(dir.file_count(), 0u);
+}
+
+TEST(SegmentMergerSpillTest, FaninTwoForcesCompactionPassesAndStaysParity) {
+  TempDir dir;
+  const auto frames = make_frames(12);
+  const GroupSeq expected = run_unbounded(frames);
+
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes;
+  opts.memory_budget_bytes = opts.spill_page_bytes;  // spill almost per frame
+  opts.spill_merge_fanin = 2;
+  opts.validate();
+  store::MemoryBudget budget(opts.memory_budget_bytes);
+  ShuffleCounters counters;
+  SegmentMerger merger;
+  merger.enable_spill(opts, &budget, &counters);
+  for (const auto& f : frames) merger.add_frame(f);
+  ASSERT_GT(merger.spill_run_count(), 2u);
+  merger.finish_spill_phase();
+  EXPECT_GT(counters.external_merge_passes, 0u);
+  EXPECT_LE(merger.spill_run_count(), 2u);
+  EXPECT_EQ(drain(merger), expected);
+}
+
+TEST(SegmentMergerSpillTest, CompressedRunsStayParity) {
+  TempDir dir;
+  const auto frames = make_frames(8);
+  const GroupSeq expected = run_unbounded(frames);
+
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes;
+  opts.memory_budget_bytes = 2 * opts.spill_page_bytes;
+  opts.shuffle_compression = ShuffleCompression::kOn;  // codec-framed runs
+  opts.validate();
+  store::MemoryBudget budget(opts.memory_budget_bytes);
+  ShuffleCounters counters;
+  SegmentMerger merger;
+  merger.enable_spill(opts, &budget, &counters);
+  for (const auto& f : frames) merger.add_frame(f);
+  EXPECT_GT(merger.spill_run_count(), 0u);
+  EXPECT_EQ(drain(merger), expected);
+}
+
+TEST(SegmentMergerSpillTest, UnboundedBudgetArmsNothing) {
+  TempDir dir;
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  store::MemoryBudget unbounded(0);
+  SegmentMerger merger;
+  merger.enable_spill(opts, &unbounded, nullptr);
+  merger.enable_spill(opts, nullptr, nullptr);
+  for (const auto& f : make_frames(8)) merger.add_frame(f);
+  EXPECT_EQ(merger.spill_run_count(), 0u);
+  EXPECT_EQ(dir.file_count(), 0u);
+}
+
+TEST(SegmentMergerSpillTest, EnableSpillAfterAFrameThrows) {
+  TempDir dir;
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  store::MemoryBudget budget(1 << 20);
+  SegmentMerger merger;
+  merger.add_frame(make_frame(0, 1, 1, "f0"));
+  EXPECT_THROW(merger.enable_spill(opts, &budget, nullptr), std::logic_error);
+}
+
+TEST(SegmentMergerSpillTest, ReArmAfterMoveAssignRestart) {
+  // The resilient-reduce restart path: a fresh merger is move-assigned in
+  // and enable_spill must be re-armed; the old merger's runs are gone.
+  TempDir dir;
+  const auto frames = make_frames(8);
+  const GroupSeq expected = run_unbounded(frames);
+
+  ShuffleOptions opts;
+  opts.spill_dir = dir.path;
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes;
+  opts.memory_budget_bytes = 2 * opts.spill_page_bytes;
+  store::MemoryBudget budget(opts.memory_budget_bytes);
+  SegmentMerger merger;
+  merger.enable_spill(opts, &budget, nullptr);
+  for (int f = 0; f < 3; ++f) merger.add_frame(frames[f]);  // partial fetch
+
+  merger = SegmentMerger{};  // crash: restart from scratch
+  EXPECT_EQ(dir.file_count(), 0u);  // the aborted attempt left no files
+  EXPECT_EQ(budget.used(), 0u);     // ...and returned every charge
+  ShuffleCounters counters;
+  merger.enable_spill(opts, &budget, &counters);
+  for (const auto& f : frames) merger.add_frame(f);
+  EXPECT_GT(merger.spill_run_count(), 0u);
+  EXPECT_EQ(drain(merger), expected);
+  EXPECT_GT(counters.bytes_spilled_disk, 0u);
+}
+
+}  // namespace
+}  // namespace mpid::shuffle

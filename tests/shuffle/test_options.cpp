@@ -65,6 +65,59 @@ TEST(ShuffleOptionsTest, AutoSkipPolicyValidated) {
   EXPECT_NO_THROW(opts.validate());
 }
 
+TEST(ShuffleOptionsTest, SpillFieldsIgnoredWhileUnbudgeted) {
+  // With memory_budget_bytes == 0 the store is disarmed: nonsense spill
+  // knobs must not reject a config that never spills.
+  ShuffleOptions opts;
+  opts.spill_page_bytes = 1;
+  opts.spill_merge_fanin = 0;
+  opts.spill_dir = "/nonexistent/mpid-spill";
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(ShuffleOptionsTest, BudgetSmallerThanOnePageThrows) {
+  ShuffleOptions opts;
+  opts.spill_dir = testing::TempDir();
+  opts.spill_page_bytes = 64 * 1024;
+  opts.memory_budget_bytes = 64 * 1024;  // exactly one page: OK
+  EXPECT_NO_THROW(opts.validate());
+  opts.memory_budget_bytes = 64 * 1024 - 1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(ShuffleOptionsTest, SpillPageFloorEnforced) {
+  ShuffleOptions opts;
+  opts.spill_dir = testing::TempDir();
+  opts.memory_budget_bytes = 1 << 20;
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes;
+  EXPECT_NO_THROW(opts.validate());
+  opts.spill_page_bytes = ShuffleOptions::kMinSpillPageBytes - 1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(ShuffleOptionsTest, MergeFaninBelowTwoThrows) {
+  ShuffleOptions opts;
+  opts.spill_dir = testing::TempDir();
+  opts.memory_budget_bytes = 1 << 20;
+  opts.spill_merge_fanin = 2;
+  EXPECT_NO_THROW(opts.validate());
+  opts.spill_merge_fanin = 1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(ShuffleOptionsTest, SpillDirMustBeAWritableDirectory) {
+  ShuffleOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.spill_dir.clear();  // unset
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.spill_dir = "/nonexistent/mpid-spill";  // missing
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.spill_dir = "/dev/null";  // not a directory
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.spill_dir = testing::TempDir();
+  EXPECT_NO_THROW(opts.validate());
+}
+
 TEST(ShuffleOptionsTest, MapTaskChunksCapEnforced) {
   // Downstream splitters take the chunk count as an int, so an absurd
   // map_task_chunks must be rejected here, not overflow there.

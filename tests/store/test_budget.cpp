@@ -1,0 +1,164 @@
+// MemoryBudget + Reservation: the arbiter contract of the two-tier store
+// (DESIGN.md §13) — hard cap, refusal semantics, pressure callbacks, and
+// RAII release on every exit path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mpid/store/budget.hpp"
+
+namespace mpid::store {
+namespace {
+
+TEST(MemoryBudgetTest, ChargesUpToCapAndRefusesBeyond) {
+  MemoryBudget budget(100);
+  EXPECT_EQ(budget.cap(), 100u);
+  EXPECT_FALSE(budget.unbounded());
+  EXPECT_TRUE(budget.try_charge(60));
+  EXPECT_EQ(budget.used(), 60u);
+  EXPECT_EQ(budget.available(), 40u);
+  EXPECT_TRUE(budget.try_charge(40));
+  EXPECT_FALSE(budget.try_charge(1));
+  // A refused charge charges nothing.
+  EXPECT_EQ(budget.used(), 100u);
+  budget.release(50);
+  EXPECT_TRUE(budget.try_charge(50));
+}
+
+TEST(MemoryBudgetTest, UnboundedBudgetGrantsEverything) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.unbounded());
+  EXPECT_TRUE(budget.try_charge(1ull << 40));
+  EXPECT_EQ(budget.available(), SIZE_MAX);
+}
+
+TEST(MemoryBudgetTest, ForcedChargeOvershootsTransiently) {
+  MemoryBudget budget(10);
+  EXPECT_TRUE(budget.try_charge(10));
+  budget.charge(5);  // the spill path's own I/O page
+  EXPECT_EQ(budget.used(), 15u);
+  budget.release(15);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ReleaseNeverUnderflows) {
+  MemoryBudget budget(10);
+  budget.release(99);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, PressureCallbackRescuesARefusedCharge) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.try_charge(100));
+  int calls = 0;
+  const auto token = budget.add_pressure_callback([&](std::size_t wanted) {
+    ++calls;
+    // A cache giving back what the charger wants.
+    budget.release(wanted);
+    return wanted;
+  });
+  EXPECT_TRUE(budget.try_charge(30));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(budget.used(), 100u);
+
+  budget.remove_pressure_callback(token);
+  EXPECT_FALSE(budget.try_charge(30));
+  EXPECT_EQ(calls, 1);  // removed callbacks never fire
+}
+
+TEST(MemoryBudgetTest, PressureCallbackThatFreesNothingStillRefuses) {
+  MemoryBudget budget(10);
+  ASSERT_TRUE(budget.try_charge(10));
+  int calls = 0;
+  budget.add_pressure_callback([&](std::size_t) {
+    ++calls;
+    return std::size_t{0};
+  });
+  EXPECT_FALSE(budget.try_charge(1));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverExceedCap) {
+  constexpr std::size_t kCap = 1000;
+  MemoryBudget budget(kCap);
+  std::atomic<std::size_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (budget.try_charge(7)) granted += 7;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(granted.load(), kCap);
+  EXPECT_EQ(budget.used(), granted.load());
+}
+
+TEST(ReservationTest, ReleasesEverythingOnDestruction) {
+  MemoryBudget budget(100);
+  {
+    Reservation r(&budget);
+    EXPECT_TRUE(r.try_grow(60));
+    EXPECT_EQ(r.bytes(), 60u);
+    EXPECT_EQ(budget.used(), 60u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ReservationTest, ShrinkClampsAndResetClears) {
+  MemoryBudget budget(100);
+  Reservation r(&budget);
+  ASSERT_TRUE(r.try_grow(40));
+  r.shrink(100);  // clamped to what is held
+  EXPECT_EQ(r.bytes(), 0u);
+  EXPECT_EQ(budget.used(), 0u);
+  ASSERT_TRUE(r.try_grow(40));
+  r.reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ReservationTest, ForcedGrowBypassesTheCap) {
+  MemoryBudget budget(10);
+  Reservation r(&budget);
+  EXPECT_FALSE(r.try_grow(20));
+  r.grow(20);
+  EXPECT_EQ(budget.used(), 20u);
+  r.reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ReservationTest, DetachedReservationGrantsEverything) {
+  Reservation r;
+  EXPECT_TRUE(r.try_grow(1ull << 40));
+  EXPECT_FALSE(r.budgeted());
+}
+
+TEST(ReservationTest, AttachedToUnboundedBudgetIsNotBudgeted) {
+  MemoryBudget budget(0);
+  Reservation r(&budget);
+  EXPECT_FALSE(r.budgeted());
+  MemoryBudget bounded(1);
+  Reservation r2(&bounded);
+  EXPECT_TRUE(r2.budgeted());
+}
+
+TEST(ReservationTest, MoveTransfersTheCharge) {
+  MemoryBudget budget(100);
+  Reservation a(&budget);
+  ASSERT_TRUE(a.try_grow(30));
+  Reservation b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0u);
+  EXPECT_EQ(b.bytes(), 30u);
+  EXPECT_EQ(budget.used(), 30u);
+  Reservation c(&budget);
+  ASSERT_TRUE(c.try_grow(20));
+  c = std::move(b);  // c's 20 released, b's 30 adopted
+  EXPECT_EQ(c.bytes(), 30u);
+  EXPECT_EQ(budget.used(), 30u);
+}
+
+}  // namespace
+}  // namespace mpid::store

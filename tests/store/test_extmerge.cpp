@@ -1,0 +1,178 @@
+// LoserTree / MergingGroupStream / merge_sources: the external k-way
+// merge's ordering contract — ascending (key, source index), equal keys'
+// values concatenated in source-index order — which is what keeps
+// budget-bounded merges byte-identical to in-memory ones.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpid/store/extmerge.hpp"
+#include "mpid/store/spillfile.hpp"
+
+namespace mpid::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "mpid-extmerge-XXXXXX");
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+/// An in-memory GroupSource for driving the tree without disk.
+class VecSource final : public GroupSource {
+ public:
+  explicit VecSource(std::vector<Group> groups) : groups_(std::move(groups)) {}
+
+  bool next(Group& group) override {
+    if (at_ >= groups_.size()) return false;
+    group = std::move(groups_[at_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Group> groups_;
+  std::size_t at_ = 0;
+};
+
+Group make(std::string key, std::vector<std::string> values) {
+  return Group{std::move(key), std::move(values)};
+}
+
+TEST(LoserTreeTest, PopsInKeyThenSourceOrder) {
+  VecSource s0({make("a", {"s0"}), make("c", {"s0"})});
+  VecSource s1({make("a", {"s1"}), make("b", {"s1"})});
+  VecSource s2({make("b", {"s2"})});
+  LoserTree tree({&s0, &s1, &s2});
+  Group g;
+  std::size_t src = 0;
+  std::vector<std::pair<std::string, std::size_t>> order;
+  while (tree.pop(g, src)) order.emplace_back(g.key, src);
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"a", 0}, {"a", 1}, {"b", 1}, {"b", 2}, {"c", 0}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(LoserTreeTest, SingleSourceDegeneratesToAScan) {
+  VecSource s0({make("x", {"1"}), make("y", {"2"}), make("z", {"3"})});
+  LoserTree tree({&s0});
+  Group g;
+  std::size_t src = 9;
+  std::vector<std::string> keys;
+  while (tree.pop(g, src)) {
+    EXPECT_EQ(src, 0u);
+    keys.push_back(g.key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(LoserTreeTest, EmptySourcesAreSkipped) {
+  VecSource s0({});
+  VecSource s1({make("k", {"v"})});
+  VecSource s2({});
+  LoserTree tree({&s0, &s1, &s2});
+  Group g;
+  std::size_t src = 0;
+  ASSERT_TRUE(tree.pop(g, src));
+  EXPECT_EQ(src, 1u);
+  EXPECT_FALSE(tree.pop(g, src));
+}
+
+TEST(LoserTreeTest, NoSourcesMeansImmediateEnd) {
+  LoserTree tree({});
+  Group g;
+  std::size_t src = 0;
+  EXPECT_FALSE(tree.pop(g, src));
+}
+
+TEST(LoserTreeTest, ManySourcesStayTotallyOrdered) {
+  // 17 sources (not a power of two) with interleaved keys.
+  std::vector<std::unique_ptr<VecSource>> owned;
+  std::vector<GroupSource*> sources;
+  for (int s = 0; s < 17; ++s) {
+    std::vector<Group> groups;
+    for (int k = s; k < 100; k += 17) {
+      groups.push_back(make("key" + std::to_string(1000 + k),
+                            {std::to_string(s)}));
+    }
+    owned.push_back(std::make_unique<VecSource>(std::move(groups)));
+    sources.push_back(owned.back().get());
+  }
+  LoserTree tree(sources);
+  Group g;
+  std::size_t src = 0;
+  std::string last;
+  std::size_t count = 0;
+  while (tree.pop(g, src)) {
+    EXPECT_GT(g.key, last);  // all keys distinct here
+    last = g.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(MergingGroupStreamTest, ConcatenatesEqualKeysInSourceOrder) {
+  VecSource s0({make("k", {"a", "b"}), make("z", {"end"})});
+  VecSource s1({make("k", {"c"})});
+  VecSource s2({make("k", {"d", "e"})});
+  MergingGroupStream stream({&s0, &s1, &s2});
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE(stream.next(key, values));
+  EXPECT_EQ(key, "k");
+  EXPECT_EQ(values, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  ASSERT_TRUE(stream.next(key, values));
+  EXPECT_EQ(key, "z");
+  EXPECT_EQ(values, (std::vector<std::string>{"end"}));
+  EXPECT_FALSE(stream.next(key, values));
+}
+
+TEST(MergeSourcesTest, CompactionPassRoundTripsThroughDisk) {
+  TempDir dir;
+  // Write three runs, merge them, read the merged run back.
+  auto write_run = [&](const std::vector<Group>& groups) {
+    RunWriter writer(SpillFile::create(dir.path, "run"),
+                     {.block_bytes = 64, .compress = false}, nullptr);
+    for (const auto& g : groups) {
+      writer.begin_group(g.key, g.values.size());
+      for (const auto& v : g.values) writer.add_value(v);
+    }
+    return writer.finish();
+  };
+  auto [f0, i0] = write_run({make("a", {"0"}), make("m", {"0"})});
+  auto [f1, i1] = write_run({make("a", {"1"}), make("z", {"1"})});
+  auto [f2, i2] = write_run({make("m", {"2"})});
+
+  std::vector<std::unique_ptr<GroupSource>> sources;
+  sources.push_back(std::make_unique<RunSource>(f0.path(), nullptr));
+  sources.push_back(std::make_unique<RunSource>(f1.path(), nullptr));
+  sources.push_back(std::make_unique<RunSource>(f2.path(), nullptr));
+  RunWriter out(SpillFile::create(dir.path, "merge"),
+                {.block_bytes = 4096, .compress = false}, nullptr);
+  auto [merged, info] = merge_sources(sources, out);
+  EXPECT_EQ(info.groups, 3u);  // a, m, z
+
+  RunReader reader(merged.path(), nullptr);
+  Group g;
+  ASSERT_TRUE(reader.next(g));
+  EXPECT_EQ(g.key, "a");
+  EXPECT_EQ(g.values, (std::vector<std::string>{"0", "1"}));
+  ASSERT_TRUE(reader.next(g));
+  EXPECT_EQ(g.key, "m");
+  EXPECT_EQ(g.values, (std::vector<std::string>{"0", "2"}));
+  ASSERT_TRUE(reader.next(g));
+  EXPECT_EQ(g.key, "z");
+  EXPECT_FALSE(reader.next(g));
+}
+
+}  // namespace
+}  // namespace mpid::store

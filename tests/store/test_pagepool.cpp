@@ -1,0 +1,97 @@
+// SpillPool: recycled fixed-size pages that cooperate with the budget —
+// free pages stay charged, pressure drops them, acquire never fails.
+#include <gtest/gtest.h>
+
+#include "mpid/store/budget.hpp"
+#include "mpid/store/pagepool.hpp"
+
+namespace mpid::store {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+TEST(SpillPoolTest, RecyclesReleasedPages) {
+  SpillPool pool(nullptr, kPage, /*max_free=*/4);
+  auto page = pool.acquire();
+  EXPECT_GE(page.capacity(), kPage);
+  EXPECT_TRUE(page.empty());
+  const auto* data = page.data();
+  pool.release(std::move(page));
+  EXPECT_EQ(pool.free_pages(), 1u);
+  auto again = pool.acquire();
+  EXPECT_EQ(again.data(), data);  // same allocation came back
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+TEST(SpillPoolTest, FreeListIsBounded) {
+  SpillPool pool(nullptr, kPage, /*max_free=*/2);
+  std::vector<SpillPool::Page> pages;
+  for (int i = 0; i < 5; ++i) pages.push_back(pool.acquire());
+  for (auto& p : pages) pool.release(std::move(p));
+  EXPECT_EQ(pool.free_pages(), 2u);
+}
+
+TEST(SpillPoolTest, PagesAreChargedAgainstTheBudget) {
+  MemoryBudget budget(16 * kPage);
+  SpillPool pool(&budget, kPage);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_EQ(pool.pages_charged(), 2u);
+  EXPECT_EQ(budget.used(), 2 * kPage);
+  // Free pages are real RSS: releasing to the free list keeps the charge.
+  pool.release(std::move(a));
+  EXPECT_EQ(budget.used(), 2 * kPage);
+  pool.release(std::move(b));
+  EXPECT_EQ(budget.used(), 2 * kPage);
+}
+
+TEST(SpillPoolTest, DestructorReturnsEveryCharge) {
+  MemoryBudget budget(16 * kPage);
+  {
+    SpillPool pool(&budget, kPage);
+    auto page = pool.acquire();
+    pool.release(std::move(page));
+    EXPECT_GT(budget.used(), 0u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(SpillPoolTest, PressureDropsTheFreeList) {
+  MemoryBudget budget(4 * kPage);
+  SpillPool pool(&budget, kPage);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  ASSERT_EQ(pool.free_pages(), 2u);
+  ASSERT_EQ(budget.used(), 2 * kPage);
+  // Another consumer wants the rest of the budget: the pool's cached
+  // pages must give way.
+  Reservation other(&budget);
+  EXPECT_TRUE(other.try_grow(3 * kPage));
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+TEST(SpillPoolTest, AcquireForceChargesWhenBudgetIsFull) {
+  MemoryBudget budget(kPage);
+  Reservation hog(&budget);
+  ASSERT_TRUE(hog.try_grow(kPage));
+  SpillPool pool(&budget, kPage);
+  // The spill path must be able to stage bytes on their way OUT of
+  // memory, so this cannot fail — it overshoots instead.
+  auto page = pool.acquire();
+  EXPECT_GE(page.capacity(), kPage);
+  EXPECT_GT(budget.used(), budget.cap());
+  pool.release(std::move(page));
+}
+
+TEST(SpillPoolTest, UndersizedPageIsNotRecycled) {
+  SpillPool pool(nullptr, kPage, 4);
+  SpillPool::Page tiny;
+  tiny.reserve(16);
+  pool.release(std::move(tiny));
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace mpid::store
