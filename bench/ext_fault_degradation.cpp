@@ -13,11 +13,13 @@
 // At rate r, MiniHadoop sees crash/fetch/heartbeat faults and MPI-D sees
 // crash/drop/corrupt faults — each runtime is attacked at the layers it
 // defends. Every run additionally executes under a tight mpid::store
-// memory budget (~1/10 of the shuffle working set), so fault recovery and
-// the disk tier are exercised *together*: re-executed tasks re-spill,
-// restarted reducers re-arm their external merge, and the spilled-bytes
-// columns show what that costs. Results print as a table and land in
-// BENCH_ext_fault_degradation.json for the trajectory across PRs.
+// memory budget (~1/10 of the shuffle working set) AND with hierarchical
+// node aggregation on (DESIGN.md §14), so fault recovery, the disk tier
+// and the in-node combine tree are exercised *together*: re-executed
+// tasks re-stage and re-merge, restarted reducers re-pull aggregated
+// lanes, and the spilled/aggregation counters show what that costs.
+// Results print as a table and land in BENCH_ext_fault_degradation.json
+// for the trajectory across PRs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +68,16 @@ mapred::MapFn wc_map() {
       if (end > start) ctx.emit(line.substr(start, end - start), "1");
       start = end + 1;
     }
+  };
+}
+
+/// Partial-sum combiner: reduce is associative, so pre-agg output is
+/// byte-identical and the in-node merge has duplicates to collapse.
+shuffle::Combiner wc_combine() {
+  return [](std::string_view, std::vector<std::string>&& values) {
+    std::uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    return std::vector<std::string>{std::to_string(total)};
   };
 }
 
@@ -154,11 +166,13 @@ int main() {
     minihadoop::MiniJobConfig job;
     job.map = wc_map();
     job.reduce = wc_reduce();
+    job.combiner = wc_combine();
     job.input_path = "/in";
     job.output_prefix = prefix;
     job.map_tasks = kMaps;
     job.reduce_tasks = kReduces;
     job.fault_injector = std::move(inj);
+    job.node_aggregation = true;  // each tasktracker serves one merged stream
     arm_budget(job, spill_dir);
     HadoopRun run;
     const auto start = Clock::now();
@@ -171,7 +185,10 @@ int main() {
     mapred::JobDef job;
     job.map = wc_map();
     job.reduce = wc_reduce();
+    job.combiner = wc_combine();
     job.streaming_merge_reduce = true;  // the merge phase the store extends
+    job.tuning.node_aggregation = true;  // 2 modeled nodes of 2 mappers
+    job.tuning.ranks_per_node = 2;
     arm_budget(job.tuning, spill_dir);
     if (inj) {
       job.tuning.resilient_shuffle = true;
@@ -253,7 +270,11 @@ int main() {
                      "\"mpid_restarts\": %llu, "
                      "\"mpid_spilled_bytes\": %llu, "
                      "\"mpid_spill_files\": %llu, "
-                     "\"mpid_merge_passes\": %llu}",
+                     "\"mpid_merge_passes\": %llu, "
+                     "\"hadoop_node_agg_pre_bytes\": %llu, "
+                     "\"hadoop_node_agg_post_bytes\": %llu, "
+                     "\"mpid_node_agg_pre_bytes\": %llu, "
+                     "\"mpid_node_agg_post_bytes\": %llu}",
                      rate, hadoop.ms,
                      static_cast<unsigned long long>(s.map_reexecutions +
                                                      s.reduce_reexecutions),
@@ -267,7 +288,11 @@ int main() {
                      static_cast<unsigned long long>(t.task_restarts),
                      static_cast<unsigned long long>(t.bytes_spilled_disk),
                      static_cast<unsigned long long>(t.spill_files),
-                     static_cast<unsigned long long>(t.external_merge_passes));
+                     static_cast<unsigned long long>(t.external_merge_passes),
+                     static_cast<unsigned long long>(s.bytes_pre_node_agg),
+                     static_cast<unsigned long long>(s.bytes_post_node_agg),
+                     static_cast<unsigned long long>(t.bytes_pre_node_agg),
+                     static_cast<unsigned long long>(t.bytes_post_node_agg));
   }
 
   std::printf("%s", table.render().c_str());

@@ -207,6 +207,45 @@ void BM_MpidWordCountBudgeted(benchmark::State& state) {
 }
 BENCHMARK(BM_MpidWordCountBudgeted)->Unit(benchmark::kMillisecond);
 
+/// The same WordCount through the hierarchical node-local aggregation
+/// stage (DESIGN.md §14): 8 mappers at ranks_per_node per modeled node,
+/// co-located streams merged by the leaders' combine trees before the
+/// fabric. The merge rate this reports (bytes_pre_node_agg over
+/// node_agg_merge_ns) calibrates
+/// SystemSpec::node_agg_merge_bytes_per_second; the pre/post cut is the
+/// structural traffic reduction at this corpus shape.
+void BM_MpidWordCountNodeAgg(benchmark::State& state) {
+  const auto ranks_per_node = static_cast<std::size_t>(state.range(0));
+  workloads::TextSpec text_spec;
+  text_spec.vocabulary = 1000;  // combiner-friendly: splits share the vocab
+  const auto text = workloads::generate_text(text_spec, 4 * 1024 * 1024, 42);
+  const mapred::JobRunner runner(8, 2);
+  auto job = wordcount(true);
+  job.tuning.node_aggregation = ranks_per_node > 1;
+  job.tuning.ranks_per_node = ranks_per_node;
+
+  core::Stats totals;
+  for (auto _ : state) {
+    const auto result = runner.run_on_text(job, text);
+    benchmark::DoNotOptimize(result.outputs.size());
+    totals = result.report.totals;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["fabric_bytes"] = static_cast<double>(totals.bytes_sent);
+  state.counters["bytes_pre_node_agg"] =
+      static_cast<double>(totals.bytes_pre_node_agg);
+  state.counters["bytes_post_node_agg"] =
+      static_cast<double>(totals.bytes_post_node_agg);
+  state.counters["node_agg_merge_s"] =
+      static_cast<double>(totals.node_agg_merge_ns) * 1e-9;
+}
+BENCHMARK(BM_MpidWordCountNodeAgg)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgNames({"ranks_per_node"})
+    ->Unit(benchmark::kMillisecond);
+
 /// The same WordCount over the resilient shuffle while the transport
 /// drops the given permille of data frames: the price of MPI-D fault
 /// tolerance, with the recovery counters in the JSON artifact.

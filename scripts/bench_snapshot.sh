@@ -36,6 +36,9 @@ BUILD_DIR=${1:-build}
 
 # The canonical list: keep in sync with MPID_BENCHMARK_MAIN_JSON uses.
 BENCHES=(micro_mpid micro_shuffle_pipeline micro_kvtable micro_codec micro_threads micro_spill)
+# Table benches that write their BENCH_<name>.json themselves (to cwd,
+# which is the repo root here) and gate on their own exit code.
+TABLE_BENCHES=(ext_node_agg)
 # The regression-gated subset: shuffle-engine hot paths, end to end.
 CHECK_BENCHES=(micro_mpid micro_kvtable)
 CHECK_TOLERANCE=1.10  # fail on >10% real_time regression
@@ -54,11 +57,15 @@ run_bench() {
 }
 
 if [[ "$MODE" == snapshot ]]; then
-  cmake --build "$BUILD_DIR" --target "${BENCHES[@]}" -j
+  cmake --build "$BUILD_DIR" --target "${BENCHES[@]}" "${TABLE_BENCHES[@]}" -j
   for name in "${BENCHES[@]}"; do
     run_bench "$name" "BENCH_$name.json"
   done
-  echo "Snapshot complete: ${BENCHES[*]/#/BENCH_}"
+  for name in "${TABLE_BENCHES[@]}"; do
+    echo "=== $name -> BENCH_$name.json ==="
+    "$BUILD_DIR/bench/$name"
+  done
+  echo "Snapshot complete: ${BENCHES[*]/#/BENCH_} ${TABLE_BENCHES[*]/#/BENCH_}"
   exit 0
 fi
 

@@ -55,6 +55,13 @@ check_layer src/minihadoop \
   "src/minihadoop must not include mpid/core/" \
   '#include "mpid/core/'
 
+# Both runtimes drive the shared shuffle stages — including the node
+# aggregator (DESIGN.md §14) — through mpid/shuffle/ only; the RPC
+# runtime must not reach into the MPI transport either.
+check_layer src/minihadoop \
+  "src/minihadoop must not include mpid/minimpi/" \
+  '#include "mpid/minimpi/'
+
 if [[ $fail -ne 0 ]]; then
   echo "check_layering: FAILED" >&2
   exit 1

@@ -42,6 +42,18 @@ using Partitioner = shuffle::PartitionFn;
 /// partition_frame_bytes, inline_combine_threshold, sort_values,
 /// sort_keys, flat_combine_table, shuffle_compression and the
 /// compress_* policy) plus MPI-D's transport policy.
+///
+/// Node aggregation (ShuffleOptions::node_aggregation / ranks_per_node):
+/// mapper m is modeled on node m / ranks_per_node and the lowest
+/// co-located mapper index is the node's aggregation leader. Every
+/// member stages its realigned frames locally and forwards them to the
+/// leader at finalize (a modeled shared-memory transfer on a reliable
+/// tag); the leader merges the node's streams through a
+/// shuffle::NodeAggregator and ships ONE frame stream per reducer
+/// partition. Composes with pipelined_shuffle, resilient_shuffle (the
+/// leader's retained lanes hold the aggregated frames, so NACK/REPULL
+/// re-serves them) and map_threads (lanes stage raw; the merged stream
+/// is codec-framed once, at the leader).
 struct Config : shuffle::ShuffleOptions {
   /// Number of mapper ranks (>= 1).
   int mappers = 1;

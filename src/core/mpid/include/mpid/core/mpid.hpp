@@ -209,6 +209,36 @@ class MpiD {
     return config_.shuffle_compression != ShuffleCompression::kOff;
   }
 
+  // --- node-local aggregation (Config::node_aggregation) ---
+  bool node_agg() const noexcept { return config_.node_aggregation; }
+  /// Mappers per modeled node (>= 1; validated by ShuffleOptions).
+  int ranks_per_node() const noexcept {
+    return static_cast<int>(config_.ranks_per_node);
+  }
+  /// Number of modeled nodes = number of aggregated streams a reducer
+  /// sees. Mapper m lives on node m / ranks_per_node; the lowest
+  /// co-located index is the node's aggregation leader.
+  int node_count() const noexcept {
+    return (config_.mappers + ranks_per_node() - 1) / ranks_per_node();
+  }
+  /// True when mapper index `m` ships fabric traffic: every mapper
+  /// without aggregation, only node leaders with it.
+  bool is_agg_sender(int m) const noexcept {
+    return !node_agg() || m % ranks_per_node() == 0;
+  }
+  /// End-of-stream markers a reducer must collect before it is drained:
+  /// one per mapper normally, one per node leader under aggregation.
+  int eos_target() const noexcept {
+    return node_agg() ? node_count() : config_.mappers;
+  }
+  /// Intra-node stage exchange + the leader's combine tree; runs inside
+  /// finalize() before any fabric traffic. Non-leaders forward their
+  /// staged frames to the leader; the leader merges every member stream
+  /// (its own first) through a shuffle::NodeAggregator whose sink is
+  /// transport_send(), so the resilient path retains — and retransmits —
+  /// the aggregated frames.
+  void node_agg_finalize();
+
   /// Pulls the next frame from the network (decoding it when compression
   /// is on) and stages it as the delivery frame. Returns false when all
   /// mappers have signalled end-of-stream.
@@ -262,6 +292,14 @@ class MpiD {
   std::vector<SendLane> lanes_;
   std::uint32_t incarnation_ = 0;  // mapper attempt stamped into headers
   int attempt_ = 0;
+
+  /// Node-aggregation staging (Config::node_aggregation): every mapper —
+  /// leader or not — parks its realigned frames here instead of sending,
+  /// and nothing leaves the rank until finalize(). That makes the intra-
+  /// node exchange crash-free by construction: an injected map crash can
+  /// only fire during the map loop, so restart_mapper() just discards the
+  /// stage and no cross-rank incarnation protocol is needed.
+  std::vector<std::vector<std::byte>> node_staged_;
 
   // Resilient-shuffle reducer state: one lane per mapper.
   struct RecvLane {

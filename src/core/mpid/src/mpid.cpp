@@ -7,6 +7,7 @@
 
 #include "mpid/common/codec.hpp"
 #include "mpid/common/hash.hpp"
+#include "mpid/shuffle/nodeagg.hpp"
 
 namespace mpid::core {
 
@@ -22,6 +23,11 @@ constexpr int kAckTag = 4;   // master -> rank shutdown acknowledgement
 constexpr int kLaneAckTag = 5;   // reducer -> mapper: lane complete
 constexpr int kLaneNackTag = 6;  // reducer -> mapper: list of missing seqs
 constexpr int kRepullTag = 7;    // restarted reducer -> mapper: resend lane
+// Node aggregation: mapper -> node leader staged-frame forward (modeled
+// shared-memory transfer, so reliable: outside the injector's kDataTag
+// scope). An empty payload is the member's end-of-stream marker (flushed
+// frames are never empty).
+constexpr int kNodeTag = 8;
 
 static_assert(std::is_trivially_copyable_v<Stats>,
               "Stats travels as a raw MPI payload");
@@ -136,17 +142,31 @@ MpiD::MpiD(minimpi::Comm& comm, Config config)
     setup.partitioner = shuffle::Partitioner(
         static_cast<std::uint32_t>(config_.reducers), config_.partitioner);
     setup.combine = &*combine_runner_;
-    setup.compressor = compressor_ ? &*compressor_ : nullptr;
+    // Under node aggregation the per-mapper frames never touch the
+    // fabric: they stage raw for the node's combine tree, which decodes,
+    // merges and only then codec-frames the merged stream (the leader's
+    // compressor_ moves to the aggregator in node_agg_finalize()).
+    setup.compressor =
+        (compressor_ && !node_agg()) ? &*compressor_ : nullptr;
     // Only the pipelined/resilient paths re-arm flushed writers from the
     // pool; the blocking A/B path restarts each frame empty, as it always
     // has.
     setup.pool = (config_.pipelined_shuffle || resilient()) ? pool_.get()
                                                             : nullptr;
     setup.counters = &stats_;
-    setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
-                        bool /*codec_framed: self-describing framing*/) {
-      transport_send(partition, std::move(frame));
-    };
+    if (node_agg()) {
+      setup.sink = [this](std::uint32_t /*partition: re-derived from the
+                            keys by the aggregator's partitioner*/,
+                          std::vector<std::byte> frame, bool) {
+        node_staged_.push_back(std::move(frame));
+      };
+    } else {
+      setup.sink = [this](std::uint32_t partition,
+                          std::vector<std::byte> frame,
+                          bool /*codec_framed: self-describing framing*/) {
+        transport_send(partition, std::move(frame));
+      };
+    }
     encoder_.emplace(config_, std::move(setup));
   } else {
     role_ = Role::kReducer;
@@ -264,11 +284,22 @@ std::uint64_t MpiD::run_map_parallel(
   // Sink runs under the mapper's sequencer lock: frames_sent /
   // bytes_sent / flush_wait_ns live in the Stats-derived block, disjoint
   // from the ShuffleCounters base fields the lane commits write.
-  setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
-                      bool /*codec_framed: self-describing framing*/) {
-    transport_send(partition, std::move(frame));
-  };
-  shuffle::ParallelMapper mapper(config_, std::move(setup));
+  if (node_agg()) {
+    setup.sink = [this](std::uint32_t, std::vector<std::byte> frame, bool) {
+      node_staged_.push_back(std::move(frame));
+    };
+  } else {
+    setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
+                        bool /*codec_framed: self-describing framing*/) {
+      transport_send(partition, std::move(frame));
+    };
+  }
+  // Staged frames must reach the node's combine tree raw, so the lanes'
+  // codec stage is disabled under aggregation (the merged stream is
+  // codec-framed once, at the leader). The copy outlives the mapper.
+  Config lane_config = config_;
+  if (node_agg()) lane_config.shuffle_compression = ShuffleCompression::kOff;
+  shuffle::ParallelMapper mapper(lane_config, std::move(setup));
   const std::uint64_t pairs = mapper.run(worker_pool(), chunk_count, chunk_fn);
   stats_.pairs_sent += pairs;
   return pairs;
@@ -324,7 +355,7 @@ bool MpiD::fetch_delivery_frame() {
     collected_.pop_front();
   } else {
     for (;;) {
-      if (eos_received_ == config_.mappers) return false;
+      if (eos_received_ == eos_target()) return false;
       minimpi::Status st;
       if (config_.pipelined_shuffle) {
         if (!prefetch_posted_) post_prefetch();
@@ -337,7 +368,7 @@ bool MpiD::fetch_delivery_frame() {
         // every mapper has signalled end-of-stream: the finalize ack must
         // not be stolen.
         if (st.tag == kEosTag) ++eos_received_;
-        if (eos_received_ < config_.mappers) post_prefetch();
+        if (eos_received_ < eos_target()) post_prefetch();
         if (st.tag == kEosTag) continue;
       } else {
         st = data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag,
@@ -421,7 +452,7 @@ bool MpiD::recv_raw_frame(std::vector<std::byte>& frame) {
     return true;
   }
   for (;;) {
-    if (eos_received_ == config_.mappers) return false;
+    if (eos_received_ == eos_target()) return false;
     const minimpi::Status st =
         data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
     if (st.tag == kEosTag) {
@@ -455,7 +486,7 @@ bool MpiD::recv_wire_frame(std::vector<std::byte>& frame, bool& codec_framed) {
     return true;
   }
   for (;;) {
-    if (eos_received_ == config_.mappers) return false;
+    if (eos_received_ == eos_target()) return false;
     const minimpi::Status st =
         data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, frame);
     if (st.tag == kEosTag) {
@@ -517,6 +548,17 @@ void MpiD::finalize() {
     case Role::kMapper: {
       if (map_buffer_) encoder_->spill(*map_buffer_);
       encoder_->flush_all();
+      if (node_agg()) {
+        node_agg_finalize();
+        if (mapper_index() % ranks_per_node() != 0) {
+          // Non-leaders shipped nothing across the fabric: no windows to
+          // drain, no lanes to seal — just the done handshake. The recv
+          // is source- and tag-selective, so nothing else can steal it.
+          data_comm_.send_value(0, kDoneTag, stats_);
+          (void)data_comm_.recv_value<int>(0, kAckTag);
+          break;
+        }
+      }
       // Close every in-flight window before end-of-stream: EOS must not
       // overtake data (it cannot — same (source, context) lane — but a
       // drained window also returns the request bookkeeping to a clean
@@ -534,7 +576,7 @@ void MpiD::finalize() {
       break;
     }
     case Role::kReducer: {
-      if (eos_received_ != config_.mappers || delivery_pending() ||
+      if (eos_received_ != eos_target() || delivery_pending() ||
           !collected_.empty()) {
         throw std::logic_error(
             "MpiD: reducer must drain recv() before finalize");
@@ -561,6 +603,61 @@ void MpiD::finalize() {
     }
   }
   finalized_ = true;
+}
+
+// ------------------------------------------------- node-local aggregation --
+
+void MpiD::node_agg_finalize() {
+  const int self = mapper_index();
+  const int leader = (self / ranks_per_node()) * ranks_per_node();
+  if (self != leader) {
+    // Forward the staged stream to the node's leader over the reliable
+    // intra-node tag, in frame order; the empty payload closes it.
+    for (auto& frame : node_staged_) {
+      data_comm_.send_bytes(1 + leader, kNodeTag, frame);
+    }
+    data_comm_.send_bytes(1 + leader, kNodeTag, {});
+    node_staged_.clear();
+    return;
+  }
+  // Leader: merge every member stream through the node's combine tree in
+  // fixed member order — self first (the leader is the lowest co-located
+  // index), then peers by ascending mapper index — so the merged stream
+  // is deterministic. The tree's sink is transport_send(): under the
+  // resilient shuffle the AGGREGATED frames are what the lanes retain,
+  // so NACK/REPULL retransmission re-serves exactly these bytes.
+  shuffle::NodeAggregator::Setup setup;
+  setup.out_layout = shuffle::Layout::kKvList;
+  setup.partitions = static_cast<std::uint32_t>(config_.reducers);
+  setup.partitioner = shuffle::Partitioner(
+      static_cast<std::uint32_t>(config_.reducers), config_.partitioner);
+  setup.combine = &*combine_runner_;
+  setup.compressor = compressor_ ? &*compressor_ : nullptr;
+  setup.pool = pool_.get();
+  setup.budget = memory_budget();
+  setup.counters = &stats_;
+  setup.sink = [this](std::uint32_t partition, std::vector<std::byte> frame,
+                      bool /*codec_framed: self-describing framing*/) {
+    transport_send(partition, std::move(frame));
+  };
+  shuffle::NodeAggregator agg(config_, std::move(setup));
+  for (auto& frame : node_staged_) {
+    agg.add_frame(frame, shuffle::Layout::kKvList);
+    pool_->release(std::move(frame));
+  }
+  node_staged_.clear();
+  const int node_end = std::min(leader + ranks_per_node(), config_.mappers);
+  std::vector<std::byte> msg;
+  for (int m = leader + 1; m < node_end; ++m) {
+    for (;;) {
+      // Source- and tag-selective: a queued REPULL or lane control from a
+      // restarted reducer stays pending for resilient_mapper_finalize().
+      data_comm_.recv_bytes(1 + m, kNodeTag, msg);
+      if (msg.empty()) break;
+      agg.add_frame(msg, shuffle::Layout::kKvList);
+    }
+  }
+  agg.finish();
 }
 
 // ------------------------------------------------------ resilient shuffle --
@@ -708,10 +805,13 @@ void MpiD::resilient_mapper_finalize() {
 
 void MpiD::resilient_collect() {
   if (collected_ready_) return;
+  // Under node aggregation only the node leaders ship lanes, so the
+  // collection completes at eos_target() (= node count) sealed lanes;
+  // the non-sender lanes simply never see traffic.
   int completed = 0;
   for (const auto& lane : recv_lanes_) completed += lane.complete ? 1 : 0;
   std::vector<std::byte> msg;
-  while (completed < config_.mappers) {
+  while (completed < eos_target()) {
     const minimpi::Status st =
         data_comm_.recv_bytes(minimpi::kAnySource, minimpi::kAnyTag, msg);
     const int m = st.source - 1;
@@ -844,7 +944,7 @@ void MpiD::resilient_collect() {
     lane.frames.clear();
   }
   collected_ready_ = true;
-  eos_received_ = config_.mappers;
+  eos_received_ = eos_target();
 }
 
 void MpiD::restart_mapper() {
@@ -859,6 +959,7 @@ void MpiD::restart_mapper() {
   ++incarnation_;
   ++stats_.task_restarts;
   if (map_buffer_) map_buffer_->clear();
+  node_staged_.clear();  // staged node-aggregation frames of the dead attempt
   for (std::size_t p = 0; p < inflight_.size(); ++p) drain_inflight(p);
   encoder_->reset();
   for (auto& lane : lanes_) {
@@ -906,11 +1007,14 @@ void MpiD::restart_reducer() {
     inj->record_recovery(fault::Kind::kRepull,
                          "reduce:" + std::to_string(reducer_index()) + "#" +
                              std::to_string(attempt_),
-                         "re-pulling " + std::to_string(config_.mappers) +
+                         "re-pulling " + std::to_string(eos_target()) +
                              " lanes");
   }
+  // Only the ranks that shipped lanes can re-serve them: every mapper
+  // normally, the node leaders under node aggregation (their retained
+  // lanes hold the aggregated frames).
   for (int m = 0; m < config_.mappers; ++m) {
-    data_comm_.send_bytes(1 + m, kRepullTag, {});
+    if (is_agg_sender(m)) data_comm_.send_bytes(1 + m, kRepullTag, {});
   }
   stats_.recovery_wall_ns += now_ns() - start;
 }

@@ -19,6 +19,7 @@
 #include "mpid/shuffle/compress.hpp"
 #include "mpid/shuffle/engine.hpp"
 #include "mpid/shuffle/merger.hpp"
+#include "mpid/shuffle/nodeagg.hpp"
 #include "mpid/shuffle/parallel.hpp"
 #include "mpid/shuffle/workerpool.hpp"
 #include "mpid/store/budget.hpp"
@@ -38,6 +39,17 @@ std::span<const std::byte> as_bytes(std::string_view s) {
 /// The response header flagging a codec-framed segment body (the
 /// mapred.compress.map.output analog of Hadoop's shuffle headers).
 constexpr const char* kCodecHeader = "X-Mpid-Codec";
+
+/// Node-aggregation accounting headers on aggregated /mapOutput replies:
+/// the servlet runs the merge, the committed reduce attempt folds these
+/// into its counter block — keeping them commit-gated like every other
+/// attempt counter (retried and speculative fetches never double-count).
+constexpr const char* kAggPreHeader = "X-Mpid-Agg-Pre";
+constexpr const char* kAggPostHeader = "X-Mpid-Agg-Post";
+constexpr const char* kAggMergeNsHeader = "X-Mpid-Agg-Merge-Ns";
+constexpr const char* kAggRawHeader = "X-Mpid-Agg-Raw";
+constexpr const char* kAggWireHeader = "X-Mpid-Agg-Wire";
+constexpr const char* kAggCompressNsHeader = "X-Mpid-Agg-Compress-Ns";
 
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
@@ -66,6 +78,22 @@ struct SegmentStore {
   std::map<std::pair<int, int>, Segment> segments;  // (map, reduce)
   store::Reservation reservation;  // in-memory segment bytes vs the budget
   std::string spill_dir;
+
+  // Node-aggregation serving state (set once before the job starts; each
+  // tasktracker models one NODE here, so ranks_per_node is ignored).
+  const shuffle::ShuffleOptions* opts = nullptr;
+  shuffle::Combiner combiner;
+  store::MemoryBudget* budget = nullptr;
+
+  /// One merged (reduce, map-set) stream plus its merge accounting.
+  /// Cached so fetch retries and speculative reduce twins see
+  /// byte-identical bodies without re-running the combine tree.
+  struct AggEntry {
+    std::string body;
+    bool codec = false;
+    shuffle::ShuffleCounters counters;
+  };
+  std::map<std::pair<int, std::string>, AggEntry> agg_cache;
 
   /// Publishes one segment; `counters` (the attempt's block, nullable)
   /// receives disk-tier accounting when the budget pushes the body out, so
@@ -102,7 +130,26 @@ struct SegmentStore {
     }
   }
 
+  /// Segment body from whichever tier holds it (caller holds `mu`).
+  std::string read_body(const Segment& seg) const {
+    if (!seg.file) return seg.bytes;
+    std::FILE* in = std::fopen(seg.file->path().c_str(), "rb");
+    if (in == nullptr) {
+      throw std::runtime_error("SegmentStore: spilled segment vanished: " +
+                               seg.file->path());
+    }
+    std::string body(seg.size, '\0');
+    const auto got = std::fread(body.data(), 1, seg.size, in);
+    std::fclose(in);
+    if (got != seg.size) {
+      throw std::runtime_error("SegmentStore: short read from " +
+                               seg.file->path());
+    }
+    return body;
+  }
+
   hrpc::HttpResponse get(std::string_view query) {
+    if (query.rfind("agg=1&", 0) == 0) return get_aggregated(query);
     // query: "map=<m>&reduce=<r>"
     int map = -1, reduce = -1;
     std::size_t pos = 0;
@@ -123,24 +170,99 @@ struct SegmentStore {
       throw std::runtime_error("no such map output segment");
     }
     hrpc::HttpResponse response;
-    if (it->second.file) {
-      std::FILE* in = std::fopen(it->second.file->path().c_str(), "rb");
-      if (in == nullptr) {
-        throw std::runtime_error("SegmentStore: spilled segment vanished: " +
-                                 it->second.file->path());
-      }
-      response.body.resize(it->second.size);
-      const auto got =
-          std::fread(response.body.data(), 1, it->second.size, in);
-      std::fclose(in);
-      if (got != it->second.size) {
-        throw std::runtime_error("SegmentStore: short read from " +
-                                 it->second.file->path());
-      }
-    } else {
-      response.body = it->second.bytes;
-    }
+    response.body = read_body(it->second);
     if (it->second.codec) response.headers.emplace_back(kCodecHeader, "1");
+    return response;
+  }
+
+  /// Hierarchical serving (DESIGN.md §14): the named co-located map
+  /// segments, merged ascending-map-id through a NodeAggregator into ONE
+  /// KvPair frame for `reduce`, codec-framed once per the job's
+  /// compression policy. A missing segment throws (→ HTTP 500): the
+  /// reducer's location map is stale, it backs off and re-resolves.
+  hrpc::HttpResponse get_aggregated(std::string_view query) {
+    // query: "agg=1&reduce=<r>&maps=<m1,m2,...>"
+    int reduce = -1;
+    std::string maps_csv;
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      auto amp = query.find('&', pos);
+      if (amp == std::string_view::npos) amp = query.size();
+      const auto kv = query.substr(pos, amp - pos);
+      const auto eq = kv.find('=');
+      const auto key = kv.substr(0, eq);
+      if (key == "reduce") reduce = std::stoi(std::string(kv.substr(eq + 1)));
+      if (key == "maps") maps_csv = std::string(kv.substr(eq + 1));
+      pos = amp + 1;
+    }
+    std::vector<int> maps;
+    pos = 0;
+    while (pos < maps_csv.size()) {
+      auto comma = maps_csv.find(',', pos);
+      if (comma == std::string::npos) comma = maps_csv.size();
+      maps.push_back(std::stoi(maps_csv.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+    if (reduce < 0 || maps.empty() || opts == nullptr) {
+      throw std::runtime_error("aggregated fetch: bad query");
+    }
+    std::lock_guard lock(mu);
+    auto cached = agg_cache.find({reduce, maps_csv});
+    if (cached == agg_cache.end()) {
+      std::vector<const Segment*> members;
+      for (const int m : maps) {
+        const auto it = segments.find({m, reduce});
+        if (it == segments.end()) {
+          throw std::runtime_error("no such map output segment");
+        }
+        members.push_back(&it->second);
+      }
+      AggEntry entry;
+      shuffle::CombineRunner combine(combiner, &entry.counters);
+      std::optional<shuffle::FrameCompressor> codec;
+      if (opts->shuffle_compression != shuffle::ShuffleCompression::kOff) {
+        codec.emplace(*opts, shuffle::WireFraming::kFlagged,
+                      common::FrameKind::kKvPair, nullptr, &entry.counters);
+      }
+      shuffle::NodeAggregator::Setup setup;
+      setup.out_layout = shuffle::Layout::kKvPair;
+      setup.partitions = 1;  // the member segments are one partition already
+      setup.frame_flush_bytes = shuffle::SpillEncoder::kUnboundedFrame;
+      setup.partitioner = shuffle::Partitioner(1);
+      setup.combine = &combine;
+      setup.compressor = codec ? &*codec : nullptr;
+      setup.budget = budget;
+      setup.counters = &entry.counters;
+      auto* out = &entry;
+      setup.sink = [out](std::uint32_t, std::vector<std::byte> frame,
+                         bool codec_framed) {
+        out->body.assign(reinterpret_cast<const char*>(frame.data()),
+                         frame.size());
+        out->codec = codec_framed;
+      };
+      shuffle::NodeAggregator agg(*opts, setup);
+      for (const Segment* seg : members) {
+        const std::string body = read_body(*seg);
+        agg.add_frame(as_bytes(body), shuffle::Layout::kKvPair);
+      }
+      agg.finish();
+      cached = agg_cache.emplace(std::make_pair(reduce, std::move(maps_csv)),
+                                 std::move(entry))
+                   .first;
+    }
+    const AggEntry& entry = cached->second;
+    hrpc::HttpResponse response;
+    response.body = entry.body;
+    if (entry.codec) response.headers.emplace_back(kCodecHeader, "1");
+    const auto put_header = [&response](const char* name, std::uint64_t v) {
+      response.headers.emplace_back(name, std::to_string(v));
+    };
+    put_header(kAggPreHeader, entry.counters.bytes_pre_node_agg);
+    put_header(kAggPostHeader, entry.counters.bytes_post_node_agg);
+    put_header(kAggMergeNsHeader, entry.counters.node_agg_merge_ns);
+    put_header(kAggRawHeader, entry.counters.shuffle_bytes_raw);
+    put_header(kAggWireHeader, entry.counters.shuffle_bytes_wire);
+    put_header(kAggCompressNsHeader, entry.counters.compress_ns);
     return response;
   }
 };
@@ -175,6 +297,10 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   opts.validate();
   const bool compressing =
       opts.shuffle_compression != shuffle::ShuffleCompression::kOff;
+  // With node aggregation the tracker's servlet codec-frames each merged
+  // node stream exactly once (DESIGN.md §14); map attempts publish raw
+  // segments, since a per-map codec frame would only be undone there.
+  const bool map_compress = compressing && !opts.node_aggregation;
 
   // Two-tier store arbiter (DESIGN.md §13): one process-wide budget shared
   // by every task of the job — tasktrackers are threads here, so the cap
@@ -256,6 +382,9 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     stores.push_back(std::make_unique<SegmentStore>());
     stores.back()->reservation = store::Reservation(budget.get());
     stores.back()->spill_dir = opts.spill_dir;
+    stores.back()->opts = &opts;
+    stores.back()->combiner = config.combiner;
+    stores.back()->budget = budget.get();
     auto server = std::make_unique<hrpc::HttpServer>();
     auto* store = stores.back().get();
     server->add_raw_servlet("/mapOutput", [store](std::string_view query) {
@@ -335,7 +464,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
                  while (auto line = lines.next()) config.map(*line, ctx);
                });
 
-    if (compressing) {
+    if (map_compress) {
       shuffle::FrameCompressor codec(opts, shuffle::WireFraming::kFlagged,
                                      common::FrameKind::kKvPair, nullptr,
                                      &outcome.counters);
@@ -391,7 +520,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     shuffle::MapOutputBuffer buffer(opts, &combine, &outcome.counters,
                                     budget.get());
     std::optional<shuffle::FrameCompressor> compressor;
-    if (compressing) {
+    if (map_compress) {
       compressor.emplace(opts, shuffle::WireFraming::kFlagged,
                          common::FrameKind::kKvPair, nullptr,
                          &outcome.counters);
@@ -507,65 +636,20 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     }
     shuffle::FrameDecoder decoder(0, nullptr, &outcome.counters);
     std::uint64_t ticks = 0;
-    for (int m = 0; m < config.map_tasks; ++m) {
-      std::string segment;
-      bool segment_codec = false;
-      for (int try_no = 0;; ++try_no) {
-        const int serving = location[static_cast<std::size_t>(m)];
-        bool fetched = false;
-        if (serving >= 0 && !(inj && inj->fail_fetch(m, reduce_id))) {
-          auto& copier = copiers[serving];
-          if (!copier) {
-            copier = std::make_unique<hrpc::HttpClient>(
-                *http_servers[static_cast<std::size_t>(serving)],
-                copier_options);
-          }
-          try {
-            auto response =
-                copier->get("/mapOutput?map=" + std::to_string(m) +
-                            "&reduce=" + std::to_string(reduce_id));
-            if (response.status == 200) {
-              segment_codec = response.header(kCodecHeader) != nullptr;
-              segment = std::move(response.body);
-              ++outcome.requests;
-              fetched = true;
-            }
-          } catch (const std::exception&) {
-            copiers.erase(serving);  // reconnect on the next try
-          }
-        }
-        if (fetched) break;
-        if (try_no + 1 >= config.max_fetch_attempts) {
-          throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
-        }
-        ++shuffle_fetch_retries;
-        if (inj) {
-          inj->record_recovery(fault::Kind::kFetchRetry,
-                               "segment " + std::to_string(m) + "->" +
-                                   std::to_string(reduce_id),
-                               "try " + std::to_string(try_no + 1));
-        }
-        const auto backoff = config.fetch_backoff * (1LL << std::min(try_no, 10));
-        if (backoff.count() > 0) {
-          std::this_thread::sleep_for(backoff);
-          recovery_wall_ns += static_cast<std::uint64_t>(backoff.count());
-        }
-        location = fetch_locations(rpc);
-      }
-      if (crash_at && ++ticks >= *crash_at) {
-        inj->note(fault::Kind::kTaskCrash,
-                  task_subject(kKindReduce, reduce_id, attempt));
-        throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
-      }
-      outcome.bytes += segment.size();
-      if (segment_codec) {
-        // The servlet flagged a codec-framed body: decode back to the raw
-        // KvWriter frame before reverse realignment.
-        std::vector<std::byte> decoded;
-        decoder.decode_into(as_bytes(segment), decoded);
-        segment.assign(reinterpret_cast<const char*>(decoded.data()),
-                       decoded.size());
-      }
+
+    // If the servlet flagged a codec-framed body, decode back to the raw
+    // KvWriter frame before reverse realignment.
+    auto decode_segment = [&](std::string& segment, bool segment_codec) {
+      if (!segment_codec) return;
+      std::vector<std::byte> decoded;
+      decoder.decode_into(as_bytes(segment), decoded);
+      segment.assign(reinterpret_cast<const char*>(decoded.data()),
+                     decoded.size());
+    };
+
+    // Feeds one raw KvPair segment into the grouping stage — hash groups
+    // or the budget-armed external merger.
+    auto ingest_segment = [&](std::string_view segment) {
       common::KvReader reader(as_bytes(segment));
       if (ext_merge) {
         std::vector<std::pair<std::string, std::string>> pairs;
@@ -573,7 +657,7 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
           pairs.emplace_back(std::string(pair->key),
                              std::string(pair->value));
         }
-        if (pairs.empty()) continue;
+        if (pairs.empty()) return;
         std::stable_sort(pairs.begin(), pairs.end(),
                          [](const auto& a, const auto& b) {
                            return a.first < b.first;
@@ -592,10 +676,165 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
           lo = hi;
         }
         merger.add_frame(writer.take());
-        continue;
+        return;
       }
       while (auto pair = reader.next()) {
         groups.append(pair->key, pair->value);
+      }
+    };
+
+    if (opts.node_aggregation) {
+      // Hierarchical fetch (DESIGN.md §14): every tasktracker IS a node
+      // here, so the maps are grouped by serving tracker and fetched as
+      // ONE aggregated stream per tracker — the servlet merges the
+      // co-located segments through the node combine tree. Locations are
+      // final before any reduce is scheduled (the jobtracker gates
+      // reduces on all maps committing), so the grouping is stable
+      // unless a tracker is lost mid-fetch — then the retry path
+      // re-resolves and regroups around the re-executed maps.
+      std::vector<char> done(static_cast<std::size_t>(config.map_tasks), 0);
+      int remaining = config.map_tasks;
+      int try_no = 0;
+      while (remaining > 0) {
+        int first = 0;
+        while (done[static_cast<std::size_t>(first)] != 0) ++first;
+        const int serving = location[static_cast<std::size_t>(first)];
+        std::vector<int> group;
+        std::string maps_csv;
+        if (serving >= 0) {
+          for (int m = first; m < config.map_tasks; ++m) {
+            if (done[static_cast<std::size_t>(m)] == 0 &&
+                location[static_cast<std::size_t>(m)] == serving) {
+              group.push_back(m);
+              if (!maps_csv.empty()) maps_csv += ',';
+              maps_csv += std::to_string(m);
+            }
+          }
+        }
+        bool fetched = false;
+        if (serving >= 0 && !(inj && inj->fail_fetch(first, reduce_id))) {
+          auto& copier = copiers[serving];
+          if (!copier) {
+            copier = std::make_unique<hrpc::HttpClient>(
+                *http_servers[static_cast<std::size_t>(serving)],
+                copier_options);
+          }
+          try {
+            auto response = copier->get(
+                "/mapOutput?agg=1&reduce=" + std::to_string(reduce_id) +
+                "&maps=" + maps_csv);
+            if (response.status == 200) {
+              ++outcome.requests;
+              outcome.bytes += response.body.size();
+              const auto hdr = [&response](const char* name) {
+                const auto* v = response.header(name);
+                return v ? std::stoull(*v) : std::uint64_t{0};
+              };
+              auto& c = outcome.counters;
+              c.bytes_pre_node_agg += hdr(kAggPreHeader);
+              c.bytes_post_node_agg += hdr(kAggPostHeader);
+              c.node_agg_merge_ns += hdr(kAggMergeNsHeader);
+              c.shuffle_bytes_raw += hdr(kAggRawHeader);
+              c.shuffle_bytes_wire += hdr(kAggWireHeader);
+              c.compress_ns += hdr(kAggCompressNsHeader);
+              std::string segment = std::move(response.body);
+              decode_segment(segment,
+                             response.header(kCodecHeader) != nullptr);
+              ingest_segment(segment);
+              for (const int m : group) {
+                done[static_cast<std::size_t>(m)] = 1;
+              }
+              remaining -= static_cast<int>(group.size());
+              fetched = true;
+              try_no = 0;
+            }
+          } catch (const std::exception&) {
+            copiers.erase(serving);  // reconnect on the next try
+          }
+        }
+        if (fetched && crash_at && ++ticks >= *crash_at) {
+          inj->note(fault::Kind::kTaskCrash,
+                    task_subject(kKindReduce, reduce_id, attempt));
+          throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id,
+                                 attempt);
+        }
+        if (fetched) continue;
+        if (try_no + 1 >= config.max_fetch_attempts) {
+          throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id,
+                                 attempt);
+        }
+        ++shuffle_fetch_retries;
+        if (inj) {
+          inj->record_recovery(fault::Kind::kFetchRetry,
+                               "aggregated segments " + maps_csv + "->" +
+                                   std::to_string(reduce_id),
+                               "try " + std::to_string(try_no + 1));
+        }
+        const auto backoff =
+            config.fetch_backoff * (1LL << std::min(try_no, 10));
+        if (backoff.count() > 0) {
+          std::this_thread::sleep_for(backoff);
+          recovery_wall_ns += static_cast<std::uint64_t>(backoff.count());
+        }
+        location = fetch_locations(rpc);
+        ++try_no;
+      }
+    } else {
+      for (int m = 0; m < config.map_tasks; ++m) {
+        std::string segment;
+        bool segment_codec = false;
+        for (int try_no = 0;; ++try_no) {
+          const int serving = location[static_cast<std::size_t>(m)];
+          bool fetched = false;
+          if (serving >= 0 && !(inj && inj->fail_fetch(m, reduce_id))) {
+            auto& copier = copiers[serving];
+            if (!copier) {
+              copier = std::make_unique<hrpc::HttpClient>(
+                  *http_servers[static_cast<std::size_t>(serving)],
+                  copier_options);
+            }
+            try {
+              auto response =
+                  copier->get("/mapOutput?map=" + std::to_string(m) +
+                              "&reduce=" + std::to_string(reduce_id));
+              if (response.status == 200) {
+                segment_codec = response.header(kCodecHeader) != nullptr;
+                segment = std::move(response.body);
+                ++outcome.requests;
+                fetched = true;
+              }
+            } catch (const std::exception&) {
+              copiers.erase(serving);  // reconnect on the next try
+            }
+          }
+          if (fetched) break;
+          if (try_no + 1 >= config.max_fetch_attempts) {
+            throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id,
+                                   attempt);
+          }
+          ++shuffle_fetch_retries;
+          if (inj) {
+            inj->record_recovery(fault::Kind::kFetchRetry,
+                                 "segment " + std::to_string(m) + "->" +
+                                     std::to_string(reduce_id),
+                                 "try " + std::to_string(try_no + 1));
+          }
+          const auto backoff =
+              config.fetch_backoff * (1LL << std::min(try_no, 10));
+          if (backoff.count() > 0) {
+            std::this_thread::sleep_for(backoff);
+            recovery_wall_ns += static_cast<std::uint64_t>(backoff.count());
+          }
+          location = fetch_locations(rpc);
+        }
+        if (crash_at && ++ticks >= *crash_at) {
+          inj->note(fault::Kind::kTaskCrash,
+                    task_subject(kKindReduce, reduce_id, attempt));
+          throw fault::TaskCrash(fault::TaskKind::kReduce, reduce_id, attempt);
+        }
+        outcome.bytes += segment.size();
+        decode_segment(segment, segment_codec);
+        ingest_segment(segment);
       }
     }
 

@@ -33,6 +33,11 @@ struct SystemSpec {
   int mappers_per_node = 7;  // 49 mapper processes on 7 workers
   int reducers = 1;          // the paper's Figure 6 configuration
 
+  /// Interconnect of the modeled cluster (default: the paper's GigE
+  /// testbed). Swap in a proto::all_interconnects() profile fabric for
+  /// wire-upgrade ablations.
+  net::FabricSpec fabric;
+
   /// mpiexec launch + MPI_D_Init (no JVM, no heartbeat scheduling).
   sim::Time job_startup = sim::milliseconds(900);
 
@@ -100,6 +105,18 @@ struct SystemSpec {
     return 1.0 + (map_threads - 1) * thread_efficiency;
   }
 
+  /// Hierarchical node-local aggregation (DESIGN.md §14, the
+  /// core::Config::node_aggregation knob): each worker node's co-located
+  /// mappers route their spills through an in-node combine tree before
+  /// anything touches the fabric, so the wire carries the merged stream
+  /// (pre-aggregation bytes / MpidJobSpec::node_agg_ratio) at the cost
+  /// of intra-node merge CPU over the full pre-aggregation volume.
+  bool node_aggregation = false;
+  /// CPU rate of the in-node merge (frame decode + combine table +
+  /// re-encode), calibrated from ShuffleCounters::node_agg_merge_ns in
+  /// bench/micro_mpid.
+  double node_agg_merge_bytes_per_second = 250.0e6;
+
   /// Codec throughput of the real library's shuffle compression
   /// (core::Config::shuffle_compression), calibrated from
   /// bench/micro_codec: mappers encode each spill before MPI_D_Send,
@@ -139,6 +156,14 @@ struct MpidJobSpec {
   /// representative frames (bench/codec_sample.hpp). Default off.
   bool compress_shuffle = false;
   double shuffle_compression_ratio = 3.0;
+
+  /// Cross-mapper duplicate-key factor the node combine tree removes
+  /// (only read when SystemSpec::node_aggregation is set):
+  /// post-aggregation bytes = pre-aggregation bytes / node_agg_ratio.
+  /// 0 (the default) means "perfectly combinable keys" — the ratio is
+  /// the node's mapper count, the WordCount-style upper bound; measure
+  /// real jobs with bytes_pre/post_node_agg and set the quotient here.
+  double node_agg_ratio = 0.0;
 };
 
 struct MpidJobResult {

@@ -27,7 +27,7 @@ struct MpidSystem::Run {
 MpidSystem::MpidSystem(sim::Engine& engine, SystemSpec spec)
     : engine_(engine),
       spec_(spec),
-      fabric_(engine, spec.nodes),
+      fabric_(engine, spec.nodes, spec.fabric),
       mpi_(engine, fabric_) {
   if (spec.nodes < 2 || spec.mappers_per_node < 1 || spec.reducers < 1) {
     throw std::invalid_argument("MpidSystem: bad topology");
@@ -37,6 +37,11 @@ MpidSystem::MpidSystem(sim::Engine& engine, SystemSpec spec)
     throw std::invalid_argument(
         "MpidSystem: map_threads must be >= 1 and thread_efficiency in "
         "(0, 1]");
+  }
+  if (spec.node_aggregation && spec.node_agg_merge_bytes_per_second <= 0.0) {
+    throw std::invalid_argument(
+        "MpidSystem: node_agg_merge_bytes_per_second must be > 0 when "
+        "node_aggregation is set");
   }
   disks_.reserve(static_cast<std::size_t>(spec.nodes));
   for (int n = 0; n < spec.nodes; ++n) {
@@ -106,11 +111,24 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
         static_cast<double>(chunk) * run.job.map_output_ratio;
     co_await engine_.delay(sim::from_seconds(
         out / spec_.realign_bytes_per_second / thread_speedup));
-    double wire = out;
+    double post = out;
+    if (spec_.node_aggregation) {
+      // In-node combine tree (DESIGN.md §14): the node's mappers merge
+      // duplicate keys before the fabric sees anything. Merge CPU is
+      // charged over the full pre-aggregation volume; the wire — and
+      // the reducer — then carry only the merged stream.
+      co_await engine_.delay(
+          sim::from_seconds(out / spec_.node_agg_merge_bytes_per_second));
+      const double ratio = run.job.node_agg_ratio > 0.0
+                               ? run.job.node_agg_ratio
+                               : static_cast<double>(spec_.mappers_per_node);
+      post = out / ratio;
+    }
+    double wire = post;
     if (run.job.compress_shuffle) {
       co_await engine_.delay(
-          sim::from_seconds(out / spec_.compress_bytes_per_second));
-      wire = out / run.job.shuffle_compression_ratio;
+          sim::from_seconds(post / spec_.compress_bytes_per_second));
+      wire = post / run.job.shuffle_compression_ratio;
     }
 
     // MPI_Send of the full frames. With overlap_sends the transfer is
@@ -134,10 +152,10 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
     co_await window.acquire();
     if (spec_.overlap_sends) {
       engine_.spawn(deliver(*this, run, window, node, reducer_node,
-                            reducer_index, out, wire));
+                            reducer_index, post, wire));
     } else {
       co_await deliver(*this, run, window, node, reducer_node, reducer_index,
-                       out, wire);
+                       post, wire);
     }
 
     remaining -= chunk;

@@ -44,6 +44,19 @@ struct ShuffleCounters {
   /// Frames that shipped via the stored escape or the auto-skip heuristic.
   std::uint64_t frames_stored_uncompressed = 0;
 
+  // --- node-local aggregation (zero unless node_aggregation is set) ---
+  /// Partition-frame bytes entering the per-node combine tree (what the
+  /// co-located mappers would each have shipped across the fabric).
+  std::uint64_t bytes_pre_node_agg = 0;
+  /// Merged frame bytes leaving the tree before any codec framing — the
+  /// pre/post ratio is the structural traffic cut, independent of
+  /// compression.
+  std::uint64_t bytes_post_node_agg = 0;
+  /// Wall time inside the aggregation tree: frame decode, cross-mapper
+  /// combine, re-encode, and (on the leader) codec framing of the merged
+  /// stream.
+  std::uint64_t node_agg_merge_ns = 0;
+
   // --- two-tier spill store (zero unless memory_budget_bytes is set) ---
   /// Bytes written to spill runs on disk, merge-pass rewrites included —
   /// the total disk-write volume the budget cost, not the live footprint.
@@ -70,6 +83,9 @@ struct ShuffleCounters {
     compress_ns += rhs.compress_ns;
     decompress_ns += rhs.decompress_ns;
     frames_stored_uncompressed += rhs.frames_stored_uncompressed;
+    bytes_pre_node_agg += rhs.bytes_pre_node_agg;
+    bytes_post_node_agg += rhs.bytes_post_node_agg;
+    node_agg_merge_ns += rhs.node_agg_merge_ns;
     bytes_spilled_disk += rhs.bytes_spilled_disk;
     spill_files += rhs.spill_files;
     external_merge_passes += rhs.external_merge_passes;

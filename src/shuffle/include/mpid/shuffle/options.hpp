@@ -173,6 +173,33 @@ struct ShuffleOptions {
   /// Floor validate() enforces on spill_page_bytes.
   static constexpr std::size_t kMinSpillPageBytes = 4 * 1024;
 
+  // --- hierarchical node-local aggregation (DESIGN.md §14) ---
+  /// Route the partitioned output of every mapper co-located on one
+  /// modeled node through a per-node combine tree (shuffle::NodeAggregator)
+  /// that merges duplicate keys across those mappers and ships ONE frame
+  /// stream per (node, reducer-partition) instead of one per (mapper,
+  /// partition). On combiner-friendly keys this multiplies the combiner's
+  /// traffic cut by the per-node mapper count before bytes touch the
+  /// fabric (Lee et al.'s in-node combining; Coded MapReduce's
+  /// compute-for-communication trade). Off by default: the per-mapper
+  /// frame cadence is byte-for-byte the legacy one.
+  ///
+  /// Interaction with memory_budget_bytes: the aggregator's combine buffer
+  /// charges the same budget as every other buffering stage, so memory
+  /// pressure tightens its drain cadence — it emits smaller merged frames
+  /// earlier (less cross-mapper dedup, never incorrect output). A budget
+  /// therefore bounds the aggregation tree's RAM exactly like a mapper's
+  /// spill buffer; validate() enforces the same spill_dir/page invariants.
+  bool node_aggregation = false;
+
+  /// Mappers modeled per node when node_aggregation is on. MPI-D derives
+  /// the node id of mapper m as m / ranks_per_node and elects the lowest
+  /// co-located mapper index as the node's aggregation leader. MiniHadoop
+  /// ignores this knob: each tasktracker IS a node, and its segment store
+  /// aggregates whatever map tasks committed there. validate() requires
+  /// >= 1 when node_aggregation is set.
+  std::size_t ranks_per_node = 1;
+
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).
   /// Called by both runtimes before any task starts.

@@ -83,6 +83,11 @@ void ShuffleOptions::validate() const {
           "\" is not an existing writable directory");
     }
   }
+  if (node_aggregation && ranks_per_node < 1) {
+    throw std::invalid_argument(
+        "ShuffleOptions: ranks_per_node must be >= 1 when node_aggregation "
+        "is set — a node with no mappers has nothing to aggregate");
+  }
   if (map_task_chunks > kMaxMapTaskChunks) {
     throw std::invalid_argument(
         "ShuffleOptions: map_task_chunks (" +
