@@ -1,0 +1,269 @@
+// Extension bench: coded shuffle (DESIGN.md §15) — trading r× redundant
+// map compute for an r-fold structural cut in cross-fabric traffic.
+//
+// Coded MapReduce observes that if every map task runs on r distinct
+// ranks, the shuffle can ship XOR-coded multicast rounds that serve a
+// whole group of r reducers at once: each reducer re-derives the other
+// replicas' diagonal frames locally (side information) and XORs them out
+// of the received payload. The fabric carries one coded stream where the
+// uncoded shuffle carried r unicasts — the same bytes-for-CPU trade the
+// paper prices with the combiner and the codec, but bought with spare
+// map cores instead of compression ratio.
+//
+// Part 1 runs the real MPI-D runtime on a value-order-sensitive job with
+// incompressible values (hex digests) and shuffle compression ON, so
+// shuffle_bytes_wire measures genuine wire volume with no codec rescue.
+// Two single-group configurations (r = reducers, the shape where every
+// partition is home and the cut approaches r^2):
+//   (a) 4 mappers, 2 reducers, r in {1, 2}: wire cut must be >= 1.7x
+//   (b) 3 mappers, 3 reducers, r in {1, 3}: wire cut must be >= 2.5x
+// Outputs must be byte-identical to the uncoded run; the exit code gates
+// both cuts, like ext_node_agg and ext_interconnect_shuffle.
+//
+// Part 2 asks the Figure 6 model the cluster-scale question: with the
+// reducer side widened to 4 ranks, what does r x-redundant map compute
+// cost against the wire bytes saved on GigE vs an IB-class fabric?
+// Expected shape: on GigE the map wave is fabric-bound and coding wins
+// despite scanning and mapping every split r times; on the fast wire the
+// redundant compute is pure loss — the paper's asymmetry again.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpid/common/hash.hpp"
+#include "mpid/common/table.hpp"
+#include "mpid/common/units.hpp"
+#include "mpid/mapred/job.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/proto/profiles.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+#include "mpid/workloads/text.hpp"
+
+namespace {
+
+using namespace mpid;
+
+constexpr std::uint64_t kInputBytes = 256 * 1024;
+
+/// Sort-style job with incompressible values: every word is tagged with
+/// hex digests keyed by (word, mapper). The codec cannot shrink these,
+/// so any wire cut is the coding, not compression; the reduce sorts the
+/// values, so output parity proves the replica pipelines regenerate the
+/// primary mappers' streams byte-for-byte.
+mapred::JobDef digest_sort_def() {
+  mapred::JobDef job;
+  job.map = [](std::string_view line, mapred::MapContext& ctx) {
+    std::size_t start = 0;
+    while (start < line.size()) {
+      auto end = line.find(' ', start);
+      if (end == std::string_view::npos) end = line.size();
+      if (end > start) {
+        const auto word = line.substr(start, end - start);
+        // Digest of (record, position, mapper): unique per occurrence —
+        // the codec cannot fold repeats — yet a replica re-processing the
+        // same record regenerates it exactly.
+        const std::uint64_t h = common::fmix64(
+            common::fnv1a64(line) ^ (start * 0x9e3779b97f4a7c15ULL) ^
+            static_cast<std::uint64_t>(ctx.mapper_index()));
+        ctx.emit(word, common::strformat("%016llx%016llx",
+                                         static_cast<unsigned long long>(h),
+                                         static_cast<unsigned long long>(
+                                             common::fmix64(h + 1))));
+      }
+      start = end + 1;
+    }
+  };
+  job.reduce = [](std::string_view key, std::span<const std::string> values,
+                  mapred::ReduceContext& ctx) {
+    std::vector<std::string> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& v : sorted) ctx.emit(key, v);
+  };
+  return job;
+}
+
+unsigned long long ull(std::uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+struct GateResult {
+  core::Stats uncoded;
+  core::Stats coded;
+  double wire_cut = 0;
+  double fabric_cut = 0;
+};
+
+/// Runs one (mappers, reducers) shape uncoded and at replication r,
+/// fails fatally on any output divergence, and returns the counters.
+GateResult run_gate(int mappers, int reducers, std::size_t replication,
+                    std::string_view text, common::TextTable& table) {
+  auto run = [&](std::size_t r) {
+    auto job = digest_sort_def();
+    job.tuning.shuffle_compression = core::ShuffleCompression::kOn;
+    job.tuning.coded_replication = r;
+    return mapred::JobRunner(mappers, reducers).run_on_text(job, text);
+  };
+  const auto uncoded = run(1);
+  const auto coded = run(replication);
+  if (coded.outputs != uncoded.outputs) {
+    std::fprintf(stderr,
+                 "FATAL: output differs at coded_replication=%zu "
+                 "(%d mappers, %d reducers) — the coded delivery paths "
+                 "are not output-preserving\n",
+                 replication, mappers, reducers);
+    std::exit(1);
+  }
+
+  GateResult g;
+  g.uncoded = uncoded.report.totals;
+  g.coded = coded.report.totals;
+  g.wire_cut = static_cast<double>(g.uncoded.shuffle_bytes_wire) /
+               static_cast<double>(g.coded.shuffle_bytes_wire);
+  g.fabric_cut = static_cast<double>(g.uncoded.bytes_sent) /
+                 static_cast<double>(g.coded.bytes_sent);
+
+  const auto shape = common::strformat("%dx%d", mappers, reducers);
+  table.add_row({shape, "1",
+                 common::format_bytes(g.uncoded.shuffle_bytes_wire),
+                 common::format_bytes(g.uncoded.bytes_sent), "-", "-", "-",
+                 "-"});
+  table.add_row(
+      {shape, common::strformat("%zu", replication),
+       common::format_bytes(g.coded.shuffle_bytes_wire),
+       common::format_bytes(g.coded.bytes_sent),
+       common::format_bytes(g.coded.bytes_pre_coding),
+       common::format_bytes(g.coded.bytes_post_coding),
+       common::strformat("%.2f", g.coded.coded_encode_ns / 1e6),
+       common::strformat("%.2f", g.coded.coded_decode_ns / 1e6)});
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Extension: coded shuffle (incompressible digest sort, %s input, "
+      "shuffle_compression=on) ==\n\n",
+      common::format_bytes(kInputBytes).c_str());
+
+  workloads::TextSpec spec;
+  spec.vocabulary = 1000;
+  const auto text = workloads::generate_text(spec, kInputBytes, 2027);
+
+  // ---- Part 1: real MPI-D, single-group shapes (exit-gated) ------------
+  common::TextTable table({"shape", "r", "wire bytes", "fabric payload",
+                           "pre-coding", "post-coding", "encode ms",
+                           "decode ms"});
+  const auto r2 = run_gate(/*mappers=*/4, /*reducers=*/2, 2, text, table);
+  const auto r3 = run_gate(/*mappers=*/3, /*reducers=*/3, 3, text, table);
+  std::printf("MPI-D (r = reducers: one group, every partition home):\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "Outputs byte-identical at r=2 and r=3. Wire cut %.2fx at r=2 "
+      "(gate >= 1.7x)\nand %.2fx at r=3 (gate >= 2.5x); XOR fold alone "
+      "shrank the home-group\ndiagonal %.2fx / %.2fx (bytes_pre_coding / "
+      "bytes_post_coding).\n\n",
+      r2.wire_cut, r3.wire_cut,
+      static_cast<double>(r2.coded.bytes_pre_coding) /
+          static_cast<double>(r2.coded.bytes_post_coding),
+      static_cast<double>(r3.coded.bytes_pre_coding) /
+          static_cast<double>(r3.coded.bytes_post_coding));
+
+  // ---- Part 2: Figure 6 model, widened to 4 reducers -------------------
+  const auto profiles = proto::all_interconnects();
+  const std::vector<proto::InterconnectProfile> ablation = {profiles.front(),
+                                                            profiles.back()};
+  std::printf(
+      "== Model: 30 GB expansion job (map_output_ratio=2) on the Figure 6 "
+      "layout, 2 reducers, r x-replicated maps ==\n\n");
+  common::TextTable model_table({"interconnect", "r", "wire bytes",
+                                 "map phase", "makespan"});
+  std::ostringstream model_json;
+  int model_rows = 0;
+  for (const auto& profile : ablation) {
+    for (const int r : {1, 2}) {
+      auto sys = workloads::fig6_mpid_system();
+      sys.fabric = profile.fabric;
+      sys.reducers = 2;
+      sys.coded_replication = r;
+      auto job = workloads::mpid_wordcount_job(30 * common::GiB);
+      // Expansion-style map (inverted indexing, feature extraction): the
+      // intermediate volume doubles the input and two reducer downlinks
+      // must swallow it while the map wave is still sending — the regime
+      // where GigE send windows stall and coding has something to buy.
+      job.map_output_ratio = 2.0;
+      sim::Engine engine;
+      mpidsim::MpidSystem system(engine, sys);
+      const auto result = system.run(job);
+      const double wire = result.intermediate_bytes / r;
+      model_table.add_row(
+          {profile.name, common::strformat("%d", r),
+           common::format_bytes(static_cast<std::uint64_t>(wire)),
+           common::strformat("%.0f s", result.map_phase_end.to_seconds()),
+           common::strformat("%.0f s", result.makespan.to_seconds())});
+      model_json << (model_rows++ ? ",\n" : "")
+                 << common::strformat(
+                        "    {\"interconnect\": \"%s\", \"replication\": %d, "
+                        "\"wire_bytes\": %.0f, \"map_phase_s\": %.3f, "
+                        "\"makespan_s\": %.3f}",
+                        profile.name.c_str(), r, wire,
+                        result.map_phase_end.to_seconds(),
+                        result.makespan.to_seconds());
+    }
+  }
+  std::printf("%s\n", model_table.render().c_str());
+  std::printf(
+      "Reading: the over-budget reducers spill through their disks, so the\n"
+      "makespan is reduce-bound and the fabric shows up in the MAP phase\n"
+      "(as in ext_node_agg). Coding charges every worker r x the disk scan\n"
+      "and map CPU up front and r x the realign, then divides the fabric\n"
+      "bytes by r and adds a decode pass at the reducers. On GigE the two\n"
+      "reducer downlinks stall the r=1 map wave, so the halved wire more\n"
+      "than repays the doubled compute; on the IB-class fabric the wire was\n"
+      "never binding and the redundant scan/map lengthens the map phase\n"
+      "with nothing to buy back — the paper's asymmetry, priced in spare\n"
+      "map cores instead of compression ratio.\n");
+
+  std::ofstream json("BENCH_ext_coded_shuffle.json");
+  json << "{\n  \"name\": \"ext_coded_shuffle\",\n"
+       << "  \"input_bytes\": " << kInputBytes << ",\n"
+       << common::strformat(
+              "  \"r2_wire_bytes_uncoded\": %llu,\n"
+              "  \"r2_wire_bytes_coded\": %llu,\n"
+              "  \"r2_wire_cut\": %.4f,\n"
+              "  \"r2_fabric_cut\": %.4f,\n"
+              "  \"r2_bytes_pre_coding\": %llu,\n"
+              "  \"r2_bytes_post_coding\": %llu,\n"
+              "  \"r3_wire_bytes_uncoded\": %llu,\n"
+              "  \"r3_wire_bytes_coded\": %llu,\n"
+              "  \"r3_wire_cut\": %.4f,\n"
+              "  \"r3_fabric_cut\": %.4f,\n"
+              "  \"r3_bytes_pre_coding\": %llu,\n"
+              "  \"r3_bytes_post_coding\": %llu,\n",
+              ull(r2.uncoded.shuffle_bytes_wire),
+              ull(r2.coded.shuffle_bytes_wire), r2.wire_cut, r2.fabric_cut,
+              ull(r2.coded.bytes_pre_coding), ull(r2.coded.bytes_post_coding),
+              ull(r3.uncoded.shuffle_bytes_wire),
+              ull(r3.coded.shuffle_bytes_wire), r3.wire_cut, r3.fabric_cut,
+              ull(r3.coded.bytes_pre_coding), ull(r3.coded.bytes_post_coding))
+       << "  \"model_rows\": [\n"
+       << model_json.str() << "\n  ]\n}\n";
+  std::printf("\nwrote BENCH_ext_coded_shuffle.json\n");
+
+  // The headline claims, enforced.
+  if (r2.wire_cut < 1.7) {
+    std::fprintf(stderr, "FATAL: r=2 wire cut %.2fx below the 1.7x gate\n",
+                 r2.wire_cut);
+    return 1;
+  }
+  if (r3.wire_cut < 2.5) {
+    std::fprintf(stderr, "FATAL: r=3 wire cut %.2fx below the 2.5x gate\n",
+                 r3.wire_cut);
+    return 1;
+  }
+  return 0;
+}

@@ -37,7 +37,12 @@ for suite in test_common test_shuffle test_store test_mpid test_minihadoop; do
   "$BUILD_DIR/tests/$suite" "$@"
 done
 
-echo "=== ASan: test_integration (spill parity) ==="
-"$BUILD_DIR/tests/test_integration" --gtest_filter='*SpillParity*' "$@"
+echo "=== ASan: test_integration (spill + coded parity) ==="
+# CodedParity drives the XOR encode/decode, the replica pipelines and the
+# multicast staging end to end — including the hostile decode paths the
+# coded-header fuzz hits at the unit level in test_shuffle — composed
+# with compression, node aggregation, threads and fault recovery.
+"$BUILD_DIR/tests/test_integration" \
+  --gtest_filter='*SpillParity*:*CodedParity*' "$@"
 
 echo "ASan check passed."

@@ -17,7 +17,8 @@ BUILD_DIR=build-tsan
 
 cmake -B "$BUILD_DIR" -S . -DMPID_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$BUILD_DIR" --target test_minimpi test_mpid test_shuffle test_common -j
+cmake --build "$BUILD_DIR" --target test_minimpi test_mpid test_shuffle test_common \
+  test_integration -j
 
 # halt_on_error makes a race fail the test run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
@@ -26,5 +27,11 @@ for suite in test_minimpi test_mpid test_shuffle test_common; do
   echo "=== TSan: $suite ==="
   "$BUILD_DIR/tests/$suite" "$@"
 done
+
+# Coded shuffle runs r replica map pipelines through the WorkerPool when
+# map_threads > 1 and multicasts one buffer to r reducer threads — the
+# parity matrix exercises both compositions under instrumentation.
+echo "=== TSan: test_integration (coded parity) ==="
+"$BUILD_DIR/tests/test_integration" --gtest_filter='*CodedParity*' "$@"
 
 echo "TSan check passed."

@@ -1,7 +1,9 @@
 #include "mpid/mapred/job.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -48,6 +50,37 @@ JobResult JobRunner::run(const JobDef& job,
   JobResult result;
   std::mutex result_mu;
 
+  // Coded shuffle: every rank that replicates a map task must be able to
+  // re-read its split — the task's own mapper maps r sub-splits, and the
+  // home-group reducers replay r-1 of them as side information. Record
+  // sources are single-pass cursors, so materialize all splits up front
+  // (Hadoop's durable-split-in-DFS assumption, same as the fault path).
+  const bool coded = config.coded_replication > 1;
+  std::vector<std::vector<std::string>> splits;
+  if (coded) {
+    splits.resize(inputs.size());
+    for (std::size_t m = 0; m < inputs.size(); ++m) {
+      auto& source = inputs[m];
+      while (auto record = source()) splits[m].push_back(std::move(*record));
+    }
+  }
+  // Replays task `task`'s sub-split `sub` through `emit` — the shared
+  // deterministic body of the mapper's primary run and the reducers'
+  // replica runs. The context reports the PRIMARY mapper's index, so
+  // index-dependent map functions agree across replicas.
+  const auto map_sub_split = [&](int task, int sub,
+                                 const core::MpiD::CodedEmitFn& emit) {
+    MapContext ctx(
+        [&emit](std::string_view k, std::string_view v) { emit(k, v); },
+        task);
+    const auto& split = splits[static_cast<std::size_t>(task)];
+    const auto r = config.coded_replication;
+    const std::size_t lo = static_cast<std::size_t>(sub) * split.size() / r;
+    const std::size_t hi =
+        (static_cast<std::size_t>(sub) + 1) * split.size() / r;
+    for (std::size_t i = lo; i < hi; ++i) job.map(split[i], ctx);
+  };
+
   minimpi::run_world(config.world_size(), [&](minimpi::Comm& comm) {
     core::MpiD mpid(comm, config);
     switch (mpid.role()) {
@@ -55,6 +88,56 @@ JobResult JobRunner::run(const JobDef& job,
         const int mapper = mpid.mapper_index();
         fault::FaultInjector* inj =
             config.resilient_shuffle ? config.fault_injector.get() : nullptr;
+        if (coded) {
+          const auto& split = splits[static_cast<std::size_t>(mapper)];
+          const auto r = config.coded_replication;
+          for (int safety = 0;; ++safety) {
+            try {
+              std::optional<std::uint64_t> crash_at;
+              if (inj) {
+                crash_at = inj->crash_tick(fault::TaskKind::kMap, mapper,
+                                           mpid.attempt());
+                const auto lag = inj->straggle_delay(fault::TaskKind::kMap,
+                                                     mapper, mpid.attempt());
+                if (lag.count() > 0) std::this_thread::sleep_for(lag);
+              }
+              // Ticks count records across all r sub-pipelines (they may
+              // run on the worker pool), so a scripted crash fires at the
+              // same overall progress point regardless of map_threads.
+              std::atomic<std::uint64_t> ticks{0};
+              mpid.run_map_coded([&](int sub,
+                                     const core::MpiD::CodedEmitFn& emit) {
+                MapContext ctx(
+                    [&emit](std::string_view k, std::string_view v) {
+                      emit(k, v);
+                    },
+                    mapper);
+                const std::size_t lo =
+                    static_cast<std::size_t>(sub) * split.size() / r;
+                const std::size_t hi =
+                    (static_cast<std::size_t>(sub) + 1) * split.size() / r;
+                for (std::size_t i = lo; i < hi; ++i) {
+                  if (crash_at && ticks.fetch_add(1) + 1 >= *crash_at) {
+                    inj->note(fault::Kind::kTaskCrash,
+                              "map:" + std::to_string(mapper) + "#" +
+                                  std::to_string(mpid.attempt()));
+                    throw fault::TaskCrash(fault::TaskKind::kMap, mapper,
+                                           mpid.attempt());
+                  }
+                  job.map(split[i], ctx);
+                }
+              });
+              mpid.finalize();
+              break;
+            } catch (const fault::TaskCrash&) {
+              if (!inj || safety >= kMaxTaskAttempts) throw;
+              // Nothing left the rank yet (the coded matrix ships in
+              // finalize), so restart just discards the staged streams.
+              mpid.restart_mapper();
+            }
+          }
+          break;
+        }
         auto& source = inputs[static_cast<std::size_t>(mapper)];
         MapContext ctx(
             [&](std::string_view k, std::string_view v) { mpid.send(k, v); },
@@ -133,6 +216,12 @@ JobResult JobRunner::run(const JobDef& job,
           const auto lag = inj->straggle_delay(
               fault::TaskKind::kReduce, mpid.reducer_index(), mpid.attempt());
           if (lag.count() > 0) std::this_thread::sleep_for(lag);
+        }
+        if (coded) {
+          // The redundant map pass runs once, before any recv: its side
+          // terms decode every coded payload (and survive reducer
+          // restarts — the replay is deterministic).
+          mpid.run_reduce_side_map(map_sub_split);
         }
         if (job.streaming_merge_reduce) {
           // Hadoop's merge phase: collect the key-sorted frames, then

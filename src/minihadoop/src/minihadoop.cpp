@@ -295,6 +295,12 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
     opts.compress_min_frame_bytes = config.compress_min_segment_bytes;
   }
   opts.validate();
+  if (opts.coded_replication > 1) {
+    throw std::invalid_argument(
+        "MiniCluster: coded_replication > 1 is an MPI-D-only feature (the "
+        "Hadoop model has no multicast shuffle path); set it to 1 here, or "
+        "run the job through mapred::JobRunner");
+  }
   const bool compressing =
       opts.shuffle_compression != shuffle::ShuffleCompression::kOff;
   // With node aggregation the tracker's servlet codec-frames each merged

@@ -1,0 +1,120 @@
+// Coded shuffle (DESIGN.md §15): XOR-coded multicast of shuffle frames
+// over r×-replicated map tasks — Coded MapReduce's compute-for-
+// communication trade (Li, Maddah-Ali, Avestimehr; PAPERS.md).
+//
+// The placement is a symmetric node-group design: the R reducers form
+// G = R / r consecutive groups of r, and every map task (or node, under
+// node aggregation) has a home group — the one group whose r reducers
+// ALL replicate that task's map work. Each replica runs the identical
+// deterministic map pipeline on one of r fixed sub-splits of the task's
+// input, so all r copies of a (sub-split, partition) frame sequence are
+// byte-identical codeable units (the determinism guarantee of the
+// thread-parallel and node-aggregation stages makes this free).
+//
+// One multicast round then serves the whole home group at once: the
+// producer XORs the r aligned frames {sub i → the reducer at group
+// position i} into a single payload, and each reducer reconstructs its
+// own term by XOR-ing out the r−1 terms it already computed locally as
+// side information. The fabric carries one transmission per group where
+// the uncoded shuffle carried r unicasts of uncoded bytes — and because
+// a reducer's own partition of its replicated map work never crosses
+// the wire at all, the structural cut compounds beyond r on small
+// group counts.
+//
+// This header is transport-agnostic: it owns the placement arithmetic
+// and the encode/decode of one coded payload. MPI-D supplies the
+// multicast (minimpi's multicast_bytes_owned), the per-unit frame
+// streams and the resilient-lane integration; the mpidsim Figure-6
+// model charges the same trade as cost constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mpid/shuffle/counters.hpp"
+
+namespace mpid::shuffle {
+
+/// Placement arithmetic of the symmetric node-group design. Reducer q
+/// sits at position pos_of_reducer(q) of group group_of_reducer(q);
+/// replication unit u (a mapper, or a node under node aggregation) codes
+/// toward home_group(u), whose r reducers all replicate u's map work.
+struct CodedPlacement {
+  std::size_t replication = 1;  // r: replicas per map task (1 = off)
+  std::size_t reducers = 1;     // R: must be a multiple of r
+
+  std::size_t groups() const noexcept { return reducers / replication; }
+  std::size_t group_of_reducer(std::size_t q) const noexcept {
+    return q / replication;
+  }
+  std::size_t pos_of_reducer(std::size_t q) const noexcept {
+    return q % replication;
+  }
+  std::size_t home_group(std::size_t unit) const noexcept {
+    return unit % groups();
+  }
+  /// First reducer index of a group (its members are base .. base+r-1).
+  std::size_t group_base(std::size_t group) const noexcept {
+    return group * replication;
+  }
+
+  /// Throws std::invalid_argument unless 1 <= r <= reducers and r
+  /// divides reducers (the symmetric design needs whole groups).
+  static void validate(std::size_t replication, std::size_t reducers);
+};
+
+/// Hard cap on r accepted by the wire format (and by any sane config:
+/// r× redundant map compute past this could never pay for itself).
+inline constexpr std::uint32_t kMaxCodedReplication = 64;
+
+/// Parsed header of one coded payload. Wire layout (all u32 little
+/// endian): [magic 'CDX1'][replication r][round][lens[0..r-1]][body],
+/// where body is the byte-wise XOR of the r terms, each zero-padded to
+/// max(lens). A term past the end of its stream has len 0 (groups'
+/// streams drain at different rounds).
+struct CodedHeader {
+  std::uint32_t replication = 0;
+  std::uint32_t round = 0;
+  std::vector<std::uint32_t> lens;  // one per group position
+  std::size_t body_offset = 0;      // byte offset of the XOR body
+  std::size_t body_size = 0;        // == max(lens)
+};
+
+/// XOR-encodes the r aligned terms of one round into a multicast
+/// payload. terms[i] is group position i's frame for this round (empty
+/// when that stream already drained). Accounts bytes_pre_coding (the
+/// bytes r unicasts would have carried), bytes_post_coding (the coded
+/// payload actually shipped) and coded_encode_ns into `counters` when
+/// non-null.
+std::vector<std::byte> coded_encode(
+    std::span<const std::span<const std::byte>> terms, std::uint32_t round,
+    ShuffleCounters* counters);
+
+/// Validates and parses a coded payload's header. Hostile-input safe:
+/// throws std::runtime_error (never reads out of bounds) on bad magic,
+/// r outside [2, kMaxCodedReplication], a truncated header, or a body
+/// whose size disagrees with max(lens).
+CodedHeader parse_coded_header(std::span<const std::byte> payload);
+
+/// Side-information source for decode: returns the locally recomputed
+/// term of group position `sub` at `round`. Called only for sub !=
+/// the decoder's own position and only when the header says that term
+/// is non-empty; the returned span must match lens[sub] exactly (any
+/// mismatch means replica pipelines diverged — decode throws).
+using CodedSideFn =
+    std::function<std::span<const std::byte>(std::size_t sub, std::uint32_t round)>;
+
+/// Recovers the decoder's own term (group position `pos`) from a coded
+/// payload by XOR-ing out the r−1 side terms. Returns the term truncated
+/// to its true length — empty when the header says this position's
+/// stream had drained. Accounts coded_decode_ns into `counters` when
+/// non-null. Throws std::runtime_error on malformed payloads or
+/// side-term length mismatches.
+std::vector<std::byte> coded_decode(std::span<const std::byte> payload,
+                                    std::size_t pos, const CodedSideFn& side,
+                                    ShuffleCounters* counters);
+
+}  // namespace mpid::shuffle

@@ -200,6 +200,19 @@ struct ShuffleOptions {
   /// >= 1 when node_aggregation is set.
   std::size_t ranks_per_node = 1;
 
+  // --- coded shuffle (DESIGN.md §15, Coded MapReduce) ---
+  /// Replication factor r of the coded shuffle: every map task runs on r
+  /// reducer-side replicas so that one XOR-coded multicast payload per
+  /// round serves a whole group of r reducers at once, trading r× map
+  /// compute for a structural ~r-fold cut in cross-fabric shuffle bytes.
+  /// 1 (the default) disables coding entirely — the pipeline is
+  /// byte-for-byte the uncoded one. Values > 1 are MPI-D only (the
+  /// multicast needs the MPI fabric; MiniHadoop rejects them), require
+  /// r to divide the reducer count (validate() checks what it can see
+  /// here; the runtime checks the counts), and are incompatible with
+  /// direct_realign (replica alignment needs the buffered spill path).
+  std::size_t coded_replication = 1;
+
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).
   /// Called by both runtimes before any task starts.

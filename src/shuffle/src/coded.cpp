@@ -1,0 +1,173 @@
+#include "mpid/shuffle/coded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace mpid::shuffle {
+namespace {
+
+constexpr std::uint32_t kCodedMagic = 0x31584443u;  // "CDX1" little endian
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t read_u32(std::span<const std::byte> in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(
+             in[offset + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) {
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+void CodedPlacement::validate(std::size_t replication, std::size_t reducers) {
+  if (replication < 1) {
+    throw std::invalid_argument(
+        "CodedPlacement: coded_replication must be >= 1 (1 = coding off)");
+  }
+  if (replication > reducers) {
+    throw std::invalid_argument(
+        "CodedPlacement: coded_replication (" + std::to_string(replication) +
+        ") exceeds the reducer count (" + std::to_string(reducers) +
+        ") — a coded group needs r distinct reducers to multicast to");
+  }
+  if (reducers % replication != 0) {
+    throw std::invalid_argument(
+        "CodedPlacement: coded_replication (" + std::to_string(replication) +
+        ") must divide the reducer count (" + std::to_string(reducers) +
+        ") — the symmetric placement needs whole groups of r reducers");
+  }
+  if (replication > kMaxCodedReplication) {
+    throw std::invalid_argument(
+        "CodedPlacement: coded_replication (" + std::to_string(replication) +
+        ") exceeds the wire-format cap of " +
+        std::to_string(kMaxCodedReplication));
+  }
+}
+
+std::vector<std::byte> coded_encode(
+    std::span<const std::span<const std::byte>> terms, std::uint32_t round,
+    ShuffleCounters* counters) {
+  const auto start = counters ? now_ns() : 0;
+  const std::size_t r = terms.size();
+  std::size_t body = 0;
+  std::size_t pre = 0;
+  for (const auto& t : terms) {
+    body = std::max(body, t.size());
+    pre += t.size();
+  }
+  std::vector<std::byte> payload;
+  payload.reserve(12 + 4 * r + body);
+  put_u32(payload, kCodedMagic);
+  put_u32(payload, static_cast<std::uint32_t>(r));
+  put_u32(payload, round);
+  for (const auto& t : terms) {
+    put_u32(payload, static_cast<std::uint32_t>(t.size()));
+  }
+  const std::size_t body_offset = payload.size();
+  payload.resize(body_offset + body, std::byte{0});
+  for (const auto& t : terms) {
+    xor_into(std::span(payload).subspan(body_offset), t);
+  }
+  if (counters) {
+    counters->bytes_pre_coding += pre;
+    counters->bytes_post_coding += payload.size();
+    counters->coded_encode_ns += now_ns() - start;
+  }
+  return payload;
+}
+
+CodedHeader parse_coded_header(std::span<const std::byte> payload) {
+  if (payload.size() < 12) {
+    throw std::runtime_error("coded frame: truncated header (" +
+                             std::to_string(payload.size()) + " bytes)");
+  }
+  if (read_u32(payload, 0) != kCodedMagic) {
+    throw std::runtime_error("coded frame: bad magic");
+  }
+  CodedHeader header;
+  header.replication = read_u32(payload, 4);
+  header.round = read_u32(payload, 8);
+  if (header.replication < 2 || header.replication > kMaxCodedReplication) {
+    throw std::runtime_error("coded frame: replication " +
+                             std::to_string(header.replication) +
+                             " outside [2, " +
+                             std::to_string(kMaxCodedReplication) + "]");
+  }
+  const std::size_t lens_end = 12 + 4 * std::size_t{header.replication};
+  if (payload.size() < lens_end) {
+    throw std::runtime_error("coded frame: truncated length table");
+  }
+  header.lens.reserve(header.replication);
+  std::size_t body = 0;
+  for (std::uint32_t i = 0; i < header.replication; ++i) {
+    header.lens.push_back(read_u32(payload, 12 + 4 * std::size_t{i}));
+    body = std::max<std::size_t>(body, header.lens.back());
+  }
+  header.body_offset = lens_end;
+  header.body_size = body;
+  if (payload.size() - lens_end != body) {
+    throw std::runtime_error(
+        "coded frame: body is " + std::to_string(payload.size() - lens_end) +
+        " bytes but the length table implies " + std::to_string(body));
+  }
+  return header;
+}
+
+std::vector<std::byte> coded_decode(std::span<const std::byte> payload,
+                                    std::size_t pos, const CodedSideFn& side,
+                                    ShuffleCounters* counters) {
+  const auto start = counters ? now_ns() : 0;
+  const auto header = parse_coded_header(payload);
+  if (pos >= header.replication) {
+    throw std::runtime_error("coded frame: decode position " +
+                             std::to_string(pos) + " outside replication " +
+                             std::to_string(header.replication));
+  }
+  const std::size_t mine = header.lens[pos];
+  if (mine == 0) {
+    // My stream had drained by this round: the payload only carries the
+    // other positions' terms.
+    if (counters) counters->coded_decode_ns += now_ns() - start;
+    return {};
+  }
+  std::vector<std::byte> term(payload.begin() + header.body_offset,
+                              payload.end());
+  for (std::size_t i = 0; i < header.replication; ++i) {
+    if (i == pos || header.lens[i] == 0) continue;
+    const auto s = side(i, header.round);
+    if (s.size() != header.lens[i]) {
+      throw std::runtime_error(
+          "coded frame: side term " + std::to_string(i) + " at round " +
+          std::to_string(header.round) + " is " + std::to_string(s.size()) +
+          " bytes, header says " + std::to_string(header.lens[i]) +
+          " — replica map pipelines diverged");
+    }
+    xor_into(term, s);
+  }
+  term.resize(mine);
+  if (counters) counters->coded_decode_ns += now_ns() - start;
+  return term;
+}
+
+}  // namespace mpid::shuffle

@@ -88,6 +88,11 @@ void ShuffleOptions::validate() const {
         "ShuffleOptions: ranks_per_node must be >= 1 when node_aggregation "
         "is set — a node with no mappers has nothing to aggregate");
   }
+  if (coded_replication < 1) {
+    throw std::invalid_argument(
+        "ShuffleOptions: coded_replication must be >= 1 (1 = coding off; "
+        "r > 1 replicates every map task r times for the coded shuffle)");
+  }
   if (map_task_chunks > kMaxMapTaskChunks) {
     throw std::invalid_argument(
         "ShuffleOptions: map_task_chunks (" +

@@ -1,0 +1,244 @@
+// Unit tests for the coded-shuffle primitives (DESIGN.md §15): placement
+// arithmetic, the XOR encode/decode of one multicast round, and the
+// hostile-input safety of the wire-format parser.
+#include "mpid/shuffle/coded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpid::shuffle {
+namespace {
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string string_of(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Captures the validate() message for one bad config.
+std::string validate_message(std::size_t r, std::size_t reducers) {
+  try {
+    CodedPlacement::validate(r, reducers);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(CodedPlacementTest, Arithmetic) {
+  const CodedPlacement p{/*replication=*/2, /*reducers=*/6};
+  EXPECT_EQ(p.groups(), 3u);
+  EXPECT_EQ(p.group_of_reducer(0), 0u);
+  EXPECT_EQ(p.group_of_reducer(1), 0u);
+  EXPECT_EQ(p.group_of_reducer(5), 2u);
+  EXPECT_EQ(p.pos_of_reducer(0), 0u);
+  EXPECT_EQ(p.pos_of_reducer(3), 1u);
+  EXPECT_EQ(p.group_base(2), 4u);
+  // Home groups cycle over units.
+  EXPECT_EQ(p.home_group(0), 0u);
+  EXPECT_EQ(p.home_group(4), 1u);
+}
+
+TEST(CodedPlacementTest, ValidateAccepts) {
+  EXPECT_NO_THROW(CodedPlacement::validate(1, 1));
+  EXPECT_NO_THROW(CodedPlacement::validate(2, 2));
+  EXPECT_NO_THROW(CodedPlacement::validate(3, 9));
+  EXPECT_NO_THROW(CodedPlacement::validate(64, 64));
+}
+
+TEST(CodedPlacementTest, RejectsZeroReplication) {
+  const auto msg = validate_message(0, 4);
+  EXPECT_NE(msg.find("must be >= 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("coding off"), std::string::npos) << msg;
+}
+
+TEST(CodedPlacementTest, RejectsReplicationBeyondReducers) {
+  const auto msg = validate_message(4, 2);
+  EXPECT_NE(msg.find("exceeds the reducer count"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("r distinct reducers"), std::string::npos) << msg;
+}
+
+TEST(CodedPlacementTest, RejectsNonDividingReplication) {
+  const auto msg = validate_message(2, 5);
+  EXPECT_NE(msg.find("must divide the reducer count"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("whole groups"), std::string::npos) << msg;
+}
+
+TEST(CodedPlacementTest, RejectsReplicationAboveWireCap) {
+  const auto msg = validate_message(65, 130);
+  EXPECT_NE(msg.find("wire-format cap"), std::string::npos) << msg;
+}
+
+TEST(CodedRoundTest, EncodeDecodeRoundTripsEqualLengths) {
+  // Frames long enough that the fixed header does not mask the fold.
+  std::string sa(96, '\0'), sb(96, '\0');
+  for (std::size_t i = 0; i < 96; ++i) {
+    sa[i] = static_cast<char>('a' + i % 26);
+    sb[i] = static_cast<char>('A' + (i * 7) % 26);
+  }
+  const auto a = bytes_of(sa);
+  const auto b = bytes_of(sb);
+  const std::vector<std::span<const std::byte>> terms = {a, b};
+  ShuffleCounters counters;
+  const auto payload = coded_encode(terms, /*round=*/7, &counters);
+  EXPECT_EQ(counters.bytes_pre_coding, a.size() + b.size());
+  EXPECT_EQ(counters.bytes_post_coding, payload.size());
+  // One body of max(lens) (plus a fixed header) replaces the two unicasts.
+  EXPECT_LT(payload.size(), a.size() + b.size());
+
+  const auto side_a = [&](std::size_t sub, std::uint32_t round)
+      -> std::span<const std::byte> {
+    EXPECT_EQ(round, 7u);
+    EXPECT_EQ(sub, 1u);
+    return b;
+  };
+  EXPECT_EQ(string_of(coded_decode(payload, 0, side_a, &counters)), sa);
+  const auto side_b = [&](std::size_t, std::uint32_t)
+      -> std::span<const std::byte> { return a; };
+  EXPECT_EQ(string_of(coded_decode(payload, 1, side_b, &counters)), sb);
+}
+
+TEST(CodedRoundTest, UnequalLengthsZeroPadAndTruncate) {
+  const auto a = bytes_of("short");
+  const auto b = bytes_of("a much longer second frame");
+  const auto c = bytes_of("mid-size one");
+  const std::vector<std::span<const std::byte>> terms = {a, b, c};
+  const auto payload = coded_encode(terms, 0, nullptr);
+  const auto side_for = [&](std::size_t sub) -> std::span<const std::byte> {
+    return sub == 0 ? std::span<const std::byte>(a)
+                    : (sub == 1 ? std::span<const std::byte>(b)
+                                : std::span<const std::byte>(c));
+  };
+  for (std::size_t pos = 0; pos < 3; ++pos) {
+    const auto got = coded_decode(
+        payload, pos,
+        [&](std::size_t sub, std::uint32_t) { return side_for(sub); },
+        nullptr);
+    EXPECT_EQ(string_of(got), string_of(side_for(pos))) << "pos " << pos;
+  }
+}
+
+TEST(CodedRoundTest, DrainedStreamDecodesEmpty) {
+  const auto b = bytes_of("only the second stream is live");
+  const std::vector<std::span<const std::byte>> terms = {{}, b};
+  const auto payload = coded_encode(terms, 3, nullptr);
+  // Position 0's stream drained before round 3: nothing to recover, and
+  // the side callback must not even be consulted for position 0.
+  const auto got = coded_decode(
+      payload, 0,
+      [&](std::size_t, std::uint32_t) -> std::span<const std::byte> {
+        return b;
+      },
+      nullptr);
+  EXPECT_TRUE(got.empty());
+  // Position 1 recovers its full term with no XOR partner needed.
+  const auto live = coded_decode(
+      payload, 1,
+      [](std::size_t, std::uint32_t) -> std::span<const std::byte> {
+        ADD_FAILURE() << "side consulted for a drained term";
+        return {};
+      },
+      nullptr);
+  EXPECT_EQ(string_of(live), "only the second stream is live");
+}
+
+TEST(CodedRoundTest, DivergedSideTermThrows) {
+  const auto a = bytes_of("aaaa");
+  const auto b = bytes_of("bbbb");
+  const std::vector<std::span<const std::byte>> terms = {a, b};
+  const auto payload = coded_encode(terms, 0, nullptr);
+  const auto wrong = bytes_of("bbb");  // replica produced a different frame
+  try {
+    coded_decode(
+        payload, 0,
+        [&](std::size_t, std::uint32_t) -> std::span<const std::byte> {
+          return wrong;
+        },
+        nullptr);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("replica map pipelines diverged"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CodedRoundTest, DecodePositionOutsideReplicationThrows) {
+  const auto a = bytes_of("aa");
+  const std::vector<std::span<const std::byte>> terms = {a, a};
+  const auto payload = coded_encode(terms, 0, nullptr);
+  EXPECT_THROW(coded_decode(
+                   payload, 2,
+                   [](std::size_t, std::uint32_t)
+                       -> std::span<const std::byte> { return {}; },
+                   nullptr),
+               std::runtime_error);
+}
+
+TEST(CodedParseTest, RejectsTruncatedAndCorruptHeaders) {
+  const auto a = bytes_of("payload-a");
+  const auto b = bytes_of("payload-b");
+  const std::vector<std::span<const std::byte>> terms = {a, b};
+  const auto good = coded_encode(terms, 1, nullptr);
+  EXPECT_NO_THROW(parse_coded_header(good));
+
+  // Truncations at every prefix length must throw, never read OOB.
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_THROW(parse_coded_header(std::span(good).first(n)),
+                 std::runtime_error)
+        << "prefix " << n;
+  }
+  // Bad magic.
+  auto bad = good;
+  bad[0] = std::byte{0x00};
+  EXPECT_THROW(parse_coded_header(bad), std::runtime_error);
+  // Replication out of range (field at offset 4): r = 0xff > cap.
+  bad = good;
+  bad[4] = std::byte{0xff};
+  EXPECT_THROW(parse_coded_header(bad), std::runtime_error);
+  // Length-table lie: bump lens[0] so the body size disagrees.
+  bad = good;
+  bad[12] = std::byte{0xff};
+  EXPECT_THROW(parse_coded_header(bad), std::runtime_error);
+}
+
+TEST(CodedParseTest, RandomMutationsNeverCrash) {
+  const auto a = bytes_of("fuzz-target-frame-one");
+  const auto b = bytes_of("fuzz-target-two");
+  const auto c = bytes_of("three");
+  const std::vector<std::span<const std::byte>> terms = {a, b, c};
+  const auto good = coded_encode(terms, 9, nullptr);
+  std::mt19937_64 rng(0x5eed);
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto frame = good;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      frame[rng() % frame.size()] ^=
+          static_cast<std::byte>(1u << (rng() % 8));
+    }
+    if (rng() % 4 == 0) frame.resize(rng() % (frame.size() + 1));
+    // Either parses (mutation hit the body or was benign) or throws a
+    // runtime_error — anything else (crash, OOB under ASan) fails.
+    try {
+      const auto header = parse_coded_header(frame);
+      EXPECT_GE(header.replication, 2u);
+      EXPECT_LE(header.replication, kMaxCodedReplication);
+      EXPECT_EQ(header.body_offset + header.body_size, frame.size());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpid::shuffle
