@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "mpid/shuffle/counters.hpp"
 #include "mpid/shuffle/options.hpp"
@@ -161,6 +162,11 @@ struct JobReport {
   Stats totals;
   int mappers_completed = 0;
   int reducers_completed = 0;
+  /// One aggregated Stats block per round barrier, in round order
+  /// (DESIGN.md §16). A one-shot job has exactly one entry; a chained
+  /// job (Config::resident_rounds > 1) gains one per next_round() plus
+  /// the final finalize(). totals is the fold of all entries.
+  std::vector<Stats> round_totals;
 };
 
 }  // namespace mpid::core

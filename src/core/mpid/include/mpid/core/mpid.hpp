@@ -189,6 +189,23 @@ class MpiD {
   /// ranks then synchronize through the master, which aggregates stats.
   void finalize();
 
+  /// Round barrier of the iterative chain lifecycle (DESIGN.md §16) —
+  /// collective, Config::resident_rounds > 1 only. Runs the exact
+  /// finalize() ship/seal/stats handshake (mappers flush and seal their
+  /// lanes, reducers must have drained recv(), the master folds every
+  /// rank's per-round Stats into report().round_totals) but instead of
+  /// tearing the world down every rank re-arms for another MapReduce
+  /// round: mapper lanes restart at sequence 0 under a fresh incarnation
+  /// (so a resilient reducer distinguishes round N+1 frames from round N
+  /// retransmits), reducer EOS/seal/delivery state clears, and per-rank
+  /// stats() reset to zero. send()/recv() then work again. Throws if the
+  /// barrier would exceed resident_rounds or the instance is finalized.
+  void next_round();
+
+  /// Completed round barriers (next_round() calls + the final
+  /// finalize()). 0 while the first round is still running.
+  int rounds_completed() const noexcept { return rounds_completed_; }
+
   /// Master-side aggregated report; valid after finalize() on rank 0.
   const JobReport& report() const;
 
@@ -336,6 +353,17 @@ class MpiD {
   /// True while a group or frame is still being drained (guards finalize
   /// and the recv_raw_frame mixing check).
   bool delivery_pending() const noexcept;
+  /// The shared body of finalize() and next_round(): flush/seal/EOS on
+  /// the mappers, drained-check on the reducers, per-round stats fold on
+  /// the master, done/ack handshake everywhere. `final` decides whether
+  /// the master counts task completions (once, on the last round).
+  void round_barrier(bool final);
+  /// Re-arms this rank for the next chain round after a non-final
+  /// barrier: fresh per-round stats, reset spill/lane state (mapper, with
+  /// an incarnation bump under the resilient shuffle), cleared
+  /// EOS/seal/delivery state (reducer).
+  void rearm_for_next_round();
+
   /// Posts the reducer's one-frame-ahead wildcard receive (pipelined
   /// shuffle): reverse realignment of frame N overlaps reception of N+1.
   void post_prefetch();
@@ -460,6 +488,7 @@ class MpiD {
   // Master state.
   JobReport report_;
   bool finalized_ = false;
+  int rounds_completed_ = 0;  // chain barriers passed (finalize included)
 };
 
 }  // namespace mpid::core

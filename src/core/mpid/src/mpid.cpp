@@ -605,6 +605,36 @@ bool MpiD::recv_group_views(std::string_view& key,
 
 void MpiD::finalize() {
   if (finalized_) throw std::logic_error("MpiD: finalize called twice");
+  round_barrier(/*final=*/true);
+  finalized_ = true;
+}
+
+void MpiD::next_round() {
+  if (finalized_) {
+    throw std::logic_error("MpiD: next_round called after finalize");
+  }
+  if (coded()) {
+    throw std::logic_error(
+        "MpiD: next_round is incompatible with coded_replication > 1");
+  }
+  if (rounds_completed_ + 2 >
+      static_cast<int>(config_.resident_rounds)) {
+    throw std::logic_error(
+        "MpiD: next_round would exceed Config::resident_rounds (" +
+        std::to_string(config_.resident_rounds) +
+        ") — the round after this barrier could never finalize");
+  }
+  round_barrier(/*final=*/false);
+  rearm_for_next_round();
+}
+
+void MpiD::round_barrier(bool final) {
+  // The round this barrier completes, 1-based, stamped into the shipped
+  // stats so the master's fold proves the round count (max-aggregated).
+  if (config_.resident_rounds > 1 && role_ != Role::kMaster) {
+    stats_.chain_rounds =
+        static_cast<std::uint64_t>(rounds_completed_) + 1;
+  }
 
   switch (role_) {
     case Role::kMapper: {
@@ -662,22 +692,77 @@ void MpiD::finalize() {
     }
     case Role::kMaster: {
       const int workers = config_.mappers + config_.reducers;
+      Stats round_total;
       for (int i = 0; i < workers; ++i) {
         minimpi::Status st;
         const auto s = data_comm_.recv_value<Stats>(minimpi::kAnySource,
                                                     kDoneTag, &st);
-        report_.totals += s;
-        if (st.source <= config_.mappers) {
-          ++report_.mappers_completed;
-        } else {
-          ++report_.reducers_completed;
+        round_total += s;
+        if (final) {
+          // Task completions are counted once, at the last barrier — a
+          // chained rank runs every round, it doesn't complete per round.
+          if (st.source <= config_.mappers) {
+            ++report_.mappers_completed;
+          } else {
+            ++report_.reducers_completed;
+          }
         }
       }
+      report_.totals += round_total;
+      report_.round_totals.push_back(round_total);
       for (int r = 1; r <= workers; ++r) data_comm_.send_value(r, kAckTag, 0);
       break;
     }
   }
-  finalized_ = true;
+  ++rounds_completed_;
+}
+
+void MpiD::rearm_for_next_round() {
+  stats_ = Stats{};
+  switch (role_) {
+    case Role::kMapper: {
+      if (map_buffer_) map_buffer_->clear();
+      node_staged_.clear();
+      // The barrier flushed every pending frame, so reset() only clears
+      // bookkeeping; the writers keep their allocations for round N+1.
+      encoder_->reset();
+      if (resilient()) {
+        // Fresh incarnation per round: a reducer lane distinguishes round
+        // N+1 frames (higher incarnation adopts and resets the lane) from
+        // any stale round-N duplicate (lower incarnation drops).
+        ++incarnation_;
+        for (auto& lane : lanes_) {
+          lane.next_seq = 0;
+          lane.retained.clear();
+        }
+      }
+      break;
+    }
+    case Role::kReducer: {
+      for (auto& lane : recv_lanes_) {
+        // Incarnations survive — they track the mappers' attempts/rounds
+        // and the next round's higher stamp adopts automatically.
+        lane.frames.clear();
+        lane.sealed_total.reset();
+        lane.complete = false;
+      }
+      collected_.clear();
+      collected_ready_ = false;
+      current_view_.reset();
+      delivery_reader_.reset();
+      if (!delivery_frame_.empty()) pool_->release(std::move(delivery_frame_));
+      delivery_frame_ = std::vector<std::byte>{};
+      current_value_index_ = 0;
+      eos_received_ = 0;
+      // progress_ticks_ / crash_tick_ are NOT reset: an injected reducer
+      // crash plan spans the chain, so a tick budget larger than one
+      // round's traffic fires mid-chain (the restart-under-chaining test
+      // path). restart_reducer() re-arms them per attempt as usual.
+      break;
+    }
+    case Role::kMaster:
+      break;
+  }
 }
 
 // ------------------------------------------------- node-local aggregation --

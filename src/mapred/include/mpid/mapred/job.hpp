@@ -108,6 +108,14 @@ struct JobResult {
   std::vector<std::pair<std::string, std::string>> outputs;
   /// The master's aggregated transport statistics.
   core::JobReport report;
+
+  /// Moves the sorted outputs out of the result — the zero-copy
+  /// collection path: reducer contexts move into this vector, and
+  /// take_outputs() moves it to the caller, so no pair is copied after
+  /// reduce() emitted it. The result's outputs are empty afterwards.
+  std::vector<std::pair<std::string, std::string>> take_outputs() noexcept {
+    return std::move(outputs);
+  }
 };
 
 /// Runs MapReduce jobs on an in-process MPI-D world of

@@ -38,6 +38,7 @@
 
 #include "mpid/dfs/minidfs.hpp"
 #include "mpid/fault/fault.hpp"
+#include "mpid/mapred/chain.hpp"
 #include "mpid/mapred/job.hpp"
 #include "mpid/shuffle/counters.hpp"
 #include "mpid/shuffle/options.hpp"
@@ -116,6 +117,35 @@ struct JobSummary : shuffle::ShuffleCounters {
   std::uint64_t recovery_wall_ns = 0;      // wall time spent recovering
 };
 
+/// Chained (iterative) job configuration: the shared MiniJobConfig knobs
+/// (shuffle options, task counts, fault policy — `map`, `reduce` and
+/// `combiner` must stay unset; stages carry the functions) plus the
+/// chain plan, expressed in the SAME mapred::ChainStage vocabulary the
+/// MPI-D JobChain runs, so one chain definition executes byte-identically
+/// on both runtimes.
+struct MiniChainConfig : MiniJobConfig {
+  /// Round-1 map over the external input (MiniJobConfig::input_path).
+  mapred::MapFn ingest;
+  std::vector<mapred::ChainStage> stages;
+  /// The static channel: realigned into per-partition tables once and
+  /// pinned (resident mode) or rebuilt every round (ablation mode).
+  mapred::KvVec static_input;
+  /// true — resident mode: each round's committed reduce outputs stay in
+  /// memory and become the next round's map splits directly (map task i
+  /// reads reduce partition i; map_tasks == reduce_tasks from round 2).
+  /// false — the Hadoop-faithful ablation: every round writes part files
+  /// through the DFS and the next round re-ingests them, paying the HDFS
+  /// round trip the paper's iterative workloads pay between jobs.
+  bool resident = true;
+};
+
+/// Chain totals: every round's JobSummary folded together (the chain
+/// counter block — ingest_bytes, resident_*, static_* — tells the
+/// residency story), plus the per-round user-counter trail.
+struct ChainSummary : JobSummary {
+  std::vector<mapred::RoundReport> rounds;
+};
+
 class MiniCluster {
  public:
   /// `tasktrackers` worker processes (threads), each with one task slot
@@ -126,9 +156,20 @@ class MiniCluster {
   /// in the DFS under config.output_prefix.
   JobSummary run(const MiniJobConfig& config);
 
+  /// Runs a chained job: one full MapReduce job submission per round
+  /// (fresh jobtracker, trackers, HTTP shuffle — Hadoop has no resident
+  /// worlds), with round N's committed reduce outputs feeding round N+1
+  /// as splits. Final outputs land in "<output_prefix>/part-r-<i>" with
+  /// one file per reduce partition, byte-identical across resident and
+  /// ablation modes and to mapred::JobChain on the same ChainStages.
+  ChainSummary run_chain(const MiniChainConfig& config);
+
   int tasktrackers() const noexcept { return tasktrackers_; }
 
  private:
+  struct ChainRoundIO;
+  JobSummary run_internal(const MiniJobConfig& config, const ChainRoundIO* io);
+
   dfs::MiniDfs& dfs_;
   int tasktrackers_;
 };

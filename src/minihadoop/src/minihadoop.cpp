@@ -276,7 +276,27 @@ MiniCluster::MiniCluster(dfs::MiniDfs& dfs, int tasktrackers)
   }
 }
 
+/// Per-round plumbing of a chained run (run_chain): in-memory map splits
+/// that bypass the DFS read, and commit-gated capture of reduce bodies so
+/// resident rounds skip the DFS write too. Null members keep the classic
+/// one-shot behavior.
+struct MiniCluster::ChainRoundIO {
+  /// One pre-built line split per map task (replaces input_path).
+  const std::vector<std::string>* map_splits = nullptr;
+  /// false skips the part-r-<i> DFS writes (resident mode).
+  bool write_dfs_output = true;
+  /// When set (sized reduce_tasks): the COMMITTED attempt's body of each
+  /// reduce task is installed here — same commit gate as the DFS write,
+  /// so losing speculative twins never leak into the next round.
+  std::vector<std::string>* committed_bodies = nullptr;
+};
+
 JobSummary MiniCluster::run(const MiniJobConfig& config) {
+  return run_internal(config, nullptr);
+}
+
+JobSummary MiniCluster::run_internal(const MiniJobConfig& config,
+                                     const ChainRoundIO* io) {
   if (!config.map || !config.reduce) {
     throw std::invalid_argument("MiniCluster: map and reduce must be set");
   }
@@ -320,10 +340,20 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
 
   fault::FaultInjector* const inj = config.fault_injector.get();
 
-  // Input splits: contiguous line-aligned chunks of the input file.
-  const std::string input = dfs_.read(config.input_path);
-  const auto split_views = mapred::split_text(input, config.map_tasks);
-  std::vector<std::string> splits(split_views.begin(), split_views.end());
+  // Input splits: contiguous line-aligned chunks of the input file — or,
+  // in a resident chain round, the previous round's partitions in place.
+  std::vector<std::string> splits;
+  if (io != nullptr && io->map_splits != nullptr) {
+    if (io->map_splits->size() != static_cast<std::size_t>(config.map_tasks)) {
+      throw std::logic_error("MiniCluster: chain round needs one split per "
+                             "map task");
+    }
+    splits = *io->map_splits;
+  } else {
+    const std::string input = dfs_.read(config.input_path);
+    const auto split_views = mapred::split_text(input, config.map_tasks);
+    splits.assign(split_views.begin(), split_views.end());
+  }
 
   // ---- jobtracker: RPC control plane -----------------------------------
   JobTracker tracker_state;
@@ -929,9 +959,6 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
             if (hrpc::DataIn(ack).read_u8() != 0) {
               // This attempt won the commit: its output becomes the
               // task's official result (losing twins discard theirs).
-              const std::string path = config.output_prefix + "/part-r-" +
-                                       std::to_string(task);
-              dfs_.create(path, outcome.body);
               shuffled_bytes += outcome.bytes;
               shuffle_requests += outcome.requests;
               {
@@ -939,7 +966,16 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
                 job_counters.merge(outcome.counters);
               }
               std::lock_guard lock(output_mu);
-              output_files.push_back(path);
+              if (io == nullptr || io->write_dfs_output) {
+                const std::string path = config.output_prefix + "/part-r-" +
+                                         std::to_string(task);
+                dfs_.create(path, outcome.body);
+                output_files.push_back(path);
+              }
+              if (io != nullptr && io->committed_bodies != nullptr) {
+                (*io->committed_bodies)[static_cast<std::size_t>(task)] =
+                    std::move(outcome.body);
+              }
             }
           }
         } catch (const fault::TaskCrash&) {
@@ -995,6 +1031,210 @@ JobSummary MiniCluster::run(const MiniJobConfig& config) {
   std::sort(output_files.begin(), output_files.end());
   summary.output_files = std::move(output_files);
   return summary;
+}
+
+namespace {
+
+/// Reserved key prefix carrying ChainReduceContext counters through the
+/// commit gate as ordinary output pairs: only the committed attempt's
+/// counter lines survive, exactly like its data lines. Stripped from
+/// every body before it becomes resident data or a part file.
+constexpr char kCounterSentinel = '\x01';
+
+/// Splits one committed reduce body back into data lines and counter
+/// increments. Returns the cleaned body; data pair/byte tallies (key +
+/// value payload, excluding tab/newline framing — the same arithmetic
+/// mapred::ResidentPartition uses) accumulate into the out-params.
+std::string strip_counter_lines(const std::string& body,
+                                mapred::RoundCounters& counters,
+                                std::uint64_t& pairs, std::uint64_t& bytes) {
+  std::string cleaned;
+  cleaned.reserve(body.size());
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    auto eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (!line.empty() && line.front() == kCounterSentinel) {
+      if (tab != std::string_view::npos) {
+        counters.incr(line.substr(1, tab - 1),
+                      std::stoull(std::string(line.substr(tab + 1))));
+      }
+      continue;
+    }
+    ++pairs;
+    bytes += line.size() - (tab == std::string_view::npos ? 0 : 1);
+    cleaned.append(line);
+    cleaned.push_back('\n');
+  }
+  return cleaned;
+}
+
+}  // namespace
+
+ChainSummary MiniCluster::run_chain(const MiniChainConfig& config) {
+  if (config.map || config.reduce) {
+    throw std::invalid_argument(
+        "MiniCluster: run_chain drives map/reduce from `stages`; leave "
+        "MiniJobConfig::map and ::reduce unset");
+  }
+  if (config.combiner) {
+    throw std::invalid_argument(
+        "MiniCluster: combiners are not supported inside chains (stage "
+        "maps differ per round)");
+  }
+  {
+    // Reuse the shared plan validation (stage shape, round budgets).
+    mapred::ChainJob plan;
+    plan.ingest = config.ingest;
+    plan.stages = config.stages;
+    mapred::chain_detail::validate_job(plan);
+  }
+  const int partitions = config.reduce_tasks;
+
+  ChainSummary chain;
+  mapred::chain_detail::PlanCursor cur;
+  int round = 1;
+  // Committed, counter-stripped reduce bodies of the last round — the
+  // resident partitions (map task i of round N+1 reads bodies[i]).
+  std::vector<std::string> bodies(static_cast<std::size_t>(partitions));
+  mapred::StaticTables statics;
+  const mapred::StaticTables* statics_ptr = nullptr;
+
+  for (;;) {
+    const mapred::ChainStage& stage = config.stages[cur.stage];
+
+    // Pin the static tables in round 1; the ablation re-realigns them
+    // every round (a fresh Hadoop job has nothing pinned).
+    if (!config.static_input.empty() && (round == 1 || !config.resident)) {
+      statics = mapred::StaticTables(config.static_input, partitions, {});
+      statics_ptr = &statics;
+      if (round == 1) {
+        chain.static_bytes_pinned += statics.total_bytes();
+      } else {
+        chain.static_bytes_reshuffled += statics.total_bytes();
+      }
+    }
+
+    MiniJobConfig jc = static_cast<const MiniJobConfig&>(config);
+    jc.combiner = {};
+    jc.sorted_reduce = true;  // resident bodies must not depend on hash order
+    jc.output_prefix =
+        config.output_prefix + "/.round-" + std::to_string(round);
+
+    ChainRoundIO io;
+    std::vector<std::string> committed(static_cast<std::size_t>(partitions));
+    io.committed_bodies = &committed;
+    // Resident mode never touches the DFS between rounds; the ablation
+    // writes every round's part files (the HDFS round trip under test).
+    io.write_dfs_output = !config.resident;
+
+    std::vector<std::string> splits;
+    if (round == 1) {
+      jc.map = config.ingest;
+      jc.map_tasks = config.map_tasks;
+      chain.ingest_bytes += dfs_.read(config.input_path).size();
+    } else {
+      // Rounds >= 2: one map task per reduce partition, reading that
+      // partition's previous output in place ("k\tv" lines).
+      jc.map_tasks = partitions;
+      splits = bodies;
+      io.map_splits = &splits;
+      if (!config.resident) {
+        // The ablation re-ingests the previous round's output as fresh
+        // external input (the same bytes the part files round-trip).
+        for (const auto& split : splits) chain.ingest_bytes += split.size();
+      }
+      const auto stage_map = stage.map;
+      jc.map = [stage_map, statics_ptr, round](std::string_view record,
+                                               mapred::MapContext& mctx) {
+        const auto tab = record.find('\t');
+        const auto key =
+            tab == std::string_view::npos ? record : record.substr(0, tab);
+        const auto value = tab == std::string_view::npos
+                               ? std::string_view{}
+                               : record.substr(tab + 1);
+        mapred::ChainMapContext cctx(
+            [&mctx](std::string_view k, std::string_view v) {
+              mctx.emit(k, v);
+            },
+            statics_ptr, mctx.mapper_index(), round);
+        stage_map(key, value, cctx);
+      };
+    }
+
+    const auto stage_reduce = stage.reduce;
+    jc.reduce = [stage_reduce, statics_ptr, round](
+                    std::string_view key, std::span<const std::string> values,
+                    mapred::ReduceContext& out) {
+      mapred::ChainReduceContext cctx(statics_ptr, out.reducer_index(),
+                                      round);
+      std::vector<std::string> vals(values.begin(), values.end());
+      stage_reduce(key, vals, cctx);
+      for (const auto& [k, v] : cctx.take_emitted()) out.emit(k, v);
+      // Counters ride the output as sentinel pairs — commit-gated with
+      // the data, summed (and stripped) by the driver below.
+      for (const auto& [name, value] : cctx.counters().values()) {
+        out.emit(std::string(1, kCounterSentinel) + name,
+                 std::to_string(value));
+      }
+    };
+
+    const JobSummary js = run_internal(jc, &io);
+
+    // Fold the round into the chain totals (ShuffleCounters sum via
+    // merge; the MiniHadoop transport fields by hand).
+    chain.merge(js);
+    chain.map_output_pairs += js.map_output_pairs;
+    chain.shuffled_bytes += js.shuffled_bytes;
+    chain.shuffle_requests += js.shuffle_requests;
+    chain.heartbeats += js.heartbeats;
+    chain.map_reexecutions += js.map_reexecutions;
+    chain.reduce_reexecutions += js.reduce_reexecutions;
+    chain.speculative_launches += js.speculative_launches;
+    chain.shuffle_fetch_retries += js.shuffle_fetch_retries;
+    chain.heartbeat_errors += js.heartbeat_errors;
+    chain.trackers_timed_out += js.trackers_timed_out;
+    chain.recovery_wall_ns += js.recovery_wall_ns;
+
+    mapred::RoundReport report;
+    report.stage = static_cast<int>(cur.stage);
+    report.round_in_stage = cur.round_in_stage;
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      bodies[i] = strip_counter_lines(committed[i], report.counters,
+                                      report.resident_pairs_out,
+                                      report.resident_bytes_out);
+    }
+    if (config.resident && round >= 2) {
+      // This round mapped the previous round's partitions in place.
+      chain.resident_pairs_in += chain.rounds.back().resident_pairs_out;
+      chain.resident_bytes_in += chain.rounds.back().resident_bytes_out;
+    }
+    chain.rounds.push_back(std::move(report));
+
+    mapred::ChainJob plan;
+    plan.stages = config.stages;
+    if (!mapred::chain_detail::advance_plan(plan, cur,
+                                            chain.rounds.back().counters)) {
+      break;
+    }
+    ++round;
+  }
+  chain.chain_rounds = static_cast<std::uint64_t>(round);
+
+  // The official output: the final round's cleaned partitions, one part
+  // file each — the same files a one-shot job would have left.
+  chain.output_files.clear();
+  for (int r = 0; r < partitions; ++r) {
+    const std::string path =
+        config.output_prefix + "/part-r-" + std::to_string(r);
+    dfs_.create(path, bodies[static_cast<std::size_t>(r)]);
+    chain.output_files.push_back(path);
+  }
+  return chain;
 }
 
 }  // namespace mpid::minihadoop

@@ -177,6 +177,45 @@ struct MpidJobSpec {
   /// the node's mapper count, the WordCount-style upper bound; measure
   /// real jobs with bytes_pre/post_node_agg and set the quotient here.
   double node_agg_ratio = 0.0;
+
+  // --- chain-round knobs (set by MpidSystem::run_chain) ---
+
+  /// Resident round of a chain (mapred::JobChain): the map input is the
+  /// previous round's reducer partitions, already aligned in this
+  /// process's memory — mappers skip the local-disk input scan.
+  bool map_input_resident = false;
+  /// Resident world: MPI_D processes stay up between rounds
+  /// (Config::resident_rounds), so the round pays no mpiexec/MPI_D_Init
+  /// startup.
+  bool world_resident = false;
+  /// > 1 models the iterative-Hadoop ablation's inter-round HDFS
+  /// writeback: each reducer's output is pushed through a replication
+  /// pipeline — (replicas - 1) fabric hops, a disk write per replica —
+  /// before the next round may start. 0/1 writes only the local copy.
+  int hdfs_writeback_replicas = 0;
+};
+
+/// Iterative (chained) job for the Figure-6-style graph experiments:
+/// `rounds` MapReduce rounds over a conserved state volume. Round 1
+/// ingests `round.input_bytes` from the distributed input; rounds >= 2
+/// map over the previous round's reducer output. With `resident` set the
+/// chain models mapred::JobChain — the world stays up and the state stays
+/// in the reducer partitions (no disk scan, no writeback); without it,
+/// the chain models what iterative Hadoop jobs actually do between
+/// rounds: replicate every part file through HDFS, tear the job down,
+/// pay startup again and re-ingest the state from disk.
+struct MpidChainSpec {
+  MpidJobSpec round;  // round-1 shape; input_bytes = the external input
+  int rounds = 5;
+  /// Rounds >= 2 dataflow shape: state -> intermediate -> state. The
+  /// defaults conserve the state volume (label-propagation-like
+  /// workloads); round 1's output is round.input_bytes *
+  /// round.map_output_ratio * round.reduce_output_ratio.
+  double state_map_output_ratio = 1.0;
+  double state_reduce_output_ratio = 1.0;
+  bool resident = true;
+  /// dfs.replication of the ablation's inter-round writeback.
+  int hdfs_replicas = 3;
 };
 
 struct MpidJobResult {
@@ -192,6 +231,16 @@ struct MpidJobResult {
   int external_merge_passes = 0;
 };
 
+struct MpidChainResult {
+  sim::Time makespan;  // first round's spawn to last round's drain
+  std::vector<MpidJobResult> rounds;
+  /// Ablation accounting (zero on a resident chain): state bytes
+  /// re-scanned from disk in rounds >= 2, and part-file bytes pushed
+  /// through the inter-round replication pipeline (all copies).
+  double reingest_bytes = 0;
+  double writeback_bytes = 0;
+};
+
 class MpidSystem {
  public:
   MpidSystem(sim::Engine& engine, SystemSpec spec);
@@ -199,6 +248,10 @@ class MpidSystem {
   MpidSystem& operator=(const MpidSystem&) = delete;
 
   MpidJobResult run(const MpidJobSpec& job);
+
+  /// Runs `chain.rounds` rounds back-to-back on this system (see
+  /// MpidChainSpec for the resident / ablation semantics).
+  MpidChainResult run_chain(const MpidChainSpec& chain);
 
   const SystemSpec& spec() const noexcept { return spec_; }
 

@@ -79,7 +79,7 @@ std::uint64_t chunk_count(std::uint64_t bytes, std::uint64_t chunk) {
 
 sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
   const int mapper_id = (node - 1) * spec_.mappers_per_node + index_on_node;
-  co_await engine_.delay(spec_.job_startup);
+  if (!run.job.world_resident) co_await engine_.delay(spec_.job_startup);
   if (spec_.startup_jitter_max.ns > 0) {
     common::SplitMix64 jitter_rng(static_cast<std::uint64_t>(mapper_id) + 1);
     co_await engine_.delay(sim::Time{static_cast<std::int64_t>(
@@ -109,9 +109,12 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
     const auto replication =
         static_cast<std::uint64_t>(spec_.coded_replication);
     // Scan input records from the local disk, run the map function and the
-    // combiner over the hash-table buffer.
-    co_await disks_[static_cast<std::size_t>(node)]->transfer(
-        0, 0, chunk * replication);
+    // combiner over the hash-table buffer. Resident chain rounds map the
+    // previous round's in-memory reducer partitions instead — no scan.
+    if (!run.job.map_input_resident) {
+      co_await disks_[static_cast<std::size_t>(node)]->transfer(
+          0, 0, chunk * replication);
+    }
     const double jitter =
         1.0 + spec_.chunk_jitter_frac *
                   (2.0 * (static_cast<double>(common::fmix64(
@@ -204,7 +207,7 @@ sim::Task<> MpidSystem::mapper(Run& run, int node, int index_on_node) {
 }
 
 sim::Task<> MpidSystem::reducer(Run& run, int reducer_index) {
-  co_await engine_.delay(spec_.job_startup);
+  if (!run.job.world_resident) co_await engine_.delay(spec_.job_startup);
   const int node = 1 + reducer_index % (spec_.nodes - 1);
 
   std::uint64_t consumed = 0;
@@ -295,10 +298,19 @@ sim::Task<> MpidSystem::reducer(Run& run, int reducer_index) {
     run.result.spilled_bytes += spilled_total;
   }
   // Final output write to the local disk.
-  co_await disks_[static_cast<std::size_t>(node)]->transfer(
-      0, 0,
-      static_cast<std::uint64_t>(received_bytes *
-                                 run.job.reduce_output_ratio));
+  const auto output_bytes = static_cast<std::uint64_t>(
+      received_bytes * run.job.reduce_output_ratio);
+  co_await disks_[static_cast<std::size_t>(node)]->transfer(0, 0,
+                                                            output_bytes);
+  // Inter-round HDFS writeback (ablation rounds only): the part file is
+  // pushed through the replication pipeline before the round may end —
+  // one fabric hop and one disk write per extra replica.
+  for (int rep = 1; rep < run.job.hdfs_writeback_replicas; ++rep) {
+    const int replica_node = 1 + (node - 1 + rep) % (spec_.nodes - 1);
+    co_await mpi_.send(node, replica_node, output_bytes);
+    co_await disks_[static_cast<std::size_t>(replica_node)]->transfer(
+        0, 0, output_bytes);
+  }
 
   if (++run.reducers_done == spec_.reducers) {
     run.result.reduce_end = engine_.now();
@@ -352,6 +364,47 @@ MpidJobResult MpidSystem::run(const MpidJobSpec& job) {
     throw std::runtime_error("MpidSystem::run: job did not complete");
   }
   return run.result;
+}
+
+MpidChainResult MpidSystem::run_chain(const MpidChainSpec& chain) {
+  if (chain.rounds < 1) {
+    throw std::invalid_argument("MpidSystem::run_chain: rounds must be >= 1");
+  }
+  if (chain.round.input_bytes == 0) {
+    throw std::invalid_argument(
+        "MpidSystem::run_chain: round.input_bytes must be set");
+  }
+  MpidChainResult result;
+  const sim::Time started = engine_.now();
+  // State carried between rounds: round N's reducer output volume.
+  double state = static_cast<double>(chain.round.input_bytes) *
+                 chain.round.map_output_ratio * chain.round.reduce_output_ratio;
+  for (int r = 1; r <= chain.rounds; ++r) {
+    MpidJobSpec job = chain.round;
+    if (r >= 2) {
+      job.input_bytes = static_cast<std::uint64_t>(state);
+      job.map_output_ratio = chain.state_map_output_ratio;
+      job.reduce_output_ratio = chain.state_reduce_output_ratio;
+      // Resident rounds keep the world up and map the reducer partitions
+      // in place; the ablation relaunched the job and re-scans the
+      // replicated part files.
+      job.map_input_resident = chain.resident;
+      job.world_resident = chain.resident;
+      if (!chain.resident) {
+        result.reingest_bytes += static_cast<double>(job.input_bytes);
+      }
+      state = static_cast<double>(job.input_bytes) * job.map_output_ratio *
+              job.reduce_output_ratio;
+    }
+    const bool writeback = !chain.resident && r < chain.rounds;
+    job.hdfs_writeback_replicas = writeback ? chain.hdfs_replicas : 0;
+    if (writeback) {
+      result.writeback_bytes += state * std::max(1, chain.hdfs_replicas);
+    }
+    result.rounds.push_back(run(job));
+  }
+  result.makespan = engine_.now() - started;
+  return result;
 }
 
 }  // namespace mpid::mpidsim

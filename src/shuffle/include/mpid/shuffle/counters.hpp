@@ -81,8 +81,31 @@ struct ShuffleCounters {
   /// (0 = every run fit under spill_merge_fanin in one pass).
   std::uint64_t external_merge_passes = 0;
 
+  // --- iterative job chaining (zero unless resident_rounds > 1) ---
+  /// MapReduce rounds this chain ran (aggregates as a max, not a sum:
+  /// every rank of one chain runs the same round count).
+  std::uint64_t chain_rounds = 0;
+  /// External input bytes read from the ingest channel (round 1 of a
+  /// chain, or every round of a re-ingest ablation run). The headline
+  /// residency proof is that this stays flat after round 1.
+  std::uint64_t ingest_bytes = 0;
+  /// Pairs and bytes mapped in place from resident partitions (rounds
+  /// >= 2) — data that never round-tripped through ingest or DFS.
+  std::uint64_t resident_pairs_in = 0;
+  std::uint64_t resident_bytes_in = 0;
+  /// Bytes of the static_input channel realigned ONCE and pinned for the
+  /// whole chain (counted in the round that built the tables).
+  std::uint64_t static_bytes_pinned = 0;
+  /// Bytes of the static channel re-realigned in later rounds — zero in
+  /// resident mode by construction; nonzero only in the unchained
+  /// (fresh-job-per-round) ablation, where every round re-pins.
+  std::uint64_t static_bytes_reshuffled = 0;
+  /// Bytes of sealed resident partitions the memory budget refused —
+  /// demoted to record files between rounds (two-tier residency).
+  std::uint64_t resident_bytes_spilled = 0;
+
   /// Folds another task's counters into this one: sums everywhere except
-  /// table_bytes_peak, which is a peak.
+  /// table_bytes_peak and chain_rounds, which aggregate as maxima.
   void merge(const ShuffleCounters& rhs) noexcept {
     pairs_after_combine += rhs.pairs_after_combine;
     spills += rhs.spills;
@@ -107,6 +130,13 @@ struct ShuffleCounters {
     bytes_spilled_disk += rhs.bytes_spilled_disk;
     spill_files += rhs.spill_files;
     external_merge_passes += rhs.external_merge_passes;
+    if (rhs.chain_rounds > chain_rounds) chain_rounds = rhs.chain_rounds;
+    ingest_bytes += rhs.ingest_bytes;
+    resident_pairs_in += rhs.resident_pairs_in;
+    resident_bytes_in += rhs.resident_bytes_in;
+    static_bytes_pinned += rhs.static_bytes_pinned;
+    static_bytes_reshuffled += rhs.static_bytes_reshuffled;
+    resident_bytes_spilled += rhs.resident_bytes_spilled;
   }
 };
 

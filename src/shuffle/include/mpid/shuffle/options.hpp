@@ -213,6 +213,20 @@ struct ShuffleOptions {
   /// direct_realign (replica alignment needs the buffered spill path).
   std::size_t coded_replication = 1;
 
+  // --- iterative job chaining (DESIGN.md §16) ---
+  /// Maximum MapReduce rounds one world may run over resident partitions
+  /// before finalizing. 1 (the default) is the classic one-shot job:
+  /// `finalize()` is the only barrier and `next_round()` throws. Values
+  /// > 1 arm the chain lifecycle — each round ends in the same
+  /// ship/seal/stats barrier as finalize, but the ranks re-arm (mapper
+  /// lanes reset with a fresh incarnation, reducer EOS/seal state
+  /// cleared) instead of tearing down, so round N's realigned reducer
+  /// partitions can feed round N+1 in place with no re-ingest.
+  /// Incompatible with coded_replication > 1 (replica placement is
+  /// derived from the one-shot split layout; the runtime rejects the
+  /// combination).
+  std::size_t resident_rounds = 1;
+
   /// Throws std::invalid_argument on nonsense combinations (zero
   /// thresholds, auto-compression bounds that could never trigger).
   /// Called by both runtimes before any task starts.

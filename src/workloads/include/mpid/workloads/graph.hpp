@@ -1,0 +1,96 @@
+// Iterative graph workloads for the job-chaining experiments.
+//
+// The paper's related work (Twister, MR-MPI) motivates MPI-backed
+// MapReduce with exactly this workload class: label-propagation
+// connected components, single-source shortest paths and triangle
+// counting — jobs whose dataflow is a CHAIN of MapReduce rounds over a
+// mostly-static graph. Each builder here returns the chain pieces in the
+// shared mapred::ChainStage vocabulary, so one definition runs on the
+// MPI-D JobChain (resident partitions) and on MiniHadoop's run_chain
+// (resident splits or the HDFS round-trip ablation) byte-identically.
+//
+// Determinism conventions (what makes every executor agree):
+//   * vertex names are fixed-width ("v000042"), so lexicographic order
+//     IS numeric order and string min() is label/distance min();
+//   * SSSP distances are 10-digit zero-padded decimals; the "INF"
+//     sentinel compares greater than any padded number ('I' > '9');
+//   * PageRank uses scaled integer arithmetic (kRankScale), never
+//     floating point, so round-off is identical everywhere;
+//   * every stage reduce is insensitive to value arrival order (min,
+//     count, sum, or sorts first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpid/mapred/chain.hpp"
+
+namespace mpid::workloads {
+
+/// Deterministic synthetic graph: `vertices` vertices spread round-robin
+/// over `components` groups, `edges` random intra-group edges (duplicates
+/// and the occasional self-loop left in deliberately — the workloads must
+/// cope), integer weights in [1, max_weight].
+struct GraphSpec {
+  int vertices = 60;
+  int edges = 150;
+  int components = 3;
+  int max_weight = 9;
+  std::uint64_t seed = 1;
+};
+
+/// Fixed-width vertex name ("v000042") for index `v`.
+std::string vertex_name(int v);
+
+/// Edge-list text, one "u v w" line per edge.
+std::string generate_graph(const GraphSpec& spec);
+
+/// The pinned static channel for label/distance propagation: each edge
+/// contributes both directions. Unweighted entries are plain neighbor
+/// names; weighted ones are "neighbor|ww" with the 2-digit weight.
+mapred::KvVec adjacency_static(const std::string& edge_text, bool weighted);
+
+/// Label-propagation connected components: every vertex starts as its
+/// own label and adopts the minimum label it hears; the chain stops the
+/// round nobody changes ("changed" counter). Output: (vertex, component
+/// root name).
+mapred::ChainJob cc_job(const std::string& edge_text, int max_rounds = 64);
+
+/// Bellman-Ford style SSSP from `source` over the weighted graph.
+/// Output: (vertex, zero-padded distance or "INF").
+mapred::ChainJob sssp_job(const std::string& edge_text,
+                          const std::string& source, int max_rounds = 64);
+
+/// Triangle counting in three fixed stages: dedup the edge set, build
+/// smaller-endpoint adjacency and emit one wedge per triangle apex, then
+/// close wedges against edges. The total lands in the "triangles"
+/// counter; outputs are (edge, wedges closed through it).
+mapred::ChainJob triangle_job(const std::string& edge_text);
+
+/// PageRank denominator scale: ranks are integers in units of
+/// 1/kRankScale (probability x 1e6).
+inline constexpr std::uint64_t kRankScale = 1000000;
+
+/// `rounds` fixed PageRank iterations (damping 0.85, scaled integer
+/// arithmetic) over the undirected graph. Output: (vertex, scaled rank).
+mapred::ChainJob pagerank_job(const std::string& edge_text, int rounds,
+                              int vertex_count);
+
+// --- serial references (ground truth for the parity tests) -------------
+
+/// Union-find connected components: (vertex, component root), sorted.
+mapred::KvVec cc_reference(const std::string& edge_text);
+
+/// Dijkstra SSSP: (vertex, padded distance or "INF"), sorted.
+mapred::KvVec sssp_reference(const std::string& edge_text,
+                             const std::string& source);
+
+/// Exact triangle count by sorted-adjacency intersection.
+std::uint64_t triangle_reference(const std::string& edge_text);
+
+/// The same scaled-integer PageRank iterations run serially:
+/// (vertex, scaled rank), sorted. Matches pagerank_job exactly.
+mapred::KvVec pagerank_reference(const std::string& edge_text, int rounds,
+                                 int vertex_count);
+
+}  // namespace mpid::workloads

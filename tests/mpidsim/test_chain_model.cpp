@@ -1,0 +1,88 @@
+// Iterative chain model: resident rounds (mapred::JobChain) against the
+// iterative-Hadoop ablation that replicates part files through HDFS and
+// re-ingests them every round.
+#include <gtest/gtest.h>
+
+#include "mpid/common/units.hpp"
+#include "mpid/mpidsim/system.hpp"
+#include "mpid/sim/engine.hpp"
+#include "mpid/workloads/presets.hpp"
+
+namespace mpid::mpidsim {
+namespace {
+
+using common::GiB;
+
+MpidChainSpec graph_chain(std::uint64_t input, int rounds, bool resident) {
+  MpidChainSpec chain;
+  chain.round = workloads::mpid_wordcount_job(input);
+  chain.rounds = rounds;
+  chain.resident = resident;
+  return chain;
+}
+
+MpidChainResult run_chain(const MpidChainSpec& chain) {
+  sim::Engine engine;
+  MpidSystem system(engine, workloads::fig6_mpid_system());
+  return system.run_chain(chain);
+}
+
+TEST(MpidChainModel, ValidatesSpec) {
+  sim::Engine engine;
+  MpidSystem system(engine, workloads::fig6_mpid_system());
+  EXPECT_THROW(system.run_chain(graph_chain(1 * GiB, 0, true)),
+               std::invalid_argument);
+  EXPECT_THROW(system.run_chain(graph_chain(0, 3, true)),
+               std::invalid_argument);
+}
+
+TEST(MpidChainModel, ResidentAccountingIsClean) {
+  const auto result = run_chain(graph_chain(2 * GiB, 4, /*resident=*/true));
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.reingest_bytes, 0.0);
+  EXPECT_EQ(result.writeback_bytes, 0.0);
+  // Conserved state: every later round moves round 1's output volume
+  // (input x map_output_ratio x reduce_output_ratio).
+  const double state = 2.0 * static_cast<double>(GiB) * 0.30 * 0.30;
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_NEAR(result.rounds[r].intermediate_bytes, state, state * 0.01);
+  }
+}
+
+TEST(MpidChainModel, AblationPaysWritebackAndReingest) {
+  const auto ablation = run_chain(graph_chain(2 * GiB, 4, /*resident=*/false));
+  EXPECT_GT(ablation.reingest_bytes, 0.0);
+  // Three writeback rounds, three replicas of each state volume.
+  EXPECT_GT(ablation.writeback_bytes, 3.0 * ablation.reingest_bytes);
+}
+
+TEST(MpidChainModel, ResidentChainBeatsHdfsRoundTripOnGigE) {
+  // The bench gate's shape: a Figure-6-scale iterative job on the paper's
+  // GigE testbed. Residency removes per-round startup, the state re-scan
+  // and the 3-way replicated writeback — structurally >= 1.5x.
+  const auto resident = run_chain(graph_chain(4 * GiB, 6, true));
+  const auto ablation = run_chain(graph_chain(4 * GiB, 6, false));
+  const double speedup =
+      ablation.makespan.to_seconds() / resident.makespan.to_seconds();
+  EXPECT_GE(speedup, 1.5);
+}
+
+TEST(MpidChainModel, Deterministic) {
+  const auto a = run_chain(graph_chain(1 * GiB, 3, false));
+  const auto b = run_chain(graph_chain(1 * GiB, 3, false));
+  EXPECT_EQ(a.makespan.ns, b.makespan.ns);
+}
+
+TEST(MpidChainModel, SingleRoundMatchesPlainRun) {
+  sim::Engine engine;
+  MpidSystem system(engine, workloads::fig6_mpid_system());
+  const auto chained = system.run_chain(graph_chain(1 * GiB, 1, true));
+  sim::Engine engine2;
+  MpidSystem system2(engine2, workloads::fig6_mpid_system());
+  const auto plain = system2.run(workloads::mpid_wordcount_job(1 * GiB));
+  ASSERT_EQ(chained.rounds.size(), 1u);
+  EXPECT_EQ(chained.makespan.ns, plain.makespan.ns);
+}
+
+}  // namespace
+}  // namespace mpid::mpidsim

@@ -47,6 +47,42 @@ TEST(ShuffleCountersTest, MergeSumsEverythingExceptPeak) {
   EXPECT_EQ(a.table_bytes_peak, 9000u);  // peak never regresses
 }
 
+TEST(ShuffleCountersTest, ChainBlockMergesSumsWithRoundsAsMax) {
+  // The chain block: chain_rounds is a per-rank round stamp (max wins so
+  // the fold proves the barrier count); the residency tallies are sums.
+  ShuffleCounters a;
+  a.chain_rounds = 4;
+  a.ingest_bytes = 1000;
+  a.resident_pairs_in = 12;
+  a.resident_bytes_in = 300;
+  a.static_bytes_pinned = 80;
+  a.static_bytes_reshuffled = 0;
+  a.resident_bytes_spilled = 64;
+
+  ShuffleCounters b;
+  b.chain_rounds = 3;  // a slower rank's stamp: must not regress the max
+  b.ingest_bytes = 500;
+  b.resident_pairs_in = 6;
+  b.resident_bytes_in = 150;
+  b.static_bytes_pinned = 40;
+  b.static_bytes_reshuffled = 200;
+  b.resident_bytes_spilled = 0;
+
+  a.merge(b);
+  EXPECT_EQ(a.chain_rounds, 4u);
+  EXPECT_EQ(a.ingest_bytes, 1500u);
+  EXPECT_EQ(a.resident_pairs_in, 18u);
+  EXPECT_EQ(a.resident_bytes_in, 450u);
+  EXPECT_EQ(a.static_bytes_pinned, 120u);
+  EXPECT_EQ(a.static_bytes_reshuffled, 200u);
+  EXPECT_EQ(a.resident_bytes_spilled, 64u);
+
+  ShuffleCounters later;
+  later.chain_rounds = 6;
+  a.merge(later);
+  EXPECT_EQ(a.chain_rounds, 6u);
+}
+
 TEST(CounterCommitPointTest, NullTargetIsANoOp) {
   CounterCommitPoint commit(nullptr);
   ShuffleCounters block;
